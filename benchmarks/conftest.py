@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of the
+ablations called out in DESIGN.md) and attaches the produced series to the
+pytest-benchmark record through ``benchmark.extra_info`` so that the numbers
+are preserved next to the timings in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.common import FigureResult
+
+
+def attach_results(benchmark, results: Iterable[FigureResult]) -> None:
+    """Store the series of ``results`` in the benchmark's extra_info."""
+    payload = {}
+    for result in results:
+        payload[result.figure] = {
+            "title": result.title,
+            "series": {name: points for name, points in result.series.items()},
+        }
+    benchmark.extra_info["figures"] = payload
+
+
+def print_results(results: Iterable[FigureResult]) -> None:
+    """Print the regenerated rows (visible with ``pytest -s``)."""
+    for result in results:
+        print()
+        print(result.format_table())

@@ -1,0 +1,93 @@
+"""Benchmarks regenerating the campaign figures (Figures 10, 11, 12, 13).
+
+Each benchmark runs the corresponding experiment with the reduced "quick"
+preset (the paper-scale run is available through the CLI:
+``repro-experiments run figNN``), attaches the regenerated series to the
+benchmark record and asserts the qualitative claims the paper draws from the
+figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_results, print_results
+from repro.experiments.registry import run_experiment
+
+
+def _campaign_sanity(result) -> None:
+    """Claims common to every campaign figure."""
+    for x in result.x_values:
+        # the reference series is the normalisation baseline
+        assert result.value("INC_C lp", x) == pytest.approx(1.0)
+        # measured times are never faster than the LP prediction
+        assert result.value("INC_C real/INC_C lp", x) >= 1.0 - 1e-6
+        assert result.value("LIFO real/INC_C lp", x) >= result.value("LIFO lp/INC_C lp", x) - 0.05
+
+
+@pytest.mark.benchmark(group="campaigns")
+def test_fig10_homogeneous_platforms(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig10", preset="quick"), rounds=1, iterations=1
+    )
+    result = results[0]
+    _campaign_sanity(result)
+    # on homogeneous platforms every FIFO ordering coincides, and the one-port
+    # FIFO optimum is never worse than the LIFO chain (Theorem 2)
+    for x in result.x_values:
+        assert result.value("LIFO lp/INC_C lp", x) >= 1.0 - 1e-6
+    attach_results(benchmark, results)
+    print_results(results)
+
+
+@pytest.mark.benchmark(group="campaigns")
+def test_fig11_heterogeneous_computation(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig11", preset="quick"), rounds=1, iterations=1
+    )
+    result = results[0]
+    _campaign_sanity(result)
+    # Theorem 1 / the paper's observation: INC_C is the best FIFO ordering
+    for x in result.x_values:
+        assert result.value("INC_W lp/INC_C lp", x) >= 1.0 - 1e-6
+    attach_results(benchmark, results)
+    print_results(results)
+
+
+@pytest.mark.benchmark(group="campaigns")
+def test_fig12_heterogeneous_star(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig12", preset="quick"), rounds=1, iterations=1
+    )
+    result = results[0]
+    _campaign_sanity(result)
+    for x in result.x_values:
+        assert result.value("INC_W lp/INC_C lp", x) >= 1.0 - 1e-6
+        # measured/predicted stays within the ~20% envelope reported by the paper
+        assert result.value("INC_C real/INC_C lp", x) <= 1.25
+    attach_results(benchmark, results)
+    print_results(results)
+
+
+@pytest.mark.benchmark(group="campaigns")
+def test_fig13_ratio_shift(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig13", preset="quick"), rounds=1, iterations=1
+    )
+    fig13a, fig13b = results
+    assert fig13a.parameters["comp_scale"] == 10.0
+    assert fig13b.parameters["comm_scale"] == 10.0
+    # 13a: communication-bound — the FIFO variants collapse onto each other
+    for x in fig13a.x_values:
+        assert fig13a.value("INC_W lp/INC_C lp", x) == pytest.approx(1.0, abs=0.05)
+    # 13b: with communication x10 the per-message overheads break the accuracy
+    # of the linear cost model — the measured/predicted gap exceeds anything
+    # seen in the communication-bound variant — while the LP still ranks the
+    # FIFO orderings correctly (INC_C <= INC_W).
+    gap_13a = max(fig13a.value("INC_C real/INC_C lp", x) for x in fig13a.x_values)
+    gap_13b = max(fig13b.value("INC_C real/INC_C lp", x) for x in fig13b.x_values)
+    assert gap_13b > gap_13a
+    for x in fig13b.x_values:
+        assert fig13b.value("INC_W lp/INC_C lp", x) >= 1.0 - 1e-6
+    attach_results(benchmark, results)
+    print_results(results)

@@ -1,0 +1,32 @@
+"""Benchmark for the LIFO-vs-FIFO crossover extension experiment.
+
+Not a figure of the paper: this ablation quantifies the regime effect behind
+the Figure 10–13 reproductions (see EXPERIMENTS.md) — the optimal one-port
+FIFO dominates LIFO on buses and in port-saturated regimes, while LIFO wins
+on heterogeneous stars once computation dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_results, print_results
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_crossover_extension(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("crossover", preset="quick"), rounds=1, iterations=1
+    )
+    result = results[0]
+    # Theorem 2 guarantee: on the bus LIFO never beats the FIFO optimum.
+    for _, value in result.series["bus: LIFO/FIFO throughput"]:
+        assert value <= 1.0 + 1e-9
+    # On heterogeneous stars LIFO overtakes FIFO at the compute-heavy end.
+    largest = max(result.x_values)
+    assert result.value("star: LIFO/FIFO throughput", largest) >= result.value(
+        "bus: LIFO/FIFO throughput", largest
+    ) - 1e-9
+    attach_results(benchmark, results)
+    print_results(results)

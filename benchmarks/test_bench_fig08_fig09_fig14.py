@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Figures 8, 9 and 14 (and the Section 5.3.4 table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_results, print_results
+from repro.experiments import fig08_linearity
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.benchmark(group="single-run-figures")
+def test_fig08_linearity(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig08", preset="paper"), rounds=1, iterations=1
+    )
+    result = results[0]
+    # the simulated network is exactly linear: every per-worker fit is perfect
+    residuals = fig08_linearity.linear_fit_residuals(result)
+    assert max(residuals.values()) < 1e-9
+    # a worker with a k-times faster link is k times faster for every size
+    slow = dict(result.series["worker 1 (x1)"])
+    fast = dict(result.series["worker 5 (x5)"])
+    for megabytes, elapsed in slow.items():
+        assert fast[megabytes] == pytest.approx(elapsed / 5.0)
+    attach_results(benchmark, results)
+    print_results(results)
+
+
+@pytest.mark.benchmark(group="single-run-figures")
+def test_fig09_execution_trace(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig09", preset="paper"), rounds=1, iterations=1
+    )
+    result = results[0]
+    enrolled = [value for _, value in result.series["enrolled"]]
+    # the paper's snapshot: only part of the platform is enrolled (3 of 5)
+    assert sum(enrolled) == 3
+    assert any("Gantt" in note for note in result.notes)
+    attach_results(benchmark, results)
+    print_results(results)
+
+
+@pytest.mark.benchmark(group="single-run-figures")
+def test_fig14_participation_study(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig14", preset="paper"), rounds=1, iterations=1
+    )
+    by_x = {result.parameters["x"]: result for result in results}
+    # x = 1: the slow fourth worker is never enrolled, adding it changes nothing
+    assert by_x[1.0].value("nb of workers", 4) == pytest.approx(3)
+    assert by_x[1.0].value("lp time", 4) == pytest.approx(by_x[1.0].value("lp time", 3))
+    # x = 3: the fourth worker is enrolled and (weakly) improves the LP time
+    assert by_x[3.0].value("nb of workers", 4) == pytest.approx(4)
+    assert by_x[3.0].value("lp time", 4) <= by_x[3.0].value("lp time", 3) + 1e-9
+    # more available workers never slow the platform down
+    for result in results:
+        times = [result.value("lp time", k) for k in (1, 2, 3, 4)]
+        assert times == sorted(times, reverse=True)
+    attach_results(benchmark, results)
+    print_results(results)

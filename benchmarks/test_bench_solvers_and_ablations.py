@@ -1,0 +1,103 @@
+"""Solver benchmarks and the design ablations called out in DESIGN.md.
+
+These are not figures of the paper; they measure the building blocks the
+reproduction relies on and quantify the design choices:
+
+* LP backend ablation — exact rational simplex vs SciPy/HiGHS on the
+  11-worker scenario LP of the campaigns (speed and agreement);
+* Theorem 1 ordering ablation — how much throughput the INC_C ordering buys
+  over INC_W / DEC_C / the platform order on heterogeneous platforms;
+* Theorem 2 ablation — closed form vs LP on bus platforms (speed and
+  agreement);
+* discrete-event simulator throughput for a full 1000-task campaign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bus import optimal_bus_throughput
+from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_schedule
+from repro.core.heuristics import compare_heuristics, inc_c
+from repro.core.linear_program import solve_fifo_scenario
+from repro.simulation.executor import measure_heuristic
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+
+WORKLOAD = MatrixProductWorkload(160)
+PLATFORM = campaign_factors("hetero-star", 1, size=11, seed=99)[0].platform(WORKLOAD)
+BUS_PLATFORM = WORKLOAD.platform([1.0] * 11, list(np.linspace(1.0, 10.0, 11)), name="bus-ablation")
+ORDER = PLATFORM.ordered_by_c()
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_scenario_lp_scipy_backend(benchmark):
+    solution = benchmark(lambda: solve_fifo_scenario(PLATFORM, ORDER, solver="scipy"))
+    assert solution.throughput > 0
+    benchmark.extra_info["throughput"] = solution.throughput
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_scenario_lp_exact_simplex_backend(benchmark):
+    solution = benchmark(lambda: solve_fifo_scenario(PLATFORM, ORDER, solver="exact"))
+    reference = solve_fifo_scenario(PLATFORM, ORDER, solver="scipy")
+    assert solution.throughput == pytest.approx(reference.throughput, rel=1e-7)
+    benchmark.extra_info["throughput"] = solution.throughput
+
+
+@pytest.mark.benchmark(group="ablation-theorem1")
+def test_ordering_ablation_inc_c_vs_alternatives(benchmark):
+    """Ablation: what the Theorem 1 ordering is worth on random platforms."""
+
+    def run() -> dict[str, float]:
+        gains: dict[str, list[float]] = {"INC_W": [], "DEC_C": [], "PLATFORM_ORDER": []}
+        for factors in campaign_factors("hetero-star", 5, size=11, seed=17):
+            platform = factors.platform(WORKLOAD)
+            results = compare_heuristics(
+                platform, ("INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER")
+            )
+            reference = results["INC_C"].throughput
+            for name in gains:
+                gains[name].append(reference / results[name].throughput)
+        return {name: float(np.mean(values)) for name, values in gains.items()}
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    # INC_C dominates every alternative ordering (ratio >= 1)
+    assert all(value >= 1.0 - 1e-9 for value in ratios.values())
+    benchmark.extra_info["inc_c_speedup_over"] = ratios
+    print("\nTheorem 1 ordering ablation (INC_C time advantage):", ratios)
+
+
+@pytest.mark.benchmark(group="ablation-theorem2")
+def test_bus_closed_form_vs_lp(benchmark):
+    """Theorem 2 ablation: the closed form replaces an LP solve on buses."""
+    closed = benchmark(lambda: optimal_bus_throughput(BUS_PLATFORM))
+    lp = fifo_schedule_for_order(BUS_PLATFORM, BUS_PLATFORM.worker_names).throughput
+    assert closed == pytest.approx(lp, rel=1e-7)
+    benchmark.extra_info["throughput"] = closed
+
+
+@pytest.mark.benchmark(group="ablation-theorem2")
+def test_bus_lp_reference(benchmark):
+    lp = benchmark(
+        lambda: fifo_schedule_for_order(BUS_PLATFORM, BUS_PLATFORM.worker_names).throughput
+    )
+    assert lp > 0
+
+
+@pytest.mark.benchmark(group="resource-selection")
+def test_optimal_fifo_with_selection_11_workers(benchmark):
+    solution = benchmark(lambda: optimal_fifo_schedule(PLATFORM))
+    assert 1 <= len(solution.participants) <= 11
+    benchmark.extra_info["participants"] = len(solution.participants)
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_simulated_campaign_1000_tasks(benchmark):
+    """Discrete-event execution of a full 1000-task campaign (11 workers)."""
+    heuristic = inc_c(PLATFORM)
+    report = benchmark(lambda: measure_heuristic(heuristic, 1000))
+    assert report.total_load == pytest.approx(1000)
+    benchmark.extra_info["measured_makespan"] = report.measured_makespan

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Resource selection: when is a slow worker worth enrolling?
+
+Reproduces and extends the participation study of Section 5.3.4: on a
+platform with three fast workers and one slow worker whose link speed ``x``
+varies, the optimal one-port FIFO schedule sometimes leaves the slow worker
+out entirely — the phenomenon that distinguishes the return-message problem
+from the classical divisible-load theory, where every worker is always used.
+
+Run with::
+
+    python examples/resource_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import optimal_fifo_schedule, predicted_makespan
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import participation_platform
+
+
+def main() -> None:
+    workload = MatrixProductWorkload(400)
+    total_tasks = 1000
+
+    print("Platform of Section 5.3.4 (three fast workers + one slow worker):")
+    print("  communication speed-ups: 10, 8, 8, x")
+    print("  computation   speed-ups:  9, 9, 10, 1")
+    print()
+
+    print("Sweep of the slow worker's link speed x:")
+    print(f"{'x':>6s}  {'enrolled':>9s}  {'P4 load %':>9s}  {'makespan for 1000 tasks (s)':>28s}")
+    for x in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 8.0, 10.0):
+        platform = participation_platform(x, workload)
+        solution = optimal_fifo_schedule(platform)
+        share = solution.loads["P4"] / solution.schedule.total_load * 100.0
+        makespan = predicted_makespan(solution.schedule, total_tasks)
+        print(
+            f"{x:6.1f}  {len(solution.participants):9d}  {share:9.2f}  {makespan:28.2f}"
+        )
+
+    print()
+    print("As in the paper: for x = 1 the slow worker is never used (enrolling it")
+    print("would delay the three fast workers' return messages more than it helps),")
+    print("while for x = 3 it is enrolled and shaves a little off the completion time.")
+
+    print()
+    print("Availability study (Figure 14): number of workers the LP actually uses")
+    print("when 1, 2, 3 or 4 workers are made available:")
+    for x in (1.0, 3.0):
+        row = []
+        for available in range(1, 5):
+            platform = participation_platform(x, workload, available_workers=available)
+            solution = optimal_fifo_schedule(platform)
+            makespan = predicted_makespan(solution.schedule, total_tasks)
+            row.append(f"{available} avail -> {len(solution.participants)} used ({makespan:7.2f} s)")
+        print(f"  x = {x:g}: " + " | ".join(row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim only exists
+so that ``pip install -e .`` keeps working on environments whose setuptools
+predates PEP 660 editable wheels (as is the case on the offline evaluation
+image, which ships setuptools 65 without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""repro — reproduction of one-port FIFO divisible-load scheduling.
+
+This package reproduces *"FIFO scheduling of divisible loads with return
+messages under the one-port model"* (Beaumont, Marchal, Rehn, Robert,
+INRIA RR-5738, 2005 / IPDPS 2006):
+
+* :mod:`repro.core` — platform/schedule models, scenario linear programs,
+  the optimal one-port FIFO algorithm (Theorem 1), the bus closed forms
+  (Theorem 2), LIFO and two-port baselines, heuristics and brute force;
+* :mod:`repro.lp` — the linear-programming substrate (exact rational simplex
+  and a SciPy/HiGHS backend);
+* :mod:`repro.simulation` — a discrete-event master-worker cluster simulator
+  enforcing the one-port model (the stand-in for the paper's MPI testbed);
+* :mod:`repro.runtime` — a small message-passing façade and the
+  matrix-product master-worker application;
+* :mod:`repro.workloads` — random platform campaigns and the matrix cost
+  model of Section 5;
+* :mod:`repro.experiments` — one module per figure of the evaluation
+  (Figures 8–14), plus reporting helpers.
+
+The most common entry points are re-exported at the top level::
+
+    from repro import StarPlatform, Worker, optimal_fifo_schedule
+
+    platform = StarPlatform([
+        Worker("P1", c=1.0, w=5.0, d=0.5),
+        Worker("P2", c=2.0, w=3.0, d=1.0),
+    ])
+    solution = optimal_fifo_schedule(platform)
+    print(solution.throughput, solution.participants)
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.core import (
+    HEURISTICS,
+    BusFifoSolution,
+    FifoSolution,
+    HeuristicResult,
+    LifoSolution,
+    ScenarioSolution,
+    Schedule,
+    StarPlatform,
+    TwoPortSolution,
+    Worker,
+    WorkerTimeline,
+    best_fifo_by_enumeration,
+    best_lifo_by_enumeration,
+    best_schedule_by_enumeration,
+    bus_platform,
+    compare_heuristics,
+    fifo_schedule,
+    fifo_schedule_for_order,
+    homogeneous_platform,
+    integer_load_schedule,
+    lifo_closed_form_loads,
+    lifo_schedule,
+    makespan_for_load,
+    optimal_bus_fifo_schedule,
+    optimal_bus_throughput,
+    optimal_fifo_order,
+    optimal_fifo_schedule,
+    optimal_lifo_order,
+    optimal_lifo_schedule,
+    optimal_two_port_fifo_schedule,
+    optimal_two_port_lifo_schedule,
+    predicted_makespan,
+    round_loads,
+    schedule_for_total_load,
+    solve_fifo_scenario,
+    solve_lifo_scenario,
+    solve_scenario,
+    two_port_bus_loads,
+    two_port_bus_throughput,
+    u_sequence,
+)
+from repro.exceptions import (
+    ExperimentError,
+    InfeasibleProblemError,
+    InfeasibleScheduleError,
+    PlatformError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SolverError,
+    UnboundedProblemError,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "PlatformError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "SolverError",
+    "UnboundedProblemError",
+    "InfeasibleProblemError",
+    "SimulationError",
+    "ExperimentError",
+    # platform & schedules
+    "Worker",
+    "StarPlatform",
+    "bus_platform",
+    "homogeneous_platform",
+    "Schedule",
+    "WorkerTimeline",
+    "fifo_schedule",
+    "lifo_schedule",
+    # scenario solving
+    "ScenarioSolution",
+    "solve_scenario",
+    "solve_fifo_scenario",
+    "solve_lifo_scenario",
+    # optimal algorithms and baselines
+    "FifoSolution",
+    "optimal_fifo_order",
+    "optimal_fifo_schedule",
+    "fifo_schedule_for_order",
+    "LifoSolution",
+    "optimal_lifo_order",
+    "optimal_lifo_schedule",
+    "lifo_closed_form_loads",
+    "BusFifoSolution",
+    "u_sequence",
+    "two_port_bus_throughput",
+    "two_port_bus_loads",
+    "optimal_bus_throughput",
+    "optimal_bus_fifo_schedule",
+    "TwoPortSolution",
+    "optimal_two_port_fifo_schedule",
+    "optimal_two_port_lifo_schedule",
+    # heuristics & verification
+    "HeuristicResult",
+    "HEURISTICS",
+    "compare_heuristics",
+    "best_fifo_by_enumeration",
+    "best_lifo_by_enumeration",
+    "best_schedule_by_enumeration",
+    # rounding & makespan view
+    "round_loads",
+    "integer_load_schedule",
+    "makespan_for_load",
+    "schedule_for_total_load",
+    "predicted_makespan",
+]

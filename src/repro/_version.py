@@ -1,0 +1,7 @@
+"""Single source of truth for the package version."""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.0.0"

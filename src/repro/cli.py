@@ -1,0 +1,103 @@
+"""Command-line interface of the reproduction.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiments list
+
+Run one experiment with the paper's parameters and print the tables::
+
+    repro-experiments run fig12
+
+Run every experiment with the reduced "quick" preset and write a Markdown
+report and a CSV dump::
+
+    repro-experiments run all --preset quick --markdown report.md --csv report.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.experiments.common import FigureResult
+from repro.experiments.registry import EXPERIMENTS, available_experiments, run_experiment
+from repro.experiments.report import render_report, to_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation of the one-port FIFO divisible-load paper.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment identifier (fig08 ... fig14) or 'all'",
+    )
+    run_parser.add_argument(
+        "--preset",
+        choices=("paper", "quick"),
+        default="paper",
+        help="parameter preset: full paper-scale campaign or the reduced quick sweep",
+    )
+    run_parser.add_argument("--csv", metavar="PATH", help="also write the series as CSV")
+    run_parser.add_argument(
+        "--markdown", metavar="PATH", help="also write a Markdown report of the results"
+    )
+    return parser
+
+
+def _run(identifiers: Sequence[str], preset: str) -> list[FigureResult]:
+    results: list[FigureResult] = []
+    for identifier in identifiers:
+        results.extend(run_experiment(identifier, preset=preset))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-experiments`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for identifier in available_experiments():
+            print(f"{identifier:8s} {EXPERIMENTS[identifier].description}")
+        return 0
+
+    if args.command == "run":
+        if args.experiment == "all":
+            identifiers = available_experiments()
+        else:
+            identifiers = [args.experiment]
+        results = _run(identifiers, args.preset)
+        for result in results:
+            print(result.format_table())
+            print()
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(to_csv(results))
+            print(f"wrote {args.csv}")
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(render_report(results))
+            print(f"wrote {args.markdown}")
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse exits
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

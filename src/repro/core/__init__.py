@@ -1,0 +1,143 @@
+"""Core algorithms of the reproduction.
+
+This package contains the paper's primary contribution: the platform and
+schedule models, the scenario linear programs (system (2)), the optimal
+one-port FIFO algorithm (Theorem 1 / Proposition 1), the bus closed forms
+(Theorem 2), the LIFO and two-port baselines, the heuristics compared in the
+experiments, and the brute-force verifier used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import (
+    StrategyComparison,
+    fifo_lifo_crossover,
+    is_port_saturated,
+    port_utilisation,
+    strategy_comparison,
+)
+from repro.core.bruteforce import (
+    BruteForceResult,
+    best_fifo_by_enumeration,
+    best_lifo_by_enumeration,
+    best_schedule_by_enumeration,
+)
+from repro.core.bus import (
+    BusFifoSolution,
+    optimal_bus_fifo_schedule,
+    optimal_bus_throughput,
+    two_port_bus_loads,
+    two_port_bus_throughput,
+    u_sequence,
+)
+from repro.core.fifo import (
+    FifoSolution,
+    fifo_schedule_for_order,
+    optimal_fifo_order,
+    optimal_fifo_schedule,
+)
+from repro.core.heuristics import (
+    HEURISTICS,
+    HeuristicResult,
+    compare_heuristics,
+    dec_c,
+    fifo_with_order,
+    inc_c,
+    inc_w,
+    lifo,
+    optimal_fifo,
+    platform_order_fifo,
+)
+from repro.core.lifo import (
+    LifoSolution,
+    lifo_closed_form_loads,
+    lifo_schedule_for_order,
+    optimal_lifo_order,
+    optimal_lifo_schedule,
+)
+from repro.core.linear_program import (
+    ScenarioSolution,
+    build_scenario_program,
+    solve_fifo_scenario,
+    solve_lifo_scenario,
+    solve_scenario,
+)
+from repro.core.makespan import makespan_for_load, predicted_makespan, schedule_for_total_load
+from repro.core.platform import StarPlatform, Worker, bus_platform, homogeneous_platform
+from repro.core.rounding import integer_load_schedule, round_loads
+from repro.core.schedule import Schedule, WorkerTimeline, fifo_schedule, lifo_schedule
+from repro.core.twoport import (
+    TwoPortSolution,
+    optimal_two_port_fifo_schedule,
+    optimal_two_port_lifo_schedule,
+    two_port_fifo_for_order,
+)
+
+__all__ = [
+    # platform & schedule models
+    "Worker",
+    "StarPlatform",
+    "bus_platform",
+    "homogeneous_platform",
+    "Schedule",
+    "WorkerTimeline",
+    "fifo_schedule",
+    "lifo_schedule",
+    # scenario LP
+    "ScenarioSolution",
+    "build_scenario_program",
+    "solve_scenario",
+    "solve_fifo_scenario",
+    "solve_lifo_scenario",
+    # optimal FIFO (Theorem 1)
+    "FifoSolution",
+    "optimal_fifo_order",
+    "optimal_fifo_schedule",
+    "fifo_schedule_for_order",
+    # optimal LIFO baseline
+    "LifoSolution",
+    "optimal_lifo_order",
+    "optimal_lifo_schedule",
+    "lifo_closed_form_loads",
+    "lifo_schedule_for_order",
+    # bus closed forms (Theorem 2)
+    "BusFifoSolution",
+    "u_sequence",
+    "two_port_bus_throughput",
+    "two_port_bus_loads",
+    "optimal_bus_throughput",
+    "optimal_bus_fifo_schedule",
+    # two-port baselines
+    "TwoPortSolution",
+    "optimal_two_port_fifo_schedule",
+    "optimal_two_port_lifo_schedule",
+    "two_port_fifo_for_order",
+    # heuristics
+    "HeuristicResult",
+    "HEURISTICS",
+    "compare_heuristics",
+    "inc_c",
+    "inc_w",
+    "dec_c",
+    "lifo",
+    "optimal_fifo",
+    "platform_order_fifo",
+    "fifo_with_order",
+    # brute force
+    "BruteForceResult",
+    "best_fifo_by_enumeration",
+    "best_lifo_by_enumeration",
+    "best_schedule_by_enumeration",
+    # regime analysis
+    "StrategyComparison",
+    "strategy_comparison",
+    "port_utilisation",
+    "is_port_saturated",
+    "fifo_lifo_crossover",
+    # rounding & makespan
+    "round_loads",
+    "integer_load_schedule",
+    "makespan_for_load",
+    "schedule_for_total_load",
+    "predicted_makespan",
+]

@@ -1,0 +1,155 @@
+"""Regime analysis utilities.
+
+The relative merit of the FIFO and LIFO disciplines — and the number of
+workers worth enrolling — depends on where the platform sits between two
+regimes:
+
+* **port-saturated**: the master's one-port NIC is the bottleneck
+  (``sum alpha_i (c_i + d_i) = T`` in the optimal schedule); every extra
+  worker is useless and every ordering that saturates the port is optimal;
+* **compute-bound**: the workers' aggregate speed is the bottleneck; the
+  ordering of the messages and the choice of enrolled workers matter.
+
+The paper's evaluation implicitly sweeps this axis by changing the matrix
+size (computation grows as ``s^3`` against ``s^2`` for communication) and by
+scaling communication or computation by 10 (Figure 13).  This module makes
+the regime explicit and provides the comparison utilities used by the
+crossover experiment, the ablation benchmarks and the examples:
+
+* :func:`port_utilisation` — fraction of the deadline the master spends
+  communicating in a schedule;
+* :func:`is_port_saturated` — whether the optimal FIFO schedule saturates
+  the port;
+* :func:`strategy_comparison` — optimal FIFO vs optimal LIFO vs the
+  two-port upper bound on one platform;
+* :func:`fifo_lifo_crossover` — bisect the computation/communication ratio
+  at which the optimal LIFO overtakes the optimal FIFO (if it does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.lifo import optimal_lifo_schedule
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule
+from repro.core.twoport import optimal_two_port_fifo_schedule
+from repro.exceptions import ScheduleError
+
+__all__ = [
+    "StrategyComparison",
+    "port_utilisation",
+    "is_port_saturated",
+    "strategy_comparison",
+    "fifo_lifo_crossover",
+]
+
+
+_SATURATION_TOLERANCE = 1e-6
+
+
+def port_utilisation(schedule: Schedule) -> float:
+    """Fraction of the deadline the master's port is busy in ``schedule``.
+
+    Under the one-port model this is ``sum alpha_i (c_i + d_i) / T`` and can
+    never exceed 1 for a feasible schedule.
+    """
+    busy = sum(
+        schedule.load(name) * schedule.platform[name].round_trip for name in schedule.sigma1
+    )
+    return busy / schedule.deadline
+
+
+def is_port_saturated(platform: StarPlatform, tol: float = _SATURATION_TOLERANCE) -> bool:
+    """``True`` when the optimal FIFO schedule saturates the master's port.
+
+    In the saturated regime all reasonable strategies achieve the port bound
+    and both resource selection and message ordering stop mattering; outside
+    it, Theorem 1's ordering and the FIFO/LIFO choice have measurable impact.
+    """
+    solution = optimal_fifo_schedule(platform)
+    return port_utilisation(solution.schedule) >= 1.0 - tol
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Throughputs of the main disciplines on one platform."""
+
+    platform_name: str
+    fifo_throughput: float
+    lifo_throughput: float
+    two_port_throughput: float
+    fifo_participants: int
+    lifo_participants: int
+    port_saturated: bool
+
+    @property
+    def lifo_over_fifo(self) -> float:
+        """LIFO/FIFO throughput ratio (> 1 means LIFO processes more load)."""
+        return self.lifo_throughput / self.fifo_throughput
+
+    @property
+    def one_port_penalty(self) -> float:
+        """Two-port over one-port FIFO throughput (>= 1): the cost of the model."""
+        return self.two_port_throughput / self.fifo_throughput
+
+    def winner(self, tol: float = 1e-9) -> str:
+        """``"FIFO"``, ``"LIFO"`` or ``"tie"``."""
+        if self.fifo_throughput > self.lifo_throughput + tol:
+            return "FIFO"
+        if self.lifo_throughput > self.fifo_throughput + tol:
+            return "LIFO"
+        return "tie"
+
+
+def strategy_comparison(platform: StarPlatform, deadline: float = 1.0) -> StrategyComparison:
+    """Compare the optimal FIFO, optimal LIFO and two-port FIFO on ``platform``."""
+    fifo = optimal_fifo_schedule(platform, deadline=deadline)
+    lifo = optimal_lifo_schedule(platform, deadline=deadline)
+    two_port = optimal_two_port_fifo_schedule(platform, deadline=deadline)
+    return StrategyComparison(
+        platform_name=platform.name,
+        fifo_throughput=fifo.throughput,
+        lifo_throughput=lifo.throughput,
+        two_port_throughput=two_port.throughput,
+        fifo_participants=len(fifo.participants),
+        lifo_participants=len(lifo.participants),
+        port_saturated=port_utilisation(fifo.schedule) >= 1.0 - _SATURATION_TOLERANCE,
+    )
+
+
+def fifo_lifo_crossover(
+    platform_factory: Callable[[float], StarPlatform],
+    low: float = 0.1,
+    high: float = 100.0,
+    iterations: int = 60,
+) -> float | None:
+    """Find the parameter value where optimal LIFO overtakes optimal FIFO.
+
+    ``platform_factory`` maps a scalar parameter (typically a computation-to-
+    communication ratio, or a matrix size) to a platform.  The function
+    assumes the sign of ``lifo - fifo`` changes at most once over
+    ``[low, high]`` and bisects for the crossover; it returns ``None`` when
+    the winner is the same at both ends (no crossover in the interval).
+    """
+    if low >= high:
+        raise ScheduleError("fifo_lifo_crossover needs low < high")
+
+    def gap(value: float) -> float:
+        comparison = strategy_comparison(platform_factory(value))
+        return comparison.lifo_throughput - comparison.fifo_throughput
+
+    gap_low = gap(low)
+    gap_high = gap(high)
+    if (gap_low > 0) == (gap_high > 0):
+        return None
+    for _ in range(iterations):
+        middle = 0.5 * (low + high)
+        gap_middle = gap(middle)
+        if (gap_middle > 0) == (gap_low > 0):
+            low, gap_low = middle, gap_middle
+        else:
+            high, gap_high = middle, gap_middle
+    return 0.5 * (low + high)

@@ -1,0 +1,188 @@
+"""Exhaustive search over scheduling scenarios (verification tool).
+
+The space of scenarios is exponential: a subset of enrolled workers, a send
+permutation ``sigma1`` and a return permutation ``sigma2``.  The paper could
+not settle the complexity of the general problem; what it *does* prove is the
+structure of the optimal FIFO schedule (Theorem 1).  This module provides a
+brute-force optimiser over small platforms used by the test-suite to confirm
+the structural results empirically:
+
+* the best FIFO order is non-decreasing ``c_i`` (``z < 1``);
+* the resource-selection LP over all workers matches the best over every
+  subset/ordering of FIFO scenarios;
+* the LIFO closed form matches the best LIFO scenario;
+* FIFO and LIFO are in general both dominated by the best unconstrained
+  permutation pair (the problem the paper leaves open).
+
+Because every subset is implicitly explored by letting the LP assign zero
+load, the search enumerates permutations only, not subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.linear_program import ScenarioSolution, solve_scenario
+from repro.core.platform import StarPlatform
+from repro.exceptions import ScheduleError
+from repro.lp import Solver
+
+__all__ = [
+    "BruteForceResult",
+    "best_fifo_by_enumeration",
+    "best_lifo_by_enumeration",
+    "best_schedule_by_enumeration",
+]
+
+#: Hard cap on the platform size accepted by the enumerations.  7! = 5040
+#: permutations (25 M permutation pairs) is already expensive; the library's
+#: tests stay at or below 5 workers.
+MAX_ENUMERATION_SIZE = 7
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Best scenario found by exhaustive enumeration."""
+
+    throughput: float
+    sigma1: tuple[str, ...]
+    sigma2: tuple[str, ...]
+    solution: ScenarioSolution
+    scenarios_explored: int
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Loads of the best scenario."""
+        return self.solution.loads
+
+
+def _check_size(platform: StarPlatform, limit: int = MAX_ENUMERATION_SIZE) -> None:
+    if len(platform) > limit:
+        raise ScheduleError(
+            f"brute-force enumeration limited to {limit} workers "
+            f"(platform has {len(platform)}); use the polynomial algorithms instead"
+        )
+
+
+def best_fifo_by_enumeration(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+) -> BruteForceResult:
+    """Best FIFO scenario over every send order (``sigma2 = sigma1``)."""
+    _check_size(platform)
+    best: BruteForceResult | None = None
+    count = 0
+    for order in itertools.permutations(platform.worker_names):
+        solution = solve_scenario(
+            platform,
+            sigma1=order,
+            sigma2=order,
+            deadline=deadline,
+            one_port=one_port,
+            solver=solver,
+        )
+        count += 1
+        if best is None or solution.throughput > best.throughput:
+            best = BruteForceResult(
+                throughput=solution.throughput,
+                sigma1=tuple(order),
+                sigma2=tuple(order),
+                solution=solution,
+                scenarios_explored=count,
+            )
+    assert best is not None
+    return BruteForceResult(
+        throughput=best.throughput,
+        sigma1=best.sigma1,
+        sigma2=best.sigma2,
+        solution=best.solution,
+        scenarios_explored=count,
+    )
+
+
+def best_lifo_by_enumeration(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+) -> BruteForceResult:
+    """Best LIFO scenario over every send order (``sigma2`` reversed)."""
+    _check_size(platform)
+    best: BruteForceResult | None = None
+    count = 0
+    for order in itertools.permutations(platform.worker_names):
+        solution = solve_scenario(
+            platform,
+            sigma1=order,
+            sigma2=tuple(reversed(order)),
+            deadline=deadline,
+            one_port=one_port,
+            solver=solver,
+        )
+        count += 1
+        if best is None or solution.throughput > best.throughput:
+            best = BruteForceResult(
+                throughput=solution.throughput,
+                sigma1=tuple(order),
+                sigma2=tuple(reversed(order)),
+                solution=solution,
+                scenarios_explored=count,
+            )
+    assert best is not None
+    return BruteForceResult(
+        throughput=best.throughput,
+        sigma1=best.sigma1,
+        sigma2=best.sigma2,
+        solution=best.solution,
+        scenarios_explored=count,
+    )
+
+
+def best_schedule_by_enumeration(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+    max_size: int = 5,
+) -> BruteForceResult:
+    """Best scenario over every permutation *pair* (``sigma1``, ``sigma2``).
+
+    This explores the full combinatorial space the paper describes as open;
+    it is quadratically more expensive than the FIFO/LIFO enumerations and is
+    therefore capped at ``max_size`` workers by default.
+    """
+    _check_size(platform, limit=min(max_size, MAX_ENUMERATION_SIZE))
+    best: BruteForceResult | None = None
+    count = 0
+    names = platform.worker_names
+    for sigma1 in itertools.permutations(names):
+        for sigma2 in itertools.permutations(names):
+            solution = solve_scenario(
+                platform,
+                sigma1=sigma1,
+                sigma2=sigma2,
+                deadline=deadline,
+                one_port=one_port,
+                solver=solver,
+            )
+            count += 1
+            if best is None or solution.throughput > best.throughput:
+                best = BruteForceResult(
+                    throughput=solution.throughput,
+                    sigma1=tuple(sigma1),
+                    sigma2=tuple(sigma2),
+                    solution=solution,
+                    scenarios_explored=count,
+                )
+    assert best is not None
+    return BruteForceResult(
+        throughput=best.throughput,
+        sigma1=best.sigma1,
+        sigma2=best.sigma2,
+        solution=best.solution,
+        scenarios_explored=count,
+    )

@@ -1,0 +1,147 @@
+"""Closed-form results on bus networks (Theorem 2 and Figure 7).
+
+On a bus network every link has the same costs (``c_i = c``, ``d_i = d``).
+Theorem 2 of the paper gives the optimal one-port FIFO throughput in closed
+form::
+
+    u_i     = 1 / (d + w_i) * prod_{j <= i} (d + w_j) / (c + w_j)
+    rho~    = sum_i u_i / (1 + d * sum_i u_i)          (two-port FIFO optimum)
+    rho_opt = min( 1 / (c + d),  rho~ )                (one-port FIFO optimum)
+
+with every worker enrolled.  ``rho~`` is the optimal two-port FIFO throughput
+of the companion report, whose loads are proportional to the ``u_i``
+(``alpha_i = u_i / (1 + d * sum u)``); the proof of Theorem 2 converts this
+two-port schedule into a one-port schedule by rescaling every load by
+``1 / (rho~ (c + d))`` and inserting a uniform gap — the construction shown
+in Figure 7 — whenever the two kinds of communication would otherwise
+overlap.  Both the closed forms and the constructive transformation are
+implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule, fifo_schedule
+from repro.exceptions import PlatformError
+
+__all__ = [
+    "BusFifoSolution",
+    "u_sequence",
+    "two_port_bus_throughput",
+    "two_port_bus_loads",
+    "optimal_bus_throughput",
+    "optimal_bus_fifo_schedule",
+]
+
+
+def _require_bus(platform: StarPlatform) -> tuple[float, float]:
+    """Return the shared ``(c, d)``, raising when the platform is not a bus."""
+    if not platform.is_bus:
+        raise PlatformError(
+            f"platform {platform.name!r} is not a bus network; "
+            "Theorem 2 only applies when all links are identical"
+        )
+    return platform.bus_costs
+
+
+@dataclass(frozen=True)
+class BusFifoSolution:
+    """Optimal one-port FIFO schedule on a bus, with its analytic pedigree."""
+
+    schedule: Schedule
+    throughput: float
+    two_port_throughput: float
+    saturated: bool
+    """``True`` when the one-port bound ``1/(c+d)`` is the binding term."""
+    gap: float
+    """Uniform idle gap inserted by the Figure 7 transformation (0 if none)."""
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Load of each worker in the one-port schedule."""
+        return self.schedule.loads
+
+
+def u_sequence(platform: StarPlatform, order: Sequence[str] | None = None) -> list[float]:
+    """Compute the ``u_i`` sequence of Theorem 2 for the given service order.
+
+    The order defaults to the platform order; Theorem 2 holds for any order
+    (on a bus all FIFO orderings achieve the same throughput), so the order
+    only matters for mapping ``u_i`` values back to workers.
+    """
+    c, d = _require_bus(platform)
+    names = list(order) if order is not None else platform.worker_names
+    values: list[float] = []
+    running_product = 1.0
+    for name in names:
+        w = platform[name].w
+        running_product *= (d + w) / (c + w)
+        values.append(running_product / (d + w))
+    return values
+
+
+def two_port_bus_throughput(platform: StarPlatform, order: Sequence[str] | None = None) -> float:
+    """Optimal two-port FIFO throughput ``rho~`` on a bus (companion report)."""
+    c, d = _require_bus(platform)
+    total_u = sum(u_sequence(platform, order))
+    return total_u / (1.0 + d * total_u)
+
+
+def two_port_bus_loads(
+    platform: StarPlatform, order: Sequence[str] | None = None, deadline: float = 1.0
+) -> dict[str, float]:
+    """Optimal two-port FIFO loads on a bus: ``alpha_i = T u_i / (1 + d sum u)``."""
+    c, d = _require_bus(platform)
+    names = list(order) if order is not None else platform.worker_names
+    u = u_sequence(platform, names)
+    scale = deadline / (1.0 + d * sum(u))
+    return {name: scale * value for name, value in zip(names, u)}
+
+
+def optimal_bus_throughput(platform: StarPlatform) -> float:
+    """Optimal one-port FIFO throughput on a bus (Theorem 2)."""
+    c, d = _require_bus(platform)
+    return min(1.0 / (c + d), two_port_bus_throughput(platform))
+
+
+def optimal_bus_fifo_schedule(
+    platform: StarPlatform,
+    order: Sequence[str] | None = None,
+    deadline: float = 1.0,
+) -> BusFifoSolution:
+    """Build the optimal one-port FIFO schedule on a bus constructively.
+
+    Follows the proof of Theorem 2 (Figure 7): start from the optimal
+    two-port schedule; if its throughput does not exceed ``1/(c+d)`` it is
+    already one-port feasible, otherwise rescale every load by
+    ``1 / (rho~ (c + d))`` — which inserts a uniform gap between computation
+    and return transfer — so that forward and return communications exactly
+    fill the deadline without overlapping.
+    """
+    c, d = _require_bus(platform)
+    names = list(order) if order is not None else platform.worker_names
+    two_port_loads = two_port_bus_loads(platform, names, deadline=deadline)
+    rho_two_port = sum(two_port_loads.values()) / deadline
+
+    one_port_bound = 1.0 / (c + d)
+    if rho_two_port <= one_port_bound:
+        loads = two_port_loads
+        gap = 0.0
+        saturated = False
+    else:
+        scale = 1.0 / (rho_two_port * (c + d))
+        loads = {name: load * scale for name, load in two_port_loads.items()}
+        gap = deadline * (1.0 - scale)
+        saturated = True
+
+    schedule = fifo_schedule(platform, loads, names, deadline=deadline)
+    return BusFifoSolution(
+        schedule=schedule,
+        throughput=schedule.total_load / deadline,
+        two_port_throughput=rho_two_port,
+        saturated=saturated,
+        gap=gap,
+    )

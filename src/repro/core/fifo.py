@@ -1,0 +1,122 @@
+"""Optimal one-port FIFO schedules (Theorem 1 and Proposition 1).
+
+Theorem 1 of the paper: assuming ``d_i = z * c_i`` with ``0 < z < 1``, there
+exists an optimal one-port FIFO schedule in which
+
+* the enrolled workers are served by non-decreasing ``c_i``, and
+* only the last enrolled worker may have idle time.
+
+The case ``z > 1`` is handled by the mirroring argument of Section 3: solve
+the problem on the mirrored platform (``c`` and ``d`` swapped, ``1/z < 1``)
+and read the schedule backwards in time, which amounts to serving workers by
+*non-increasing* ``c_i``.  When ``z = 1`` the order is irrelevant.
+
+Proposition 1 turns the theorem into a polynomial algorithm, including the
+resource-selection step that distinguishes this problem from the classical
+no-return-message theory: sort all ``p`` workers by the rule above, solve the
+scenario LP over all of them, and enrol exactly the workers that receive a
+positive load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.linear_program import ScenarioSolution, solve_fifo_scenario
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule
+from repro.lp import Solver
+
+__all__ = ["FifoSolution", "optimal_fifo_order", "optimal_fifo_schedule", "fifo_schedule_for_order"]
+
+
+@dataclass(frozen=True)
+class FifoSolution:
+    """Optimal FIFO schedule together with solver diagnostics."""
+
+    schedule: Schedule
+    order: tuple[str, ...]
+    throughput: float
+    scenario: ScenarioSolution
+
+    @property
+    def participants(self) -> list[str]:
+        """Workers enrolled by the resource-selection step."""
+        return self.schedule.participants
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Optimal load of every candidate worker (zero when not enrolled)."""
+        return self.schedule.loads
+
+    def idle_times(self) -> dict[str, float]:
+        """Idle time of every worker under the late-return convention."""
+        return self.schedule.idle_times()
+
+
+def optimal_fifo_order(platform: StarPlatform) -> list[str]:
+    """Return the FIFO service order prescribed by Theorem 1.
+
+    Non-decreasing ``c_i`` when the common ratio ``z = d/c`` is at most 1
+    (or when the ratio is not constant, in which case the theorem does not
+    apply and the ``z < 1`` rule is used as a heuristic), non-increasing
+    ``c_i`` when ``z > 1``.  Ties are broken by worker name so that the
+    order — and therefore every downstream experiment — is deterministic.
+    """
+    z = platform.z
+    descending = z is not None and z > 1.0
+    return platform.ordered_by_c(descending=descending)
+
+
+def optimal_fifo_schedule(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> FifoSolution:
+    """Compute the optimal one-port FIFO schedule with resource selection.
+
+    This is the algorithm of Proposition 1: order the workers according to
+    Theorem 1, solve one LP over all of them, and let the LP decide which
+    workers participate (those with ``alpha_i > 0``).
+
+    The returned schedule keeps *all* candidate workers in its permutations
+    (with zero load for the non-enrolled ones) so that callers can inspect
+    the selection; use :meth:`Schedule.restricted_to_participants` to drop
+    them.
+    """
+    order = optimal_fifo_order(platform)
+    scenario = solve_fifo_scenario(
+        platform, order, deadline=deadline, one_port=True, solver=solver
+    )
+    return FifoSolution(
+        schedule=scenario.schedule,
+        order=tuple(order),
+        throughput=scenario.throughput,
+        scenario=scenario,
+    )
+
+
+def fifo_schedule_for_order(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+) -> FifoSolution:
+    """Optimal loads for a *given* FIFO order (used by the heuristics).
+
+    Unlike :func:`optimal_fifo_schedule`, the order is not chosen by
+    Theorem 1 — this is how the ``INC_W`` heuristic of Section 5, or any
+    ordering ablation, is evaluated.
+    """
+    order = list(order)
+    scenario = solve_fifo_scenario(
+        platform, order, deadline=deadline, one_port=one_port, solver=solver
+    )
+    return FifoSolution(
+        schedule=scenario.schedule,
+        order=tuple(order),
+        throughput=scenario.throughput,
+        scenario=scenario,
+    )

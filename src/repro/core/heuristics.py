@@ -1,0 +1,189 @@
+"""Scheduling heuristics compared in the paper's experiments (Section 5).
+
+The MPI campaigns of the paper compare three strategies, all of which enrol
+every worker and compute their loads with the scenario LP:
+
+* ``INC_C`` — FIFO, workers served by non-decreasing ``c_i`` (faster
+  communicating workers first).  By Theorem 1 this is the optimal FIFO
+  ordering (for ``z < 1``).
+* ``INC_W`` — FIFO, workers served by non-decreasing ``w_i`` (faster
+  computing workers first).  A natural but sub-optimal ordering, kept as a
+  foil.
+* ``LIFO``  — the optimal one-port LIFO schedule (all workers, served by
+  non-decreasing ``c_i``, no idle time).
+
+This module also provides a few additional orderings (``DEC_C``, platform
+order, explicit order) used by the ablation benchmarks, and a comparison
+helper that evaluates a set of heuristics on one platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_schedule
+from repro.core.lifo import optimal_lifo_schedule
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError
+from repro.lp import Solver
+
+__all__ = [
+    "HeuristicResult",
+    "inc_c",
+    "inc_w",
+    "dec_c",
+    "platform_order_fifo",
+    "fifo_with_order",
+    "lifo",
+    "optimal_fifo",
+    "HEURISTICS",
+    "compare_heuristics",
+]
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Outcome of running one heuristic on one platform."""
+
+    name: str
+    schedule: Schedule
+    throughput: float
+
+    @property
+    def participants(self) -> list[str]:
+        """Workers actually enrolled by the heuristic."""
+        return self.schedule.participants
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Load assigned to each candidate worker."""
+        return self.schedule.loads
+
+    def makespan_for(self, total_load: float) -> float:
+        """Time needed to process ``total_load`` units with this schedule."""
+        if self.throughput <= 0:
+            raise ScheduleError(f"heuristic {self.name!r} has zero throughput")
+        return total_load / self.throughput
+
+
+def inc_c(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """``INC_C``: FIFO over all workers, served by non-decreasing ``c_i``."""
+    solution = fifo_schedule_for_order(
+        platform, platform.ordered_by_c(), deadline=deadline, solver=solver
+    )
+    return HeuristicResult(name="INC_C", schedule=solution.schedule, throughput=solution.throughput)
+
+
+def inc_w(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """``INC_W``: FIFO over all workers, served by non-decreasing ``w_i``."""
+    solution = fifo_schedule_for_order(
+        platform, platform.ordered_by_w(), deadline=deadline, solver=solver
+    )
+    return HeuristicResult(name="INC_W", schedule=solution.schedule, throughput=solution.throughput)
+
+
+def dec_c(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """``DEC_C``: FIFO with workers served by non-increasing ``c_i``.
+
+    This is the optimal ordering when ``z > 1`` and a deliberately bad one
+    when ``z < 1``; it is used by the ordering-ablation benchmark.
+    """
+    solution = fifo_schedule_for_order(
+        platform, platform.ordered_by_c(descending=True), deadline=deadline, solver=solver
+    )
+    return HeuristicResult(name="DEC_C", schedule=solution.schedule, throughput=solution.throughput)
+
+
+def platform_order_fifo(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """FIFO in plain platform order (an "as declared" baseline)."""
+    solution = fifo_schedule_for_order(
+        platform, platform.worker_names, deadline=deadline, solver=solver
+    )
+    return HeuristicResult(
+        name="PLATFORM_ORDER", schedule=solution.schedule, throughput=solution.throughput
+    )
+
+
+def fifo_with_order(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+    name: str = "FIFO",
+) -> HeuristicResult:
+    """FIFO with an explicit, caller-chosen order."""
+    solution = fifo_schedule_for_order(platform, order, deadline=deadline, solver=solver)
+    return HeuristicResult(name=name, schedule=solution.schedule, throughput=solution.throughput)
+
+
+def lifo(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """Optimal one-port LIFO schedule (the paper's ``LIFO`` baseline)."""
+    solution = optimal_lifo_schedule(platform, deadline=deadline, method="closed-form")
+    return HeuristicResult(name="LIFO", schedule=solution.schedule, throughput=solution.throughput)
+
+
+def optimal_fifo(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> HeuristicResult:
+    """The provably optimal FIFO schedule of Theorem 1 (with selection)."""
+    solution = optimal_fifo_schedule(platform, deadline=deadline, solver=solver)
+    return HeuristicResult(
+        name="OPT_FIFO", schedule=solution.schedule, throughput=solution.throughput
+    )
+
+
+#: Name → callable registry of the heuristics used by experiments and benches.
+HEURISTICS: dict[str, Callable[..., HeuristicResult]] = {
+    "INC_C": inc_c,
+    "INC_W": inc_w,
+    "DEC_C": dec_c,
+    "PLATFORM_ORDER": platform_order_fifo,
+    "LIFO": lifo,
+    "OPT_FIFO": optimal_fifo,
+}
+
+
+def compare_heuristics(
+    platform: StarPlatform,
+    names: Iterable[str] = ("INC_C", "INC_W", "LIFO"),
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> dict[str, HeuristicResult]:
+    """Evaluate several heuristics on ``platform`` and return them by name.
+
+    The default selection matches the paper's experimental comparison.
+    """
+    results: dict[str, HeuristicResult] = {}
+    for name in names:
+        try:
+            heuristic = HEURISTICS[name]
+        except KeyError:
+            raise ScheduleError(
+                f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+            ) from None
+        results[name] = heuristic(platform, deadline=deadline, solver=solver)
+    return results

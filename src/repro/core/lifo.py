@@ -1,0 +1,166 @@
+"""Optimal one-port LIFO schedules (companion-paper baseline).
+
+In a LIFO schedule the return order is the reverse of the send order: the
+first worker served is the last to send its results back.  The paper uses the
+optimal LIFO schedule (characterised in the two-port companion report
+[7, 8]) as a baseline in the MPI experiments, and observes that it is
+*naturally one-port feasible*: every return message necessarily starts after
+the last initial message has been sent.
+
+Characterisation used here (and cross-checked against the scenario LP and
+against brute force in the test-suite):
+
+* all workers participate;
+* workers are served by non-decreasing ``c_i``;
+* no worker has any idle time, so every deadline constraint is tight::
+
+      sum_{j <= i} alpha_j (c_j + d_j) + alpha_i w_i = T
+
+  which yields the closed-form chain::
+
+      alpha_1 = T / (c_1 + d_1 + w_1)
+      alpha_i = alpha_{i-1} * w_{i-1} / (c_i + d_i + w_i)
+
+The one-port coupling constraint is implied by the last chain equation, so
+the two-port LIFO optimum *is* the one-port LIFO optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.linear_program import ScenarioSolution, solve_lifo_scenario
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule, lifo_schedule
+from repro.exceptions import ScheduleError
+from repro.lp import Solver
+
+__all__ = [
+    "LifoSolution",
+    "optimal_lifo_order",
+    "lifo_closed_form_loads",
+    "optimal_lifo_schedule",
+    "lifo_schedule_for_order",
+]
+
+
+@dataclass(frozen=True)
+class LifoSolution:
+    """Optimal LIFO schedule together with its construction method."""
+
+    schedule: Schedule
+    order: tuple[str, ...]
+    throughput: float
+    method: str
+    scenario: ScenarioSolution | None = None
+
+    @property
+    def participants(self) -> list[str]:
+        """Enrolled workers (all of them, for the optimal LIFO)."""
+        return self.schedule.participants
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Load assigned to each worker."""
+        return self.schedule.loads
+
+
+def optimal_lifo_order(platform: StarPlatform) -> list[str]:
+    """Service order of the optimal LIFO schedule: non-decreasing ``c_i``."""
+    return platform.ordered_by_c(descending=False)
+
+
+def lifo_closed_form_loads(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+) -> dict[str, float]:
+    """Closed-form LIFO loads for a given send order.
+
+    Solves the triangular system obtained by making every per-worker
+    deadline constraint tight (no idle time)::
+
+        alpha_1 (c_1 + d_1 + w_1) = T
+        alpha_i (c_i + d_i + w_i) = alpha_{i-1} w_{i-1}
+    """
+    order = list(order)
+    if not order:
+        raise ScheduleError("LIFO closed form needs at least one worker")
+    if deadline <= 0:
+        raise ScheduleError("deadline must be positive")
+    loads: dict[str, float] = {}
+    previous_load = None
+    previous_worker = None
+    for name in order:
+        spec = platform[name]
+        denominator = spec.c + spec.d + spec.w
+        if previous_load is None:
+            load = deadline / denominator
+        else:
+            load = previous_load * platform[previous_worker].w / denominator
+        loads[name] = load
+        previous_load = load
+        previous_worker = name
+    return loads
+
+
+def optimal_lifo_schedule(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    method: str = "closed-form",
+    solver: str | Solver | None = None,
+) -> LifoSolution:
+    """Compute the optimal one-port LIFO schedule.
+
+    Parameters
+    ----------
+    method:
+        ``"closed-form"`` (default) uses the tight-constraint chain above;
+        ``"lp"`` solves the scenario LP instead.  Both agree (this is one of
+        the library's property tests); the LP variant is kept as an
+        independent check and for platforms where callers want solver
+        diagnostics.
+    """
+    order = optimal_lifo_order(platform)
+    if method == "closed-form":
+        loads = lifo_closed_form_loads(platform, order, deadline=deadline)
+        schedule = lifo_schedule(platform, loads, order, deadline=deadline)
+        return LifoSolution(
+            schedule=schedule,
+            order=tuple(order),
+            throughput=schedule.total_load / deadline,
+            method=method,
+        )
+    if method == "lp":
+        scenario = solve_lifo_scenario(
+            platform, order, deadline=deadline, one_port=True, solver=solver
+        )
+        return LifoSolution(
+            schedule=scenario.schedule,
+            order=tuple(order),
+            throughput=scenario.throughput,
+            method=method,
+            scenario=scenario,
+        )
+    raise ScheduleError(f"unknown LIFO construction method {method!r}")
+
+
+def lifo_schedule_for_order(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> LifoSolution:
+    """Optimal loads for a *given* LIFO send order (ablation helper)."""
+    order = list(order)
+    scenario = solve_lifo_scenario(
+        platform, order, deadline=deadline, one_port=True, solver=solver
+    )
+    return LifoSolution(
+        schedule=scenario.schedule,
+        order=tuple(order),
+        throughput=scenario.throughput,
+        method="lp",
+        scenario=scenario,
+    )

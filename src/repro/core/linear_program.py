@@ -1,0 +1,287 @@
+"""Scenario linear programs (system (2) of the report).
+
+Given a *scenario* — a set of enrolled workers together with the permutation
+``sigma1`` of initial messages and the permutation ``sigma2`` of return
+messages — the optimal loads maximising the throughput within a deadline
+``T`` are the solution of a small linear program.  For a FIFO scenario with
+workers ``P1 .. Pq`` (in ``sigma1`` order) the constraints are::
+
+    for every i:   sum_{j <= i} alpha_j c_j  +  alpha_i w_i  +  x_i
+                   + sum_{j >= i} alpha_j d_j                      <= T      (2a)
+    one-port:      sum_j alpha_j c_j + sum_j alpha_j d_j           <= T      (2b)
+    alpha_i >= 0, x_i >= 0                                                   (2c, 2d)
+
+and the objective is ``maximise sum_i alpha_i``.
+
+Two remarks, both recorded in DESIGN.md:
+
+* the printed form of (2a) in the report sums ``alpha_j w_j`` over the prefix,
+  which double-counts the computation time of predecessors; the textual
+  derivation in Section 2.3 gives the constraint implemented here
+  (only ``alpha_i w_i`` for the worker under consideration);
+* the idle times ``x_i`` only tighten (2a), so the optimal loads do not
+  depend on them; they are kept (optionally) as explicit LP variables to
+  mirror the paper's program and support the vertex-counting argument of
+  Lemma 1, and are otherwise recovered from the schedule timeline.
+
+The same builder handles an arbitrary permutation pair (the generalisation is
+immediate: the prefix of (2a) follows ``sigma1`` and the suffix follows
+``sigma2``), and the two-port variant simply drops constraint (2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError, SolverError
+from repro.lp import LinearProgram, LPResult, Solver, get_solver
+
+__all__ = [
+    "ScenarioSolution",
+    "build_scenario_program",
+    "solve_scenario",
+    "solve_fifo_scenario",
+    "solve_lifo_scenario",
+]
+
+
+def _alpha(name: str) -> str:
+    return f"alpha[{name}]"
+
+
+def _idle(name: str) -> str:
+    return f"x[{name}]"
+
+
+@dataclass(frozen=True)
+class ScenarioSolution:
+    """Outcome of optimising the loads of a fixed scenario.
+
+    Attributes
+    ----------
+    schedule:
+        The optimal schedule (loads filled in, orders as requested).
+    throughput:
+        Load units processed per time unit, ``sum alpha_i / T``.
+    lp_result:
+        Raw solver result (objective equals ``throughput * T``).
+    program:
+        The linear program that was solved, for inspection or re-solving
+        with another backend.
+    """
+
+    schedule: Schedule
+    throughput: float
+    lp_result: LPResult
+    program: LinearProgram
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Optimal loads per worker."""
+        return self.schedule.loads
+
+    @property
+    def participants(self) -> list[str]:
+        """Workers receiving a strictly positive load."""
+        return self.schedule.participants
+
+    @property
+    def total_load(self) -> float:
+        """Total load processed within the deadline."""
+        return self.schedule.total_load
+
+
+def build_scenario_program(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str] | None = None,
+    deadline: float = 1.0,
+    one_port: bool = True,
+    include_idle_variables: bool = False,
+    name: str | None = None,
+) -> LinearProgram:
+    """Build the LP of system (2) for an arbitrary scenario.
+
+    Parameters
+    ----------
+    platform:
+        The target star platform.
+    sigma1:
+        Order of the initial messages (worker names); the candidate set of
+        enrolled workers.  Workers may end up with a zero load — that is how
+        resource selection happens (Proposition 1).
+    sigma2:
+        Order of the return messages; defaults to ``sigma1`` (FIFO).
+    deadline:
+        Time horizon ``T``.
+    one_port:
+        Include the coupling constraint (2b).  Setting it to ``False`` gives
+        the two-port program of the companion report.
+    include_idle_variables:
+        Add the explicit ``x_i`` variables of the paper's formulation.  They
+        do not change the optimal loads but allow inspecting a vertex of the
+        full polyhedron (Lemma 1).
+    """
+    sigma1 = list(sigma1)
+    sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
+    if not sigma1:
+        raise ScheduleError("a scenario needs at least one worker")
+    if sorted(sigma1) != sorted(sigma2):
+        raise ScheduleError("sigma2 must be a permutation of sigma1")
+    if len(set(sigma1)) != len(sigma1):
+        raise ScheduleError("sigma1 contains duplicated workers")
+    for worker in sigma1:
+        if worker not in platform:
+            raise ScheduleError(f"unknown worker {worker!r} in scenario")
+    if deadline <= 0:
+        raise ScheduleError("deadline must be positive")
+
+    rank1 = {worker: i for i, worker in enumerate(sigma1)}
+    rank2 = {worker: i for i, worker in enumerate(sigma2)}
+
+    program = LinearProgram(
+        name=name
+        or f"scenario[{platform.name}|{'1port' if one_port else '2port'}|q={len(sigma1)}]"
+    )
+    for worker in sigma1:
+        program.add_variable(_alpha(worker))
+    if include_idle_variables:
+        for worker in sigma1:
+            program.add_variable(_idle(worker))
+    program.set_objective({_alpha(worker): 1.0 for worker in sigma1})
+
+    # Per-worker deadline constraints (2a), generalised to any (sigma1, sigma2).
+    for worker in sigma1:
+        coefficients: dict[str, float] = {}
+        for other in sigma1:
+            spec = platform[other]
+            coefficient = 0.0
+            if rank1[other] <= rank1[worker]:
+                coefficient += spec.c
+            if other == worker:
+                coefficient += spec.w
+            if rank2[other] >= rank2[worker]:
+                coefficient += spec.d
+            if coefficient:
+                coefficients[_alpha(other)] = coefficient
+        if include_idle_variables:
+            coefficients[_idle(worker)] = 1.0
+        program.add_constraint(
+            name=f"deadline[{worker}]",
+            coefficients=coefficients,
+            sense="<=",
+            rhs=deadline,
+        )
+
+    # One-port coupling constraint (2b): all communications share the master port.
+    if one_port:
+        program.add_constraint(
+            name="one-port",
+            coefficients={
+                _alpha(worker): platform[worker].round_trip for worker in sigma1
+            },
+            sense="<=",
+            rhs=deadline,
+        )
+    return program
+
+
+def solve_scenario(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str] | None = None,
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+    include_idle_variables: bool = False,
+) -> ScenarioSolution:
+    """Solve the scenario LP and return the optimal schedule.
+
+    Raises
+    ------
+    SolverError
+        If the backend does not prove optimality (a well-formed scenario is
+        always feasible — the all-zero load is feasible — and bounded).
+    """
+    sigma1 = list(sigma1)
+    sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
+    program = build_scenario_program(
+        platform,
+        sigma1,
+        sigma2,
+        deadline=deadline,
+        one_port=one_port,
+        include_idle_variables=include_idle_variables,
+    )
+    backend = get_solver(solver)
+    result = backend.solve(program)
+    if not result.is_optimal:
+        raise SolverError(
+            f"scenario LP did not reach optimality (status={result.status.value}); "
+            "this should never happen for a well-formed platform"
+        )
+    loads = {worker: max(0.0, result.value(_alpha(worker))) for worker in sigma1}
+    schedule = Schedule(
+        platform=platform,
+        loads=loads,
+        sigma1=sigma1,
+        sigma2=sigma2,
+        deadline=deadline,
+    )
+    return ScenarioSolution(
+        schedule=schedule,
+        throughput=schedule.total_load / deadline,
+        lp_result=result,
+        program=program,
+    )
+
+
+def solve_fifo_scenario(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+) -> ScenarioSolution:
+    """Solve the FIFO scenario for a given send order (``sigma2 = sigma1``)."""
+    return solve_scenario(
+        platform,
+        sigma1=order,
+        sigma2=order,
+        deadline=deadline,
+        one_port=one_port,
+        solver=solver,
+    )
+
+
+def solve_lifo_scenario(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    one_port: bool = True,
+    solver: str | Solver | None = None,
+) -> ScenarioSolution:
+    """Solve the LIFO scenario for a given send order (``sigma2 = reversed``)."""
+    order = list(order)
+    return solve_scenario(
+        platform,
+        sigma1=order,
+        sigma2=list(reversed(order)),
+        deadline=deadline,
+        one_port=one_port,
+        solver=solver,
+    )
+
+
+def idle_times_from_result(
+    result: LPResult, sigma1: Sequence[str]
+) -> dict[str, float]:
+    """Extract the explicit idle-time variables from an LP result.
+
+    Only meaningful when the program was built with
+    ``include_idle_variables=True``; otherwise every idle time reads 0.
+    """
+    return {worker: result.value(_idle(worker)) for worker in sigma1}

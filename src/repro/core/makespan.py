@@ -1,0 +1,55 @@
+"""Makespan view of the divisible-load problem.
+
+The paper optimises the *throughput* (load processed within ``T = 1``), and
+notes that, thanks to the linear cost model, this is equivalent to minimising
+the *makespan* for a fixed total load ``M`` — which is what the experiments
+of Section 5 actually measure (time to complete ``M = 1000`` matrix
+products).  This module holds the conversion helpers used by the experiment
+harness:
+
+* :func:`makespan_for_load` — the time needed to process ``M`` units with a
+  schedule of known throughput;
+* :func:`schedule_for_total_load` — rescale a unit-deadline schedule so that
+  it processes exactly ``M`` units (its deadline then *is* the predicted
+  makespan);
+* :func:`predicted_makespan` — one-call helper combining a heuristic result
+  and a workload size.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError
+
+__all__ = ["makespan_for_load", "schedule_for_total_load", "predicted_makespan"]
+
+
+def makespan_for_load(throughput: float, total_load: float) -> float:
+    """Time needed to process ``total_load`` units at the given throughput.
+
+    Under the linear model a schedule processing ``rho`` units per time unit
+    processes ``M`` units in ``M / rho`` time units (all events scale by the
+    same factor).
+    """
+    if throughput <= 0:
+        raise ScheduleError("throughput must be positive to compute a makespan")
+    if total_load < 0:
+        raise ScheduleError("total_load must be non-negative")
+    return total_load / throughput
+
+
+def schedule_for_total_load(schedule: Schedule, total_load: float) -> Schedule:
+    """Rescale ``schedule`` so that it processes exactly ``total_load`` units.
+
+    The returned schedule's ``deadline`` equals the predicted makespan for
+    that load; every event of its timeline is the original event multiplied
+    by ``total_load / schedule.total_load``.
+    """
+    return schedule.scaled_to_total_load(total_load)
+
+
+def predicted_makespan(schedule: Schedule, total_load: float) -> float:
+    """Predicted completion time of ``total_load`` units for ``schedule``."""
+    if schedule.total_load <= 0:
+        raise ScheduleError("schedule processes no load; cannot predict a makespan")
+    return makespan_for_load(schedule.throughput, total_load)

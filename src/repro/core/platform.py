@@ -1,0 +1,308 @@
+"""Platform model: heterogeneous master-worker star and bus networks.
+
+The paper targets a star network ``S = {P0, P1, ..., Pp}`` (Figure 1 of the
+report): a master ``P0`` with no processing capability and ``p`` workers.
+Under the linear cost model each worker ``Pi`` is described by three per-unit
+costs:
+
+* ``ci`` — time to send one unit of load from the master to ``Pi``;
+* ``wi`` — time for ``Pi`` to process one unit of load;
+* ``di`` — time to return the results of one unit of load to the master.
+
+A *bus* network is the special case where every link has the same
+characteristics (``ci = c`` and ``di = d`` for all workers).  The paper's
+analysis assumes ``di = z * ci`` with an application-dependent constant ``z``
+(``z = 1/2`` for the matrix-product experiments of Section 5); the model here
+keeps independent ``ci``/``di`` values, exposes the ratio when it is constant,
+and the algorithms state explicitly when they rely on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import PlatformError
+
+__all__ = ["Worker", "StarPlatform", "bus_platform", "homogeneous_platform"]
+
+
+_RATIO_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A single worker of the star platform.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (used in schedules and traces).
+    c:
+        Per-unit communication cost for the initial (forward) message.
+    w:
+        Per-unit computation cost.
+    d:
+        Per-unit communication cost for the return message.
+    """
+
+    name: str
+    c: float
+    w: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("worker name must be a non-empty string")
+        for field_name, value in (("c", self.c), ("w", self.w), ("d", self.d)):
+            if not math.isfinite(value):
+                raise PlatformError(f"worker {self.name!r}: {field_name} must be finite")
+            if value <= 0:
+                raise PlatformError(
+                    f"worker {self.name!r}: {field_name} must be positive (got {value})"
+                )
+
+    @property
+    def z(self) -> float:
+        """Return-message ratio ``d / c`` of this worker."""
+        return self.d / self.c
+
+    @property
+    def round_trip(self) -> float:
+        """Communication cost of a full unit round trip (``c + d``)."""
+        return self.c + self.d
+
+    def scaled(self, *, comm: float = 1.0, comp: float = 1.0) -> "Worker":
+        """Return a copy with communication costs divided by ``comm`` and
+        computation cost divided by ``comp``.
+
+        Speed-up factors mirror the paper's Section 5.2 methodology, where a
+        worker "k times faster" is emulated by dividing the corresponding
+        per-unit cost by ``k``.
+        """
+        if comm <= 0 or comp <= 0:
+            raise PlatformError("speed-up factors must be positive")
+        return replace(self, c=self.c / comm, d=self.d / comm, w=self.w / comp)
+
+    def with_ratio(self, z: float) -> "Worker":
+        """Return a copy whose return cost is ``d = z * c``."""
+        if z <= 0:
+            raise PlatformError("the return ratio z must be positive")
+        return replace(self, d=self.c * z)
+
+
+class StarPlatform:
+    """A heterogeneous master-worker star network.
+
+    The platform is an immutable ordered collection of :class:`Worker`
+    objects.  Worker order in the platform is purely presentational —
+    schedules carry their own permutations — but a stable order keeps
+    campaign results reproducible.
+    """
+
+    def __init__(self, workers: Iterable[Worker], name: str = "star") -> None:
+        workers = list(workers)
+        if not workers:
+            raise PlatformError("a platform needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise PlatformError(f"duplicate worker names: {duplicates}")
+        self._workers: tuple[Worker, ...] = tuple(workers)
+        self._by_name = {w.name: w for w in self._workers}
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __getitem__(self, key: int | str) -> Worker:
+        if isinstance(key, str):
+            try:
+                return self._by_name[key]
+            except KeyError:
+                raise PlatformError(f"unknown worker {key!r}") from None
+        return self._workers[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StarPlatform):
+            return NotImplemented
+        return self._workers == other._workers
+
+    def __hash__(self) -> int:
+        return hash(self._workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StarPlatform({self.name!r}, p={len(self)}, z={self.z})"
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> tuple[Worker, ...]:
+        """Workers in platform order."""
+        return self._workers
+
+    @property
+    def worker_names(self) -> list[str]:
+        """Worker names in platform order."""
+        return [w.name for w in self._workers]
+
+    @property
+    def size(self) -> int:
+        """Number of workers ``p``."""
+        return len(self._workers)
+
+    @property
+    def z(self) -> float | None:
+        """The common ratio ``d/c`` when it is constant, ``None`` otherwise.
+
+        The paper assumes ``di = z * ci`` for every worker; campaigns built by
+        :mod:`repro.workloads` always satisfy this.  Hand-built platforms may
+        not, in which case ``None`` is returned and the FIFO ordering rule
+        falls back to the ``z < 1`` case (non-decreasing ``ci``).
+        """
+        ratios = [w.z for w in self._workers]
+        first = ratios[0]
+        if all(math.isclose(r, first, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE) for r in ratios):
+            return first
+        return None
+
+    @property
+    def is_bus(self) -> bool:
+        """``True`` when every link has identical ``c`` and ``d`` costs."""
+        c0, d0 = self._workers[0].c, self._workers[0].d
+        return all(
+            math.isclose(w.c, c0, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE)
+            and math.isclose(w.d, d0, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE)
+            for w in self._workers
+        )
+
+    @property
+    def bus_costs(self) -> tuple[float, float]:
+        """Return the common ``(c, d)`` of a bus platform.
+
+        Raises
+        ------
+        PlatformError
+            If the platform is not a bus.
+        """
+        if not self.is_bus:
+            raise PlatformError(f"platform {self.name!r} is not a bus network")
+        return self._workers[0].c, self._workers[0].d
+
+    # ------------------------------------------------------------------ #
+    # derived platforms
+    # ------------------------------------------------------------------ #
+    def ordered_by_c(self, descending: bool = False) -> list[str]:
+        """Worker names sorted by ``ci`` (ties broken by name)."""
+        return [
+            w.name
+            for w in sorted(self._workers, key=lambda w: (w.c, w.name), reverse=descending)
+        ]
+
+    def ordered_by_w(self, descending: bool = False) -> list[str]:
+        """Worker names sorted by ``wi`` (ties broken by name)."""
+        return [
+            w.name
+            for w in sorted(self._workers, key=lambda w: (w.w, w.name), reverse=descending)
+        ]
+
+    def subplatform(self, names: Sequence[str], name: str | None = None) -> "StarPlatform":
+        """Return a platform restricted to ``names`` (in the given order)."""
+        return StarPlatform(
+            [self[n] for n in names],
+            name=name if name is not None else f"{self.name}/subset",
+        )
+
+    def mirrored(self, name: str | None = None) -> "StarPlatform":
+        """Return the platform with forward and return costs swapped.
+
+        This is the ``z > 1`` mirroring device of Section 3: a FIFO schedule
+        for the mirrored platform, read backwards in time, is a FIFO schedule
+        for the original platform.
+        """
+        return StarPlatform(
+            [Worker(name=w.name, c=w.d, w=w.w, d=w.c) for w in self._workers],
+            name=name if name is not None else f"{self.name}/mirrored",
+        )
+
+    def scaled(self, *, comm: float = 1.0, comp: float = 1.0, name: str | None = None) -> "StarPlatform":
+        """Return a copy with every worker sped up by the given factors."""
+        return StarPlatform(
+            [w.scaled(comm=comm, comp=comp) for w in self._workers],
+            name=name if name is not None else self.name,
+        )
+
+    def reordered(self, names: Sequence[str], name: str | None = None) -> "StarPlatform":
+        """Return a copy whose presentation order follows ``names``."""
+        missing = set(self.worker_names) - set(names)
+        if missing or len(names) != len(self):
+            raise PlatformError(
+                "reordered() needs a permutation of all worker names; "
+                f"missing={sorted(missing)}"
+            )
+        return self.subplatform(names, name=name if name is not None else self.name)
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Return a human-readable multi-line description of the platform."""
+        lines = [f"platform {self.name!r} with {len(self)} workers (z={self.z}):"]
+        for w in self._workers:
+            lines.append(f"  {w.name:>8s}: c={w.c:.6g}  w={w.w:.6g}  d={w.d:.6g}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Return a JSON-friendly description of the platform."""
+        return {w.name: {"c": w.c, "w": w.w, "d": w.d} for w in self._workers}
+
+
+def bus_platform(
+    compute_costs: Sequence[float],
+    c: float,
+    d: float,
+    names: Sequence[str] | None = None,
+    name: str = "bus",
+) -> StarPlatform:
+    """Build a bus platform: shared link costs, per-worker compute costs.
+
+    Parameters
+    ----------
+    compute_costs:
+        Per-unit computation cost ``wi`` of each worker.
+    c, d:
+        Shared forward / return per-unit communication costs.
+    names:
+        Optional worker names; defaults to ``P1 .. Pp``.
+    """
+    if names is None:
+        names = [f"P{i + 1}" for i in range(len(compute_costs))]
+    if len(names) != len(compute_costs):
+        raise PlatformError("names and compute_costs must have the same length")
+    workers = [Worker(name=n, c=c, w=w, d=d) for n, w in zip(names, compute_costs)]
+    return StarPlatform(workers, name=name)
+
+
+def homogeneous_platform(
+    size: int,
+    c: float,
+    w: float,
+    d: float,
+    name: str = "homogeneous",
+) -> StarPlatform:
+    """Build a fully homogeneous platform of ``size`` identical workers."""
+    if size <= 0:
+        raise PlatformError("size must be positive")
+    workers = [Worker(name=f"P{i + 1}", c=c, w=w, d=d) for i in range(size)]
+    return StarPlatform(workers, name=name)

@@ -1,0 +1,124 @@
+"""Integer rounding of rational load assignments (Section 5 policy).
+
+The scenario LPs produce rational loads, but the experiments dispatch an
+integer number of matrix products to each worker.  The paper's policy is:
+
+    "We first round down every value to the immediate lower integer, and
+     then we distribute the K remaining tasks to the first K workers of the
+     schedule in the order of the sending permutation, by giving one more
+     matrix to process to each of these workers."
+
+This module implements exactly that policy, plus the small amount of
+book-keeping needed to apply it to a :class:`~repro.core.schedule.Schedule`
+whose fractional loads have been scaled to a target total ``M``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError
+
+__all__ = ["round_loads", "integer_load_schedule"]
+
+
+def round_loads(
+    loads: Mapping[str, float],
+    sigma1: Sequence[str],
+    total: int,
+    tol: float = 1e-6,
+) -> dict[str, int]:
+    """Round fractional ``loads`` to integers summing exactly to ``total``.
+
+    Parameters
+    ----------
+    loads:
+        Fractional loads, expected to sum to ``total`` (up to ``tol``); if
+        they do not, they are first rescaled proportionally, which is how a
+        unit-deadline schedule is applied to a concrete workload.
+    sigma1:
+        Sending permutation; the ``K`` leftover units go to its first ``K``
+        workers, exactly as in the paper's example.
+    total:
+        Total integer number of load units to distribute.
+
+    Returns
+    -------
+    dict
+        Worker name → integer load, summing to ``total``.
+    """
+    if total < 0:
+        raise ScheduleError("total must be non-negative")
+    sigma1 = list(sigma1)
+    if not sigma1:
+        raise ScheduleError("sigma1 must not be empty")
+    unknown = set(loads) - set(sigma1)
+    if unknown:
+        raise ScheduleError(f"loads reference workers absent from sigma1: {sorted(unknown)}")
+    if any(value < 0 for value in loads.values()):
+        raise ScheduleError("loads must be non-negative")
+
+    current_total = sum(loads.get(name, 0.0) for name in sigma1)
+    if total == 0:
+        return {name: 0 for name in sigma1}
+    if current_total <= 0:
+        raise ScheduleError("cannot round an all-zero load assignment to a positive total")
+
+    if not math.isclose(current_total, total, rel_tol=tol, abs_tol=tol):
+        scale = total / current_total
+        scaled = {name: loads.get(name, 0.0) * scale for name in sigma1}
+    else:
+        scaled = {name: loads.get(name, 0.0) for name in sigma1}
+
+    # Degenerate inputs (e.g. a vanishingly small total load) can overflow the
+    # rescaling; fall back to an even distribution through the leftover loop.
+    if any(not math.isfinite(value) for value in scaled.values()):
+        scaled = {name: 0.0 for name in sigma1}
+
+    floored = {name: int(math.floor(value + tol)) for name, value in scaled.items()}
+    leftover = total - sum(floored.values())
+    if leftover < 0:
+        # Floating-point slack pushed a floor one unit too high; shave the
+        # excess from the end of the permutation (largest indices first).
+        for name in reversed(sigma1):
+            while leftover < 0 and floored[name] > 0:
+                floored[name] -= 1
+                leftover += 1
+    # Paper policy: one extra unit to each of the first `leftover` workers of
+    # the sending permutation.
+    index = 0
+    while leftover > 0:
+        floored[sigma1[index % len(sigma1)]] += 1
+        leftover -= 1
+        index += 1
+    return floored
+
+
+def integer_load_schedule(schedule: Schedule, total: int) -> Schedule:
+    """Return ``schedule`` with its loads rounded to integers summing to ``total``.
+
+    The schedule is first rescaled so its fractional loads sum to ``total``
+    (keeping proportions), then rounded with :func:`round_loads`; the
+    deadline of the returned schedule is the eager makespan of the rounded
+    loads, i.e. the completion time a simulator or a real run would achieve.
+    """
+    if total <= 0:
+        raise ScheduleError("total must be positive")
+    rounded = round_loads(schedule.loads, schedule.sigma1, total)
+    candidate = Schedule(
+        platform=schedule.platform,
+        loads={name: float(value) for name, value in rounded.items()},
+        sigma1=schedule.sigma1,
+        sigma2=schedule.sigma2,
+        deadline=schedule.deadline,
+    )
+    makespan = candidate.makespan()
+    return Schedule(
+        platform=schedule.platform,
+        loads={name: float(value) for name, value in rounded.items()},
+        sigma1=schedule.sigma1,
+        sigma2=schedule.sigma2,
+        deadline=makespan if makespan > 0 else schedule.deadline,
+    )

@@ -1,0 +1,406 @@
+"""Schedule model for divisible-load schedules with return messages.
+
+A schedule (Section 2.2 of the report) is fully described by:
+
+* the permutation ``sigma1`` giving the order of the initial messages,
+* the permutation ``sigma2`` giving the order of the return messages,
+* the load ``alpha_i`` assigned to each worker,
+* the idle time ``x_i`` a worker may spend between the end of its
+  computation and the start of its return transfer.
+
+Following the simplifications justified in the paper, initial messages are
+sent back-to-back starting at time 0 in ``sigma1`` order, and return messages
+are received back-to-back finishing exactly at the deadline ``T`` in
+``sigma2`` order; the idle times are then *derived* quantities.  This module
+provides:
+
+* :class:`Schedule` — the immutable description, with the derived event
+  timeline, idle times, throughput and makespan;
+* feasibility verification under the one-port and two-port models;
+* helpers to rescale a unit-deadline schedule to a concrete total load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.platform import StarPlatform
+from repro.exceptions import InfeasibleScheduleError, ScheduleError
+
+__all__ = ["WorkerTimeline", "Schedule", "fifo_schedule", "lifo_schedule"]
+
+
+_DEFAULT_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class WorkerTimeline:
+    """Timeline of a single worker inside a schedule.
+
+    All times are absolute (same clock as the master).  ``idle`` is the gap
+    between the end of the computation and the beginning of the return
+    transfer (the ``x_i`` of the paper); it is negative when the schedule is
+    infeasible, which the verifier reports.
+    """
+
+    worker: str
+    load: float
+    send_start: float
+    send_end: float
+    compute_start: float
+    compute_end: float
+    return_start: float
+    return_end: float
+
+    @property
+    def idle(self) -> float:
+        """Idle time ``x_i`` between computation end and return start."""
+        return self.return_start - self.compute_end
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the worker spends receiving, computing or sending."""
+        return (
+            (self.send_end - self.send_start)
+            + (self.compute_end - self.compute_start)
+            + (self.return_end - self.return_start)
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly view used by traces and experiment reports."""
+        return {
+            "worker": self.worker,
+            "load": self.load,
+            "send_start": self.send_start,
+            "send_end": self.send_end,
+            "compute_start": self.compute_start,
+            "compute_end": self.compute_end,
+            "return_start": self.return_start,
+            "return_end": self.return_end,
+            "idle": self.idle,
+        }
+
+
+class Schedule:
+    """A divisible-load schedule with return messages.
+
+    Parameters
+    ----------
+    platform:
+        The star platform the schedule targets.
+    loads:
+        Mapping worker name → assigned load ``alpha_i`` (non-negative).
+        Workers absent from the mapping receive zero load.
+    sigma1:
+        Order of the initial messages (worker names).  Every worker with a
+        positive load must appear exactly once.
+    sigma2:
+        Order of the return messages; must be a permutation of ``sigma1``.
+        Defaults to ``sigma1`` (FIFO).
+    deadline:
+        The time horizon ``T``; the canonical analysis uses ``T = 1``.
+    """
+
+    def __init__(
+        self,
+        platform: StarPlatform,
+        loads: Mapping[str, float],
+        sigma1: Sequence[str],
+        sigma2: Sequence[str] | None = None,
+        deadline: float = 1.0,
+    ) -> None:
+        if deadline <= 0:
+            raise ScheduleError("deadline must be positive")
+        sigma1 = tuple(sigma1)
+        sigma2 = tuple(sigma2) if sigma2 is not None else sigma1
+        if len(set(sigma1)) != len(sigma1):
+            raise ScheduleError("sigma1 contains duplicated workers")
+        if sorted(sigma1) != sorted(sigma2):
+            raise ScheduleError("sigma2 must be a permutation of sigma1")
+        unknown = [name for name in sigma1 if name not in platform]
+        if unknown:
+            raise ScheduleError(f"unknown workers in sigma1: {unknown}")
+        stray = [name for name in loads if name not in sigma1]
+        if stray:
+            raise ScheduleError(f"loads assigned to workers absent from sigma1: {sorted(stray)}")
+        cleaned: dict[str, float] = {}
+        for name in sigma1:
+            value = float(loads.get(name, 0.0))
+            if value < 0:
+                raise ScheduleError(f"negative load for worker {name!r}: {value}")
+            cleaned[name] = value
+
+        self.platform = platform
+        self.deadline = float(deadline)
+        self.sigma1 = sigma1
+        self.sigma2 = sigma2
+        self._loads = cleaned
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def loads(self) -> dict[str, float]:
+        """Copy of the load mapping (every worker of ``sigma1`` present)."""
+        return dict(self._loads)
+
+    def load(self, worker: str) -> float:
+        """Load assigned to ``worker`` (0.0 when not scheduled)."""
+        return self._loads.get(worker, 0.0)
+
+    @property
+    def total_load(self) -> float:
+        """Total number of load units processed, ``sum alpha_i``."""
+        return sum(self._loads.values())
+
+    @property
+    def throughput(self) -> float:
+        """Load units processed per unit of time, ``total_load / deadline``."""
+        return self.total_load / self.deadline
+
+    @property
+    def participants(self) -> list[str]:
+        """Workers with a strictly positive load, in ``sigma1`` order."""
+        return [name for name in self.sigma1 if self._loads[name] > 0]
+
+    @property
+    def is_fifo(self) -> bool:
+        """``True`` when return order equals send order on participants."""
+        active1 = [n for n in self.sigma1 if self._loads[n] > 0]
+        active2 = [n for n in self.sigma2 if self._loads[n] > 0]
+        return active1 == active2
+
+    @property
+    def is_lifo(self) -> bool:
+        """``True`` when return order is the reverse of the send order."""
+        active1 = [n for n in self.sigma1 if self._loads[n] > 0]
+        active2 = [n for n in self.sigma2 if self._loads[n] > 0]
+        return active1 == list(reversed(active2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "FIFO" if self.is_fifo else ("LIFO" if self.is_lifo else "general")
+        return (
+            f"Schedule({kind}, participants={len(self.participants)}, "
+            f"total_load={self.total_load:.6g}, deadline={self.deadline:.6g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # timelines
+    # ------------------------------------------------------------------ #
+    def timelines(self) -> dict[str, WorkerTimeline]:
+        """Compute the per-worker event timeline.
+
+        Initial messages are sent consecutively from time 0 in ``sigma1``
+        order; return messages are received consecutively and finish exactly
+        at the deadline, in ``sigma2`` order.  Workers with zero load get a
+        degenerate (zero-length) timeline anchored at their slot.
+        """
+        timelines: dict[str, WorkerTimeline] = {}
+
+        send_start: dict[str, float] = {}
+        send_end: dict[str, float] = {}
+        clock = 0.0
+        for name in self.sigma1:
+            load = self._loads[name]
+            worker = self.platform[name]
+            send_start[name] = clock
+            clock += load * worker.c
+            send_end[name] = clock
+
+        return_start: dict[str, float] = {}
+        return_end: dict[str, float] = {}
+        clock = self.deadline
+        for name in reversed(self.sigma2):
+            load = self._loads[name]
+            worker = self.platform[name]
+            return_end[name] = clock
+            clock -= load * worker.d
+            return_start[name] = clock
+
+        for name in self.sigma1:
+            load = self._loads[name]
+            worker = self.platform[name]
+            compute_start = send_end[name]
+            compute_end = compute_start + load * worker.w
+            timelines[name] = WorkerTimeline(
+                worker=name,
+                load=load,
+                send_start=send_start[name],
+                send_end=send_end[name],
+                compute_start=compute_start,
+                compute_end=compute_end,
+                return_start=return_start[name],
+                return_end=return_end[name],
+            )
+        return timelines
+
+    def idle_times(self) -> dict[str, float]:
+        """Per-worker idle time ``x_i`` (may be negative if infeasible)."""
+        return {name: tl.idle for name, tl in self.timelines().items()}
+
+    def makespan(self) -> float:
+        """Makespan of the *eager* execution of this schedule.
+
+        The eager execution sends initial messages back-to-back from time 0,
+        then receives return messages in ``sigma2`` order as early as the
+        one-port model and the computations allow.  This is how the simulated
+        (and the paper's real MPI) runs behave, and is the natural objective
+        when a fixed total load must be completed as fast as possible.
+        """
+        timelines = self.timelines()
+        send_total = sum(self._loads[n] * self.platform[n].c for n in self.sigma1)
+        clock = send_total
+        for name in self.sigma2:
+            load = self._loads[name]
+            if load == 0:
+                continue
+            worker = self.platform[name]
+            compute_end = timelines[name].compute_end
+            clock = max(clock, compute_end) + load * worker.d
+        return clock
+
+    # ------------------------------------------------------------------ #
+    # feasibility
+    # ------------------------------------------------------------------ #
+    def verify(self, one_port: bool = True, tol: float = _DEFAULT_TOL) -> None:
+        """Raise :class:`InfeasibleScheduleError` if the schedule is invalid.
+
+        Checks, in order: non-negative idle times (each worker finishes
+        computing before its return slot), the deadline, and — under the
+        one-port model — that the master is never engaged in two
+        communications at once (which, with the back-to-back send /
+        back-to-back return convention, reduces to the first return starting
+        no earlier than the last send ends).
+        """
+        problems = self.violations(one_port=one_port, tol=tol)
+        if problems:
+            raise InfeasibleScheduleError("; ".join(problems))
+
+    def is_feasible(self, one_port: bool = True, tol: float = _DEFAULT_TOL) -> bool:
+        """``True`` when :meth:`verify` would not raise."""
+        return not self.violations(one_port=one_port, tol=tol)
+
+    def violations(self, one_port: bool = True, tol: float = _DEFAULT_TOL) -> list[str]:
+        """Return a list of human-readable constraint violations."""
+        problems: list[str] = []
+        timelines = self.timelines()
+
+        for name, tl in timelines.items():
+            if self._loads[name] == 0:
+                continue
+            if tl.idle < -tol:
+                problems.append(
+                    f"worker {name}: computation ends at {tl.compute_end:.6g} but its "
+                    f"return slot starts at {tl.return_start:.6g}"
+                )
+            if tl.return_end > self.deadline + tol:
+                problems.append(
+                    f"worker {name}: return ends at {tl.return_end:.6g} after the deadline"
+                )
+            if tl.send_start < -tol:
+                problems.append(f"worker {name}: send starts before time 0")
+
+        # Master port occupancy. Sends are disjoint by construction and
+        # returns are disjoint by construction; under the one-port model they
+        # must additionally not overlap each other.
+        if one_port:
+            active = [n for n in self.sigma1 if self._loads[n] > 0]
+            if active:
+                last_send_end = max(timelines[n].send_end for n in active)
+                first_return_start = min(timelines[n].return_start for n in active)
+                if first_return_start < last_send_end - tol:
+                    problems.append(
+                        "one-port violation: first return starts at "
+                        f"{first_return_start:.6g} before the last send ends at "
+                        f"{last_send_end:.6g}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def scaled_to_total_load(self, total_load: float) -> "Schedule":
+        """Return the same schedule rescaled to process ``total_load`` units.
+
+        Under the linear cost model a schedule for deadline 1 and throughput
+        ``rho`` becomes a schedule for ``total_load`` units with makespan
+        ``total_load / rho`` by multiplying every load by
+        ``total_load / total_load_of_self``.
+        """
+        if total_load < 0:
+            raise ScheduleError("total_load must be non-negative")
+        current = self.total_load
+        if current <= 0:
+            raise ScheduleError("cannot rescale a schedule with zero total load")
+        factor = total_load / current
+        return Schedule(
+            platform=self.platform,
+            loads={name: load * factor for name, load in self._loads.items()},
+            sigma1=self.sigma1,
+            sigma2=self.sigma2,
+            deadline=self.deadline * factor,
+        )
+
+    def restricted_to_participants(self) -> "Schedule":
+        """Return a copy keeping only the workers with positive load."""
+        active1 = [n for n in self.sigma1 if self._loads[n] > 0]
+        active2 = [n for n in self.sigma2 if self._loads[n] > 0]
+        if not active1:
+            raise ScheduleError("schedule has no participating worker")
+        return Schedule(
+            platform=self.platform,
+            loads={n: self._loads[n] for n in active1},
+            sigma1=active1,
+            sigma2=active2,
+            deadline=self.deadline,
+        )
+
+    def with_loads(self, loads: Mapping[str, float]) -> "Schedule":
+        """Return a copy with the same orders but different loads."""
+        return Schedule(
+            platform=self.platform,
+            loads=loads,
+            sigma1=self.sigma1,
+            sigma2=self.sigma2,
+            deadline=self.deadline,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly summary (used by traces and experiment reports)."""
+        return {
+            "deadline": self.deadline,
+            "sigma1": list(self.sigma1),
+            "sigma2": list(self.sigma2),
+            "loads": dict(self._loads),
+            "total_load": self.total_load,
+            "participants": self.participants,
+            "timelines": {name: tl.as_dict() for name, tl in self.timelines().items()},
+        }
+
+
+def fifo_schedule(
+    platform: StarPlatform,
+    loads: Mapping[str, float],
+    order: Sequence[str],
+    deadline: float = 1.0,
+) -> Schedule:
+    """Build a FIFO schedule (``sigma2 = sigma1 = order``)."""
+    return Schedule(platform, loads, sigma1=order, sigma2=order, deadline=deadline)
+
+
+def lifo_schedule(
+    platform: StarPlatform,
+    loads: Mapping[str, float],
+    order: Sequence[str],
+    deadline: float = 1.0,
+) -> Schedule:
+    """Build a LIFO schedule (``sigma2`` is the reverse of ``order``)."""
+    return Schedule(
+        platform,
+        loads,
+        sigma1=order,
+        sigma2=list(reversed(list(order))),
+        deadline=deadline,
+    )

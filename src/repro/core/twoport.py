@@ -1,0 +1,118 @@
+"""Two-port model baselines (companion report RR-2005-21).
+
+Under the *two-port* model the master may send to one worker and receive
+from another simultaneously; the scenario LP is the same as under the
+one-port model minus the coupling constraint (2b).  The paper uses two-port
+results in two ways:
+
+* as an upper bound in the proof of Theorem 2 (any one-port schedule is a
+  valid two-port schedule, so the one-port throughput can never exceed the
+  two-port optimum);
+* as the source of the LIFO baseline of the experiments (the optimal
+  two-port LIFO schedule is naturally one-port feasible).
+
+This module exposes the two-port variants of the FIFO/LIFO optimisations so
+that the bounds can be computed — and tested — explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.linear_program import ScenarioSolution, solve_scenario
+from repro.core.platform import StarPlatform
+from repro.core.schedule import Schedule
+from repro.lp import Solver
+
+__all__ = [
+    "TwoPortSolution",
+    "optimal_two_port_fifo_schedule",
+    "optimal_two_port_lifo_schedule",
+    "two_port_fifo_for_order",
+]
+
+
+@dataclass(frozen=True)
+class TwoPortSolution:
+    """Optimal two-port schedule for a fixed communication discipline."""
+
+    schedule: Schedule
+    order: tuple[str, ...]
+    throughput: float
+    scenario: ScenarioSolution
+
+    @property
+    def participants(self) -> list[str]:
+        """Workers with a strictly positive load."""
+        return self.schedule.participants
+
+    @property
+    def loads(self) -> dict[str, float]:
+        """Optimal loads per worker."""
+        return self.schedule.loads
+
+
+def two_port_fifo_for_order(
+    platform: StarPlatform,
+    order: Sequence[str],
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> TwoPortSolution:
+    """Optimal two-port FIFO loads for a given send order."""
+    order = list(order)
+    scenario = solve_scenario(
+        platform,
+        sigma1=order,
+        sigma2=order,
+        deadline=deadline,
+        one_port=False,
+        solver=solver,
+    )
+    return TwoPortSolution(
+        schedule=scenario.schedule,
+        order=tuple(order),
+        throughput=scenario.throughput,
+        scenario=scenario,
+    )
+
+
+def optimal_two_port_fifo_schedule(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> TwoPortSolution:
+    """Optimal two-port FIFO schedule.
+
+    The companion report shows the optimal two-port FIFO order serves
+    workers by non-decreasing ``c_i`` (for ``z <= 1``; the mirrored rule
+    otherwise), exactly as in Theorem 1; the loads then come from the
+    two-port scenario LP.
+    """
+    z = platform.z
+    descending = z is not None and z > 1.0
+    order = platform.ordered_by_c(descending=descending)
+    return two_port_fifo_for_order(platform, order, deadline=deadline, solver=solver)
+
+
+def optimal_two_port_lifo_schedule(
+    platform: StarPlatform,
+    deadline: float = 1.0,
+    solver: str | Solver | None = None,
+) -> TwoPortSolution:
+    """Optimal two-port LIFO schedule (serve by non-decreasing ``c_i``)."""
+    order = platform.ordered_by_c(descending=False)
+    scenario = solve_scenario(
+        platform,
+        sigma1=order,
+        sigma2=list(reversed(order)),
+        deadline=deadline,
+        one_port=False,
+        solver=solver,
+    )
+    return TwoPortSolution(
+        schedule=scenario.schedule,
+        order=tuple(order),
+        throughput=scenario.throughput,
+        scenario=scenario,
+    )

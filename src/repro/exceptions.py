@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PlatformError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "SolverError",
+    "UnboundedProblemError",
+    "InfeasibleProblemError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class PlatformError(ReproError):
+    """Raised when a platform description is invalid.
+
+    Examples: a non-positive computation speed, duplicated worker names,
+    or a bus platform constructed from heterogeneous link parameters.
+    """
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule description is structurally invalid.
+
+    Examples: permutations that are not permutations of the participant
+    set, negative loads, or negative idle times.
+    """
+
+
+class InfeasibleScheduleError(ScheduleError):
+    """Raised when a structurally valid schedule violates the platform model.
+
+    The checker reports the first violated constraint (one-port overlap,
+    precedence violation, deadline overrun, ...) in the exception message.
+    """
+
+
+class SolverError(ReproError):
+    """Base class for linear-programming solver failures."""
+
+
+class UnboundedProblemError(SolverError):
+    """Raised when the linear program is unbounded above.
+
+    A well-formed divisible-load scenario is never unbounded (loads are
+    limited by the deadline), so this error generally indicates a modelling
+    bug in caller code.
+    """
+
+
+class InfeasibleProblemError(SolverError):
+    """Raised when the linear program has an empty feasible region."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulation substrate.
+
+    Examples: an event scheduled in the past, a deadlocked master script,
+    or a worker asked to compute before it received any data.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for malformed campaign definitions."""

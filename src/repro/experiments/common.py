@@ -1,0 +1,207 @@
+"""Shared infrastructure of the experiment harness.
+
+Every figure of the paper's evaluation is reproduced by one module in this
+package; they all return a :class:`FigureResult` — a set of named series over
+a common x-axis — so that reporting, benchmarking and the CLI can treat every
+experiment uniformly.  The heavy lifting shared by Figures 10–13 (random
+platform campaigns comparing the INC_C / INC_W / LIFO heuristics, normalised
+by the INC_C LP prediction) lives in :func:`heuristic_campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.heuristics import HeuristicResult, compare_heuristics
+from repro.exceptions import ExperimentError
+from repro.simulation.executor import measure_heuristic
+from repro.simulation.noise import ComposedNoise, NoiseModel, UniformJitter
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+__all__ = [
+    "FigureResult",
+    "default_noise",
+    "heuristic_campaign",
+    "DEFAULT_MATRIX_SIZES",
+    "DEFAULT_PLATFORM_COUNT",
+    "DEFAULT_TOTAL_TASKS",
+]
+
+
+#: Matrix sizes swept by the paper's campaigns (x-axis of Figures 10–13).
+DEFAULT_MATRIX_SIZES: tuple[int, ...] = tuple(range(40, 201, 20))
+
+#: Number of random platforms averaged per point (the paper uses 50).
+DEFAULT_PLATFORM_COUNT = 50
+
+#: Number of matrix products per campaign (the paper fixes M = 1000).
+DEFAULT_TOTAL_TASKS = 1000
+
+
+@dataclass
+class FigureResult:
+    """Series reproducing one figure (or table) of the paper.
+
+    ``series`` maps a series label (e.g. ``"LIFO real/INC_C lp"``) to a list
+    of ``(x, y)`` points sharing the x-axis described by ``x_label``.
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    parameters: dict[str, object] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, series: str, x: float, y: float) -> None:
+        """Append one point to a series (creating the series on first use)."""
+        self.series.setdefault(series, []).append((float(x), float(y)))
+
+    @property
+    def x_values(self) -> list[float]:
+        """Sorted union of the x values of every series."""
+        values: set[float] = set()
+        for points in self.series.values():
+            values.update(x for x, _ in points)
+        return sorted(values)
+
+    def value(self, series: str, x: float) -> float:
+        """Value of ``series`` at ``x`` (exact match required)."""
+        for point_x, point_y in self.series.get(series, []):
+            if point_x == x:
+                return point_y
+        raise ExperimentError(f"series {series!r} has no point at x={x}")
+
+    def format_table(self, float_format: str = "{:.4f}") -> str:
+        """Render the result as an aligned text table (one row per x value)."""
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows: list[list[str]] = [header]
+        for x in self.x_values:
+            row = [f"{x:g}"]
+            for name in names:
+                try:
+                    row.append(float_format.format(self.value(name, x)))
+                except ExperimentError:
+                    row.append("-")
+            rows.append(row)
+        widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+        lines = [f"{self.figure}: {self.title}"]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly view of the result."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "parameters": dict(self.parameters),
+            "series": {name: list(points) for name, points in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+
+def default_noise(seed: int) -> NoiseModel:
+    """Measurement noise used for the "real" curves of the campaigns.
+
+    Communication suffers more jitter than computation (protocol overheads,
+    contention), matching the qualitative behaviour of the paper's measured
+    curves; the composition stays within the ~20% envelope reported for
+    Figure 12.
+    """
+    return ComposedNoise(
+        UniformJitter(amplitude=0.04, comm_amplitude=0.15, seed=seed),
+    )
+
+
+def heuristic_campaign(
+    figure: str,
+    title: str,
+    campaign_kind: str,
+    heuristic_names: Sequence[str] = ("INC_C", "INC_W", "LIFO"),
+    matrix_sizes: Sequence[int] = DEFAULT_MATRIX_SIZES,
+    platform_count: int = DEFAULT_PLATFORM_COUNT,
+    workers: int = 11,
+    total_tasks: int = DEFAULT_TOTAL_TASKS,
+    comm_scale: float = 1.0,
+    comp_scale: float = 1.0,
+    seed: int = 0,
+    noise_factory=default_noise,
+    reference: str = "INC_C",
+) -> FigureResult:
+    """Run one of the paper's random-platform campaigns (Figures 10–13).
+
+    For every matrix size and every random platform, each heuristic is
+    evaluated twice: its LP-predicted completion time for ``total_tasks``
+    matrix products, and the completion time measured on the (noisy)
+    simulated cluster after integer rounding.  Both are normalised by the LP
+    prediction of the ``reference`` heuristic (INC_C), then averaged over the
+    platforms — exactly the quantity plotted in the paper.
+
+    Returned series (for the default heuristics): ``"INC_C lp"`` (the
+    normalisation baseline, identically 1), ``"<H> lp/INC_C lp"`` and
+    ``"<H> real/INC_C lp"`` for every heuristic ``<H>``.
+    """
+    if reference not in heuristic_names:
+        raise ExperimentError(f"the reference heuristic {reference!r} must be evaluated")
+    if platform_count <= 0 or total_tasks <= 0:
+        raise ExperimentError("platform_count and total_tasks must be positive")
+
+    result = FigureResult(
+        figure=figure,
+        title=title,
+        x_label="matrix size",
+        parameters={
+            "campaign": campaign_kind,
+            "heuristics": list(heuristic_names),
+            "platform_count": platform_count,
+            "workers": workers,
+            "total_tasks": total_tasks,
+            "comm_scale": comm_scale,
+            "comp_scale": comp_scale,
+            "seed": seed,
+            "matrix_sizes": list(matrix_sizes),
+        },
+    )
+
+    factor_sets = campaign_factors(campaign_kind, platform_count, size=workers, seed=seed)
+    if comm_scale != 1.0 or comp_scale != 1.0:
+        factor_sets = [factors.scaled(comm=comm_scale, comp=comp_scale) for factors in factor_sets]
+
+    for size in matrix_sizes:
+        workload = MatrixProductWorkload(int(size))
+        # ratios[series] accumulates one normalised value per platform.
+        ratios: dict[str, list[float]] = {}
+        for platform_index, factors in enumerate(factor_sets):
+            platform = factors.platform(workload, name=f"{factors.label}-s{size}")
+            evaluations = compare_heuristics(platform, heuristic_names)
+            reference_time = evaluations[reference].makespan_for(total_tasks)
+            noise = noise_factory(seed * 100_003 + platform_index * 1_009 + int(size))
+            for name in heuristic_names:
+                evaluation = evaluations[name]
+                lp_time = evaluation.makespan_for(total_tasks)
+                report = measure_heuristic(evaluation, total_tasks, noise=noise)
+                ratios.setdefault(f"{name} lp", []).append(lp_time / reference_time)
+                ratios.setdefault(f"{name} real", []).append(
+                    report.measured_makespan / reference_time
+                )
+        for name in heuristic_names:
+            lp_label = f"{name} lp" if name == reference else f"{name} lp/{reference} lp"
+            real_label = f"{name} real/{reference} lp"
+            result.add_point(lp_label, size, float(np.mean(ratios[f"{name} lp"])))
+            result.add_point(real_label, size, float(np.mean(ratios[f"{name} real"])))
+    result.notes.append(
+        "every curve is normalised by the LP prediction of the reference heuristic "
+        f"({reference}) and averaged over {platform_count} random platforms"
+    )
+    return result

@@ -1,0 +1,111 @@
+"""Figure 8 — linearity test of the communication cost model.
+
+The paper validates the linear cost model by sending messages of increasing
+size (0–5 MB) to five workers whose communication speed is simulated at
+factors 1–5, and checking that the transfer time grows linearly with no
+measurable latency.  This experiment reproduces the test on the simulated
+runtime: each worker receives each message size through the one-port master
+and the measured transfer times are reported, together with the residual of
+a least-squares linear fit per worker (which quantifies "how linear" the
+measurements are).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.common import FigureResult
+from repro.runtime.api import MASTER_RANK, NodeContext, SimulatedRuntime
+from repro.simulation.noise import NoiseModel
+from repro.workloads.matrices import MatrixProductWorkload
+
+__all__ = ["run", "linear_fit_residuals"]
+
+
+#: Communication speed-up factors of the five probed workers.
+DEFAULT_COMM_FACTORS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+#: Message sizes in megabytes (the paper sweeps 0–5 MB).
+DEFAULT_MESSAGE_SIZES_MB: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+
+
+def _measure_transfer(
+    workload: MatrixProductWorkload,
+    comm_factor: float,
+    megabytes: float,
+    noise: NoiseModel | None,
+) -> float:
+    """Measured time to push one message of ``megabytes`` MB to one worker."""
+    runtime = SimulatedRuntime(
+        bandwidths={MASTER_RANK: workload.bandwidth, 1: workload.bandwidth * comm_factor},
+        flop_rates={MASTER_RANK: workload.flop_rate, 1: workload.flop_rate},
+        one_port=True,
+        noise=noise,
+    )
+    nbytes = megabytes * 1.0e6
+
+    def master(ctx: NodeContext):
+        yield ctx.send(1, nbytes, tag=1)
+
+    def worker(ctx: NodeContext):
+        yield ctx.recv(MASTER_RANK, tag=1)
+
+    runtime.add_node(MASTER_RANK, master)
+    runtime.add_node(1, worker)
+    return runtime.run()
+
+
+def run(
+    message_sizes_mb: Sequence[float] = DEFAULT_MESSAGE_SIZES_MB,
+    comm_factors: Sequence[float] = DEFAULT_COMM_FACTORS,
+    matrix_size: int = 100,
+    noise: NoiseModel | None = None,
+) -> FigureResult:
+    """Reproduce Figure 8: transfer time vs message size per worker."""
+    if not message_sizes_mb or not comm_factors:
+        raise ExperimentError("message sizes and communication factors must be non-empty")
+    workload = MatrixProductWorkload(matrix_size)
+    result = FigureResult(
+        figure="fig08",
+        title="Linearity test with different message sizes (simulated heterogeneous workers)",
+        x_label="megabytes",
+        parameters={
+            "comm_factors": list(comm_factors),
+            "message_sizes_mb": list(message_sizes_mb),
+            "bandwidth": workload.bandwidth,
+        },
+    )
+    for index, factor in enumerate(comm_factors, start=1):
+        series = f"worker {index} (x{factor:g})"
+        for megabytes in message_sizes_mb:
+            elapsed = _measure_transfer(workload, factor, megabytes, noise)
+            result.add_point(series, megabytes, elapsed)
+    residuals = linear_fit_residuals(result)
+    result.notes.append(
+        "maximum relative residual of the per-worker linear fits: "
+        f"{max(residuals.values()):.3e} (linear cost model holds)"
+    )
+    return result
+
+
+def linear_fit_residuals(result: FigureResult) -> dict[str, float]:
+    """Relative residual of a zero-intercept linear fit for each series.
+
+    A value close to zero means the measured times are proportional to the
+    message size, i.e. the linear cost model (no latency) is accurate — the
+    conclusion the paper draws from its Figure 8.
+    """
+    residuals: dict[str, float] = {}
+    for name, points in result.series.items():
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        if np.allclose(y, 0.0):
+            residuals[name] = 0.0
+            continue
+        slope = float(np.dot(x, y) / np.dot(x, x))
+        residual = float(np.max(np.abs(y - slope * x)) / np.max(np.abs(y)))
+        residuals[name] = residual
+    return residuals

@@ -1,0 +1,89 @@
+"""Figure 14 and the Section 5.3.4 table — the participation study.
+
+The paper builds a four-worker platform where the first three workers are
+fast (communication speed-ups 10, 8, 8 and computation speed-ups 9, 9, 10)
+and the fourth is slow (computation speed-up 1, communication speed-up
+``x``).  Running the INC_C framework with 1, 2, 3 then 4 available workers,
+it records the LP-predicted time, the measured time and the number of
+workers the LP actually enrols:
+
+* for ``x = 1`` the fourth worker is never used, even when available;
+* for ``x = 3`` the fourth worker is used and improves the completion time
+  slightly.
+
+This experiment reproduces both panels: for each ``x`` and each number of
+available workers it reports the LP time, the simulated time and the number
+of enrolled workers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.makespan import predicted_makespan
+from repro.exceptions import ExperimentError
+from repro.experiments.common import DEFAULT_TOTAL_TASKS, FigureResult, default_noise
+from repro.simulation.executor import measure_heuristic
+from repro.core.heuristics import HeuristicResult
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import participation_platform
+
+__all__ = ["run", "run_single"]
+
+
+def run_single(
+    x: float,
+    matrix_size: int = 400,
+    total_tasks: int = DEFAULT_TOTAL_TASKS,
+    seed: int = 14,
+    noisy: bool = True,
+) -> FigureResult:
+    """Participation study for one value of the slow worker's link speed."""
+    if x <= 0:
+        raise ExperimentError("x must be positive")
+    workload = MatrixProductWorkload(matrix_size)
+    result = FigureResult(
+        figure=f"fig14-x{x:g}",
+        title=f"Participating workers on the Section 5.3.4 platform (x={x:g}, matrix size {matrix_size})",
+        x_label="available workers",
+        parameters={"x": x, "matrix_size": matrix_size, "total_tasks": total_tasks},
+    )
+    for available in range(1, 5):
+        platform = participation_platform(x, workload, available_workers=available)
+        solution = optimal_fifo_schedule(platform)
+        lp_time = predicted_makespan(solution.schedule, total_tasks)
+        heuristic = HeuristicResult(
+            name="INC_C", schedule=solution.schedule, throughput=solution.throughput
+        )
+        noise = default_noise(seed + available) if noisy else None
+        report = measure_heuristic(heuristic, total_tasks, noise=noise)
+        result.add_point("lp time", available, lp_time)
+        result.add_point("real time", available, report.measured_makespan)
+        result.add_point("nb of workers", available, len(solution.participants))
+    return result
+
+
+def run(
+    x_values: Sequence[float] = (1.0, 3.0),
+    matrix_size: int = 400,
+    total_tasks: int = DEFAULT_TOTAL_TASKS,
+    seed: int = 14,
+    noisy: bool = True,
+) -> list[FigureResult]:
+    """Reproduce Figure 14 (both panels by default)."""
+    results = [
+        run_single(x, matrix_size=matrix_size, total_tasks=total_tasks, seed=seed, noisy=noisy)
+        for x in x_values
+    ]
+    for result in results:
+        x = result.parameters["x"]
+        enrolled_with_all = result.value("nb of workers", 4)
+        if x <= 1.0:
+            expectation = "the slow fourth worker should never be enrolled"
+        else:
+            expectation = "the slow fourth worker should be enrolled when available"
+        result.notes.append(
+            f"workers enrolled when all four are available: {int(enrolled_with_all)} ({expectation})"
+        )
+    return results

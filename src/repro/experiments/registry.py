@@ -1,0 +1,137 @@
+"""Registry of the reproduction experiments.
+
+Maps each experiment identifier (``fig08`` … ``fig14``) to a callable
+returning one or several :class:`~repro.experiments.common.FigureResult`.
+Two presets are provided:
+
+* ``"paper"`` — the parameters of the paper (50 platforms, matrix sizes
+  40–200, M = 1000 tasks); minutes of wall-clock in total;
+* ``"quick"`` — a reduced sweep (a handful of platforms and sizes) used by
+  the test-suite and the benchmark harness to keep iteration fast while
+  exercising exactly the same code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    crossover,
+    fig08_linearity,
+    fig09_trace,
+    fig10_homogeneous,
+    fig11_hetero_compute,
+    fig12_hetero_star,
+    fig13_ratio,
+    fig14_participation,
+)
+from repro.experiments.common import FigureResult
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "available_experiments"]
+
+
+#: Reduced campaign parameters shared by every "quick" preset.
+_QUICK_CAMPAIGN = {"matrix_sizes": (40, 120, 200), "platform_count": 4, "total_tasks": 200}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible experiment: id, description and parameter presets."""
+
+    identifier: str
+    description: str
+    runner: Callable[..., object]
+    paper_kwargs: dict
+    quick_kwargs: dict
+
+    def run(self, preset: str = "paper", **overrides) -> list[FigureResult]:
+        """Run the experiment and normalise the output to a list of results."""
+        if preset == "paper":
+            kwargs = dict(self.paper_kwargs)
+        elif preset == "quick":
+            kwargs = dict(self.quick_kwargs)
+        else:
+            raise ExperimentError(f"unknown preset {preset!r}; expected 'paper' or 'quick'")
+        kwargs.update(overrides)
+        outcome = self.runner(**kwargs)
+        if isinstance(outcome, FigureResult):
+            return [outcome]
+        return list(outcome)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig08": ExperimentSpec(
+        identifier="fig08",
+        description="Linearity test of the communication cost model",
+        runner=fig08_linearity.run,
+        paper_kwargs={},
+        quick_kwargs={"message_sizes_mb": (1.0, 2.0, 4.0), "comm_factors": (1.0, 3.0, 5.0)},
+    ),
+    "fig09": ExperimentSpec(
+        identifier="fig09",
+        description="Gantt trace of one heterogeneous execution",
+        runner=fig09_trace.run,
+        paper_kwargs={},
+        quick_kwargs={"total_tasks": 50},
+    ),
+    "fig10": ExperimentSpec(
+        identifier="fig10",
+        description="Campaign on homogeneous platforms",
+        runner=fig10_homogeneous.run,
+        paper_kwargs={},
+        quick_kwargs=dict(_QUICK_CAMPAIGN),
+    ),
+    "fig11": ExperimentSpec(
+        identifier="fig11",
+        description="Campaign with homogeneous links and heterogeneous CPUs",
+        runner=fig11_hetero_compute.run,
+        paper_kwargs={},
+        quick_kwargs=dict(_QUICK_CAMPAIGN),
+    ),
+    "fig12": ExperimentSpec(
+        identifier="fig12",
+        description="Campaign on fully heterogeneous star platforms",
+        runner=fig12_hetero_star.run,
+        paper_kwargs={},
+        quick_kwargs=dict(_QUICK_CAMPAIGN),
+    ),
+    "fig13": ExperimentSpec(
+        identifier="fig13",
+        description="Campaigns with the communication/computation ratio shifted by 10x",
+        runner=fig13_ratio.run,
+        paper_kwargs={"variant": "both"},
+        quick_kwargs={"variant": "both", **_QUICK_CAMPAIGN},
+    ),
+    "fig14": ExperimentSpec(
+        identifier="fig14",
+        description="Participation study on the Section 5.3.4 platform",
+        runner=fig14_participation.run,
+        paper_kwargs={},
+        quick_kwargs={"total_tasks": 200},
+    ),
+    "crossover": ExperimentSpec(
+        identifier="crossover",
+        description="Extension: LIFO vs optimal FIFO across the computation/communication ratio",
+        runner=crossover.run,
+        paper_kwargs={},
+        quick_kwargs={"matrix_sizes": (60, 200, 600), "platform_count": 3, "workers": 6},
+    ),
+}
+
+
+def available_experiments() -> list[str]:
+    """Identifiers of every registered experiment, in figure order."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(identifier: str, preset: str = "paper", **overrides) -> list[FigureResult]:
+    """Run one experiment by identifier."""
+    try:
+        spec = EXPERIMENTS[identifier]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {identifier!r}; available: {available_experiments()}"
+        ) from None
+    return spec.run(preset=preset, **overrides)

@@ -1,0 +1,73 @@
+"""Reporting helpers: text, CSV and Markdown output of experiment results.
+
+The experiment modules return :class:`~repro.experiments.common.FigureResult`
+objects; this module renders them for humans (aligned text tables, Markdown
+sections suitable for EXPERIMENTS.md) and for machines (CSV rows).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+from repro.experiments.common import FigureResult
+
+__all__ = ["to_csv", "to_markdown", "render_report"]
+
+
+def to_csv(results: Sequence[FigureResult]) -> str:
+    """Serialise results as CSV rows ``figure,series,x,y``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["figure", "series", "x", "y"])
+    for result in results:
+        for series, points in result.series.items():
+            for x, y in points:
+                writer.writerow([result.figure, series, x, y])
+    return buffer.getvalue()
+
+
+def _markdown_table(result: FigureResult, float_format: str = "{:.4f}") -> str:
+    names = list(result.series)
+    header = "| " + " | ".join([result.x_label] + names) + " |"
+    divider = "|" + "|".join(["---"] * (len(names) + 1)) + "|"
+    lines = [header, divider]
+    for x in result.x_values:
+        cells = [f"{x:g}"]
+        for name in names:
+            try:
+                cells.append(float_format.format(result.value(name, x)))
+            except Exception:
+                cells.append("-")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def to_markdown(result: FigureResult, heading_level: int = 3) -> str:
+    """Render one result as a Markdown section (table plus notes)."""
+    heading = "#" * heading_level
+    lines = [f"{heading} {result.figure} — {result.title}", ""]
+    if result.parameters:
+        parameters = ", ".join(f"{key}={value}" for key, value in sorted(result.parameters.items()))
+        lines.append(f"*Parameters*: {parameters}")
+        lines.append("")
+    lines.append(_markdown_table(result))
+    for note in result.notes:
+        lines.append("")
+        if "\n" in note:
+            lines.append("```text")
+            lines.append(note)
+            lines.append("```")
+        else:
+            lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(results: Iterable[FigureResult], title: str = "Experiment results") -> str:
+    """Render a full Markdown report for a collection of results."""
+    sections = [f"# {title}", ""]
+    for result in results:
+        sections.append(to_markdown(result))
+    return "\n".join(sections)

@@ -1,0 +1,85 @@
+"""Linear-programming substrate.
+
+The paper solves every scheduling scenario through a small linear program
+(system (2) in the report) using ``lp_solve``.  This package provides the
+equivalent substrate:
+
+* :class:`~repro.lp.model.LinearProgram` — the modelling API used by
+  :mod:`repro.core.linear_program`;
+* :class:`~repro.lp.simplex.ExactSimplexSolver` — an exact rational
+  two-phase simplex (reference backend, vertex solutions);
+* :class:`~repro.lp.scipy_backend.ScipySolver` — HiGHS through SciPy
+  (default backend for large campaigns);
+* :func:`default_solver` / :func:`get_solver` — backend selection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.exceptions import SolverError
+from repro.lp.model import Constraint, LinearProgram, Variable
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.scipy_backend import ScipySolver, solve_scipy
+from repro.lp.simplex import ExactSimplexSolver, solve_exact
+
+__all__ = [
+    "LinearProgram",
+    "Variable",
+    "Constraint",
+    "LPResult",
+    "LPStatus",
+    "ExactSimplexSolver",
+    "ScipySolver",
+    "solve_exact",
+    "solve_scipy",
+    "Solver",
+    "get_solver",
+    "default_solver",
+]
+
+
+class Solver(Protocol):
+    """Structural type implemented by every LP backend."""
+
+    backend_name: str
+
+    def solve(self, program: LinearProgram) -> LPResult:  # pragma: no cover - protocol
+        ...
+
+
+#: Registry of available backends, keyed by the names accepted by
+#: :func:`get_solver` and by the ``solver=`` keyword of the core algorithms.
+_BACKENDS = {
+    "scipy": ScipySolver,
+    "highs": ScipySolver,
+    "exact": ExactSimplexSolver,
+    "simplex": ExactSimplexSolver,
+}
+
+
+def get_solver(name: str | Solver | None = None) -> Solver:
+    """Return a solver instance from a backend name.
+
+    ``None`` returns the default backend (SciPy/HiGHS).  Passing an object
+    that already looks like a solver returns it unchanged, which lets
+    callers inject pre-configured or mock backends.
+    """
+    if name is None:
+        return default_solver()
+    if not isinstance(name, str):
+        if hasattr(name, "solve"):
+            return name
+        raise SolverError(f"{name!r} is not a solver name or solver instance")
+    try:
+        backend = _BACKENDS[name.lower()]
+    except KeyError:
+        raise SolverError(
+            f"unknown LP backend {name!r}; available: {sorted(set(_BACKENDS))}"
+        ) from None
+    return backend()
+
+
+def default_solver() -> Solver:
+    """Return the default LP backend (SciPy / HiGHS)."""
+    return ScipySolver()

@@ -1,0 +1,339 @@
+"""A small linear-programming modelling layer.
+
+The divisible-load scenario programs built in :mod:`repro.core.linear_program`
+are tiny (a few dozen variables), but they are built in several places
+(one-port, two-port, FIFO, LIFO, arbitrary permutation pairs) and solved by
+two different backends.  This module provides the single modelling API they
+all share:
+
+* :class:`Variable` — a named, non-negative decision variable with an
+  optional upper bound,
+* :class:`Constraint` — a sparse linear constraint (``<=``, ``>=`` or ``==``),
+* :class:`LinearProgram` — the container, able to export itself either as
+  dense numpy arrays (for the SciPy backend) or as exact
+  :class:`~fractions.Fraction` rows (for the exact simplex backend).
+
+Only the features needed by the library are implemented; this is not a
+general-purpose replacement for PuLP.  All variables are non-negative, which
+matches every program in the paper (loads, idle times and gaps are all
+non-negative quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SolverError
+
+__all__ = ["Sense", "Variable", "Constraint", "LinearProgram"]
+
+
+#: Allowed constraint senses.
+Sense = str
+_SENSES = ("<=", ">=", "==")
+
+
+def _as_fraction(value: float | int | Fraction) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Floats are converted through :meth:`Fraction.limit_denominator` only when
+    they are not exactly representable; exact binary floats (the common case
+    for platform parameters such as 0.5 or 2.0) convert losslessly.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named non-negative decision variable.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier inside one :class:`LinearProgram`.
+    upper:
+        Optional upper bound; ``None`` means unbounded above.
+    """
+
+    name: str
+    upper: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SolverError("variable name must be a non-empty string")
+        if self.upper is not None and self.upper < 0:
+            raise SolverError(
+                f"variable {self.name!r} has a negative upper bound ({self.upper})"
+            )
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A sparse linear constraint ``sum(coeff * var) sense rhs``."""
+
+    name: str
+    coefficients: Mapping[str, float]
+    sense: Sense
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise SolverError(
+                f"constraint {self.name!r}: sense must be one of {_SENSES}, got {self.sense!r}"
+            )
+        if not self.coefficients:
+            raise SolverError(f"constraint {self.name!r} has no coefficients")
+
+    def slack(self, values: Mapping[str, float]) -> float:
+        """Return ``rhs - lhs`` for ``<=`` rows (``lhs - rhs`` for ``>=``).
+
+        Equality rows return the absolute residual.  A feasible point has a
+        non-negative slack (up to numerical tolerance) on every row.
+        """
+        lhs = sum(coef * values.get(var, 0.0) for var, coef in self.coefficients.items())
+        if self.sense == "<=":
+            return self.rhs - lhs
+        if self.sense == ">=":
+            return lhs - self.rhs
+        return -abs(lhs - self.rhs)
+
+
+class LinearProgram:
+    """A maximisation linear program over non-negative variables.
+
+    The program is::
+
+        maximise    sum_j objective[j] * x_j
+        subject to  A x (<=, >=, ==) b
+                    0 <= x_j <= upper_j
+
+    Variables are registered with :meth:`add_variable` and referenced by name
+    in the objective and in constraints.  The insertion order of variables is
+    preserved and defines the column order of the dense exports.
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._variables: dict[str, Variable] = {}
+        self._objective: dict[str, float] = {}
+        self._constraints: list[Constraint] = []
+
+    # ------------------------------------------------------------------ #
+    # model construction
+    # ------------------------------------------------------------------ #
+    def add_variable(self, name: str, upper: float | None = None) -> Variable:
+        """Register a non-negative variable and return it.
+
+        Raises
+        ------
+        SolverError
+            If a variable with the same name already exists.
+        """
+        if name in self._variables:
+            raise SolverError(f"duplicate variable {name!r} in program {self.name!r}")
+        var = Variable(name=name, upper=upper)
+        self._variables[name] = var
+        return var
+
+    def set_objective(self, coefficients: Mapping[str, float]) -> None:
+        """Set the (maximisation) objective from a name→coefficient mapping."""
+        unknown = set(coefficients) - set(self._variables)
+        if unknown:
+            raise SolverError(f"objective references unknown variables: {sorted(unknown)}")
+        self._objective = dict(coefficients)
+
+    def add_objective_term(self, name: str, coefficient: float) -> None:
+        """Add ``coefficient * name`` to the objective (accumulating)."""
+        if name not in self._variables:
+            raise SolverError(f"objective references unknown variable {name!r}")
+        self._objective[name] = self._objective.get(name, 0.0) + coefficient
+
+    def add_constraint(
+        self,
+        name: str,
+        coefficients: Mapping[str, float],
+        sense: Sense,
+        rhs: float,
+    ) -> Constraint:
+        """Add a constraint row and return it.
+
+        Zero coefficients are dropped; an all-zero row is rejected because it
+        is either trivially true or trivially false and always indicates a
+        modelling bug in this code base.
+        """
+        cleaned = {var: float(coef) for var, coef in coefficients.items() if coef != 0.0}
+        unknown = set(cleaned) - set(self._variables)
+        if unknown:
+            raise SolverError(
+                f"constraint {name!r} references unknown variables: {sorted(unknown)}"
+            )
+        constraint = Constraint(name=name, coefficients=cleaned, sense=sense, rhs=float(rhs))
+        self._constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variable_names(self) -> list[str]:
+        """Variable names in insertion (column) order."""
+        return list(self._variables)
+
+    @property
+    def variables(self) -> list[Variable]:
+        """Variables in insertion order."""
+        return list(self._variables.values())
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """Constraint rows in insertion order."""
+        return list(self._constraints)
+
+    @property
+    def objective(self) -> dict[str, float]:
+        """A copy of the objective coefficient mapping."""
+        return dict(self._objective)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:  # pragma: no cover - convenience
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LinearProgram({self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # exports
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Export the program as dense numpy arrays.
+
+        Returns ``(c, A_ub, b_ub, A_eq, b_eq, upper)`` where ``c`` is the
+        maximisation objective, ``A_ub x <= b_ub`` collects the inequality
+        rows (``>=`` rows are negated into ``<=`` form), ``A_eq x == b_eq``
+        collects the equality rows and ``upper`` holds per-variable upper
+        bounds (``inf`` when unbounded).
+        """
+        names = self.variable_names
+        index = {name: j for j, name in enumerate(names)}
+        n = len(names)
+
+        c = np.zeros(n)
+        for name, coef in self._objective.items():
+            c[index[name]] = coef
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for con in self._constraints:
+            row = np.zeros(n)
+            for var, coef in con.coefficients.items():
+                row[index[var]] = coef
+            if con.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(con.rhs)
+            elif con.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-con.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(con.rhs)
+
+        a_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
+        a_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+        upper = np.array(
+            [np.inf if v.upper is None else float(v.upper) for v in self._variables.values()]
+        )
+        return c, a_ub, b_ub, a_eq, b_eq, upper
+
+    def to_exact_rows(self) -> tuple[list[Fraction], list[list[Fraction]], list[Fraction], list[str]]:
+        """Export the program in exact ``<=`` standard form for the simplex.
+
+        Equality rows are split into a ``<=`` and a ``>=`` pair; ``>=`` rows
+        are negated; per-variable upper bounds become additional rows.  The
+        return value is ``(c, A, b, names)`` with every entry a
+        :class:`Fraction`, describing ``maximise c·x s.t. A x <= b, x >= 0``.
+        """
+        names = self.variable_names
+        index = {name: j for j, name in enumerate(names)}
+        n = len(names)
+
+        c = [Fraction(0)] * n
+        for name, coef in self._objective.items():
+            c[index[name]] = _as_fraction(coef)
+
+        rows: list[list[Fraction]] = []
+        rhs: list[Fraction] = []
+
+        def _row(coefficients: Mapping[str, float], sign: int) -> list[Fraction]:
+            row = [Fraction(0)] * n
+            for var, coef in coefficients.items():
+                row[index[var]] = sign * _as_fraction(coef)
+            return row
+
+        for con in self._constraints:
+            if con.sense == "<=":
+                rows.append(_row(con.coefficients, +1))
+                rhs.append(_as_fraction(con.rhs))
+            elif con.sense == ">=":
+                rows.append(_row(con.coefficients, -1))
+                rhs.append(-_as_fraction(con.rhs))
+            else:  # equality: two opposite inequalities
+                rows.append(_row(con.coefficients, +1))
+                rhs.append(_as_fraction(con.rhs))
+                rows.append(_row(con.coefficients, -1))
+                rhs.append(-_as_fraction(con.rhs))
+
+        for j, var in enumerate(self._variables.values()):
+            if var.upper is not None:
+                row = [Fraction(0)] * n
+                row[j] = Fraction(1)
+                rows.append(row)
+                rhs.append(_as_fraction(var.upper))
+
+        return c, rows, rhs, names
+
+    # ------------------------------------------------------------------ #
+    # verification helpers (used heavily by the test-suite)
+    # ------------------------------------------------------------------ #
+    def is_feasible(self, values: Mapping[str, float], tol: float = 1e-9) -> bool:
+        """Check whether ``values`` satisfies every constraint and bound."""
+        return not self.violations(values, tol=tol)
+
+    def violations(self, values: Mapping[str, float], tol: float = 1e-9) -> list[str]:
+        """Return human-readable descriptions of violated constraints."""
+        problems: list[str] = []
+        for name, var in self._variables.items():
+            value = values.get(name, 0.0)
+            if value < -tol:
+                problems.append(f"variable {name} is negative ({value})")
+            if var.upper is not None and value > var.upper + tol:
+                problems.append(f"variable {name} exceeds its bound ({value} > {var.upper})")
+        for con in self._constraints:
+            if con.slack(values) < -tol:
+                problems.append(f"constraint {con.name} violated by {-con.slack(values):.3e}")
+        return problems
+
+    def objective_value(self, values: Mapping[str, float]) -> float:
+        """Evaluate the objective at ``values``."""
+        return sum(coef * values.get(name, 0.0) for name, coef in self._objective.items())

@@ -1,0 +1,84 @@
+"""Result containers for the linear-programming substrate.
+
+The two solver backends (:mod:`repro.lp.simplex` and
+:mod:`repro.lp.scipy_backend`) return the same :class:`LPResult` structure so
+that the rest of the library never depends on which backend produced a
+solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+
+__all__ = ["LPStatus", "LPResult"]
+
+
+class LPStatus(Enum):
+    """Termination status of a linear-program solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self is LPStatus.OPTIMAL
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of maximising a linear objective over a polyhedron.
+
+    Attributes
+    ----------
+    status:
+        Termination status.  Only :attr:`LPStatus.OPTIMAL` results carry a
+        meaningful solution.
+    objective:
+        Optimal objective value (``float``); ``nan`` when not optimal.
+    values:
+        Mapping from variable name to optimal value.
+    exact_values:
+        Present only for the exact simplex backend: the same solution with
+        :class:`fractions.Fraction` coordinates (empty otherwise).
+    backend:
+        Identifier of the backend that produced the result
+        (``"exact-simplex"`` or ``"scipy-highs"``).
+    iterations:
+        Number of pivots / solver iterations, when available.
+    """
+
+    status: LPStatus
+    objective: float
+    values: Mapping[str, float]
+    exact_values: Mapping[str, Fraction] = field(default_factory=dict)
+    backend: str = "unknown"
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        """``True`` when the solver proved optimality."""
+        return self.status is LPStatus.OPTIMAL
+
+    def value(self, name: str) -> float:
+        """Return the optimal value of variable ``name`` (0.0 if absent).
+
+        Variables that do not appear in any constraint may be dropped by a
+        backend; they are implicitly zero in a maximisation with
+        non-positive reduced cost, which is the convention used here.
+        """
+        return float(self.values.get(name, 0.0))
+
+    def vector(self, names: Sequence[str]) -> list[float]:
+        """Return the values of ``names`` in order, as a plain list."""
+        return [self.value(name) for name in names]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LPResult(status={self.status.value!r}, objective={self.objective:.6g}, "
+            f"backend={self.backend!r}, nvars={len(self.values)})"
+        )

@@ -1,0 +1,306 @@
+"""Exact rational simplex solver.
+
+The divisible-load linear programs in this library are tiny (at most a few
+dozen variables) but their optimality arguments rely on *vertex* solutions:
+Lemma 1 of the paper counts tight constraints at an optimal vertex to show
+that at most one enrolled worker is idle.  Floating-point solvers make that
+kind of reasoning fragile, so the library ships an exact two-phase simplex
+over :class:`fractions.Fraction`.
+
+The solver accepts problems in the standard form produced by
+:meth:`repro.lp.model.LinearProgram.to_exact_rows`::
+
+    maximise    c . x
+    subject to  A x <= b
+                x >= 0
+
+Negative right-hand sides are allowed (they arise from ``>=`` rows); the
+implementation then runs a phase-1 with artificial variables.  Bland's rule
+is used throughout, which guarantees termination (no cycling) at the price of
+a few extra pivots — irrelevant at this problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.exceptions import InfeasibleProblemError, SolverError, UnboundedProblemError
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+
+__all__ = ["ExactSimplexSolver", "solve_exact"]
+
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass
+class _Tableau:
+    """Dense simplex tableau over rationals.
+
+    ``rows`` holds one list per constraint: the coefficients of all columns
+    followed by the right-hand side.  ``basis[i]`` is the column index basic
+    in row ``i``.  ``objective`` is the current objective row (reduced costs,
+    stored negated in the classic "z-row" convention) with the objective
+    value in its last entry.
+    """
+
+    rows: list[list[Fraction]]
+    basis: list[int]
+    objective: list[Fraction]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.objective) - 1
+
+    def pivot(self, row: int, col: int) -> None:
+        """Perform a pivot on entry ``(row, col)``."""
+        pivot_row = self.rows[row]
+        pivot_value = pivot_row[col]
+        if pivot_value == 0:
+            raise SolverError("attempted to pivot on a zero element")
+        inv = _ONE / pivot_value
+        self.rows[row] = [entry * inv for entry in pivot_row]
+        pivot_row = self.rows[row]
+        for r, other in enumerate(self.rows):
+            if r == row:
+                continue
+            factor = other[col]
+            if factor != 0:
+                self.rows[r] = [a - factor * b for a, b in zip(other, pivot_row)]
+        factor = self.objective[col]
+        if factor != 0:
+            self.objective = [a - factor * b for a, b in zip(self.objective, pivot_row)]
+        self.basis[row] = col
+
+
+class ExactSimplexSolver:
+    """Two-phase primal simplex with Bland's anti-cycling rule.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety cap on the total number of pivots.  The default is generous
+        for the problem sizes used in this library; hitting it raises
+        :class:`~repro.exceptions.SolverError`.
+    """
+
+    backend_name = "exact-simplex"
+
+    def __init__(self, max_iterations: int = 10_000) -> None:
+        if max_iterations <= 0:
+            raise SolverError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve(self, program: LinearProgram) -> LPResult:
+        """Solve ``program`` exactly and return an :class:`LPResult`.
+
+        The returned result carries both float values (``values``) and the
+        exact rational solution (``exact_values``).
+        """
+        c, rows, rhs, names = program.to_exact_rows()
+        try:
+            solution, objective, iterations = self._solve_standard_form(c, rows, rhs)
+        except InfeasibleProblemError:
+            return LPResult(
+                status=LPStatus.INFEASIBLE,
+                objective=float("nan"),
+                values={},
+                backend=self.backend_name,
+            )
+        except UnboundedProblemError:
+            return LPResult(
+                status=LPStatus.UNBOUNDED,
+                objective=float("inf"),
+                values={},
+                backend=self.backend_name,
+            )
+        exact = {name: solution[j] for j, name in enumerate(names)}
+        values = {name: float(value) for name, value in exact.items()}
+        return LPResult(
+            status=LPStatus.OPTIMAL,
+            objective=float(objective),
+            values=values,
+            exact_values=exact,
+            backend=self.backend_name,
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # standard-form solver
+    # ------------------------------------------------------------------ #
+    def _solve_standard_form(
+        self,
+        c: Sequence[Fraction],
+        a_rows: Sequence[Sequence[Fraction]],
+        b: Sequence[Fraction],
+    ) -> tuple[list[Fraction], Fraction, int]:
+        """Maximise ``c.x`` subject to ``A x <= b`` and ``x >= 0`` exactly."""
+        n = len(c)
+        m = len(a_rows)
+        if any(len(row) != n for row in a_rows):
+            raise SolverError("inconsistent row width in exact simplex input")
+        if len(b) != m:
+            raise SolverError("right-hand side length does not match row count")
+
+        if m == 0:
+            # Without constraints the problem is either trivially zero or unbounded.
+            if any(coef > 0 for coef in c):
+                raise UnboundedProblemError("no constraints bound a positive objective")
+            return [_ZERO] * n, _ZERO, 0
+
+        # Build equality rows A x + s = b, flipping rows with negative rhs so
+        # that all right-hand sides are non-negative.
+        total_columns = n + m  # structural + slack columns
+        rows: list[list[Fraction]] = []
+        slack_sign: list[int] = []
+        for i in range(m):
+            sign = 1 if b[i] >= 0 else -1
+            row = [sign * Fraction(v) for v in a_rows[i]]
+            slack = [_ZERO] * m
+            slack[i] = Fraction(sign)
+            rows.append(row + slack + [sign * Fraction(b[i])])
+            slack_sign.append(sign)
+
+        basis: list[int] = [-1] * m
+        artificial_columns: list[int] = []
+        # Rows whose slack kept a +1 coefficient can use it as the initial basis;
+        # flipped rows need an artificial variable.
+        for i in range(m):
+            if slack_sign[i] == 1:
+                basis[i] = n + i
+        for i in range(m):
+            if basis[i] == -1:
+                col = total_columns + len(artificial_columns)
+                artificial_columns.append(col)
+                for r in range(m):
+                    rows[r].insert(-1, _ONE if r == i else _ZERO)
+                basis[i] = col
+        width = total_columns + len(artificial_columns)
+
+        iterations = 0
+
+        # ------------------------- phase 1 ------------------------------ #
+        if artificial_columns:
+            objective = [_ZERO] * (width + 1)
+            for col in artificial_columns:
+                objective[col] = -_ONE  # maximise -(sum of artificials)
+            tableau = _Tableau(rows=rows, basis=basis, objective=list(objective))
+            self._price_out_basis(tableau)
+            iterations += self._run(tableau)
+            # The stored entry is the negated objective value; a positive
+            # residual means some artificial variable stayed positive.
+            if tableau.objective[-1] > 0:
+                raise InfeasibleProblemError("phase-1 optimum is negative: empty feasible region")
+            self._drive_out_artificials(tableau, total_columns)
+            rows = [row[:total_columns] + [row[-1]] for row in tableau.rows]
+            basis = list(tableau.basis)
+            if any(col >= total_columns for col in basis):
+                # A redundant row kept an artificial in the basis at value zero;
+                # it can simply be dropped.
+                keep = [i for i, col in enumerate(basis) if col < total_columns]
+                rows = [rows[i] for i in keep]
+                basis = [basis[i] for i in keep]
+            width = total_columns
+
+        # ------------------------- phase 2 ------------------------------ #
+        objective = [_ZERO] * (width + 1)
+        for j in range(n):
+            objective[j] = Fraction(c[j])
+        tableau = _Tableau(rows=rows, basis=basis, objective=objective)
+        self._price_out_basis(tableau)
+        iterations += self._run(tableau)
+
+        solution = [_ZERO] * width
+        for i, col in enumerate(tableau.basis):
+            solution[col] = tableau.rows[i][-1]
+        # The z-row stores the *negated* objective value in its last entry.
+        return solution[:n], -tableau.objective[-1], iterations
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _price_out_basis(tableau: _Tableau) -> None:
+        """Make the objective row consistent with the current basis.
+
+        After (re)setting the objective, basic columns must have a zero
+        reduced cost; this subtracts the appropriate multiples of the basic
+        rows from the objective row.
+        """
+        for i, col in enumerate(tableau.basis):
+            factor = tableau.objective[col]
+            if factor != 0:
+                row = tableau.rows[i]
+                tableau.objective = [a - factor * b for a, b in zip(tableau.objective, row)]
+
+    def _run(self, tableau: _Tableau) -> int:
+        """Run primal simplex pivots until optimality; return pivot count."""
+        iterations = 0
+        ncols = tableau.num_columns
+        while True:
+            if iterations > self.max_iterations:
+                raise SolverError(
+                    f"exact simplex exceeded {self.max_iterations} iterations; "
+                    "this indicates a malformed program"
+                )
+            # Bland's rule: entering column = smallest index with positive
+            # reduced cost (we maximise, objective row stores c_j - z_j).
+            entering = -1
+            for j in range(ncols):
+                if tableau.objective[j] > 0:
+                    entering = j
+                    break
+            if entering == -1:
+                return iterations
+
+            # Ratio test, Bland tie-break on the basic variable index.
+            leaving = -1
+            best_ratio: Fraction | None = None
+            for i, row in enumerate(tableau.rows):
+                coef = row[entering]
+                if coef > 0:
+                    ratio = row[-1] / coef
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and tableau.basis[i] < tableau.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving == -1:
+                raise UnboundedProblemError(
+                    "objective can be increased without bound (no leaving row)"
+                )
+            tableau.pivot(leaving, entering)
+            iterations += 1
+
+    @staticmethod
+    def _drive_out_artificials(tableau: _Tableau, structural_columns: int) -> None:
+        """Pivot zero-valued artificial variables out of the basis when possible."""
+        for i, col in enumerate(tableau.basis):
+            if col < structural_columns:
+                continue
+            row = tableau.rows[i]
+            replacement = -1
+            for j in range(structural_columns):
+                if row[j] != 0:
+                    replacement = j
+                    break
+            if replacement != -1:
+                tableau.pivot(i, replacement)
+
+
+def solve_exact(program: LinearProgram, max_iterations: int = 10_000) -> LPResult:
+    """Convenience wrapper: solve ``program`` with :class:`ExactSimplexSolver`."""
+    return ExactSimplexSolver(max_iterations=max_iterations).solve(program)

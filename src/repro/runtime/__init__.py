@@ -1,0 +1,20 @@
+"""Simulated message-passing runtime and the matrix-product application."""
+
+from __future__ import annotations
+
+from repro.runtime.api import MASTER_RANK, Message, NodeContext, SimulatedRuntime
+from repro.runtime.matrix_app import (
+    MatrixCampaignResult,
+    campaign_from_schedule,
+    run_matrix_campaign,
+)
+
+__all__ = [
+    "MASTER_RANK",
+    "Message",
+    "NodeContext",
+    "SimulatedRuntime",
+    "MatrixCampaignResult",
+    "run_matrix_campaign",
+    "campaign_from_schedule",
+]

@@ -1,0 +1,300 @@
+"""A small simulated message-passing runtime (MPI stand-in).
+
+The paper's experiments are MPI programs: a master process and one process
+per worker exchanging blocking point-to-point messages.  This module
+provides the equivalent programming model on top of the discrete-event
+engine, so that the matrix-product application of Section 5 can be written
+the way the original code was — as per-node programs calling ``send`` /
+``recv`` / ``compute`` — instead of being hard-wired into the simulator.
+
+Semantics (deliberately close to blocking MPI for large messages):
+
+* messages are matched by ``(source, destination, tag)`` in FIFO order;
+* a transfer starts only when both the send and the matching receive have
+  been posted (rendezvous), and it then occupies the involved network
+  ports for ``bytes / bandwidth`` seconds (plus optional noise);
+* node 0 (the master) owns a single port under the one-port model — all of
+  its transfers, incoming or outgoing, are serialised through it; workers
+  have dedicated ports;
+* ``compute`` blocks the calling node for ``flops / flop_rate`` seconds.
+
+Programs are generator functions receiving a :class:`NodeContext`; they
+``yield`` the events returned by the context methods, exactly like native
+:mod:`repro.simulation.engine` processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Mapping
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Event, Resource, Simulator
+from repro.simulation.noise import NoiseModel, NoJitter
+from repro.simulation.trace import Trace
+
+__all__ = ["Message", "NodeContext", "SimulatedRuntime", "MASTER_RANK"]
+
+
+#: Rank of the master process, by convention (as in the paper's MPI code).
+MASTER_RANK = 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """A received message: metadata plus the (optional) payload object."""
+
+    source: int
+    destination: int
+    tag: int
+    nbytes: float
+    payload: object = None
+
+
+@dataclass
+class _PendingSend:
+    source: int
+    destination: int
+    tag: int
+    nbytes: float
+    payload: object
+    done: Event
+
+
+@dataclass
+class _PendingRecv:
+    source: int
+    destination: int
+    tag: int
+    done: Event
+
+
+class NodeContext:
+    """Per-node handle exposing the communication and computation calls."""
+
+    def __init__(self, runtime: "SimulatedRuntime", rank: int) -> None:
+        self._runtime = runtime
+        self.rank = rank
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._runtime.simulator.now
+
+    def send(self, destination: int, nbytes: float, tag: int = 0, payload: object = None) -> Event:
+        """Post a blocking send; the event triggers when the transfer ends."""
+        return self._runtime._post_send(self.rank, destination, nbytes, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Event:
+        """Post a blocking receive; the event's value is the :class:`Message`."""
+        return self._runtime._post_recv(source, self.rank, tag)
+
+    def compute(self, flops: float) -> Event:
+        """Run ``flops`` floating-point operations on this node."""
+        return self._runtime._compute(self.rank, flops)
+
+    def sleep(self, seconds: float) -> Event:
+        """Stay idle for ``seconds`` (used by tests and examples)."""
+        if seconds < 0:
+            raise SimulationError("sleep duration must be non-negative")
+        return self._runtime.simulator.timeout(seconds)
+
+
+class SimulatedRuntime:
+    """A cluster of ranked nodes exchanging messages over a star network.
+
+    Parameters
+    ----------
+    bandwidths:
+        Map rank → link speed (bytes/second) of the node's link to the
+        master.  The master's own entry is ignored (its port serialises
+        transfers but the speed of a transfer is the worker link's).
+    flop_rates:
+        Map rank → computation speed (flop/second).
+    one_port:
+        Serialise all master transfers through one port (default); when
+        ``False`` the master gets independent send and receive ports.
+    noise:
+        Optional noise model applied to transfer and computation durations.
+    """
+
+    def __init__(
+        self,
+        bandwidths: Mapping[int, float],
+        flop_rates: Mapping[int, float],
+        one_port: bool = True,
+        noise: NoiseModel | None = None,
+    ) -> None:
+        for rank, value in bandwidths.items():
+            if value <= 0:
+                raise SimulationError(f"bandwidth of rank {rank} must be positive")
+        for rank, value in flop_rates.items():
+            if value <= 0:
+                raise SimulationError(f"flop rate of rank {rank} must be positive")
+        self.bandwidths = dict(bandwidths)
+        self.flop_rates = dict(flop_rates)
+        self.one_port = one_port
+        self.noise = noise if noise is not None else NoJitter()
+        self.simulator = Simulator()
+        self.trace = Trace()
+        if one_port:
+            port = Resource(self.simulator, capacity=1, name="master-port")
+            self._master_out = port
+            self._master_in = port
+        else:
+            self._master_out = Resource(self.simulator, capacity=1, name="master-send-port")
+            self._master_in = Resource(self.simulator, capacity=1, name="master-recv-port")
+        self._pending_sends: dict[tuple[int, int, int], list[_PendingSend]] = {}
+        self._pending_recvs: dict[tuple[int, int, int], list[_PendingRecv]] = {}
+        self._programs: list[tuple[int, Callable[[NodeContext], Generator[Event, object, object]]]] = []
+        self._node_processes: list[Event] = []
+
+    # ------------------------------------------------------------------ #
+    # program registration and execution
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        rank: int,
+        program: Callable[[NodeContext], Generator[Event, object, object]],
+    ) -> None:
+        """Register the program of node ``rank`` (a generator function)."""
+        if any(existing == rank for existing, _ in self._programs):
+            raise SimulationError(f"rank {rank} already has a program")
+        self._programs.append((rank, program))
+
+    def run(self, until: float | None = None) -> float:
+        """Start every registered program and run the simulation.
+
+        Returns the completion time of the last node program.  Raises
+        :class:`SimulationError` if some program never finished (deadlock:
+        e.g. a send whose matching receive is never posted).
+        """
+        if not self._programs:
+            raise SimulationError("no node program registered")
+        self._node_processes = [
+            self.simulator.process(program(NodeContext(self, rank)), name=f"rank-{rank}")
+            for rank, program in self._programs
+        ]
+        self.simulator.run(until=until)
+        unfinished = [
+            rank
+            for (rank, _), process in zip(self._programs, self._node_processes)
+            if not process.triggered
+        ]
+        if unfinished:
+            raise SimulationError(
+                f"deadlock: node programs of ranks {unfinished} never completed "
+                "(unmatched send/recv?)"
+            )
+        return self.simulator.now
+
+    # ------------------------------------------------------------------ #
+    # messaging internals
+    # ------------------------------------------------------------------ #
+    def _link_bandwidth(self, source: int, destination: int) -> float:
+        """Bandwidth of a transfer: the non-master endpoint's link speed."""
+        endpoint = destination if source == MASTER_RANK else source
+        try:
+            return self.bandwidths[endpoint]
+        except KeyError:
+            raise SimulationError(f"no bandwidth registered for rank {endpoint}") from None
+
+    def _ports_for(self, source: int, destination: int) -> list[Resource]:
+        """Master ports a transfer must hold (empty for worker-to-worker)."""
+        ports: list[Resource] = []
+        if source == MASTER_RANK:
+            ports.append(self._master_out)
+        if destination == MASTER_RANK:
+            ports.append(self._master_in)
+        # Under the one-port model both cases map to the same resource; a
+        # master-to-master message (never used) would deadlock, so forbid it.
+        if source == MASTER_RANK and destination == MASTER_RANK:
+            raise SimulationError("the master cannot message itself")
+        return ports
+
+    def _post_send(
+        self, source: int, destination: int, nbytes: float, tag: int, payload: object
+    ) -> Event:
+        if nbytes < 0:
+            raise SimulationError("message size must be non-negative")
+        send = _PendingSend(
+            source=source,
+            destination=destination,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            done=self.simulator.event(),
+        )
+        key = (source, destination, tag)
+        recvs = self._pending_recvs.get(key, [])
+        if recvs:
+            recv = recvs.pop(0)
+            self._start_transfer(send, recv)
+        else:
+            self._pending_sends.setdefault(key, []).append(send)
+        return send.done
+
+    def _post_recv(self, source: int, destination: int, tag: int) -> Event:
+        recv = _PendingRecv(
+            source=source, destination=destination, tag=tag, done=self.simulator.event()
+        )
+        key = (source, destination, tag)
+        sends = self._pending_sends.get(key, [])
+        if sends:
+            send = sends.pop(0)
+            self._start_transfer(send, recv)
+        else:
+            self._pending_recvs.setdefault(key, []).append(recv)
+        return recv.done
+
+    def _start_transfer(self, send: _PendingSend, recv: _PendingRecv) -> None:
+        self.simulator.process(self._transfer(send, recv), name="transfer")
+
+    def _transfer(self, send: _PendingSend, recv: _PendingRecv) -> Generator[Event, object, None]:
+        bandwidth = self._link_bandwidth(send.source, send.destination)
+        duration = send.nbytes / bandwidth
+        kind = "send" if send.source == MASTER_RANK else "return"
+        duration = self.noise.perturb(duration, kind, f"rank-{max(send.source, send.destination)}")
+        ports = self._ports_for(send.source, send.destination)
+        for port in ports:
+            yield port.request()
+        start = self.simulator.now
+        yield self.simulator.timeout(duration)
+        end = self.simulator.now
+        for port in reversed(ports):
+            port.release()
+        if ports:
+            self.trace.record("master", kind, start, end, load=send.nbytes, note=f"rank-{send.destination}")
+        other = send.destination if send.source == MASTER_RANK else send.source
+        self.trace.record(f"rank-{other}", kind, start, end, load=send.nbytes)
+        message = Message(
+            source=send.source,
+            destination=send.destination,
+            tag=send.tag,
+            nbytes=send.nbytes,
+            payload=send.payload,
+        )
+        send.done.succeed(message)
+        recv.done.succeed(message)
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def _compute(self, rank: int, flops: float) -> Event:
+        if flops < 0:
+            raise SimulationError("flops must be non-negative")
+        try:
+            rate = self.flop_rates[rank]
+        except KeyError:
+            raise SimulationError(f"no flop rate registered for rank {rank}") from None
+        duration = self.noise.perturb(flops / rate, "compute", f"rank-{rank}")
+        done = self.simulator.event()
+
+        def _run() -> Generator[Event, object, None]:
+            start = self.simulator.now
+            yield self.simulator.timeout(duration)
+            self.trace.record(f"rank-{rank}", "compute", start, self.simulator.now, load=flops)
+            done.succeed(self.simulator.now)
+
+        self.simulator.process(_run(), name=f"compute-rank-{rank}")
+        return done

@@ -1,0 +1,53 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's MPI testbed: a small deterministic
+discrete-event engine (:mod:`~repro.simulation.engine`), the master's
+one-port/two-port network interface (:mod:`~repro.simulation.network`), the
+master-worker cluster executing divisible-load schedules
+(:mod:`~repro.simulation.cluster`), pluggable measurement noise
+(:mod:`~repro.simulation.noise`), Gantt traces
+(:mod:`~repro.simulation.trace`) and the high-level predicted-vs-measured
+executor (:mod:`~repro.simulation.executor`).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.cluster import ClusterRun, ClusterSimulation, WorkerRecord
+from repro.simulation.engine import Event, Process, Resource, Simulator, Store, Timeout
+from repro.simulation.executor import ExecutionReport, execute_schedule, measure_heuristic
+from repro.simulation.network import MasterPorts, transfer
+from repro.simulation.noise import (
+    AffineOverhead,
+    ComposedNoise,
+    GaussianJitter,
+    NoJitter,
+    NoiseModel,
+    UniformJitter,
+)
+from repro.simulation.trace import Trace, TraceEvent, ascii_gantt
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "MasterPorts",
+    "transfer",
+    "ClusterSimulation",
+    "ClusterRun",
+    "WorkerRecord",
+    "ExecutionReport",
+    "execute_schedule",
+    "measure_heuristic",
+    "NoiseModel",
+    "NoJitter",
+    "UniformJitter",
+    "GaussianJitter",
+    "AffineOverhead",
+    "ComposedNoise",
+    "Trace",
+    "TraceEvent",
+    "ascii_gantt",
+]

@@ -1,0 +1,324 @@
+"""Discrete-event simulation engine.
+
+The paper's evaluation runs MPI programs on a real cluster; this library
+replaces the cluster with a small discrete-event simulator.  The engine in
+this module is deliberately generic (it knows nothing about scheduling): it
+provides the classic process-interaction primitives —
+
+* :class:`Event` — a one-shot occurrence processes can wait for,
+* :class:`Process` — a generator-based process driven by the event loop,
+* :class:`Resource` — a counted resource with a FIFO wait queue (used to
+  model the master's network port under the one-port model),
+* :class:`Store` — an unbounded FIFO message store (used for mailboxes),
+* :class:`Simulator` — the event loop itself —
+
+in the style of SimPy, but self-contained (no external dependency) and small
+enough to be audited in one sitting.  Determinism matters more than raw
+speed here: events scheduled for the same instant fire in FIFO order of
+scheduling, so simulated campaigns are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "Resource", "Store", "Simulator"]
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` triggers it, stores an
+    optional value and wakes up every waiting process.  Triggering an event
+    twice is an error (it would silently reorder the simulation).
+    """
+
+    __slots__ = ("simulator", "callbacks", "_value", "_triggered", "_scheduled")
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self.simulator = simulator
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been triggered."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """Value passed to :meth:`succeed` (``None`` until triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event *now* and schedule its callbacks."""
+        if self._triggered or self._scheduled:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self._scheduled = True
+        self.simulator._schedule(0.0, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        self._triggered = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; runs immediately if already triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, simulator: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(simulator)
+        self.delay = delay
+        self._value = value
+        self._scheduled = True
+        simulator._schedule(delay, self._fire)
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each yielded event triggers, receiving the event's value
+    through the generator protocol.  The process itself is an event that
+    triggers (with the generator's return value) when the generator finishes,
+    so processes can wait for each other.
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(simulator)
+        self.generator = generator
+        self.name = name
+        # Bootstrap on the next scheduling round so that the constructor
+        # returns before the first step runs.
+        simulator._schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._value = stop.value
+            callbacks, self.callbacks = self.callbacks, []
+            for callback in callbacks:
+                callback(self)
+            return
+        except Exception as error:  # surface process crashes with context
+            raise SimulationError(f"process {self.name!r} raised: {error!r}") from error
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        target.add_callback(lambda event: self._step(event.value))
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``capacity=1`` models the master's network interface under the one-port
+    model: at most one communication holds the resource at any time, and
+    pending requests are served in the order they were issued.
+    """
+
+    __slots__ = ("simulator", "capacity", "_in_use", "_waiting", "name")
+
+    def __init__(self, simulator: "Simulator", capacity: int = 1, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.simulator = simulator
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted requests."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that triggers when the resource is granted."""
+        event = Event(self.simulator)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one unit of the resource, granting the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"resource {self.name!r} released more times than acquired")
+        if self._waiting:
+            event = self._waiting.pop(0)
+            event.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO store of items (a mailbox).
+
+    ``put`` never blocks; ``get`` returns an event that triggers as soon as
+    an item is available (immediately when the store is non-empty).
+    """
+
+    __slots__ = ("simulator", "_items", "_getters", "name")
+
+    def __init__(self, simulator: "Simulator", name: str = "store") -> None:
+        self.simulator = simulator
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking up the oldest waiting getter if any."""
+        if self._getters:
+            event = self._getters.pop(0)
+            event.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (FIFO)."""
+        event = Event(self.simulator)
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of callbacks.
+
+    Ties on the timestamp are broken by scheduling order, which keeps runs
+    deterministic regardless of hash seeds or dictionary ordering.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- primitives used by Event/Timeout/Process --------------------------- #
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    # -- public factory helpers --------------------------------------------- #
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "process") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        """Create a counted resource."""
+        return Resource(self, capacity=capacity, name=name)
+
+    def store(self, name: str = "store") -> Store:
+        """Create a FIFO store."""
+        return Store(self, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Return an event triggering once every event in ``events`` has."""
+        events = list(events)
+        gate = Event(self)
+        remaining = len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+        values: list[Any] = [None] * remaining
+
+        def _done(index: int) -> Callable[[Event], None]:
+            def _callback(event: Event) -> None:
+                nonlocal remaining
+                values[index] = event.value
+                remaining -= 1
+                if remaining == 0:
+                    gate.succeed(values)
+
+            return _callback
+
+        for index, event in enumerate(events):
+            event.add_callback(_done(index))
+        return gate
+
+    # -- execution ----------------------------------------------------------- #
+    def step(self) -> None:
+        """Execute the next scheduled callback."""
+        if not self._queue:
+            raise SimulationError("no scheduled events left")
+        time, _, callback = heapq.heappop(self._queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = max(self._now, time)
+        callback()
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run the simulation until the queue empties (or ``until`` is reached).
+
+        Returns the final simulation time.  ``max_events`` is a safety net
+        against accidentally non-terminating process graphs.
+        """
+        executed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely a livelock"
+                )
+        return self._now

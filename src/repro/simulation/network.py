@@ -1,0 +1,93 @@
+"""Network model: the master's communication ports.
+
+Under the one-port model the master can be engaged in at most one
+communication — send *or* receive — at any time.  Under the two-port model it
+owns one outgoing and one incoming port that can be active simultaneously
+(but each still serves one worker at a time).  Both are modelled with the
+:class:`~repro.simulation.engine.Resource` primitive; :class:`MasterPorts`
+hides the difference behind ``send_port`` / ``receive_port`` accessors so the
+cluster code is identical for both models.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Event, Resource, Simulator
+from repro.simulation.trace import Trace
+
+__all__ = ["MasterPorts", "transfer"]
+
+
+class MasterPorts:
+    """The master's network interface(s).
+
+    Parameters
+    ----------
+    simulator:
+        The owning event loop.
+    one_port:
+        ``True`` (default) shares a single port between sends and receives,
+        enforcing the paper's one-port model; ``False`` gives independent
+        send and receive ports (the two-port model of the companion report).
+    """
+
+    def __init__(self, simulator: Simulator, one_port: bool = True) -> None:
+        self.simulator = simulator
+        self.one_port = one_port
+        if one_port:
+            shared = Resource(simulator, capacity=1, name="master-port")
+            self._send = shared
+            self._receive = shared
+        else:
+            self._send = Resource(simulator, capacity=1, name="master-send-port")
+            self._receive = Resource(simulator, capacity=1, name="master-recv-port")
+
+    @property
+    def send_port(self) -> Resource:
+        """Resource guarding master → worker transfers."""
+        return self._send
+
+    @property
+    def receive_port(self) -> Resource:
+        """Resource guarding worker → master transfers."""
+        return self._receive
+
+    @property
+    def busy(self) -> bool:
+        """``True`` while any communication is in flight."""
+        return self._send.in_use > 0 or self._receive.in_use > 0
+
+
+def transfer(
+    simulator: Simulator,
+    port: Resource,
+    duration: float,
+    trace: Trace | None = None,
+    resource_label: str = "master",
+    kind: str = "send",
+    worker: str = "",
+    load: float = 0.0,
+) -> Generator[Event, None, tuple[float, float]]:
+    """Process generator performing one transfer through ``port``.
+
+    Acquires the port, holds it for ``duration`` time units, releases it, and
+    optionally records the busy interval both on the master line and on the
+    worker line of ``trace``.  Returns ``(start, end)`` of the actual
+    transfer (excluding the time spent waiting for the port).
+    """
+    if duration < 0:
+        raise SimulationError(f"negative transfer duration: {duration}")
+    yield port.request()
+    start = simulator.now
+    try:
+        yield simulator.timeout(duration)
+    finally:
+        port.release()
+    end = simulator.now
+    if trace is not None:
+        trace.record(resource_label, kind, start, end, load=load, note=worker)
+        if worker:
+            trace.record(worker, kind, start, end, load=load)
+    return start, end

@@ -1,0 +1,152 @@
+"""Noise models for the simulated cluster.
+
+The paper compares the LP-predicted execution time against the time measured
+on a real cluster; measured times deviate because of OS jitter, MPI protocol
+overheads and cache effects (up to ~20% in Figure 12, growing when
+communication dominates in Figure 13b).  The simulator reproduces that gap
+with pluggable noise models applied to every individual operation
+(transfer or computation):
+
+* :class:`NoJitter` — ideal linear-cost execution (matches the LP exactly);
+* :class:`UniformJitter` — multiplicative noise ``U[1, 1 + amplitude]``,
+  i.e. operations only ever get slower, as contention and overheads do;
+* :class:`GaussianJitter` — multiplicative noise ``max(floor, N(1+bias, sigma))``;
+* :class:`AffineOverhead` — adds a constant per-operation latency, the
+  deviation from the pure linear model probed by Figure 13b.
+
+Models are deterministic given their seed, so experiment campaigns are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "OperationKind",
+    "NoiseModel",
+    "NoJitter",
+    "UniformJitter",
+    "GaussianJitter",
+    "AffineOverhead",
+    "ComposedNoise",
+]
+
+
+#: Operation kinds passed to noise models.
+OperationKind = str
+_KINDS = ("send", "compute", "return")
+
+
+class NoiseModel(Protocol):
+    """Structural type of a noise model."""
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        """Return the perturbed duration of one operation."""
+        ...  # pragma: no cover - protocol
+
+
+def _check(duration: float, kind: OperationKind) -> None:
+    if duration < 0:
+        raise SimulationError(f"negative operation duration: {duration}")
+    if kind not in _KINDS:
+        raise SimulationError(f"unknown operation kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class NoJitter:
+    """Ideal execution: durations are returned unchanged."""
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        _check(duration, kind)
+        return duration
+
+
+class UniformJitter:
+    """Multiplicative slowdown drawn uniformly from ``[1, 1 + amplitude]``.
+
+    Separate amplitudes can be given for communication and computation, which
+    is how the experiments model the fact that network transfers are noisier
+    than CPU-bound matrix products.
+    """
+
+    def __init__(
+        self,
+        amplitude: float = 0.1,
+        comm_amplitude: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if amplitude < 0 or (comm_amplitude is not None and comm_amplitude < 0):
+            raise SimulationError("jitter amplitudes must be non-negative")
+        self.amplitude = amplitude
+        self.comm_amplitude = comm_amplitude if comm_amplitude is not None else amplitude
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        _check(duration, kind)
+        amplitude = self.amplitude if kind == "compute" else self.comm_amplitude
+        return duration * (1.0 + self._rng.uniform(0.0, amplitude))
+
+
+class GaussianJitter:
+    """Multiplicative Gaussian noise with a floor.
+
+    The factor is ``max(floor, N(1 + bias, sigma))``; the floor prevents
+    negative or implausibly short durations.
+    """
+
+    def __init__(self, sigma: float = 0.05, bias: float = 0.0, floor: float = 0.5, seed: int = 0) -> None:
+        if sigma < 0:
+            raise SimulationError("sigma must be non-negative")
+        if floor <= 0:
+            raise SimulationError("floor must be positive")
+        self.sigma = sigma
+        self.bias = bias
+        self.floor = floor
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        _check(duration, kind)
+        factor = max(self.floor, self._rng.normal(1.0 + self.bias, self.sigma))
+        return duration * factor
+
+
+@dataclass(frozen=True)
+class AffineOverhead:
+    """Constant per-operation overheads (message latency, task start-up).
+
+    ``comm_latency`` is added to every transfer and ``compute_latency`` to
+    every computation, independent of the amount of load.  This breaks the
+    pure linear model in exactly the way the paper's Section 5.3.3 probes.
+    """
+
+    comm_latency: float = 0.0
+    compute_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.comm_latency < 0 or self.compute_latency < 0:
+            raise SimulationError("latencies must be non-negative")
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        _check(duration, kind)
+        if kind == "compute":
+            return duration + self.compute_latency
+        return duration + self.comm_latency
+
+
+class ComposedNoise:
+    """Apply several noise models in sequence (e.g. jitter then latency)."""
+
+    def __init__(self, *models: NoiseModel) -> None:
+        self.models = tuple(models)
+
+    def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
+        _check(duration, kind)
+        for model in self.models:
+            duration = model.perturb(duration, kind, worker)
+        return duration

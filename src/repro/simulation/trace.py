@@ -1,0 +1,196 @@
+"""Execution traces and Gantt rendering.
+
+The paper visualises one execution as a Gantt chart (Figure 9): one line for
+the master and one per worker, with initial transfers, computation and return
+transfers drawn as bars.  The simulator records the same information as a
+:class:`Trace` — a flat list of :class:`TraceEvent` — which can be exported
+to JSON or rendered as an ASCII Gantt chart for terminals and log files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import SimulationError
+
+__all__ = ["TraceEvent", "Trace", "ascii_gantt"]
+
+
+#: Event kinds recorded by the cluster simulator.
+EVENT_KINDS = ("send", "compute", "return", "wait", "idle")
+
+#: Single-character glyph per kind for the ASCII Gantt chart.
+_GLYPHS = {"send": "#", "compute": "=", "return": "+", "wait": ".", "idle": "."}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One bar of the Gantt chart.
+
+    ``resource`` is the line the bar belongs to (a worker name or
+    ``"master"``); ``kind`` is one of :data:`EVENT_KINDS`; ``load`` is the
+    amount of load the bar corresponds to (0 for waits).
+    """
+
+    resource: str
+    kind: str
+    start: float
+    end: float
+    load: float = 0.0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise SimulationError(f"unknown trace event kind {self.kind!r}")
+        if self.end < self.start - 1e-12:
+            raise SimulationError(
+                f"trace event for {self.resource!r} ends before it starts "
+                f"({self.end} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the bar."""
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly view."""
+        return {
+            "resource": self.resource,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "load": self.load,
+            "note": self.note,
+        }
+
+
+class Trace:
+    """An append-only collection of :class:`TraceEvent`."""
+
+    def __init__(self, events: Iterable[TraceEvent] = ()) -> None:
+        self._events: list[TraceEvent] = list(events)
+
+    def record(
+        self,
+        resource: str,
+        kind: str,
+        start: float,
+        end: float,
+        load: float = 0.0,
+        note: str = "",
+    ) -> TraceEvent:
+        """Append an event and return it."""
+        event = TraceEvent(resource=resource, kind=kind, start=start, end=end, load=load, note=note)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Copy of the recorded events."""
+        return list(self._events)
+
+    @property
+    def resources(self) -> list[str]:
+        """Resources in order of first appearance (master first if present)."""
+        seen: dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.resource, None)
+        names = list(seen)
+        if "master" in names:
+            names.remove("master")
+            names.insert(0, "master")
+        return names
+
+    @property
+    def makespan(self) -> float:
+        """Latest event end time (0.0 for an empty trace)."""
+        return max((event.end for event in self._events), default=0.0)
+
+    def for_resource(self, resource: str) -> list[TraceEvent]:
+        """Events of one resource, sorted by start time."""
+        return sorted(
+            (event for event in self._events if event.resource == resource),
+            key=lambda event: (event.start, event.end),
+        )
+
+    def busy_time(self, resource: str, kinds: Iterable[str] = ("send", "compute", "return")) -> float:
+        """Total time ``resource`` spends on the given kinds of events."""
+        wanted = set(kinds)
+        return sum(event.duration for event in self.for_resource(resource) if event.kind in wanted)
+
+    def overlapping_pairs(self, resource: str, tol: float = 1e-9) -> list[tuple[TraceEvent, TraceEvent]]:
+        """Return pairs of busy events of ``resource`` that overlap in time.
+
+        Used by the tests to assert the one-port model: the master resource
+        must never have two overlapping communication events.
+        """
+        events = [e for e in self.for_resource(resource) if e.kind in ("send", "return")]
+        overlaps: list[tuple[TraceEvent, TraceEvent]] = []
+        for i, first in enumerate(events):
+            for second in events[i + 1 :]:
+                if second.start < first.end - tol and first.start < second.end - tol:
+                    overlaps.append((first, second))
+        return overlaps
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise the trace to JSON."""
+        return json.dumps([event.as_dict() for event in self._events], indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_json` output."""
+        raw = json.loads(payload)
+        return cls(
+            TraceEvent(
+                resource=item["resource"],
+                kind=item["kind"],
+                start=item["start"],
+                end=item["end"],
+                load=item.get("load", 0.0),
+                note=item.get("note", ""),
+            )
+            for item in raw
+        )
+
+
+def ascii_gantt(trace: Trace, width: int = 80, label_width: int = 12) -> str:
+    """Render ``trace`` as an ASCII Gantt chart.
+
+    Each resource becomes one line of ``width`` character cells covering
+    ``[0, makespan]``; transfers are drawn with ``#`` (initial) and ``+``
+    (return), computations with ``=``, waits with ``.``.  Later events
+    overwrite earlier ones in case of rounding collisions, which matches the
+    drawing order of the paper's own visualisation tool.
+    """
+    if width <= 0:
+        raise SimulationError("gantt width must be positive")
+    makespan = trace.makespan
+    lines: list[str] = []
+    header = " " * label_width + f"|0{' ' * (width - 2)}| t={makespan:.4g}"
+    lines.append(header)
+    if makespan <= 0:
+        return "\n".join(lines)
+    scale = width / makespan
+    for resource in trace.resources:
+        cells = [" "] * width
+        for event in trace.for_resource(resource):
+            glyph = _GLYPHS.get(event.kind, "?")
+            first = min(width - 1, int(event.start * scale))
+            last = min(width - 1, max(first, int(event.end * scale) - 1))
+            for cell in range(first, last + 1):
+                cells[cell] = glyph
+        label = resource[:label_width].ljust(label_width)
+        lines.append(label + "".join(cells))
+    lines.append(
+        " " * label_width + "legend: # initial transfer, = computation, + return transfer, . wait"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Workload and platform generators for the experiment campaigns."""
+
+from __future__ import annotations
+
+from repro.workloads.matrices import DEFAULT_BANDWIDTH, DEFAULT_FLOP_RATE, MatrixProductWorkload
+from repro.workloads.platforms import (
+    DEFAULT_WORKERS,
+    FACTOR_RANGE,
+    PARTICIPATION_COMM_SPEEDS,
+    PARTICIPATION_COMP_SPEEDS,
+    PlatformFactors,
+    campaign_factors,
+    hetero_computation_factors,
+    hetero_star_factors,
+    homogeneous_factors,
+    participation_platform,
+    random_factors,
+)
+
+__all__ = [
+    "MatrixProductWorkload",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_FLOP_RATE",
+    "PlatformFactors",
+    "random_factors",
+    "homogeneous_factors",
+    "hetero_computation_factors",
+    "hetero_star_factors",
+    "campaign_factors",
+    "participation_platform",
+    "PARTICIPATION_COMM_SPEEDS",
+    "PARTICIPATION_COMP_SPEEDS",
+    "DEFAULT_WORKERS",
+    "FACTOR_RANGE",
+]

@@ -1,0 +1,158 @@
+"""Matrix-product workload model (the application of Section 5).
+
+The paper's target application is a campaign of ``M`` independent matrix
+products: for each task the master ships two ``s x s`` input matrices to a
+worker and receives one ``s x s`` result matrix back, so the return message
+is half the size of the initial message (``z = 1/2``) and the computation
+grows as ``s^3`` while communications grow as ``s^2`` — which is exactly why
+the paper sweeps the matrix size to change the communication-to-computation
+ratio.
+
+This module turns a matrix size into per-unit (per-matrix-product) costs for
+a *reference* worker, and into the heterogeneous per-worker costs obtained by
+applying the speed-up factors of Section 5.2 (a worker "k times faster" in
+communication or computation divides the corresponding cost by ``k``).
+The reference rates are loosely calibrated on the paper's testbed (P4
+2.4 GHz nodes on 100 Mb/s Ethernet); absolute times are not meant to match
+the 2005 hardware, only the cost *structure* matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.platform import StarPlatform, Worker
+from repro.exceptions import ExperimentError
+
+__all__ = ["MatrixProductWorkload", "DEFAULT_BANDWIDTH", "DEFAULT_FLOP_RATE"]
+
+
+#: Reference link speed, in bytes per second (100 Mb/s Ethernet, the slowest
+#: node of the paper's ``gdsdmi`` cluster — factors only ever speed nodes up).
+DEFAULT_BANDWIDTH = 1.25e7
+
+#: Reference sustained computation speed, in floating-point operations per
+#: second.  A naive triple-loop matrix product on a 2.4 GHz Pentium 4 with a
+#: 512 KB L2 cache sustains a few tens of Mflop/s once the matrices spill out
+#: of cache; 60 Mflop/s both reproduces the participation decisions of
+#: Section 5.3.4 (the slow fourth worker is enrolled for x=3 but not for x=1)
+#: and keeps the 40-200 matrix-size sweep of Figures 10-13 in the regime where
+#: the message orderings visibly matter.
+DEFAULT_FLOP_RATE = 6.0e7
+
+#: Size of one matrix element in bytes (double precision).
+ELEMENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MatrixProductWorkload:
+    """Cost model of one matrix-product task of size ``s``.
+
+    Attributes
+    ----------
+    matrix_size:
+        The dimension ``s`` of the square matrices.
+    bandwidth:
+        Reference link speed in bytes/second (speed-up factor 1).
+    flop_rate:
+        Reference computation speed in flop/second (speed-up factor 1).
+    """
+
+    matrix_size: int
+    bandwidth: float = DEFAULT_BANDWIDTH
+    flop_rate: float = DEFAULT_FLOP_RATE
+
+    def __post_init__(self) -> None:
+        if self.matrix_size <= 0:
+            raise ExperimentError("matrix_size must be positive")
+        if self.bandwidth <= 0 or self.flop_rate <= 0:
+            raise ExperimentError("bandwidth and flop_rate must be positive")
+
+    # ------------------------------------------------------------------ #
+    # task volume
+    # ------------------------------------------------------------------ #
+    @property
+    def input_bytes(self) -> float:
+        """Bytes of the initial message: the two input matrices."""
+        return 2 * self.matrix_size * self.matrix_size * ELEMENT_BYTES
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes of the return message: the single result matrix."""
+        return self.matrix_size * self.matrix_size * ELEMENT_BYTES
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations of one product (``2 s^3``)."""
+        return 2.0 * self.matrix_size**3
+
+    @property
+    def z(self) -> float:
+        """Return-to-initial message ratio; 1/2 for matrix products."""
+        return self.output_bytes / self.input_bytes
+
+    # ------------------------------------------------------------------ #
+    # reference per-unit costs (speed-up factor 1)
+    # ------------------------------------------------------------------ #
+    @property
+    def base_c(self) -> float:
+        """Reference time to ship one task's input (seconds)."""
+        return self.input_bytes / self.bandwidth
+
+    @property
+    def base_d(self) -> float:
+        """Reference time to retrieve one task's output (seconds)."""
+        return self.output_bytes / self.bandwidth
+
+    @property
+    def base_w(self) -> float:
+        """Reference time to compute one product (seconds)."""
+        return self.flops / self.flop_rate
+
+    # ------------------------------------------------------------------ #
+    # heterogeneous workers
+    # ------------------------------------------------------------------ #
+    def worker(self, name: str, comm_factor: float = 1.0, comp_factor: float = 1.0) -> Worker:
+        """Build a worker from speed-up factors.
+
+        A factor of ``k`` makes the corresponding operation ``k`` times
+        faster than the reference node, mirroring the paper's methodology of
+        shrinking message/computation sizes on identical nodes.
+        """
+        if comm_factor <= 0 or comp_factor <= 0:
+            raise ExperimentError("speed-up factors must be positive")
+        return Worker(
+            name=name,
+            c=self.base_c / comm_factor,
+            w=self.base_w / comp_factor,
+            d=self.base_d / comm_factor,
+        )
+
+    def platform(
+        self,
+        comm_factors: list[float] | tuple[float, ...],
+        comp_factors: list[float] | tuple[float, ...],
+        name: str = "matrix-cluster",
+    ) -> StarPlatform:
+        """Build a platform from per-worker speed-up factor lists."""
+        if len(comm_factors) != len(comp_factors):
+            raise ExperimentError("comm_factors and comp_factors must have the same length")
+        if not comm_factors:
+            raise ExperimentError("at least one worker is required")
+        workers = [
+            self.worker(f"P{i + 1}", comm_factor=fc, comp_factor=fw)
+            for i, (fc, fw) in enumerate(zip(comm_factors, comp_factors))
+        ]
+        return StarPlatform(workers, name=name)
+
+    def transfer_time(self, megabytes: float, comm_factor: float = 1.0) -> float:
+        """Time to transfer ``megabytes`` MB at the worker's link speed.
+
+        Used by the Figure 8 linearity experiment, which sends raw messages
+        of increasing size rather than matrix-product tasks.
+        """
+        if megabytes < 0:
+            raise ExperimentError("message size must be non-negative")
+        if comm_factor <= 0:
+            raise ExperimentError("speed-up factors must be positive")
+        return megabytes * 1.0e6 / (self.bandwidth * comm_factor)

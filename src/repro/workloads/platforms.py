@@ -1,0 +1,198 @@
+"""Platform campaigns of the experimental section.
+
+The paper's campaigns (Section 5.3) draw random platforms whose
+communication and computation speed-up factors lie in ``1..10`` (1 is the
+reference node, 10 is a node ten times faster), on a cluster of one master
+and 11 workers.  Three families are used:
+
+* *homogeneous*: every worker is the reference node (Figure 10);
+* *heterogeneous computation*: homogeneous links, random computation
+  factors (Figure 11);
+* *fully heterogeneous*: random communication and computation factors
+  (Figures 12 and 13).
+
+This module generates those factor vectors reproducibly (seeded numpy
+generators), turns them into platforms for a given matrix size through
+:class:`~repro.workloads.matrices.MatrixProductWorkload`, and provides the
+specific 4-worker platform of the participation study (Section 5.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.platform import StarPlatform
+from repro.exceptions import ExperimentError
+from repro.workloads.matrices import MatrixProductWorkload
+
+__all__ = [
+    "PlatformFactors",
+    "random_factors",
+    "homogeneous_factors",
+    "hetero_computation_factors",
+    "hetero_star_factors",
+    "campaign_factors",
+    "participation_platform",
+    "PARTICIPATION_COMM_SPEEDS",
+    "PARTICIPATION_COMP_SPEEDS",
+    "DEFAULT_WORKERS",
+    "FACTOR_RANGE",
+]
+
+
+#: Number of workers in the paper's cluster campaigns (12 nodes: 1 master + 11 workers).
+DEFAULT_WORKERS = 11
+
+#: Range of the random speed-up factors used throughout Section 5.3.2.
+FACTOR_RANGE = (1.0, 10.0)
+
+#: Communication speed-up factors of the participation platform (Section 5.3.4);
+#: the fourth entry is the varying ``x``.
+PARTICIPATION_COMM_SPEEDS = (10.0, 8.0, 8.0)
+
+#: Computation speed-up factors of the participation platform (Section 5.3.4).
+PARTICIPATION_COMP_SPEEDS = (9.0, 9.0, 10.0, 1.0)
+
+
+@dataclass(frozen=True)
+class PlatformFactors:
+    """Speed-up factors describing one random platform of a campaign."""
+
+    comm: tuple[float, ...]
+    comp: tuple[float, ...]
+    label: str = "platform"
+
+    def __post_init__(self) -> None:
+        if len(self.comm) != len(self.comp):
+            raise ExperimentError("comm and comp factor vectors must have the same length")
+        if not self.comm:
+            raise ExperimentError("a platform needs at least one worker")
+        if any(f <= 0 for f in self.comm + self.comp):
+            raise ExperimentError("speed-up factors must be positive")
+
+    @property
+    def size(self) -> int:
+        """Number of workers."""
+        return len(self.comm)
+
+    def scaled(self, comm: float = 1.0, comp: float = 1.0) -> "PlatformFactors":
+        """Multiply every factor (the x10 scalings of Section 5.3.3)."""
+        if comm <= 0 or comp <= 0:
+            raise ExperimentError("scaling factors must be positive")
+        return PlatformFactors(
+            comm=tuple(f * comm for f in self.comm),
+            comp=tuple(f * comp for f in self.comp),
+            label=self.label,
+        )
+
+    def platform(self, workload: MatrixProductWorkload, name: str | None = None) -> StarPlatform:
+        """Instantiate the platform for a concrete matrix size."""
+        return workload.platform(self.comm, self.comp, name=name or self.label)
+
+
+def random_factors(
+    rng: np.random.Generator,
+    size: int = DEFAULT_WORKERS,
+    heterogeneous_comm: bool = True,
+    heterogeneous_comp: bool = True,
+    label: str = "platform",
+) -> PlatformFactors:
+    """Draw one platform's factor vectors.
+
+    Heterogeneous dimensions draw uniformly from :data:`FACTOR_RANGE`;
+    homogeneous dimensions use the reference factor 1 for every worker.
+    """
+    if size <= 0:
+        raise ExperimentError("size must be positive")
+    low, high = FACTOR_RANGE
+    comm = rng.uniform(low, high, size) if heterogeneous_comm else np.ones(size)
+    comp = rng.uniform(low, high, size) if heterogeneous_comp else np.ones(size)
+    return PlatformFactors(comm=tuple(comm.tolist()), comp=tuple(comp.tolist()), label=label)
+
+
+def homogeneous_factors(size: int = DEFAULT_WORKERS, label: str = "homogeneous") -> PlatformFactors:
+    """Factors of a fully homogeneous platform (Figure 10 campaign)."""
+    return PlatformFactors(comm=(1.0,) * size, comp=(1.0,) * size, label=label)
+
+
+def hetero_computation_factors(
+    rng: np.random.Generator, size: int = DEFAULT_WORKERS, label: str = "hetero-comp"
+) -> PlatformFactors:
+    """Homogeneous links, heterogeneous computation (Figure 11 campaign)."""
+    return random_factors(
+        rng, size=size, heterogeneous_comm=False, heterogeneous_comp=True, label=label
+    )
+
+
+def hetero_star_factors(
+    rng: np.random.Generator, size: int = DEFAULT_WORKERS, label: str = "hetero-star"
+) -> PlatformFactors:
+    """Fully heterogeneous platform (Figures 12 and 13 campaigns)."""
+    return random_factors(
+        rng, size=size, heterogeneous_comm=True, heterogeneous_comp=True, label=label
+    )
+
+
+def campaign_factors(
+    kind: str,
+    count: int,
+    size: int = DEFAULT_WORKERS,
+    seed: int = 0,
+) -> list[PlatformFactors]:
+    """Generate the ``count`` random platforms of one campaign.
+
+    ``kind`` is one of ``"homogeneous"``, ``"hetero-comp"``, ``"hetero-star"``.
+    Homogeneous campaigns still return ``count`` (identical) platforms so the
+    averaging code is the same for every figure.
+    """
+    if count <= 0:
+        raise ExperimentError("count must be positive")
+    rng = np.random.default_rng(seed)
+    factories = {
+        "homogeneous": lambda index: homogeneous_factors(size, label=f"homogeneous-{index}"),
+        "hetero-comp": lambda index: hetero_computation_factors(
+            rng, size, label=f"hetero-comp-{index}"
+        ),
+        "hetero-star": lambda index: hetero_star_factors(rng, size, label=f"hetero-star-{index}"),
+    }
+    try:
+        factory = factories[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown campaign kind {kind!r}; expected one of {sorted(factories)}"
+        ) from None
+    return [factory(index) for index in range(count)]
+
+
+def participation_platform(
+    x: float,
+    workload: MatrixProductWorkload,
+    available_workers: int = 4,
+    name: str | None = None,
+) -> StarPlatform:
+    """The 4-worker platform of the participation study (Section 5.3.4).
+
+    ========  ====  ====  ====  ====
+    worker      1     2     3     4
+    comm        10     8     8     x
+    comp         9     9    10     1
+    ========  ====  ====  ====  ====
+
+    ``available_workers`` keeps only the first workers of the table, which is
+    how the paper varies the number of available slaves from 1 to 4.
+    """
+    if x <= 0:
+        raise ExperimentError("the communication speed x of the last worker must be positive")
+    if not 1 <= available_workers <= 4:
+        raise ExperimentError("available_workers must be between 1 and 4")
+    comm = PARTICIPATION_COMM_SPEEDS + (x,)
+    comp = PARTICIPATION_COMP_SPEEDS
+    factors = PlatformFactors(
+        comm=comm[:available_workers],
+        comp=comp[:available_workers],
+        label=name or f"participation-x{x:g}",
+    )
+    return factors.platform(workload)

@@ -1,0 +1,118 @@
+"""Tests for the regime analysis utilities and the crossover extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    fifo_lifo_crossover,
+    is_port_saturated,
+    port_utilisation,
+    strategy_comparison,
+)
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.platform import bus_platform
+from repro.exceptions import ScheduleError
+from repro.experiments import crossover
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+
+class TestPortUtilisation:
+    def test_utilisation_is_one_when_saturated(self):
+        platform = bus_platform([0.1] * 6, c=1.0, d=0.5)
+        solution = optimal_fifo_schedule(platform)
+        assert port_utilisation(solution.schedule) == pytest.approx(1.0, abs=1e-7)
+        assert is_port_saturated(platform)
+
+    def test_utilisation_below_one_when_compute_bound(self):
+        platform = bus_platform([100.0, 150.0], c=1.0, d=0.5)
+        solution = optimal_fifo_schedule(platform)
+        assert port_utilisation(solution.schedule) < 1.0 - 1e-6
+        assert not is_port_saturated(platform)
+
+    def test_feasible_schedules_never_exceed_one(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        assert port_utilisation(solution.schedule) <= 1.0 + 1e-9
+
+
+class TestStrategyComparison:
+    def test_fields_and_ratios(self, three_workers):
+        comparison = strategy_comparison(three_workers)
+        assert comparison.platform_name == three_workers.name
+        assert comparison.fifo_throughput > 0
+        assert comparison.lifo_throughput > 0
+        assert comparison.two_port_throughput >= comparison.fifo_throughput - 1e-9
+        assert comparison.one_port_penalty >= 1.0 - 1e-9
+        assert comparison.lifo_over_fifo == pytest.approx(
+            comparison.lifo_throughput / comparison.fifo_throughput
+        )
+        assert comparison.winner() in {"FIFO", "LIFO", "tie"}
+
+    def test_fifo_never_loses_on_a_bus(self):
+        """Theorem 2: on a bus the FIFO optimum dominates the LIFO chain."""
+        for w in (0.5, 2.0, 8.0, 40.0):
+            platform = bus_platform([w] * 5, c=1.0, d=0.5)
+            comparison = strategy_comparison(platform)
+            assert comparison.fifo_throughput >= comparison.lifo_throughput - 1e-9
+            assert comparison.winner() in {"FIFO", "tie"}
+
+    def test_lifo_can_win_on_heterogeneous_stars(self):
+        """The effect behind Figures 12/13b: LIFO wins in compute-heavy regimes."""
+        workload = MatrixProductWorkload(600)
+        factors = campaign_factors("hetero-star", 1, size=11, seed=12)[0]
+        comparison = strategy_comparison(factors.platform(workload))
+        assert comparison.lifo_over_fifo > 1.0
+
+    def test_saturation_flag_matches_helper(self):
+        platform = bus_platform([0.1] * 6, c=1.0, d=0.5)
+        assert strategy_comparison(platform).port_saturated == is_port_saturated(platform)
+
+
+class TestCrossoverSearch:
+    def test_finds_crossover_on_heterogeneous_star(self):
+        factors = campaign_factors("hetero-star", 1, size=11, seed=12)[0]
+
+        def factory(size: float):
+            return factors.platform(MatrixProductWorkload(int(size)))
+
+        crossover_size = fifo_lifo_crossover(factory, low=40, high=800, iterations=20)
+        assert crossover_size is not None
+        assert 40 < crossover_size < 800
+        # on either side of the crossover the winner flips
+        below = strategy_comparison(factory(crossover_size * 0.5))
+        above = strategy_comparison(factory(min(800, crossover_size * 1.5)))
+        assert below.lifo_over_fifo <= 1.0 + 1e-6
+        assert above.lifo_over_fifo >= 1.0 - 1e-6
+
+    def test_no_crossover_on_bus(self):
+        def factory(w: float):
+            return bus_platform([w] * 5, c=1.0, d=0.5)
+
+        assert fifo_lifo_crossover(factory, low=0.5, high=50.0, iterations=15) is None
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ScheduleError):
+            fifo_lifo_crossover(lambda value: bus_platform([value], c=1, d=1), low=2.0, high=1.0)
+
+
+class TestCrossoverExperiment:
+    def test_series_shape_and_theorem2_guarantee(self):
+        result = crossover.run(matrix_sizes=(60, 200, 600), platform_count=3, workers=6, seed=5)
+        assert "bus: LIFO/FIFO throughput" in result.series
+        assert "star: LIFO/FIFO throughput" in result.series
+        # Theorem 2: the bus ratio never exceeds 1
+        for _, value in result.series["bus: LIFO/FIFO throughput"]:
+            assert value <= 1.0 + 1e-9
+        # the star ratio eventually exceeds the bus ratio as computation grows
+        star_at_600 = result.value("star: LIFO/FIFO throughput", 600)
+        bus_at_600 = result.value("bus: LIFO/FIFO throughput", 600)
+        assert star_at_600 >= bus_at_600 - 1e-9
+        # saturation fractions are valid probabilities
+        for name in ("bus: port saturated", "star: port saturated"):
+            for _, value in result.series[name]:
+                assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_platform_count(self):
+        with pytest.raises(Exception):
+            crossover.run(platform_count=0)

@@ -1,0 +1,152 @@
+"""Tests for the bus closed forms (:mod:`repro.core.bus`, Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import bus_platforms
+from repro.core.bus import (
+    optimal_bus_fifo_schedule,
+    optimal_bus_throughput,
+    two_port_bus_loads,
+    two_port_bus_throughput,
+    u_sequence,
+)
+from repro.core.fifo import fifo_schedule_for_order
+from repro.core.platform import bus_platform, homogeneous_platform
+from repro.exceptions import PlatformError
+
+
+class TestUSequence:
+    def test_single_worker(self):
+        platform = bus_platform([2.0], c=1.0, d=0.5)
+        # u1 = 1/(d+w) * (d+w)/(c+w) = 1/(c+w)
+        assert u_sequence(platform) == [pytest.approx(1.0 / 3.0)]
+
+    def test_recurrence(self, bus_three):
+        c, d = bus_three.bus_costs
+        names = bus_three.worker_names
+        u = u_sequence(bus_three)
+        for i in range(1, len(u)):
+            w_prev = bus_three[names[i - 1]].w
+            w_cur = bus_three[names[i]].w
+            assert u[i] / u[i - 1] == pytest.approx((d + w_prev) / (c + w_cur))
+
+    def test_requires_bus(self, three_workers):
+        with pytest.raises(PlatformError):
+            u_sequence(three_workers)
+
+
+class TestTwoPortClosedForm:
+    def test_loads_proportional_to_u(self, bus_three):
+        u = u_sequence(bus_three)
+        loads = two_port_bus_loads(bus_three)
+        names = bus_three.worker_names
+        ratios = [loads[name] / value for name, value in zip(names, u)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_matches_two_port_lp(self, bus_three):
+        closed = two_port_bus_throughput(bus_three)
+        lp = fifo_schedule_for_order(
+            bus_three, bus_three.worker_names, one_port=False
+        ).throughput
+        assert closed == pytest.approx(lp, rel=1e-7)
+
+    def test_loads_satisfy_tight_constraints(self, bus_three):
+        """Every per-worker constraint is an equality in the two-port optimum."""
+        c, d = bus_three.bus_costs
+        names = bus_three.worker_names
+        loads = two_port_bus_loads(bus_three)
+        for i, name in enumerate(names):
+            prefix = sum(loads[m] * c for m in names[: i + 1])
+            suffix = sum(loads[m] * d for m in names[i:])
+            total = prefix + loads[name] * bus_three[name].w + suffix
+            assert total == pytest.approx(1.0)
+
+
+class TestTheorem2:
+    def test_closed_form_matches_one_port_lp(self, bus_three):
+        closed = optimal_bus_throughput(bus_three)
+        lp = fifo_schedule_for_order(bus_three, bus_three.worker_names).throughput
+        assert closed == pytest.approx(lp, rel=1e-7)
+
+    def test_closed_form_matches_lp_homogeneous(self, homogeneous_five):
+        closed = optimal_bus_throughput(homogeneous_five)
+        lp = fifo_schedule_for_order(
+            homogeneous_five, homogeneous_five.worker_names
+        ).throughput
+        assert closed == pytest.approx(lp, rel=1e-7)
+
+    def test_saturated_regime_hits_port_bound(self):
+        """With abundant compute capacity the port bound 1/(c+d) is reached."""
+        platform = bus_platform([0.1] * 6, c=1.0, d=0.5)
+        assert optimal_bus_throughput(platform) == pytest.approx(1.0 / 1.5)
+
+    def test_compute_bound_regime_below_port_bound(self):
+        platform = bus_platform([100.0, 120.0], c=1.0, d=0.5)
+        rho = optimal_bus_throughput(platform)
+        assert rho < 1.0 / 1.5
+        assert rho == pytest.approx(two_port_bus_throughput(platform))
+
+    def test_ordering_does_not_change_throughput(self, bus_three):
+        base = optimal_bus_throughput(bus_three)
+        for order in (["P3", "P1", "P2"], ["P2", "P3", "P1"]):
+            lp = fifo_schedule_for_order(bus_three, order).throughput
+            assert lp == pytest.approx(base, rel=1e-7)
+
+    def test_requires_bus(self, three_workers):
+        with pytest.raises(PlatformError):
+            optimal_bus_throughput(three_workers)
+
+
+class TestConstructiveSchedule:
+    def test_schedule_achieves_closed_form(self, bus_three):
+        solution = optimal_bus_fifo_schedule(bus_three)
+        assert solution.throughput == pytest.approx(optimal_bus_throughput(bus_three), rel=1e-9)
+        solution.schedule.verify()
+        assert solution.schedule.is_fifo
+
+    def test_all_workers_enrolled(self, bus_three):
+        solution = optimal_bus_fifo_schedule(bus_three)
+        assert solution.schedule.participants == bus_three.worker_names
+
+    def test_saturated_case_has_gap(self):
+        platform = bus_platform([0.1] * 6, c=1.0, d=0.5)
+        solution = optimal_bus_fifo_schedule(platform)
+        assert solution.saturated
+        assert solution.gap > 0
+        solution.schedule.verify()
+        # every worker idles by the same amount in the transformed schedule
+        idles = [
+            solution.schedule.idle_times()[name] for name in platform.worker_names
+        ]
+        assert max(idles) - min(idles) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unsaturated_case_has_no_gap(self):
+        platform = bus_platform([100.0, 120.0], c=1.0, d=0.5)
+        solution = optimal_bus_fifo_schedule(platform)
+        assert not solution.saturated
+        assert solution.gap == pytest.approx(0.0)
+        assert solution.two_port_throughput == pytest.approx(solution.throughput)
+
+
+class TestBusProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(bus_platforms(max_size=6))
+    def test_closed_form_equals_lp_on_random_buses(self, platform):
+        closed = optimal_bus_throughput(platform)
+        lp = fifo_schedule_for_order(platform, platform.worker_names).throughput
+        assert closed == pytest.approx(lp, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bus_platforms(max_size=6))
+    def test_constructed_schedule_is_feasible_and_optimal(self, platform):
+        solution = optimal_bus_fifo_schedule(platform)
+        solution.schedule.verify()
+        assert solution.throughput == pytest.approx(optimal_bus_throughput(platform), rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bus_platforms(max_size=6))
+    def test_one_port_never_beats_two_port(self, platform):
+        assert optimal_bus_throughput(platform) <= two_port_bus_throughput(platform) + 1e-12

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig08"])
+        assert args.experiment == "fig08"
+        assert args.preset == "paper"
+        assert args.csv is None
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig14", "--preset", "quick", "--csv", "out.csv", "--markdown", "out.md"]
+        )
+        assert args.preset == "quick"
+        assert args.csv == "out.csv"
+        assert args.markdown == "out.md"
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig08", "--preset", "gigantic"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-experiments" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert identifier in out
+
+    def test_run_single_experiment_quick(self, capsys):
+        assert main(["run", "fig08", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out
+        assert "worker 1" in out
+
+    def test_run_writes_csv_and_markdown(self, tmp_path, capsys):
+        csv_path = tmp_path / "series.csv"
+        md_path = tmp_path / "report.md"
+        code = main(
+            [
+                "run",
+                "fig14",
+                "--preset",
+                "quick",
+                "--csv",
+                str(csv_path),
+                "--markdown",
+                str(md_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists() and md_path.exists()
+        assert "figure,series,x,y" in csv_path.read_text()
+        assert "fig14" in md_path.read_text()
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99", "--preset", "quick"])

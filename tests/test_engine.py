@@ -1,0 +1,238 @@
+"""Tests for the discrete-event engine (:mod:`repro.simulation.engine`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Resource, Simulator, Store
+
+
+class TestEventsAndTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        assert sim.run() == pytest.approx(5.0)
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_event_value_delivery(self):
+        sim = Simulator()
+        event = sim.event()
+        received = []
+
+        def process():
+            value = yield event
+            received.append(value)
+
+        sim.process(process())
+        event.succeed("payload")
+        sim.run()
+        assert received == ["payload"]
+
+    def test_event_cannot_trigger_twice(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_callback_after_trigger_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        values = []
+        event.add_callback(lambda e: values.append(e.value))
+        assert values == ["x"]
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        assert sim.run(until=4.0) == pytest.approx(4.0)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout(0.0)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(2.0)
+            return "done"
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.triggered
+        assert process.value == "done"
+
+    def test_processes_can_wait_on_each_other(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            yield sim.timeout(1.0)
+            order.append("first")
+            return 41
+
+        def second(dependency):
+            value = yield dependency
+            order.append("second")
+            return value + 1
+
+        p1 = sim.process(first())
+        p2 = sim.process(second(p1))
+        sim.run()
+        assert order == ["first", "second"]
+        assert p2.value == 42
+
+    def test_yielding_non_event_is_an_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_exception_is_wrapped(self):
+        sim = Simulator()
+
+        def crash():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(crash(), name="crasher")
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        assert "crasher" in str(excinfo.value)
+
+    def test_all_of_gathers_values(self):
+        sim = Simulator()
+        timeouts = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        gate = sim.all_of(timeouts)
+        sim.run()
+        assert gate.triggered
+        assert gate.value == [3.0, 1.0, 2.0]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        gate = sim.all_of([])
+        sim.run()
+        assert gate.triggered
+
+
+class TestResources:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_mutual_exclusion_serialises_holders(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        intervals = []
+
+        def holder(duration):
+            yield resource.request()
+            start = sim.now
+            yield sim.timeout(duration)
+            resource.release()
+            intervals.append((start, sim.now))
+
+        for duration in (2.0, 3.0, 1.0):
+            sim.process(holder(duration))
+        sim.run()
+        intervals.sort()
+        for (start_a, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert start_b >= end_a - 1e-12
+        assert sim.now == pytest.approx(6.0)
+
+    def test_capacity_two_allows_parallelism(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=2)
+
+        def holder():
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for _ in range(4):
+            sim.process(holder())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_release_without_acquire_raises(self):
+        resource = Resource(Simulator())
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queue_length_and_in_use(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        resource.request()
+        resource.request()
+        assert resource.in_use == 1
+        assert resource.queue_length == 1
+
+
+class TestStore:
+    def test_fifo_delivery(self):
+        sim = Simulator()
+        store = sim.store()
+        store.put("a")
+        store.put("b")
+        received = []
+
+        def consumer():
+            first = yield store.get()
+            second = yield store.get()
+            received.extend([first, second])
+
+        sim.process(consumer())
+        sim.run()
+        assert received == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = sim.store()
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(5.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert received == [("late", 5.0)]
+
+    def test_len(self):
+        sim = Simulator()
+        store = sim.store()
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1

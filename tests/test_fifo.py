@@ -1,0 +1,119 @@
+"""Tests for the optimal FIFO algorithm (:mod:`repro.core.fifo`, Theorem 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.bruteforce import best_fifo_by_enumeration
+from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_order, optimal_fifo_schedule
+from repro.core.platform import StarPlatform, Worker
+
+
+class TestOptimalOrder:
+    def test_order_is_non_decreasing_c_when_z_below_one(self, three_workers):
+        assert optimal_fifo_order(three_workers) == ["P1", "P3", "P2"]
+
+    def test_order_is_non_increasing_c_when_z_above_one(self, z_greater_one):
+        assert optimal_fifo_order(z_greater_one) == ["P2", "P3", "P1"]
+
+    def test_order_falls_back_when_z_not_constant(self):
+        platform = StarPlatform(
+            [Worker("A", c=2.0, w=1.0, d=0.2), Worker("B", c=1.0, w=1.0, d=0.9)]
+        )
+        assert platform.z is None
+        assert optimal_fifo_order(platform) == ["B", "A"]
+
+    def test_order_when_z_equals_one(self):
+        platform = StarPlatform(
+            [Worker("A", c=2.0, w=1.0, d=2.0), Worker("B", c=1.0, w=1.0, d=1.0)]
+        )
+        assert optimal_fifo_order(platform) == ["B", "A"]
+
+
+class TestOptimalSchedule:
+    def test_matches_brute_force_small_platform(self, three_workers):
+        optimal = optimal_fifo_schedule(three_workers)
+        brute = best_fifo_by_enumeration(three_workers)
+        assert optimal.throughput == pytest.approx(brute.throughput, rel=1e-7)
+
+    def test_matches_brute_force_four_workers(self, four_workers):
+        optimal = optimal_fifo_schedule(four_workers)
+        brute = best_fifo_by_enumeration(four_workers)
+        assert optimal.throughput == pytest.approx(brute.throughput, rel=1e-7)
+
+    def test_matches_brute_force_z_above_one(self, z_greater_one):
+        optimal = optimal_fifo_schedule(z_greater_one)
+        brute = best_fifo_by_enumeration(z_greater_one)
+        assert optimal.throughput == pytest.approx(brute.throughput, rel=1e-7)
+
+    def test_schedule_is_fifo_and_feasible(self, four_workers):
+        solution = optimal_fifo_schedule(four_workers)
+        assert solution.schedule.is_fifo
+        solution.schedule.verify()
+
+    def test_beats_or_matches_every_other_fifo_order(self, four_workers):
+        best = optimal_fifo_schedule(four_workers).throughput
+        for order in itertools.permutations(four_workers.worker_names):
+            other = fifo_schedule_for_order(four_workers, order).throughput
+            assert best >= other - 1e-9
+
+    def test_resource_selection_can_drop_workers(self):
+        """A worker with terrible communication is left out of the optimum."""
+        platform = StarPlatform(
+            [
+                Worker("fast1", c=0.2, w=1.0, d=0.1),
+                Worker("fast2", c=0.25, w=1.0, d=0.125),
+                Worker("slow", c=50.0, w=0.5, d=25.0),
+            ]
+        )
+        solution = optimal_fifo_schedule(platform)
+        assert "slow" not in solution.participants
+        assert len(solution.participants) >= 1
+        # the candidate set still lists every worker
+        assert set(solution.loads) == {"fast1", "fast2", "slow"}
+        assert solution.loads["slow"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_workers_enrolled_when_communication_is_cheap(self):
+        platform = StarPlatform(
+            [
+                Worker("A", c=0.01, w=5.0, d=0.005),
+                Worker("B", c=0.02, w=4.0, d=0.01),
+                Worker("C", c=0.03, w=6.0, d=0.015),
+            ]
+        )
+        solution = optimal_fifo_schedule(platform)
+        assert solution.participants == ["A", "B", "C"]
+
+    def test_deadline_scales_loads_linearly(self, three_workers):
+        unit = optimal_fifo_schedule(three_workers, deadline=1.0)
+        scaled = optimal_fifo_schedule(three_workers, deadline=3.0)
+        assert scaled.throughput == pytest.approx(unit.throughput, rel=1e-7)
+        assert scaled.schedule.total_load == pytest.approx(3.0 * unit.schedule.total_load, rel=1e-7)
+
+    def test_exact_solver_backend(self, three_workers):
+        scipy_solution = optimal_fifo_schedule(three_workers, solver="scipy")
+        exact_solution = optimal_fifo_schedule(three_workers, solver="exact")
+        assert scipy_solution.throughput == pytest.approx(exact_solution.throughput, rel=1e-9)
+
+    def test_solution_accessors(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        assert solution.order == ("P1", "P3", "P2")
+        assert set(solution.idle_times()) == set(three_workers.worker_names)
+        assert solution.scenario.total_load == pytest.approx(solution.schedule.total_load)
+
+
+class TestFixedOrderFifo:
+    def test_fixed_order_respects_requested_order(self, three_workers):
+        solution = fifo_schedule_for_order(three_workers, ["P2", "P1", "P3"])
+        assert solution.order == ("P2", "P1", "P3")
+        assert solution.schedule.sigma1 == ("P2", "P1", "P3")
+        assert solution.schedule.is_fifo
+
+    def test_two_port_flag(self, three_workers):
+        one_port = fifo_schedule_for_order(three_workers, three_workers.ordered_by_c())
+        two_port = fifo_schedule_for_order(
+            three_workers, three_workers.ordered_by_c(), one_port=False
+        )
+        assert two_port.throughput >= one_port.throughput - 1e-9

@@ -1,0 +1,156 @@
+"""Tests for heuristics, two-port baselines and brute force."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import (
+    best_fifo_by_enumeration,
+    best_lifo_by_enumeration,
+    best_schedule_by_enumeration,
+)
+from repro.core.heuristics import (
+    HEURISTICS,
+    compare_heuristics,
+    dec_c,
+    fifo_with_order,
+    inc_c,
+    inc_w,
+    lifo,
+    optimal_fifo,
+    platform_order_fifo,
+)
+from repro.core.platform import StarPlatform, Worker, homogeneous_platform
+from repro.core.twoport import (
+    optimal_two_port_fifo_schedule,
+    optimal_two_port_lifo_schedule,
+    two_port_fifo_for_order,
+)
+from repro.exceptions import ScheduleError
+
+
+class TestHeuristics:
+    def test_inc_c_uses_bandwidth_order(self, three_workers):
+        result = inc_c(three_workers)
+        assert result.schedule.sigma1 == ("P1", "P3", "P2")
+        assert result.name == "INC_C"
+        result.schedule.verify()
+
+    def test_inc_w_uses_compute_order(self, three_workers):
+        result = inc_w(three_workers)
+        assert result.schedule.sigma1 == ("P2", "P3", "P1")
+        result.schedule.verify()
+
+    def test_dec_c_is_reverse_of_inc_c(self, three_workers):
+        assert dec_c(three_workers).schedule.sigma1 == tuple(
+            reversed(inc_c(three_workers).schedule.sigma1)
+        )
+
+    def test_platform_order(self, three_workers):
+        result = platform_order_fifo(three_workers)
+        assert result.schedule.sigma1 == ("P1", "P2", "P3")
+
+    def test_fifo_with_explicit_order(self, three_workers):
+        result = fifo_with_order(three_workers, ["P3", "P2", "P1"], name="custom")
+        assert result.name == "custom"
+        assert result.schedule.sigma1 == ("P3", "P2", "P1")
+
+    def test_lifo_heuristic_is_lifo(self, three_workers):
+        result = lifo(three_workers)
+        assert result.schedule.is_lifo
+        result.schedule.verify()
+
+    def test_optimal_fifo_wrapper(self, three_workers):
+        result = optimal_fifo(three_workers)
+        assert result.name == "OPT_FIFO"
+        assert result.throughput == pytest.approx(inc_c(three_workers).throughput, rel=1e-9)
+
+    def test_inc_c_is_best_fifo_heuristic(self, four_workers):
+        """Theorem 1: INC_C dominates the other FIFO orderings (z < 1)."""
+        results = compare_heuristics(four_workers, ("INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER"))
+        best = results["INC_C"].throughput
+        for name in ("INC_W", "DEC_C", "PLATFORM_ORDER"):
+            assert best >= results[name].throughput - 1e-9
+
+    def test_makespan_for_total_load(self, three_workers):
+        result = inc_c(three_workers)
+        assert result.makespan_for(100.0) == pytest.approx(100.0 / result.throughput)
+
+    def test_compare_heuristics_default_selection(self, three_workers):
+        results = compare_heuristics(three_workers)
+        assert set(results) == {"INC_C", "INC_W", "LIFO"}
+
+    def test_compare_heuristics_unknown_name(self, three_workers):
+        with pytest.raises(ScheduleError):
+            compare_heuristics(three_workers, ("INC_C", "MAGIC"))
+
+    def test_registry_contains_all_heuristics(self):
+        assert set(HEURISTICS) == {
+            "INC_C",
+            "INC_W",
+            "DEC_C",
+            "PLATFORM_ORDER",
+            "LIFO",
+            "OPT_FIFO",
+        }
+
+    def test_all_fifo_orderings_equal_on_homogeneous_platform(self):
+        platform = homogeneous_platform(4, c=1.0, w=6.0, d=0.5)
+        results = compare_heuristics(platform, ("INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER"))
+        values = [r.throughput for r in results.values()]
+        assert max(values) - min(values) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTwoPortBaselines:
+    def test_two_port_fifo_upper_bounds_one_port(self, four_workers):
+        two_port = optimal_two_port_fifo_schedule(four_workers)
+        one_port = optimal_fifo(four_workers)
+        assert two_port.throughput >= one_port.throughput - 1e-9
+        # two-port schedules need not satisfy the one-port coupling bound but
+        # must respect every per-worker deadline
+        assert two_port.schedule.is_feasible(one_port=False)
+
+    def test_two_port_lifo_equals_one_port_lifo(self, four_workers):
+        """A LIFO schedule never overlaps sends and receives, so the models agree."""
+        two_port = optimal_two_port_lifo_schedule(four_workers)
+        one_port = lifo(four_workers)
+        assert two_port.throughput == pytest.approx(one_port.throughput, rel=1e-7)
+
+    def test_two_port_for_explicit_order(self, three_workers):
+        solution = two_port_fifo_for_order(three_workers, ["P2", "P1", "P3"])
+        assert solution.order == ("P2", "P1", "P3")
+        assert solution.participants
+        assert set(solution.loads) == set(three_workers.worker_names)
+
+    def test_two_port_handles_z_above_one(self, z_greater_one):
+        solution = optimal_two_port_fifo_schedule(z_greater_one)
+        assert solution.order[0] == "P2"  # largest c first when z > 1
+
+
+class TestBruteForce:
+    def test_refuses_large_platforms(self):
+        platform = homogeneous_platform(8, c=1.0, w=1.0, d=0.5)
+        with pytest.raises(ScheduleError):
+            best_fifo_by_enumeration(platform)
+
+    def test_counts_explored_scenarios(self, three_workers):
+        result = best_fifo_by_enumeration(three_workers)
+        assert result.scenarios_explored == 6
+        paired = best_schedule_by_enumeration(three_workers)
+        assert paired.scenarios_explored == 36
+
+    def test_best_pair_at_least_as_good_as_fifo_and_lifo(self, three_workers):
+        fifo_best = best_fifo_by_enumeration(three_workers)
+        lifo_best = best_lifo_by_enumeration(three_workers)
+        any_best = best_schedule_by_enumeration(three_workers)
+        assert any_best.throughput >= fifo_best.throughput - 1e-9
+        assert any_best.throughput >= lifo_best.throughput - 1e-9
+
+    def test_brute_force_result_loads_are_feasible(self, three_workers):
+        result = best_fifo_by_enumeration(three_workers)
+        result.solution.schedule.verify()
+        assert result.loads == result.solution.loads
+
+    def test_lifo_enumeration_returns_lifo(self, three_workers):
+        result = best_lifo_by_enumeration(three_workers)
+        assert result.sigma2 == tuple(reversed(result.sigma1))

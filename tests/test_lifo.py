@@ -1,0 +1,119 @@
+"""Tests for the LIFO baseline (:mod:`repro.core.lifo`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import best_lifo_by_enumeration
+from repro.core.lifo import (
+    lifo_closed_form_loads,
+    lifo_schedule_for_order,
+    optimal_lifo_order,
+    optimal_lifo_schedule,
+)
+from repro.core.platform import StarPlatform, Worker
+from repro.exceptions import ScheduleError
+
+
+class TestClosedForm:
+    def test_single_worker(self):
+        platform = StarPlatform([Worker("P1", c=1.0, w=2.0, d=0.5)])
+        loads = lifo_closed_form_loads(platform, ["P1"])
+        assert loads["P1"] == pytest.approx(1.0 / 3.5)
+
+    def test_chain_recurrence(self, three_workers):
+        order = optimal_lifo_order(three_workers)
+        loads = lifo_closed_form_loads(three_workers, order)
+        # alpha_1 (c1 + d1 + w1) = 1
+        first = three_workers[order[0]]
+        assert loads[order[0]] * (first.c + first.d + first.w) == pytest.approx(1.0)
+        # alpha_i (ci + di + wi) = alpha_{i-1} w_{i-1}
+        for previous, current in zip(order, order[1:]):
+            prev_spec = three_workers[previous]
+            cur_spec = three_workers[current]
+            assert loads[current] * (cur_spec.c + cur_spec.d + cur_spec.w) == pytest.approx(
+                loads[previous] * prev_spec.w
+            )
+
+    def test_deadline_scales_linearly(self, three_workers):
+        order = optimal_lifo_order(three_workers)
+        unit = lifo_closed_form_loads(three_workers, order, deadline=1.0)
+        double = lifo_closed_form_loads(three_workers, order, deadline=2.0)
+        for name in order:
+            assert double[name] == pytest.approx(2.0 * unit[name])
+
+    def test_rejects_empty_order_and_bad_deadline(self, three_workers):
+        with pytest.raises(ScheduleError):
+            lifo_closed_form_loads(three_workers, [])
+        with pytest.raises(ScheduleError):
+            lifo_closed_form_loads(three_workers, ["P1"], deadline=0.0)
+
+
+class TestOptimalLifo:
+    def test_order_is_non_decreasing_c(self, three_workers):
+        assert optimal_lifo_order(three_workers) == ["P1", "P3", "P2"]
+
+    def test_closed_form_matches_lp(self, three_workers):
+        closed = optimal_lifo_schedule(three_workers, method="closed-form")
+        lp = optimal_lifo_schedule(three_workers, method="lp")
+        assert closed.throughput == pytest.approx(lp.throughput, rel=1e-7)
+        for name in three_workers.worker_names:
+            assert closed.loads[name] == pytest.approx(lp.loads[name], rel=1e-6, abs=1e-9)
+
+    def test_closed_form_matches_lp_four_workers(self, four_workers):
+        closed = optimal_lifo_schedule(four_workers, method="closed-form")
+        lp = optimal_lifo_schedule(four_workers, method="lp")
+        assert closed.throughput == pytest.approx(lp.throughput, rel=1e-7)
+
+    def test_matches_brute_force_ordering(self, three_workers):
+        best = best_lifo_by_enumeration(three_workers)
+        closed = optimal_lifo_schedule(three_workers)
+        assert closed.throughput == pytest.approx(best.throughput, rel=1e-7)
+
+    def test_schedule_is_lifo_feasible_and_without_idle(self, four_workers):
+        solution = optimal_lifo_schedule(four_workers)
+        schedule = solution.schedule
+        assert schedule.is_lifo
+        schedule.verify()
+        # no worker idles in the optimal LIFO schedule
+        for name, idle in schedule.idle_times().items():
+            assert idle == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_workers_participate(self, four_workers):
+        solution = optimal_lifo_schedule(four_workers)
+        assert solution.participants == list(solution.order)
+        assert len(solution.participants) == len(four_workers)
+
+    def test_one_port_constraint_is_implied(self, four_workers):
+        """The LIFO chain automatically satisfies the one-port coupling bound."""
+        solution = optimal_lifo_schedule(four_workers)
+        total_comm = sum(
+            solution.loads[w.name] * w.round_trip for w in four_workers
+        )
+        assert total_comm <= 1.0 + 1e-9
+
+    def test_unknown_method_rejected(self, three_workers):
+        with pytest.raises(ScheduleError):
+            optimal_lifo_schedule(three_workers, method="magic")
+
+    def test_method_metadata(self, three_workers):
+        assert optimal_lifo_schedule(three_workers).method == "closed-form"
+        lp = optimal_lifo_schedule(three_workers, method="lp")
+        assert lp.method == "lp"
+        assert lp.scenario is not None
+
+
+class TestFixedOrderLifo:
+    def test_fixed_order(self, three_workers):
+        solution = lifo_schedule_for_order(three_workers, ["P2", "P1", "P3"])
+        assert solution.order == ("P2", "P1", "P3")
+        assert solution.schedule.is_lifo
+        solution.schedule.verify()
+
+    def test_optimal_order_beats_arbitrary_orders(self, four_workers):
+        import itertools
+
+        best = optimal_lifo_schedule(four_workers).throughput
+        for order in itertools.permutations(four_workers.worker_names):
+            other = lifo_schedule_for_order(four_workers, order).throughput
+            assert best >= other - 1e-9

@@ -1,0 +1,161 @@
+"""Tests for the scenario linear programs (:mod:`repro.core.linear_program`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linear_program import (
+    build_scenario_program,
+    idle_times_from_result,
+    solve_fifo_scenario,
+    solve_lifo_scenario,
+    solve_scenario,
+)
+from repro.core.platform import StarPlatform, Worker
+from repro.exceptions import ScheduleError
+
+
+@pytest.fixture
+def single_worker_platform() -> StarPlatform:
+    return StarPlatform([Worker("P1", c=1.0, w=2.0, d=0.5)])
+
+
+class TestProgramConstruction:
+    def test_constraint_counts_fifo(self, three_workers):
+        program = build_scenario_program(three_workers, three_workers.worker_names)
+        # q per-worker constraints + the one-port constraint
+        assert program.num_constraints == 4
+        assert program.num_variables == 3
+
+    def test_idle_variables_add_columns(self, three_workers):
+        program = build_scenario_program(
+            three_workers, three_workers.worker_names, include_idle_variables=True
+        )
+        assert program.num_variables == 6
+
+    def test_two_port_drops_coupling_constraint(self, three_workers):
+        program = build_scenario_program(
+            three_workers, three_workers.worker_names, one_port=False
+        )
+        assert program.num_constraints == 3
+        assert all("one-port" not in c.name for c in program.constraints)
+
+    def test_fifo_constraint_coefficients(self, single_worker_platform):
+        program = build_scenario_program(single_worker_platform, ["P1"])
+        deadline_row = next(c for c in program.constraints if c.name == "deadline[P1]")
+        # c + w + d of the single worker
+        assert deadline_row.coefficients["alpha[P1]"] == pytest.approx(3.5)
+        one_port_row = next(c for c in program.constraints if c.name == "one-port")
+        assert one_port_row.coefficients["alpha[P1]"] == pytest.approx(1.5)
+
+    def test_general_permutation_pair_coefficients(self, three_workers):
+        # sigma1 = (P1, P2), sigma2 = (P2, P1): P1's constraint has no d term
+        # for P2 (P2 returns before P1) but P2's constraint carries both d's.
+        program = build_scenario_program(three_workers, ["P1", "P2"], ["P2", "P1"])
+        row_p1 = next(c for c in program.constraints if c.name == "deadline[P1]")
+        row_p2 = next(c for c in program.constraints if c.name == "deadline[P2]")
+        p1, p2 = three_workers["P1"], three_workers["P2"]
+        assert row_p1.coefficients["alpha[P1]"] == pytest.approx(p1.c + p1.w + p1.d)
+        assert "alpha[P2]" not in row_p1.coefficients or row_p1.coefficients[
+            "alpha[P2]"
+        ] == pytest.approx(0.0)
+        assert row_p2.coefficients["alpha[P1]"] == pytest.approx(p1.c + p1.d)
+        assert row_p2.coefficients["alpha[P2]"] == pytest.approx(p2.c + p2.w + p2.d)
+
+    def test_validation_errors(self, three_workers):
+        with pytest.raises(ScheduleError):
+            build_scenario_program(three_workers, [])
+        with pytest.raises(ScheduleError):
+            build_scenario_program(three_workers, ["P1", "P1"])
+        with pytest.raises(ScheduleError):
+            build_scenario_program(three_workers, ["P1"], ["P2"])
+        with pytest.raises(ScheduleError):
+            build_scenario_program(three_workers, ["nope"])
+        with pytest.raises(ScheduleError):
+            build_scenario_program(three_workers, ["P1"], deadline=0.0)
+
+
+class TestSingleWorkerClosedForm:
+    def test_fifo_single_worker(self, single_worker_platform):
+        # One worker: alpha (c + w + d) = T, so alpha = 1 / 3.5.
+        solution = solve_fifo_scenario(single_worker_platform, ["P1"])
+        assert solution.throughput == pytest.approx(1.0 / 3.5)
+        assert solution.participants == ["P1"]
+        assert solution.total_load == pytest.approx(1.0 / 3.5)
+
+    def test_deadline_scaling_is_linear(self, single_worker_platform):
+        base = solve_fifo_scenario(single_worker_platform, ["P1"], deadline=1.0)
+        double = solve_fifo_scenario(single_worker_platform, ["P1"], deadline=2.0)
+        assert double.total_load == pytest.approx(2.0 * base.total_load)
+        assert double.throughput == pytest.approx(base.throughput)
+
+
+class TestScenarioSolutions:
+    def test_schedules_are_feasible(self, three_workers):
+        order = three_workers.ordered_by_c()
+        solution = solve_fifo_scenario(three_workers, order)
+        solution.schedule.verify()
+        assert solution.schedule.makespan() <= 1.0 + 1e-7
+
+    def test_lifo_scenario_is_lifo(self, three_workers):
+        solution = solve_lifo_scenario(three_workers, three_workers.worker_names)
+        assert solution.schedule.is_lifo
+        solution.schedule.verify()
+
+    def test_two_port_at_least_as_good_as_one_port(self, three_workers):
+        order = three_workers.ordered_by_c()
+        one_port = solve_scenario(three_workers, order, order, one_port=True)
+        two_port = solve_scenario(three_workers, order, order, one_port=False)
+        assert two_port.throughput >= one_port.throughput - 1e-9
+
+    def test_exact_and_scipy_backends_agree(self, four_workers):
+        order = four_workers.ordered_by_c()
+        scipy_solution = solve_fifo_scenario(four_workers, order, solver="scipy")
+        exact_solution = solve_fifo_scenario(four_workers, order, solver="exact")
+        assert scipy_solution.throughput == pytest.approx(exact_solution.throughput, rel=1e-8)
+
+    def test_loads_and_participants_accessors(self, three_workers):
+        solution = solve_fifo_scenario(three_workers, three_workers.ordered_by_c())
+        assert set(solution.loads) == set(three_workers.worker_names)
+        assert all(load >= 0 for load in solution.loads.values())
+        assert solution.participants == solution.schedule.participants
+
+    def test_idle_variables_do_not_change_optimum(self, three_workers):
+        order = three_workers.ordered_by_c()
+        plain = solve_fifo_scenario(three_workers, order)
+        with_idle = solve_scenario(
+            three_workers, order, order, include_idle_variables=True
+        )
+        assert plain.throughput == pytest.approx(with_idle.throughput, rel=1e-9)
+        idles = idle_times_from_result(with_idle.lp_result, order)
+        assert all(value >= -1e-9 for value in idles.values())
+
+    def test_subset_of_workers_is_a_valid_scenario(self, three_workers):
+        solution = solve_fifo_scenario(three_workers, ["P2", "P3"])
+        assert set(solution.loads) == {"P2", "P3"}
+        solution.schedule.verify()
+
+
+class TestLemma1VertexStructure:
+    def test_at_most_one_idle_worker_at_optimum(self, four_workers):
+        """Lemma 1: at an optimal vertex at most one enrolled worker is idle."""
+        order = four_workers.ordered_by_c()
+        solution = solve_fifo_scenario(four_workers, order, solver="exact")
+        schedule = solution.schedule
+        idles = schedule.idle_times()
+        positive_idles = [
+            name
+            for name in schedule.participants
+            if idles[name] > 1e-7
+        ]
+        assert len(positive_idles) <= 1
+
+    def test_only_last_participant_may_idle(self, four_workers):
+        """Lemma 2 / Theorem 1: the idle worker, if any, is the last enrolled."""
+        order = four_workers.ordered_by_c()
+        solution = solve_fifo_scenario(four_workers, order, solver="exact")
+        schedule = solution.schedule
+        idles = schedule.idle_times()
+        participants = schedule.participants
+        for name in participants[:-1]:
+            assert idles[name] == pytest.approx(0.0, abs=1e-7)

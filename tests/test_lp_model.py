@@ -1,0 +1,145 @@
+"""Tests for the LP modelling layer (:mod:`repro.lp.model`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.lp.model import Constraint, LinearProgram, Variable
+
+
+class TestVariable:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SolverError):
+            Variable("")
+
+    def test_rejects_negative_upper_bound(self):
+        with pytest.raises(SolverError):
+            Variable("x", upper=-1.0)
+
+
+class TestConstraint:
+    def test_rejects_bad_sense(self):
+        with pytest.raises(SolverError):
+            Constraint("c", {"x": 1.0}, "<", 1.0)
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(SolverError):
+            Constraint("c", {}, "<=", 1.0)
+
+    def test_slack_le(self):
+        con = Constraint("c", {"x": 2.0}, "<=", 3.0)
+        assert con.slack({"x": 1.0}) == pytest.approx(1.0)
+        assert con.slack({"x": 2.0}) == pytest.approx(-1.0)
+
+    def test_slack_ge(self):
+        con = Constraint("c", {"x": 1.0}, ">=", 2.0)
+        assert con.slack({"x": 3.0}) == pytest.approx(1.0)
+
+    def test_slack_eq_is_negative_residual(self):
+        con = Constraint("c", {"x": 1.0}, "==", 2.0)
+        assert con.slack({"x": 2.0}) == pytest.approx(0.0)
+        assert con.slack({"x": 3.0}) == pytest.approx(-1.0)
+
+
+class TestLinearProgram:
+    def test_duplicate_variable_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_variable("x")
+
+    def test_objective_unknown_variable_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.set_objective({"y": 1.0})
+        with pytest.raises(SolverError):
+            program.add_objective_term("y", 1.0)
+
+    def test_add_objective_term_accumulates(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_objective_term("x", 1.0)
+        program.add_objective_term("x", 2.0)
+        assert program.objective == {"x": 3.0}
+
+    def test_constraint_unknown_variable_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_constraint("c", {"y": 1.0}, "<=", 1.0)
+
+    def test_constraint_drops_zero_coefficients(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        con = program.add_constraint("c", {"x": 1.0, "y": 0.0}, "<=", 1.0)
+        assert con.coefficients == {"x": 1.0}
+
+    def test_all_zero_constraint_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_constraint("c", {"x": 0.0}, "<=", 1.0)
+
+    def test_counts_and_names(self):
+        program = LinearProgram("p")
+        program.add_variable("x")
+        program.add_variable("y", upper=2.0)
+        program.add_constraint("c", {"x": 1.0}, "<=", 1.0)
+        assert program.num_variables == 2
+        assert program.num_constraints == 1
+        assert program.variable_names == ["x", "y"]
+        assert [v.name for v in program.variables] == ["x", "y"]
+        assert len(program.constraints) == 1
+
+    def test_to_dense_shapes_and_signs(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y", upper=5.0)
+        program.set_objective({"x": 1.0, "y": 2.0})
+        program.add_constraint("le", {"x": 1.0, "y": 1.0}, "<=", 4.0)
+        program.add_constraint("ge", {"x": 1.0}, ">=", 1.0)
+        program.add_constraint("eq", {"y": 3.0}, "==", 6.0)
+        c, a_ub, b_ub, a_eq, b_eq, upper = program.to_dense()
+        assert c.tolist() == [1.0, 2.0]
+        assert a_ub.shape == (2, 2)
+        # the >= row is negated into <= form
+        assert a_ub[1].tolist() == [-1.0, 0.0]
+        assert b_ub.tolist() == [4.0, -1.0]
+        assert a_eq.tolist() == [[0.0, 3.0]]
+        assert b_eq.tolist() == [6.0]
+        assert upper[0] == np.inf and upper[1] == 5.0
+
+    def test_to_exact_rows_splits_equalities_and_bounds(self):
+        program = LinearProgram()
+        program.add_variable("x", upper=2.0)
+        program.set_objective({"x": 1.0})
+        program.add_constraint("eq", {"x": 1.0}, "==", 1.0)
+        c, rows, rhs, names = program.to_exact_rows()
+        # equality -> two rows, plus one row for the upper bound
+        assert len(rows) == 3
+        assert names == ["x"]
+        assert float(c[0]) == 1.0
+
+    def test_feasibility_helpers(self):
+        program = LinearProgram()
+        program.add_variable("x", upper=1.0)
+        program.set_objective({"x": 1.0})
+        program.add_constraint("c", {"x": 1.0}, "<=", 0.5)
+        assert program.is_feasible({"x": 0.25})
+        assert not program.is_feasible({"x": 0.75})
+        assert not program.is_feasible({"x": -0.1})
+        problems = program.violations({"x": 2.0})
+        assert any("exceeds" in p for p in problems)
+        assert any("violated" in p for p in problems)
+
+    def test_objective_value(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        program.set_objective({"x": 2.0, "y": 3.0})
+        assert program.objective_value({"x": 1.0, "y": 2.0}) == pytest.approx(8.0)
+        assert program.objective_value({"x": 1.0}) == pytest.approx(2.0)

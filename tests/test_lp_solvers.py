@@ -1,0 +1,220 @@
+"""Tests for the LP backends: exact simplex and SciPy/HiGHS.
+
+Besides unit tests of each backend on hand-solvable programs, a
+hypothesis-driven property test checks that both backends agree on random
+small programs of the shape produced by the scheduling code (non-negative
+variables, ``<=`` rows with non-negative coefficients and positive
+right-hand sides — always feasible and bounded).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.lp import (
+    ExactSimplexSolver,
+    LinearProgram,
+    LPStatus,
+    ScipySolver,
+    default_solver,
+    get_solver,
+    solve_exact,
+    solve_scipy,
+)
+
+
+def _simple_program() -> LinearProgram:
+    """max x + y  s.t.  x + 2y <= 4,  3x + y <= 6  (optimum 2.8 at (1.6, 1.2))."""
+    program = LinearProgram("simple")
+    program.add_variable("x")
+    program.add_variable("y")
+    program.set_objective({"x": 1.0, "y": 1.0})
+    program.add_constraint("c1", {"x": 1.0, "y": 2.0}, "<=", 4.0)
+    program.add_constraint("c2", {"x": 3.0, "y": 1.0}, "<=", 6.0)
+    return program
+
+
+class TestExactSimplex:
+    def test_simple_optimum(self):
+        result = solve_exact(_simple_program())
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.8)
+        assert result.value("x") == pytest.approx(1.6)
+        assert result.value("y") == pytest.approx(1.2)
+        assert result.backend == "exact-simplex"
+        # exact values are true rationals
+        assert result.exact_values["x"] == Fraction(8, 5)
+
+    def test_respects_upper_bounds(self):
+        program = LinearProgram()
+        program.add_variable("x", upper=2.0)
+        program.set_objective({"x": 1.0})
+        program.add_constraint("c", {"x": 1.0}, "<=", 10.0)
+        result = solve_exact(program)
+        assert result.objective == pytest.approx(2.0)
+
+    def test_handles_ge_and_eq_constraints(self):
+        # max x + y with x == 1 and y >= 0.5, y <= 2
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        program.set_objective({"x": 1.0, "y": 1.0})
+        program.add_constraint("fix", {"x": 1.0}, "==", 1.0)
+        program.add_constraint("low", {"y": 1.0}, ">=", 0.5)
+        program.add_constraint("high", {"y": 1.0}, "<=", 2.0)
+        result = solve_exact(program)
+        assert result.is_optimal
+        assert result.value("x") == pytest.approx(1.0)
+        assert result.value("y") == pytest.approx(2.0)
+
+    def test_detects_infeasibility(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.set_objective({"x": 1.0})
+        program.add_constraint("a", {"x": 1.0}, ">=", 2.0)
+        program.add_constraint("b", {"x": 1.0}, "<=", 1.0)
+        result = solve_exact(program)
+        assert result.status is LPStatus.INFEASIBLE
+        assert not result.is_optimal
+
+    def test_detects_unboundedness(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        program.set_objective({"x": 1.0})
+        program.add_constraint("c", {"y": 1.0}, "<=", 1.0)
+        result = solve_exact(program)
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_no_constraints_zero_objective(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.set_objective({})
+        result = solve_exact(program)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(0.0)
+
+    def test_degenerate_problem_terminates(self):
+        # A classic degenerate program; Bland's rule must not cycle.
+        program = LinearProgram()
+        for name in ("x1", "x2", "x3"):
+            program.add_variable(name)
+        program.set_objective({"x1": 0.75, "x2": -150.0, "x3": 0.02})
+        program.add_constraint("r1", {"x1": 0.25, "x2": -60.0, "x3": -0.04}, "<=", 0.0)
+        program.add_constraint("r2", {"x1": 0.5, "x2": -90.0, "x3": -0.02}, "<=", 0.0)
+        program.add_constraint("r3", {"x3": 1.0}, "<=", 1.0)
+        result = solve_exact(program)
+        assert result.is_optimal
+
+    def test_iteration_cap(self):
+        with pytest.raises(SolverError):
+            ExactSimplexSolver(max_iterations=0)
+
+    def test_result_vector_helper(self):
+        result = solve_exact(_simple_program())
+        assert result.vector(["x", "y"]) == pytest.approx([1.6, 1.2])
+        assert result.value("missing") == 0.0
+
+
+class TestScipyBackend:
+    def test_simple_optimum(self):
+        result = solve_scipy(_simple_program())
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.8)
+        assert result.backend == "scipy-highs"
+
+    def test_infeasible(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.set_objective({"x": 1.0})
+        program.add_constraint("a", {"x": 1.0}, ">=", 2.0)
+        program.add_constraint("b", {"x": 1.0}, "<=", 1.0)
+        assert solve_scipy(program).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        program.add_variable("y")
+        program.set_objective({"x": 1.0})
+        program.add_constraint("c", {"y": 1.0}, "<=", 1.0)
+        assert solve_scipy(program).status is LPStatus.UNBOUNDED
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(SolverError):
+            solve_scipy(LinearProgram())
+
+    def test_upper_bounds(self):
+        program = LinearProgram()
+        program.add_variable("x", upper=3.0)
+        program.set_objective({"x": 2.0})
+        program.add_constraint("c", {"x": 1.0}, "<=", 10.0)
+        assert solve_scipy(program).objective == pytest.approx(6.0)
+
+
+class TestSolverRegistry:
+    def test_get_solver_by_name(self):
+        assert isinstance(get_solver("exact"), ExactSimplexSolver)
+        assert isinstance(get_solver("simplex"), ExactSimplexSolver)
+        assert isinstance(get_solver("scipy"), ScipySolver)
+        assert isinstance(get_solver("highs"), ScipySolver)
+        assert isinstance(get_solver(None), ScipySolver)
+        assert isinstance(default_solver(), ScipySolver)
+
+    def test_get_solver_passthrough_instance(self):
+        solver = ExactSimplexSolver()
+        assert get_solver(solver) is solver
+
+    def test_get_solver_unknown_name(self):
+        with pytest.raises(SolverError):
+            get_solver("cplex")
+
+    def test_get_solver_rejects_non_solver_object(self):
+        with pytest.raises(SolverError):
+            get_solver(42)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# agreement between the two backends on random (feasible, bounded) programs
+# --------------------------------------------------------------------------- #
+@st.composite
+def bounded_programs(draw: st.DrawFn) -> LinearProgram:
+    """Random programs that are always feasible (x=0) and bounded.
+
+    Every variable receives a positive coefficient in at least one row, so the
+    objective cannot grow without bound.
+    """
+    num_vars = draw(st.integers(min_value=1, max_value=5))
+    num_rows = draw(st.integers(min_value=1, max_value=6))
+    coeff = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+    positive = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+    program = LinearProgram("random")
+    names = [f"x{i}" for i in range(num_vars)]
+    for name in names:
+        program.add_variable(name)
+    program.set_objective({name: draw(positive) for name in names})
+    for row in range(num_rows):
+        coefficients = {name: draw(coeff) for name in names}
+        if all(value == 0.0 for value in coefficients.values()):
+            coefficients[names[0]] = 1.0
+        program.add_constraint(f"r{row}", coefficients, "<=", draw(positive))
+    # guarantee boundedness: cap every variable by one extra row
+    for index, name in enumerate(names):
+        program.add_constraint(f"cap{index}", {name: 1.0}, "<=", 10.0)
+    return program
+
+
+class TestBackendAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_programs())
+    def test_exact_and_scipy_agree(self, program):
+        exact = solve_exact(program)
+        scipy_result = solve_scipy(program)
+        assert exact.is_optimal and scipy_result.is_optimal
+        assert exact.objective == pytest.approx(scipy_result.objective, rel=1e-6, abs=1e-8)
+        # both solutions must be feasible for the model
+        assert program.is_feasible(exact.values, tol=1e-6)
+        assert program.is_feasible(scipy_result.values, tol=1e-6)

@@ -1,0 +1,190 @@
+"""Tests for the platform model (:mod:`repro.core.platform`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+
+from conftest import platforms
+from repro.core.platform import StarPlatform, Worker, bus_platform, homogeneous_platform
+from repro.exceptions import PlatformError
+
+
+class TestWorker:
+    def test_basic_construction(self):
+        worker = Worker("P1", c=1.0, w=5.0, d=0.5)
+        assert worker.name == "P1"
+        assert worker.z == pytest.approx(0.5)
+        assert worker.round_trip == pytest.approx(1.5)
+
+    def test_rejects_non_positive_costs(self):
+        with pytest.raises(PlatformError):
+            Worker("P1", c=0.0, w=1.0, d=1.0)
+        with pytest.raises(PlatformError):
+            Worker("P1", c=1.0, w=-1.0, d=1.0)
+        with pytest.raises(PlatformError):
+            Worker("P1", c=1.0, w=1.0, d=0.0)
+
+    def test_rejects_non_finite_costs(self):
+        with pytest.raises(PlatformError):
+            Worker("P1", c=float("inf"), w=1.0, d=1.0)
+        with pytest.raises(PlatformError):
+            Worker("P1", c=1.0, w=float("nan"), d=1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(PlatformError):
+            Worker("", c=1.0, w=1.0, d=1.0)
+
+    def test_scaled_divides_costs(self):
+        worker = Worker("P1", c=2.0, w=8.0, d=1.0)
+        faster = worker.scaled(comm=2.0, comp=4.0)
+        assert faster.c == pytest.approx(1.0)
+        assert faster.d == pytest.approx(0.5)
+        assert faster.w == pytest.approx(2.0)
+        # the original worker is unchanged (frozen dataclass semantics)
+        assert worker.c == pytest.approx(2.0)
+
+    def test_scaled_rejects_non_positive_factors(self):
+        worker = Worker("P1", c=2.0, w=8.0, d=1.0)
+        with pytest.raises(PlatformError):
+            worker.scaled(comm=0.0)
+        with pytest.raises(PlatformError):
+            worker.scaled(comp=-1.0)
+
+    def test_with_ratio(self):
+        worker = Worker("P1", c=2.0, w=8.0, d=1.0).with_ratio(2.0)
+        assert worker.d == pytest.approx(4.0)
+        with pytest.raises(PlatformError):
+            worker.with_ratio(0.0)
+
+
+class TestStarPlatform:
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(PlatformError):
+            StarPlatform([])
+
+    def test_rejects_duplicate_names(self):
+        workers = [Worker("P1", c=1, w=1, d=1), Worker("P1", c=2, w=2, d=2)]
+        with pytest.raises(PlatformError) as excinfo:
+            StarPlatform(workers)
+        assert "P1" in str(excinfo.value)
+
+    def test_indexing_by_name_and_position(self, three_workers):
+        assert three_workers["P2"].c == pytest.approx(2.0)
+        assert three_workers[0].name == "P1"
+        assert "P3" in three_workers
+        assert "P9" not in three_workers
+        with pytest.raises(PlatformError):
+            three_workers["nope"]
+
+    def test_len_iter_and_names(self, three_workers):
+        assert len(three_workers) == 3
+        assert [w.name for w in three_workers] == ["P1", "P2", "P3"]
+        assert three_workers.worker_names == ["P1", "P2", "P3"]
+        assert three_workers.size == 3
+
+    def test_equality_and_hash(self, three_workers):
+        clone = StarPlatform(list(three_workers.workers), name="other-name")
+        assert clone == three_workers
+        assert hash(clone) == hash(three_workers)
+        assert three_workers != "not a platform"
+
+    def test_z_constant_ratio(self, three_workers):
+        assert three_workers.z == pytest.approx(0.5)
+
+    def test_z_none_when_ratio_varies(self):
+        platform = StarPlatform(
+            [Worker("P1", c=1, w=1, d=0.5), Worker("P2", c=1, w=1, d=0.9)]
+        )
+        assert platform.z is None
+
+    def test_is_bus_and_bus_costs(self, bus_three, three_workers):
+        assert bus_three.is_bus
+        assert bus_three.bus_costs == pytest.approx((1.0, 0.5))
+        assert not three_workers.is_bus
+        with pytest.raises(PlatformError):
+            three_workers.bus_costs
+
+    def test_ordered_by_c(self, three_workers):
+        assert three_workers.ordered_by_c() == ["P1", "P3", "P2"]
+        assert three_workers.ordered_by_c(descending=True) == ["P2", "P3", "P1"]
+
+    def test_ordered_by_w(self, three_workers):
+        assert three_workers.ordered_by_w() == ["P2", "P3", "P1"]
+
+    def test_ordered_by_c_breaks_ties_by_name(self):
+        platform = StarPlatform(
+            [Worker("B", c=1, w=1, d=0.5), Worker("A", c=1, w=2, d=0.5)]
+        )
+        assert platform.ordered_by_c() == ["A", "B"]
+
+    def test_subplatform(self, three_workers):
+        sub = three_workers.subplatform(["P3", "P1"])
+        assert sub.worker_names == ["P3", "P1"]
+        assert sub["P3"].w == pytest.approx(4.0)
+
+    def test_mirrored_swaps_c_and_d(self, three_workers):
+        mirrored = three_workers.mirrored()
+        for worker in three_workers:
+            assert mirrored[worker.name].c == pytest.approx(worker.d)
+            assert mirrored[worker.name].d == pytest.approx(worker.c)
+            assert mirrored[worker.name].w == pytest.approx(worker.w)
+        assert mirrored.z == pytest.approx(2.0)
+
+    def test_scaled_platform(self, three_workers):
+        faster = three_workers.scaled(comm=2.0, comp=5.0)
+        assert faster["P1"].c == pytest.approx(0.5)
+        assert faster["P1"].w == pytest.approx(1.0)
+
+    def test_reordered_requires_full_permutation(self, three_workers):
+        reordered = three_workers.reordered(["P2", "P1", "P3"])
+        assert reordered.worker_names == ["P2", "P1", "P3"]
+        with pytest.raises(PlatformError):
+            three_workers.reordered(["P1", "P2"])
+
+    def test_describe_and_as_dict(self, three_workers):
+        text = three_workers.describe()
+        assert "P1" in text and "c=1" in text
+        data = three_workers.as_dict()
+        assert data["P2"] == {"c": 2.0, "w": 3.0, "d": 1.0}
+
+
+class TestFactories:
+    def test_bus_platform_builds_identical_links(self):
+        platform = bus_platform([1.0, 2.0, 3.0], c=0.7, d=0.2)
+        assert platform.is_bus
+        assert platform.worker_names == ["P1", "P2", "P3"]
+        assert [w.w for w in platform] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_bus_platform_custom_names(self):
+        platform = bus_platform([1.0, 2.0], c=1, d=1, names=["X", "Y"])
+        assert platform.worker_names == ["X", "Y"]
+        with pytest.raises(PlatformError):
+            bus_platform([1.0, 2.0], c=1, d=1, names=["X"])
+
+    def test_homogeneous_platform(self):
+        platform = homogeneous_platform(4, c=1.0, w=2.0, d=0.5)
+        assert len(platform) == 4
+        assert platform.is_bus
+        assert platform.z == pytest.approx(0.5)
+        with pytest.raises(PlatformError):
+            homogeneous_platform(0, c=1, w=1, d=1)
+
+
+class TestPlatformProperties:
+    @given(platforms(max_size=6))
+    def test_generated_platforms_have_constant_z(self, platform):
+        assert platform.z == pytest.approx(0.5)
+
+    @given(platforms(max_size=6))
+    def test_ordered_by_c_is_sorted(self, platform):
+        order = platform.ordered_by_c()
+        costs = [platform[name].c for name in order]
+        assert costs == sorted(costs)
+        assert sorted(order) == sorted(platform.worker_names)
+
+    @given(platforms(max_size=6))
+    def test_mirror_is_involutive(self, platform):
+        assert platform.mirrored().mirrored() == platform

@@ -1,0 +1,122 @@
+"""Property-based tests of the paper's structural results.
+
+These tests sample random platforms (hypothesis) and check the paper's
+theorems and the relations between the different optimisation paths:
+
+* Theorem 1 — the non-decreasing-``c`` FIFO order dominates random orders;
+* Theorem 2 — the bus closed form equals the LP optimum (covered in
+  ``test_bus.py``; here we check the FIFO/LIFO/two-port orderings instead);
+* the optimal FIFO and LIFO schedules the library constructs are always
+  feasible under the one-port model;
+* mirroring (the ``z > 1`` device) preserves the optimal FIFO throughput;
+* hierarchy: one-port <= two-port for every fixed scenario, and every
+  one-port LIFO throughput is also achievable as a two-port schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from conftest import platforms
+from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_order, optimal_fifo_schedule
+from repro.core.lifo import optimal_lifo_schedule
+from repro.core.linear_program import solve_scenario
+from repro.core.twoport import optimal_two_port_fifo_schedule
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem1Ordering:
+    @_SETTINGS
+    @given(platforms(min_size=2, max_size=4, z=0.5))
+    def test_inc_c_dominates_reversed_and_platform_order(self, platform):
+        best = optimal_fifo_schedule(platform).throughput
+        reversed_order = list(reversed(optimal_fifo_order(platform)))
+        assert best >= fifo_schedule_for_order(platform, reversed_order).throughput - 1e-7
+        assert (
+            best
+            >= fifo_schedule_for_order(platform, platform.worker_names).throughput - 1e-7
+        )
+
+    @_SETTINGS
+    @given(platforms(min_size=2, max_size=4, z=2.0))
+    def test_mirror_rule_when_z_above_one(self, platform):
+        """For z > 1 the optimal order is non-increasing c (mirror argument)."""
+        best = optimal_fifo_schedule(platform).throughput
+        increasing = platform.ordered_by_c(descending=False)
+        assert best >= fifo_schedule_for_order(platform, increasing).throughput - 1e-7
+
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=4, z=0.5))
+    def test_mirrored_platform_has_same_fifo_throughput(self, platform):
+        """Reading a FIFO schedule backwards swaps c and d but keeps its value."""
+        direct = optimal_fifo_schedule(platform).throughput
+        mirrored = optimal_fifo_schedule(platform.mirrored()).throughput
+        assert direct == pytest.approx(mirrored, rel=1e-6)
+
+
+class TestFeasibilityProperties:
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=5, z=0.5))
+    def test_optimal_fifo_schedule_is_feasible(self, platform):
+        solution = optimal_fifo_schedule(platform)
+        solution.schedule.verify()
+        assert solution.schedule.makespan() <= 1.0 + 1e-6
+
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=5, z=0.5))
+    def test_optimal_lifo_schedule_is_feasible(self, platform):
+        solution = optimal_lifo_schedule(platform)
+        solution.schedule.verify()
+        assert solution.schedule.makespan() <= 1.0 + 1e-6
+
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=5, z=None))
+    def test_feasibility_without_constant_ratio(self, platform):
+        """Even without d = z*c the LP schedules must be feasible."""
+        solution = optimal_fifo_schedule(platform)
+        solution.schedule.verify()
+
+
+class TestModelHierarchy:
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=5, z=0.5))
+    def test_two_port_dominates_one_port(self, platform):
+        one_port = optimal_fifo_schedule(platform).throughput
+        two_port = optimal_two_port_fifo_schedule(platform).throughput
+        assert two_port >= one_port - 1e-9
+
+    @_SETTINGS
+    @given(platforms(min_size=1, max_size=5, z=0.5))
+    def test_fifo_resource_selection_never_hurts(self, platform):
+        """Adding candidates can only help: the optimum over all workers is at
+        least the optimum over the first worker alone."""
+        full = optimal_fifo_schedule(platform).throughput
+        first = platform.ordered_by_c()[0]
+        single = solve_scenario(platform, [first], [first]).throughput
+        assert full >= single - 1e-9
+
+    @_SETTINGS
+    @given(platforms(min_size=2, max_size=4, z=0.5))
+    def test_lifo_one_port_equals_lifo_two_port(self, platform):
+        """LIFO never interleaves sends and receives, so both models agree."""
+        order = platform.ordered_by_c()
+        one_port = solve_scenario(platform, order, list(reversed(order)), one_port=True)
+        two_port = solve_scenario(platform, order, list(reversed(order)), one_port=False)
+        assert one_port.throughput == pytest.approx(two_port.throughput, rel=1e-6)
+
+
+class TestSolverAgreementOnScenarios:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(platforms(min_size=1, max_size=4, z=0.5))
+    def test_exact_simplex_matches_highs_on_fifo_scenarios(self, platform):
+        order = optimal_fifo_order(platform)
+        scipy_value = solve_scenario(platform, order, order, solver="scipy").throughput
+        exact_value = solve_scenario(platform, order, order, solver="exact").throughput
+        assert scipy_value == pytest.approx(exact_value, rel=1e-6, abs=1e-9)

@@ -1,0 +1,136 @@
+"""Tests for the rounding policy and the makespan view."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.makespan import makespan_for_load, predicted_makespan, schedule_for_total_load
+from repro.core.platform import StarPlatform, Worker
+from repro.core.rounding import integer_load_schedule, round_loads
+from repro.core.schedule import fifo_schedule
+from repro.exceptions import ScheduleError
+
+
+class TestRoundLoads:
+    def test_paper_example(self):
+        """The worked example of Section 5: M=1000, K=2 extra tasks to P1, P2."""
+        loads = {"P1": 200.4, "P2": 300.2, "P3": 139.8, "P4": 359.6}
+        sigma1 = ["P1", "P2", "P3", "P4"]
+        rounded = round_loads(loads, sigma1, 1000)
+        assert rounded == {"P1": 201, "P2": 301, "P3": 139, "P4": 359}
+        assert sum(rounded.values()) == 1000
+
+    def test_exact_integers_are_unchanged(self):
+        loads = {"A": 3.0, "B": 7.0}
+        assert round_loads(loads, ["A", "B"], 10) == {"A": 3, "B": 7}
+
+    def test_rescales_when_total_differs(self):
+        loads = {"A": 1.0, "B": 1.0}
+        rounded = round_loads(loads, ["A", "B"], 7)
+        assert sum(rounded.values()) == 7
+        assert abs(rounded["A"] - rounded["B"]) <= 1
+
+    def test_zero_total(self):
+        assert round_loads({"A": 1.0}, ["A"], 0) == {"A": 0}
+
+    def test_extra_units_follow_sigma1_order(self):
+        loads = {"A": 0.5, "B": 0.5, "C": 2.0}
+        rounded = round_loads(loads, ["C", "B", "A"], 3)
+        # floor gives C=2, B=0, A=0; the single leftover goes to C (first in sigma1)
+        assert rounded == {"C": 3, "B": 0, "A": 0}
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            round_loads({"A": 1.0}, [], 1)
+        with pytest.raises(ScheduleError):
+            round_loads({"A": 1.0}, ["B"], 1)
+        with pytest.raises(ScheduleError):
+            round_loads({"A": -1.0}, ["A"], 1)
+        with pytest.raises(ScheduleError):
+            round_loads({"A": 1.0}, ["A"], -1)
+        with pytest.raises(ScheduleError):
+            round_loads({"A": 0.0}, ["A"], 5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_rounded_totals_are_exact(self, values, total):
+        names = [f"P{i}" for i in range(len(values))]
+        loads = dict(zip(names, values))
+        if sum(values) <= 0:
+            loads[names[0]] = 1.0
+        rounded = round_loads(loads, names, total)
+        assert sum(rounded.values()) == total
+        assert all(value >= 0 for value in rounded.values())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_rounding_moves_each_load_by_less_than_one_unit_after_scaling(self, values, total):
+        names = [f"P{i}" for i in range(len(values))]
+        loads = dict(zip(names, values))
+        rounded = round_loads(loads, names, total)
+        scale = total / sum(values)
+        for name in names:
+            assert abs(rounded[name] - loads[name] * scale) <= 1.0 + 1e-6
+
+
+class TestIntegerLoadSchedule:
+    def test_round_trip_preserves_orders(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        rounded = integer_load_schedule(solution.schedule.scaled_to_total_load(100), 100)
+        assert rounded.sigma1 == solution.schedule.sigma1
+        assert rounded.sigma2 == solution.schedule.sigma2
+        assert rounded.total_load == pytest.approx(100)
+        assert all(float(v).is_integer() for v in rounded.loads.values())
+
+    def test_deadline_equals_eager_makespan(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        rounded = integer_load_schedule(solution.schedule, 50)
+        assert rounded.deadline == pytest.approx(rounded.makespan())
+
+    def test_rejects_non_positive_total(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        with pytest.raises(ScheduleError):
+            integer_load_schedule(solution.schedule, 0)
+
+
+class TestMakespanView:
+    def test_makespan_for_load(self):
+        assert makespan_for_load(2.0, 10.0) == pytest.approx(5.0)
+        with pytest.raises(ScheduleError):
+            makespan_for_load(0.0, 10.0)
+        with pytest.raises(ScheduleError):
+            makespan_for_load(1.0, -1.0)
+
+    def test_predicted_makespan_matches_throughput(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        predicted = predicted_makespan(solution.schedule, 500.0)
+        assert predicted == pytest.approx(500.0 / solution.throughput)
+
+    def test_predicted_makespan_requires_load(self, three_workers):
+        empty = fifo_schedule(three_workers, {}, three_workers.worker_names)
+        with pytest.raises(ScheduleError):
+            predicted_makespan(empty, 10.0)
+
+    def test_schedule_for_total_load(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        scaled = schedule_for_total_load(solution.schedule, 250.0)
+        assert scaled.total_load == pytest.approx(250.0)
+        assert scaled.deadline == pytest.approx(predicted_makespan(solution.schedule, 250.0))
+        scaled.verify()
+
+    def test_makespan_consistency_with_simulation(self):
+        """Predicted makespan equals the eager makespan for a tight schedule."""
+        platform = StarPlatform(
+            [Worker("P1", c=1.0, w=2.0, d=0.5), Worker("P2", c=0.5, w=3.0, d=0.25)]
+        )
+        solution = optimal_fifo_schedule(platform)
+        scaled = schedule_for_total_load(solution.schedule, 20.0)
+        assert scaled.makespan() == pytest.approx(scaled.deadline, rel=1e-7)

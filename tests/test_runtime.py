@@ -1,0 +1,203 @@
+"""Tests for the message-passing runtime and the matrix application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.heuristics import inc_c
+from repro.core.rounding import integer_load_schedule
+from repro.exceptions import SimulationError
+from repro.runtime.api import MASTER_RANK, NodeContext, SimulatedRuntime
+from repro.runtime.matrix_app import campaign_from_schedule, run_matrix_campaign
+from repro.simulation.executor import measure_heuristic
+from repro.simulation.noise import UniformJitter
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import PlatformFactors
+
+
+def _two_node_runtime(one_port: bool = True, noise=None) -> SimulatedRuntime:
+    return SimulatedRuntime(
+        bandwidths={MASTER_RANK: 10.0, 1: 10.0, 2: 5.0},
+        flop_rates={MASTER_RANK: 100.0, 1: 100.0, 2: 50.0},
+        one_port=one_port,
+        noise=noise,
+    )
+
+
+class TestSimulatedRuntime:
+    def test_blocking_send_recv_pair(self):
+        runtime = _two_node_runtime()
+        log = []
+
+        def master(ctx: NodeContext):
+            yield ctx.send(1, 100.0, tag=7, payload="hello")
+            log.append(("master-done", ctx.now))
+
+        def worker(ctx: NodeContext):
+            message = yield ctx.recv(MASTER_RANK, tag=7)
+            log.append(("worker-got", message.payload, ctx.now))
+
+        runtime.add_node(MASTER_RANK, master)
+        runtime.add_node(1, worker)
+        makespan = runtime.run()
+        # 100 bytes over the worker link at 10 B/s = 10 s
+        assert makespan == pytest.approx(10.0)
+        assert ("worker-got", "hello", 10.0) in log
+
+    def test_transfer_speed_uses_worker_link(self):
+        runtime = _two_node_runtime()
+
+        def master(ctx: NodeContext):
+            yield ctx.send(2, 100.0)
+
+        def worker(ctx: NodeContext):
+            yield ctx.recv(MASTER_RANK)
+
+        runtime.add_node(MASTER_RANK, master)
+        runtime.add_node(2, worker)
+        assert runtime.run() == pytest.approx(20.0)  # rank 2 link is 5 B/s
+
+    def test_one_port_serialises_master_transfers(self):
+        runtime = _two_node_runtime(one_port=True)
+
+        def master(ctx: NodeContext):
+            first = ctx.send(1, 100.0)
+            second = ctx.send(2, 100.0)
+            yield first
+            yield second
+
+        def worker(rank):
+            def program(ctx: NodeContext):
+                yield ctx.recv(MASTER_RANK)
+
+            return program
+
+        runtime.add_node(MASTER_RANK, master)
+        runtime.add_node(1, worker(1))
+        runtime.add_node(2, worker(2))
+        assert runtime.run() == pytest.approx(30.0)  # 10 s then 20 s, serialised
+        assert runtime.trace.overlapping_pairs("master") == []
+
+    def test_compute_duration(self):
+        runtime = _two_node_runtime()
+
+        def worker(ctx: NodeContext):
+            yield ctx.compute(500.0)
+
+        runtime.add_node(2, worker)
+        assert runtime.run() == pytest.approx(10.0)  # 500 flops at 50 flop/s
+
+    def test_deadlock_detection(self):
+        runtime = _two_node_runtime()
+
+        def master(ctx: NodeContext):
+            yield ctx.recv(1)  # never sent
+
+        runtime.add_node(MASTER_RANK, master)
+        with pytest.raises(SimulationError) as excinfo:
+            runtime.run()
+        assert "deadlock" in str(excinfo.value)
+
+    def test_validation_errors(self):
+        with pytest.raises(SimulationError):
+            SimulatedRuntime(bandwidths={0: -1.0}, flop_rates={0: 1.0})
+        with pytest.raises(SimulationError):
+            SimulatedRuntime(bandwidths={0: 1.0}, flop_rates={0: 0.0})
+        runtime = _two_node_runtime()
+        with pytest.raises(SimulationError):
+            runtime.run()  # no programs registered
+        runtime.add_node(1, lambda ctx: iter(()))
+        with pytest.raises(SimulationError):
+            runtime.add_node(1, lambda ctx: iter(()))
+
+    def test_sleep_and_now(self):
+        runtime = _two_node_runtime()
+        times = []
+
+        def worker(ctx: NodeContext):
+            yield ctx.sleep(3.0)
+            times.append(ctx.now)
+
+        runtime.add_node(1, worker)
+        runtime.run()
+        assert times == [pytest.approx(3.0)]
+
+
+class TestMatrixApplication:
+    def test_campaign_simple_counts(self):
+        workload = MatrixProductWorkload(50, bandwidth=1e6, flop_rate=1e8)
+        result = run_matrix_campaign(
+            workload,
+            comm_factors=[1.0, 2.0],
+            comp_factors=[1.0, 1.0],
+            tasks=[3, 5],
+        )
+        assert result.total_tasks == 8
+        assert result.tasks == {"P1": 3, "P2": 5}
+        assert result.makespan > 0
+        assert result.trace.overlapping_pairs("master") == []
+
+    def test_zero_task_workers_are_skipped(self):
+        workload = MatrixProductWorkload(50)
+        result = run_matrix_campaign(
+            workload, comm_factors=[1.0, 1.0], comp_factors=[1.0, 1.0], tasks=[4, 0]
+        )
+        assert result.tasks["P2"] == 0
+        assert result.total_tasks == 4
+
+    def test_input_validation(self):
+        workload = MatrixProductWorkload(50)
+        with pytest.raises(SimulationError):
+            run_matrix_campaign(workload, [1.0], [1.0, 2.0], [1])
+        with pytest.raises(SimulationError):
+            run_matrix_campaign(workload, [1.0], [1.0], [-1])
+        with pytest.raises(SimulationError):
+            run_matrix_campaign(workload, [1.0, 1.0], [1.0, 1.0], [1, 1], sigma1=[0, 0])
+
+    def test_matches_executor_path_end_to_end(self):
+        """The MPI-style application and the schedule executor must agree."""
+        workload = MatrixProductWorkload(150)
+        factors = PlatformFactors((4.0, 2.0, 1.0), (3.0, 1.0, 2.0), label="cross-check")
+        platform = factors.platform(workload)
+        heuristic = inc_c(platform)
+        total = 400
+
+        executor_report = measure_heuristic(heuristic, total)
+        campaign = campaign_from_schedule(
+            workload, factors.comm, factors.comp, heuristic.schedule, total
+        )
+        assert campaign.total_tasks == total
+        assert campaign.makespan == pytest.approx(executor_report.measured_makespan, rel=1e-9)
+
+    def test_campaign_from_schedule_includes_idle_workers(self):
+        workload = MatrixProductWorkload(400)
+        factors = PlatformFactors((10.0, 8.0, 1.0), (9.0, 9.0, 1.0), label="selective")
+        platform = factors.platform(workload)
+        solution = optimal_fifo_schedule(platform)
+        campaign = campaign_from_schedule(
+            workload, factors.comm, factors.comp, solution.schedule, 100
+        )
+        assert campaign.total_tasks == 100
+        # the campaign covers every worker even if some got zero tasks
+        assert set(campaign.tasks) == {"P1", "P2", "P3"}
+
+    def test_campaign_with_noise_is_slower(self):
+        workload = MatrixProductWorkload(100)
+        quiet = run_matrix_campaign(workload, [1.0, 1.0], [1.0, 1.0], [10, 10])
+        noisy = run_matrix_campaign(
+            workload,
+            [1.0, 1.0],
+            [1.0, 1.0],
+            [10, 10],
+            noise=UniformJitter(amplitude=0.5, seed=2),
+        )
+        assert noisy.makespan >= quiet.makespan
+
+    def test_campaign_rejects_foreign_schedule(self):
+        workload = MatrixProductWorkload(100)
+        factors = PlatformFactors((1.0, 1.0), (1.0, 1.0), label="small")
+        platform = factors.platform(workload)
+        other = optimal_fifo_schedule(platform).schedule
+        with pytest.raises(SimulationError):
+            campaign_from_schedule(workload, (1.0,), (1.0,), other, 10)

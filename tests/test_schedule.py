@@ -1,0 +1,243 @@
+"""Tests for the schedule model (:mod:`repro.core.schedule`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import platforms
+from repro.core.platform import StarPlatform, Worker
+from repro.core.schedule import Schedule, fifo_schedule, lifo_schedule
+from repro.exceptions import InfeasibleScheduleError, ScheduleError
+
+
+@pytest.fixture
+def tight_two_worker_platform() -> StarPlatform:
+    """Hand-solvable platform used for exact timeline assertions."""
+    return StarPlatform(
+        [Worker("P1", c=1.0, w=2.0, d=0.5), Worker("P2", c=2.0, w=1.0, d=1.0)]
+    )
+
+
+class TestConstruction:
+    def test_rejects_non_positive_deadline(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {"P1": 0.1}, sigma1=["P1"], deadline=0.0)
+
+    def test_rejects_duplicate_sigma1(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {"P1": 0.1}, sigma1=["P1", "P1"])
+
+    def test_rejects_mismatched_permutations(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {}, sigma1=["P1", "P2"], sigma2=["P1", "P3"])
+
+    def test_rejects_unknown_workers(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {}, sigma1=["P1", "nope"])
+
+    def test_rejects_loads_outside_sigma1(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {"P3": 0.5}, sigma1=["P1", "P2"])
+
+    def test_rejects_negative_loads(self, three_workers):
+        with pytest.raises(ScheduleError):
+            Schedule(three_workers, {"P1": -0.1}, sigma1=["P1"])
+
+    def test_defaults_to_fifo(self, three_workers):
+        schedule = Schedule(three_workers, {"P1": 0.1}, sigma1=["P1", "P2", "P3"])
+        assert schedule.sigma2 == schedule.sigma1
+        assert schedule.is_fifo
+
+    def test_missing_loads_default_to_zero(self, three_workers):
+        schedule = Schedule(three_workers, {"P1": 0.2}, sigma1=["P1", "P2"])
+        assert schedule.load("P2") == 0.0
+        assert schedule.load("P1") == pytest.approx(0.2)
+
+
+class TestBasicProperties:
+    def test_total_load_and_throughput(self, three_workers):
+        schedule = Schedule(
+            three_workers, {"P1": 0.2, "P2": 0.1}, sigma1=["P1", "P2"], deadline=2.0
+        )
+        assert schedule.total_load == pytest.approx(0.3)
+        assert schedule.throughput == pytest.approx(0.15)
+
+    def test_participants_follow_sigma1_order(self, three_workers):
+        schedule = Schedule(
+            three_workers, {"P3": 0.1, "P1": 0.2}, sigma1=["P3", "P2", "P1"]
+        )
+        assert schedule.participants == ["P3", "P1"]
+
+    def test_fifo_and_lifo_flags(self, three_workers):
+        fifo = fifo_schedule(three_workers, {"P1": 0.1, "P2": 0.1}, ["P1", "P2"])
+        lifo = lifo_schedule(three_workers, {"P1": 0.1, "P2": 0.1}, ["P1", "P2"])
+        assert fifo.is_fifo and not lifo.is_fifo
+        assert lifo.is_lifo and not fifo.is_lifo
+
+    def test_single_worker_is_both_fifo_and_lifo(self, three_workers):
+        schedule = Schedule(three_workers, {"P1": 0.1}, sigma1=["P1"])
+        assert schedule.is_fifo and schedule.is_lifo
+
+    def test_flags_ignore_zero_load_workers(self, three_workers):
+        # Return order differs only on a worker that gets no load.
+        schedule = Schedule(
+            three_workers,
+            {"P1": 0.1, "P2": 0.1},
+            sigma1=["P1", "P2", "P3"],
+            sigma2=["P3", "P1", "P2"],
+        )
+        assert schedule.is_fifo
+
+
+class TestTimelines:
+    def test_two_worker_fifo_timeline(self, tight_two_worker_platform):
+        # alpha1 = 0.2, alpha2 = 0.1, T = 1:
+        #   P1: send [0, 0.2], compute [0.2, 0.6], return slot [0.8, 0.9]
+        #   P2: send [0.2, 0.4], compute [0.4, 0.5], return slot [0.9, 1.0]
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        timelines = schedule.timelines()
+        p1, p2 = timelines["P1"], timelines["P2"]
+        assert p1.send_start == pytest.approx(0.0)
+        assert p1.send_end == pytest.approx(0.2)
+        assert p1.compute_end == pytest.approx(0.6)
+        assert p1.return_start == pytest.approx(0.8)
+        assert p1.return_end == pytest.approx(0.9)
+        assert p1.idle == pytest.approx(0.2)
+        assert p2.send_start == pytest.approx(0.2)
+        assert p2.compute_end == pytest.approx(0.5)
+        assert p2.return_start == pytest.approx(0.9)
+        assert p2.return_end == pytest.approx(1.0)
+        assert schedule.is_feasible()
+
+    def test_lifo_reverses_return_slots(self, tight_two_worker_platform):
+        schedule = lifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        timelines = schedule.timelines()
+        # In LIFO, P2 returns first, P1 returns last (ends at the deadline).
+        assert timelines["P1"].return_end == pytest.approx(1.0)
+        assert timelines["P2"].return_end == pytest.approx(timelines["P1"].return_start)
+
+    def test_idle_times_match_timelines(self, tight_two_worker_platform):
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        idles = schedule.idle_times()
+        timelines = schedule.timelines()
+        for name, idle in idles.items():
+            assert idle == pytest.approx(timelines[name].idle)
+
+    def test_makespan_eager_execution(self, tight_two_worker_platform):
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        # Eager: sends end at 0.4; P1 computed by 0.6 -> return [0.6, 0.7];
+        # P2 computed by 0.5 -> return [0.7, 0.8].
+        assert schedule.makespan() == pytest.approx(0.8)
+
+    def test_busy_time(self, tight_two_worker_platform):
+        schedule = fifo_schedule(tight_two_worker_platform, {"P1": 0.2}, ["P1"])
+        tl = schedule.timelines()["P1"]
+        assert tl.busy_time == pytest.approx(0.2 * (1.0 + 2.0 + 0.5))
+
+    def test_as_dict_round_trip(self, tight_two_worker_platform):
+        schedule = fifo_schedule(tight_two_worker_platform, {"P1": 0.2}, ["P1"])
+        data = schedule.as_dict()
+        assert data["participants"] == ["P1"]
+        assert data["timelines"]["P1"]["load"] == pytest.approx(0.2)
+
+
+class TestFeasibility:
+    def test_overloaded_schedule_is_infeasible(self, tight_two_worker_platform):
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.5, "P2": 0.5}, ["P1", "P2"]
+        )
+        assert not schedule.is_feasible()
+        with pytest.raises(InfeasibleScheduleError):
+            schedule.verify()
+
+    def test_one_port_violation_detected(self):
+        # Large loads whose send+return phases must overlap within T=1.
+        platform = StarPlatform(
+            [Worker("P1", c=1.0, w=0.01, d=1.0), Worker("P2", c=1.0, w=0.01, d=1.0)]
+        )
+        schedule = fifo_schedule(platform, {"P1": 0.3, "P2": 0.3}, ["P1", "P2"])
+        violations = schedule.violations(one_port=True)
+        assert any("one-port" in violation for violation in violations)
+        # The same schedule is fine under the two-port model.
+        assert schedule.is_feasible(one_port=False)
+
+    def test_zero_load_workers_do_not_trigger_violations(self, three_workers):
+        schedule = fifo_schedule(
+            three_workers, {"P1": 0.05}, ["P1", "P2", "P3"]
+        )
+        assert schedule.is_feasible()
+
+    def test_verify_accepts_feasible_schedule(self, tight_two_worker_platform):
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        schedule.verify()  # must not raise
+
+
+class TestTransformations:
+    def test_scaled_to_total_load(self, tight_two_worker_platform):
+        schedule = fifo_schedule(
+            tight_two_worker_platform, {"P1": 0.2, "P2": 0.1}, ["P1", "P2"]
+        )
+        scaled = schedule.scaled_to_total_load(30.0)
+        assert scaled.total_load == pytest.approx(30.0)
+        assert scaled.deadline == pytest.approx(100.0)
+        assert scaled.throughput == pytest.approx(schedule.throughput)
+        # proportions preserved
+        assert scaled.load("P1") / scaled.load("P2") == pytest.approx(2.0)
+
+    def test_scaled_to_total_load_requires_positive_current_load(self, three_workers):
+        schedule = Schedule(three_workers, {}, sigma1=["P1"])
+        with pytest.raises(ScheduleError):
+            schedule.scaled_to_total_load(10.0)
+
+    def test_restricted_to_participants(self, three_workers):
+        schedule = fifo_schedule(
+            three_workers, {"P1": 0.1, "P3": 0.0, "P2": 0.05}, ["P1", "P3", "P2"]
+        )
+        restricted = schedule.restricted_to_participants()
+        assert restricted.sigma1 == ("P1", "P2")
+        assert restricted.total_load == pytest.approx(schedule.total_load)
+
+    def test_restricted_requires_a_participant(self, three_workers):
+        schedule = Schedule(three_workers, {}, sigma1=["P1", "P2"])
+        with pytest.raises(ScheduleError):
+            schedule.restricted_to_participants()
+
+    def test_with_loads_keeps_orders(self, three_workers):
+        schedule = lifo_schedule(three_workers, {"P1": 0.1}, ["P1", "P2", "P3"])
+        updated = schedule.with_loads({"P2": 0.2})
+        assert updated.sigma1 == schedule.sigma1
+        assert updated.sigma2 == schedule.sigma2
+        assert updated.load("P1") == 0.0
+        assert updated.load("P2") == pytest.approx(0.2)
+
+
+class TestScheduleProperties:
+    @given(platforms(max_size=5), st.floats(min_value=0.01, max_value=0.2))
+    def test_small_loads_are_always_feasible(self, platform, unit_load):
+        """Tiny equal loads never violate the model (sanity of the checker)."""
+        per_worker = unit_load / (10 * len(platform))
+        loads = {name: per_worker for name in platform.worker_names}
+        schedule = fifo_schedule(platform, loads, platform.worker_names)
+        # makespan of an eager run of a tiny load is far below the deadline
+        assert schedule.makespan() <= 1.0
+        assert schedule.is_feasible()
+
+    @given(platforms(max_size=5))
+    def test_scaling_preserves_feasibility(self, platform):
+        per_worker = 1.0 / (100 * len(platform) * max(w.round_trip + w.w for w in platform))
+        loads = {name: per_worker for name in platform.worker_names}
+        schedule = fifo_schedule(platform, loads, platform.worker_names)
+        scaled = schedule.scaled_to_total_load(42.0)
+        assert scaled.is_feasible()
+        assert scaled.total_load == pytest.approx(42.0)

@@ -1,0 +1,252 @@
+"""Tests for the cluster simulator, noise models, traces and executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from conftest import platforms
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.heuristics import inc_c, lifo
+from repro.core.lifo import optimal_lifo_schedule
+from repro.core.platform import StarPlatform, Worker
+from repro.core.schedule import fifo_schedule, lifo_schedule
+from repro.exceptions import SimulationError
+from repro.simulation.cluster import ClusterSimulation
+from repro.simulation.executor import execute_schedule, measure_heuristic
+from repro.simulation.network import MasterPorts
+from repro.simulation.noise import (
+    AffineOverhead,
+    ComposedNoise,
+    GaussianJitter,
+    NoJitter,
+    UniformJitter,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.trace import Trace, TraceEvent, ascii_gantt
+
+
+class TestNoiseModels:
+    def test_no_jitter_is_identity(self):
+        assert NoJitter().perturb(2.0, "send", "P1") == pytest.approx(2.0)
+
+    def test_uniform_jitter_only_slows_down(self):
+        jitter = UniformJitter(amplitude=0.5, seed=1)
+        for _ in range(100):
+            assert jitter.perturb(1.0, "compute", "P1") >= 1.0
+
+    def test_uniform_jitter_separate_comm_amplitude(self):
+        jitter = UniformJitter(amplitude=0.0, comm_amplitude=0.5, seed=1)
+        assert jitter.perturb(1.0, "compute", "P1") == pytest.approx(1.0)
+        assert jitter.perturb(1.0, "send", "P1") >= 1.0
+
+    def test_uniform_jitter_is_deterministic_per_seed(self):
+        a = UniformJitter(amplitude=0.3, seed=7)
+        b = UniformJitter(amplitude=0.3, seed=7)
+        assert [a.perturb(1.0, "send", "P1") for _ in range(5)] == [
+            b.perturb(1.0, "send", "P1") for _ in range(5)
+        ]
+
+    def test_gaussian_jitter_floor(self):
+        jitter = GaussianJitter(sigma=10.0, floor=0.9, seed=3)
+        assert all(jitter.perturb(1.0, "compute", "P1") >= 0.9 for _ in range(50))
+
+    def test_affine_overhead(self):
+        noise = AffineOverhead(comm_latency=0.5, compute_latency=0.1)
+        assert noise.perturb(1.0, "send", "P1") == pytest.approx(1.5)
+        assert noise.perturb(1.0, "return", "P1") == pytest.approx(1.5)
+        assert noise.perturb(1.0, "compute", "P1") == pytest.approx(1.1)
+
+    def test_composed_noise_applies_in_sequence(self):
+        noise = ComposedNoise(AffineOverhead(comm_latency=1.0), AffineOverhead(comm_latency=2.0))
+        assert noise.perturb(1.0, "send", "P1") == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            UniformJitter(amplitude=-0.1)
+        with pytest.raises(SimulationError):
+            GaussianJitter(sigma=-1.0)
+        with pytest.raises(SimulationError):
+            AffineOverhead(comm_latency=-1.0)
+        with pytest.raises(SimulationError):
+            NoJitter().perturb(-1.0, "send", "P1")
+        with pytest.raises(SimulationError):
+            NoJitter().perturb(1.0, "teleport", "P1")
+
+
+class TestTrace:
+    def test_event_validation(self):
+        with pytest.raises(SimulationError):
+            TraceEvent("P1", "unknown-kind", 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            TraceEvent("P1", "send", 2.0, 1.0)
+
+    def test_record_and_query(self):
+        trace = Trace()
+        trace.record("master", "send", 0.0, 1.0, load=2.0, note="P1")
+        trace.record("P1", "compute", 1.0, 3.0, load=2.0)
+        trace.record("master", "return", 3.0, 4.0, load=2.0)
+        assert len(trace) == 3
+        assert trace.makespan == pytest.approx(4.0)
+        assert trace.resources[0] == "master"
+        assert trace.busy_time("master") == pytest.approx(2.0)
+        assert [e.kind for e in trace.for_resource("master")] == ["send", "return"]
+
+    def test_overlapping_pairs(self):
+        trace = Trace()
+        trace.record("master", "send", 0.0, 2.0)
+        trace.record("master", "return", 1.0, 3.0)
+        assert len(trace.overlapping_pairs("master")) == 1
+        trace2 = Trace()
+        trace2.record("master", "send", 0.0, 1.0)
+        trace2.record("master", "return", 1.0, 2.0)
+        assert trace2.overlapping_pairs("master") == []
+
+    def test_json_round_trip(self):
+        trace = Trace()
+        trace.record("P1", "send", 0.0, 1.0, load=3.0, note="hello")
+        restored = Trace.from_json(trace.to_json())
+        assert len(restored) == 1
+        assert restored.events[0].note == "hello"
+
+    def test_ascii_gantt_renders_all_resources(self):
+        trace = Trace()
+        trace.record("master", "send", 0.0, 1.0)
+        trace.record("P1", "compute", 1.0, 2.0)
+        chart = ascii_gantt(trace, width=40)
+        assert "master" in chart and "P1" in chart
+        assert "#" in chart and "=" in chart
+
+    def test_ascii_gantt_empty_trace(self):
+        chart = ascii_gantt(Trace(), width=20)
+        assert "t=0" in chart
+
+    def test_ascii_gantt_rejects_bad_width(self):
+        with pytest.raises(SimulationError):
+            ascii_gantt(Trace(), width=0)
+
+
+class TestMasterPorts:
+    def test_one_port_shares_resource(self):
+        ports = MasterPorts(Simulator(), one_port=True)
+        assert ports.send_port is ports.receive_port
+
+    def test_two_port_has_independent_resources(self):
+        ports = MasterPorts(Simulator(), one_port=False)
+        assert ports.send_port is not ports.receive_port
+        assert not ports.busy
+
+
+class TestClusterSimulation:
+    def test_ideal_run_matches_schedule_makespan(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        run = ClusterSimulation(three_workers).run(solution.schedule)
+        assert run.makespan == pytest.approx(solution.schedule.makespan(), rel=1e-9)
+        assert run.total_load == pytest.approx(solution.schedule.total_load)
+
+    def test_one_port_master_never_overlaps(self, four_workers):
+        solution = optimal_fifo_schedule(four_workers)
+        run = ClusterSimulation(four_workers).run(solution.schedule)
+        assert run.trace.overlapping_pairs("master") == []
+
+    def test_two_port_can_overlap_send_and_return(self):
+        # Heavy loads on two workers with long returns: under two-port the
+        # second send overlaps the first return, finishing strictly earlier.
+        platform = StarPlatform(
+            [Worker("P1", c=1.0, w=0.1, d=1.0), Worker("P2", c=1.0, w=0.1, d=1.0)]
+        )
+        loads = {"P1": 1.0, "P2": 1.0}
+        schedule = fifo_schedule(platform, loads, ["P1", "P2"], deadline=10.0)
+        one_port = ClusterSimulation(platform, one_port=True).run(schedule)
+        two_port = ClusterSimulation(platform, one_port=False).run(schedule)
+        assert two_port.makespan < one_port.makespan - 1e-9
+
+    def test_lifo_execution_order(self, three_workers):
+        solution = optimal_lifo_schedule(three_workers)
+        run = ClusterSimulation(three_workers).run(solution.schedule)
+        # In a LIFO run the first-served worker's return finishes last.
+        first_served = solution.order[0]
+        assert run.records[first_served].return_end == pytest.approx(run.makespan)
+
+    def test_zero_load_workers_are_skipped(self, three_workers):
+        schedule = fifo_schedule(three_workers, {"P1": 0.1}, ["P1", "P2", "P3"])
+        run = ClusterSimulation(three_workers).run(schedule)
+        assert set(run.records) == {"P1"}
+
+    def test_mismatched_platform_rejected(self, three_workers, four_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        with pytest.raises(SimulationError):
+            ClusterSimulation(four_workers).run(solution.schedule)
+
+    def test_mismatched_permutations_rejected(self, three_workers):
+        simulation = ClusterSimulation(three_workers)
+        with pytest.raises(SimulationError):
+            simulation.run_assignment({"P1": 0.1, "P2": 0.1}, ["P1", "P2"], ["P1"])
+
+    def test_noise_increases_makespan(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        ideal = ClusterSimulation(three_workers).run(solution.schedule)
+        noisy = ClusterSimulation(
+            three_workers, noise=UniformJitter(amplitude=0.2, seed=5)
+        ).run(solution.schedule)
+        assert noisy.makespan >= ideal.makespan
+
+    def test_records_are_consistent(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        run = ClusterSimulation(three_workers).run(solution.schedule)
+        for record in run.records.values():
+            assert record.send_start <= record.send_end <= record.compute_start
+            assert record.compute_start <= record.compute_end <= record.return_start
+            assert record.return_start <= record.return_end
+            assert record.idle >= -1e-12
+            assert record.as_dict()["worker"] == record.worker
+        assert run.master_communication_time() <= run.makespan + 1e-9
+
+
+class TestExecutor:
+    def test_execute_schedule_no_noise_matches_prediction(self, three_workers):
+        solution = optimal_fifo_schedule(three_workers)
+        report = execute_schedule(solution.schedule)
+        assert report.measured_makespan == pytest.approx(report.predicted_makespan, rel=1e-9)
+        assert report.relative_gap == pytest.approx(0.0, abs=1e-9)
+        assert set(report.participants) == set(solution.participants)
+
+    def test_measure_heuristic_rounding_gap_is_small(self, three_workers):
+        report = measure_heuristic(inc_c(three_workers), 1000)
+        # without noise the only gap is the integer rounding imbalance
+        assert abs(report.relative_gap) < 0.05
+        assert report.total_load == pytest.approx(1000)
+
+    def test_measure_heuristic_without_rounding_is_exact(self, three_workers):
+        report = measure_heuristic(inc_c(three_workers), 1000, round_to_integers=False)
+        assert report.measured_makespan == pytest.approx(report.predicted_makespan, rel=1e-9)
+
+    def test_measure_heuristic_with_noise_is_slower(self, three_workers):
+        noisy = measure_heuristic(
+            lifo(three_workers), 500, noise=UniformJitter(amplitude=0.3, seed=9)
+        )
+        ideal = measure_heuristic(lifo(three_workers), 500)
+        assert noisy.measured_makespan >= ideal.measured_makespan
+
+    def test_measure_heuristic_requires_positive_load(self, three_workers):
+        with pytest.raises(SimulationError):
+            measure_heuristic(inc_c(three_workers), 0)
+
+
+class TestSimulationProperties:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(platforms(min_size=1, max_size=4, z=0.5))
+    def test_simulated_makespan_equals_analytic_makespan(self, platform):
+        """The DES and the analytic eager timeline agree on every platform."""
+        solution = optimal_fifo_schedule(platform)
+        if solution.schedule.total_load <= 0:
+            return
+        run = ClusterSimulation(platform).run(solution.schedule)
+        assert run.makespan == pytest.approx(solution.schedule.makespan(), rel=1e-9)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(platforms(min_size=1, max_size=4, z=0.5))
+    def test_one_port_trace_never_overlaps(self, platform):
+        solution = optimal_lifo_schedule(platform)
+        run = ClusterSimulation(platform).run(solution.schedule)
+        assert run.trace.overlapping_pairs("master") == []

@@ -1,0 +1,162 @@
+"""Tests for the workload and platform generators (:mod:`repro.workloads`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import (
+    DEFAULT_WORKERS,
+    FACTOR_RANGE,
+    PlatformFactors,
+    campaign_factors,
+    hetero_computation_factors,
+    hetero_star_factors,
+    homogeneous_factors,
+    participation_platform,
+    random_factors,
+)
+
+
+class TestMatrixWorkload:
+    def test_volumes_and_z(self):
+        workload = MatrixProductWorkload(100)
+        assert workload.input_bytes == pytest.approx(2 * 100 * 100 * 8)
+        assert workload.output_bytes == pytest.approx(100 * 100 * 8)
+        assert workload.flops == pytest.approx(2 * 100**3)
+        assert workload.z == pytest.approx(0.5)
+
+    def test_base_costs_scale_with_rates(self):
+        slow = MatrixProductWorkload(100, bandwidth=1e6, flop_rate=1e8)
+        fast = MatrixProductWorkload(100, bandwidth=2e6, flop_rate=2e8)
+        assert slow.base_c == pytest.approx(2 * fast.base_c)
+        assert slow.base_w == pytest.approx(2 * fast.base_w)
+
+    def test_computation_grows_faster_than_communication(self):
+        small = MatrixProductWorkload(50)
+        large = MatrixProductWorkload(200)
+        assert large.base_w / small.base_w == pytest.approx(64.0)
+        assert large.base_c / small.base_c == pytest.approx(16.0)
+
+    def test_worker_factory_applies_factors(self):
+        workload = MatrixProductWorkload(100)
+        worker = workload.worker("X", comm_factor=4.0, comp_factor=2.0)
+        assert worker.c == pytest.approx(workload.base_c / 4.0)
+        assert worker.d == pytest.approx(workload.base_d / 4.0)
+        assert worker.w == pytest.approx(workload.base_w / 2.0)
+        assert worker.z == pytest.approx(0.5)
+
+    def test_platform_factory(self):
+        workload = MatrixProductWorkload(100)
+        platform = workload.platform([1.0, 2.0], [1.0, 3.0])
+        assert platform.worker_names == ["P1", "P2"]
+        assert platform.z == pytest.approx(0.5)
+
+    def test_transfer_time_is_linear(self):
+        workload = MatrixProductWorkload(100)
+        assert workload.transfer_time(2.0) == pytest.approx(2 * workload.transfer_time(1.0))
+        assert workload.transfer_time(1.0, comm_factor=2.0) == pytest.approx(
+            workload.transfer_time(1.0) / 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            MatrixProductWorkload(0)
+        with pytest.raises(ExperimentError):
+            MatrixProductWorkload(10, bandwidth=0)
+        workload = MatrixProductWorkload(100)
+        with pytest.raises(ExperimentError):
+            workload.worker("X", comm_factor=0.0)
+        with pytest.raises(ExperimentError):
+            workload.platform([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            workload.platform([], [])
+        with pytest.raises(ExperimentError):
+            workload.transfer_time(-1.0)
+
+
+class TestPlatformFactors:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            PlatformFactors(comm=(1.0,), comp=(1.0, 2.0))
+        with pytest.raises(ExperimentError):
+            PlatformFactors(comm=(), comp=())
+        with pytest.raises(ExperimentError):
+            PlatformFactors(comm=(0.0,), comp=(1.0,))
+
+    def test_scaled(self):
+        factors = PlatformFactors(comm=(1.0, 2.0), comp=(3.0, 4.0))
+        scaled = factors.scaled(comm=10.0)
+        assert scaled.comm == (10.0, 20.0)
+        assert scaled.comp == (3.0, 4.0)
+        with pytest.raises(ExperimentError):
+            factors.scaled(comm=0.0)
+
+    def test_platform_instantiation(self):
+        workload = MatrixProductWorkload(80)
+        factors = PlatformFactors(comm=(2.0, 1.0), comp=(1.0, 5.0), label="demo")
+        platform = factors.platform(workload)
+        assert platform.name == "demo"
+        assert platform["P1"].c == pytest.approx(workload.base_c / 2.0)
+        assert factors.size == 2
+
+    def test_random_factors_respect_range_and_flags(self, rng):
+        factors = random_factors(rng, size=20)
+        assert all(FACTOR_RANGE[0] <= f <= FACTOR_RANGE[1] for f in factors.comm + factors.comp)
+        homogeneous_comm = random_factors(rng, size=5, heterogeneous_comm=False)
+        assert homogeneous_comm.comm == (1.0,) * 5
+        assert homogeneous_factors(3).comm == (1.0, 1.0, 1.0)
+
+    def test_named_generators(self, rng):
+        assert hetero_computation_factors(rng, size=4).comm == (1.0,) * 4
+        star = hetero_star_factors(rng, size=4)
+        assert len(set(star.comm)) > 1
+
+
+class TestCampaigns:
+    def test_campaign_sizes_and_determinism(self):
+        first = campaign_factors("hetero-star", 5, seed=3)
+        second = campaign_factors("hetero-star", 5, seed=3)
+        assert len(first) == 5
+        assert all(f.size == DEFAULT_WORKERS for f in first)
+        assert [f.comm for f in first] == [f.comm for f in second]
+
+    def test_campaign_seeds_differ(self):
+        a = campaign_factors("hetero-star", 3, seed=1)
+        b = campaign_factors("hetero-star", 3, seed=2)
+        assert [f.comm for f in a] != [f.comm for f in b]
+
+    def test_homogeneous_campaign_is_identical_platforms(self):
+        campaign = campaign_factors("homogeneous", 3)
+        assert all(f.comm == (1.0,) * DEFAULT_WORKERS for f in campaign)
+
+    def test_unknown_kind_and_bad_count(self):
+        with pytest.raises(ExperimentError):
+            campaign_factors("weird", 3)
+        with pytest.raises(ExperimentError):
+            campaign_factors("homogeneous", 0)
+
+
+class TestParticipationPlatform:
+    def test_full_table(self):
+        workload = MatrixProductWorkload(400)
+        platform = participation_platform(3.0, workload)
+        assert len(platform) == 4
+        # worker 4 is the slow one: comm factor x, comp factor 1
+        assert platform["P4"].c == pytest.approx(workload.base_c / 3.0)
+        assert platform["P4"].w == pytest.approx(workload.base_w)
+        assert platform["P1"].c == pytest.approx(workload.base_c / 10.0)
+
+    def test_available_workers_prefix(self):
+        workload = MatrixProductWorkload(400)
+        platform = participation_platform(1.0, workload, available_workers=2)
+        assert platform.worker_names == ["P1", "P2"]
+
+    def test_validation(self):
+        workload = MatrixProductWorkload(400)
+        with pytest.raises(ExperimentError):
+            participation_platform(0.0, workload)
+        with pytest.raises(ExperimentError):
+            participation_platform(1.0, workload, available_workers=5)
