@@ -1,0 +1,22 @@
+PYTHON ?= python
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-smoke
+
+## Tier-1 correctness suite (what CI gates on).
+test:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+## Full benchmark harness (all figure and solver benchmarks).
+bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q
+
+## Fast perf-trajectory smoke run: the Figure 10-13 campaign benchmark at a
+## reduced platform count, with timings + regenerated series dumped to
+## BENCH_campaign.json so successive PRs can compare wall-clocks.
+bench-smoke:
+	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=5 $(PYTHON) -m pytest \
+	    benchmarks/test_bench_scenario_kernel.py -q \
+	    --benchmark-json=BENCH_campaign.json
+	@$(PYTHON) -c "import json; d=json.load(open('BENCH_campaign.json')); \
+	    [print(b['name'], round(b['stats']['mean'],4), 's') for b in d['benchmarks']]"

@@ -1,0 +1,106 @@
+"""Perf-regression benchmarks for the scenario fast path and the campaigns.
+
+Two groups:
+
+* ``scenario-kernel`` pits the three ways of solving one system-(2)
+  scenario against each other on 5/11/25/50-worker platforms: the array
+  fast path (:mod:`repro.core.fast_scenario`), the reference
+  ``LinearProgram`` + SciPy/HiGHS modelling layer, and the exact rational
+  simplex.  The fast path must also *agree* with the reference — the
+  assertion lives here so a future "optimisation" cannot silently trade
+  correctness for speed.
+
+* ``campaign-engine`` runs the Figure 10-13 campaigns end-to-end at a
+  reduced platform count (``REPRO_BENCH_PLATFORM_COUNT``, default 5) with
+  the paper's matrix sizes and task count, and records the wall-clock in
+  ``benchmark.extra_info`` so the perf trajectory is tracked next to the
+  regenerated series (see ``make bench-smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.linear_program import solve_fifo_scenario
+from repro.experiments.registry import run_experiment
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+#: Scenario sizes exercised by the kernel benchmarks (the paper's cluster
+#: has 11 workers; 25 and 50 probe the scaling headroom).
+WORKER_COUNTS = (5, 11, 25, 50)
+
+#: Matrix size used to instantiate the benchmark platforms.
+MATRIX_SIZE = 120
+
+
+def _scenario(workers: int):
+    """A deterministic heterogeneous platform and its INC_C order."""
+    workload = MatrixProductWorkload(MATRIX_SIZE)
+    factors = campaign_factors("hetero-star", 1, size=workers, seed=workers)[0]
+    platform = factors.platform(workload, name=f"bench-q{workers}")
+    return platform, platform.ordered_by_c()
+
+
+@pytest.mark.benchmark(group="scenario-kernel")
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_fast_kernel(benchmark, workers):
+    platform, order = _scenario(workers)
+    solution = benchmark(lambda: solve_fifo_scenario(platform, order, fast=True))
+    reference = solve_fifo_scenario(platform, order, fast=False)
+    assert solution.throughput == pytest.approx(reference.throughput, abs=1e-9)
+    for name in order:
+        assert solution.loads[name] == pytest.approx(reference.loads[name], abs=1e-9)
+    benchmark.extra_info["workers"] = workers
+
+
+@pytest.mark.benchmark(group="scenario-kernel")
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_modelling_layer_scipy(benchmark, workers):
+    platform, order = _scenario(workers)
+    benchmark(lambda: solve_fifo_scenario(platform, order, fast=False))
+    benchmark.extra_info["workers"] = workers
+
+
+@pytest.mark.benchmark(group="scenario-kernel")
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_exact_simplex(benchmark, workers):
+    platform, order = _scenario(workers)
+    # The rational simplex is orders of magnitude slower; one round keeps
+    # the 50-worker case affordable while still tracking regressions.
+    benchmark.pedantic(
+        lambda: solve_fifo_scenario(platform, order, solver="exact"),
+        rounds=3 if workers <= 25 else 1,
+        iterations=1,
+    )
+    benchmark.extra_info["workers"] = workers
+
+
+@pytest.mark.benchmark(group="campaign-engine")
+def test_campaign_figures_wall_clock(benchmark):
+    """Figure 10-13 campaigns at a reduced platform count, wall-clock tracked.
+
+    ``REPRO_BENCH_PLATFORM_COUNT=50`` reproduces the paper-scale sweep used
+    by the ISSUE acceptance measurement; the default of 5 keeps the smoke
+    run fast while exercising identical code paths (paper matrix sizes and
+    task count).
+    """
+    platform_count = int(os.environ.get("REPRO_BENCH_PLATFORM_COUNT", "5"))
+    wall_clocks: dict[str, float] = {}
+
+    def run_all():
+        for figure in ("fig10", "fig11", "fig12", "fig13"):
+            start = time.perf_counter()
+            run_experiment(figure, preset="paper", platform_count=platform_count)
+            wall_clocks[figure] = time.perf_counter() - start
+        return sum(wall_clocks.values())
+
+    total = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["campaign"] = {
+        "platform_count": platform_count,
+        "wall_clock_seconds": {name: round(value, 4) for name, value in wall_clocks.items()},
+        "total_wall_clock_seconds": round(total, 4),
+    }

@@ -19,6 +19,7 @@ report and a CSV dump::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
@@ -56,14 +57,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--markdown", metavar="PATH", help="also write a Markdown report of the results"
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the campaign experiments (figures 10-13): "
+        "N processes, or 0 for one per CPU; default runs in-process",
+    )
     return parser
 
 
-def _run(identifiers: Sequence[str], preset: str) -> list[FigureResult]:
+def _run(
+    identifiers: Sequence[str], preset: str, jobs: int | None = None
+) -> list[FigureResult]:
     results: list[FigureResult] = []
     for identifier in identifiers:
-        results.extend(run_experiment(identifier, preset=preset))
+        overrides: dict[str, object] = {}
+        if jobs is not None and _supports_jobs(identifier):
+            # CLI convention: 0 means "one worker per CPU" (engine: None).
+            overrides["jobs"] = None if jobs == 0 else jobs
+        results.extend(run_experiment(identifier, preset=preset, **overrides))
     return results
+
+
+def _supports_jobs(identifier: str) -> bool:
+    """Whether an experiment runner accepts the ``jobs`` parameter."""
+    runner = EXPERIMENTS[identifier].runner
+    return "jobs" in inspect.signature(runner).parameters
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -77,11 +98,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        if args.jobs is not None and args.jobs < 0:
+            parser.error(f"--jobs must be 0 (one per CPU) or a positive count, got {args.jobs}")
         if args.experiment == "all":
             identifiers = available_experiments()
         else:
             identifiers = [args.experiment]
-        results = _run(identifiers, args.preset)
+        results = _run(identifiers, args.preset, jobs=args.jobs)
         for result in results:
             print(result.format_table())
             print()

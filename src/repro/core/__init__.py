@@ -55,6 +55,12 @@ from repro.core.lifo import (
     optimal_lifo_order,
     optimal_lifo_schedule,
 )
+from repro.core.fast_scenario import (
+    FastScenarioResult,
+    scenario_arrays,
+    solve_scenario_arrays,
+    solve_scenario_fast,
+)
 from repro.core.linear_program import (
     ScenarioSolution,
     build_scenario_program,
@@ -87,6 +93,10 @@ __all__ = [
     "ScenarioSolution",
     "build_scenario_program",
     "solve_scenario",
+    "FastScenarioResult",
+    "scenario_arrays",
+    "solve_scenario_arrays",
+    "solve_scenario_fast",
     "solve_fifo_scenario",
     "solve_lifo_scenario",
     # optimal FIFO (Theorem 1)

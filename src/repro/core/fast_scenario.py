@@ -1,0 +1,297 @@
+"""Fast-path kernel for the scenario linear programs (system (2)).
+
+The experiment campaigns solve thousands of *tiny* scenario LPs: for the
+paper-scale Figures 10-13 sweep alone, every (matrix size, random platform,
+heuristic) triple builds and solves one instance of system (2).  Routing each
+of them through the generic modelling layer (:class:`~repro.lp.model.
+LinearProgram` + :func:`scipy.optimize.linprog`) spends far more time in
+dictionary bookkeeping, argument validation and solver set-up than in the
+actual solve.
+
+This module is the array-level fast path:
+
+* :func:`scenario_arrays` builds the constraint matrix of system (2)
+  directly as dense NumPy arrays from the platform cost vectors
+  (``c``, ``w``, ``d``) using prefix/suffix masks — no per-worker dict loops
+  and no :class:`LinearProgram` instance;
+* :func:`solve_scenario_arrays` maximises ``sum(alpha)`` over
+  ``A alpha <= b, alpha >= 0`` with a small dense primal simplex specialised
+  to this structure (``b > 0``, ``A >= 0``: the slack basis is feasible and
+  the optimum is finite, so no phase 1 is ever needed);
+* :func:`solve_scenario_fast` glues the two together for a
+  (platform, sigma1, sigma2) scenario.
+
+:func:`repro.core.linear_program.solve_scenario` dispatches here by default
+(``fast=None`` resolves to the kernel whenever no explicit backend was
+requested); the modelling layer remains the reference implementation and the
+two paths agree to well below 1e-9 (asserted by the test-suite).
+
+For cross-checking and benchmarking, :func:`solve_scenario_arrays_linprog`
+solves the same arrays through SciPy's HiGHS — the kernel, the modelling
+layer and HiGHS all land on the same optimal vertex (system (2) instances
+built from positive costs have a unique optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.platform import StarPlatform
+from repro.exceptions import ScheduleError, SolverError
+
+__all__ = [
+    "FastScenarioResult",
+    "scenario_arrays",
+    "solve_scenario_arrays",
+    "solve_scenario_arrays_linprog",
+    "solve_scenario_fast",
+]
+
+
+#: Reduced costs and pivot elements below this magnitude are treated as zero.
+_TOLERANCE = 1e-11
+
+#: Pivot count after which the kernel switches from Dantzig to Bland pricing
+#: (anti-cycling safety net; never reached on well-formed scenarios).
+_BLAND_AFTER_FACTOR = 8
+
+
+#: Cached (prefix, suffix) triangular masks per scenario size.
+_MASK_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _triangular_masks(q: int) -> tuple[np.ndarray, np.ndarray]:
+    """The (lower, upper) triangular FIFO masks for ``q`` workers, cached."""
+    masks = _MASK_CACHE.get(q)
+    if masks is None:
+        lower = np.tri(q)
+        masks = _MASK_CACHE[q] = (lower, np.ascontiguousarray(lower.T))
+    return masks
+
+
+@dataclass(frozen=True)
+class FastScenarioResult:
+    """Raw outcome of the dense kernel for one scenario.
+
+    Attributes
+    ----------
+    loads:
+        Optimal ``alpha`` per worker, in ``sigma1`` order.
+    objective:
+        ``sum(loads)`` — the total load processed within the deadline.
+    iterations:
+        Simplex pivots performed.
+    """
+
+    loads: np.ndarray
+    objective: float
+    iterations: int
+
+
+def scenario_arrays(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str] | None = None,
+    deadline: float = 1.0,
+    one_port: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the ``A x <= b`` arrays of system (2) for a scenario.
+
+    Row ``i`` is the deadline constraint (2a) of the worker in position ``i``
+    of ``sigma1``; with ``one_port`` a final coupling row (2b) is appended.
+    Column ``j`` corresponds to ``alpha`` of the worker in position ``j`` of
+    ``sigma1``.
+
+    The entries are exactly those of
+    :func:`repro.core.linear_program.build_scenario_program`::
+
+        A[i, j] = c_j * [rank1(j) <= rank1(i)]
+                + w_j * [i == j]
+                + d_j * [rank2(j) >= rank2(i)]
+
+    built here with triangular/suffix masks over the platform cost vectors
+    instead of per-worker dictionary loops.
+    """
+    sigma1 = list(sigma1)
+    q = len(sigma1)
+    if q == 0:
+        raise ScheduleError("a scenario needs at least one worker")
+
+    c = np.empty(q)
+    w = np.empty(q)
+    d = np.empty(q)
+    for j, name in enumerate(sigma1):
+        spec = platform[name]
+        c[j] = spec.c
+        w[j] = spec.w
+        d[j] = spec.d
+
+    prefix, fifo_suffix = _triangular_masks(q)
+    if sigma2 is None or list(sigma2) == sigma1:
+        # FIFO: the return suffix mask is the transpose of the prefix mask.
+        suffix = fifo_suffix
+    else:
+        sigma2 = list(sigma2)
+        position = {name: pos for pos, name in enumerate(sigma2)}
+        try:
+            rank2 = np.array([position[name] for name in sigma1])
+        except KeyError as missing:
+            raise ScheduleError(f"sigma2 is missing worker {missing}") from None
+        # suffix mask (2a): alpha_j's return is sent at or after worker i's.
+        suffix = rank2[None, :] >= rank2[:, None]
+
+    a = np.empty((q + 1 if one_port else q, q))
+    # prefix mask (2a): alpha_j's forward message precedes worker i's start.
+    np.multiply(prefix, c, out=a[:q])
+    a[:q] += suffix * d
+    diagonal = np.arange(q)
+    a[diagonal, diagonal] += w
+    if one_port:
+        np.add(c, d, out=a[q])
+    b = np.full(a.shape[0], float(deadline))
+    return a, b
+
+
+def solve_scenario_arrays(a: np.ndarray, b: np.ndarray) -> FastScenarioResult:
+    """Maximise ``sum(x)`` subject to ``a x <= b`` and ``x >= 0``.
+
+    Specialised dense primal simplex: because every scenario matrix is
+    non-negative with a strictly positive right-hand side, the slack basis is
+    feasible (no phase 1) and the optimum is finite.  Dantzig pricing with a
+    Bland fallback keeps the pivot count at roughly one per variable while
+    guaranteeing termination on degenerate instances.
+    """
+    m, n = a.shape
+    if b.shape != (m,):
+        raise SolverError("right-hand side length does not match row count")
+    if np.any(b <= 0):
+        raise SolverError("scenario right-hand sides must be positive")
+
+    # Tableau [A | I | b] with the maximisation z-row appended last.
+    width = n + m + 1
+    tableau = np.zeros((m + 1, width))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[m, :n] = 1.0  # objective: maximise sum(x)
+    basis = np.arange(n, n + m)
+    reduced = tableau[m, : n + m]
+    rhs = tableau[:m, -1]
+    ratios = np.empty(m)
+    update = np.empty((m + 1, width))  # reused rank-1 pivot buffer
+
+    max_iterations = 50 * (n + m) + 50
+    bland_after = _BLAND_AFTER_FACTOR * (n + m)
+    iterations = 0
+    while True:
+        if iterations <= bland_after:
+            entering = int(np.argmax(reduced))
+            if reduced[entering] <= _TOLERANCE:
+                break
+        else:  # Bland: smallest improving index, guaranteed to terminate
+            improving = np.nonzero(reduced > _TOLERANCE)[0]
+            if improving.size == 0:
+                break
+            entering = int(improving[0])
+        if iterations > max_iterations:
+            raise SolverError(
+                f"scenario kernel exceeded {max_iterations} pivots; "
+                "this indicates a malformed scenario"
+            )
+
+        column = tableau[:m, entering]
+        positive = column > _TOLERANCE
+        if not positive.any():
+            raise SolverError("scenario kernel hit an unbounded direction")
+        ratios.fill(np.inf)
+        np.divide(rhs, column, out=ratios, where=positive)
+        leaving = int(np.argmin(ratios))
+        best = ratios[leaving]
+        # deterministic tie-break: smallest basic index among the minimisers
+        ties = np.flatnonzero(ratios == best)
+        if ties.size > 1:
+            leaving = int(ties[np.argmin(basis[ties])])
+
+        pivot_row = tableau[leaving]
+        pivot_value = pivot_row[entering]
+        if pivot_value != 1.0:
+            pivot_row /= pivot_value
+        factors = tableau[:, entering].copy()
+        factors[leaving] = 0.0
+        np.multiply(factors[:, None], pivot_row[None, :], out=update)
+        tableau -= update
+        basis[leaving] = entering
+        iterations += 1
+
+    solution = np.zeros(n + m)
+    solution[basis] = tableau[:m, -1]
+    loads = np.maximum(solution[:n], 0.0)
+    objective = -float(tableau[m, -1])
+    # Degenerate bases can leave O(eps)-sized dust on variables that are
+    # exactly zero at the vertex; snap it so participant sets (load > 0)
+    # agree with the exact backends.
+    loads[loads <= 1e-11 * objective] = 0.0
+    return FastScenarioResult(
+        loads=loads,
+        objective=objective,
+        iterations=iterations,
+    )
+
+
+def solve_scenario_arrays_linprog(a: np.ndarray, b: np.ndarray) -> FastScenarioResult:
+    """Solve the same arrays through SciPy's HiGHS (cross-check path).
+
+    Used by the benchmark harness and the agreement tests to pin the kernel
+    against an independent solver without rebuilding a modelling-layer
+    program.
+    """
+    from scipy.optimize import linprog
+
+    result = linprog(
+        c=-np.ones(a.shape[1]),
+        A_ub=a,
+        b_ub=b,
+        bounds=(0.0, None),
+        method="highs",
+    )
+    if result.status != 0:
+        raise SolverError(f"HiGHS failed on a scenario program (status={result.status})")
+    return FastScenarioResult(
+        loads=np.maximum(result.x, 0.0),
+        objective=float(-result.fun),
+        iterations=int(getattr(result, "nit", 0) or 0),
+    )
+
+
+def solve_scenario_fast(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str] | None = None,
+    deadline: float = 1.0,
+    one_port: bool = True,
+) -> FastScenarioResult:
+    """Build and solve one scenario entirely on the array fast path.
+
+    Input validation mirrors :func:`~repro.core.linear_program.
+    build_scenario_program` so that the two paths raise identically on
+    malformed scenarios.
+    """
+    sigma1 = list(sigma1)
+    sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
+    if not sigma1:
+        raise ScheduleError("a scenario needs at least one worker")
+    if sorted(sigma1) != sorted(sigma2):
+        raise ScheduleError("sigma2 must be a permutation of sigma1")
+    if len(set(sigma1)) != len(sigma1):
+        raise ScheduleError("sigma1 contains duplicated workers")
+    for worker in sigma1:
+        if worker not in platform:
+            raise ScheduleError(f"unknown worker {worker!r} in scenario")
+    if deadline <= 0:
+        raise ScheduleError("deadline must be positive")
+
+    a, b = scenario_arrays(platform, sigma1, sigma2, deadline=deadline, one_port=one_port)
+    return solve_scenario_arrays(a, b)

@@ -31,13 +31,14 @@ immediate: the prefix of (2a) follows ``sigma1`` and the suffix follows
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.core.fast_scenario import solve_scenario_fast
 from repro.core.platform import StarPlatform
 from repro.core.schedule import Schedule
 from repro.exceptions import ScheduleError, SolverError
-from repro.lp import LinearProgram, LPResult, Solver, get_solver
+from repro.lp import LinearProgram, LPResult, LPStatus, Solver, get_solver
 
 __all__ = [
     "ScenarioSolution",
@@ -70,13 +71,31 @@ class ScenarioSolution:
         Raw solver result (objective equals ``throughput * T``).
     program:
         The linear program that was solved, for inspection or re-solving
-        with another backend.
+        with another backend.  When the scenario went through the array
+        fast path no modelling-layer program exists yet; it is rebuilt on
+        first access (the arrays the kernel solved are its exact dense
+        export).
     """
 
     schedule: Schedule
     throughput: float
     lp_result: LPResult
-    program: LinearProgram
+    _program: LinearProgram | None = None
+    _one_port: bool = field(default=True, repr=False)
+
+    @property
+    def program(self) -> LinearProgram:
+        """The scenario's linear program (built lazily on the fast path)."""
+        if self._program is None:
+            program = build_scenario_program(
+                self.schedule.platform,
+                self.schedule.sigma1,
+                self.schedule.sigma2,
+                deadline=self.schedule.deadline,
+                one_port=self._one_port,
+            )
+            object.__setattr__(self, "_program", program)
+        return self._program
 
     @property
     def loads(self) -> dict[str, float]:
@@ -197,8 +216,17 @@ def solve_scenario(
     one_port: bool = True,
     solver: str | Solver | None = None,
     include_idle_variables: bool = False,
+    fast: bool | None = None,
 ) -> ScenarioSolution:
     """Solve the scenario LP and return the optimal schedule.
+
+    ``fast`` selects the array-level kernel of
+    :mod:`repro.core.fast_scenario`, which builds system (2) directly as
+    NumPy arrays and solves it with a specialised dense simplex — bypassing
+    the :class:`LinearProgram` modelling layer entirely.  The default
+    (``None``) uses the kernel whenever no explicit backend was requested
+    and no idle variables are needed; the two paths agree to well below
+    ``1e-9``.  Pass ``fast=False`` to force the reference modelling layer.
 
     Raises
     ------
@@ -208,6 +236,43 @@ def solve_scenario(
     """
     sigma1 = list(sigma1)
     sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
+    if fast is None:
+        fast = solver is None and not include_idle_variables
+    elif fast and include_idle_variables:
+        raise SolverError(
+            "the fast scenario kernel has no explicit idle variables; "
+            "use the modelling layer (fast=False) to inspect them"
+        )
+    elif fast and solver is not None:
+        raise SolverError("fast=True and an explicit solver backend are mutually exclusive")
+
+    if fast:
+        kernel = solve_scenario_fast(
+            platform, sigma1, sigma2, deadline=deadline, one_port=one_port
+        )
+        loads = {worker: float(alpha) for worker, alpha in zip(sigma1, kernel.loads)}
+        result = LPResult(
+            status=LPStatus.OPTIMAL,
+            objective=kernel.objective,
+            values={_alpha(worker): load for worker, load in loads.items()},
+            backend="fast-kernel",
+            iterations=kernel.iterations,
+        )
+        schedule = Schedule(
+            platform=platform,
+            loads=loads,
+            sigma1=sigma1,
+            sigma2=sigma2,
+            deadline=deadline,
+        )
+        return ScenarioSolution(
+            schedule=schedule,
+            throughput=schedule.total_load / deadline,
+            lp_result=result,
+            _program=None,
+            _one_port=one_port,
+        )
+
     program = build_scenario_program(
         platform,
         sigma1,
@@ -235,7 +300,8 @@ def solve_scenario(
         schedule=schedule,
         throughput=schedule.total_load / deadline,
         lp_result=result,
-        program=program,
+        _program=program,
+        _one_port=one_port,
     )
 
 
@@ -245,6 +311,7 @@ def solve_fifo_scenario(
     deadline: float = 1.0,
     one_port: bool = True,
     solver: str | Solver | None = None,
+    fast: bool | None = None,
 ) -> ScenarioSolution:
     """Solve the FIFO scenario for a given send order (``sigma2 = sigma1``)."""
     return solve_scenario(
@@ -254,6 +321,7 @@ def solve_fifo_scenario(
         deadline=deadline,
         one_port=one_port,
         solver=solver,
+        fast=fast,
     )
 
 
@@ -263,6 +331,7 @@ def solve_lifo_scenario(
     deadline: float = 1.0,
     one_port: bool = True,
     solver: str | Solver | None = None,
+    fast: bool | None = None,
 ) -> ScenarioSolution:
     """Solve the LIFO scenario for a given send order (``sigma2 = reversed``)."""
     order = list(order)
@@ -273,6 +342,7 @@ def solve_lifo_scenario(
         deadline=deadline,
         one_port=one_port,
         solver=solver,
+        fast=fast,
     )
 
 

@@ -1,0 +1,171 @@
+"""Chunked, optionally process-parallel campaign engine.
+
+The random-platform campaigns of Figures 10-13 share one shape: for every
+matrix size and every random platform, evaluate a set of heuristics with the
+scenario LP, measure each schedule on the noisy simulated cluster, normalise
+by the reference heuristic's LP prediction, and average over the platforms.
+The seed implementation ran the whole cross product serially inside
+:func:`repro.experiments.common.heuristic_campaign`; this module is the
+engine that now powers it:
+
+* the unit of work is one *platform* across every matrix size (a
+  :class:`_PlatformChunk` of platform indices), so a platform's factor-set
+  work — LP evaluations keyed by ``(comm, comp, size)`` — is computed once
+  and reused; on the homogeneous campaign of Figure 10 all 50 platforms
+  share one factor set, so each size costs one LP evaluation instead of 50;
+* chunks run either inline (``jobs=1``, the default) or on a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=N`` / ``jobs=None``
+  for one worker per CPU);
+* determinism is preserved regardless of ``jobs``: the per-platform noise
+  seed is derived from ``(seed, platform_index, size)`` exactly as in the
+  serial implementation, and per-platform ratios are re-assembled in
+  platform order before averaging, so every ``jobs`` setting produces the
+  same series to the last bit.
+
+The engine is deliberately dumb about *what* it evaluates — heuristic
+evaluation and measurement go through the public
+:func:`repro.core.heuristics.compare_heuristics` and
+:func:`repro.simulation.executor.measure_heuristic` APIs — so any speedup in
+the scenario kernel or the simulation executor benefits every figure.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.heuristics import HeuristicResult, compare_heuristics
+from repro.exceptions import ExperimentError
+from repro.simulation.executor import measure_heuristic
+from repro.simulation.noise import NoiseModel
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import PlatformFactors
+
+__all__ = ["CampaignSpec", "run_campaign_ratios", "resolve_jobs"]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker process needs to evaluate one platform.
+
+    The spec must stay picklable: it crosses the process boundary once per
+    chunk.  ``noise_factory`` therefore has to be a module-level callable
+    (the default :func:`repro.experiments.common.default_noise` is).
+    """
+
+    heuristic_names: tuple[str, ...]
+    matrix_sizes: tuple[int, ...]
+    total_tasks: int
+    seed: int
+    reference: str
+    noise_factory: Callable[[int], NoiseModel]
+
+    def noise_seed(self, platform_index: int, size: int) -> int:
+        """The serial implementation's per-(platform, size) noise seed."""
+        return self.seed * 100_003 + platform_index * 1_009 + int(size)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``jobs`` parameter to a concrete worker count.
+
+    ``None`` means one worker per available CPU; values below one are
+    rejected (a campaign cannot run on zero workers).
+    """
+    if jobs is None:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be at least 1 (got {jobs})")
+    return int(jobs)
+
+
+def _evaluate_platform(
+    spec: CampaignSpec,
+    factors: PlatformFactors,
+    size: int,
+    cache: dict[tuple, dict[str, HeuristicResult]],
+) -> dict[str, HeuristicResult]:
+    """LP-evaluate every heuristic on one (factor set, size) pair, cached.
+
+    The cache key is the factor vectors themselves, not the platform label:
+    campaigns that repeat a factor set (every homogeneous platform, or the
+    same platform swept across matrix sizes after a restart) reuse the
+    evaluation instead of re-solving the scenario LPs.
+    """
+    key = (factors.comm, factors.comp, size)
+    found = cache.get(key)
+    if found is None:
+        workload = MatrixProductWorkload(int(size))
+        platform = factors.platform(workload, name=f"{factors.label}-s{size}")
+        found = compare_heuristics(platform, spec.heuristic_names)
+        cache[key] = found
+    return found
+
+
+def _run_chunk(
+    spec: CampaignSpec,
+    chunk: Sequence[tuple[int, PlatformFactors]],
+) -> list[tuple[int, dict[tuple[str, int], float]]]:
+    """Evaluate a chunk of platforms across every matrix size.
+
+    Returns, per platform index, a mapping ``(series, size) -> ratio`` with
+    the same series labels the serial implementation accumulated
+    (``"<H> lp"`` and ``"<H> real"``).
+    """
+    cache: dict[tuple, dict[str, HeuristicResult]] = {}
+    results: list[tuple[int, dict[tuple[str, int], float]]] = []
+    for platform_index, factors in chunk:
+        ratios: dict[tuple[str, int], float] = {}
+        for size in spec.matrix_sizes:
+            evaluations = _evaluate_platform(spec, factors, size, cache)
+            reference_time = evaluations[spec.reference].makespan_for(spec.total_tasks)
+            noise = spec.noise_factory(spec.noise_seed(platform_index, size))
+            for name in spec.heuristic_names:
+                evaluation = evaluations[name]
+                lp_time = evaluation.makespan_for(spec.total_tasks)
+                report = measure_heuristic(
+                    evaluation, spec.total_tasks, noise=noise, collect_trace=False
+                )
+                ratios[(f"{name} lp", size)] = lp_time / reference_time
+                ratios[(f"{name} real", size)] = report.measured_makespan / reference_time
+        results.append((platform_index, ratios))
+    return results
+
+
+def run_campaign_ratios(
+    spec: CampaignSpec,
+    factor_sets: Sequence[PlatformFactors],
+    jobs: int | None = 1,
+) -> dict[tuple[str, int], np.ndarray]:
+    """Run the campaign and return per-series ratio vectors.
+
+    The result maps ``(series, size)`` to the vector of per-platform ratios
+    *in platform order* — the caller averages and labels them.  With
+    ``jobs > 1`` the platform list is dealt round-robin into ``jobs``
+    strided chunks (balancing load when later platforms are costlier) and
+    dispatched to a process pool; chunk results are merged back by platform
+    index, so the output is independent of scheduling order.
+    """
+    indexed = list(enumerate(factor_sets))
+    jobs = min(resolve_jobs(jobs), len(indexed)) if indexed else 1
+
+    if jobs <= 1:
+        per_platform = _run_chunk(spec, indexed)
+    else:
+        chunks = [indexed[i::jobs] for i in range(jobs)]
+        per_platform = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(_run_chunk, [spec] * len(chunks), chunks):
+                per_platform.extend(result)
+        per_platform.sort(key=lambda item: item[0])
+
+    collected: dict[tuple[str, int], np.ndarray] = {}
+    if not per_platform:
+        return collected
+    keys = per_platform[0][1].keys()
+    for key in keys:
+        collected[key] = np.array([ratios[key] for _, ratios in per_platform])
+    return collected

@@ -15,11 +15,9 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.heuristics import HeuristicResult, compare_heuristics
 from repro.exceptions import ExperimentError
-from repro.simulation.executor import measure_heuristic
+from repro.experiments.campaign_engine import CampaignSpec, run_campaign_ratios
 from repro.simulation.noise import ComposedNoise, NoiseModel, UniformJitter
-from repro.workloads.matrices import MatrixProductWorkload
 from repro.workloads.platforms import campaign_factors
 
 __all__ = [
@@ -56,25 +54,60 @@ class FigureResult:
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     parameters: dict[str, object] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    # Per-series x -> y index backing value()/x_values; rebuilt lazily when
+    # the fingerprint shows the series were touched.  Cache-only state:
+    # excluded from __init__, __eq__ and repr.
+    _index: dict[str, dict[float, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _index_fingerprint: tuple = field(default=(), init=False, repr=False, compare=False)
 
     def add_point(self, series: str, x: float, y: float) -> None:
         """Append one point to a series (creating the series on first use)."""
         self.series.setdefault(series, []).append((float(x), float(y)))
 
+    def _indexed(self) -> dict[str, dict[float, float]]:
+        """The per-series point index, rebuilt only when stale.
+
+        ``series`` is a public mutable mapping, so staleness is detected by
+        fingerprinting each series' point count and last point *value* —
+        O(#series), versus the O(points) rebuild and the O(points) scans
+        the index replaces.  This catches every append and every edit that
+        touches a series' tail; swapping a *middle* point of a series for
+        a new value of the same length is the one mutation the fingerprint
+        cannot see — replace the whole point list instead of editing
+        single interior entries.
+        """
+        fingerprint = tuple(
+            (name, len(points), points[-1] if points else None)
+            for name, points in self.series.items()
+        )
+        if fingerprint != self._index_fingerprint:
+            index: dict[str, dict[float, float]] = {}
+            for name, points in self.series.items():
+                mapping: dict[float, float] = {}
+                for x, y in points:
+                    # first match wins, like the linear scan this replaces
+                    mapping.setdefault(x, y)
+                index[name] = mapping
+            self._index = index
+            self._index_fingerprint = fingerprint
+        return self._index
+
     @property
     def x_values(self) -> list[float]:
         """Sorted union of the x values of every series."""
         values: set[float] = set()
-        for points in self.series.values():
-            values.update(x for x, _ in points)
+        for points in self._indexed().values():
+            values.update(points)
         return sorted(values)
 
     def value(self, series: str, x: float) -> float:
         """Value of ``series`` at ``x`` (exact match required)."""
-        for point_x, point_y in self.series.get(series, []):
-            if point_x == x:
-                return point_y
-        raise ExperimentError(f"series {series!r} has no point at x={x}")
+        try:
+            return self._indexed()[series][x]
+        except KeyError:
+            raise ExperimentError(f"series {series!r} has no point at x={x}") from None
 
     def format_table(self, float_format: str = "{:.4f}") -> str:
         """Render the result as an aligned text table (one row per x value)."""
@@ -138,6 +171,7 @@ def heuristic_campaign(
     seed: int = 0,
     noise_factory=default_noise,
     reference: str = "INC_C",
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Run one of the paper's random-platform campaigns (Figures 10–13).
 
@@ -147,6 +181,22 @@ def heuristic_campaign(
     simulated cluster after integer rounding.  Both are normalised by the LP
     prediction of the ``reference`` heuristic (INC_C), then averaged over the
     platforms — exactly the quantity plotted in the paper.
+
+    The heavy lifting is delegated to
+    :mod:`repro.experiments.campaign_engine`: platforms are evaluated in
+    chunks with per-factor-set caching and, when ``jobs`` is not 1, on a
+    process pool (``jobs=None`` uses every CPU).  The produced series are
+    bit-identical for every ``jobs`` setting — per-platform noise seeding
+    depends only on ``(seed, platform index, size)`` and the per-platform
+    ratios are re-assembled in platform order before averaging.
+
+    One caveat on comparing against *pre-fast-kernel* runs: scenario LPs on
+    degenerate platforms (notably the homogeneous campaign) have multiple
+    optimal vertices, and the default fast kernel deterministically picks
+    the exact-simplex vertex where HiGHS could return any of them.  The
+    ``lp`` ratio series are unaffected (equal throughput), but the
+    simulated ``real`` series can shift by ~1% because a different —
+    equally optimal — participant set is executed.
 
     Returned series (for the default heuristics): ``"INC_C lp"`` (the
     normalisation baseline, identically 1), ``"<H> lp/INC_C lp"`` and
@@ -178,28 +228,22 @@ def heuristic_campaign(
     if comm_scale != 1.0 or comp_scale != 1.0:
         factor_sets = [factors.scaled(comm=comm_scale, comp=comp_scale) for factors in factor_sets]
 
-    for size in matrix_sizes:
-        workload = MatrixProductWorkload(int(size))
-        # ratios[series] accumulates one normalised value per platform.
-        ratios: dict[str, list[float]] = {}
-        for platform_index, factors in enumerate(factor_sets):
-            platform = factors.platform(workload, name=f"{factors.label}-s{size}")
-            evaluations = compare_heuristics(platform, heuristic_names)
-            reference_time = evaluations[reference].makespan_for(total_tasks)
-            noise = noise_factory(seed * 100_003 + platform_index * 1_009 + int(size))
-            for name in heuristic_names:
-                evaluation = evaluations[name]
-                lp_time = evaluation.makespan_for(total_tasks)
-                report = measure_heuristic(evaluation, total_tasks, noise=noise)
-                ratios.setdefault(f"{name} lp", []).append(lp_time / reference_time)
-                ratios.setdefault(f"{name} real", []).append(
-                    report.measured_makespan / reference_time
-                )
+    spec = CampaignSpec(
+        heuristic_names=tuple(heuristic_names),
+        matrix_sizes=tuple(int(size) for size in matrix_sizes),
+        total_tasks=total_tasks,
+        seed=seed,
+        reference=reference,
+        noise_factory=noise_factory,
+    )
+    ratios = run_campaign_ratios(spec, factor_sets, jobs=jobs)
+
+    for size in spec.matrix_sizes:
         for name in heuristic_names:
             lp_label = f"{name} lp" if name == reference else f"{name} lp/{reference} lp"
             real_label = f"{name} real/{reference} lp"
-            result.add_point(lp_label, size, float(np.mean(ratios[f"{name} lp"])))
-            result.add_point(real_label, size, float(np.mean(ratios[f"{name} real"])))
+            result.add_point(lp_label, size, float(np.mean(ratios[(f"{name} lp", size)])))
+            result.add_point(real_label, size, float(np.mean(ratios[(f"{name} real", size)])))
     result.notes.append(
         "every curve is normalised by the LP prediction of the reference heuristic "
         f"({reference}) and averaged over {platform_count} random platforms"

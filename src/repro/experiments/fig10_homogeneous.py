@@ -28,6 +28,7 @@ def run(
     workers: int = 11,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 10,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Reproduce Figure 10 (homogeneous random platforms)."""
     result = heuristic_campaign(
@@ -40,6 +41,7 @@ def run(
         workers=workers,
         total_tasks=total_tasks,
         seed=seed,
+        jobs=jobs,
     )
     result.notes.append(
         "all FIFO orderings coincide on a homogeneous platform, so only INC_C is shown; "

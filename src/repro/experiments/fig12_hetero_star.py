@@ -28,6 +28,7 @@ def run(
     workers: int = 11,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 12,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Reproduce Figure 12 (fully heterogeneous star platforms)."""
     result = heuristic_campaign(
@@ -40,6 +41,7 @@ def run(
         workers=workers,
         total_tasks=total_tasks,
         seed=seed,
+        jobs=jobs,
     )
     result.notes.append(
         "expected ranking (paper): LIFO <= INC_C <= INC_W in LP-predicted time; "

@@ -54,6 +54,7 @@ def run_computation_x10(
     workers: int = 11,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 12,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Reproduce Figure 13a (every CPU ten times faster)."""
     result = heuristic_campaign(
@@ -67,6 +68,7 @@ def run_computation_x10(
         total_tasks=total_tasks,
         comp_scale=10.0,
         seed=seed,
+        jobs=jobs,
     )
     result.notes.append(
         "with cheap computation the platform is communication-bound: the FIFO variants "
@@ -81,6 +83,7 @@ def run_communication_x10(
     workers: int = 11,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 12,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Reproduce Figure 13b (every link ten times faster)."""
     result = heuristic_campaign(
@@ -95,6 +98,7 @@ def run_communication_x10(
         comm_scale=10.0,
         seed=seed,
         noise_factory=_overhead_noise,
+        jobs=jobs,
     )
     result.notes.append(
         "per-message overheads dominate short transfers: the measured/predicted ratio "
@@ -111,15 +115,16 @@ def run(
     workers: int = 11,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 12,
+    jobs: int | None = 1,
 ) -> FigureResult | tuple[FigureResult, FigureResult]:
     """Run Figure 13: ``"a"``, ``"b"`` or ``"both"`` (returns a pair)."""
     if variant == "a":
-        return run_computation_x10(matrix_sizes, platform_count, workers, total_tasks, seed)
+        return run_computation_x10(matrix_sizes, platform_count, workers, total_tasks, seed, jobs=jobs)
     if variant == "b":
-        return run_communication_x10(matrix_sizes, platform_count, workers, total_tasks, seed)
+        return run_communication_x10(matrix_sizes, platform_count, workers, total_tasks, seed, jobs=jobs)
     if variant == "both":
         return (
-            run_computation_x10(matrix_sizes, platform_count, workers, total_tasks, seed),
-            run_communication_x10(matrix_sizes, platform_count, workers, total_tasks, seed),
+            run_computation_x10(matrix_sizes, platform_count, workers, total_tasks, seed, jobs=jobs),
+            run_communication_x10(matrix_sizes, platform_count, workers, total_tasks, seed, jobs=jobs),
         )
     raise ExperimentError(f"unknown Figure 13 variant {variant!r}; expected 'a', 'b' or 'both'")

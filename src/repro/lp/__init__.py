@@ -9,8 +9,30 @@ equivalent substrate:
 * :class:`~repro.lp.simplex.ExactSimplexSolver` — an exact rational
   two-phase simplex (reference backend, vertex solutions);
 * :class:`~repro.lp.scipy_backend.ScipySolver` — HiGHS through SciPy
-  (default backend for large campaigns);
+  (general-purpose float backend);
 * :func:`default_solver` / :func:`get_solver` — backend selection helpers.
+
+Performance
+-----------
+Three solve paths coexist; pick by need, not habit:
+
+* **Fast scenario kernel** (:mod:`repro.core.fast_scenario`) — the default
+  for scenario LPs (``solve_scenario`` with no explicit ``solver=``).  It
+  builds system (2) directly as NumPy arrays and runs a specialised dense
+  simplex; roughly an order of magnitude faster than the modelling layer
+  and the workhorse of the Figure 10-13 campaigns.  It only knows scenario
+  programs (``A x <= b``, ``b > 0``, maximise ``sum x``).
+* **SciPy/HiGHS** (``solver="scipy"``) — general LPs built through
+  :class:`LinearProgram`; use for anything that is not a scenario program
+  or to cross-check against an independent solver.  ``to_dense()`` exports
+  are cached on the program (dirty-flag invalidation), so re-solving the
+  same program pays the array build once.
+* **Exact simplex** (``solver="exact"``) — slowest, but returns exact
+  rational vertex solutions; use wherever the vertex-counting arguments of
+  the paper (Lemma 1) or load-identical reproducibility matter.  At
+  degenerate optima the fast kernel lands on the *same vertex* as this
+  backend (Bland-style deterministic tie-breaking), whereas HiGHS may pick
+  any optimal vertex.
 """
 
 from __future__ import annotations

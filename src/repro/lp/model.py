@@ -125,6 +125,14 @@ class LinearProgram:
         self._variables: dict[str, Variable] = {}
         self._objective: dict[str, float] = {}
         self._constraints: list[Constraint] = []
+        # Cached to_dense() export; invalidated by every mutating method.
+        self._dense_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
+
+    def _invalidate(self) -> None:
+        """Drop cached exports after a model mutation."""
+        self._dense_cache = None
 
     # ------------------------------------------------------------------ #
     # model construction
@@ -141,6 +149,7 @@ class LinearProgram:
             raise SolverError(f"duplicate variable {name!r} in program {self.name!r}")
         var = Variable(name=name, upper=upper)
         self._variables[name] = var
+        self._invalidate()
         return var
 
     def set_objective(self, coefficients: Mapping[str, float]) -> None:
@@ -149,12 +158,14 @@ class LinearProgram:
         if unknown:
             raise SolverError(f"objective references unknown variables: {sorted(unknown)}")
         self._objective = dict(coefficients)
+        self._invalidate()
 
     def add_objective_term(self, name: str, coefficient: float) -> None:
         """Add ``coefficient * name`` to the objective (accumulating)."""
         if name not in self._variables:
             raise SolverError(f"objective references unknown variable {name!r}")
         self._objective[name] = self._objective.get(name, 0.0) + coefficient
+        self._invalidate()
 
     def add_constraint(
         self,
@@ -177,6 +188,7 @@ class LinearProgram:
             )
         constraint = Constraint(name=name, coefficients=cleaned, sense=sense, rhs=float(rhs))
         self._constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     # ------------------------------------------------------------------ #
@@ -230,7 +242,14 @@ class LinearProgram:
         rows (``>=`` rows are negated into ``<=`` form), ``A_eq x == b_eq``
         collects the equality rows and ``upper`` holds per-variable upper
         bounds (``inf`` when unbounded).
+
+        The export is cached until the next model mutation (a dirty flag is
+        set by every ``add_*``/``set_*`` method), so backends that solve the
+        same program repeatedly pay the array construction once.  Callers
+        must treat the returned arrays as read-only.
         """
+        if self._dense_cache is not None:
+            return self._dense_cache
         names = self.variable_names
         index = {name: j for j, name in enumerate(names)}
         n = len(names)
@@ -264,7 +283,12 @@ class LinearProgram:
         upper = np.array(
             [np.inf if v.upper is None else float(v.upper) for v in self._variables.values()]
         )
-        return c, a_ub, b_ub, a_eq, b_eq, upper
+        # The cache is shared across solves: freeze the arrays so a caller
+        # mutating them fails loudly instead of poisoning later solves.
+        for array in (c, a_ub, b_ub, a_eq, b_eq, upper):
+            array.setflags(write=False)
+        self._dense_cache = (c, a_ub, b_ub, a_eq, b_eq, upper)
+        return self._dense_cache
 
     def to_exact_rows(self) -> tuple[list[Fraction], list[list[Fraction]], list[Fraction], list[str]]:
         """Export the program in exact ``<=`` standard form for the simplex.

@@ -40,7 +40,13 @@ class ScipySolver:
         c, a_ub, b_ub, a_eq, b_eq, upper = program.to_dense()
         if c.size == 0:
             raise SolverError(f"program {program.name!r} has no variables")
-        bounds = [(0.0, None if np.isinf(u) else float(u)) for u in upper]
+        if np.isinf(upper).all():
+            # Every variable is 0 <= x < inf (the common case for scenario
+            # programs): a single broadcast pair avoids rebuilding the
+            # per-variable bounds list on every solve of the same program.
+            bounds: object = (0.0, None)
+        else:
+            bounds = [(0.0, None if np.isinf(u) else float(u)) for u in upper]
         result = linprog(
             c=-c,  # linprog minimises
             A_ub=a_ub if a_ub.size else None,

@@ -61,23 +61,37 @@ class _Tableau:
         return len(self.objective) - 1
 
     def pivot(self, row: int, col: int) -> None:
-        """Perform a pivot on entry ``(row, col)``."""
+        """Perform a pivot on entry ``(row, col)``.
+
+        The update touches only the non-zero columns of the (normalised)
+        pivot row and edits the other rows in place: scenario tableaus are
+        more than half zeros (prefix/suffix structure plus slack columns),
+        and rows whose factor is zero — the common case once resource
+        selection has zeroed most loads — are skipped without rebuilding
+        the row list at all.
+        """
         pivot_row = self.rows[row]
         pivot_value = pivot_row[col]
         if pivot_value == 0:
             raise SolverError("attempted to pivot on a zero element")
-        inv = _ONE / pivot_value
-        self.rows[row] = [entry * inv for entry in pivot_row]
-        pivot_row = self.rows[row]
+        if pivot_value != _ONE:
+            inv = _ONE / pivot_value
+            for j, entry in enumerate(pivot_row):
+                if entry:
+                    pivot_row[j] = entry * inv
+        nonzero = [j for j, entry in enumerate(pivot_row) if entry]
         for r, other in enumerate(self.rows):
             if r == row:
                 continue
             factor = other[col]
             if factor != 0:
-                self.rows[r] = [a - factor * b for a, b in zip(other, pivot_row)]
-        factor = self.objective[col]
+                for j in nonzero:
+                    other[j] -= factor * pivot_row[j]
+        objective = self.objective
+        factor = objective[col]
         if factor != 0:
-            self.objective = [a - factor * b for a, b in zip(self.objective, pivot_row)]
+            for j in nonzero:
+                objective[j] -= factor * pivot_row[j]
         self.basis[row] = col
 
 

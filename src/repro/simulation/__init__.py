@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.simulation.cluster import ClusterRun, ClusterSimulation, WorkerRecord
 from repro.simulation.engine import Event, Process, Resource, Simulator, Store, Timeout
 from repro.simulation.executor import ExecutionReport, execute_schedule, measure_heuristic
+from repro.simulation.fast_cluster import run_fast_timeline
 from repro.simulation.network import MasterPorts, transfer
 from repro.simulation.noise import (
     AffineOverhead,
@@ -38,6 +39,7 @@ __all__ = [
     "ClusterSimulation",
     "ClusterRun",
     "WorkerRecord",
+    "run_fast_timeline",
     "ExecutionReport",
     "execute_schedule",
     "measure_heuristic",

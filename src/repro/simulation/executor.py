@@ -21,9 +21,9 @@ from dataclasses import dataclass
 
 from repro.core.heuristics import HeuristicResult
 from repro.core.makespan import predicted_makespan
-from repro.core.rounding import integer_load_schedule
+from repro.core.rounding import round_loads
 from repro.core.schedule import Schedule
-from repro.exceptions import SimulationError
+from repro.exceptions import ScheduleError, SimulationError
 from repro.simulation.cluster import ClusterRun, ClusterSimulation
 from repro.simulation.noise import NoiseModel
 
@@ -96,6 +96,7 @@ def measure_heuristic(
     noise: NoiseModel | None = None,
     one_port: bool = True,
     round_to_integers: bool = True,
+    collect_trace: bool = True,
 ) -> ExecutionReport:
     """Measure a heuristic's schedule for a concrete total load.
 
@@ -111,17 +112,34 @@ def measure_heuristic(
         *predicted* makespan always refers to the un-rounded LP schedule, so
         the reported gap includes the rounding imbalance, exactly like the
         paper's "real / lp" curves.
+    collect_trace:
+        Keep the Gantt trace of the run (default).  Campaign loops that
+        only read the measured makespan pass ``False`` to skip it.
     """
     if total_load <= 0:
         raise SimulationError("total_load must be positive")
     prediction = predicted_makespan(result.schedule, total_load)
-    scaled = result.schedule.scaled_to_total_load(total_load)
+    schedule = result.schedule
+    simulation = ClusterSimulation(
+        schedule.platform, noise=noise, one_port=one_port, collect_trace=collect_trace
+    )
     if round_to_integers:
-        dispatch = integer_load_schedule(scaled, int(round(total_load)))
+        # round_loads rescales the unit-deadline loads proportionally to the
+        # integer total itself, so the intermediate rescaled Schedule (and
+        # the eager-makespan computation integer_load_schedule performs for
+        # its deadline, which the simulation ignores) can be skipped.
+        total = int(round(total_load))
+        if total <= 0:
+            # same guard integer_load_schedule applied on the old path
+            raise ScheduleError("total must be positive")
+        dispatch_loads = round_loads(schedule.loads, schedule.sigma1, total)
+        run = simulation.run_assignment(
+            {name: float(value) for name, value in dispatch_loads.items()},
+            schedule.sigma1,
+            schedule.sigma2,
+        )
     else:
-        dispatch = scaled
-    simulation = ClusterSimulation(result.schedule.platform, noise=noise, one_port=one_port)
-    run = simulation.run(dispatch)
+        run = simulation.run(schedule.scaled_to_total_load(total_load))
     return ExecutionReport(
         heuristic=result.name,
         predicted_makespan=prediction,

@@ -75,6 +75,12 @@ class UniformJitter:
     than CPU-bound matrix products.
     """
 
+    #: Unit draws fetched from the generator per refill.  Batching amortises
+    #: the per-call generator overhead; the stream is identical to drawing
+    #: one ``uniform(0, amplitude)`` per operation (``uniform(0, a)`` is
+    #: exactly ``random() * a`` for numpy's Generator).
+    _BATCH = 64
+
     def __init__(
         self,
         amplitude: float = 0.1,
@@ -86,11 +92,17 @@ class UniformJitter:
         self.amplitude = amplitude
         self.comm_amplitude = comm_amplitude if comm_amplitude is not None else amplitude
         self._rng = np.random.default_rng(seed)
+        self._draws: list[float] = []
 
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
         amplitude = self.amplitude if kind == "compute" else self.comm_amplitude
-        return duration * (1.0 + self._rng.uniform(0.0, amplitude))
+        draws = self._draws
+        if not draws:
+            # reversed so that pop() consumes the stream in draw order
+            draws[:] = self._rng.random(self._BATCH)[::-1].tolist()
+            self._draws = draws
+        return duration * (1.0 + draws.pop() * amplitude)
 
 
 class GaussianJitter:
