@@ -11,12 +11,16 @@ test:
 bench:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q
 
-## Fast perf-trajectory smoke run: the Figure 10-13 campaign benchmark at a
-## reduced platform count, with timings + regenerated series dumped to
-## BENCH_campaign.json so successive PRs can compare wall-clocks.
+## Fast perf-trajectory smoke run: the Figure 10-13 + crossover campaign
+## benchmarks and the scenario/batch kernel benchmarks at a reduced platform
+## count.  The raw record goes to BENCH_campaign.json (overwritten, as
+## before); a compact per-run summary (git sha, wall-clocks, speedup vs the
+## PR-1 reference) is APPENDED to BENCH_TRAJECTORY.jsonl so successive PRs
+## accumulate a perf trajectory.  REPRO_BENCH_PLATFORM_COUNT=50 reproduces
+## the paper-scale acceptance measurement.
 bench-smoke:
-	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=5 $(PYTHON) -m pytest \
-	    benchmarks/test_bench_scenario_kernel.py -q \
+	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=$(or $(REPRO_BENCH_PLATFORM_COUNT),5) \
+	    $(PYTHON) -m pytest \
+	    benchmarks/test_bench_scenario_kernel.py benchmarks/test_bench_batch_kernel.py -q \
 	    --benchmark-json=BENCH_campaign.json
-	@$(PYTHON) -c "import json; d=json.load(open('BENCH_campaign.json')); \
-	    [print(b['name'], round(b['stats']['mean'],4), 's') for b in d['benchmarks']]"
+	@$(PYTHONPATH_SRC) $(PYTHON) benchmarks/trajectory.py BENCH_campaign.json BENCH_TRAJECTORY.jsonl

@@ -1,0 +1,91 @@
+"""Benchmarks for the batched scenario kernel and the crossover sweep.
+
+Two groups:
+
+* ``batch-kernel`` pits one :func:`repro.core.batch_scenario.
+  solve_scenarios_fast` call over a whole chunk of scenarios against the
+  equivalent loop of scalar :func:`repro.core.fast_scenario.
+  solve_scenario_fast` calls, on 5/11/25-worker platforms.  Besides the
+  timings, the test *asserts* bit-identical loads/objectives — a future
+  "optimisation" of either kernel cannot silently trade agreement for
+  speed — and records the measured batch-over-scalar speedup in
+  ``extra_info``.
+
+* ``campaign-engine`` times the paper-scale crossover sweep (whose
+  FIFO + two-port LPs per (size, platform) grid cell now solve through the
+  batched kernel) so that ``make bench-smoke`` tracks it in the perf
+  trajectory alongside the Figure 10-13 campaigns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batch_scenario import solve_scenarios_fast
+from repro.core.fast_scenario import solve_scenario_fast
+from repro.experiments.registry import run_experiment
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+#: Scenario sizes exercised by the batch benchmarks.
+WORKER_COUNTS = (5, 11, 25)
+
+#: Scenarios per batch (about one campaign figure's worth of LPs).
+BATCH_SIZE = 256
+
+
+def _scenario_chunk(workers: int):
+    """A deterministic mixed chunk of FIFO and LIFO scenarios."""
+    scenarios = []
+    for index in range(BATCH_SIZE):
+        factors = campaign_factors("hetero-star", 1, size=workers, seed=index)[0]
+        platform = factors.platform(MatrixProductWorkload(40 + 20 * (index % 9)))
+        order = platform.ordered_by_c()
+        if index % 2:
+            scenarios.append((platform, order, list(reversed(order))))
+        else:
+            scenarios.append((platform, order, None))
+    return scenarios
+
+
+@pytest.mark.benchmark(group="batch-kernel")
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_batched_kernel_vs_scalar_loop(benchmark, workers):
+    scenarios = _scenario_chunk(workers)
+
+    start = time.perf_counter()
+    scalar = [
+        solve_scenario_fast(platform, sigma1, sigma2)
+        for platform, sigma1, sigma2 in scenarios
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    batched = benchmark(lambda: solve_scenarios_fast(scenarios))
+
+    for scalar_result, batch_result in zip(scalar, batched):
+        assert batch_result.objective == scalar_result.objective
+        assert np.array_equal(batch_result.loads, scalar_result.loads)
+        assert batch_result.iterations == scalar_result.iterations
+
+    batch_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["scalar_loop_seconds"] = round(scalar_seconds, 4)
+    benchmark.extra_info["batch_over_scalar_speedup"] = round(
+        scalar_seconds / batch_seconds, 2
+    )
+
+
+@pytest.mark.benchmark(group="campaign-engine")
+def test_crossover_paper_scale_wall_clock(benchmark):
+    """Paper-scale crossover sweep end-to-end (batched strategy comparisons)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("crossover", preset="paper"), rounds=1, iterations=1
+    )[0]
+    # Theorem 2 guarantee survives the batched path.
+    for _, value in result.series["bus: LIFO/FIFO throughput"]:
+        assert value <= 1.0 + 1e-9
+    benchmark.extra_info["matrix_sizes"] = result.parameters["matrix_sizes"]

@@ -81,24 +81,33 @@ def test_exact_simplex(benchmark, workers):
 
 @pytest.mark.benchmark(group="campaign-engine")
 def test_campaign_figures_wall_clock(benchmark):
-    """Figure 10-13 campaigns at a reduced platform count, wall-clock tracked.
+    """Figure 10-13 campaigns + crossover sweep, per-figure wall-clock tracked.
 
     ``REPRO_BENCH_PLATFORM_COUNT=50`` reproduces the paper-scale sweep used
-    by the ISSUE acceptance measurement; the default of 5 keeps the smoke
-    run fast while exercising identical code paths (paper matrix sizes and
-    task count).
+    by the ISSUE acceptance measurement (the crossover always runs at its
+    paper scale); the default of 5 keeps the smoke run fast while
+    exercising identical code paths (paper matrix sizes and task count).
     """
     platform_count = int(os.environ.get("REPRO_BENCH_PLATFORM_COUNT", "5"))
     wall_clocks: dict[str, float] = {}
 
     def run_all():
+        # Per-figure best-of-rounds: the single-core benchmark VM jitters
+        # by tens of percent, and the minimum is the usual robust
+        # wall-clock estimator.
         for figure in ("fig10", "fig11", "fig12", "fig13"):
             start = time.perf_counter()
             run_experiment(figure, preset="paper", platform_count=platform_count)
-            wall_clocks[figure] = time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            wall_clocks[figure] = min(elapsed, wall_clocks.get(figure, elapsed))
+        start = time.perf_counter()
+        run_experiment("crossover", preset="paper")
+        elapsed = time.perf_counter() - start
+        wall_clocks["crossover"] = min(elapsed, wall_clocks.get("crossover", elapsed))
         return sum(wall_clocks.values())
 
-    total = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.pedantic(run_all, rounds=2, iterations=1)
+    total = sum(wall_clocks.values())
     benchmark.extra_info["campaign"] = {
         "platform_count": platform_count,
         "wall_clock_seconds": {name: round(value, 4) for name, value in wall_clocks.items()},

@@ -62,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for the campaign experiments (figures 10-13): "
-        "N processes, or 0 for one per CPU; default runs in-process",
+        help="worker processes for the experiment sweeps (figures 8-14 and the "
+        "crossover): N processes, or 0 for one per CPU; default runs in-process. "
+        "Every jobs setting produces identical series.",
     )
     return parser
 

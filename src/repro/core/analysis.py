@@ -29,13 +29,13 @@ crossover experiment, the ablation benchmarks and the examples:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.core.fifo import optimal_fifo_schedule
-from repro.core.lifo import optimal_lifo_schedule
+from repro.core.fifo import FifoSolution, optimal_fifo_order, optimal_fifo_schedule
+from repro.core.lifo import LifoSolution, optimal_lifo_schedule
 from repro.core.platform import StarPlatform
 from repro.core.schedule import Schedule
-from repro.core.twoport import optimal_two_port_fifo_schedule
+from repro.core.twoport import TwoPortSolution, optimal_two_port_fifo_schedule
 from repro.exceptions import ScheduleError
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "port_utilisation",
     "is_port_saturated",
     "strategy_comparison",
+    "strategy_comparison_batch",
     "fifo_lifo_crossover",
 ]
 
@@ -104,11 +105,13 @@ class StrategyComparison:
         return "tie"
 
 
-def strategy_comparison(platform: StarPlatform, deadline: float = 1.0) -> StrategyComparison:
-    """Compare the optimal FIFO, optimal LIFO and two-port FIFO on ``platform``."""
-    fifo = optimal_fifo_schedule(platform, deadline=deadline)
-    lifo = optimal_lifo_schedule(platform, deadline=deadline)
-    two_port = optimal_two_port_fifo_schedule(platform, deadline=deadline)
+def _comparison(
+    platform: StarPlatform,
+    fifo: FifoSolution,
+    lifo: LifoSolution,
+    two_port: TwoPortSolution,
+) -> StrategyComparison:
+    """Assemble a :class:`StrategyComparison` from the three solutions."""
     return StrategyComparison(
         platform_name=platform.name,
         fifo_throughput=fifo.throughput,
@@ -118,6 +121,61 @@ def strategy_comparison(platform: StarPlatform, deadline: float = 1.0) -> Strate
         lifo_participants=len(lifo.participants),
         port_saturated=port_utilisation(fifo.schedule) >= 1.0 - _SATURATION_TOLERANCE,
     )
+
+
+def strategy_comparison(platform: StarPlatform, deadline: float = 1.0) -> StrategyComparison:
+    """Compare the optimal FIFO, optimal LIFO and two-port FIFO on ``platform``."""
+    fifo = optimal_fifo_schedule(platform, deadline=deadline)
+    lifo = optimal_lifo_schedule(platform, deadline=deadline)
+    two_port = optimal_two_port_fifo_schedule(platform, deadline=deadline)
+    return _comparison(platform, fifo, lifo, two_port)
+
+
+def strategy_comparison_batch(
+    platforms: Sequence[StarPlatform], deadline: float = 1.0
+) -> list[StrategyComparison]:
+    """:func:`strategy_comparison` for a whole chunk of platforms at once.
+
+    The one-port FIFO LPs and the two-port FIFO LPs of every platform are
+    each stacked into one batched scenario-kernel call; the optimal LIFO is
+    the closed-form chain as usual.  The result matches
+    ``[strategy_comparison(p, deadline) for p in platforms]`` exactly — this
+    is what lets the crossover sweep solve its whole (size, platform) grid
+    in a handful of vectorised calls.
+    """
+    from repro.core.linear_program import solve_scenarios
+
+    orders = [optimal_fifo_order(platform) for platform in platforms]
+    # optimal_two_port_fifo_schedule picks the same Theorem 1 order.
+    one_port = solve_scenarios(
+        [(platform, order, None) for platform, order in zip(platforms, orders)],
+        deadline=deadline,
+        one_port=True,
+    )
+    two_port = solve_scenarios(
+        [(platform, order, None) for platform, order in zip(platforms, orders)],
+        deadline=deadline,
+        one_port=False,
+    )
+    comparisons: list[StrategyComparison] = []
+    for platform, order, fifo_scenario, two_scenario in zip(
+        platforms, orders, one_port, two_port
+    ):
+        fifo = FifoSolution(
+            schedule=fifo_scenario.schedule,
+            order=tuple(order),
+            throughput=fifo_scenario.throughput,
+            scenario=fifo_scenario,
+        )
+        lifo = optimal_lifo_schedule(platform, deadline=deadline)
+        two = TwoPortSolution(
+            schedule=two_scenario.schedule,
+            order=tuple(order),
+            throughput=two_scenario.throughput,
+            scenario=two_scenario,
+        )
+        comparisons.append(_comparison(platform, fifo, lifo, two))
+    return comparisons
 
 
 def fifo_lifo_crossover(

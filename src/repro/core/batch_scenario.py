@@ -1,0 +1,347 @@
+"""Batched kernel for whole chunks of scenario linear programs.
+
+:mod:`repro.core.fast_scenario` made a *single* system-(2) LP cheap; the
+campaigns still paid one Python call — array build, tableau set-up, pivot
+loop — per scenario, thousands of times per figure.  This module lifts the
+same kernel to a *batch* of same-size scenarios solved as one array-level
+problem, the stacked-formulation trick that makes LP solvers practical for
+large batches of small problems:
+
+* :func:`scenario_arrays_batch` stacks the system-(2) constraint matrices of
+  ``B`` scenarios into one ``(B, m, n)`` tensor (the per-scenario build of
+  :func:`~repro.core.fast_scenario.scenario_arrays`, broadcast over the
+  batch dimension — same masks, same elementwise operations, bit-identical
+  entries);
+* :func:`solve_scenario_arrays_batch` runs the dense primal simplex
+  *vectorised over the batch dimension*: every iteration performs one
+  Dantzig pricing, one ratio test and one rank-1 tableau update for **all**
+  still-active problems at once, with a per-problem termination mask.
+  Problems converge independently and drop out of the active set;
+* stragglers fall back to the scalar kernel: any problem still unfinished
+  when the scalar kernel would switch to Bland pricing (degenerate cycling
+  territory, never reached on well-formed scenarios) — or whose pivot column
+  looks unbounded — is re-solved from scratch by
+  :func:`~repro.core.fast_scenario.solve_scenario_arrays`, so its result
+  (or its diagnostic) is the scalar kernel's by construction.
+
+Because the batched iterations perform exactly the scalar kernel's
+floating-point operations in the same order (Dantzig ``argmax``, masked
+ratio ``divide``, smallest-basis tie-break, rank-1 update), the returned
+loads, objectives and iteration counts are **bit-identical** to calling
+:func:`~repro.core.fast_scenario.solve_scenario_arrays` once per scenario —
+asserted over all campaign scenario families by the test-suite.
+
+:func:`solve_scenarios_fast` is the convenience front end used by the
+experiment layer: it takes an arbitrary mix of (platform, sigma1, sigma2)
+scenarios, groups them by worker count, and returns one
+:class:`~repro.core.fast_scenario.FastScenarioResult` per scenario in input
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.fast_scenario import (
+    _BLAND_AFTER_FACTOR,
+    _TOLERANCE,
+    _triangular_masks,
+    FastScenarioResult,
+    solve_scenario_arrays,
+    validate_scenario,
+)
+from repro.core.platform import StarPlatform
+from repro.exceptions import ScheduleError, SolverError
+
+__all__ = [
+    "BatchScenarioResult",
+    "scenario_arrays_batch",
+    "solve_scenario_arrays_batch",
+    "solve_scenarios_fast",
+]
+
+
+@dataclass(frozen=True)
+class BatchScenarioResult:
+    """Raw outcome of the batched kernel for a chunk of scenarios.
+
+    Attributes
+    ----------
+    loads:
+        Optimal ``alpha`` per scenario and worker, shape ``(B, n)``, in
+        each scenario's ``sigma1`` order.
+    objectives:
+        ``loads.sum(axis=1)`` per scenario — total load within the deadline.
+    iterations:
+        Simplex pivots per scenario.
+    fallbacks:
+        Boolean mask of the scenarios that were re-solved by the scalar
+        kernel (stragglers/degenerate cases); useful for diagnostics and
+        asserted to stay empty on the campaign families.
+    """
+
+    loads: np.ndarray
+    objectives: np.ndarray
+    iterations: np.ndarray
+    fallbacks: np.ndarray
+
+    def __len__(self) -> int:
+        return self.loads.shape[0]
+
+    def result(self, index: int) -> FastScenarioResult:
+        """The scalar-kernel view of one scenario of the batch."""
+        return FastScenarioResult(
+            loads=self.loads[index],
+            objective=float(self.objectives[index]),
+            iterations=int(self.iterations[index]),
+        )
+
+
+def scenario_arrays_batch(
+    c: np.ndarray,
+    w: np.ndarray,
+    d: np.ndarray,
+    rank2: np.ndarray | None = None,
+    deadline: float = 1.0,
+    one_port: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the stacked ``A x <= b`` arrays of system (2) for ``B`` scenarios.
+
+    ``c``, ``w``, ``d`` are ``(B, q)`` cost matrices in each scenario's
+    ``sigma1`` order.  ``rank2`` gives the return-permutation ranks of each
+    ``sigma1`` position: ``None`` for FIFO (``sigma2 == sigma1``), a ``(q,)``
+    vector for a shared permutation (e.g. LIFO's ``q-1 .. 0``), or a
+    ``(B, q)`` matrix for per-scenario permutations.
+
+    Every entry equals the scalar build of
+    :func:`~repro.core.fast_scenario.scenario_arrays` bit-for-bit — the
+    batched expressions broadcast the same masks over the same cost vectors.
+    """
+    c = np.asarray(c, dtype=float)
+    w = np.asarray(w, dtype=float)
+    d = np.asarray(d, dtype=float)
+    if c.ndim != 2 or c.shape != w.shape or c.shape != d.shape:
+        raise SolverError("c, w, d must be (batch, q) arrays of one shape")
+    batch, q = c.shape
+    if q == 0:
+        raise ScheduleError("a scenario needs at least one worker")
+    if deadline <= 0:
+        raise ScheduleError("deadline must be positive")
+
+    prefix, fifo_suffix = _triangular_masks(q)
+    if rank2 is None:
+        suffix = fifo_suffix
+    else:
+        rank2 = np.asarray(rank2)
+        if rank2.ndim == 1:
+            suffix = rank2[None, :] >= rank2[:, None]
+        elif rank2.ndim == 2 and rank2.shape == (batch, q):
+            suffix = rank2[:, None, :] >= rank2[:, :, None]
+        else:
+            raise SolverError("rank2 must be a (q,) or (batch, q) array")
+
+    rows = q + 1 if one_port else q
+    a = np.empty((batch, rows, q))
+    np.multiply(prefix, c[:, None, :], out=a[:, :q])
+    a[:, :q] += suffix * d[:, None, :]
+    diagonal = np.arange(q)
+    a[:, diagonal, diagonal] += w
+    if one_port:
+        np.add(c, d, out=a[:, q])
+    b = np.full((batch, rows), float(deadline))
+    return a, b
+
+
+def solve_scenario_arrays_batch(a: np.ndarray, b: np.ndarray) -> BatchScenarioResult:
+    """Maximise ``sum(x)`` s.t. ``a[i] x <= b[i], x >= 0`` for every ``i``.
+
+    One vectorised Dantzig simplex drives all problems simultaneously; a
+    per-problem active mask retires converged problems, and any problem
+    that reaches the scalar kernel's Bland switch-over (or hits a
+    non-positive pivot column) is delegated to
+    :func:`~repro.core.fast_scenario.solve_scenario_arrays` so that its
+    result — or its error — is exactly the scalar kernel's.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 3:
+        raise SolverError("batched scenario solver expects a (batch, m, n) tensor")
+    batch, m, n = a.shape
+    if b.shape != (batch, m):
+        raise SolverError("right-hand side shape does not match the batch")
+    if np.any(b <= 0):
+        raise SolverError("scenario right-hand sides must be positive")
+
+    width = n + m + 1
+    tableau = np.zeros((batch, m + 1, width))
+    tableau[:, :m, :n] = a
+    tableau[:, :m, n : n + m] = np.eye(m)
+    tableau[:, :m, -1] = b
+    tableau[:, m, :n] = 1.0
+    basis = np.broadcast_to(np.arange(n, n + m), (batch, m)).copy()
+    iterations = np.zeros(batch, dtype=np.int64)
+    active = np.ones(batch, dtype=bool)
+    fallback = np.zeros(batch, dtype=bool)
+
+    bland_after = _BLAND_AFTER_FACTOR * (n + m)
+    row_index = np.arange(m)
+    # A basis entry can never exceed n + m; used as the +inf of the
+    # smallest-basic-index tie-break below.
+    basis_sentinel = n + m + 1
+
+    pivot = 0
+    while pivot <= bland_after:
+        index = np.flatnonzero(active)
+        if index.size == 0:
+            break
+        k = index.size
+        rows_k = np.arange(k)
+
+        # Dantzig pricing: first maximiser of the reduced costs, exactly
+        # like the scalar kernel's np.argmax over tableau[m, :n+m].
+        reduced = tableau[index, m, : n + m]
+        entering = np.argmax(reduced, axis=1)
+        improving = reduced[rows_k, entering] > _TOLERANCE
+        active[index[~improving]] = False
+        index = index[improving]
+        entering = entering[improving]
+        if index.size == 0:
+            continue
+        k = index.size
+        rows_k = np.arange(k)
+
+        # Ratio test on the entering columns.
+        column = tableau[index[:, None], row_index[None, :], entering[:, None]]
+        positive = column > _TOLERANCE
+        unbounded = ~positive.any(axis=1)
+        if unbounded.any():
+            # Delegate to the scalar kernel, which raises the scalar
+            # diagnostic for genuinely unbounded directions.
+            fallback[index[unbounded]] = True
+            active[index[unbounded]] = False
+            keep = ~unbounded
+            index, entering = index[keep], entering[keep]
+            column, positive = column[keep], positive[keep]
+            if index.size == 0:
+                continue
+            k = index.size
+            rows_k = np.arange(k)
+        rhs = tableau[index, :m, -1]
+        ratios = np.full((k, m), np.inf)
+        np.divide(rhs, column, out=ratios, where=positive)
+        best = ratios[rows_k, np.argmin(ratios, axis=1)]
+        # Deterministic tie-break: smallest basic index among the
+        # minimisers (identical to the scalar kernel for unique minima,
+        # since every problem's basis entries are distinct).
+        tie_key = np.where(ratios == best[:, None], basis[index], basis_sentinel)
+        leaving = np.argmin(tie_key, axis=1)
+
+        # Rank-1 update: normalise each pivot row, subtract the outer
+        # product everywhere else (the pivot row's factor is zeroed, so it
+        # keeps exactly the normalised values — as in the scalar kernel).
+        # Inactive problems get zero factors and zero pivot rows, so the
+        # full-batch subtraction leaves their tableaus untouched bit for
+        # bit (x - 0.0*0.0 == x) while avoiding a gather/scatter of the
+        # whole active block every iteration.
+        pivot_rows = tableau[index, leaving, :]
+        pivot_values = pivot_rows[rows_k, entering]
+        pivot_rows = pivot_rows / pivot_values[:, None]
+        factors = tableau[index[:, None], np.arange(m + 1)[None, :], entering[:, None]]
+        factors[rows_k, leaving] = 0.0
+        factors_full = np.zeros((batch, m + 1))
+        factors_full[index] = factors
+        rows_full = np.zeros((batch, width))
+        rows_full[index] = pivot_rows
+        tableau -= factors_full[:, :, None] * rows_full[:, None, :]
+        tableau[index, leaving, :] = pivot_rows
+        basis[index, leaving] = entering
+        iterations[index] += 1
+        pivot += 1
+
+    # Stragglers: anything still active after the Dantzig-phase budget is
+    # degenerate-cycling territory; the scalar kernel (with its Bland
+    # safety net) re-solves them from the original arrays.
+    fallback |= active
+
+    loads = np.zeros((batch, n))
+    solution = np.zeros((batch, n + m))
+    np.put_along_axis(solution, basis, tableau[:, :m, -1], axis=1)
+    np.maximum(solution[:, :n], 0.0, out=loads)
+    objectives = -tableau[:, m, -1]
+    # Same degenerate-dust snap as the scalar kernel.
+    loads[loads <= 1e-11 * objectives[:, None]] = 0.0
+
+    for i in np.flatnonzero(fallback):
+        scalar = solve_scenario_arrays(a[i], b[i])
+        loads[i] = scalar.loads
+        objectives[i] = scalar.objective
+        iterations[i] = scalar.iterations
+
+    return BatchScenarioResult(
+        loads=loads,
+        objectives=objectives,
+        iterations=iterations,
+        fallbacks=fallback,
+    )
+
+
+def solve_scenarios_fast(
+    scenarios: Sequence[tuple[StarPlatform, Sequence[str], Sequence[str] | None]],
+    deadline: float = 1.0,
+    one_port: bool = True,
+    validate: bool = True,
+) -> list[FastScenarioResult]:
+    """Solve a mixed chunk of scenarios through the batched kernel.
+
+    ``scenarios`` is a sequence of ``(platform, sigma1, sigma2)`` triples
+    (``sigma2=None`` meaning FIFO).  Scenarios are grouped by worker count —
+    each group becomes one stacked kernel call — and the results come back
+    in input order, each bit-identical to
+    :func:`~repro.core.fast_scenario.solve_scenario_fast` on the same triple.
+
+    ``validate=False`` skips the per-scenario permutation checks for
+    callers whose sigmas come straight from a platform ordering (always
+    valid); the solved values are identical.
+    """
+    groups: dict[int, list[int]] = {}
+    parsed: list[tuple[StarPlatform, list[str], list[str]]] = []
+    for position, (platform, sigma1, sigma2) in enumerate(scenarios):
+        if validate:
+            sigma1, sigma2 = validate_scenario(platform, sigma1, sigma2, deadline)
+        else:
+            sigma1 = list(sigma1)
+            sigma2 = list(sigma2) if sigma2 is not None else sigma1
+        parsed.append((platform, sigma1, sigma2))
+        groups.setdefault(len(sigma1), []).append(position)
+
+    results: list[FastScenarioResult | None] = [None] * len(parsed)
+    for q, positions in groups.items():
+        size = len(positions)
+        c = np.empty((size, q))
+        w = np.empty((size, q))
+        d = np.empty((size, q))
+        rank2 = np.empty((size, q), dtype=np.int64)
+        identity = np.arange(q)
+        fifo = True
+        for row, position in enumerate(positions):
+            platform, sigma1, sigma2 = parsed[position]
+            c[row], w[row], d[row] = platform.cost_vectors(sigma1)
+            if sigma2 == sigma1:
+                rank2[row] = identity
+            else:
+                fifo = False
+                position_of = {name: pos for pos, name in enumerate(sigma2)}
+                rank2[row] = [position_of[name] for name in sigma1]
+        a, b = scenario_arrays_batch(
+            c, w, d,
+            rank2=None if fifo else rank2,
+            deadline=deadline,
+            one_port=one_port,
+        )
+        solved = solve_scenario_arrays_batch(a, b)
+        for row, position in enumerate(positions):
+            results[position] = solved.result(row)
+    return results  # type: ignore[return-value]

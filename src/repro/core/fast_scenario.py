@@ -48,6 +48,7 @@ __all__ = [
     "solve_scenario_arrays",
     "solve_scenario_arrays_linprog",
     "solve_scenario_fast",
+    "validate_scenario",
 ]
 
 
@@ -120,14 +121,7 @@ def scenario_arrays(
     if q == 0:
         raise ScheduleError("a scenario needs at least one worker")
 
-    c = np.empty(q)
-    w = np.empty(q)
-    d = np.empty(q)
-    for j, name in enumerate(sigma1):
-        spec = platform[name]
-        c[j] = spec.c
-        w[j] = spec.w
-        d[j] = spec.d
+    c, w, d = platform.cost_vectors(sigma1)
 
     prefix, fifo_suffix = _triangular_masks(q)
     if sigma2 is None or list(sigma2) == sigma1:
@@ -266,6 +260,37 @@ def solve_scenario_arrays_linprog(a: np.ndarray, b: np.ndarray) -> FastScenarioR
     )
 
 
+def validate_scenario(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str] | None,
+    deadline: float,
+) -> tuple[list[str], list[str]]:
+    """Validate one (sigma1, sigma2) scenario and return it as lists.
+
+    Mirrors :func:`~repro.core.linear_program.build_scenario_program` so
+    that every kernel entry point — scalar and batched — raises
+    identically on malformed scenarios.
+    """
+    sigma1 = list(sigma1)
+    if not sigma1:
+        raise ScheduleError("a scenario needs at least one worker")
+    if sigma2 is None:
+        sigma2 = list(sigma1)
+    else:
+        sigma2 = list(sigma2)
+        if sorted(sigma1) != sorted(sigma2):
+            raise ScheduleError("sigma2 must be a permutation of sigma1")
+    if len(set(sigma1)) != len(sigma1):
+        raise ScheduleError("sigma1 contains duplicated workers")
+    for worker in sigma1:
+        if worker not in platform:
+            raise ScheduleError(f"unknown worker {worker!r} in scenario")
+    if deadline <= 0:
+        raise ScheduleError("deadline must be positive")
+    return sigma1, sigma2
+
+
 def solve_scenario_fast(
     platform: StarPlatform,
     sigma1: Sequence[str],
@@ -275,23 +300,10 @@ def solve_scenario_fast(
 ) -> FastScenarioResult:
     """Build and solve one scenario entirely on the array fast path.
 
-    Input validation mirrors :func:`~repro.core.linear_program.
-    build_scenario_program` so that the two paths raise identically on
-    malformed scenarios.
+    Input validation (see :func:`validate_scenario`) mirrors
+    :func:`~repro.core.linear_program.build_scenario_program` so that the
+    two paths raise identically on malformed scenarios.
     """
-    sigma1 = list(sigma1)
-    sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
-    if not sigma1:
-        raise ScheduleError("a scenario needs at least one worker")
-    if sorted(sigma1) != sorted(sigma2):
-        raise ScheduleError("sigma2 must be a permutation of sigma1")
-    if len(set(sigma1)) != len(sigma1):
-        raise ScheduleError("sigma1 contains duplicated workers")
-    for worker in sigma1:
-        if worker not in platform:
-            raise ScheduleError(f"unknown worker {worker!r} in scenario")
-    if deadline <= 0:
-        raise ScheduleError("deadline must be positive")
-
+    sigma1, sigma2 = validate_scenario(platform, sigma1, sigma2, deadline)
     a, b = scenario_arrays(platform, sigma1, sigma2, deadline=deadline, one_port=one_port)
     return solve_scenario_arrays(a, b)

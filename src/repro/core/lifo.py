@@ -125,7 +125,12 @@ def optimal_lifo_schedule(
     order = optimal_lifo_order(platform)
     if method == "closed-form":
         loads = lifo_closed_form_loads(platform, order, deadline=deadline)
-        schedule = lifo_schedule(platform, loads, order, deadline=deadline)
+        # The chain's loads cover exactly `order` with positive values and
+        # the order is a valid permutation, so the checked constructor of
+        # lifo_schedule() is redundant on this hot path.
+        schedule = Schedule.from_trusted(
+            platform, loads, tuple(order), tuple(reversed(order)), deadline
+        )
         return LifoSolution(
             schedule=schedule,
             order=tuple(order),

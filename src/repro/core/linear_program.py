@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.fast_scenario import solve_scenario_fast
+from repro.core.fast_scenario import FastScenarioResult, solve_scenario_fast
 from repro.core.platform import StarPlatform
 from repro.core.schedule import Schedule
 from repro.exceptions import ScheduleError, SolverError
@@ -44,6 +44,7 @@ __all__ = [
     "ScenarioSolution",
     "build_scenario_program",
     "solve_scenario",
+    "solve_scenarios",
     "solve_fifo_scenario",
     "solve_lifo_scenario",
 ]
@@ -208,6 +209,71 @@ def build_scenario_program(
     return program
 
 
+def _solution_from_kernel(
+    platform: StarPlatform,
+    sigma1: Sequence[str],
+    sigma2: Sequence[str],
+    deadline: float,
+    one_port: bool,
+    kernel: FastScenarioResult,
+) -> ScenarioSolution:
+    """Wrap a raw kernel result into the public :class:`ScenarioSolution`.
+
+    Shared by the scalar fast path of :func:`solve_scenario` and the batched
+    path of :func:`solve_scenarios`, so both produce identical objects for
+    identical kernel outputs.
+    """
+    loads = {worker: float(alpha) for worker, alpha in zip(sigma1, kernel.loads)}
+    result = LPResult(
+        status=LPStatus.OPTIMAL,
+        objective=kernel.objective,
+        values={_alpha(worker): load for worker, load in loads.items()},
+        backend="fast-kernel",
+        iterations=kernel.iterations,
+    )
+    # The kernel paths validate sigma1/sigma2 before solving and the loads
+    # are non-negative by construction, so the checked constructor is
+    # redundant here.
+    schedule = Schedule.from_trusted(
+        platform, loads, tuple(sigma1), tuple(sigma2), deadline
+    )
+    return ScenarioSolution(
+        schedule=schedule,
+        throughput=schedule.total_load / deadline,
+        lp_result=result,
+        _program=None,
+        _one_port=one_port,
+    )
+
+
+def solve_scenarios(
+    scenarios: Sequence[tuple[StarPlatform, Sequence[str], Sequence[str] | None]],
+    deadline: float = 1.0,
+    one_port: bool = True,
+) -> list[ScenarioSolution]:
+    """Solve a whole chunk of scenario LPs through the batched kernel.
+
+    ``scenarios`` is a sequence of ``(platform, sigma1, sigma2)`` triples
+    (``sigma2=None`` means FIFO).  Same-size scenarios are stacked and
+    solved as one vectorised simplex (see
+    :mod:`repro.core.batch_scenario`); the returned solutions are, element
+    for element, identical to ``solve_scenario(platform, sigma1, sigma2)``
+    with the default fast path — the batched kernel is bit-identical to the
+    scalar one, and the wrapping is shared.
+    """
+    from repro.core.batch_scenario import solve_scenarios_fast
+
+    kernels = solve_scenarios_fast(scenarios, deadline=deadline, one_port=one_port)
+    solutions: list[ScenarioSolution] = []
+    for (platform, sigma1, sigma2), kernel in zip(scenarios, kernels):
+        sigma1 = list(sigma1)
+        sigma2 = list(sigma2) if sigma2 is not None else list(sigma1)
+        solutions.append(
+            _solution_from_kernel(platform, sigma1, sigma2, deadline, one_port, kernel)
+        )
+    return solutions
+
+
 def solve_scenario(
     platform: StarPlatform,
     sigma1: Sequence[str],
@@ -250,28 +316,7 @@ def solve_scenario(
         kernel = solve_scenario_fast(
             platform, sigma1, sigma2, deadline=deadline, one_port=one_port
         )
-        loads = {worker: float(alpha) for worker, alpha in zip(sigma1, kernel.loads)}
-        result = LPResult(
-            status=LPStatus.OPTIMAL,
-            objective=kernel.objective,
-            values={_alpha(worker): load for worker, load in loads.items()},
-            backend="fast-kernel",
-            iterations=kernel.iterations,
-        )
-        schedule = Schedule(
-            platform=platform,
-            loads=loads,
-            sigma1=sigma1,
-            sigma2=sigma2,
-            deadline=deadline,
-        )
-        return ScenarioSolution(
-            schedule=schedule,
-            throughput=schedule.total_load / deadline,
-            lp_result=result,
-            _program=None,
-            _one_port=one_port,
-        )
+        return _solution_from_kernel(platform, sigma1, sigma2, deadline, one_port, kernel)
 
     program = build_scenario_program(
         platform,

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.exceptions import PlatformError
 
 __all__ = ["Worker", "StarPlatform", "bus_platform", "homogeneous_platform"]
@@ -62,6 +64,21 @@ class Worker:
                 raise PlatformError(
                     f"worker {self.name!r}: {field_name} must be positive (got {value})"
                 )
+
+    @classmethod
+    def trusted(cls, name: str, c: float, w: float, d: float) -> "Worker":
+        """Build a worker from already-validated costs, skipping the checks.
+
+        For hot construction paths (campaigns instantiate one platform per
+        (factor set, matrix size) pair) whose costs are positive and finite
+        by construction.
+        """
+        worker = object.__new__(cls)
+        object.__setattr__(worker, "name", name)
+        object.__setattr__(worker, "c", c)
+        object.__setattr__(worker, "w", w)
+        object.__setattr__(worker, "d", d)
+        return worker
 
     @property
     def z(self) -> float:
@@ -112,6 +129,8 @@ class StarPlatform:
         self._workers: tuple[Worker, ...] = tuple(workers)
         self._by_name = {w.name: w for w in self._workers}
         self.name = name
+        # (order tuple) -> (c, w, d) arrays; filled by cost_vectors().
+        self._cost_cache: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # container protocol
@@ -216,6 +235,27 @@ class StarPlatform:
             w.name
             for w in sorted(self._workers, key=lambda w: (w.w, w.name), reverse=descending)
         ]
+
+    def cost_vectors(
+        self, order: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(c, w, d)`` cost arrays of the workers in ``order``, cached.
+
+        The batched scenario kernel gathers these vectors once per
+        (platform, permutation) pair instead of looking up every worker's
+        spec per solve; the returned arrays are shared — treat them as
+        read-only.
+        """
+        key = tuple(order)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            specs = [self[name] for name in key]
+            cached = self._cost_cache[key] = (
+                np.array([spec.c for spec in specs]),
+                np.array([spec.w for spec in specs]),
+                np.array([spec.d for spec in specs]),
+            )
+        return cached
 
     def subplatform(self, names: Sequence[str], name: str | None = None) -> "StarPlatform":
         """Return a platform restricted to ``names`` (in the given order)."""

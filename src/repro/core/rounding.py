@@ -21,7 +21,7 @@ from typing import Mapping, Sequence
 from repro.core.schedule import Schedule
 from repro.exceptions import ScheduleError
 
-__all__ = ["round_loads", "integer_load_schedule"]
+__all__ = ["round_values", "round_loads", "integer_load_schedule"]
 
 
 def round_loads(
@@ -29,6 +29,7 @@ def round_loads(
     sigma1: Sequence[str],
     total: int,
     tol: float = 1e-6,
+    validate: bool = True,
 ) -> dict[str, int]:
     """Round fractional ``loads`` to integers summing exactly to ``total``.
 
@@ -43,6 +44,11 @@ def round_loads(
         workers, exactly as in the paper's example.
     total:
         Total integer number of load units to distribute.
+    validate:
+        Check that ``loads`` is consistent with ``sigma1`` (default).
+        Internal callers whose inputs come from a :class:`Schedule` — whose
+        invariants already guarantee consistency — skip the check; the
+        rounded values are identical either way.
 
     Returns
     -------
@@ -54,46 +60,63 @@ def round_loads(
     sigma1 = list(sigma1)
     if not sigma1:
         raise ScheduleError("sigma1 must not be empty")
-    unknown = set(loads) - set(sigma1)
-    if unknown:
-        raise ScheduleError(f"loads reference workers absent from sigma1: {sorted(unknown)}")
-    if any(value < 0 for value in loads.values()):
-        raise ScheduleError("loads must be non-negative")
+    if validate:
+        unknown = set(loads) - set(sigma1)
+        if unknown:
+            raise ScheduleError(f"loads reference workers absent from sigma1: {sorted(unknown)}")
+        if any(value < 0 for value in loads.values()):
+            raise ScheduleError("loads must be non-negative")
 
-    current_total = sum(loads.get(name, 0.0) for name in sigma1)
+    values = [loads.get(name, 0.0) for name in sigma1]
+    return dict(zip(sigma1, round_values(values, total, tol=tol)))
+
+
+def round_values(values: Sequence[float], total: int, tol: float = 1e-6) -> list[int]:
+    """Positional core of :func:`round_loads`: round a load *vector*.
+
+    ``values`` are the fractional loads in sending-permutation order; the
+    returned integers sum to ``total`` and follow exactly the same policy
+    (proportional rescale, floor, leftovers to the front of the
+    permutation).  This is the entry point for hot paths that already hold
+    the loads as a vector rather than a mapping.
+    """
+    if total < 0:
+        raise ScheduleError("total must be non-negative")
+    if not values:
+        raise ScheduleError("sigma1 must not be empty")
     if total == 0:
-        return {name: 0 for name in sigma1}
+        return [0] * len(values)
+    current_total = sum(values)
     if current_total <= 0:
         raise ScheduleError("cannot round an all-zero load assignment to a positive total")
 
     if not math.isclose(current_total, total, rel_tol=tol, abs_tol=tol):
         scale = total / current_total
-        scaled = {name: loads.get(name, 0.0) * scale for name in sigma1}
-    else:
-        scaled = {name: loads.get(name, 0.0) for name in sigma1}
+        values = [value * scale for value in values]
 
     # Degenerate inputs (e.g. a vanishingly small total load) can overflow the
     # rescaling; fall back to an even distribution through the leftover loop.
-    if any(not math.isfinite(value) for value in scaled.values()):
-        scaled = {name: 0.0 for name in sigma1}
+    if any(not math.isfinite(value) for value in values):
+        values = [0.0] * len(values)
 
-    floored = {name: int(math.floor(value + tol)) for name, value in scaled.items()}
-    leftover = total - sum(floored.values())
+    floor = math.floor
+    counts = [int(floor(value + tol)) for value in values]
+    leftover = total - sum(counts)
     if leftover < 0:
         # Floating-point slack pushed a floor one unit too high; shave the
         # excess from the end of the permutation (largest indices first).
-        for name in reversed(sigma1):
-            while leftover < 0 and floored[name] > 0:
-                floored[name] -= 1
+        for index in range(len(counts) - 1, -1, -1):
+            while leftover < 0 and counts[index] > 0:
+                counts[index] -= 1
                 leftover += 1
     # Paper policy: one extra unit to each of the first `leftover` workers of
     # the sending permutation.
     index = 0
     while leftover > 0:
-        floored[sigma1[index % len(sigma1)]] += 1
+        counts[index % len(counts)] += 1
         leftover -= 1
         index += 1
-    return floored
+    return counts
 
 
 def integer_load_schedule(schedule: Schedule, total: int) -> Schedule:

@@ -138,6 +138,31 @@ class Schedule:
         self.sigma2 = sigma2
         self._loads = cleaned
 
+    @classmethod
+    def from_trusted(
+        cls,
+        platform: StarPlatform,
+        loads: dict[str, float],
+        sigma1: tuple[str, ...],
+        sigma2: tuple[str, ...],
+        deadline: float,
+    ) -> "Schedule":
+        """Build a schedule from already-validated components, skipping checks.
+
+        For internal hot paths (the scenario kernels) whose inputs are
+        validated upstream: ``sigma1``/``sigma2`` must be duplicate-free
+        permutations of each other over known workers, and ``loads`` must
+        map *every* ``sigma1`` worker to a non-negative float.  The loads
+        dict is adopted without copying.
+        """
+        schedule = object.__new__(cls)
+        schedule.platform = platform
+        schedule.deadline = float(deadline)
+        schedule.sigma1 = sigma1
+        schedule.sigma2 = sigma2
+        schedule._loads = loads
+        return schedule
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #

@@ -1,47 +1,53 @@
-"""Chunked, optionally process-parallel campaign engine.
+"""Campaign engine for the random-platform figures (10-13).
 
 The random-platform campaigns of Figures 10-13 share one shape: for every
 matrix size and every random platform, evaluate a set of heuristics with the
 scenario LP, measure each schedule on the noisy simulated cluster, normalise
 by the reference heuristic's LP prediction, and average over the platforms.
-The seed implementation ran the whole cross product serially inside
-:func:`repro.experiments.common.heuristic_campaign`; this module is the
-engine that now powers it:
+This module turns that shape into chunk workers for the generic
+:mod:`repro.experiments.sweep_engine`:
 
-* the unit of work is one *platform* across every matrix size (a
-  :class:`_PlatformChunk` of platform indices), so a platform's factor-set
-  work — LP evaluations keyed by ``(comm, comp, size)`` — is computed once
-  and reused; on the homogeneous campaign of Figure 10 all 50 platforms
-  share one factor set, so each size costs one LP evaluation instead of 50;
-* chunks run either inline (``jobs=1``, the default) or on a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=N`` / ``jobs=None``
-  for one worker per CPU);
+* the unit of work is one *platform* across every matrix size, and chunking,
+  process parallelism (``jobs=``) and order-preserving reassembly are the
+  sweep engine's;
+* a platform's factor-set work — LP evaluations keyed by ``(comm, comp,
+  size)`` — is computed once per chunk and reused; on the homogeneous
+  campaign of Figure 10 all 50 platforms share one factor set, so each size
+  costs one LP evaluation instead of 50;
+* all LP evaluations a chunk needs are stacked into **one batched
+  scenario-kernel call** (:func:`repro.core.heuristics.
+  compare_heuristics_batch`) instead of thousands of scalar solves;
 * determinism is preserved regardless of ``jobs``: the per-platform noise
   seed is derived from ``(seed, platform_index, size)`` exactly as in the
   serial implementation, and per-platform ratios are re-assembled in
   platform order before averaging, so every ``jobs`` setting produces the
   same series to the last bit.
 
-The engine is deliberately dumb about *what* it evaluates — heuristic
-evaluation and measurement go through the public
-:func:`repro.core.heuristics.compare_heuristics` and
-:func:`repro.simulation.executor.measure_heuristic` APIs — so any speedup in
-the scenario kernel or the simulation executor benefits every figure.
+Measurement still goes through the public
+:func:`repro.simulation.executor.measure_heuristic` API, so any speedup in
+the simulation replay benefits every figure.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
+import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.heuristics import HeuristicResult, compare_heuristics
-from repro.exceptions import ExperimentError
-from repro.simulation.executor import measure_heuristic
-from repro.simulation.noise import NoiseModel
+from repro.core.batch_scenario import scenario_arrays_batch, solve_scenario_arrays_batch
+from repro.core.heuristics import HEURISTICS
+from repro.core.platform import _RATIO_TOLERANCE
+from repro.exceptions import ScheduleError
+from repro.experiments.sweep_engine import resolve_jobs, run_chunked
+from repro.simulation.executor import (
+    PreparedMeasurement,
+    prepare_measurement_arrays,
+    timeline_indices,
+)
+from repro.simulation.noise import NoiseModel, perturb_sequence
 from repro.workloads.matrices import MatrixProductWorkload
 from repro.workloads.platforms import PlatformFactors
 
@@ -69,40 +75,295 @@ class CampaignSpec:
         return self.seed * 100_003 + platform_index * 1_009 + int(size)
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalise a ``jobs`` parameter to a concrete worker count.
+@dataclass(frozen=True)
+class _PreparedCell:
+    """One (factor set, size) pair with every noise-independent step done.
 
-    ``None`` means one worker per available CPU; values below one are
-    rejected (a campaign cannot run on zero workers).
+    ``lp_ratios`` are the (noise-free) LP ratio entries.  The measurement
+    side is the concatenation of the heuristics' prepared replays (see
+    :class:`~repro.simulation.executor.PreparedMeasurement`): one batched
+    ``perturb_sequence`` call per platform draws the cell's whole noise
+    stream — in exactly the order the per-run path would — and the
+    heuristics' slices are replayed vectorised across the whole chunk.
     """
-    if jobs is None:
-        return max(1, os.cpu_count() or 1)
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be at least 1 (got {jobs})")
-    return int(jobs)
+
+    lp_ratios: tuple[tuple[str, float], ...]
+    reference_time: float
+    prepared: tuple
+    durations: np.ndarray
+    kinds: tuple[str, ...]
+    workers: tuple[str, ...]
+    offsets: tuple[int, ...]
+
+    def measure(self, noise: NoiseModel) -> list[float]:
+        """Measured makespans of every heuristic, one batched draw.
+
+        Scalar reference path (the chunk runner batches the replays
+        instead); kept for tests and small callers.
+        """
+        perturbed = perturb_sequence(noise, self.durations, self.kinds, self.workers)
+        return [
+            measurement.makespan(perturbed[start:end])
+            for measurement, start, end in zip(
+                self.prepared, self.offsets, self.offsets[1:]
+            )
+        ]
 
 
-def _evaluate_platform(
+def _replay_grouped(
+    occurrences: list[tuple[int, int, _PreparedCell, np.ndarray]],
+    heuristic_count: int,
+) -> np.ndarray:
+    """Replay every (occurrence, heuristic) run, vectorised per q.
+
+    Returns the ``(len(occurrences), heuristic_count)`` makespan matrix.
+    The timeline arithmetic is the one-port replay of
+    :meth:`PreparedMeasurement.makespan` run row-parallel — cumulative
+    sends, computes at send end, returns folded left-to-right with
+    ``maximum`` — and produces the same floats (sequential ``cumsum`` and
+    elementwise ``maximum``/``add`` match the scalar operations).
+    """
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for index, (_, _, cell, _) in enumerate(occurrences):
+        for slot, measurement in enumerate(cell.prepared):
+            groups.setdefault(measurement.participant_count, []).append((index, slot))
+
+    makespans = np.empty((len(occurrences), heuristic_count))
+    for q, members in groups.items():
+        count = len(members)
+        perturbed = np.empty((count, 3 * q))
+        sigma2_positions = np.empty((count, q), dtype=np.intp)
+        for row, (index, slot) in enumerate(members):
+            cell = occurrences[index][2]
+            perturbed[row] = occurrences[index][3][cell.offsets[slot] : cell.offsets[slot + 1]]
+            sigma2_positions[row] = cell.prepared[slot].sigma2_positions
+        send_index, compute_index = timeline_indices(q)
+        send_end = np.cumsum(perturbed[:, send_index], axis=1)
+        compute_end = send_end + perturbed[:, compute_index]
+        collected = np.take_along_axis(compute_end, sigma2_positions, axis=1)
+        returns = perturbed[:, 2 * q :]
+        port_free = send_end[:, q - 1]
+        for i in range(q):
+            port_free = np.maximum(port_free, collected[:, i]) + returns[:, i]
+        rows = np.array([index for index, _ in members])
+        slots = np.array([slot for _, slot in members])
+        makespans[rows, slots] = port_free
+    return makespans
+
+
+#: Cached ``("P1", ..., "Pq")`` name tuples (the names the matrix workload
+#: gives its platform's workers).
+_WORKER_NAMES: dict[int, tuple[str, ...]] = {}
+
+
+def _worker_names(q: int) -> tuple[str, ...]:
+    names = _WORKER_NAMES.get(q)
+    if names is None:
+        names = _WORKER_NAMES[q] = tuple(f"P{i + 1}" for i in range(q))
+    return names
+
+
+def _sorted_indices(names: tuple[str, ...], costs: Sequence[float], descending: bool = False):
+    """Worker indices sorted by cost, ties broken by name.
+
+    Mirrors :meth:`StarPlatform.ordered_by_c` / ``ordered_by_w`` exactly
+    (same ``(cost, name)`` sort keys), which the test-suite pins.
+    """
+    return sorted(
+        range(len(names)), key=lambda i: (costs[i], names[i]), reverse=descending
+    )
+
+
+def _optimal_fifo_indices(names, c, w, d):
+    """Theorem 1's order on a cost table (mirrors ``optimal_fifo_order``)."""
+    ratios = [d[i] / c[i] for i in range(len(names))]
+    first = ratios[0]
+    z = first if all(
+        math.isclose(r, first, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE)
+        for r in ratios
+    ) else None
+    return _sorted_indices(names, c, descending=z is not None and z > 1.0)
+
+
+#: Per-heuristic FIFO order rules on a (names, c, w, d) cost table —
+#: the array-level mirror of ``repro.core.heuristics._FIFO_ORDERS``
+#: (asserted equal by the test-suite).
+_ORDER_RULES = {
+    "INC_C": lambda names, c, w, d: _sorted_indices(names, c),
+    "INC_W": lambda names, c, w, d: _sorted_indices(names, w),
+    "DEC_C": lambda names, c, w, d: _sorted_indices(names, c, descending=True),
+    "PLATFORM_ORDER": lambda names, c, w, d: list(range(len(names))),
+    "OPT_FIFO": _optimal_fifo_indices,
+}
+
+
+def _lifo_chain_values(c, w, d, order, deadline: float = 1.0) -> list[float]:
+    """Closed-form LIFO loads on a cost table, in ``order``.
+
+    Mirrors :func:`repro.core.lifo.lifo_closed_form_loads` operation for
+    operation (same additions, multiplications and divisions).
+    """
+    values: list[float] = []
+    previous_load = None
+    previous = None
+    for index in order:
+        denominator = c[index] + d[index] + w[index]
+        if previous_load is None:
+            load = deadline / denominator
+        else:
+            load = previous_load * w[previous] / denominator
+        values.append(load)
+        previous_load = load
+        previous = index
+    return values
+
+
+def _prepare_chunk(
     spec: CampaignSpec,
-    factors: PlatformFactors,
-    size: int,
-    cache: dict[tuple, dict[str, HeuristicResult]],
-) -> dict[str, HeuristicResult]:
-    """LP-evaluate every heuristic on one (factor set, size) pair, cached.
+    chunk: Sequence[tuple[int, PlatformFactors]],
+) -> dict[tuple, _PreparedCell]:
+    """Prepare every distinct (factor set, size) pair of a chunk.
 
     The cache key is the factor vectors themselves, not the platform label:
-    campaigns that repeat a factor set (every homogeneous platform, or the
-    same platform swept across matrix sizes after a restart) reuse the
-    evaluation instead of re-solving the scenario LPs.
+    campaigns that repeat a factor set (every homogeneous platform) reuse
+    the preparation instead of re-solving and re-rounding.  The pairs are
+    evaluated entirely at the array level — a (names, c, w, d) cost table
+    per pair, every scenario LP of the chunk stacked into one batched
+    kernel call per worker count, throughputs and prepared replays
+    assembled straight from the kernel's load vectors, no platform or
+    schedule objects at all.  Everything here is bit-identical to
+    evaluating :func:`repro.core.heuristics.compare_heuristics` and
+    :func:`repro.simulation.executor.measure_heuristic` per pair — the
+    public reference path the test-suite pins this engine against.
     """
-    key = (factors.comm, factors.comp, size)
-    found = cache.get(key)
-    if found is None:
-        workload = MatrixProductWorkload(int(size))
-        platform = factors.platform(workload, name=f"{factors.label}-s{size}")
-        found = compare_heuristics(platform, spec.heuristic_names)
-        cache[key] = found
-    return found
+    for name in spec.heuristic_names:
+        if name not in HEURISTICS:
+            raise ScheduleError(
+                f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+            )
+    lp_names = [name for name in spec.heuristic_names if name in _ORDER_RULES]
+    total = spec.total_tasks
+
+    # Cost tables: one (names, c, w, d) tuple per distinct key.  The base
+    # per-unit costs only depend on the matrix size; the factor scaling is
+    # one vectorised division per table (same divisions the workload's
+    # worker() constructor performs).
+    keys: list[tuple] = []
+    tables: list[tuple] = []
+    base_cache: dict[int, tuple[float, float, float]] = {}
+    seen: set[tuple] = set()
+    for _, factors in chunk:
+        for size in spec.matrix_sizes:
+            key = (factors.comm, factors.comp, size)
+            if key in seen:
+                continue
+            seen.add(key)
+            keys.append(key)
+            base = base_cache.get(size)
+            if base is None:
+                workload = MatrixProductWorkload(int(size))
+                base = base_cache[size] = (workload.base_c, workload.base_w, workload.base_d)
+            comm = np.array(factors.comm)
+            comp = np.array(factors.comp)
+            c = base[0] / comm
+            w = base[1] / comp
+            d = base[2] / comm
+            # Arrays feed the stacked kernel; the list views feed the
+            # Python-level ordering/chain/layout code (same floats).
+            tables.append(
+                (_worker_names(len(factors.comm)), c, w, d, c.tolist(), w.tolist(), d.tolist())
+            )
+
+    # Stack every LP scenario of the chunk, grouped by worker count, and
+    # solve each group with one batched kernel call.
+    orders: list[list[int]] = []
+    groups: dict[int, list[int]] = {}
+    for names, _, _, _, c_list, w_list, d_list in tables:
+        for name in lp_names:
+            orders.append(_ORDER_RULES[name](names, c_list, w_list, d_list))
+            groups.setdefault(len(names), []).append(len(orders) - 1)
+    loads_rows: list[np.ndarray] = [None] * len(orders)  # type: ignore[list-item]
+    for q, flats in groups.items():
+        c_matrix = np.empty((len(flats), q))
+        w_matrix = np.empty((len(flats), q))
+        d_matrix = np.empty((len(flats), q))
+        for row, flat in enumerate(flats):
+            _, c, w, d, _, _, _ = tables[flat // len(lp_names)]
+            order = orders[flat]
+            c_matrix[row] = c[order]
+            w_matrix[row] = w[order]
+            d_matrix[row] = d[order]
+        a, b = scenario_arrays_batch(c_matrix, w_matrix, d_matrix)
+        solved = solve_scenario_arrays_batch(a, b)
+        for row, flat in enumerate(flats):
+            loads_rows[flat] = solved.loads[row]
+
+    cells: dict[tuple, _PreparedCell] = {}
+    for index, (key, table) in enumerate(zip(keys, tables)):
+        names, _, _, _, c_list, w_list, d_list = table
+        evaluated: dict[str, tuple[float, PreparedMeasurement]] = {}
+        for offset, name in enumerate(lp_names):
+            flat = index * len(lp_names) + offset
+            order = orders[flat]
+            values = loads_rows[flat].tolist()
+            ordered_names = [names[i] for i in order]
+            # sum(values) is the schedule's total load; the unit deadline
+            # makes it the throughput (same float as total_load / 1.0).
+            evaluated[name] = (
+                sum(values),
+                prepare_measurement_arrays(
+                    (
+                        [c_list[i] for i in order],
+                        [w_list[i] for i in order],
+                        [d_list[i] for i in order],
+                    ),
+                    ordered_names,
+                    ordered_names,
+                    values,
+                    total,
+                ),
+            )
+        for name in spec.heuristic_names:
+            if name in evaluated:
+                continue
+            # The only non-LP heuristic: the closed-form optimal LIFO.
+            order = _sorted_indices(names, c_list)
+            values = _lifo_chain_values(c_list, w_list, d_list, order)
+            ordered_names = [names[i] for i in order]
+            evaluated[name] = (
+                sum(values),
+                prepare_measurement_arrays(
+                    (
+                        [c_list[i] for i in order],
+                        [w_list[i] for i in order],
+                        [d_list[i] for i in order],
+                    ),
+                    ordered_names,
+                    list(reversed(ordered_names)),
+                    values,
+                    total,
+                ),
+            )
+
+        reference_time = total / evaluated[spec.reference][0]
+        lp_ratios = tuple(
+            (name, (total / evaluated[name][0]) / reference_time)
+            for name in spec.heuristic_names
+        )
+        prepared = tuple(evaluated[name][1] for name in spec.heuristic_names)
+        offsets = [0]
+        for measurement in prepared:
+            offsets.append(offsets[-1] + len(measurement.durations))
+        cells[key] = _PreparedCell(
+            lp_ratios=lp_ratios,
+            reference_time=reference_time,
+            prepared=prepared,
+            durations=np.concatenate([m.durations for m in prepared]),
+            kinds=tuple(kind for m in prepared for kind in m.kinds),
+            workers=tuple(worker for m in prepared for worker in m.workers),
+            offsets=tuple(offsets),
+        )
+    return cells
 
 
 def _run_chunk(
@@ -115,23 +376,40 @@ def _run_chunk(
     the same series labels the serial implementation accumulated
     (``"<H> lp"`` and ``"<H> real"``).
     """
-    cache: dict[tuple, dict[str, HeuristicResult]] = {}
-    results: list[tuple[int, dict[tuple[str, int], float]]] = []
+    cells = _prepare_chunk(spec, chunk)
+    labels = {
+        name: (f"{name} lp", f"{name} real") for name in spec.heuristic_names
+    }
+
+    # Draw phase: one batched perturbation per (platform, size) cell, in
+    # the serial order — the noise streams are identical to measuring each
+    # heuristic in sequence.
+    occurrences: list[tuple[int, int, _PreparedCell, np.ndarray]] = []
     for platform_index, factors in chunk:
-        ratios: dict[tuple[str, int], float] = {}
         for size in spec.matrix_sizes:
-            evaluations = _evaluate_platform(spec, factors, size, cache)
-            reference_time = evaluations[spec.reference].makespan_for(spec.total_tasks)
+            cell = cells[(factors.comm, factors.comp, size)]
             noise = spec.noise_factory(spec.noise_seed(platform_index, size))
-            for name in spec.heuristic_names:
-                evaluation = evaluations[name]
-                lp_time = evaluation.makespan_for(spec.total_tasks)
-                report = measure_heuristic(
-                    evaluation, spec.total_tasks, noise=noise, collect_trace=False
-                )
-                ratios[(f"{name} lp", size)] = lp_time / reference_time
-                ratios[(f"{name} real", size)] = report.measured_makespan / reference_time
-        results.append((platform_index, ratios))
+            perturbed = perturb_sequence(noise, cell.durations, cell.kinds, cell.workers)
+            occurrences.append((platform_index, size, cell, perturbed))
+
+    # Replay phase: every run of the chunk, vectorised per worker count.
+    makespans = _replay_grouped(occurrences, len(spec.heuristic_names))
+
+    results: list[tuple[int, dict[tuple[str, int], float]]] = []
+    ratios: dict[tuple[str, int], float] = {}
+    current_index: int | None = None
+    for occurrence, (platform_index, size, cell, _) in enumerate(occurrences):
+        if platform_index != current_index:
+            if current_index is not None:
+                results.append((current_index, ratios))
+            ratios = {}
+            current_index = platform_index
+        for slot, (name, lp_ratio) in enumerate(cell.lp_ratios):
+            lp_label, real_label = labels[name]
+            ratios[(lp_label, size)] = lp_ratio
+            ratios[(real_label, size)] = makespans[occurrence, slot] / cell.reference_time
+    if current_index is not None:
+        results.append((current_index, ratios))
     return results
 
 
@@ -143,29 +421,15 @@ def run_campaign_ratios(
     """Run the campaign and return per-series ratio vectors.
 
     The result maps ``(series, size)`` to the vector of per-platform ratios
-    *in platform order* — the caller averages and labels them.  With
-    ``jobs > 1`` the platform list is dealt round-robin into ``jobs``
-    strided chunks (balancing load when later platforms are costlier) and
-    dispatched to a process pool; chunk results are merged back by platform
-    index, so the output is independent of scheduling order.
+    *in platform order* — the caller averages and labels them.  Chunking,
+    the ``jobs=`` process pool and the order-preserving merge are
+    :func:`repro.experiments.sweep_engine.run_chunked`'s.
     """
-    indexed = list(enumerate(factor_sets))
-    jobs = min(resolve_jobs(jobs), len(indexed)) if indexed else 1
-
-    if jobs <= 1:
-        per_platform = _run_chunk(spec, indexed)
-    else:
-        chunks = [indexed[i::jobs] for i in range(jobs)]
-        per_platform = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for result in pool.map(_run_chunk, [spec] * len(chunks), chunks):
-                per_platform.extend(result)
-        per_platform.sort(key=lambda item: item[0])
+    per_platform = run_chunked(partial(_run_chunk, spec), factor_sets, jobs=jobs)
 
     collected: dict[tuple[str, int], np.ndarray] = {}
     if not per_platform:
         return collected
-    keys = per_platform[0][1].keys()
-    for key in keys:
-        collected[key] = np.array([ratios[key] for _, ratios in per_platform])
+    for key in per_platform[0]:
+        collected[key] = np.array([ratios[key] for ratios in per_platform])
     return collected

@@ -12,12 +12,14 @@ measurements are).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.experiments.common import FigureResult
+from repro.experiments.sweep_engine import run_sweep
 from repro.runtime.api import MASTER_RANK, NodeContext, SimulatedRuntime
 from repro.simulation.noise import NoiseModel
 from repro.workloads.matrices import MatrixProductWorkload
@@ -58,13 +60,31 @@ def _measure_transfer(
     return runtime.run()
 
 
+def _measure_cell(
+    workload: MatrixProductWorkload,
+    noise: NoiseModel | None,
+    cell: tuple[float, float],
+) -> float:
+    """Sweep-engine worker: one (comm factor, message size) probe."""
+    factor, megabytes = cell
+    return _measure_transfer(workload, factor, megabytes, noise)
+
+
 def run(
     message_sizes_mb: Sequence[float] = DEFAULT_MESSAGE_SIZES_MB,
     comm_factors: Sequence[float] = DEFAULT_COMM_FACTORS,
     matrix_size: int = 100,
     noise: NoiseModel | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
-    """Reproduce Figure 8: transfer time vs message size per worker."""
+    """Reproduce Figure 8: transfer time vs message size per worker.
+
+    Every (worker, message size) probe is an independent simulated
+    transfer; they run through the sweep engine, chunked and optionally
+    process-parallel (``jobs=``).  A *stateful* noise model couples the
+    probes through its draw stream, so in that case the sweep stays on a
+    single in-process chunk regardless of ``jobs``.
+    """
     if not message_sizes_mb or not comm_factors:
         raise ExperimentError("message sizes and communication factors must be non-empty")
     workload = MatrixProductWorkload(matrix_size)
@@ -78,11 +98,19 @@ def run(
             "bandwidth": workload.bandwidth,
         },
     )
+    cells = []
+    labels = []
     for index, factor in enumerate(comm_factors, start=1):
-        series = f"worker {index} (x{factor:g})"
         for megabytes in message_sizes_mb:
-            elapsed = _measure_transfer(workload, factor, megabytes, noise)
-            result.add_point(series, megabytes, elapsed)
+            cells.append((factor, megabytes))
+            labels.append(f"worker {index} (x{factor:g})")
+    stateful_noise = noise is not None and not getattr(noise, "stateless", False)
+    effective_jobs = 1 if stateful_noise else jobs
+    elapsed_times = run_sweep(
+        partial(_measure_cell, workload, noise), cells, jobs=effective_jobs
+    )
+    for label, (_, megabytes), elapsed in zip(labels, cells, elapsed_times):
+        result.add_point(label, megabytes, elapsed)
     residuals = linear_fit_residuals(result)
     result.notes.append(
         "maximum relative residual of the per-worker linear fits: "

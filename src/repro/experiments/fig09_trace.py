@@ -18,6 +18,7 @@ from typing import Sequence
 from repro.core.fifo import optimal_fifo_schedule
 from repro.exceptions import ExperimentError
 from repro.experiments.common import FigureResult
+from repro.experiments.sweep_engine import run_sweep
 from repro.simulation.executor import execute_schedule
 from repro.simulation.noise import NoiseModel
 from repro.simulation.trace import ascii_gantt
@@ -36,6 +37,15 @@ DEFAULT_COMM_FACTORS: tuple[float, ...] = (10.0, 9.0, 6.0, 1.0, 1.0)
 DEFAULT_COMP_FACTORS: tuple[float, ...] = (8.0, 7.0, 9.0, 2.0, 1.0)
 
 
+def _trace_execution(spec: tuple):
+    """Sweep-engine worker: solve and execute one traced FIFO run."""
+    platform, total_tasks, noise = spec
+    solution = optimal_fifo_schedule(platform)
+    dispatch = solution.schedule.scaled_to_total_load(total_tasks)
+    report = execute_schedule(dispatch, noise=noise, heuristic="INC_C")
+    return solution, report
+
+
 def run(
     comm_factors: Sequence[float] = DEFAULT_COMM_FACTORS,
     comp_factors: Sequence[float] = DEFAULT_COMP_FACTORS,
@@ -43,17 +53,23 @@ def run(
     total_tasks: int = 200,
     noise: NoiseModel | None = None,
     gantt_width: int = 72,
+    jobs: int | None = 1,
 ) -> FigureResult:
-    """Reproduce Figure 9: one traced execution with resource selection."""
+    """Reproduce Figure 9: one traced execution with resource selection.
+
+    The figure is a single traced run, so it is one work item of the sweep
+    engine; ``jobs`` is accepted for CLI uniformity (a single item always
+    runs in-process).
+    """
     if len(comm_factors) != len(comp_factors):
         raise ExperimentError("comm_factors and comp_factors must have the same length")
     workload = MatrixProductWorkload(matrix_size)
     factors = PlatformFactors(tuple(comm_factors), tuple(comp_factors), label="fig09")
     platform = factors.platform(workload)
 
-    solution = optimal_fifo_schedule(platform)
-    dispatch = solution.schedule.scaled_to_total_load(total_tasks)
-    report = execute_schedule(dispatch, noise=noise, heuristic="INC_C")
+    (solution, report), = run_sweep(
+        _trace_execution, [(platform, total_tasks, noise)], jobs=jobs
+    )
 
     result = FigureResult(
         figure="fig09",

@@ -18,12 +18,14 @@ of enrolled workers.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 from repro.core.fifo import optimal_fifo_schedule
 from repro.core.makespan import predicted_makespan
 from repro.exceptions import ExperimentError
 from repro.experiments.common import DEFAULT_TOTAL_TASKS, FigureResult, default_noise
+from repro.experiments.sweep_engine import run_sweep
 from repro.simulation.executor import measure_heuristic
 from repro.core.heuristics import HeuristicResult
 from repro.workloads.matrices import MatrixProductWorkload
@@ -32,35 +34,57 @@ from repro.workloads.platforms import participation_platform
 __all__ = ["run", "run_single"]
 
 
+def _evaluate_cell(
+    matrix_size: int,
+    total_tasks: int,
+    seed: int,
+    noisy: bool,
+    cell: tuple[float, int],
+) -> tuple[float, float, int]:
+    """Sweep-engine worker: one (x, available workers) configuration.
+
+    Returns the LP-predicted time, the measured time and the number of
+    enrolled workers.  Noise is seeded per configuration exactly as the
+    serial implementation did, so the results do not depend on ``jobs``.
+    """
+    x, available = cell
+    workload = MatrixProductWorkload(matrix_size)
+    platform = participation_platform(x, workload, available_workers=available)
+    solution = optimal_fifo_schedule(platform)
+    lp_time = predicted_makespan(solution.schedule, total_tasks)
+    heuristic = HeuristicResult(
+        name="INC_C", schedule=solution.schedule, throughput=solution.throughput
+    )
+    noise = default_noise(seed + available) if noisy else None
+    report = measure_heuristic(heuristic, total_tasks, noise=noise)
+    return lp_time, report.measured_makespan, len(solution.participants)
+
+
 def run_single(
     x: float,
     matrix_size: int = 400,
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 14,
     noisy: bool = True,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Participation study for one value of the slow worker's link speed."""
     if x <= 0:
         raise ExperimentError("x must be positive")
-    workload = MatrixProductWorkload(matrix_size)
     result = FigureResult(
         figure=f"fig14-x{x:g}",
         title=f"Participating workers on the Section 5.3.4 platform (x={x:g}, matrix size {matrix_size})",
         x_label="available workers",
         parameters={"x": x, "matrix_size": matrix_size, "total_tasks": total_tasks},
     )
-    for available in range(1, 5):
-        platform = participation_platform(x, workload, available_workers=available)
-        solution = optimal_fifo_schedule(platform)
-        lp_time = predicted_makespan(solution.schedule, total_tasks)
-        heuristic = HeuristicResult(
-            name="INC_C", schedule=solution.schedule, throughput=solution.throughput
-        )
-        noise = default_noise(seed + available) if noisy else None
-        report = measure_heuristic(heuristic, total_tasks, noise=noise)
+    cells = [(x, available) for available in range(1, 5)]
+    worker = partial(_evaluate_cell, matrix_size, total_tasks, seed, noisy)
+    for (_, available), (lp_time, measured, enrolled) in zip(
+        cells, run_sweep(worker, cells, jobs=jobs)
+    ):
         result.add_point("lp time", available, lp_time)
-        result.add_point("real time", available, report.measured_makespan)
-        result.add_point("nb of workers", available, len(solution.participants))
+        result.add_point("real time", available, measured)
+        result.add_point("nb of workers", available, enrolled)
     return result
 
 
@@ -70,10 +94,23 @@ def run(
     total_tasks: int = DEFAULT_TOTAL_TASKS,
     seed: int = 14,
     noisy: bool = True,
+    jobs: int | None = 1,
 ) -> list[FigureResult]:
-    """Reproduce Figure 14 (both panels by default)."""
+    """Reproduce Figure 14 (both panels by default).
+
+    ``jobs`` spreads the (x, available workers) configurations of each
+    panel over worker processes; the series are identical for every
+    setting.
+    """
     results = [
-        run_single(x, matrix_size=matrix_size, total_tasks=total_tasks, seed=seed, noisy=noisy)
+        run_single(
+            x,
+            matrix_size=matrix_size,
+            total_tasks=total_tasks,
+            seed=seed,
+            noisy=noisy,
+            jobs=jobs,
+        )
         for x in x_values
     ]
     for result in results:

@@ -1,0 +1,133 @@
+"""Workload-agnostic parallel sweep engine.
+
+Every experiment of this repository is, at heart, a sweep: a list of
+independent work items (platforms, (size, platform) grid cells, message
+probes, participation configurations …) whose results are re-assembled in
+item order.  PR 1 built chunking + process parallelism into the Figure
+10-13 campaign engine only; this module extracts the mechanics so that
+*every* entry point — the campaigns, the crossover sweep, fig08, fig09 and
+fig14 — shares one engine:
+
+* items are dealt round-robin into ``jobs`` strided chunks (balancing load
+  when later items are costlier, e.g. growing matrix sizes);
+* chunks run either inline (``jobs=1``, the default) or on a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=N`` / ``jobs=None``
+  for one worker per CPU);
+* chunk results are merged back by item index, so the output is
+  independent of scheduling order — any ``jobs`` setting produces the same
+  list, element for element.
+
+Two granularities are offered:
+
+* :func:`run_chunked` hands a *whole chunk* of ``(index, item)`` pairs to
+  the worker — the right level when the worker wants to share state across
+  the chunk (per-chunk caches, batched kernel calls: this is what the
+  campaign engine and the crossover sweep do);
+* :func:`run_sweep` maps a plain ``fn(item)`` over the items, with an
+  optional per-chunk memo keyed by ``cache_key(item)`` so repeated items
+  (e.g. the homogeneous campaign's identical platforms) are evaluated
+  once per chunk.
+
+Workers must be picklable when ``jobs > 1`` (module-level callables, or
+``functools.partial`` over one).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["resolve_jobs", "run_chunked", "run_sweep"]
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+#: A chunk worker: receives ``(index, item)`` pairs, yields ``(index,
+#: result)`` pairs (in any order).
+ChunkWorker = Callable[[Sequence[tuple[int, Item]]], Iterable[tuple[int, Result]]]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``jobs`` parameter to a concrete worker count.
+
+    ``None`` means one worker per available CPU; values below one are
+    rejected (a sweep cannot run on zero workers).
+    """
+    if jobs is None:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be at least 1 (got {jobs})")
+    return int(jobs)
+
+
+def run_chunked(
+    worker: ChunkWorker,
+    items: Sequence[Item],
+    jobs: int | None = 1,
+) -> list[Result]:
+    """Run ``worker`` over strided chunks of ``items``; results in item order.
+
+    ``worker`` is called once per chunk with a list of ``(index, item)``
+    pairs and must return ``(index, result)`` pairs for each of them.  With
+    ``jobs > 1`` the chunks are dispatched to a process pool, so ``worker``
+    (and the items and results) must be picklable.
+    """
+    indexed = list(enumerate(items))
+    if not indexed:
+        return []
+    jobs = min(resolve_jobs(jobs), len(indexed))
+
+    if jobs <= 1:
+        pairs = list(worker(indexed))
+    else:
+        chunks = [indexed[i::jobs] for i in range(jobs)]
+        pairs = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for chunk_result in pool.map(worker, chunks):
+                pairs.extend(chunk_result)
+
+    pairs.sort(key=lambda pair: pair[0])
+    if [index for index, _ in pairs] != list(range(len(indexed))):
+        raise ExperimentError(
+            "sweep worker did not return exactly one result per item"
+        )
+    return [result for _, result in pairs]
+
+
+@dataclass(frozen=True)
+class _MappedChunk:
+    """Picklable chunk worker applying ``fn`` per item with an optional memo."""
+
+    fn: Callable
+    cache_key: Callable | None = None
+
+    def __call__(self, chunk: Sequence[tuple[int, Item]]) -> list[tuple[int, Result]]:
+        if self.cache_key is None:
+            return [(index, self.fn(item)) for index, item in chunk]
+        memo: dict[Hashable, Result] = {}
+        pairs: list[tuple[int, Result]] = []
+        for index, item in chunk:
+            key = self.cache_key(item)
+            if key not in memo:
+                memo[key] = self.fn(item)
+            pairs.append((index, memo[key]))
+        return pairs
+
+
+def run_sweep(
+    fn: Callable[[Item], Result],
+    items: Sequence[Item],
+    jobs: int | None = 1,
+    cache_key: Callable[[Item], Hashable] | None = None,
+) -> list[Result]:
+    """Map ``fn`` over ``items``, chunked and optionally process-parallel.
+
+    ``cache_key`` enables a per-chunk memo: items with equal keys are
+    evaluated once per chunk and share the result.  Only safe when ``fn``
+    is deterministic in the key (the engine does not verify this).
+    """
+    return run_chunked(_MappedChunk(fn, cache_key), items, jobs=jobs)

@@ -110,13 +110,14 @@ class ClusterSimulation:
     one_port:
         Enforce the one-port model (default) or the two-port model.
     engine:
-        ``"auto"`` (default) replays one-port executions analytically with
-        :func:`~repro.simulation.fast_cluster.run_fast_timeline` — the same
-        timeline and noise draws, two orders of magnitude faster — and keeps
-        the discrete-event engine for the two-port model.  ``"event"``
-        forces the discrete-event engine; ``"fast"`` forces the analytic
-        replay (an error under the two-port model, whose interleavings need
-        the event queue).
+        ``"auto"`` (default) replays executions analytically — the one-port
+        model through :func:`~repro.simulation.fast_cluster.
+        run_fast_timeline` (static timeline, batched noise draws) and the
+        two-port model through :func:`~repro.simulation.fast_twoport.
+        run_fast_twoport` (merge-ordered noise-draw replay) — with the same
+        event times and noise draws as the discrete-event engine,
+        bit-identical and an order of magnitude faster.  ``"event"`` forces
+        the discrete-event engine; ``"fast"`` forces the analytic replay.
     """
 
     def __init__(
@@ -129,8 +130,6 @@ class ClusterSimulation:
     ) -> None:
         if engine not in ("auto", "fast", "event"):
             raise SimulationError(f"unknown simulation engine {engine!r}")
-        if engine == "fast" and not one_port:
-            raise SimulationError("the fast timeline replay only covers the one-port model")
         self.platform = platform
         self.noise = noise if noise is not None else NoJitter()
         self.one_port = one_port
@@ -168,10 +167,17 @@ class ClusterSimulation:
             if name not in self.platform:
                 raise SimulationError(f"unknown worker {name!r}")
 
-        if self.one_port and self.engine in ("auto", "fast"):
-            from repro.simulation.fast_cluster import run_fast_timeline
+        if self.engine in ("auto", "fast"):
+            if self.one_port:
+                from repro.simulation.fast_cluster import run_fast_timeline
 
-            return run_fast_timeline(
+                return run_fast_timeline(
+                    self.platform, loads, sigma1, sigma2, self.noise,
+                    collect_trace=self.collect_trace,
+                )
+            from repro.simulation.fast_twoport import run_fast_twoport
+
+            return run_fast_twoport(
                 self.platform, loads, sigma1, sigma2, self.noise,
                 collect_trace=self.collect_trace,
             )

@@ -19,15 +19,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.heuristics import HeuristicResult
 from repro.core.makespan import predicted_makespan
-from repro.core.rounding import round_loads
+from repro.core.rounding import round_loads, round_values
 from repro.core.schedule import Schedule
 from repro.exceptions import ScheduleError, SimulationError
 from repro.simulation.cluster import ClusterRun, ClusterSimulation
-from repro.simulation.noise import NoiseModel
+from repro.simulation.noise import NoiseModel, perturb_sequence
 
-__all__ = ["ExecutionReport", "execute_schedule", "measure_heuristic"]
+__all__ = [
+    "ExecutionReport",
+    "PreparedMeasurement",
+    "execute_schedule",
+    "measure_heuristic",
+    "prepare_measurement",
+    "prepare_measurement_arrays",
+    "prepare_measurement_parts",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,194 @@ def execute_schedule(
         measured_makespan=run.makespan,
         total_load=run.total_load,
         run=run,
+    )
+
+
+@dataclass(frozen=True)
+class PreparedMeasurement:
+    """A measurement with everything but the noise draws precomputed.
+
+    Campaign loops measure the *same* rounded schedule under many
+    independent noise streams (one per random platform).  Rounding the
+    loads, filtering the participants and laying out the operation
+    durations is identical across those measurements, so
+    :func:`prepare_measurement` does it once; :meth:`measure` then only
+    draws the noise (one batched :func:`~repro.simulation.noise.
+    perturb_sequence` call) and replays the one-port timeline with plain
+    arithmetic.  The result is bit-identical to
+    ``measure_heuristic(result, total, noise=...).measured_makespan`` —
+    same draws in the same order, same floating-point operations — which
+    the test-suite asserts.
+
+    ``durations``/``kinds``/``workers`` describe the ``3q`` operations in
+    the replay's draw order (see :mod:`repro.simulation.fast_cluster`):
+    sends and computes interleaved, then the returns in ``sigma2`` order.
+    ``sigma2_positions`` maps each return slot to its worker's position in
+    the (participant-filtered) ``sigma1``.
+    """
+
+    durations: np.ndarray
+    kinds: tuple[str, ...]
+    workers: tuple[str, ...]
+    participant_count: int
+    sigma2_positions: tuple[int, ...]
+
+    def measure(self, noise: NoiseModel | None) -> float:
+        """Measured makespan of the prepared schedule under ``noise``."""
+        if noise is None:
+            return self.makespan(self.durations)
+        return self.makespan(perturb_sequence(noise, self.durations, self.kinds, self.workers))
+
+    def makespan(self, perturbed) -> float:
+        """Replay the one-port timeline over already-perturbed durations."""
+        q = self.participant_count
+        values = perturbed.tolist() if isinstance(perturbed, np.ndarray) else list(perturbed)
+        # Sends back-to-back; compute k ends at send_end[k] + its duration.
+        send_end = [0.0] * q
+        compute_end = [0.0] * q
+        clock = values[0]
+        send_end[0] = clock
+        for k in range(1, q):
+            clock += values[2 * k - 1]
+            send_end[k] = clock
+            compute_end[k - 1] = send_end[k - 1] + values[2 * k]
+        compute_end[q - 1] = send_end[q - 1] + values[2 * q - 1]
+        # Returns serialised on the port after the last send; the last
+        # return's end is the makespan (ends are non-decreasing).
+        port_free = clock
+        for slot, position in enumerate(self.sigma2_positions):
+            start = max(port_free, compute_end[position])
+            port_free = start + values[2 * q + slot]
+        return port_free
+
+
+#: Cached per-participant-count kind layouts (the layout depends on ``q``
+#: only): ``send, (send, compute) * (q-1), compute, return * q``.
+_KIND_PATTERNS: dict[int, tuple[str, ...]] = {}
+
+
+def _kind_pattern(q: int) -> tuple[str, ...]:
+    pattern = _KIND_PATTERNS.get(q)
+    if pattern is None:
+        kinds = ["send"] + ["send", "compute"] * (q - 1) + ["compute"] + ["return"] * q
+        pattern = _KIND_PATTERNS[q] = tuple(kinds)
+    return pattern
+
+
+#: Cached per-q gather indices into the interleaved duration layout:
+#: send k at 0 / 2k-1, compute k at 2k+2 (compute q-1 at 2q-1).
+_TIMELINE_INDICES: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def timeline_indices(q: int) -> tuple[np.ndarray, np.ndarray]:
+    """The (send, compute) positions of the interleaved duration layout."""
+    cached = _TIMELINE_INDICES.get(q)
+    if cached is None:
+        send = np.array([0] + [2 * k - 1 for k in range(1, q)])
+        compute = np.array([2 * k + 2 for k in range(q - 1)] + [2 * q - 1])
+        cached = _TIMELINE_INDICES[q] = (send, compute)
+    return cached
+
+
+def prepare_measurement(result: HeuristicResult, total_load: float) -> PreparedMeasurement:
+    """Round and lay out one heuristic measurement for repeated noisy replay.
+
+    Mirrors the ``round_to_integers`` path of :func:`measure_heuristic`:
+    the unit-deadline loads are rounded to integers summing to
+    ``int(round(total_load))``, workers rounded to zero are dropped, and
+    the remaining operations are laid out in the replay's draw order.
+    """
+    schedule = result.schedule
+    return prepare_measurement_parts(
+        schedule.platform,
+        schedule.sigma1,
+        schedule.sigma2,
+        [schedule.load(name) for name in schedule.sigma1],
+        total_load,
+    )
+
+
+def prepare_measurement_parts(
+    platform,
+    schedule_sigma1,
+    schedule_sigma2,
+    values,
+    total_load: float,
+) -> PreparedMeasurement:
+    """:func:`prepare_measurement` from raw schedule components.
+
+    ``values`` are the unit-deadline loads in ``schedule_sigma1`` order.
+    Hot paths call this directly with the kernel's load vector, skipping
+    the :class:`~repro.core.schedule.Schedule` round trip; the result is
+    identical.
+    """
+    return prepare_measurement_arrays(
+        platform.cost_vectors(schedule_sigma1),
+        schedule_sigma1,
+        schedule_sigma2,
+        values,
+        total_load,
+    )
+
+
+def prepare_measurement_arrays(
+    cost_vectors,
+    schedule_sigma1,
+    schedule_sigma2,
+    values,
+    total_load: float,
+) -> PreparedMeasurement:
+    """:func:`prepare_measurement` from raw cost arrays.
+
+    ``cost_vectors`` is the ``(c, w, d)`` triple in ``schedule_sigma1``
+    order (as produced by :meth:`StarPlatform.cost_vectors`); callers that
+    already hold the campaign cost table avoid materialising platform
+    objects entirely.
+    """
+    if total_load <= 0:
+        raise SimulationError("total_load must be positive")
+    total = int(round(total_load))
+    if total <= 0:
+        raise ScheduleError("total must be positive")
+    counts = round_values(values, total)
+    rounded = dict(zip(schedule_sigma1, counts))
+    sigma1 = [name for name in schedule_sigma1 if rounded[name] > 0]
+    sigma2 = [name for name in schedule_sigma2 if rounded[name] > 0]
+    q = len(sigma1)
+    if q == 0:
+        raise ScheduleError("rounded schedule has no participating worker")
+
+    # Lay the active operations out in plain Python floats (cheaper than
+    # numpy at these worker counts; the arithmetic is identical).
+    full_c, full_w, full_d = cost_vectors
+    if isinstance(full_c, np.ndarray):
+        full_c, full_w, full_d = full_c.tolist(), full_w.tolist(), full_d.tolist()
+    active = [index for index, count in enumerate(counts) if count > 0]
+    sends = [float(counts[i]) * full_c[i] for i in active]
+    computes = [float(counts[i]) * full_w[i] for i in active]
+    returns = [float(counts[i]) * full_d[i] for i in active]
+
+    position = {name: index for index, name in enumerate(sigma1)}
+    sigma2_positions = tuple(position[name] for name in sigma2)
+    durations: list[float] = [sends[0]]
+    workers: list[str] = [sigma1[0]]
+    for k in range(1, q):
+        durations.append(sends[k])
+        workers.append(sigma1[k])
+        durations.append(computes[k - 1])
+        workers.append(sigma1[k - 1])
+    durations.append(computes[q - 1])
+    workers.append(sigma1[q - 1])
+    for name, index in zip(sigma2, sigma2_positions):
+        durations.append(returns[index])
+        workers.append(name)
+
+    return PreparedMeasurement(
+        durations=np.array(durations),
+        kinds=_kind_pattern(q),
+        workers=tuple(workers),
+        participant_count=q,
+        sigma2_positions=sigma2_positions,
     )
 
 

@@ -23,6 +23,11 @@ order the event engine would.  For the one-port program that order is:
    receive loop only starts once every initial message is out, and every
    compute perturbation has been drawn by then).
 
+Because the whole timeline is static, all ``3q`` perturbations are drawn
+through **one** batched :func:`~repro.simulation.noise.perturb_sequence`
+call whose operation order is exactly the event order above — same draws,
+far fewer noise-model dispatches.
+
 :func:`run_fast_timeline` reproduces makespans and per-worker records
 *bit-for-bit* (same floating-point operations in the same order); the
 equivalence is asserted against the event engine by the test-suite.  Trace
@@ -30,7 +35,8 @@ events carry the same bars but may be ordered differently within equal
 timestamps.
 
 The two-port program interleaves return transfers with pending sends, so its
-draw order depends on the realised times; it stays on the event engine.
+draw order depends on the realised times; its replay is the merge-ordered
+state machine of :mod:`repro.simulation.fast_twoport`.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.core.platform import StarPlatform
-from repro.simulation.noise import NoiseModel
+from repro.simulation.noise import NoiseModel, perturb_sequence
 from repro.simulation.trace import Trace
 
 __all__ = ["run_fast_timeline"]
@@ -67,32 +73,56 @@ def run_fast_timeline(
     if not sigma1:
         return ClusterRun(makespan=0.0, records=records, trace=trace, one_port=True)
 
-    # Phase 1+2 — sends back-to-back, computes starting at each send end.
-    # Perturbations are drawn in the event engine's order: send k+1 before
-    # compute k (the master's loop body runs before the woken worker).
+    # All operation durations are known upfront (load times unit cost), so
+    # the noise draws are batched through one perturb_sequence call — in
+    # the event engine's exact order: send 0; then send k+1 before compute
+    # k at each send end (the master's loop body runs before the woken
+    # worker); compute q-1 after the last send; returns in sigma2 order.
+    # The interleaved layout is [s0, s1, c0, s2, c1, ..., s_{q-1}, c_{q-2},
+    # c_{q-1}, r(sigma2[0]), ...]: send k >= 1 sits at 2k-1, compute k at
+    # 2k+2 (except compute q-1 at 2q-1), return slot i at 2q+i.
+    q = len(sigma1)
     specs = {name: platform[name] for name in sigma1}
     floats = {name: float(loads[name]) for name in sigma1}
-    send_start: dict[str, float] = {}
+    first = sigma1[0]
+    durations: list[float] = [floats[first] * specs[first].c]
+    kinds: list[str] = ["send"]
+    names: list[str] = [first]
+    for k in range(1, q):
+        name = sigma1[k]
+        previous = sigma1[k - 1]
+        durations.append(floats[name] * specs[name].c)
+        kinds.append("send")
+        names.append(name)
+        durations.append(floats[previous] * specs[previous].w)
+        kinds.append("compute")
+        names.append(previous)
+    last = sigma1[q - 1]
+    durations.append(floats[last] * specs[last].w)
+    kinds.append("compute")
+    names.append(last)
+    for name in sigma2:
+        durations.append(floats[name] * specs[name].d)
+        kinds.append("return")
+        names.append(name)
+    perturbed = perturb_sequence(noise, durations, kinds, names).tolist()
+
+    # Phase 1+2 — sends back-to-back, computes starting at each send end.
+    send_start: dict[str, float] = {first: 0.0}
     send_end: dict[str, float] = {}
     compute_end: dict[str, float] = {}
-    clock = 0.0
-    previous: str | None = None
-    for name in sigma1:
-        load = floats[name]
-        duration = noise.perturb(load * specs[name].c, "send", name)
-        if previous is not None:
-            compute_end[previous] = send_end[previous] + noise.perturb(
-                floats[previous] * specs[previous].w, "compute", previous
-            )
+    clock = perturbed[0]
+    send_end[first] = clock
+    for k in range(1, q):
+        name = sigma1[k]
         send_start[name] = clock
-        clock += duration
+        clock += perturbed[2 * k - 1]
         send_end[name] = clock
-        records[name] = WorkerRecord(worker=name, load=load)
-        previous = name
-    assert previous is not None
-    compute_end[previous] = send_end[previous] + noise.perturb(
-        floats[previous] * specs[previous].w, "compute", previous
-    )
+        previous = sigma1[k - 1]
+        compute_end[previous] = send_end[previous] + perturbed[2 * k]
+    compute_end[last] = send_end[last] + perturbed[2 * q - 1]
+    for name in sigma1:
+        records[name] = WorkerRecord(worker=name, load=floats[name])
     sends_done = clock
 
     # Phase 3 — returns in sigma2 order, one-port: the receive loop starts
@@ -100,11 +130,10 @@ def run_fast_timeline(
     port_free = sends_done
     return_start: dict[str, float] = {}
     return_end: dict[str, float] = {}
-    for name in sigma2:
-        duration = noise.perturb(floats[name] * specs[name].d, "return", name)
+    for slot, name in enumerate(sigma2):
         start = max(port_free, compute_end[name])
         return_start[name] = start
-        port_free = start + duration
+        port_free = start + perturbed[2 * q + slot]
         return_end[name] = port_free
 
     makespan = 0.0

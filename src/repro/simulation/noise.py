@@ -21,7 +21,7 @@ reproducible run to run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -35,16 +35,24 @@ __all__ = [
     "GaussianJitter",
     "AffineOverhead",
     "ComposedNoise",
+    "perturb_sequence",
 ]
 
 
 #: Operation kinds passed to noise models.
 OperationKind = str
-_KINDS = ("send", "compute", "return")
+_KINDS = frozenset(("send", "compute", "return"))
 
 
 class NoiseModel(Protocol):
-    """Structural type of a noise model."""
+    """Structural type of a noise model.
+
+    Implementations may additionally provide ``perturb_many(durations,
+    kinds, workers)`` — a vectorised variant required to consume their
+    random stream *exactly* like the equivalent sequence of
+    :meth:`perturb` calls (see :func:`perturb_sequence`) — and a
+    ``stateless`` flag telling composition whether draw order matters.
+    """
 
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         """Return the perturbed duration of one operation."""
@@ -58,13 +66,63 @@ def _check(duration: float, kind: OperationKind) -> None:
         raise SimulationError(f"unknown operation kind {kind!r}")
 
 
+def _check_many(durations: np.ndarray, kinds: Sequence[OperationKind]) -> None:
+    if len(durations) != len(kinds):
+        raise SimulationError("durations and kinds must have the same length")
+    if durations.size and durations.min() < 0:
+        raise SimulationError(f"negative operation duration: {durations.min()}")
+    if not _KINDS.issuperset(kinds):
+        unknown = next(kind for kind in kinds if kind not in _KINDS)
+        raise SimulationError(f"unknown operation kind {unknown!r}")
+
+
+def perturb_sequence(
+    noise: "NoiseModel",
+    durations: Sequence[float] | np.ndarray,
+    kinds: Sequence[OperationKind],
+    workers: Sequence[str],
+) -> np.ndarray:
+    """Perturb a whole sequence of operations, preserving the draw stream.
+
+    Uses the model's vectorised ``perturb_many`` when available; models
+    without one (e.g. user-supplied) fall back to sequential
+    :meth:`~NoiseModel.perturb` calls.  Either way the result — and the
+    model's random state afterwards — is identical to perturbing the
+    operations one by one in sequence order, which is what lets the
+    analytic replays batch their noise draws without changing a single bit
+    of the campaigns.
+    """
+    many = getattr(noise, "perturb_many", None)
+    if many is not None:
+        return many(durations, kinds, workers)
+    return np.array(
+        [
+            noise.perturb(float(duration), kind, worker)
+            for duration, kind, worker in zip(durations, kinds, workers)
+        ]
+    )
+
+
 @dataclass(frozen=True)
 class NoJitter:
     """Ideal execution: durations are returned unchanged."""
 
+    #: Draw-order independent (no random state).
+    stateless = True
+
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
         return duration
+
+    def perturb_many(
+        self,
+        durations: Sequence[float] | np.ndarray,
+        kinds: Sequence[OperationKind],
+        workers: Sequence[str],
+    ) -> np.ndarray:
+        durations = np.asarray(durations, dtype=float)
+        _check_many(durations, kinds)
+        return durations.copy()
 
 
 class UniformJitter:
@@ -91,8 +149,26 @@ class UniformJitter:
             raise SimulationError("jitter amplitudes must be non-negative")
         self.amplitude = amplitude
         self.comm_amplitude = comm_amplitude if comm_amplitude is not None else amplitude
-        self._rng = np.random.default_rng(seed)
+        # Same stream as np.random.default_rng(seed), constructed cheaper
+        # (campaigns build one jitter per platform/size cell).
+        self._rng = np.random.Generator(np.random.PCG64(seed))
         self._draws: list[float] = []
+
+    #: Consumes a seeded random stream: draw order matters.
+    stateless = False
+
+    def _take(self, count: int) -> np.ndarray:
+        """Consume ``count`` unit draws, exactly like ``count`` pops."""
+        draws = self._draws
+        taken: list[float] = []
+        while count > 0:
+            if not draws:
+                draws[:] = self._rng.random(self._BATCH)[::-1].tolist()
+            step = count if count < len(draws) else len(draws)
+            taken.extend(draws[-step:][::-1])  # tail slice = pop order
+            del draws[-step:]
+            count -= step
+        return np.array(taken)
 
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
@@ -103,6 +179,24 @@ class UniformJitter:
             draws[:] = self._rng.random(self._BATCH)[::-1].tolist()
             self._draws = draws
         return duration * (1.0 + draws.pop() * amplitude)
+
+    def perturb_many(
+        self,
+        durations: Sequence[float] | np.ndarray,
+        kinds: Sequence[OperationKind],
+        workers: Sequence[str],
+    ) -> np.ndarray:
+        """Vectorised :meth:`perturb`: same stream, same bits, one call."""
+        durations = np.asarray(durations, dtype=float)
+        _check_many(durations, kinds)
+        amplitude = self.amplitude
+        comm_amplitude = self.comm_amplitude
+        amplitudes = np.fromiter(
+            (amplitude if kind == "compute" else comm_amplitude for kind in kinds),
+            dtype=float,
+            count=len(kinds),
+        )
+        return durations * (1.0 + self._take(len(durations)) * amplitudes)
 
 
 class GaussianJitter:
@@ -122,10 +216,30 @@ class GaussianJitter:
         self.floor = floor
         self._rng = np.random.default_rng(seed)
 
+    #: Consumes a seeded random stream: draw order matters.
+    stateless = False
+
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
         factor = max(self.floor, self._rng.normal(1.0 + self.bias, self.sigma))
         return duration * factor
+
+    def perturb_many(
+        self,
+        durations: Sequence[float] | np.ndarray,
+        kinds: Sequence[OperationKind],
+        workers: Sequence[str],
+    ) -> np.ndarray:
+        """Vectorised :meth:`perturb`.
+
+        ``Generator.normal(size=n)`` consumes the underlying bit stream
+        exactly like ``n`` scalar calls, so the factors are bit-identical
+        to the sequential path (asserted by the test-suite).
+        """
+        durations = np.asarray(durations, dtype=float)
+        _check_many(durations, kinds)
+        factors = self._rng.normal(1.0 + self.bias, self.sigma, size=len(durations))
+        return durations * np.maximum(self.floor, factors)
 
 
 @dataclass(frozen=True)
@@ -144,11 +258,27 @@ class AffineOverhead:
         if self.comm_latency < 0 or self.compute_latency < 0:
             raise SimulationError("latencies must be non-negative")
 
+    #: Draw-order independent (no random state).
+    stateless = True
+
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
         if kind == "compute":
             return duration + self.compute_latency
         return duration + self.comm_latency
+
+    def perturb_many(
+        self,
+        durations: Sequence[float] | np.ndarray,
+        kinds: Sequence[OperationKind],
+        workers: Sequence[str],
+    ) -> np.ndarray:
+        durations = np.asarray(durations, dtype=float)
+        _check_many(durations, kinds)
+        latencies = np.where(
+            [kind == "compute" for kind in kinds], self.compute_latency, self.comm_latency
+        )
+        return durations + latencies
 
 
 class ComposedNoise:
@@ -157,8 +287,42 @@ class ComposedNoise:
     def __init__(self, *models: NoiseModel) -> None:
         self.models = tuple(models)
 
+    @property
+    def stateless(self) -> bool:
+        """Draw-order independent iff every component is."""
+        return all(getattr(model, "stateless", False) for model in self.models)
+
     def perturb(self, duration: float, kind: OperationKind, worker: str) -> float:
         _check(duration, kind)
         for model in self.models:
             duration = model.perturb(duration, kind, worker)
         return duration
+
+    def perturb_many(
+        self,
+        durations: Sequence[float] | np.ndarray,
+        kinds: Sequence[OperationKind],
+        workers: Sequence[str],
+    ) -> np.ndarray:
+        """Vectorised chain application.
+
+        Applying model 1 to *all* operations before model 2 reorders draws
+        across models; that is observable only when two or more component
+        models consume random state, in which case the chain falls back to
+        the sequential per-operation path to keep the stream identical.
+        """
+        durations = np.asarray(durations, dtype=float)
+        _check_many(durations, kinds)
+        stateful = sum(
+            1 for model in self.models if not getattr(model, "stateless", False)
+        )
+        if stateful > 1:
+            return np.array(
+                [
+                    self.perturb(float(duration), kind, worker)
+                    for duration, kind, worker in zip(durations, kinds, workers)
+                ]
+            )
+        for model in self.models:
+            durations = perturb_sequence(model, durations, kinds, workers)
+        return durations

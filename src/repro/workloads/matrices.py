@@ -19,6 +19,7 @@ the 2005 hardware, only the cost *structure* matters.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.platform import StarPlatform, Worker
@@ -119,13 +120,17 @@ class MatrixProductWorkload:
         faster than the reference node, mirroring the paper's methodology of
         shrinking message/computation sizes on identical nodes.
         """
+        if not (math.isfinite(comm_factor) and math.isfinite(comp_factor)):
+            raise ExperimentError("speed-up factors must be finite")
         if comm_factor <= 0 or comp_factor <= 0:
             raise ExperimentError("speed-up factors must be positive")
-        return Worker(
-            name=name,
-            c=self.base_c / comm_factor,
-            w=self.base_w / comp_factor,
-            d=self.base_d / comm_factor,
+        # The base costs are positive and finite and the factors are
+        # positive and finite, so Worker's own validation is redundant.
+        return Worker.trusted(
+            name,
+            self.base_c / comm_factor,
+            self.base_w / comp_factor,
+            self.base_d / comm_factor,
         )
 
     def platform(

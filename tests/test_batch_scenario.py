@@ -1,0 +1,246 @@
+"""Tests of the batched scenario kernel and its batch entry points.
+
+The batched kernel is the campaign engine's production solver; these tests
+pin it three ways:
+
+* **bit-identity to the scalar kernel** on mixed chunks (FIFO, LIFO,
+  two-port, mixed worker counts) — loads, objectives and pivot counts;
+* **vertex agreement with the reference solvers** (``solver="exact"`` and
+  ``solver="scipy"``) on 5/11/25-worker scenarios including degenerate
+  homogeneous platforms — participant sets and per-worker loads, not just
+  objectives;
+* **batch entry points** (:func:`solve_scenarios`,
+  :func:`compare_heuristics_batch`, :func:`strategy_comparison_batch`, the
+  campaign engine's array-level evaluation) reproduce their scalar
+  counterparts exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import strategy_comparison, strategy_comparison_batch
+from repro.core.batch_scenario import (
+    scenario_arrays_batch,
+    solve_scenario_arrays_batch,
+    solve_scenarios_fast,
+)
+from repro.core.fast_scenario import scenario_arrays, solve_scenario_fast
+from repro.core.heuristics import (
+    _FIFO_ORDERS,
+    compare_heuristics,
+    compare_heuristics_batch,
+)
+from repro.core.linear_program import solve_scenario, solve_scenarios
+from repro.core.platform import homogeneous_platform
+from repro.exceptions import ScheduleError, SolverError
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+
+def _campaign_platform(workers: int, seed: int, size: int = 120):
+    factors = campaign_factors("hetero-star", 1, size=workers, seed=seed)[0]
+    return factors.platform(MatrixProductWorkload(size), name=f"q{workers}-s{seed}")
+
+
+def _mixed_chunk():
+    """FIFO + LIFO + INC_W scenarios over mixed worker counts."""
+    scenarios = []
+    for workers in (1, 3, 5, 11):
+        for seed in range(3):
+            platform = _campaign_platform(workers, seed, size=40 + 40 * seed)
+            order = platform.ordered_by_c()
+            scenarios.append((platform, order, None))
+            scenarios.append((platform, order, list(reversed(order))))
+            scenarios.append((platform, platform.ordered_by_w(), None))
+    degenerate = homogeneous_platform(8, c=1.0, w=2.0, d=0.5)
+    scenarios.append((degenerate, degenerate.ordered_by_c(), None))
+    return scenarios
+
+
+class TestArraysBatch:
+    def test_matches_scalar_build(self):
+        platform = _campaign_platform(5, seed=1)
+        order = platform.ordered_by_c()
+        c, w, d = (vector[None, :] for vector in platform.cost_vectors(order))
+        for one_port in (True, False):
+            stacked, rhs = scenario_arrays_batch(c, w, d, one_port=one_port)
+            scalar, scalar_rhs = scenario_arrays(platform, order, one_port=one_port)
+            assert np.array_equal(stacked[0], scalar)
+            assert np.array_equal(rhs[0], scalar_rhs)
+
+    def test_matches_scalar_build_with_permutation(self):
+        platform = _campaign_platform(5, seed=2)
+        order = platform.ordered_by_c()
+        rank2 = np.arange(len(order))[::-1]
+        c, w, d = (vector[None, :] for vector in platform.cost_vectors(order))
+        stacked, _ = scenario_arrays_batch(c, w, d, rank2=rank2)
+        scalar, _ = scenario_arrays(platform, order, list(reversed(order)))
+        assert np.array_equal(stacked[0], scalar)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(SolverError):
+            scenario_arrays_batch(np.ones(3), np.ones(3), np.ones(3))
+        with pytest.raises(SolverError):
+            scenario_arrays_batch(np.ones((2, 3)), np.ones((2, 4)), np.ones((2, 3)))
+        with pytest.raises(SolverError):
+            scenario_arrays_batch(
+                np.ones((1, 3)), np.ones((1, 3)), np.ones((1, 3)), rank2=np.zeros((2, 2))
+            )
+        with pytest.raises(ScheduleError):
+            scenario_arrays_batch(
+                np.ones((1, 3)), np.ones((1, 3)), np.ones((1, 3)), deadline=0.0
+            )
+
+    def test_solver_rejects_bad_inputs(self):
+        with pytest.raises(SolverError):
+            solve_scenario_arrays_batch(np.ones((2, 2)), np.ones((2,)))
+        with pytest.raises(SolverError):
+            solve_scenario_arrays_batch(np.ones((1, 2, 2)), np.zeros((1, 2)))
+
+
+class TestBitIdentityWithScalarKernel:
+    @pytest.mark.parametrize("one_port", (True, False))
+    def test_mixed_chunk(self, one_port):
+        scenarios = _mixed_chunk()
+        batched = solve_scenarios_fast(scenarios, one_port=one_port)
+        for (platform, sigma1, sigma2), batch in zip(scenarios, batched):
+            scalar = solve_scenario_fast(platform, sigma1, sigma2, one_port=one_port)
+            assert batch.objective == scalar.objective
+            assert batch.iterations == scalar.iterations
+            assert np.array_equal(batch.loads, scalar.loads)
+
+    def test_validation_matches_scalar(self):
+        platform = _campaign_platform(3, seed=0)
+        with pytest.raises(ScheduleError):
+            solve_scenarios_fast([(platform, [], None)])
+        with pytest.raises(ScheduleError):
+            solve_scenarios_fast([(platform, ["P1", "P1"], None)])
+        with pytest.raises(ScheduleError):
+            solve_scenarios_fast([(platform, ["P1"], ["P2"])])
+        with pytest.raises(ScheduleError):
+            solve_scenarios_fast([(platform, ["nope"], None)])
+        with pytest.raises(ScheduleError):
+            solve_scenarios_fast([(platform, ["P1"], None)], deadline=0.0)
+
+
+class TestVertexAgreementWithReferenceSolvers:
+    """ISSUE acceptance: 5/11/25 workers, degenerate platforms included."""
+
+    @pytest.mark.parametrize("workers", (5, 11, 25))
+    def test_agrees_with_scipy_and_exact(self, workers):
+        platform = _campaign_platform(workers, seed=workers)
+        order = platform.ordered_by_c()
+        scenarios = [
+            (platform, order, None),
+            (platform, order, list(reversed(order))),
+        ]
+        batched = solve_scenarios_fast(scenarios)
+        solvers = ("scipy", "exact") if workers <= 11 else ("scipy",)
+        for (p, sigma1, sigma2), batch in zip(scenarios, batched):
+            for solver in solvers:
+                reference = solve_scenario(p, sigma1, sigma2, solver=solver)
+                assert batch.objective == pytest.approx(
+                    reference.lp_result.objective, abs=1e-9
+                )
+                loads = dict(zip(sigma1, batch.loads))
+                # vertex agreement: same participant set, same loads
+                assert [n for n in sigma1 if loads[n] > 0] == reference.participants
+                for name in sigma1:
+                    assert loads[name] == pytest.approx(reference.loads[name], abs=1e-9)
+
+    @pytest.mark.parametrize("workers", (5, 11))
+    def test_degenerate_homogeneous_platform(self, workers):
+        """Alternative optima: the batch picks the exact simplex's vertex.
+
+        Homogeneous platforms have multiple optimal vertices; HiGHS may
+        return any of them (so only the objective is compared against
+        ``scipy``), while the kernels deterministically land on the exact
+        rational simplex's vertex — participant set and loads included.
+        """
+        platform = homogeneous_platform(workers, c=1.0, w=2.0, d=0.5)
+        order = platform.ordered_by_c()
+        batch = solve_scenarios_fast([(platform, order, None)])[0]
+        scipy_reference = solve_scenario(platform, order, solver="scipy")
+        assert batch.objective == pytest.approx(
+            scipy_reference.lp_result.objective, abs=1e-9
+        )
+        exact = solve_scenario(platform, order, solver="exact")
+        assert batch.objective == pytest.approx(exact.lp_result.objective, abs=1e-9)
+        loads = dict(zip(order, batch.loads))
+        assert [n for n in order if loads[n] > 0] == exact.participants
+        for name in order:
+            assert loads[name] == pytest.approx(exact.loads[name], abs=1e-9)
+
+
+class TestBatchEntryPoints:
+    def test_solve_scenarios_matches_solve_scenario(self):
+        scenarios = _mixed_chunk()[:6]
+        solutions = solve_scenarios(scenarios)
+        for (platform, sigma1, sigma2), solution in zip(scenarios, solutions):
+            scalar = solve_scenario(platform, sigma1, sigma2)
+            assert solution.throughput == scalar.throughput
+            assert solution.loads == scalar.loads
+            assert solution.schedule.sigma1 == scalar.schedule.sigma1
+            assert solution.schedule.sigma2 == scalar.schedule.sigma2
+            assert solution.lp_result.backend == "fast-kernel"
+
+    def test_compare_heuristics_batch_matches_scalar(self):
+        platforms = [_campaign_platform(5, seed) for seed in range(4)]
+        platforms.append(homogeneous_platform(5, c=1.0, w=2.0, d=0.5))
+        names = ("INC_C", "INC_W", "LIFO", "OPT_FIFO")
+        for evaluated, platform in zip(compare_heuristics_batch(platforms, names), platforms):
+            scalar = compare_heuristics(platform, names)
+            assert list(evaluated) == list(scalar)
+            for name in names:
+                assert evaluated[name].throughput == scalar[name].throughput
+                assert evaluated[name].loads == scalar[name].loads
+
+    def test_compare_heuristics_batch_rejects_unknown(self):
+        with pytest.raises(ScheduleError):
+            compare_heuristics_batch([_campaign_platform(3, 0)], ("NOPE",))
+
+    def test_strategy_comparison_batch_matches_scalar(self):
+        platforms = [_campaign_platform(6, seed, size=200) for seed in range(4)]
+        for batch, platform in zip(strategy_comparison_batch(platforms), platforms):
+            assert batch == strategy_comparison(platform)
+
+
+class TestCampaignOrderRules:
+    """The campaign engine's array-level order rules mirror the heuristics."""
+
+    @pytest.mark.parametrize("name", sorted(_FIFO_ORDERS))
+    def test_order_rules_match(self, name):
+        from repro.experiments.campaign_engine import _ORDER_RULES
+
+        for seed in range(3):
+            platform = _campaign_platform(7, seed)
+            names = tuple(platform.worker_names)
+            c, w, d = (vector.tolist() for vector in platform.cost_vectors(names))
+            table_order = [names[i] for i in _ORDER_RULES[name](names, c, w, d)]
+            assert table_order == list(_FIFO_ORDERS[name](platform))
+
+    def test_order_rules_match_on_degenerate_platform(self):
+        """All-ties sorting must fall back to the same name ordering."""
+        from repro.experiments.campaign_engine import _ORDER_RULES
+
+        platform = MatrixProductWorkload(100).platform((1.0,) * 11, (1.0,) * 11)
+        names = tuple(platform.worker_names)
+        c, w, d = (vector.tolist() for vector in platform.cost_vectors(names))
+        for name in _FIFO_ORDERS:
+            table_order = [names[i] for i in _ORDER_RULES[name](names, c, w, d)]
+            assert table_order == list(_FIFO_ORDERS[name](platform))
+
+    def test_lifo_chain_matches_closed_form(self):
+        from repro.core.lifo import lifo_closed_form_loads, optimal_lifo_order
+        from repro.experiments.campaign_engine import _lifo_chain_values, _sorted_indices
+
+        for seed in range(3):
+            platform = _campaign_platform(7, seed)
+            names = tuple(platform.worker_names)
+            c, w, d = (vector.tolist() for vector in platform.cost_vectors(names))
+            order = _sorted_indices(names, c)
+            assert [names[i] for i in order] == optimal_lifo_order(platform)
+            reference = lifo_closed_form_loads(platform, optimal_lifo_order(platform))
+            assert _lifo_chain_values(c, w, d, order) == list(reference.values())

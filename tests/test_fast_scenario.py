@@ -41,13 +41,26 @@ _SETTINGS = settings(
 
 
 def _assert_agrees(platform, sigma1, sigma2=None, one_port=True, tol=1e-9):
-    """Fast path and exact simplex must land on the same vertex."""
+    """Fast path and exact simplex must agree.
+
+    The objective must always match.  Vertex equality (participants and
+    loads) is asserted too — except when the instance has *multiple*
+    optimal vertices (possible on degenerate platforms with tied costs,
+    e.g. ``z > 1`` mirrored orders with equal ``c`` values), where float
+    pivoting may legitimately land on a different optimal vertex than the
+    rational simplex; the fast solution must then still be a feasible
+    point of the exact scenario program achieving the same objective.
+    """
     fast = solve_scenario(platform, sigma1, sigma2, one_port=one_port, fast=True)
     exact = solve_scenario(platform, sigma1, sigma2, one_port=one_port, solver="exact")
     assert fast.throughput == pytest.approx(exact.throughput, abs=tol)
-    assert fast.participants == exact.participants
-    for name in sigma1:
-        assert fast.loads[name] == pytest.approx(exact.loads[name], abs=tol)
+    same_vertex = fast.participants == exact.participants and all(
+        abs(fast.loads[name] - exact.loads[name]) <= tol for name in sigma1
+    )
+    if not same_vertex:
+        # alternative optima: verify optimality instead of vertex identity
+        values = {f"alpha[{name}]": fast.loads[name] for name in sigma1}
+        assert exact.program.is_feasible(values, tol=1e-7)
 
 
 class TestScenarioArrays:
@@ -202,9 +215,7 @@ class TestFastTimelineReplay:
         key = lambda e: (e.resource, e.kind, e.start, e.end, e.load, e.note)
         assert sorted(map(key, fast.trace)) == sorted(map(key, event.trace))
 
-    def test_two_port_falls_back_to_event_engine(self, three_workers):
-        with pytest.raises(Exception):
-            ClusterSimulation(three_workers, one_port=False, engine="fast")
+    def test_two_port_auto_uses_fast_replay(self, three_workers):
         simulation = ClusterSimulation(three_workers, one_port=False, engine="auto")
         loads = {name: 1.0 for name in three_workers.worker_names}
         run = simulation.run_assignment(
@@ -212,6 +223,10 @@ class TestFastTimelineReplay:
         )
         assert run.makespan > 0
         assert not run.one_port
+        reference = ClusterSimulation(
+            three_workers, one_port=False, engine="event"
+        ).run_assignment(loads, three_workers.worker_names, three_workers.worker_names)
+        assert run.makespan == reference.makespan
 
     def test_collect_trace_false_skips_gantt_only(self, three_workers):
         loads = {name: 1.0 for name in three_workers.worker_names}
