@@ -21,6 +21,7 @@ bench:
 bench-smoke:
 	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=$(or $(REPRO_BENCH_PLATFORM_COUNT),5) \
 	    $(PYTHON) -m pytest \
-	    benchmarks/test_bench_scenario_kernel.py benchmarks/test_bench_batch_kernel.py -q \
+	    benchmarks/test_bench_scenario_kernel.py benchmarks/test_bench_batch_kernel.py \
+	    benchmarks/test_bench_scenarios.py -q \
 	    --benchmark-json=BENCH_campaign.json
 	@$(PYTHONPATH_SRC) $(PYTHON) benchmarks/trajectory.py BENCH_campaign.json BENCH_TRAJECTORY.jsonl

@@ -87,29 +87,48 @@ def test_campaign_figures_wall_clock(benchmark):
     by the ISSUE acceptance measurement (the crossover always runs at its
     paper scale); the default of 5 keeps the smoke run fast while
     exercising identical code paths (paper matrix sizes and task count).
+
+    On a multi-core machine a second pass runs every sweep with ``jobs=0``
+    (one worker per CPU) and records its wall-clocks next to the serial
+    ones — the trajectory therefore tracks the process-pool speedup
+    whenever the hardware can show one (the reference benchmark VM is
+    single-core, hence the conditional).
     """
     platform_count = int(os.environ.get("REPRO_BENCH_PLATFORM_COUNT", "5"))
+    cpu_count = os.cpu_count() or 1
     wall_clocks: dict[str, float] = {}
+    multicore_clocks: dict[str, float] = {}
 
-    def run_all():
+    def measure(clocks: dict[str, float], **overrides) -> float:
         # Per-figure best-of-rounds: the single-core benchmark VM jitters
         # by tens of percent, and the minimum is the usual robust
         # wall-clock estimator.
         for figure in ("fig10", "fig11", "fig12", "fig13"):
             start = time.perf_counter()
-            run_experiment(figure, preset="paper", platform_count=platform_count)
+            run_experiment(figure, preset="paper", platform_count=platform_count, **overrides)
             elapsed = time.perf_counter() - start
-            wall_clocks[figure] = min(elapsed, wall_clocks.get(figure, elapsed))
+            clocks[figure] = min(elapsed, clocks.get(figure, elapsed))
         start = time.perf_counter()
-        run_experiment("crossover", preset="paper")
+        run_experiment("crossover", preset="paper", **overrides)
         elapsed = time.perf_counter() - start
-        wall_clocks["crossover"] = min(elapsed, wall_clocks.get("crossover", elapsed))
-        return sum(wall_clocks.values())
+        clocks["crossover"] = min(elapsed, clocks.get("crossover", elapsed))
+        return sum(clocks.values())
 
-    benchmark.pedantic(run_all, rounds=2, iterations=1)
+    benchmark.pedantic(lambda: measure(wall_clocks), rounds=2, iterations=1)
     total = sum(wall_clocks.values())
-    benchmark.extra_info["campaign"] = {
+    campaign = {
         "platform_count": platform_count,
+        "cpu_count": cpu_count,
         "wall_clock_seconds": {name: round(value, 4) for name, value in wall_clocks.items()},
         "total_wall_clock_seconds": round(total, 4),
     }
+    if cpu_count > 1:
+        # jobs=None = one worker per CPU (the CLI's --jobs 0).
+        for _ in range(2):
+            measure(multicore_clocks, jobs=None)
+        multicore_total = sum(multicore_clocks.values())
+        campaign["multicore_wall_clock_seconds"] = {
+            name: round(value, 4) for name, value in multicore_clocks.items()
+        }
+        campaign["multicore_total_wall_clock_seconds"] = round(multicore_total, 4)
+    benchmark.extra_info["campaign"] = campaign

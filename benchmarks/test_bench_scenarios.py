@@ -1,0 +1,114 @@
+"""Benchmarks for the scenario subsystem's array-native sampler.
+
+Pits the two ways of materialising a 1000-platform family as stacked
+``(batch, q)`` cost tables against each other:
+
+* the **object path** — one ``StarPlatform`` with ``q`` ``Worker`` objects
+  per platform, cost vectors gathered per platform and stacked;
+* the **array-native sampler** — one vectorised RNG draw plus three
+  broadcast divisions (:mod:`repro.scenarios.sampler`).
+
+The tables must agree bit for bit, and the ISSUE acceptance requires the
+array-native build to be at least 2x faster at batch >= 1000 — both are
+asserted here so a regression cannot slip through, and the measured
+speedup is recorded in ``benchmark.extra_info`` for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.scenarios.sampler import family_cost_tables, sample_factors
+from repro.scenarios.spec import named_space
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+#: Platforms materialised per build (the ISSUE acceptance point).
+BATCH = 1000
+
+#: Matrix size the cost tables are instantiated at.
+MATRIX_SIZE = 120
+
+
+def _family():
+    return named_space("fig12").derive(count=BATCH).family
+
+
+def _object_tables(factors, workload):
+    """StarPlatform-object materialisation of the family's cost tables."""
+    c_rows, w_rows, d_rows = [], [], []
+    for factor_set in factors:
+        platform = factor_set.platform(workload)
+        c, w, d = platform.cost_vectors(platform.worker_names)
+        c_rows.append(c)
+        w_rows.append(w)
+        d_rows.append(d)
+    return np.stack(c_rows), np.stack(w_rows), np.stack(d_rows)
+
+
+def _sampler_tables(family):
+    """Array-native materialisation (draw + broadcast divisions)."""
+    return family_cost_tables(sample_factors(family), MATRIX_SIZE)
+
+
+@pytest.mark.benchmark(group="scenario-sampler")
+def test_sampler_vs_object_materialisation(benchmark):
+    """Array-native build: bit-identical to the object path and >= 2x faster."""
+    family = _family()
+    workload = MatrixProductWorkload(MATRIX_SIZE)
+    factors = campaign_factors("hetero-star", BATCH, size=family.workers, seed=family.seed)
+
+    sampled = benchmark(lambda: _sampler_tables(family))
+
+    rounds = 3
+    object_seconds = min(
+        _timed(lambda: _object_tables(factors, workload)) for _ in range(rounds)
+    )
+    sampler_seconds = min(_timed(lambda: _sampler_tables(family)) for _ in range(rounds))
+
+    objects = _object_tables(factors, workload)
+    for array, reference in zip(sampled, objects):
+        assert array.shape == (BATCH, family.workers)
+        assert (array == reference).all()
+
+    speedup = object_seconds / sampler_seconds
+    benchmark.extra_info["sampler"] = {
+        "batch": BATCH,
+        "workers": family.workers,
+        "object_seconds": round(object_seconds, 6),
+        "sampler_seconds": round(sampler_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    assert speedup >= 2.0, (
+        f"array-native build only {speedup:.1f}x faster than object "
+        f"materialisation at batch={BATCH}"
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="scenario-runner")
+def test_runner_chunk_throughput(benchmark, tmp_path):
+    """End-to-end LP-only campaign throughput (store writes included)."""
+    from repro.scenarios.runner import run_campaign
+
+    spec = named_space("mega-uniform").derive(name="bench-mega", count=500)
+
+    counter = iter(range(1_000_000))
+
+    def run_fresh():
+        root = tmp_path / f"store-{next(counter)}"
+        return run_campaign(spec, root, chunk_size=125)
+
+    progress = benchmark.pedantic(run_fresh, rounds=2, iterations=1)
+    assert progress.finished
+    benchmark.extra_info["scenarios_per_second"] = round(
+        spec.scenario_count / benchmark.stats.stats.min, 1
+    )

@@ -7,9 +7,13 @@ this script, which distils the run into one JSON line appended to
 
 * git sha and timestamp of the run;
 * per-figure wall-clocks of the Figure 10-13 campaigns and the crossover
-  sweep (whatever ``REPRO_BENCH_PLATFORM_COUNT`` the run used);
+  sweep (whatever ``REPRO_BENCH_PLATFORM_COUNT`` the run used), plus —
+  when the machine has more than one CPU — the ``jobs=0`` multi-core
+  wall-clock, the cpu count and the resulting process-pool speedup;
 * the mean single-scenario solve time of the fast kernel vs the SciPy
   modelling layer, and the batched-kernel-over-scalar-loop speedup;
+* the array-native scenario sampler's speedup over StarPlatform-object
+  materialisation (batch = 1000 platforms);
 * the wall-clock speedup against the PR-1 engine (reference numbers
   measured at commit dc51bf3 on the benchmark VM, same scales).
 
@@ -54,12 +58,15 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
     data = json.loads(Path(record_path).read_text())
 
     campaign = None
+    sampler = None
     kernel_means: dict[str, dict[int, float]] = {"fast": {}, "scipy": {}}
     batch_speedups: dict[int, float] = {}
     for bench in data.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         if "campaign" in extra:
             campaign = extra["campaign"]
+        if "sampler" in extra:
+            sampler = extra["sampler"]
         name = bench.get("name", "")
         workers = extra.get("workers")
         if workers is not None and "test_fast_kernel" in name:
@@ -79,10 +86,19 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
         entry["platform_count"] = platform_count
         entry["wall_clock_seconds"] = campaign.get("wall_clock_seconds")
         entry["total_wall_clock_seconds"] = total
+        if campaign.get("cpu_count") is not None:
+            entry["cpu_count"] = campaign["cpu_count"]
+        multicore_total = campaign.get("multicore_total_wall_clock_seconds")
+        if multicore_total is not None:
+            entry["multicore_total_wall_clock_seconds"] = multicore_total
+            if total:
+                entry["multicore_speedup"] = round(total / multicore_total, 2)
         reference = PR1_REFERENCE_SECONDS.get(platform_count)
         if reference is not None and total:
             entry["pr1_reference_seconds"] = reference
             entry["speedup_vs_pr1"] = round(reference / total, 2)
+    if sampler is not None:
+        entry["sampler_vs_objects_speedup"] = sampler.get("speedup")
     kernel_speedup = {
         workers: round(kernel_means["scipy"][workers] / mean, 2)
         for workers, mean in kernel_means["fast"].items()

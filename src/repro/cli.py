@@ -14,6 +14,18 @@ Run every experiment with the reduced "quick" preset and write a Markdown
 report and a CSV dump::
 
     repro-experiments run all --preset quick --markdown report.md --csv report.csv
+
+Scenario spaces (declarative campaigns over generated platform families)::
+
+    repro-experiments scenarios list
+    repro-experiments scenarios run fig12 --store results --jobs 0
+    repro-experiments scenarios run my_space.json --chunk-size 50
+    repro-experiments scenarios resume mega-uniform --store results
+    repro-experiments scenarios show mega-uniform --store results
+
+``scenarios run`` persists every finished chunk, so an interrupted
+campaign (Ctrl-C, crash) picks up where it left off — ``resume`` is
+``run`` that insists prior results exist.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro._version import __version__
@@ -66,30 +79,237 @@ def build_parser() -> argparse.ArgumentParser:
         "crossover): N processes, or 0 for one per CPU; default runs in-process. "
         "Every jobs setting produces identical series.",
     )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the random seed of every selected experiment (platform "
+        "draws and noise streams).  Threaded uniformly: experiments without "
+        "randomness (fig08, fig09 run noise-free) accept and record it.",
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="declarative scenario-space campaigns (repro.scenarios)"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command", required=True)
+
+    scenarios_sub.add_parser("list", help="list the built-in named scenario spaces")
+
+    def add_space_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "space",
+            help="name of a built-in space (see 'scenarios list') or path to a spec JSON file",
+        )
+        sub.add_argument(
+            "--store",
+            metavar="DIR",
+            default="scenario-results",
+            help="result store directory (default: ./scenario-results)",
+        )
+        sub.add_argument(
+            "--count",
+            type=int,
+            default=None,
+            metavar="N",
+            help="override the family's platform count (derives a new space)",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help="override the family's seed (derives a new space)",
+        )
+
+    for verb, help_text in (
+        ("run", "run (or continue) a scenario campaign, persisting chunk by chunk"),
+        ("resume", "complete a previously interrupted campaign (requires prior results)"),
+    ):
+        sub = scenarios_sub.add_parser(verb, help=help_text)
+        add_space_argument(sub)
+        sub.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="platforms evaluated and persisted per chunk (default: 100)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="chunks evaluated concurrently: N processes, or 0 for one per CPU; "
+            "default runs in-process.  Every jobs setting persists identical rows.",
+        )
+        sub.add_argument(
+            "--max-chunks",
+            type=int,
+            default=None,
+            metavar="N",
+            help="evaluate at most N new chunks this invocation (budgeted sessions)",
+        )
+
+    show = scenarios_sub.add_parser(
+        "show", help="print a space's spec and any stored progress/aggregates"
+    )
+    add_space_argument(show)
+
     return parser
 
 
 def _run(
-    identifiers: Sequence[str], preset: str, jobs: int | None = None
+    identifiers: Sequence[str],
+    preset: str,
+    jobs: int | None = None,
+    seed: int | None = None,
 ) -> list[FigureResult]:
     results: list[FigureResult] = []
     for identifier in identifiers:
         overrides: dict[str, object] = {}
-        if jobs is not None and _supports_jobs(identifier):
+        if jobs is not None and _supports(identifier, "jobs"):
             # CLI convention: 0 means "one worker per CPU" (engine: None).
             overrides["jobs"] = None if jobs == 0 else jobs
+        if seed is not None and _supports(identifier, "seed"):
+            overrides["seed"] = seed
         results.extend(run_experiment(identifier, preset=preset, **overrides))
     return results
 
 
-def _supports_jobs(identifier: str) -> bool:
-    """Whether an experiment runner accepts the ``jobs`` parameter."""
+def _supports(identifier: str, parameter: str) -> bool:
+    """Whether an experiment runner accepts the given parameter."""
     runner = EXPERIMENTS[identifier].runner
-    return "jobs" in inspect.signature(runner).parameters
+    return parameter in inspect.signature(runner).parameters
+
+
+def _load_space(space: str):
+    """Resolve a CLI space argument: spec JSON path or built-in name.
+
+    Only a ``.json`` suffix selects the file path route, so a stray local
+    file named like a built-in space cannot shadow it.
+    """
+    import json
+
+    from repro.exceptions import ExperimentError
+    from repro.scenarios.spec import ScenarioSpec, named_space
+
+    if not space.endswith(".json"):
+        return named_space(space)
+    path = Path(space)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ExperimentError(f"cannot read scenario spec {space!r}: {error}") from None
+    try:
+        return ScenarioSpec.from_json(text)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        raise ExperimentError(f"invalid scenario spec {space!r}: {error}") from None
+
+
+def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.scenarios.runner import aggregate_figure, run_campaign
+    from repro.scenarios.spec import NAMED_SPACES, available_spaces, spec_hash
+    from repro.scenarios.store import CampaignStore
+
+    if args.scenarios_command == "list":
+        for name in available_spaces():
+            spec = NAMED_SPACES[name]
+            print(
+                f"{name:22s} {spec.scenario_count:7d} scenarios  "
+                f"[{spec_hash(spec)}]  {spec.description}"
+            )
+        return 0
+
+    spec = _load_space(args.space)
+    if getattr(args, "count", None) is not None:
+        spec = spec.derive(count=args.count)
+    if getattr(args, "seed", None) is not None:
+        spec = spec.derive(seed=args.seed)
+    store = CampaignStore(args.store)
+
+    if args.scenarios_command == "show":
+        print(spec.to_json())
+        state = store.campaign(spec) if store.exists(spec) else None
+        if state is None:
+            print(f"\nno stored results under {store.root} (hash {spec_hash(spec)})")
+            return 0
+        print(f"\nstore: {state.directory}")
+        print(f"completed chunks: {len(state.completed_chunks)}")
+        rows = state.rows()
+        print(f"persisted scenarios: {len(rows)} of {spec.scenario_count}")
+        if rows:
+            from repro.scenarios.store import aggregate_rows
+
+            print()
+            print(aggregate_figure(spec, aggregate_rows(rows)).format_table())
+        return 0
+
+    # run / resume
+    if args.scenarios_command == "resume" and not store.exists(spec):
+        parser.error(
+            f"no campaign for {spec.name!r} (hash {spec_hash(spec)}) under {store.root}; "
+            "start one with 'scenarios run'"
+        )
+    if args.jobs is not None and args.jobs < 0:
+        parser.error(f"--jobs must be 0 (one per CPU) or a positive count, got {args.jobs}")
+    kwargs: dict[str, object] = {}
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    # The copy-pasteable resume command must reproduce every flag that
+    # shapes the campaign: spec derivations (a different --count/--seed is
+    # a different spec hash) and the chunk plan (a different --chunk-size
+    # is rejected by the store).
+    resume_hint = f"  repro-experiments scenarios resume {args.space} --store {args.store}"
+    for flag in ("chunk_size", "count", "seed"):
+        value = getattr(args, flag)
+        if value is not None:
+            resume_hint += f" --{flag.replace('_', '-')} {value}"
+    try:
+        progress = run_campaign(
+            spec,
+            store,
+            jobs=None if args.jobs == 0 else (args.jobs if args.jobs is not None else 1),
+            max_chunks=args.max_chunks,
+            progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+            **kwargs,
+        )
+    except KeyboardInterrupt:
+        state = store.campaign(spec)
+        print(
+            f"\ninterrupted: {len(state.completed_chunks)} chunk(s) persisted under "
+            f"{state.directory}; finish with:\n{resume_hint}"
+        )
+        return 130
+    state = progress.state
+    print(f"store: {state.directory}")
+    print(
+        f"chunks: {progress.completed_after}/{progress.total_chunks} complete "
+        f"({progress.completed_after - progress.completed_before} new)"
+    )
+    if not progress.finished:
+        print(f"campaign incomplete; finish with:\n{resume_hint}")
+    if state.rows():
+        print()
+        print(aggregate_figure(spec, progress.aggregate()).format_table())
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-experiments`` console script."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped to a consumer that exited early (`... | head`):
+        # the POSIX convention is a quiet exit.  Point stdout at devnull
+        # so interpreter shutdown does not raise a second time on flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -98,6 +318,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{identifier:8s} {EXPERIMENTS[identifier].description}")
         return 0
 
+    if args.command == "scenarios":
+        return _scenarios_main(args, parser)
+
     if args.command == "run":
         if args.jobs is not None and args.jobs < 0:
             parser.error(f"--jobs must be 0 (one per CPU) or a positive count, got {args.jobs}")
@@ -105,7 +328,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             identifiers = available_experiments()
         else:
             identifiers = [args.experiment]
-        results = _run(identifiers, args.preset, jobs=args.jobs)
+        results = _run(identifiers, args.preset, jobs=args.jobs, seed=args.seed)
         for result in results:
             print(result.format_table())
             print()

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Sequence
 
 from repro.core.linear_program import ScenarioSolution, solve_scenario
 from repro.core.platform import StarPlatform

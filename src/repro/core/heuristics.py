@@ -20,7 +20,7 @@ helper that evaluates a set of heuristics on one platform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_order, optimal_fifo_schedule
 from repro.core.lifo import optimal_lifo_schedule

@@ -32,7 +32,7 @@ from typing import Sequence
 
 from repro.core.linear_program import ScenarioSolution, solve_lifo_scenario
 from repro.core.platform import StarPlatform
-from repro.core.schedule import Schedule, lifo_schedule
+from repro.core.schedule import Schedule
 from repro.exceptions import ScheduleError
 from repro.lp import Solver
 

@@ -32,7 +32,7 @@ immediate: the prefix of (2a) follows ``sigma1`` and the suffix follows
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.core.fast_scenario import FastScenarioResult, solve_scenario_fast
 from repro.core.platform import StarPlatform

@@ -22,9 +22,8 @@ provides:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.core.platform import StarPlatform
 from repro.exceptions import InfeasibleScheduleError, ScheduleError

@@ -17,6 +17,10 @@ This module turns that shape into chunk workers for the generic
 * all LP evaluations a chunk needs are stacked into **one batched
   scenario-kernel call** (:func:`repro.core.heuristics.
   compare_heuristics_batch`) instead of thousands of scalar solves;
+* cost tables, heuristic order rules and the closed-form LIFO chain come
+  from :mod:`repro.scenarios.sampler` — the array-native sampling layer
+  shared with the scenario subsystem (:mod:`repro.scenarios.runner`
+  re-uses :func:`prepare_cells` / :func:`replay_grouped` in turn);
 * determinism is preserved regardless of ``jobs``: the per-platform noise
   seed is derived from ``(seed, platform_index, size)`` exactly as in the
   serial implementation, and per-platform ratios are re-assembled in
@@ -30,7 +34,6 @@ the simulation replay benefits every figure.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Sequence
@@ -39,19 +42,43 @@ import numpy as np
 
 from repro.core.batch_scenario import scenario_arrays_batch, solve_scenario_arrays_batch
 from repro.core.heuristics import HEURISTICS
-from repro.core.platform import _RATIO_TOLERANCE
 from repro.exceptions import ScheduleError
 from repro.experiments.sweep_engine import resolve_jobs, run_chunked
+from repro.scenarios.sampler import (
+    ORDER_RULES,
+    base_costs,
+    cost_table,
+    lifo_chain_values,
+    sorted_indices,
+    worker_names,
+)
 from repro.simulation.executor import (
     PreparedMeasurement,
     prepare_measurement_arrays,
     timeline_indices,
 )
 from repro.simulation.noise import NoiseModel, perturb_sequence
-from repro.workloads.matrices import MatrixProductWorkload
 from repro.workloads.platforms import PlatformFactors
 
-__all__ = ["CampaignSpec", "run_campaign_ratios", "resolve_jobs"]
+__all__ = [
+    "CampaignSpec",
+    "PreparedCell",
+    "noise_seed",
+    "prepare_cells",
+    "replay_grouped",
+    "run_campaign_ratios",
+    "resolve_jobs",
+]
+
+
+def noise_seed(seed: int, platform_index: int, size: int) -> int:
+    """The per-(platform, size) noise seed of every campaign.
+
+    One formula, shared by the figure campaigns and the scenario runner:
+    the scenario subsystem's "seeded exactly like the figure campaigns"
+    guarantee rests on both calling this helper.
+    """
+    return seed * 100_003 + platform_index * 1_009 + int(size)
 
 
 @dataclass(frozen=True)
@@ -72,11 +99,11 @@ class CampaignSpec:
 
     def noise_seed(self, platform_index: int, size: int) -> int:
         """The serial implementation's per-(platform, size) noise seed."""
-        return self.seed * 100_003 + platform_index * 1_009 + int(size)
+        return noise_seed(self.seed, platform_index, size)
 
 
 @dataclass(frozen=True)
-class _PreparedCell:
+class PreparedCell:
     """One (factor set, size) pair with every noise-independent step done.
 
     ``lp_ratios`` are the (noise-free) LP ratio entries.  The measurement
@@ -110,8 +137,8 @@ class _PreparedCell:
         ]
 
 
-def _replay_grouped(
-    occurrences: list[tuple[int, int, _PreparedCell, np.ndarray]],
+def replay_grouped(
+    occurrences: list[tuple[int, int, PreparedCell, np.ndarray]],
     heuristic_count: int,
 ) -> np.ndarray:
     """Replay every (occurrence, heuristic) run, vectorised per q.
@@ -151,136 +178,46 @@ def _replay_grouped(
     return makespans
 
 
-#: Cached ``("P1", ..., "Pq")`` name tuples (the names the matrix workload
-#: gives its platform's workers).
-_WORKER_NAMES: dict[int, tuple[str, ...]] = {}
+def prepare_cells(
+    heuristic_names: Sequence[str],
+    reference: str,
+    total_tasks: int,
+    keyed_tables: Sequence[tuple[tuple, np.ndarray, np.ndarray, np.ndarray]],
+) -> dict[tuple, PreparedCell]:
+    """Prepare a batch of ``(key, c, w, d)`` cost tables for evaluation.
 
-
-def _worker_names(q: int) -> tuple[str, ...]:
-    names = _WORKER_NAMES.get(q)
-    if names is None:
-        names = _WORKER_NAMES[q] = tuple(f"P{i + 1}" for i in range(q))
-    return names
-
-
-def _sorted_indices(names: tuple[str, ...], costs: Sequence[float], descending: bool = False):
-    """Worker indices sorted by cost, ties broken by name.
-
-    Mirrors :meth:`StarPlatform.ordered_by_c` / ``ordered_by_w`` exactly
-    (same ``(cost, name)`` sort keys), which the test-suite pins.
-    """
-    return sorted(
-        range(len(names)), key=lambda i: (costs[i], names[i]), reverse=descending
-    )
-
-
-def _optimal_fifo_indices(names, c, w, d):
-    """Theorem 1's order on a cost table (mirrors ``optimal_fifo_order``)."""
-    ratios = [d[i] / c[i] for i in range(len(names))]
-    first = ratios[0]
-    z = first if all(
-        math.isclose(r, first, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE)
-        for r in ratios
-    ) else None
-    return _sorted_indices(names, c, descending=z is not None and z > 1.0)
-
-
-#: Per-heuristic FIFO order rules on a (names, c, w, d) cost table —
-#: the array-level mirror of ``repro.core.heuristics._FIFO_ORDERS``
-#: (asserted equal by the test-suite).
-_ORDER_RULES = {
-    "INC_C": lambda names, c, w, d: _sorted_indices(names, c),
-    "INC_W": lambda names, c, w, d: _sorted_indices(names, w),
-    "DEC_C": lambda names, c, w, d: _sorted_indices(names, c, descending=True),
-    "PLATFORM_ORDER": lambda names, c, w, d: list(range(len(names))),
-    "OPT_FIFO": _optimal_fifo_indices,
-}
-
-
-def _lifo_chain_values(c, w, d, order, deadline: float = 1.0) -> list[float]:
-    """Closed-form LIFO loads on a cost table, in ``order``.
-
-    Mirrors :func:`repro.core.lifo.lifo_closed_form_loads` operation for
-    operation (same additions, multiplications and divisions).
-    """
-    values: list[float] = []
-    previous_load = None
-    previous = None
-    for index in order:
-        denominator = c[index] + d[index] + w[index]
-        if previous_load is None:
-            load = deadline / denominator
-        else:
-            load = previous_load * w[previous] / denominator
-        values.append(load)
-        previous_load = load
-        previous = index
-    return values
-
-
-def _prepare_chunk(
-    spec: CampaignSpec,
-    chunk: Sequence[tuple[int, PlatformFactors]],
-) -> dict[tuple, _PreparedCell]:
-    """Prepare every distinct (factor set, size) pair of a chunk.
-
-    The cache key is the factor vectors themselves, not the platform label:
-    campaigns that repeat a factor set (every homogeneous platform) reuse
-    the preparation instead of re-solving and re-rounding.  The pairs are
-    evaluated entirely at the array level — a (names, c, w, d) cost table
-    per pair, every scenario LP of the chunk stacked into one batched
-    kernel call per worker count, throughputs and prepared replays
-    assembled straight from the kernel's load vectors, no platform or
-    schedule objects at all.  Everything here is bit-identical to
-    evaluating :func:`repro.core.heuristics.compare_heuristics` and
-    :func:`repro.simulation.executor.measure_heuristic` per pair — the
+    Each table is one scenario cell (a platform's cost vectors at one
+    matrix size).  Every LP the batch needs — one per (table, LP-backed
+    heuristic) pair — is stacked into one batched kernel call per worker
+    count; throughputs and prepared replays are assembled straight from
+    the kernel's load vectors, no platform or schedule objects at all.
+    Everything here is bit-identical to evaluating
+    :func:`repro.core.heuristics.compare_heuristics` and
+    :func:`repro.simulation.executor.measure_heuristic` per cell — the
     public reference path the test-suite pins this engine against.
     """
-    for name in spec.heuristic_names:
+    for name in heuristic_names:
         if name not in HEURISTICS:
             raise ScheduleError(
                 f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
             )
-    lp_names = [name for name in spec.heuristic_names if name in _ORDER_RULES]
-    total = spec.total_tasks
+    lp_names = [name for name in heuristic_names if name in ORDER_RULES]
+    total = total_tasks
 
-    # Cost tables: one (names, c, w, d) tuple per distinct key.  The base
-    # per-unit costs only depend on the matrix size; the factor scaling is
-    # one vectorised division per table (same divisions the workload's
-    # worker() constructor performs).
-    keys: list[tuple] = []
-    tables: list[tuple] = []
-    base_cache: dict[int, tuple[float, float, float]] = {}
-    seen: set[tuple] = set()
-    for _, factors in chunk:
-        for size in spec.matrix_sizes:
-            key = (factors.comm, factors.comp, size)
-            if key in seen:
-                continue
-            seen.add(key)
-            keys.append(key)
-            base = base_cache.get(size)
-            if base is None:
-                workload = MatrixProductWorkload(int(size))
-                base = base_cache[size] = (workload.base_c, workload.base_w, workload.base_d)
-            comm = np.array(factors.comm)
-            comp = np.array(factors.comp)
-            c = base[0] / comm
-            w = base[1] / comp
-            d = base[2] / comm
-            # Arrays feed the stacked kernel; the list views feed the
-            # Python-level ordering/chain/layout code (same floats).
-            tables.append(
-                (_worker_names(len(factors.comm)), c, w, d, c.tolist(), w.tolist(), d.tolist())
-            )
+    # Arrays feed the stacked kernel; the list views feed the Python-level
+    # ordering/chain/layout code (same floats).
+    tables = [
+        (worker_names(len(c)), c, w, d, c.tolist(), w.tolist(), d.tolist())
+        for _, c, w, d in keyed_tables
+    ]
 
-    # Stack every LP scenario of the chunk, grouped by worker count, and
+    # Stack every LP scenario of the batch, grouped by worker count, and
     # solve each group with one batched kernel call.
     orders: list[list[int]] = []
     groups: dict[int, list[int]] = {}
     for names, _, _, _, c_list, w_list, d_list in tables:
         for name in lp_names:
-            orders.append(_ORDER_RULES[name](names, c_list, w_list, d_list))
+            orders.append(ORDER_RULES[name](names, c_list, w_list, d_list))
             groups.setdefault(len(names), []).append(len(orders) - 1)
     loads_rows: list[np.ndarray] = [None] * len(orders)  # type: ignore[list-item]
     for q, flats in groups.items():
@@ -298,8 +235,8 @@ def _prepare_chunk(
         for row, flat in enumerate(flats):
             loads_rows[flat] = solved.loads[row]
 
-    cells: dict[tuple, _PreparedCell] = {}
-    for index, (key, table) in enumerate(zip(keys, tables)):
+    cells: dict[tuple, PreparedCell] = {}
+    for index, ((key, _, _, _), table) in enumerate(zip(keyed_tables, tables)):
         names, _, _, _, c_list, w_list, d_list = table
         evaluated: dict[str, tuple[float, PreparedMeasurement]] = {}
         for offset, name in enumerate(lp_names):
@@ -323,12 +260,12 @@ def _prepare_chunk(
                     total,
                 ),
             )
-        for name in spec.heuristic_names:
+        for name in heuristic_names:
             if name in evaluated:
                 continue
             # The only non-LP heuristic: the closed-form optimal LIFO.
-            order = _sorted_indices(names, c_list)
-            values = _lifo_chain_values(c_list, w_list, d_list, order)
+            order = sorted_indices(names, c_list)
+            values = lifo_chain_values(c_list, w_list, d_list, order)
             ordered_names = [names[i] for i in order]
             evaluated[name] = (
                 sum(values),
@@ -345,16 +282,16 @@ def _prepare_chunk(
                 ),
             )
 
-        reference_time = total / evaluated[spec.reference][0]
+        reference_time = total / evaluated[reference][0]
         lp_ratios = tuple(
             (name, (total / evaluated[name][0]) / reference_time)
-            for name in spec.heuristic_names
+            for name in heuristic_names
         )
-        prepared = tuple(evaluated[name][1] for name in spec.heuristic_names)
+        prepared = tuple(evaluated[name][1] for name in heuristic_names)
         offsets = [0]
         for measurement in prepared:
             offsets.append(offsets[-1] + len(measurement.durations))
-        cells[key] = _PreparedCell(
+        cells[key] = PreparedCell(
             lp_ratios=lp_ratios,
             reference_time=reference_time,
             prepared=prepared,
@@ -364,6 +301,34 @@ def _prepare_chunk(
             offsets=tuple(offsets),
         )
     return cells
+
+
+def _prepare_chunk(
+    spec: CampaignSpec,
+    chunk: Sequence[tuple[int, PlatformFactors]],
+) -> dict[tuple, PreparedCell]:
+    """Prepare every distinct (factor set, size) pair of a chunk.
+
+    The cache key is the factor vectors themselves, not the platform label:
+    campaigns that repeat a factor set (every homogeneous platform) reuse
+    the preparation instead of re-solving and re-rounding.  Cost tables
+    come from the scenario sampler's :func:`~repro.scenarios.sampler.
+    cost_table` (the same divisions the workload's ``worker()``
+    constructor performs); the heavy lifting is :func:`prepare_cells`.
+    """
+    keyed_tables: list[tuple[tuple, np.ndarray, np.ndarray, np.ndarray]] = []
+    seen: set[tuple] = set()
+    for _, factors in chunk:
+        for size in spec.matrix_sizes:
+            key = (factors.comm, factors.comp, size)
+            if key in seen:
+                continue
+            seen.add(key)
+            c, w, d = cost_table(
+                base_costs(int(size)), np.array(factors.comm), np.array(factors.comp)
+            )
+            keyed_tables.append((key, c, w, d))
+    return prepare_cells(spec.heuristic_names, spec.reference, spec.total_tasks, keyed_tables)
 
 
 def _run_chunk(
@@ -384,7 +349,7 @@ def _run_chunk(
     # Draw phase: one batched perturbation per (platform, size) cell, in
     # the serial order — the noise streams are identical to measuring each
     # heuristic in sequence.
-    occurrences: list[tuple[int, int, _PreparedCell, np.ndarray]] = []
+    occurrences: list[tuple[int, int, PreparedCell, np.ndarray]] = []
     for platform_index, factors in chunk:
         for size in spec.matrix_sizes:
             cell = cells[(factors.comm, factors.comp, size)]
@@ -393,7 +358,7 @@ def _run_chunk(
             occurrences.append((platform_index, size, cell, perturbed))
 
     # Replay phase: every run of the chunk, vectorised per worker count.
-    makespans = _replay_grouped(occurrences, len(spec.heuristic_names))
+    makespans = replay_grouped(occurrences, len(spec.heuristic_names))
 
     results: list[tuple[int, dict[tuple[str, int], float]]] = []
     ratios: dict[tuple[str, int], float] = {}

@@ -11,7 +11,7 @@ by the INC_C LP prediction) lives in :func:`heuristic_campaign`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

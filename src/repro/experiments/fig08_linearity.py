@@ -75,6 +75,7 @@ def run(
     comm_factors: Sequence[float] = DEFAULT_COMM_FACTORS,
     matrix_size: int = 100,
     noise: NoiseModel | None = None,
+    seed: int | None = None,
     jobs: int | None = 1,
 ) -> FigureResult:
     """Reproduce Figure 8: transfer time vs message size per worker.
@@ -84,6 +85,11 @@ def run(
     process-parallel (``jobs=``).  A *stateful* noise model couples the
     probes through its draw stream, so in that case the sweep stays on a
     single in-process chunk regardless of ``jobs``.
+
+    ``seed`` is accepted for CLI uniformity (``run all --seed N`` threads
+    one seed through every experiment) and recorded in the parameters; the
+    default run is noise-free and therefore deterministic, so the seed
+    only matters to a caller that also passes a noise model built from it.
     """
     if not message_sizes_mb or not comm_factors:
         raise ExperimentError("message sizes and communication factors must be non-empty")
@@ -96,6 +102,7 @@ def run(
             "comm_factors": list(comm_factors),
             "message_sizes_mb": list(message_sizes_mb),
             "bandwidth": workload.bandwidth,
+            "seed": seed,
         },
     )
     cells = []

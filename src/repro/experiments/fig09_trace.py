@@ -52,6 +52,7 @@ def run(
     matrix_size: int = 200,
     total_tasks: int = 200,
     noise: NoiseModel | None = None,
+    seed: int | None = None,
     gantt_width: int = 72,
     jobs: int | None = 1,
 ) -> FigureResult:
@@ -59,7 +60,10 @@ def run(
 
     The figure is a single traced run, so it is one work item of the sweep
     engine; ``jobs`` is accepted for CLI uniformity (a single item always
-    runs in-process).
+    runs in-process).  ``seed`` likewise: the trace is deterministic (its
+    platform is fixed and the default run is noise-free), so the seed is
+    recorded in the parameters but only matters to a caller that also
+    passes a noise model built from it.
     """
     if len(comm_factors) != len(comp_factors):
         raise ExperimentError("comm_factors and comp_factors must have the same length")
@@ -80,6 +84,7 @@ def run(
             "comp_factors": list(comp_factors),
             "matrix_size": matrix_size,
             "total_tasks": total_tasks,
+            "seed": seed,
         },
     )
     for index, name in enumerate(platform.worker_names, start=1):

@@ -31,10 +31,10 @@ from repro.experiments.common import (
 )
 from repro.simulation.noise import AffineOverhead, ComposedNoise, NoiseModel
 
-__all__ = ["run", "run_computation_x10", "run_communication_x10"]
+__all__ = ["run", "run_computation_x10", "run_communication_x10", "overhead_noise"]
 
 
-def _overhead_noise(seed: int) -> NoiseModel:
+def overhead_noise(seed: int) -> NoiseModel:
     """Noise for the communication-x10 variant: jitter plus per-message latency.
 
     When links are ten times faster, each transfer is short enough for fixed
@@ -97,7 +97,7 @@ def run_communication_x10(
         total_tasks=total_tasks,
         comm_scale=10.0,
         seed=seed,
-        noise_factory=_overhead_noise,
+        noise_factory=overhead_noise,
         jobs=jobs,
     )
     result.notes.append(

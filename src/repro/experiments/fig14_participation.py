@@ -13,7 +13,11 @@ workers the LP actually enrols:
 
 This experiment reproduces both panels: for each ``x`` and each number of
 available workers it reports the LP time, the simulated time and the number
-of enrolled workers.
+of enrolled workers.  :func:`run` stacks the scenario LPs of the *whole*
+``x_values`` x available-workers grid into one batched-kernel call
+(:func:`repro.core.linear_program.solve_scenarios`) and then measures the
+cells through the sweep engine — bit-identical to the per-cell
+:func:`run_single` reference path, which the test-suite pins.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from __future__ import annotations
 from functools import partial
 from typing import Sequence
 
-from repro.core.fifo import optimal_fifo_schedule
+from repro.core.fifo import optimal_fifo_order, optimal_fifo_schedule
+from repro.core.linear_program import ScenarioSolution, solve_scenarios
 from repro.core.makespan import predicted_makespan
 from repro.exceptions import ExperimentError
 from repro.experiments.common import DEFAULT_TOTAL_TASKS, FigureResult, default_noise
@@ -51,13 +56,38 @@ def _evaluate_cell(
     workload = MatrixProductWorkload(matrix_size)
     platform = participation_platform(x, workload, available_workers=available)
     solution = optimal_fifo_schedule(platform)
+    return _measure_solution(total_tasks, seed, noisy, (cell, solution))
+
+
+def _measure_solution(
+    total_tasks: int,
+    seed: int,
+    noisy: bool,
+    item: tuple[tuple[float, int], ScenarioSolution],
+) -> tuple[float, float, int]:
+    """Measure one already-solved grid cell (sweep-engine worker).
+
+    The noise seed depends on the available-worker count only — exactly
+    the serial implementation's ``seed + available`` — so the measured
+    series are independent of both ``jobs`` and the LP batching.
+    """
+    (_, available), solution = item
     lp_time = predicted_makespan(solution.schedule, total_tasks)
     heuristic = HeuristicResult(
         name="INC_C", schedule=solution.schedule, throughput=solution.throughput
     )
     noise = default_noise(seed + available) if noisy else None
     report = measure_heuristic(heuristic, total_tasks, noise=noise)
-    return lp_time, report.measured_makespan, len(solution.participants)
+    return lp_time, report.measured_makespan, len(solution.schedule.participants)
+
+
+def _panel_result(x: float, matrix_size: int, total_tasks: int) -> FigureResult:
+    return FigureResult(
+        figure=f"fig14-x{x:g}",
+        title=f"Participating workers on the Section 5.3.4 platform (x={x:g}, matrix size {matrix_size})",
+        x_label="available workers",
+        parameters={"x": x, "matrix_size": matrix_size, "total_tasks": total_tasks},
+    )
 
 
 def run_single(
@@ -68,15 +98,15 @@ def run_single(
     noisy: bool = True,
     jobs: int | None = 1,
 ) -> FigureResult:
-    """Participation study for one value of the slow worker's link speed."""
+    """Participation study for one value of the slow worker's link speed.
+
+    The scalar reference path: each configuration solves its own scenario
+    LP.  :func:`run` batches the LPs of the whole grid instead and is
+    pinned bit-identical to this implementation by the test-suite.
+    """
     if x <= 0:
         raise ExperimentError("x must be positive")
-    result = FigureResult(
-        figure=f"fig14-x{x:g}",
-        title=f"Participating workers on the Section 5.3.4 platform (x={x:g}, matrix size {matrix_size})",
-        x_label="available workers",
-        parameters={"x": x, "matrix_size": matrix_size, "total_tasks": total_tasks},
-    )
+    result = _panel_result(x, matrix_size, total_tasks)
     cells = [(x, available) for available in range(1, 5)]
     worker = partial(_evaluate_cell, matrix_size, total_tasks, seed, noisy)
     for (_, available), (lp_time, measured, enrolled) in zip(
@@ -98,21 +128,44 @@ def run(
 ) -> list[FigureResult]:
     """Reproduce Figure 14 (both panels by default).
 
-    ``jobs`` spreads the (x, available workers) configurations of each
-    panel over worker processes; the series are identical for every
-    setting.
+    The scenario LPs of the whole ``x_values`` x available-workers grid
+    (4 configurations per panel) are solved as one batched-kernel call —
+    grouped by worker count, so e.g. the two panels' 4-worker LPs share a
+    stack — and only the measurements fan out through the sweep engine.
+    ``jobs`` spreads those measurement cells over worker processes; the
+    series are identical for every setting, and identical to the per-cell
+    :func:`run_single` path.
     """
-    results = [
-        run_single(
-            x,
-            matrix_size=matrix_size,
-            total_tasks=total_tasks,
-            seed=seed,
-            noisy=noisy,
-            jobs=jobs,
-        )
-        for x in x_values
+    for x in x_values:
+        if x <= 0:
+            raise ExperimentError("x must be positive")
+    workload = MatrixProductWorkload(matrix_size)
+    cells = [(x, available) for x in x_values for available in range(1, 5)]
+    platforms = [
+        participation_platform(x, workload, available_workers=available)
+        for x, available in cells
     ]
+    solutions = solve_scenarios(
+        [(platform, optimal_fifo_order(platform), None) for platform in platforms]
+    )
+    measured = run_sweep(
+        partial(_measure_solution, total_tasks, seed, noisy),
+        list(zip(cells, solutions)),
+        jobs=jobs,
+    )
+
+    results: list[FigureResult] = []
+    for panel_index, x in enumerate(x_values):
+        panel = _panel_result(x, matrix_size, total_tasks)
+        start = panel_index * 4
+        for (_, available), (lp_time, measured_time, enrolled) in zip(
+            cells[start : start + 4], measured[start : start + 4]
+        ):
+            panel.add_point("lp time", available, lp_time)
+            panel.add_point("real time", available, measured_time)
+            panel.add_point("nb of workers", available, enrolled)
+        results.append(panel)
+
     for result in results:
         x = result.parameters["x"]
         enrolled_with_all = result.value("nb of workers", 4)

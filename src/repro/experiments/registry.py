@@ -14,7 +14,7 @@ Two presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.exceptions import ExperimentError
 from repro.experiments import (

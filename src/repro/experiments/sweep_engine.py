@@ -68,13 +68,18 @@ def run_chunked(
     worker: ChunkWorker,
     items: Sequence[Item],
     jobs: int | None = 1,
+    executor: ProcessPoolExecutor | None = None,
 ) -> list[Result]:
     """Run ``worker`` over strided chunks of ``items``; results in item order.
 
     ``worker`` is called once per chunk with a list of ``(index, item)``
     pairs and must return ``(index, result)`` pairs for each of them.  With
     ``jobs > 1`` the chunks are dispatched to a process pool, so ``worker``
-    (and the items and results) must be picklable.
+    (and the items and results) must be picklable.  ``executor`` lets a
+    caller that sweeps repeatedly (e.g. the scenario runner's chunk
+    groups) reuse one long-lived pool instead of paying worker spawn +
+    import per call; it is never shut down here, and ``jobs`` still
+    controls how many chunks are formed.
     """
     indexed = list(enumerate(items))
     if not indexed:
@@ -86,8 +91,12 @@ def run_chunked(
     else:
         chunks = [indexed[i::jobs] for i in range(jobs)]
         pairs = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk_result in pool.map(worker, chunks):
+        if executor is None:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk_result in pool.map(worker, chunks):
+                    pairs.extend(chunk_result)
+        else:
+            for chunk_result in executor.map(worker, chunks):
                 pairs.extend(chunk_result)
 
     pairs.sort(key=lambda pair: pair[0])
@@ -123,11 +132,13 @@ def run_sweep(
     items: Sequence[Item],
     jobs: int | None = 1,
     cache_key: Callable[[Item], Hashable] | None = None,
+    executor: ProcessPoolExecutor | None = None,
 ) -> list[Result]:
     """Map ``fn`` over ``items``, chunked and optionally process-parallel.
 
     ``cache_key`` enables a per-chunk memo: items with equal keys are
     evaluated once per chunk and share the result.  Only safe when ``fn``
     is deterministic in the key (the engine does not verify this).
+    ``executor`` is passed through to :func:`run_chunked` (pool reuse).
     """
-    return run_chunked(_MappedChunk(fn, cache_key), items, jobs=jobs)
+    return run_chunked(_MappedChunk(fn, cache_key), items, jobs=jobs, executor=executor)

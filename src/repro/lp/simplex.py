@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.exceptions import InfeasibleProblemError, SolverError, UnboundedProblemError
 from repro.lp.model import LinearProgram

@@ -25,8 +25,8 @@ Programs are generator functions receiving a :class:`NodeContext`; they
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Callable, Generator, Mapping
 
 from repro.exceptions import SimulationError
 from repro.simulation.engine import Event, Resource, Simulator

@@ -17,7 +17,7 @@ integration tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Mapping, Sequence
+from typing import Generator, Sequence
 
 from repro.core.schedule import Schedule
 from repro.exceptions import SimulationError

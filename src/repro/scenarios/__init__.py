@@ -1,0 +1,73 @@
+"""Declarative scenario-space subsystem.
+
+The paper's evaluation covers a handful of hand-coded platform families
+(Figures 10-14); the ROADMAP's north star is "as many scenarios as you can
+imagine".  This package closes the gap with four layers on top of the
+batched scenario kernel and the parallel sweep engine:
+
+* :mod:`repro.scenarios.spec` — a declarative, JSON-round-trippable
+  description of a scenario space (platform family distributions, sizes,
+  heuristics, noise, seeds) with grid/product combinators and a library of
+  named spaces, including the paper's campaigns re-expressed as specs;
+* :mod:`repro.scenarios.sampler` — a vectorised RNG that materialises
+  whole platform families directly as stacked ``(batch, q)`` cost tables
+  feeding the batched kernel, with no platform objects on the hot path —
+  bit-identical to the object path on the paper's factor sets;
+* :mod:`repro.scenarios.store` — an append-only, resumable result store
+  keyed by spec hash and chunk index, with an aggregation API;
+* :mod:`repro.scenarios.runner` — a streaming campaign runner that shards
+  arbitrarily large spaces into chunks, persists every finished chunk and
+  resumes interrupted mega-campaigns where they left off.
+
+The CLI front end is ``repro-experiments scenarios list/run/resume/show``.
+
+The runner builds on :mod:`repro.experiments` (which itself consumes the
+sampler), so its symbols are exposed lazily here to keep the import graph
+acyclic — ``from repro.scenarios import run_campaign`` works either way.
+"""
+
+from repro.scenarios.sampler import FactorTable, base_costs, cost_table, sample_factors
+from repro.scenarios.spec import (
+    NAMED_SPACES,
+    Distribution,
+    PlatformFamily,
+    ScenarioSpec,
+    available_spaces,
+    named_space,
+    product_specs,
+    spec_hash,
+)
+from repro.scenarios.store import CampaignStore, aggregate_rows
+
+__all__ = [
+    "Distribution",
+    "PlatformFamily",
+    "ScenarioSpec",
+    "NAMED_SPACES",
+    "available_spaces",
+    "named_space",
+    "product_specs",
+    "spec_hash",
+    "FactorTable",
+    "base_costs",
+    "cost_table",
+    "sample_factors",
+    "CampaignStore",
+    "aggregate_rows",
+    "CampaignProgress",
+    "aggregate_figure",
+    "plan_chunks",
+    "run_campaign",
+]
+
+#: Runner symbols resolved on first access (PEP 562): the runner imports
+#: the experiment layer, which imports the sampler from this package.
+_RUNNER_EXPORTS = {"CampaignProgress", "run_campaign", "aggregate_figure", "plan_chunks"}
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.scenarios import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

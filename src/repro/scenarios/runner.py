@@ -1,0 +1,273 @@
+"""Streaming, resumable execution of scenario-space campaigns.
+
+The runner turns a :class:`~repro.scenarios.spec.ScenarioSpec` into
+results by sharding its platform draws into fixed-size **chunks** and
+pushing each chunk through the array-level campaign machinery:
+
+1. the :mod:`~repro.scenarios.sampler` materialises the family's factor
+   tables once (vectorised RNG, no platform objects);
+2. each chunk's (platform, size) cells become stacked cost tables and one
+   batched scenario-kernel call via
+   :func:`repro.experiments.campaign_engine.prepare_cells`;
+3. for measured spaces (``spec.noise``), every cell draws one batched
+   noise stream — seeded per (platform index, size) exactly like the
+   figure campaigns — and the replays run chunk-vectorised through
+   :func:`~repro.experiments.campaign_engine.replay_grouped`;
+4. every finished chunk is appended to the persistent store
+   (:mod:`repro.scenarios.store`) before the next group starts, so an
+   interrupted campaign **resumes** where it left off: chunk results are
+   deterministic in the spec, making a resumed campaign bit-identical to
+   an uninterrupted one (pinned by the test-suite).
+
+``jobs`` spreads the chunks of each group over worker processes through
+the generic sweep engine; the parent stays the single store writer, and
+every jobs setting persists identical rows.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.campaign_engine import noise_seed, prepare_cells, replay_grouped
+from repro.experiments.common import default_noise
+from repro.experiments.fig13_ratio import overhead_noise
+from repro.experiments.sweep_engine import resolve_jobs, run_sweep
+from repro.scenarios.sampler import base_costs, cost_table, sample_factors
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import CampaignState, CampaignStore
+from repro.simulation.noise import NoiseModel, perturb_sequence
+
+__all__ = [
+    "NOISE_FACTORIES",
+    "CampaignProgress",
+    "aggregate_figure",
+    "plan_chunks",
+    "run_campaign",
+]
+
+
+#: Seedable noise factories a spec may name (see ``ScenarioSpec.noise``):
+#: the campaigns' default jitter and the Figure-13b per-message overhead
+#: variant.
+NOISE_FACTORIES: dict[str, Callable[[int], NoiseModel]] = {
+    "default": default_noise,
+    "overhead": overhead_noise,
+}
+
+
+#: Platforms evaluated (and persisted) per chunk when the caller does not
+#: choose: small enough that interrupts lose little work, large enough
+#: that the batched kernel amortises its stacking.
+DEFAULT_CHUNK_SIZE = 100
+
+
+def plan_chunks(count: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` platform ranges covering ``count``."""
+    if chunk_size <= 0:
+        raise ExperimentError("chunk_size must be positive")
+    return [(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
+
+
+def _evaluate_chunk(
+    spec: ScenarioSpec,
+    descriptor: tuple[int, int, np.ndarray, np.ndarray, np.ndarray | None],
+) -> list[dict]:
+    """Evaluate one chunk of platforms across every matrix size.
+
+    Returns one row per (platform, size) cell: the per-heuristic LP ratio
+    (vs the reference heuristic's LP prediction), the measured ratio when
+    the spec names a noise model, the rounded participant count, and the
+    reference's absolute predicted time.  Pure function of (spec,
+    descriptor) — the resume guarantee rests on this.
+    """
+    start, stop, comm, comp, ret = descriptor
+    count = stop - start
+
+    # Like the figure engine, key the prepared cells on the factor vectors
+    # themselves: families with repeated draws (every constant dimension —
+    # fig10's homogeneous space repeats one factor set 50 times) prepare
+    # each distinct (factor set, size) pair once instead of once per
+    # platform.  The emitted rows are unchanged — identical inputs prepare
+    # to identical values.
+    factor_keys = [
+        (
+            comm[offset].tobytes(),
+            comp[offset].tobytes(),
+            None if ret is None else ret[offset].tobytes(),
+        )
+        for offset in range(count)
+    ]
+    keyed_tables = []
+    seen: set[tuple] = set()
+    for size in spec.matrix_sizes:
+        c, w, d = cost_table(base_costs(size), comm, comp, ret)
+        for offset in range(count):
+            key = (factor_keys[offset], size)
+            if key not in seen:
+                seen.add(key)
+                keyed_tables.append((key, c[offset], w[offset], d[offset]))
+    cells = prepare_cells(spec.heuristics, spec.reference, spec.total_tasks, keyed_tables)
+
+    noise_factory = NOISE_FACTORIES[spec.noise] if spec.noise is not None else None
+    occurrences = []
+    for offset in range(count):
+        platform_index = start + offset
+        for size in spec.matrix_sizes:
+            cell = cells[(factor_keys[offset], size)]
+            perturbed = None
+            if noise_factory is not None:
+                noise = noise_factory(noise_seed(spec.family.seed, platform_index, size))
+                perturbed = perturb_sequence(noise, cell.durations, cell.kinds, cell.workers)
+            occurrences.append((platform_index, size, cell, perturbed))
+
+    makespans = (
+        replay_grouped(occurrences, len(spec.heuristics))
+        if noise_factory is not None
+        else None
+    )
+
+    rows: list[dict] = []
+    for occurrence, (platform_index, size, cell, _) in enumerate(occurrences):
+        values: dict[str, float] = {}
+        for slot, (name, lp_ratio) in enumerate(cell.lp_ratios):
+            values[f"{name} lp"] = lp_ratio
+            if makespans is not None:
+                values[f"{name} real"] = makespans[occurrence, slot] / cell.reference_time
+            values[f"{name} workers"] = cell.prepared[slot].participant_count
+        values[f"{spec.reference} time"] = cell.reference_time
+        rows.append({"platform": platform_index, "size": int(size), "values": values})
+    return rows
+
+
+@dataclass
+class CampaignProgress:
+    """Outcome of one :func:`run_campaign` call (possibly partial)."""
+
+    state: CampaignState
+    chunk_size: int
+    total_chunks: int
+    completed_before: int
+    completed_after: int
+
+    @property
+    def finished(self) -> bool:
+        """Whether every chunk of the space is persisted."""
+        return self.completed_after == self.total_chunks
+
+    def rows(self) -> list[dict]:
+        return self.state.rows()
+
+    def aggregate(self, quantiles: Sequence[float] = (0.05, 0.5, 0.95)) -> dict:
+        return self.state.aggregate(quantiles=quantiles)
+
+
+def run_campaign(
+    spec: ScenarioSpec,
+    store: CampaignStore | str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jobs: int | None = 1,
+    max_chunks: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignProgress:
+    """Run (or resume) a scenario campaign, persisting chunk by chunk.
+
+    Chunks already present in the store are skipped — calling this on an
+    interrupted campaign completes it with results identical to an
+    uninterrupted run.  ``jobs`` evaluates up to that many pending chunks
+    concurrently (``None`` = one per CPU); the parent process writes each
+    group's results in chunk order before starting the next group, so the
+    store never holds a partially evaluated chunk.  ``max_chunks`` bounds
+    how many *new* chunks this call evaluates (used to budget sessions —
+    and by the resume tests to interrupt deterministically);
+    ``progress(done, total)`` is called after every persisted group.
+    """
+    if isinstance(store, (str, Path)):
+        store = CampaignStore(store)
+    state = store.campaign(spec)
+
+    chunks = plan_chunks(spec.family.count, chunk_size)
+    completed = state.completed_chunks
+    unknown = completed - set(range(len(chunks)))
+    mismatched = sorted(
+        index for index in completed - set(unknown) if state.chunk_range(index) != chunks[index]
+    )
+    if unknown or mismatched:
+        raise ExperimentError(
+            f"store chunks {sorted(unknown) + mismatched} do not fit the "
+            f"{len(chunks)}-chunk plan; resume with the chunk size the campaign "
+            "was started with"
+        )
+    pending = [index for index in range(len(chunks)) if index not in completed]
+    before = len(completed)
+    if max_chunks is not None:
+        if max_chunks < 0:
+            raise ExperimentError(f"max_chunks must be non-negative (got {max_chunks})")
+        pending = pending[:max_chunks]
+
+    if pending:
+        table = sample_factors(spec.family)
+        group_size = max(resolve_jobs(jobs), 1)
+        worker = partial(_evaluate_chunk, spec)
+        # One pool for the whole campaign: chunk groups reuse the workers
+        # instead of paying process spawn + numpy import per group.
+        pool = ProcessPoolExecutor(max_workers=group_size) if group_size > 1 else None
+        try:
+            for group_start in range(0, len(pending), group_size):
+                group = pending[group_start : group_start + group_size]
+                descriptors = []
+                for index in group:
+                    start, stop = chunks[index]
+                    view = table.rows(start, stop)
+                    descriptors.append((start, stop, view.comm, view.comp, view.ret))
+                results = run_sweep(worker, descriptors, jobs=group_size, executor=pool)
+                for index, rows in zip(group, results):
+                    state.append_chunk(index, chunks[index][0], chunks[index][1], rows)
+                if progress is not None:
+                    progress(len(state.completed_chunks), len(chunks))
+        finally:
+            if pool is not None:
+                # cancel_futures: an interrupt (Ctrl-C) must not sit
+                # through the whole queued backlog before reporting what
+                # was persisted.
+                pool.shutdown(cancel_futures=True)
+
+    return CampaignProgress(
+        state=state,
+        chunk_size=chunk_size,
+        total_chunks=len(chunks),
+        completed_before=before,
+        completed_after=len(state.completed_chunks),
+    )
+
+
+def aggregate_figure(spec: ScenarioSpec, aggregated: dict):
+    """Render an aggregate as a :class:`FigureResult` (mean per cell).
+
+    Gives ``scenarios run/show`` the same aligned-table output as the
+    figure experiments; quantile columns stay available through the raw
+    aggregate.
+    """
+    from repro.experiments.common import FigureResult
+
+    result = FigureResult(
+        figure=spec.name,
+        title=spec.description or f"scenario space {spec.name}",
+        x_label="matrix size",
+        parameters={"spec": spec.as_dict()},
+    )
+    for name in spec.heuristics:
+        for suffix in ("lp", "real", "workers"):
+            series = f"{name} {suffix}"
+            for size, cell in aggregated.get(series, {}).items():
+                result.add_point(series, size, cell["mean"])
+    series = f"{spec.reference} time"
+    for size, cell in aggregated.get(series, {}).items():
+        result.add_point(series, size, cell["mean"])
+    return result

@@ -1,0 +1,522 @@
+"""Declarative description of a scenario space.
+
+A :class:`ScenarioSpec` describes everything needed to regenerate a
+campaign deterministically: the platform family (distributions and
+correlations of the per-worker speed-up factors, worker count, draw count,
+seed, scale factors), the matrix-size grid, the heuristics to compare, the
+noise model of the measured series and the port model.  Specs are plain
+frozen dataclasses that round-trip through JSON (:meth:`ScenarioSpec.
+as_dict` / :meth:`ScenarioSpec.from_dict`), and their canonical JSON form
+is hashed (:func:`spec_hash`) to key the persistent result store — two
+campaigns with the same spec share results, whatever the spec was named.
+
+The module also ships :data:`NAMED_SPACES`, a library of ready-made
+spaces: the paper's Figure 10-13 factor sets re-expressed as specs (the
+sampler reproduces their platform draws bit for bit), three new families
+(bandwidth-correlated, bimodal two-cluster, power-law heterogeneity) and a
+10k-platform mega campaign, plus the :func:`product_specs` grid combinator
+to derive whole families of variant spaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "Distribution",
+    "PlatformFamily",
+    "ScenarioSpec",
+    "EVALUABLE_HEURISTICS",
+    "NOISE_MODELS",
+    "NAMED_SPACES",
+    "named_space",
+    "available_spaces",
+    "product_specs",
+    "spec_hash",
+]
+
+
+#: Heuristics a scenario campaign can evaluate at the array level: the
+#: LP-backed FIFO orderings of the campaign engine plus the closed-form
+#: LIFO chain (mirrors ``repro.experiments.campaign_engine``).
+EVALUABLE_HEURISTICS = ("INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER", "OPT_FIFO", "LIFO")
+
+#: Noise models a spec may name for its measured ("real") series; ``None``
+#: turns measurement off (LP-only campaigns).  The factories live in
+#: :mod:`repro.scenarios.runner` — the spec layer only validates the key.
+NOISE_MODELS = ("default", "overhead")
+
+#: Factor-distribution kinds understood by the sampler, with their
+#: required parameters (optional parameters in the second tuple).
+_DISTRIBUTION_KINDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "constant": (("value",), ()),
+    "uniform": (("low", "high"), ()),
+    "bimodal": (("slow", "fast", "fast_fraction"), ()),
+    "powerlaw": (("minimum", "alpha"), ("cap",)),
+}
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """How one per-worker speed-up factor is drawn.
+
+    ``kind`` selects the sampler; ``params`` are the kind's parameters as a
+    sorted tuple of ``(name, value)`` pairs (kept hashable for frozen
+    dataclass semantics — use :meth:`of` and :meth:`param` rather than
+    touching the tuple).  Supported kinds:
+
+    * ``constant(value)`` — every worker gets the same factor (the paper's
+      homogeneous dimensions);
+    * ``uniform(low, high)`` — i.i.d. uniform factors (the paper's
+      heterogeneous dimensions draw from ``uniform(1, 10)``);
+    * ``bimodal(slow, fast, fast_fraction)`` — each worker is ``fast`` with
+      probability ``fast_fraction``, else ``slow`` (two-cluster platforms);
+    * ``powerlaw(minimum, alpha[, cap])`` — Pareto-tailed factors
+      ``minimum * (1 + Pareto(alpha))``, optionally capped (a few very
+      fast nodes over a slow fleet).
+    """
+
+    kind: str
+    params: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DISTRIBUTION_KINDS:
+            raise ExperimentError(
+                f"unknown distribution kind {self.kind!r}; "
+                f"expected one of {sorted(_DISTRIBUTION_KINDS)}"
+            )
+        required, optional = _DISTRIBUTION_KINDS[self.kind]
+        given = {name for name, _ in self.params}
+        missing = set(required) - given
+        unknown = given - set(required) - set(optional)
+        if missing or unknown:
+            raise ExperimentError(
+                f"distribution {self.kind!r}: missing parameters {sorted(missing)}, "
+                f"unknown parameters {sorted(unknown)}"
+            )
+        self._validate_support()
+
+    def _validate_support(self) -> None:
+        """Factors divide positive costs, so every distribution must only
+        ever produce strictly positive values."""
+        kind = self.kind
+        if kind == "constant" and self.param("value") <= 0:
+            raise ExperimentError("constant factor must be positive")
+        elif kind == "uniform":
+            low, high = self.param("low"), self.param("high")
+            if low <= 0 or high < low:
+                raise ExperimentError("uniform factors need 0 < low <= high")
+        elif kind == "bimodal":
+            slow, fast = self.param("slow"), self.param("fast")
+            fraction = self.param("fast_fraction")
+            if slow <= 0 or fast <= 0:
+                raise ExperimentError("bimodal cluster factors must be positive")
+            if not 0.0 <= fraction <= 1.0:
+                raise ExperimentError("fast_fraction must lie in [0, 1]")
+        elif kind == "powerlaw":
+            minimum, alpha = self.param("minimum"), self.param("alpha")
+            cap = self.param("cap", None)
+            if minimum <= 0 or alpha <= 0:
+                raise ExperimentError("powerlaw needs positive minimum and alpha")
+            if cap is not None and cap < minimum:
+                raise ExperimentError("powerlaw cap must be at least the minimum")
+
+    @classmethod
+    def of(cls, kind: str, **params: float) -> "Distribution":
+        """Build a distribution from keyword parameters.
+
+        Values are coerced to float so that ``of(low=1)`` and
+        ``of(low=1.0)`` are the same distribution — equality, JSON form
+        and :func:`spec_hash` must not depend on the authoring style.
+        """
+        return cls(
+            kind=kind,
+            params=tuple(sorted((name, float(value)) for name, value in params.items())),
+        )
+
+    def param(self, name: str, default: float | None = ...) -> float | None:  # type: ignore[assignment]
+        """Look one parameter up (raises on absence unless a default is given)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is ...:
+            raise ExperimentError(f"distribution {self.kind!r} has no parameter {name!r}")
+        return default
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether sampling consumes no random stream."""
+        return self.kind == "constant"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Distribution":
+        return cls.of(str(data["kind"]), **{str(k): v for k, v in data.get("params", {}).items()})
+
+
+#: The reference factor (speed-up 1) used for homogeneous dimensions.
+UNIT = Distribution.of("constant", value=1.0)
+
+#: The paper's heterogeneous factor range, as a distribution.
+PAPER_UNIFORM = Distribution.of("uniform", low=1.0, high=10.0)
+
+
+@dataclass(frozen=True)
+class PlatformFamily:
+    """Distribution of one random platform family.
+
+    ``comm`` and ``comp`` describe the per-worker communication and
+    computation speed-up factors (the paper's Section 5.2 methodology: a
+    factor ``k`` divides the reference per-unit cost by ``k``).
+    ``return_comm``, when given, draws an *independent* speed-up for the
+    return link — the default ``None`` keeps the paper's model where the
+    return message travels the same link (``d = z * c``).  ``correlation``
+    couples the computation draw to the communication draw through a
+    Gaussian copula (both must be uniform; the declared marginals are
+    preserved exactly): 1 means comp is a monotone function of comm (fast
+    links imply fast CPUs), -1 the opposite, and intermediate values set
+    the copula parameter — the realised correlation between the factors is
+    the copula's rank correlation ``(6/pi) * asin(rho/2)``.
+    ``comm_scale``/``comp_scale`` multiply every drawn factor, the x10
+    scalings of Section 5.3.3.
+    """
+
+    workers: int
+    count: int
+    seed: int
+    comm: Distribution = UNIT
+    comp: Distribution = UNIT
+    return_comm: Distribution | None = None
+    correlation: float = 0.0
+    comm_scale: float = 1.0
+    comp_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Canonicalise the numeric fields (int literals are equivalent to
+        # their float forms and must hash identically).
+        object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "count", int(self.count))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "correlation", float(self.correlation))
+        object.__setattr__(self, "comm_scale", float(self.comm_scale))
+        object.__setattr__(self, "comp_scale", float(self.comp_scale))
+        if self.workers <= 0:
+            raise ExperimentError("a platform family needs at least one worker")
+        if self.count <= 0:
+            raise ExperimentError("a platform family needs at least one draw")
+        if not -1.0 <= self.correlation <= 1.0:
+            raise ExperimentError("correlation must lie in [-1, 1]")
+        if self.correlation != 0.0 and not (
+            self.comm.kind == "uniform" and self.comp.kind == "uniform"
+        ):
+            raise ExperimentError(
+                "correlated factor draws are defined for uniform comm/comp distributions"
+            )
+        if self.comm_scale <= 0 or self.comp_scale <= 0:
+            raise ExperimentError("scale factors must be positive")
+
+    def as_dict(self) -> dict:
+        data = {
+            "workers": self.workers,
+            "count": self.count,
+            "seed": self.seed,
+            "comm": self.comm.as_dict(),
+            "comp": self.comp.as_dict(),
+            "correlation": self.correlation,
+            "comm_scale": self.comm_scale,
+            "comp_scale": self.comp_scale,
+        }
+        if self.return_comm is not None:
+            data["return_comm"] = self.return_comm.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlatformFamily":
+        return cls(
+            workers=int(data["workers"]),
+            count=int(data["count"]),
+            seed=int(data["seed"]),
+            comm=Distribution.from_dict(data.get("comm", UNIT.as_dict())),
+            comp=Distribution.from_dict(data.get("comp", UNIT.as_dict())),
+            return_comm=(
+                Distribution.from_dict(data["return_comm"]) if "return_comm" in data else None
+            ),
+            correlation=float(data.get("correlation", 0.0)),
+            comm_scale=float(data.get("comm_scale", 1.0)),
+            comp_scale=float(data.get("comp_scale", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete scenario space: family x matrix-size grid.
+
+    A *scenario* is one (drawn platform, matrix size) cell; the space holds
+    ``family.count * len(matrix_sizes)`` of them.  ``heuristics`` are
+    evaluated on every cell with the scenario LP (``LIFO`` by its closed
+    form) and normalised by the ``reference`` heuristic's LP prediction,
+    exactly like the paper's campaign figures.  ``noise`` names the noise
+    model of the simulated measurements (``None`` runs LP-only, which is
+    what mega-campaigns typically want).
+    """
+
+    name: str
+    family: PlatformFamily
+    matrix_sizes: tuple[int, ...]
+    heuristics: tuple[str, ...] = ("INC_C", "INC_W", "LIFO")
+    reference: str = "INC_C"
+    total_tasks: int = 1000
+    noise: str | None = "default"
+    one_port: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("a scenario spec needs a name")
+        if not self.matrix_sizes:
+            raise ExperimentError("a scenario spec needs at least one matrix size")
+        if any(int(size) <= 0 for size in self.matrix_sizes):
+            raise ExperimentError("matrix sizes must be positive")
+        object.__setattr__(self, "matrix_sizes", tuple(int(size) for size in self.matrix_sizes))
+        object.__setattr__(self, "total_tasks", int(self.total_tasks))
+        if not self.heuristics:
+            raise ExperimentError("a scenario spec needs at least one heuristic")
+        unknown = [name for name in self.heuristics if name not in EVALUABLE_HEURISTICS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown heuristics {unknown}; evaluable: {list(EVALUABLE_HEURISTICS)}"
+            )
+        if self.reference not in self.heuristics:
+            raise ExperimentError(
+                f"the reference heuristic {self.reference!r} must be one of the evaluated ones"
+            )
+        if self.total_tasks <= 0:
+            raise ExperimentError("total_tasks must be positive")
+        if self.noise is not None and self.noise not in NOISE_MODELS:
+            raise ExperimentError(
+                f"unknown noise model {self.noise!r}; expected one of {list(NOISE_MODELS)} or null"
+            )
+        if not self.one_port:
+            # The runner's whole evaluation chain — FIFO LP build, the
+            # closed-form LIFO chain and the measurement replay — is
+            # one-port; accepting two-port specs would silently return
+            # one-port numbers for them.  The field stays in the JSON
+            # format so a future two-port runner is a value change, not a
+            # format change.
+            raise ExperimentError(
+                "two-port scenario spaces are not supported yet; "
+                "the campaign evaluation chain is one-port"
+            )
+
+    @property
+    def scenario_count(self) -> int:
+        """Number of (platform, size) cells in the space."""
+        return self.family.count * len(self.matrix_sizes)
+
+    def derive(self, name: str | None = None, **overrides) -> "ScenarioSpec":
+        """A copy with field overrides; family fields are routed through.
+
+        Keyword names matching a :class:`PlatformFamily` field (``count``,
+        ``seed``, ``workers``, ``comm_scale`` …) update the family, the
+        rest update the spec itself — the single-spec form of the
+        :func:`product_specs` combinator.
+        """
+        family_fields = {f.name for f in fields(PlatformFamily)}
+        family_overrides = {k: v for k, v in overrides.items() if k in family_fields}
+        spec_overrides = {k: v for k, v in overrides.items() if k not in family_fields}
+        unknown = [k for k in spec_overrides if k not in {f.name for f in fields(ScenarioSpec)}]
+        if unknown:
+            raise ExperimentError(f"unknown spec fields {unknown}")
+        family = replace(self.family, **family_overrides) if family_overrides else self.family
+        if "matrix_sizes" in spec_overrides:
+            spec_overrides["matrix_sizes"] = tuple(spec_overrides["matrix_sizes"])
+        if "heuristics" in spec_overrides:
+            spec_overrides["heuristics"] = tuple(spec_overrides["heuristics"])
+        return replace(self, name=name or self.name, family=family, **spec_overrides)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "family": self.family.as_dict(),
+            "matrix_sizes": list(self.matrix_sizes),
+            "heuristics": list(self.heuristics),
+            "reference": self.reference,
+            "total_tasks": self.total_tasks,
+            "noise": self.noise,
+            "one_port": self.one_port,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            family=PlatformFamily.from_dict(data["family"]),
+            matrix_sizes=tuple(int(size) for size in data["matrix_sizes"]),
+            heuristics=tuple(str(name) for name in data.get("heuristics", ("INC_C", "INC_W", "LIFO"))),
+            reference=str(data.get("reference", "INC_C")),
+            total_tasks=int(data.get("total_tasks", 1000)),
+            noise=data.get("noise", "default"),
+            one_port=bool(data.get("one_port", True)),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def spec_hash(spec: ScenarioSpec) -> str:
+    """Content hash identifying a spec's *results* (12 hex chars).
+
+    ``name`` and ``description`` are cosmetic and excluded: renaming a
+    space must not orphan its stored results.  Everything that affects a
+    single computed value — distributions, seeds, sizes, heuristics, noise,
+    port model — is included via the canonical sorted-JSON form.
+    """
+    payload = spec.as_dict()
+    payload.pop("name", None)
+    payload.pop("description", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def product_specs(base: ScenarioSpec, **axes: Sequence) -> list[ScenarioSpec]:
+    """Grid combinator: the cartesian product of override axes.
+
+    Each axis maps a spec or family field name to the values it sweeps;
+    the result is one derived spec per grid point, named
+    ``<base>/<field>=<value>/...`` in axis order.  Example::
+
+        product_specs(named_space("fig12"), workers=(5, 11, 25), seed=(0, 1))
+
+    yields six specs covering the 3x2 grid.
+    """
+    specs = [base]
+    for axis, values in axes.items():
+        if not values:
+            raise ExperimentError(f"axis {axis!r} must provide at least one value")
+        specs = [
+            spec.derive(name=f"{spec.name}/{axis}={value:g}" if isinstance(value, (int, float))
+                        else f"{spec.name}/{axis}={value}", **{axis: value})
+            for spec in specs
+            for value in values
+        ]
+    return specs
+
+
+def _paper_sizes() -> tuple[int, ...]:
+    return tuple(range(40, 201, 20))
+
+
+#: Library of named scenario spaces.  The fig* entries re-express the
+#: paper's campaign factor sets: their platform draws are bit-identical to
+#: ``repro.workloads.platforms.campaign_factors`` (pinned by the
+#: test-suite), so a sampler-fed campaign reproduces the figures exactly.
+NAMED_SPACES: dict[str, ScenarioSpec] = {
+    space.name: space
+    for space in (
+        ScenarioSpec(
+            name="fig10",
+            description="Paper Figure 10: 50 homogeneous 11-worker platforms",
+            family=PlatformFamily(workers=11, count=50, seed=10),
+            matrix_sizes=_paper_sizes(),
+            heuristics=("INC_C", "LIFO"),
+        ),
+        ScenarioSpec(
+            name="fig11",
+            description="Paper Figure 11: homogeneous links, uniform(1,10) CPUs",
+            family=PlatformFamily(workers=11, count=50, seed=11, comp=PAPER_UNIFORM),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="fig12",
+            description="Paper Figure 12: fully heterogeneous uniform(1,10) stars",
+            family=PlatformFamily(
+                workers=11, count=50, seed=12, comm=PAPER_UNIFORM, comp=PAPER_UNIFORM
+            ),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="fig13a",
+            description="Paper Figure 13a: heterogeneous stars, computation x10",
+            family=PlatformFamily(
+                workers=11, count=50, seed=12, comm=PAPER_UNIFORM, comp=PAPER_UNIFORM,
+                comp_scale=10.0,
+            ),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="fig13b",
+            description="Paper Figure 13b: heterogeneous stars, communication x10",
+            family=PlatformFamily(
+                workers=11, count=50, seed=12, comm=PAPER_UNIFORM, comp=PAPER_UNIFORM,
+                comm_scale=10.0,
+            ),
+            matrix_sizes=_paper_sizes(),
+            noise="overhead",
+        ),
+        ScenarioSpec(
+            name="bandwidth-correlated",
+            description="New family: fast links go with fast CPUs (rho=0.85)",
+            family=PlatformFamily(
+                workers=11, count=50, seed=42, comm=PAPER_UNIFORM, comp=PAPER_UNIFORM,
+                correlation=0.85,
+            ),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="bimodal",
+            description="New family: two-cluster platforms (30% fast nodes)",
+            family=PlatformFamily(
+                workers=11, count=50, seed=43,
+                comm=Distribution.of("bimodal", slow=1.0, fast=10.0, fast_fraction=0.3),
+                comp=Distribution.of("bimodal", slow=1.0, fast=8.0, fast_fraction=0.3),
+            ),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="power-law",
+            description="New family: Pareto-tailed CPU heterogeneity over uniform links",
+            family=PlatformFamily(
+                workers=11, count=50, seed=44, comm=PAPER_UNIFORM,
+                comp=Distribution.of("powerlaw", minimum=1.0, alpha=1.1, cap=100.0),
+            ),
+            matrix_sizes=_paper_sizes(),
+        ),
+        ScenarioSpec(
+            name="mega-uniform",
+            description="Mega campaign: 10k heterogeneous platforms, LP-only",
+            family=PlatformFamily(
+                workers=11, count=10_000, seed=7, comm=PAPER_UNIFORM, comp=PAPER_UNIFORM
+            ),
+            matrix_sizes=(120,),
+            noise=None,
+        ),
+    )
+}
+
+
+def available_spaces() -> list[str]:
+    """Names of the built-in scenario spaces."""
+    return sorted(NAMED_SPACES)
+
+
+def named_space(name: str) -> ScenarioSpec:
+    """Look one built-in space up by name."""
+    try:
+        return NAMED_SPACES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario space {name!r}; available: {available_spaces()}"
+        ) from None

@@ -1,0 +1,209 @@
+"""Persistent, resumable result store for scenario campaigns.
+
+A campaign's results live in one directory per spec, keyed by the spec's
+content hash (:func:`repro.scenarios.spec.spec_hash`) so renamed specs
+share results and different spaces never collide:
+
+.. code-block:: text
+
+    <root>/<hash12>/spec.json      # the spec, for humans and `show`
+    <root>/<hash12>/chunks.jsonl   # one JSON line per *completed* chunk
+
+``chunks.jsonl`` is strictly append-only: the runner evaluates one chunk
+of platforms at a time and appends ``{"chunk": i, "rows": [...]}`` when —
+and only when — the chunk is fully evaluated, flushing and fsyncing each
+line.  An interrupted campaign (Ctrl-C, ``kill -9``, power loss) therefore
+leaves a prefix of complete lines plus at most one truncated tail line;
+reopening truncates the torn tail away (so the next append starts on a
+fresh line) and resuming overwrites nothing else: the runner just skips
+the chunk indices already present.  Chunk results are deterministic
+functions of the spec, so a resumed campaign is bit-identical to an
+uninterrupted one (pinned by the test-suite).
+
+Rows are plain JSON objects ``{"platform": int, "size": int, "values":
+{series: float}}``; Python floats round-trip JSON exactly, so persisted
+results keep every bit.  :func:`aggregate_rows` turns them into
+means/quantiles per (series, size) cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.spec import ScenarioSpec, spec_hash
+
+__all__ = ["CampaignState", "CampaignStore", "aggregate_rows"]
+
+
+class CampaignState:
+    """One spec's slice of the store: its directory, chunks and rows."""
+
+    def __init__(self, directory: Path, spec: ScenarioSpec) -> None:
+        self.directory = Path(directory)
+        self.spec = spec
+        self.spec_path = self.directory / "spec.json"
+        self.chunks_path = self.directory / "chunks.jsonl"
+        self._completed: dict[int, list[dict]] = {}
+        self._ranges: dict[int, tuple[int, int]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.spec_path.exists():
+            stored = ScenarioSpec.from_json(self.spec_path.read_text(encoding="utf-8"))
+            if spec_hash(stored) != spec_hash(self.spec):
+                raise ExperimentError(
+                    f"store directory {self.directory} holds results of a different "
+                    f"spec ({stored.name!r}); refusing to mix campaigns"
+                )
+        else:
+            self.spec_path.write_text(self.spec.to_json() + "\n", encoding="utf-8")
+        self._completed = {}
+        if not self.chunks_path.exists():
+            return
+        raw = self.chunks_path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        valid_bytes = 0
+        for number, line_bytes in enumerate(lines):
+            line = line_bytes.decode("utf-8", errors="replace").strip()
+            if line:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if number == len(lines) - 1:
+                        # A truncated tail line is exactly what a kill
+                        # mid-write leaves behind.  Truncate the file back
+                        # to the last complete record so the next append
+                        # starts on a fresh line (appending straight after
+                        # the torn write would glue two records together);
+                        # the chunk is simply re-run.
+                        with open(self.chunks_path, "r+b") as handle:
+                            handle.truncate(valid_bytes)
+                        break
+                    raise ExperimentError(
+                        f"corrupt (non-tail) line {number + 1} in {self.chunks_path}"
+                    ) from None
+                index = int(record["chunk"])
+                # First write wins: a duplicate line can only appear if two
+                # runners raced on the same store, and the earlier results
+                # are the ones any completed aggregate was built from.
+                if index not in self._completed:
+                    self._completed[index] = record["rows"]
+                    self._ranges[index] = (int(record["start"]), int(record["stop"]))
+            valid_bytes += len(line_bytes)
+        else:
+            # No torn tail; a final record missing only its newline (flush
+            # raced the kill after the JSON but before "\n") still needs
+            # one before the next append.
+            if raw and not raw.endswith(b"\n"):
+                with open(self.chunks_path, "ab") as handle:
+                    handle.write(b"\n")
+
+    @property
+    def completed_chunks(self) -> set[int]:
+        """Indices of the chunks already evaluated and persisted."""
+        return set(self._completed)
+
+    def chunk_rows(self, index: int) -> list[dict]:
+        """Rows of one completed chunk."""
+        return self._completed[index]
+
+    def chunk_range(self, index: int) -> tuple[int, int]:
+        """The ``[start, stop)`` platform range a completed chunk covers.
+
+        The runner validates these against its chunk plan, so a campaign
+        resumed with a different ``chunk_size`` fails loudly instead of
+        silently mixing two shardings of the space.
+        """
+        return self._ranges[index]
+
+    def append_chunk(self, index: int, start: int, stop: int, rows: Sequence[Mapping]) -> None:
+        """Persist one finished chunk (atomic at line granularity)."""
+        if index in self._completed:
+            raise ExperimentError(f"chunk {index} is already persisted")
+        line = json.dumps(
+            {"chunk": index, "start": int(start), "stop": int(stop), "rows": list(rows)},
+            sort_keys=True,
+        )
+        with open(self.chunks_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._completed[index] = list(rows)
+        self._ranges[index] = (int(start), int(stop))
+
+    def rows(self) -> list[dict]:
+        """Every persisted row, in chunk order."""
+        collected: list[dict] = []
+        for index in sorted(self._completed):
+            collected.extend(self._completed[index])
+        return collected
+
+    def aggregate(self, quantiles: Sequence[float] = (0.05, 0.5, 0.95)) -> dict:
+        """Means/quantiles per (series, size) over the persisted rows."""
+        return aggregate_rows(self.rows(), quantiles=quantiles)
+
+
+class CampaignStore:
+    """A directory of campaign states, one per spec hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def campaign(self, spec: ScenarioSpec) -> CampaignState:
+        """Open (or create) the state directory of one spec."""
+        return CampaignState(self.root / spec_hash(spec), spec)
+
+    def exists(self, spec: ScenarioSpec) -> bool:
+        """Whether the store already holds (some) results for ``spec``."""
+        return (self.root / spec_hash(spec) / "spec.json").exists()
+
+    def campaigns(self) -> list[tuple[str, ScenarioSpec]]:
+        """Every (hash, spec) pair persisted under the root."""
+        found: list[tuple[str, ScenarioSpec]] = []
+        if not self.root.exists():
+            return found
+        for path in sorted(self.root.iterdir()):
+            spec_path = path / "spec.json"
+            if spec_path.is_file():
+                found.append(
+                    (path.name, ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8")))
+                )
+        return found
+
+
+def aggregate_rows(
+    rows: Iterable[Mapping], quantiles: Sequence[float] = (0.05, 0.5, 0.95)
+) -> dict:
+    """Aggregate per-scenario rows into per-(series, size) statistics.
+
+    Returns ``{series: {size: {"count", "mean", "min", "max", "qXX"...}}}``
+    with one ``qXX`` entry per requested quantile (linear interpolation).
+    """
+    collected: dict[str, dict[int, list[float]]] = {}
+    for row in rows:
+        size = int(row["size"])
+        for series, value in row["values"].items():
+            collected.setdefault(series, {}).setdefault(size, []).append(float(value))
+
+    aggregated: dict[str, dict[int, dict[str, float]]] = {}
+    for series, per_size in collected.items():
+        aggregated[series] = {}
+        for size, values in sorted(per_size.items()):
+            array = np.array(values)
+            cell = {
+                "count": int(array.size),
+                "mean": float(array.mean()),
+                "min": float(array.min()),
+                "max": float(array.max()),
+            }
+            for q in quantiles:
+                cell[f"q{round(q * 100):02d}"] = float(np.quantile(array, q))
+            aggregated[series][size] = cell
+    return aggregated

@@ -25,7 +25,7 @@ the "real" measurements of the experiments are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Mapping, Sequence
 
 from repro.core.platform import StarPlatform

@@ -10,7 +10,7 @@ to JSON or rendered as an ASCII Gantt chart for terminals and log files.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.exceptions import SimulationError

@@ -19,8 +19,7 @@ specific 4-worker platform of the participation study (Section 5.3.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -150,21 +149,38 @@ def campaign_factors(
     """
     if count <= 0:
         raise ExperimentError("count must be positive")
-    rng = np.random.default_rng(seed)
-    factories = {
-        "homogeneous": lambda index: homogeneous_factors(size, label=f"homogeneous-{index}"),
-        "hetero-comp": lambda index: hetero_computation_factors(
-            rng, size, label=f"hetero-comp-{index}"
-        ),
-        "hetero-star": lambda index: hetero_star_factors(rng, size, label=f"hetero-star-{index}"),
+    # The factor matrices come from the scenario sampler's vectorised draw
+    # (one stacked RNG call per family), which reproduces the historical
+    # per-platform generator stream bit for bit — pinned by the test-suite
+    # against the sequential `random_factors` path kept above for
+    # single-platform callers.
+    from repro.scenarios.sampler import sample_factors
+    from repro.scenarios.spec import Distribution, PlatformFamily
+
+    uniform = Distribution.of("uniform", low=FACTOR_RANGE[0], high=FACTOR_RANGE[1])
+    unit = Distribution.of("constant", value=1.0)
+    dimensions = {
+        "homogeneous": (unit, unit),
+        "hetero-comp": (unit, uniform),
+        "hetero-star": (uniform, uniform),
     }
     try:
-        factory = factories[kind]
+        comm, comp = dimensions[kind]
     except KeyError:
         raise ExperimentError(
-            f"unknown campaign kind {kind!r}; expected one of {sorted(factories)}"
+            f"unknown campaign kind {kind!r}; expected one of {sorted(dimensions)}"
         ) from None
-    return [factory(index) for index in range(count)]
+    table = sample_factors(
+        PlatformFamily(workers=size, count=count, seed=seed, comm=comm, comp=comp)
+    )
+    return [
+        PlatformFactors(
+            comm=tuple(table.comm[index].tolist()),
+            comp=tuple(table.comp[index].tolist()),
+            label=f"{kind}-{index}",
+        )
+        for index in range(count)
+    ]
 
 
 def participation_platform(

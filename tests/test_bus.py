@@ -14,7 +14,7 @@ from repro.core.bus import (
     u_sequence,
 )
 from repro.core.fifo import fifo_schedule_for_order
-from repro.core.platform import bus_platform, homogeneous_platform
+from repro.core.platform import bus_platform
 from repro.exceptions import PlatformError
 
 

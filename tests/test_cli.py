@@ -79,3 +79,129 @@ class TestMain:
 
         with pytest.raises(ExperimentError):
             main(["run", "fig99", "--preset", "quick"])
+
+    def test_run_threads_seed_to_every_experiment(self, capsys):
+        """`run all --seed` is accepted uniformly (figs 08-14 + crossover)."""
+        assert main(["run", "fig14", "--preset", "quick", "--seed", "5"]) == 0
+        assert "fig14" in capsys.readouterr().out
+
+    def test_seed_changes_random_campaigns(self, capsys):
+        assert main(["run", "fig12", "--preset", "quick", "--seed", "12"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["run", "fig12", "--preset", "quick", "--seed", "99"]) == 0
+        reseeded = capsys.readouterr().out
+        assert baseline != reseeded
+
+
+class TestScenariosCommands:
+    @pytest.fixture()
+    def tiny_space(self, tmp_path):
+        from repro.scenarios.spec import named_space
+
+        spec = named_space("fig12").derive(
+            name="cli-tiny", count=4, matrix_sizes=(40, 120)
+        )
+        path = tmp_path / "space.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        return spec, path, tmp_path / "store"
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig10", "fig12", "bimodal", "power-law", "mega-uniform"):
+            assert name in out
+
+    def test_scenarios_run_and_show(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        code = main(
+            ["scenarios", "run", str(path), "--store", str(store), "--chunk-size", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chunks: 2/2 complete" in out
+        assert "INC_C lp" in out
+
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert '"name": "cli-tiny"' in out
+        assert "persisted scenarios: 8 of 8" in out
+
+    def test_scenarios_run_is_idempotent(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        assert main(["scenarios", "run", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "run", str(path), "--store", str(store)]) == 0
+        assert "(0 new)" in capsys.readouterr().out
+
+    def test_scenarios_interrupt_then_resume(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        code = main(
+            [
+                "scenarios", "run", str(path),
+                "--store", str(store), "--chunk-size", "1", "--max-chunks", "2",
+            ]
+        )
+        assert code == 0
+        assert "campaign incomplete" in capsys.readouterr().out
+        code = main(
+            ["scenarios", "resume", str(path), "--store", str(store), "--chunk-size", "1"]
+        )
+        assert code == 0
+        assert "chunks: 4/4 complete" in capsys.readouterr().out
+
+    def test_scenarios_resume_requires_prior_results(self, tiny_space):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(["scenarios", "resume", str(path), "--store", str(store)])
+
+    def test_scenarios_run_named_space_with_overrides(self, capsys, tmp_path):
+        code = main(
+            [
+                "scenarios", "run", "fig10",
+                "--store", str(tmp_path), "--count", "3", "--seed", "10",
+            ]
+        )
+        assert code == 0
+        assert "chunks: 1/1 complete" in capsys.readouterr().out
+
+    def test_scenarios_show_without_results(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        assert "no stored results" in capsys.readouterr().out
+
+    def test_incomplete_hint_reproduces_flags(self, capsys, tmp_path):
+        """The printed resume command must carry every flag that shapes the
+        campaign (spec derivations and the chunk plan)."""
+        code = main(
+            [
+                "scenarios", "run", "fig10",
+                "--store", str(tmp_path), "--count", "4", "--seed", "10",
+                "--chunk-size", "1", "--max-chunks", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--chunk-size 1" in out
+        assert "--count 4" in out
+        assert "--seed 10" in out
+
+    def test_missing_spec_file_reports_cleanly(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="cannot read scenario spec"):
+            main(["scenarios", "show", str(tmp_path / "nope.json")])
+
+    def test_invalid_spec_file_reports_cleanly(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ExperimentError, match="invalid scenario spec"):
+            main(["scenarios", "show", str(path)])
+
+    def test_local_file_cannot_shadow_named_space(self, tmp_path, monkeypatch, capsys):
+        """A stray file named like a built-in space must not hijack it."""
+        (tmp_path / "fig10").write_text("not a spec", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenarios", "show", "fig10", "--store", str(tmp_path / "s")]) == 0
+        assert '"name": "fig10"' in capsys.readouterr().out

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulation.engine import Resource, Simulator, Store
+from repro.simulation.engine import Resource, Simulator
 
 
 class TestEventsAndTimeouts:

@@ -168,6 +168,23 @@ class TestFig13AndFig14:
     def test_fig14_rejects_bad_x(self):
         with pytest.raises(ExperimentError):
             fig14_participation.run_single(0.0)
+        with pytest.raises(ExperimentError):
+            fig14_participation.run(x_values=(1.0, -2.0), total_tasks=100)
+
+    def test_fig14_batched_grid_matches_per_cell_path(self):
+        """run() stacks the whole x-grid into one batched kernel call; the
+        series must equal the scalar run_single panels bit for bit."""
+        batched = fig14_participation.run(x_values=(1.0, 3.0), total_tasks=200)
+        for panel, x in zip(batched, (1.0, 3.0)):
+            single = fig14_participation.run_single(x, total_tasks=200)
+            assert panel.series == single.series
+            assert panel.figure == single.figure
+            assert panel.parameters == single.parameters
+
+    def test_fig14_jobs_do_not_change_series(self):
+        serial = fig14_participation.run(total_tasks=200, jobs=1)
+        parallel = fig14_participation.run(total_tasks=200, jobs=2)
+        assert [r.series for r in serial] == [r.series for r in parallel]
 
 
 class TestRegistryAndReport:

@@ -212,7 +212,9 @@ class TestFastTimelineReplay:
             got = fast.records[name]
             assert got.as_dict() == expected.as_dict()
         # same Gantt bars (ordering within equal timestamps may differ)
-        key = lambda e: (e.resource, e.kind, e.start, e.end, e.load, e.note)
+        def key(e):
+            return (e.resource, e.kind, e.start, e.end, e.load, e.note)
+
         assert sorted(map(key, fast.trace)) == sorted(map(key, event.trace))
 
     def test_two_port_auto_uses_fast_replay(self, three_workers):

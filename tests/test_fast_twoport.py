@@ -10,7 +10,6 @@ the realised event times.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -39,7 +38,8 @@ def _assert_same_run(fast, event):
     assert set(fast.records) == set(event.records)
     for name, expected in event.records.items():
         assert fast.records[name].as_dict() == expected.as_dict()
-    key = lambda e: (e.resource, e.kind, e.start, e.end, e.load, e.note)
+    def key(e):
+        return (e.resource, e.kind, e.start, e.end, e.load, e.note)
     assert sorted(map(key, fast.trace)) == sorted(map(key, event.trace))
 
 

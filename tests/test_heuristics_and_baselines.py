@@ -20,7 +20,7 @@ from repro.core.heuristics import (
     optimal_fifo,
     platform_order_fifo,
 )
-from repro.core.platform import StarPlatform, Worker, homogeneous_platform
+from repro.core.platform import homogeneous_platform
 from repro.core.twoport import (
     optimal_two_port_fifo_schedule,
     optimal_two_port_lifo_schedule,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.fifo import optimal_fifo_schedule
 from repro.core.heuristics import inc_c
-from repro.core.rounding import integer_load_schedule
 from repro.exceptions import SimulationError
 from repro.runtime.api import MASTER_RANK, NodeContext, SimulatedRuntime
 from repro.runtime.matrix_app import campaign_from_schedule, run_matrix_campaign

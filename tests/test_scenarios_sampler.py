@@ -1,0 +1,214 @@
+"""Tests for the array-native sampler (:mod:`repro.scenarios.sampler`).
+
+The load-bearing assertions are the bit-identity pins: the vectorised
+factor draws must reproduce the historical sequential generator stream of
+the paper's campaigns exactly, and the stacked cost tables must equal the
+object path's worker costs bit for bit — that is what makes sampler-fed
+campaigns interchangeable with ``StarPlatform``-object campaigns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import compare_heuristics
+from repro.scenarios.sampler import (
+    ORDER_RULES,
+    base_costs,
+    cost_table,
+    family_cost_tables,
+    lifo_chain_values,
+    sample_factors,
+    sorted_indices,
+    worker_names,
+)
+from repro.scenarios.spec import Distribution, PlatformFamily, named_space
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import (
+    campaign_factors,
+    hetero_computation_factors,
+    hetero_star_factors,
+    homogeneous_factors,
+)
+
+
+def sequential_factors(kind: str, count: int, size: int, seed: int):
+    """The historical object path: one platform drawn at a time from a
+    single shared generator (what ``campaign_factors`` did before it was
+    lifted onto the sampler)."""
+    rng = np.random.default_rng(seed)
+    factories = {
+        "homogeneous": lambda: homogeneous_factors(size),
+        "hetero-comp": lambda: hetero_computation_factors(rng, size),
+        "hetero-star": lambda: hetero_star_factors(rng, size),
+    }
+    return [factories[kind]() for _ in range(count)]
+
+
+#: (named space, campaign kind) pairs tying the spec library to the
+#: paper's factor-set generators.
+PAPER_SPACES = (
+    ("fig10", "homogeneous"),
+    ("fig11", "hetero-comp"),
+    ("fig12", "hetero-star"),
+    ("fig13a", "hetero-star"),
+    ("fig13b", "hetero-star"),
+)
+
+
+class TestPaperFactorParity:
+    @pytest.mark.parametrize("space, kind", PAPER_SPACES)
+    def test_draws_bit_identical_to_sequential_object_path(self, space, kind):
+        spec = named_space(space)
+        table = sample_factors(spec.family)
+        sequential = sequential_factors(kind, spec.family.count, spec.family.workers,
+                                        spec.family.seed)
+        scale = spec.family.comm_scale, spec.family.comp_scale
+        for index, factors in enumerate(sequential):
+            if scale != (1.0, 1.0):
+                factors = factors.scaled(comm=scale[0], comp=scale[1])
+            assert (np.array(factors.comm) == table.comm[index]).all()
+            assert (np.array(factors.comp) == table.comp[index]).all()
+
+    @pytest.mark.parametrize("kind", ["homogeneous", "hetero-comp", "hetero-star"])
+    def test_campaign_factors_matches_sequential_path(self, kind):
+        """The public generator (now sampler-backed) keeps its old stream."""
+        vectorised = campaign_factors(kind, 7, size=11, seed=5)
+        sequential = sequential_factors(kind, 7, 11, 5)
+        for new, old in zip(vectorised, sequential):
+            assert new.comm == old.comm
+            assert new.comp == old.comp
+        assert [f.label for f in vectorised] == [f"{kind}-{i}" for i in range(7)]
+
+    def test_prefix_property(self):
+        """A smaller count draws a prefix of the larger count's platforms."""
+        spec = named_space("fig12")
+        small = sample_factors(spec.derive(count=5).family)
+        large = sample_factors(spec.family)
+        assert (small.comm == large.comm[:5]).all()
+        assert (small.comp == large.comp[:5]).all()
+
+
+class TestCostTables:
+    def test_bit_identical_to_platform_cost_vectors(self):
+        spec = named_space("fig12").derive(count=6)
+        table = sample_factors(spec.family)
+        for size in (40, 120, 200):
+            c, w, d = family_cost_tables(table, size)
+            workload = MatrixProductWorkload(size)
+            for index in range(spec.family.count):
+                platform = workload.platform(
+                    tuple(table.comm[index].tolist()), tuple(table.comp[index].tolist())
+                )
+                oc, ow, od = platform.cost_vectors(platform.worker_names)
+                assert (c[index] == oc).all()
+                assert (w[index] == ow).all()
+                assert (d[index] == od).all()
+
+    def test_base_costs_match_workload(self):
+        workload = MatrixProductWorkload(120)
+        assert base_costs(120) == (workload.base_c, workload.base_w, workload.base_d)
+
+    def test_return_comm_drives_d_only(self):
+        family = PlatformFamily(
+            workers=4,
+            count=3,
+            seed=1,
+            comm=Distribution.of("uniform", low=1.0, high=10.0),
+            comp=Distribution.of("constant", value=1.0),
+            return_comm=Distribution.of("uniform", low=1.0, high=4.0),
+        )
+        table = sample_factors(family)
+        assert table.ret is not None
+        assert not (table.ret == table.comm).all()
+        base = base_costs(100)
+        c, w, d = cost_table(base, table.comm, table.comp, table.ret)
+        assert (c == base[0] / table.comm).all()
+        assert (d == base[2] / table.ret).all()
+        assert (w == base[1]).all()
+
+
+class TestNewFamilies:
+    def test_bimodal_values_are_two_clusters(self):
+        spec = named_space("bimodal")
+        table = sample_factors(spec.family)
+        assert set(np.unique(table.comm)) <= {1.0, 10.0}
+        assert set(np.unique(table.comp)) <= {1.0, 8.0}
+        # both clusters actually appear at this family size
+        assert len(np.unique(table.comm)) == 2
+
+    def test_powerlaw_support(self):
+        spec = named_space("power-law")
+        table = sample_factors(spec.family)
+        assert (table.comp >= 1.0).all()
+        assert (table.comp <= 100.0).all()
+        # Pareto tails: some draws land well above the uniform range
+        assert table.comp.max() > 10.0
+
+    def test_correlated_family(self):
+        spec = named_space("bandwidth-correlated")
+        table = sample_factors(spec.family)
+        low, high = 1.0, 10.0
+        assert (table.comm >= low).all() and (table.comm <= high).all()
+        assert (table.comp >= low).all() and (table.comp <= high).all()
+        correlation = np.corrcoef(table.comm.ravel(), table.comp.ravel())[0, 1]
+        assert correlation > 0.7
+
+    def test_correlation_preserves_uniform_marginals(self):
+        """The Gaussian copula couples the dimensions without distorting
+        the declared uniform(1, 10) marginals."""
+        family = named_space("bandwidth-correlated").derive(count=2000).family
+        table = sample_factors(family)
+        uniform_mean = 5.5
+        uniform_std = 9.0 / np.sqrt(12.0)
+        for draws in (table.comm, table.comp):
+            assert abs(draws.mean() - uniform_mean) < 0.1
+            assert abs(draws.std() - uniform_std) < 0.05
+            # tails are populated, not squeezed toward the middle
+            assert (draws < 1.9).mean() > 0.07
+            assert (draws > 9.1).mean() > 0.07
+
+    def test_negative_correlation(self):
+        family = named_space("bandwidth-correlated").family
+        negative = sample_factors(
+            PlatformFamily(
+                workers=family.workers, count=family.count, seed=family.seed,
+                comm=family.comm, comp=family.comp, correlation=-0.85,
+            )
+        )
+        correlation = np.corrcoef(negative.comm.ravel(), negative.comp.ravel())[0, 1]
+        assert correlation < -0.7
+
+    def test_rows_view(self):
+        table = sample_factors(named_space("fig12").family)
+        view = table.rows(10, 20)
+        assert view.count == 10
+        assert (view.comm == table.comm[10:20]).all()
+
+
+class TestHeuristicMirrors:
+    def test_order_rules_match_object_heuristics(self):
+        """Sampler tables + ORDER_RULES + kernel == compare_heuristics."""
+        spec = named_space("fig12").derive(count=4)
+        table = sample_factors(spec.family)
+        size = 120
+        c, w, d = family_cost_tables(table, size)
+        workload = MatrixProductWorkload(size)
+        names = worker_names(spec.family.workers)
+        for index in range(spec.family.count):
+            platform = workload.platform(
+                tuple(table.comm[index].tolist()), tuple(table.comp[index].tolist())
+            )
+            results = compare_heuristics(platform, ("INC_C", "INC_W", "LIFO"))
+            row_c, row_w, row_d = c[index].tolist(), w[index].tolist(), d[index].tolist()
+            for name in ("INC_C", "INC_W"):
+                order = ORDER_RULES[name](names, row_c, row_w, row_d)
+                assert [names[i] for i in order] == list(results[name].schedule.sigma1)
+            lifo_order = sorted_indices(names, row_c)
+            values = lifo_chain_values(row_c, row_w, row_d, lifo_order)
+            reference = [
+                results["LIFO"].schedule.load(names[i]) for i in lifo_order
+            ]
+            assert values == reference
+            assert sum(values) == results["LIFO"].throughput

@@ -1,0 +1,181 @@
+"""Tests for the declarative scenario-space specs (:mod:`repro.scenarios.spec`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.spec import (
+    NAMED_SPACES,
+    Distribution,
+    PlatformFamily,
+    ScenarioSpec,
+    available_spaces,
+    named_space,
+    product_specs,
+    spec_hash,
+)
+
+
+class TestDistribution:
+    def test_of_and_param(self):
+        dist = Distribution.of("uniform", low=1.0, high=10.0)
+        assert dist.param("low") == 1.0
+        assert dist.param("high") == 10.0
+        assert dist.param("cap", None) is None
+
+    def test_missing_param_raises(self):
+        dist = Distribution.of("constant", value=2.0)
+        with pytest.raises(ExperimentError):
+            dist.param("low")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            Distribution.of("zipf", s=2.0)
+
+    def test_missing_required_parameter_rejected(self):
+        with pytest.raises(ExperimentError):
+            Distribution.of("uniform", low=1.0)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ExperimentError):
+            Distribution.of("constant", value=1.0, scale=2.0)
+
+    @pytest.mark.parametrize(
+        "kind, params",
+        [
+            ("constant", {"value": 0.0}),
+            ("uniform", {"low": 0.0, "high": 1.0}),
+            ("uniform", {"low": 5.0, "high": 1.0}),
+            ("bimodal", {"slow": -1.0, "fast": 2.0, "fast_fraction": 0.5}),
+            ("bimodal", {"slow": 1.0, "fast": 2.0, "fast_fraction": 1.5}),
+            ("powerlaw", {"minimum": 1.0, "alpha": 0.0}),
+            ("powerlaw", {"minimum": 2.0, "alpha": 1.0, "cap": 1.0}),
+        ],
+    )
+    def test_invalid_support_rejected(self, kind, params):
+        with pytest.raises(ExperimentError):
+            Distribution.of(kind, **params)
+
+    def test_round_trip(self):
+        dist = Distribution.of("powerlaw", minimum=1.0, alpha=1.5, cap=50.0)
+        assert Distribution.from_dict(dist.as_dict()) == dist
+
+
+class TestPlatformFamily:
+    def test_correlation_requires_uniform(self):
+        with pytest.raises(ExperimentError):
+            PlatformFamily(workers=4, count=2, seed=0, correlation=0.5)
+
+    def test_correlation_bounds(self):
+        uniform = Distribution.of("uniform", low=1.0, high=10.0)
+        with pytest.raises(ExperimentError):
+            PlatformFamily(
+                workers=4, count=2, seed=0, comm=uniform, comp=uniform, correlation=1.5
+            )
+
+    def test_positive_counts(self):
+        with pytest.raises(ExperimentError):
+            PlatformFamily(workers=0, count=2, seed=0)
+        with pytest.raises(ExperimentError):
+            PlatformFamily(workers=2, count=0, seed=0)
+
+    def test_round_trip_with_return_comm(self):
+        family = PlatformFamily(
+            workers=5,
+            count=3,
+            seed=9,
+            comm=Distribution.of("uniform", low=1.0, high=10.0),
+            return_comm=Distribution.of("uniform", low=1.0, high=4.0),
+        )
+        assert PlatformFamily.from_dict(family.as_dict()) == family
+
+
+class TestScenarioSpec:
+    def test_named_spaces_round_trip_json(self):
+        for name in available_spaces():
+            spec = NAMED_SPACES[name]
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_scenario_count(self):
+        spec = named_space("fig12")
+        assert spec.scenario_count == 50 * 9
+
+    def test_reference_must_be_evaluated(self):
+        with pytest.raises(ExperimentError):
+            named_space("fig12").derive(heuristics=("INC_W", "LIFO"))
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ExperimentError):
+            named_space("fig12").derive(heuristics=("INC_C", "RANDOM"))
+
+    def test_unknown_noise_rejected(self):
+        with pytest.raises(ExperimentError):
+            named_space("fig12").derive(noise="heavy")
+
+    def test_two_port_rejected(self):
+        """The evaluation chain is one-port; two-port specs must fail
+        loudly rather than silently get one-port numbers."""
+        with pytest.raises(ExperimentError):
+            named_space("fig12").derive(one_port=False)
+        with pytest.raises(ExperimentError):
+            named_space("fig12").derive(noise=None, one_port=False)
+
+    def test_unknown_named_space(self):
+        with pytest.raises(ExperimentError):
+            named_space("fig99")
+
+    def test_derive_routes_family_fields(self):
+        spec = named_space("fig12").derive(name="small", count=4, seed=3, total_tasks=10)
+        assert spec.name == "small"
+        assert spec.family.count == 4 and spec.family.seed == 3
+        assert spec.total_tasks == 10
+        with pytest.raises(ExperimentError):
+            spec.derive(bogus_field=1)
+
+
+class TestSpecHash:
+    def test_name_and_description_are_cosmetic(self):
+        spec = named_space("fig12")
+        renamed = spec.derive(name="renamed")
+        assert spec_hash(renamed) == spec_hash(spec)
+
+    def test_seed_changes_hash(self):
+        spec = named_space("fig12")
+        assert spec_hash(spec.derive(seed=999)) != spec_hash(spec)
+
+    def test_hash_survives_json_round_trip(self):
+        spec = named_space("power-law")
+        assert spec_hash(ScenarioSpec.from_json(spec.to_json())) == spec_hash(spec)
+
+    def test_named_spaces_have_distinct_hashes(self):
+        hashes = {spec_hash(spec) for spec in NAMED_SPACES.values()}
+        assert len(hashes) == len(NAMED_SPACES)
+
+    def test_hash_independent_of_numeric_literal_style(self):
+        """A hand-written spec with integer literals must hash like the
+        equivalent float-literal spec, or resume silently restarts."""
+        spec = named_space("fig12")
+        handwritten = ScenarioSpec.from_json(
+            spec.to_json().replace("1.0", "1").replace("10.0", "10")
+        )
+        assert spec_hash(handwritten) == spec_hash(spec)
+        relaxed = spec.derive(
+            comm=Distribution.of("uniform", low=1, high=10),
+            comp=Distribution.of("uniform", low=1, high=10),
+        )
+        assert spec_hash(relaxed) == spec_hash(spec)
+
+
+class TestProductSpecs:
+    def test_grid_product(self):
+        specs = product_specs(named_space("fig12"), workers=(5, 11), seed=(0, 1, 2))
+        assert len(specs) == 6
+        assert {spec.family.workers for spec in specs} == {5, 11}
+        assert {spec.family.seed for spec in specs} == {0, 1, 2}
+        assert len({spec.name for spec in specs}) == 6
+        assert len({spec_hash(spec) for spec in specs}) == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            product_specs(named_space("fig12"), seed=())

@@ -10,7 +10,7 @@ from repro.core.fifo import optimal_fifo_schedule
 from repro.core.heuristics import inc_c, lifo
 from repro.core.lifo import optimal_lifo_schedule
 from repro.core.platform import StarPlatform, Worker
-from repro.core.schedule import fifo_schedule, lifo_schedule
+from repro.core.schedule import fifo_schedule
 from repro.exceptions import SimulationError
 from repro.simulation.cluster import ClusterSimulation
 from repro.simulation.executor import execute_schedule, measure_heuristic
