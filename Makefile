@@ -12,12 +12,14 @@ bench:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q
 
 ## Fast perf-trajectory smoke run: the Figure 10-13 + crossover campaign
-## benchmarks and the scenario/batch kernel benchmarks at a reduced platform
-## count.  The raw record goes to BENCH_campaign.json (overwritten, as
-## before); a compact per-run summary (git sha, wall-clocks, speedup vs the
-## PR-1 reference) is APPENDED to BENCH_TRAJECTORY.jsonl so successive PRs
-## accumulate a perf trajectory.  REPRO_BENCH_PLATFORM_COUNT=50 reproduces
-## the paper-scale acceptance measurement.
+## benchmarks, the scenario/batch kernel benchmarks and the two-port
+## scenario campaign (the one_port:false evaluation chain) at a reduced
+## platform count.  The raw record goes to BENCH_campaign.json (overwritten,
+## as before); a compact per-run summary (git sha, wall-clocks incl. the
+## two-port campaign, speedup vs the PR-1 reference) is APPENDED to
+## BENCH_TRAJECTORY.jsonl so successive PRs accumulate a perf trajectory.
+## REPRO_BENCH_PLATFORM_COUNT=50 reproduces the paper-scale acceptance
+## measurement.
 bench-smoke:
 	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=$(or $(REPRO_BENCH_PLATFORM_COUNT),5) \
 	    $(PYTHON) -m pytest \

@@ -112,3 +112,41 @@ def test_runner_chunk_throughput(benchmark, tmp_path):
     benchmark.extra_info["scenarios_per_second"] = round(
         spec.scenario_count / benchmark.stats.stats.min, 1
     )
+
+
+@pytest.mark.benchmark(group="scenario-runner")
+def test_twoport_campaign_wall_clock(benchmark, tmp_path):
+    """Measured two-port campaign wall-clock for the perf trajectory.
+
+    Runs the fig12 factor set under the two-port master — the full
+    ``one_port: false`` chain: two-port kernel LPs, LP-backed LIFO,
+    merge-ordered noisy replays, chunked store writes.
+    ``REPRO_BENCH_PLATFORM_COUNT=50`` reproduces the paper scale; the
+    default of 5 keeps the smoke run fast on identical code paths.  The
+    wall-clock lands in ``extra_info["twoport_campaign"]`` and from there
+    in BENCH_TRAJECTORY.jsonl.
+    """
+    import os
+
+    from repro.scenarios.runner import run_campaign
+
+    platform_count = int(os.environ.get("REPRO_BENCH_PLATFORM_COUNT", "5"))
+    spec = named_space("fig12-twoport").derive(
+        name="bench-twoport", count=platform_count
+    )
+
+    counter = iter(range(1_000_000))
+
+    def run_fresh():
+        root = tmp_path / f"twoport-store-{next(counter)}"
+        return run_campaign(spec, root, chunk_size=25)
+
+    progress = benchmark.pedantic(run_fresh, rounds=2, iterations=1)
+    assert progress.finished
+    wall_clock = benchmark.stats.stats.min
+    benchmark.extra_info["twoport_campaign"] = {
+        "platform_count": platform_count,
+        "scenario_count": spec.scenario_count,
+        "wall_clock_seconds": round(wall_clock, 4),
+        "scenarios_per_second": round(spec.scenario_count / wall_clock, 1),
+    }

@@ -14,6 +14,9 @@ this script, which distils the run into one JSON line appended to
   modelling layer, and the batched-kernel-over-scalar-loop speedup;
 * the array-native scenario sampler's speedup over StarPlatform-object
   materialisation (batch = 1000 platforms);
+* the two-port scenario campaign's wall-clock (the ``one_port: false``
+  evaluation chain at whatever ``REPRO_BENCH_PLATFORM_COUNT`` the run
+  used: two-port kernel LPs plus merge-ordered noisy replays);
 * the wall-clock speedup against the PR-1 engine (reference numbers
   measured at commit dc51bf3 on the benchmark VM, same scales).
 
@@ -59,6 +62,7 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
 
     campaign = None
     sampler = None
+    twoport = None
     kernel_means: dict[str, dict[int, float]] = {"fast": {}, "scipy": {}}
     batch_speedups: dict[int, float] = {}
     for bench in data.get("benchmarks", []):
@@ -67,6 +71,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
             campaign = extra["campaign"]
         if "sampler" in extra:
             sampler = extra["sampler"]
+        if "twoport_campaign" in extra:
+            twoport = extra["twoport_campaign"]
         name = bench.get("name", "")
         workers = extra.get("workers")
         if workers is not None and "test_fast_kernel" in name:
@@ -99,6 +105,10 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
             entry["speedup_vs_pr1"] = round(reference / total, 2)
     if sampler is not None:
         entry["sampler_vs_objects_speedup"] = sampler.get("speedup")
+    if twoport is not None:
+        entry["twoport_platform_count"] = twoport.get("platform_count")
+        entry["twoport_wall_clock_seconds"] = twoport.get("wall_clock_seconds")
+        entry["twoport_scenarios_per_second"] = twoport.get("scenarios_per_second")
     kernel_speedup = {
         workers: round(kernel_means["scipy"][workers] / mean, 2)
         for workers, mean in kernel_means["fast"].items()

@@ -19,13 +19,17 @@ Scenario spaces (declarative campaigns over generated platform families)::
 
     repro-experiments scenarios list
     repro-experiments scenarios run fig12 --store results --jobs 0
+    repro-experiments scenarios run fig12-twoport --store results
     repro-experiments scenarios run my_space.json --chunk-size 50
     repro-experiments scenarios resume mega-uniform --store results
     repro-experiments scenarios show mega-uniform --store results
+    repro-experiments scenarios export mega-uniform --store results --npz mega.npz
 
 ``scenarios run`` persists every finished chunk, so an interrupted
 campaign (Ctrl-C, crash) picks up where it left off — ``resume`` is
-``run`` that insists prior results exist.
+``run`` that insists prior results exist.  Every verb works for one-port
+and two-port (``*-twoport``, or ``"one_port": false`` in a spec JSON)
+spaces alike; ``export`` turns a finished store into a columnar ``.npz``.
 """
 
 from __future__ import annotations
@@ -156,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_space_argument(show)
 
+    export = scenarios_sub.add_parser(
+        "export", help="columnar .npz export of a finished campaign store"
+    )
+    add_space_argument(export)
+    export.add_argument(
+        "--npz",
+        metavar="PATH",
+        required=True,
+        help="output .npz path: one float column per series plus "
+        "platform/size index arrays and the spec JSON",
+    )
+
     return parser
 
 
@@ -236,13 +252,32 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             return 0
         print(f"\nstore: {state.directory}")
         print(f"completed chunks: {len(state.completed_chunks)}")
-        rows = state.rows()
-        print(f"persisted scenarios: {len(rows)} of {spec.scenario_count}")
-        if rows:
-            from repro.scenarios.store import aggregate_rows
-
+        count = state.row_count()
+        print(f"persisted scenarios: {count} of {spec.scenario_count}")
+        if count:
             print()
-            print(aggregate_figure(spec, aggregate_rows(rows)).format_table())
+            print(aggregate_figure(spec, state.aggregate()).format_table())
+        return 0
+
+    if args.scenarios_command == "export":
+        if not store.exists(spec):
+            parser.error(
+                f"no campaign for {spec.name!r} (hash {spec_hash(spec)}) under "
+                f"{store.root}; run it first with 'scenarios run'"
+            )
+        state = store.campaign(spec)
+        covered = state.covered_platforms()
+        if covered < spec.family.count:
+            parser.error(
+                f"campaign {spec.name!r} is incomplete ({covered} of "
+                f"{spec.family.count} platforms persisted); finish it with "
+                "'scenarios resume' before exporting"
+            )
+        summary = state.export_npz(args.npz)
+        print(
+            f"wrote {summary['path']}: {summary['rows']} rows, "
+            f"{len(summary['series'])} series columns"
+        )
         return 0
 
     # run / resume
@@ -289,7 +324,7 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     )
     if not progress.finished:
         print(f"campaign incomplete; finish with:\n{resume_hint}")
-    if state.rows():
+    if state.row_count():
         print()
         print(aggregate_figure(spec, progress.aggregate()).format_table())
     return 0

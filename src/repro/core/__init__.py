@@ -78,6 +78,13 @@ from repro.core.twoport import (
     optimal_two_port_lifo_schedule,
     two_port_fifo_for_order,
 )
+from repro.core.batch_twoport import (
+    optimal_two_port_fifo_batch,
+    optimal_two_port_lifo_batch,
+    solve_two_port_batch,
+    solve_two_port_scenarios,
+    two_port_arrays_batch,
+)
 
 __all__ = [
     # platform & schedule models
@@ -122,6 +129,12 @@ __all__ = [
     "optimal_two_port_fifo_schedule",
     "optimal_two_port_lifo_schedule",
     "two_port_fifo_for_order",
+    # batched two-port kernel
+    "two_port_arrays_batch",
+    "solve_two_port_batch",
+    "solve_two_port_scenarios",
+    "optimal_two_port_fifo_batch",
+    "optimal_two_port_lifo_batch",
     # heuristics
     "HeuristicResult",
     "HEURISTICS",

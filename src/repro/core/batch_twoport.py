@@ -1,0 +1,175 @@
+"""Batched kernel for whole chunks of *two-port* scenario linear programs.
+
+Under the two-port model (companion report RR-2005-21, see
+:mod:`repro.core.twoport`) the master sends and receives on independent
+ports, so the scenario LP is system (2) **minus the coupling constraint
+(2b)**: ``q`` deadline rows instead of ``q + 1``.  This module is the
+two-port twin of :mod:`repro.core.batch_scenario` — the stacked-LP trick
+applied to the uncoupled system:
+
+* :func:`two_port_arrays_batch` stacks the uncoupled constraint matrices
+  of ``B`` scenarios into one ``(B, q, q)`` tensor (the same masked build
+  as the one-port kernel with the coupling row dropped — bit-identical
+  entries to the scalar :func:`~repro.core.fast_scenario.scenario_arrays`
+  with ``one_port=False``);
+* :func:`solve_two_port_batch` runs them through the shared masked dense
+  simplex (:func:`~repro.core.batch_scenario.solve_scenario_arrays_batch`:
+  one vectorised Dantzig iteration for every still-active problem, with
+  per-problem termination masks and the scalar-kernel fallback for
+  degenerate stragglers) — so every result is bit-identical to solving
+  each scenario with the scalar kernel;
+* :func:`solve_two_port_scenarios` is the mixed-scenario front end
+  (grouping by worker count, results in input order);
+* :func:`optimal_two_port_fifo_batch` / :func:`optimal_two_port_lifo_batch`
+  evaluate the companion report's optimal two-port FIFO / LIFO schedules
+  for a whole chunk of platforms at once, element for element identical to
+  :func:`repro.core.twoport.optimal_two_port_fifo_schedule` /
+  :func:`~repro.core.twoport.optimal_two_port_lifo_schedule` (pinned by
+  the test-suite over the paper's fig10-13 factor sets).
+
+The campaign engine's two-port cells
+(:func:`repro.experiments.campaign_engine.prepare_cells` with
+``one_port=False``) feed cost tables straight into
+:func:`two_port_arrays_batch` — the scenario subsystem's ``one_port:
+false`` axis runs entirely on this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch_scenario import (
+    BatchScenarioResult,
+    scenario_arrays_batch,
+    solve_scenario_arrays_batch,
+    solve_scenarios_fast,
+)
+from repro.core.fast_scenario import FastScenarioResult
+from repro.core.platform import StarPlatform
+from repro.core.twoport import TwoPortSolution
+
+__all__ = [
+    "optimal_two_port_fifo_batch",
+    "optimal_two_port_lifo_batch",
+    "solve_two_port_batch",
+    "solve_two_port_scenarios",
+    "two_port_arrays_batch",
+]
+
+
+def two_port_arrays_batch(
+    c: np.ndarray,
+    w: np.ndarray,
+    d: np.ndarray,
+    rank2: np.ndarray | None = None,
+    deadline: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the stacked ``A x <= b`` arrays of the uncoupled system.
+
+    ``c``, ``w``, ``d`` are ``(B, q)`` cost matrices in each scenario's
+    ``sigma1`` order; ``rank2`` gives the return-permutation ranks exactly
+    as in :func:`~repro.core.batch_scenario.scenario_arrays_batch`
+    (``None`` for FIFO, a ``(q,)`` shared permutation — e.g. the two-port
+    LIFO's ``q-1 .. 0`` — or a ``(B, q)`` per-scenario matrix).  The
+    result has ``q`` rows per scenario: the per-worker deadline rows (2a)
+    only, the two-port model having no port to couple.
+    """
+    return scenario_arrays_batch(c, w, d, rank2=rank2, deadline=deadline, one_port=False)
+
+
+def solve_two_port_batch(
+    c: np.ndarray,
+    w: np.ndarray,
+    d: np.ndarray,
+    rank2: np.ndarray | None = None,
+    deadline: float = 1.0,
+) -> BatchScenarioResult:
+    """Build and solve a stacked batch of two-port scenarios.
+
+    One masked vectorised simplex call for the whole batch; loads,
+    objectives and iteration counts are bit-identical to the scalar kernel
+    on each scenario (shared solver, shared fallback).
+    """
+    a, b = two_port_arrays_batch(c, w, d, rank2=rank2, deadline=deadline)
+    return solve_scenario_arrays_batch(a, b)
+
+
+def solve_two_port_scenarios(
+    scenarios: Sequence[tuple[StarPlatform, Sequence[str], Sequence[str] | None]],
+    deadline: float = 1.0,
+    validate: bool = True,
+) -> list[FastScenarioResult]:
+    """Solve a mixed chunk of two-port scenarios through the batched kernel.
+
+    ``scenarios`` is a sequence of ``(platform, sigma1, sigma2)`` triples
+    (``sigma2=None`` meaning FIFO), grouped by worker count into stacked
+    kernel calls; results come back in input order, each bit-identical to
+    :func:`~repro.core.fast_scenario.solve_scenario_fast` with
+    ``one_port=False`` on the same triple.
+    """
+    return solve_scenarios_fast(
+        scenarios, deadline=deadline, one_port=False, validate=validate
+    )
+
+
+def _two_port_solutions(
+    scenarios: list[tuple[StarPlatform, list[str], list[str] | None]],
+    orders: list[list[str]],
+    deadline: float,
+) -> list[TwoPortSolution]:
+    """Wrap batched kernel results as :class:`TwoPortSolution` objects."""
+    from repro.core.linear_program import solve_scenarios
+
+    solutions = solve_scenarios(scenarios, deadline=deadline, one_port=False)
+    return [
+        TwoPortSolution(
+            schedule=solution.schedule,
+            order=tuple(order),
+            throughput=solution.throughput,
+            scenario=solution,
+        )
+        for order, solution in zip(orders, solutions)
+    ]
+
+
+def optimal_two_port_fifo_batch(
+    platforms: Sequence[StarPlatform],
+    deadline: float = 1.0,
+) -> list[TwoPortSolution]:
+    """Optimal two-port FIFO schedules for a whole chunk of platforms.
+
+    Element for element identical to
+    :func:`repro.core.twoport.optimal_two_port_fifo_schedule` (same
+    Theorem-1 order rule, loads from the batched two-port LP — the batched
+    kernel being bit-identical to the scalar fast path).
+    """
+    scenarios: list[tuple[StarPlatform, list[str], list[str] | None]] = []
+    orders: list[list[str]] = []
+    for platform in platforms:
+        z = platform.z
+        order = platform.ordered_by_c(descending=z is not None and z > 1.0)
+        scenarios.append((platform, list(order), list(order)))
+        orders.append(list(order))
+    return _two_port_solutions(scenarios, orders, deadline)
+
+
+def optimal_two_port_lifo_batch(
+    platforms: Sequence[StarPlatform],
+    deadline: float = 1.0,
+) -> list[TwoPortSolution]:
+    """Optimal two-port LIFO schedules for a whole chunk of platforms.
+
+    Element for element identical to
+    :func:`repro.core.twoport.optimal_two_port_lifo_schedule` (serve by
+    non-decreasing ``c_i``, collect in reverse, loads from the batched
+    two-port LP).
+    """
+    scenarios: list[tuple[StarPlatform, list[str], list[str] | None]] = []
+    orders: list[list[str]] = []
+    for platform in platforms:
+        order = platform.ordered_by_c(descending=False)
+        scenarios.append((platform, list(order), list(reversed(order))))
+        orders.append(list(order))
+    return _two_port_solutions(scenarios, orders, deadline)

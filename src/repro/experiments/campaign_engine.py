@@ -17,10 +17,11 @@ This module turns that shape into chunk workers for the generic
 * all LP evaluations a chunk needs are stacked into **one batched
   scenario-kernel call** (:func:`repro.core.heuristics.
   compare_heuristics_batch`) instead of thousands of scalar solves;
-* cost tables, heuristic order rules and the closed-form LIFO chain come
-  from :mod:`repro.scenarios.sampler` — the array-native sampling layer
-  shared with the scenario subsystem (:mod:`repro.scenarios.runner`
-  re-uses :func:`prepare_cells` / :func:`replay_grouped` in turn);
+* cost tables come from :mod:`repro.workloads.sampling` and the heuristic
+  order rules / closed-form LIFO chain from :mod:`repro.core.order_rules`
+  — the array-native layers shared with the scenario subsystem
+  (:mod:`repro.scenarios.runner` re-uses :func:`prepare_cells` /
+  :func:`replay_grouped` / :func:`replay_two_port` in turn);
 * determinism is preserved regardless of ``jobs``: the per-platform noise
   seed is derived from ``(seed, platform_index, size)`` exactly as in the
   serial implementation, and per-platform ratios are re-assembled in
@@ -41,31 +42,38 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.batch_scenario import scenario_arrays_batch, solve_scenario_arrays_batch
+from repro.core.batch_twoport import two_port_arrays_batch
 from repro.core.heuristics import HEURISTICS
-from repro.exceptions import ScheduleError
-from repro.experiments.sweep_engine import resolve_jobs, run_chunked
-from repro.scenarios.sampler import (
+from repro.core.order_rules import (
     ORDER_RULES,
-    base_costs,
-    cost_table,
+    TWO_PORT_ORDER_RULES,
+    TWO_PORT_REVERSED_RETURN,
     lifo_chain_values,
     sorted_indices,
     worker_names,
 )
+from repro.core.rounding import round_values
+from repro.exceptions import ScheduleError
+from repro.experiments.sweep_engine import resolve_jobs, run_chunked
+from repro.workloads.sampling import base_costs, cost_table
 from repro.simulation.executor import (
     PreparedMeasurement,
     prepare_measurement_arrays,
     timeline_indices,
 )
+from repro.simulation.fast_twoport import run_fast_twoport
 from repro.simulation.noise import NoiseModel, perturb_sequence
 from repro.workloads.platforms import PlatformFactors
 
 __all__ = [
     "CampaignSpec",
     "PreparedCell",
+    "PreparedTwoPortRun",
+    "TwoPortCell",
     "noise_seed",
     "prepare_cells",
     "replay_grouped",
+    "replay_two_port",
     "run_campaign_ratios",
     "resolve_jobs",
 ]
@@ -178,12 +186,185 @@ def replay_grouped(
     return makespans
 
 
+class _WorkerCosts:
+    """Per-unit costs of one worker, quacking like a platform entry.
+
+    :func:`~repro.simulation.fast_twoport.run_fast_twoport` only ever does
+    ``platform[name].c`` (``.w``, ``.d``), so a plain dict of these stands
+    in for a :class:`~repro.core.platform.StarPlatform` — the floats come
+    straight from the campaign cost table, which is bit-identical to the
+    object path's worker costs.
+    """
+
+    __slots__ = ("c", "w", "d")
+
+    def __init__(self, c: float, w: float, d: float) -> None:
+        self.c = c
+        self.w = w
+        self.d = d
+
+
+@dataclass(frozen=True)
+class PreparedTwoPortRun:
+    """One heuristic's rounded two-port schedule, ready for noisy replay.
+
+    The two-port timeline has no static draw order — returns interleave
+    with pending sends, so the noise stream depends on the realised event
+    times.  Measurement therefore replays the merge-ordered state machine
+    of :func:`~repro.simulation.fast_twoport.run_fast_twoport` per run
+    instead of batching one ``perturb_sequence`` call; rounding, the
+    participant filter and the cost lookups are still done once here.
+    ``measure`` is bit-identical to ``measure_heuristic(result, total,
+    noise=noise, one_port=False).measured_makespan`` — same rounding, same
+    filtered sigmas, same merge-ordered draws (pinned by the test-suite).
+    """
+
+    costs: dict[str, _WorkerCosts]
+    loads: dict[str, float]
+    sigma1: tuple[str, ...]
+    sigma2: tuple[str, ...]
+    participant_count: int
+
+    def measure(self, noise: NoiseModel) -> float:
+        """Measured two-port makespan of the prepared schedule."""
+        run = run_fast_twoport(
+            self.costs, self.loads, self.sigma1, self.sigma2, noise, collect_trace=False
+        )
+        return run.makespan
+
+
+@dataclass(frozen=True)
+class TwoPortCell:
+    """One (factor set, size) pair prepared for two-port evaluation.
+
+    The two-port counterpart of :class:`PreparedCell`: ``lp_ratios`` come
+    from the batched two-port kernel (every heuristic is LP-backed —
+    two-port LIFO has no closed form), and ``prepared`` holds one
+    :class:`PreparedTwoPortRun` per heuristic, measured in sequence from
+    one shared noise stream exactly like the serial reference path.
+    """
+
+    lp_ratios: tuple[tuple[str, float], ...]
+    reference_time: float
+    prepared: tuple[PreparedTwoPortRun, ...]
+
+    def measure(self, noise: NoiseModel) -> list[float]:
+        """Measured makespans of every heuristic, drawn in sequence."""
+        return [run.measure(noise) for run in self.prepared]
+
+
+def replay_two_port(
+    occurrences: list[tuple[int, int, TwoPortCell, NoiseModel]],
+    heuristic_count: int,
+) -> np.ndarray:
+    """Replay every (occurrence, heuristic) two-port run.
+
+    Returns the ``(len(occurrences), heuristic_count)`` makespan matrix.
+    Each occurrence carries its own noise model (seeded per (platform,
+    size) like the one-port campaigns); its heuristics draw from that one
+    stream in slot order, mirroring the serial path that measures each
+    heuristic in sequence.  The merge-ordered replay cannot pre-draw its
+    noise, so this loops runs instead of vectorising — the LP side of the
+    cell is still one batched kernel call.
+    """
+    makespans = np.empty((len(occurrences), heuristic_count))
+    for row, (_, _, cell, noise) in enumerate(occurrences):
+        makespans[row] = cell.measure(noise)
+    return makespans
+
+
+def _cost_tables(keyed_tables):
+    """Array + list views of the batch's cost tables.
+
+    Arrays feed the stacked kernel; the list views feed the Python-level
+    ordering/chain/layout code (same floats).
+    """
+    return [
+        (worker_names(len(c)), c, w, d, c.tolist(), w.tolist(), d.tolist())
+        for _, c, w, d in keyed_tables
+    ]
+
+
+def _solve_stacked_orders(
+    tables,
+    orders: list[list[int]],
+    reversed_returns: list[bool] | None = None,
+    one_port: bool = True,
+) -> list[np.ndarray]:
+    """Stack ordered LP scenarios by worker count and solve each group.
+
+    ``orders`` holds one send order per (table, heuristic slot) pair in
+    flat order — ``orders[index * slots + offset]`` is slot ``offset`` of
+    table ``index``.  ``reversed_returns`` flags the slots whose return
+    order is the reverse of the send order (the two-port LIFO); groups
+    that end up all-FIFO pass ``rank2=None``, exactly like the scalar
+    build.  Returns the kernel's load vector per flat index — the shared
+    stacking scaffold of both port models (one batched kernel call per
+    worker count either way).
+    """
+    slots = len(orders) // len(tables) if tables else 0
+    groups: dict[int, list[int]] = {}
+    for flat, order in enumerate(orders):
+        groups.setdefault(len(order), []).append(flat)
+    loads_rows: list[np.ndarray] = [None] * len(orders)  # type: ignore[list-item]
+    for q, flats in groups.items():
+        c_matrix = np.empty((len(flats), q))
+        w_matrix = np.empty((len(flats), q))
+        d_matrix = np.empty((len(flats), q))
+        rank2 = np.empty((len(flats), q), dtype=np.int64)
+        identity = np.arange(q)
+        fifo_only = True
+        for row, flat in enumerate(flats):
+            _, c, w, d, _, _, _ = tables[flat // slots]
+            order = orders[flat]
+            c_matrix[row] = c[order]
+            w_matrix[row] = w[order]
+            d_matrix[row] = d[order]
+            if reversed_returns is not None and reversed_returns[flat]:
+                # sigma2 = reversed(sigma1): position i is collected at
+                # rank q-1-i, exactly the scalar build's rank vector.
+                rank2[row] = identity[::-1]
+                fifo_only = False
+            else:
+                rank2[row] = identity
+        if one_port:
+            a, b = scenario_arrays_batch(
+                c_matrix, w_matrix, d_matrix, rank2=None if fifo_only else rank2
+            )
+        else:
+            a, b = two_port_arrays_batch(
+                c_matrix, w_matrix, d_matrix, rank2=None if fifo_only else rank2
+            )
+        solved = solve_scenario_arrays_batch(a, b)
+        for row, flat in enumerate(flats):
+            loads_rows[flat] = solved.loads[row]
+    return loads_rows
+
+
+def _cell_ratios(evaluated, reference: str, total: int, heuristic_names):
+    """Reference time, LP ratios and prepared replays of one cell.
+
+    ``evaluated`` maps each heuristic to its ``(throughput, prepared)``
+    pair.  Shared by both port models so the series definition — every
+    ratio normalised by the reference heuristic's LP prediction — can
+    never diverge between them.
+    """
+    reference_time = total / evaluated[reference][0]
+    lp_ratios = tuple(
+        (name, (total / evaluated[name][0]) / reference_time)
+        for name in heuristic_names
+    )
+    prepared = tuple(evaluated[name][1] for name in heuristic_names)
+    return reference_time, lp_ratios, prepared
+
+
 def prepare_cells(
     heuristic_names: Sequence[str],
     reference: str,
     total_tasks: int,
     keyed_tables: Sequence[tuple[tuple, np.ndarray, np.ndarray, np.ndarray]],
-) -> dict[tuple, PreparedCell]:
+    one_port: bool = True,
+) -> dict[tuple, PreparedCell] | dict[tuple, TwoPortCell]:
     """Prepare a batch of ``(key, c, w, d)`` cost tables for evaluation.
 
     Each table is one scenario cell (a platform's cost vectors at one
@@ -195,7 +376,17 @@ def prepare_cells(
     :func:`repro.core.heuristics.compare_heuristics` and
     :func:`repro.simulation.executor.measure_heuristic` per cell — the
     public reference path the test-suite pins this engine against.
+
+    ``one_port=False`` dispatches to the two-port chain: the LPs drop the
+    coupling row and run through :mod:`repro.core.batch_twoport`, LIFO
+    becomes LP-backed with a reversed return permutation, and the cells
+    come back as :class:`TwoPortCell` (merge-ordered replay) instead of
+    :class:`PreparedCell` (static-timeline replay) — bit-identical to the
+    scalar :mod:`repro.core.twoport` + ``measure_heuristic(one_port=False)``
+    reference path.
     """
+    if not one_port:
+        return _prepare_two_port_cells(heuristic_names, reference, total_tasks, keyed_tables)
     for name in heuristic_names:
         if name not in HEURISTICS:
             raise ScheduleError(
@@ -204,36 +395,13 @@ def prepare_cells(
     lp_names = [name for name in heuristic_names if name in ORDER_RULES]
     total = total_tasks
 
-    # Arrays feed the stacked kernel; the list views feed the Python-level
-    # ordering/chain/layout code (same floats).
-    tables = [
-        (worker_names(len(c)), c, w, d, c.tolist(), w.tolist(), d.tolist())
-        for _, c, w, d in keyed_tables
+    tables = _cost_tables(keyed_tables)
+    orders = [
+        ORDER_RULES[name](names, c_list, w_list, d_list)
+        for names, _, _, _, c_list, w_list, d_list in tables
+        for name in lp_names
     ]
-
-    # Stack every LP scenario of the batch, grouped by worker count, and
-    # solve each group with one batched kernel call.
-    orders: list[list[int]] = []
-    groups: dict[int, list[int]] = {}
-    for names, _, _, _, c_list, w_list, d_list in tables:
-        for name in lp_names:
-            orders.append(ORDER_RULES[name](names, c_list, w_list, d_list))
-            groups.setdefault(len(names), []).append(len(orders) - 1)
-    loads_rows: list[np.ndarray] = [None] * len(orders)  # type: ignore[list-item]
-    for q, flats in groups.items():
-        c_matrix = np.empty((len(flats), q))
-        w_matrix = np.empty((len(flats), q))
-        d_matrix = np.empty((len(flats), q))
-        for row, flat in enumerate(flats):
-            _, c, w, d, _, _, _ = tables[flat // len(lp_names)]
-            order = orders[flat]
-            c_matrix[row] = c[order]
-            w_matrix[row] = w[order]
-            d_matrix[row] = d[order]
-        a, b = scenario_arrays_batch(c_matrix, w_matrix, d_matrix)
-        solved = solve_scenario_arrays_batch(a, b)
-        for row, flat in enumerate(flats):
-            loads_rows[flat] = solved.loads[row]
+    loads_rows = _solve_stacked_orders(tables, orders)
 
     cells: dict[tuple, PreparedCell] = {}
     for index, ((key, _, _, _), table) in enumerate(zip(keyed_tables, tables)):
@@ -282,12 +450,9 @@ def prepare_cells(
                 ),
             )
 
-        reference_time = total / evaluated[reference][0]
-        lp_ratios = tuple(
-            (name, (total / evaluated[name][0]) / reference_time)
-            for name in heuristic_names
+        reference_time, lp_ratios, prepared = _cell_ratios(
+            evaluated, reference, total, heuristic_names
         )
-        prepared = tuple(evaluated[name][1] for name in heuristic_names)
         offsets = [0]
         for measurement in prepared:
             offsets.append(offsets[-1] + len(measurement.durations))
@@ -303,6 +468,91 @@ def prepare_cells(
     return cells
 
 
+def _prepare_two_port_cells(
+    heuristic_names: Sequence[str],
+    reference: str,
+    total_tasks: int,
+    keyed_tables: Sequence[tuple[tuple, np.ndarray, np.ndarray, np.ndarray]],
+) -> dict[tuple, TwoPortCell]:
+    """Two-port cell preparation (see :func:`prepare_cells`).
+
+    Every heuristic is LP-backed here: the FIFO orderings keep their
+    one-port rules (Theorem 1's permutation does not depend on the
+    coupling row) and LIFO serves by non-decreasing ``c_i`` collecting in
+    reverse — the rules of :mod:`repro.core.twoport`, mirrored at the
+    array level by :data:`~repro.core.order_rules.TWO_PORT_ORDER_RULES`.
+    All the batch's LPs are stacked per worker count into
+    :func:`~repro.core.batch_twoport.solve_two_port_batch` calls.
+    """
+    for name in heuristic_names:
+        if name not in TWO_PORT_ORDER_RULES:
+            raise ScheduleError(
+                f"unknown two-port heuristic {name!r}; "
+                f"available: {sorted(TWO_PORT_ORDER_RULES)}"
+            )
+    total = total_tasks
+    heuristic_count = len(heuristic_names)
+
+    tables = _cost_tables(keyed_tables)
+    # Every heuristic is a stacked-LP slot here; LIFO rows get the
+    # reversed return permutation, everything else is FIFO.
+    orders: list[list[int]] = []
+    reversed_returns: list[bool] = []
+    for names, _, _, _, c_list, w_list, d_list in tables:
+        for name in heuristic_names:
+            orders.append(TWO_PORT_ORDER_RULES[name](names, c_list, w_list, d_list))
+            reversed_returns.append(name in TWO_PORT_REVERSED_RETURN)
+    loads_rows = _solve_stacked_orders(
+        tables, orders, reversed_returns=reversed_returns, one_port=False
+    )
+
+    cells: dict[tuple, TwoPortCell] = {}
+    for index, ((key, _, _, _), table) in enumerate(zip(keyed_tables, tables)):
+        names, _, _, _, c_list, w_list, d_list = table
+        evaluated: dict[str, tuple[float, PreparedTwoPortRun]] = {}
+        for offset, name in enumerate(heuristic_names):
+            flat = index * heuristic_count + offset
+            order = orders[flat]
+            values = loads_rows[flat].tolist()
+            ordered_names = [names[i] for i in order]
+            # Rounding mirrors measure_heuristic's round_loads: integer
+            # counts summing to the total, zero-load workers dropped from
+            # both sigmas (reversal and filtering commute).
+            counts = round_values(values, total)
+            active = [k for k, count in enumerate(counts) if count > 0]
+            if not active:
+                raise ScheduleError("rounded schedule has no participating worker")
+            sigma1 = tuple(ordered_names[k] for k in active)
+            sigma2 = tuple(reversed(sigma1)) if reversed_returns[flat] else sigma1
+            costs = {
+                ordered_names[k]: _WorkerCosts(
+                    c_list[order[k]], w_list[order[k]], d_list[order[k]]
+                )
+                for k in active
+            }
+            loads = {ordered_names[k]: float(counts[k]) for k in active}
+            evaluated[name] = (
+                sum(values),
+                PreparedTwoPortRun(
+                    costs=costs,
+                    loads=loads,
+                    sigma1=sigma1,
+                    sigma2=sigma2,
+                    participant_count=len(active),
+                ),
+            )
+
+        reference_time, lp_ratios, prepared = _cell_ratios(
+            evaluated, reference, total, heuristic_names
+        )
+        cells[key] = TwoPortCell(
+            lp_ratios=lp_ratios,
+            reference_time=reference_time,
+            prepared=prepared,
+        )
+    return cells
+
+
 def _prepare_chunk(
     spec: CampaignSpec,
     chunk: Sequence[tuple[int, PlatformFactors]],
@@ -312,9 +562,9 @@ def _prepare_chunk(
     The cache key is the factor vectors themselves, not the platform label:
     campaigns that repeat a factor set (every homogeneous platform) reuse
     the preparation instead of re-solving and re-rounding.  Cost tables
-    come from the scenario sampler's :func:`~repro.scenarios.sampler.
-    cost_table` (the same divisions the workload's ``worker()``
-    constructor performs); the heavy lifting is :func:`prepare_cells`.
+    come from :func:`repro.workloads.sampling.cost_table` (the same
+    divisions the workload's ``worker()`` constructor performs); the
+    heavy lifting is :func:`prepare_cells`.
     """
     keyed_tables: list[tuple[tuple, np.ndarray, np.ndarray, np.ndarray]] = []
     seen: set[tuple] = set()

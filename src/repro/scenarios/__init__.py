@@ -7,19 +7,26 @@ batched scenario kernel and the parallel sweep engine:
 
 * :mod:`repro.scenarios.spec` — a declarative, JSON-round-trippable
   description of a scenario space (platform family distributions, sizes,
-  heuristics, noise, seeds) with grid/product combinators and a library of
-  named spaces, including the paper's campaigns re-expressed as specs;
-* :mod:`repro.scenarios.sampler` — a vectorised RNG that materialises
-  whole platform families directly as stacked ``(batch, q)`` cost tables
-  feeding the batched kernel, with no platform objects on the hot path —
-  bit-identical to the object path on the paper's factor sets;
+  heuristics, noise, seeds, port model) with grid/product combinators and
+  a library of named spaces, including the paper's campaigns re-expressed
+  as specs and their two-port (``one_port: false``) variants;
+* :mod:`repro.scenarios.sampler` — the stable facade over the vectorised
+  sampler (:mod:`repro.workloads.sampling`) and the order-rule mirrors
+  (:mod:`repro.core.order_rules`), which materialise whole platform
+  families directly as stacked ``(batch, q)`` cost tables feeding the
+  batched kernels — bit-identical to the object path on the paper's
+  factor sets;
 * :mod:`repro.scenarios.store` — an append-only, resumable result store
-  keyed by spec hash and chunk index, with an aggregation API;
+  keyed by spec hash and chunk index, with streaming aggregation and a
+  columnar ``.npz`` export;
 * :mod:`repro.scenarios.runner` — a streaming campaign runner that shards
   arbitrarily large spaces into chunks, persists every finished chunk and
-  resumes interrupted mega-campaigns where they left off.
+  resumes interrupted mega-campaigns where they left off; two-port spaces
+  flow through the two-port kernel (:mod:`repro.core.batch_twoport`) and
+  the merge-ordered analytic replay.
 
-The CLI front end is ``repro-experiments scenarios list/run/resume/show``.
+The CLI front end is ``repro-experiments scenarios
+list/run/resume/show/export``.
 
 The runner builds on :mod:`repro.experiments` (which itself consumes the
 sampler), so its symbols are exposed lazily here to keep the import graph

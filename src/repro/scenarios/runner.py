@@ -35,7 +35,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import ExperimentError
-from repro.experiments.campaign_engine import noise_seed, prepare_cells, replay_grouped
+from repro.experiments.campaign_engine import (
+    noise_seed,
+    prepare_cells,
+    replay_grouped,
+    replay_two_port,
+)
 from repro.experiments.common import default_noise
 from repro.experiments.fig13_ratio import overhead_noise
 from repro.experiments.sweep_engine import resolve_jobs, run_sweep
@@ -113,7 +118,10 @@ def _evaluate_chunk(
             if key not in seen:
                 seen.add(key)
                 keyed_tables.append((key, c[offset], w[offset], d[offset]))
-    cells = prepare_cells(spec.heuristics, spec.reference, spec.total_tasks, keyed_tables)
+    cells = prepare_cells(
+        spec.heuristics, spec.reference, spec.total_tasks, keyed_tables,
+        one_port=spec.one_port,
+    )
 
     noise_factory = NOISE_FACTORIES[spec.noise] if spec.noise is not None else None
     occurrences = []
@@ -121,17 +129,27 @@ def _evaluate_chunk(
         platform_index = start + offset
         for size in spec.matrix_sizes:
             cell = cells[(factor_keys[offset], size)]
-            perturbed = None
+            payload = None
             if noise_factory is not None:
                 noise = noise_factory(noise_seed(spec.family.seed, platform_index, size))
-                perturbed = perturb_sequence(noise, cell.durations, cell.kinds, cell.workers)
-            occurrences.append((platform_index, size, cell, perturbed))
+                if spec.one_port:
+                    # One-port: the draw order is static, so the cell's
+                    # whole stream is drawn here in one batched call.
+                    payload = perturb_sequence(
+                        noise, cell.durations, cell.kinds, cell.workers
+                    )
+                else:
+                    # Two-port: the merge-ordered replay draws on demand —
+                    # the occurrence carries the seeded model itself.
+                    payload = noise
+            occurrences.append((platform_index, size, cell, payload))
 
-    makespans = (
-        replay_grouped(occurrences, len(spec.heuristics))
-        if noise_factory is not None
-        else None
-    )
+    if noise_factory is None:
+        makespans = None
+    elif spec.one_port:
+        makespans = replay_grouped(occurrences, len(spec.heuristics))
+    else:
+        makespans = replay_two_port(occurrences, len(spec.heuristics))
 
     rows: list[dict] = []
     for occurrence, (platform_index, size, cell, _) in enumerate(occurrences):

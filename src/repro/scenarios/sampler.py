@@ -1,50 +1,54 @@
-"""Array-native sampling of platform families.
+"""Array-native sampling of platform families (compatibility facade).
 
-The object path materialises a campaign as Python objects — one
-:class:`~repro.workloads.platforms.PlatformFactors` per draw, one
-:class:`~repro.core.platform.StarPlatform` with ``q`` :class:`Worker`
-objects per (draw, size) cell — before the batched kernel ever sees an
-array.  This module materialises whole families *directly* as stacked
-``(count, q)`` factor and cost tables with vectorised RNG calls: no
-platform or worker objects on the hot path, and the tables feed
-:func:`repro.core.batch_scenario.scenario_arrays_batch` /
-:func:`~repro.core.batch_scenario.solve_scenario_arrays_batch` as-is.
+The sampler's implementation moved *below* the workload layer so the
+import hierarchy is strictly acyclic:
 
-Bit-identity with the object path is part of the contract (and pinned by
-the test-suite):
+* :mod:`repro.workloads.sampling` — :class:`FactorTable`, the vectorised
+  :func:`sample_factors` draw, and the :func:`base_costs` /
+  :func:`cost_table` cost-table builders (consumed directly by
+  :func:`repro.workloads.platforms.campaign_factors` and the campaign
+  engine);
+* :mod:`repro.core.order_rules` — the heuristic order-rule and LIFO-chain
+  mirrors, both one-port (:data:`ORDER_RULES`) and two-port
+  (:data:`TWO_PORT_ORDER_RULES` / :data:`TWO_PORT_REVERSED_RETURN`).
 
-* the factor draws of the paper's families reproduce
-  :func:`repro.workloads.platforms.campaign_factors` **bit for bit** —
-  ``Generator.uniform`` fills C-order, so one ``(count, 2, q)`` call is
-  the same stream as per-platform comm/comp draws, and ``uniform(low,
-  high)`` is exactly ``low + (high - low) * random()``;
-* the cost tables perform the same divisions as
-  :meth:`MatrixProductWorkload.worker`, so every entry equals
-  ``platform.cost_vectors(...)`` of the object path.
-
-The heuristic order rules (:data:`ORDER_RULES`) and the closed-form LIFO
-chain (:func:`lifo_chain_values`) — the array-level mirrors of
-:mod:`repro.core.heuristics` — live here too, shared by the campaign
-engine and the scenario runner.
+Every historical name keeps working from here — this module is the stable
+``repro.scenarios`` entry point for sampling — but nothing outside
+``repro.scenarios`` imports from it any more.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Sequence
-
-import numpy as np
-
-from repro.core.platform import _RATIO_TOLERANCE
-from repro.exceptions import ExperimentError
-from repro.scenarios.spec import Distribution, PlatformFamily
-from repro.workloads.matrices import MatrixProductWorkload
+from repro.core.order_rules import (
+    ORDER_RULES,
+    TWO_PORT_ORDER_RULES,
+    TWO_PORT_REVERSED_RETURN,
+    lifo_chain_values,
+    optimal_fifo_indices,
+    sorted_indices,
+    worker_names,
+)
+from repro.workloads.sampling import (
+    PAPER_UNIFORM,
+    UNIT,
+    Distribution,
+    FactorTable,
+    PlatformFamily,
+    base_costs,
+    cost_table,
+    family_cost_tables,
+    sample_factors,
+)
 
 __all__ = [
+    "Distribution",
     "FactorTable",
+    "PAPER_UNIFORM",
+    "PlatformFamily",
+    "UNIT",
     "ORDER_RULES",
+    "TWO_PORT_ORDER_RULES",
+    "TWO_PORT_REVERSED_RETURN",
     "base_costs",
     "cost_table",
     "family_cost_tables",
@@ -54,219 +58,3 @@ __all__ = [
     "sorted_indices",
     "worker_names",
 ]
-
-
-@dataclass(frozen=True)
-class FactorTable:
-    """Stacked speed-up factors of one sampled platform family.
-
-    ``comm`` and ``comp`` are ``(count, q)`` arrays — row ``i`` is platform
-    ``i``'s factor vector.  ``ret`` is ``None`` in the paper's model (the
-    return message travels the forward link, ``d = z * c``) or a third
-    ``(count, q)`` array when the family draws independent return-link
-    speeds.
-    """
-
-    comm: np.ndarray
-    comp: np.ndarray
-    ret: np.ndarray | None = None
-
-    @property
-    def count(self) -> int:
-        return self.comm.shape[0]
-
-    @property
-    def workers(self) -> int:
-        return self.comm.shape[1]
-
-    def rows(self, start: int = 0, stop: int | None = None) -> "FactorTable":
-        """A zero-copy view of platforms ``start:stop`` (chunk sharding)."""
-        return FactorTable(
-            comm=self.comm[start:stop],
-            comp=self.comp[start:stop],
-            ret=None if self.ret is None else self.ret[start:stop],
-        )
-
-
-def _draw(rng: np.random.Generator, dist: Distribution, shape: tuple[int, ...]) -> np.ndarray:
-    """Vectorised draw of one distribution (one RNG call per block)."""
-    kind = dist.kind
-    if kind == "constant":
-        return np.full(shape, float(dist.param("value")))
-    if kind == "uniform":
-        return rng.uniform(dist.param("low"), dist.param("high"), shape)
-    if kind == "bimodal":
-        fast_mask = rng.random(shape) < dist.param("fast_fraction")
-        return np.where(fast_mask, float(dist.param("fast")), float(dist.param("slow")))
-    if kind == "powerlaw":
-        values = dist.param("minimum") * (1.0 + rng.pareto(dist.param("alpha"), shape))
-        cap = dist.param("cap", None)
-        return values if cap is None else np.minimum(values, cap)
-    raise ExperimentError(f"unknown distribution kind {kind!r}")  # pragma: no cover
-
-
-def _map_uniform(dist: Distribution, unit: np.ndarray) -> np.ndarray:
-    """Map unit draws through a uniform distribution, exactly like
-    ``Generator.uniform`` does (``low + (high - low) * u``)."""
-    low, high = dist.param("low"), dist.param("high")
-    return low + (high - low) * unit
-
-def sample_factors(family: PlatformFamily) -> FactorTable:
-    """Materialise a family's ``(count, q)`` factor tables, vectorised.
-
-    The draw order reproduces the sequential object path of
-    :func:`repro.workloads.platforms.campaign_factors` on the paper's
-    families: when both ``comm`` and ``comp`` consume the random stream
-    and both are uniform, one ``(count, 2, q)`` block is drawn and split
-    (identical to per-platform comm-then-comp draws); when only one
-    consumes, it draws a single ``(count, q)`` block.  Families mixing
-    other stream-consuming distributions draw block-wise per dimension
-    (comm, then comp, then return) — a documented, deterministic order of
-    its own, with no object-path counterpart to mirror.
-    """
-    rng = np.random.default_rng(family.seed)
-    shape = (family.count, family.workers)
-
-    if family.correlation != 0.0:
-        # Correlated families (both uniform, enforced by the spec): a
-        # Gaussian copula couples the two dimensions while preserving the
-        # declared uniform marginals *exactly* — Phi(Z) is uniform for any
-        # correlation.  rho = +/-1 makes comp a monotone function of comm.
-        # The realised Pearson correlation between the uniforms is the
-        # copula's rank correlation, (6/pi) * asin(rho/2) (~0.84 for
-        # rho = 0.85), which is what `correlation` means here.
-        from scipy.special import ndtr
-
-        rho = family.correlation
-        normal = rng.standard_normal((family.count, 2, family.workers))
-        z_comm = normal[:, 0]
-        z_comp = rho * z_comm + math.sqrt(1.0 - rho * rho) * normal[:, 1]
-        comm = _map_uniform(family.comm, ndtr(z_comm))
-        comp = _map_uniform(family.comp, ndtr(z_comp))
-    else:
-        comm_draws = not family.comm.is_constant
-        comp_draws = not family.comp.is_constant
-        if comm_draws and comp_draws and family.comm.kind == family.comp.kind == "uniform":
-            unit = rng.random((family.count, 2, family.workers))
-            comm = _map_uniform(family.comm, unit[:, 0])
-            comp = _map_uniform(family.comp, unit[:, 1])
-        else:
-            comm = _draw(rng, family.comm, shape)
-            comp = _draw(rng, family.comp, shape)
-
-    ret = None if family.return_comm is None else _draw(rng, family.return_comm, shape)
-
-    if family.comm_scale != 1.0:
-        comm = comm * family.comm_scale
-        if ret is not None:
-            ret = ret * family.comm_scale
-    if family.comp_scale != 1.0:
-        comp = comp * family.comp_scale
-    return FactorTable(comm=comm, comp=comp, ret=ret)
-
-
-@lru_cache(maxsize=None)
-def base_costs(matrix_size: int) -> tuple[float, float, float]:
-    """Reference per-unit ``(c, w, d)`` costs of one matrix size, cached."""
-    workload = MatrixProductWorkload(int(matrix_size))
-    return (workload.base_c, workload.base_w, workload.base_d)
-
-
-def cost_table(
-    base: tuple[float, float, float],
-    comm: np.ndarray,
-    comp: np.ndarray,
-    ret: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Turn factor arrays into ``(c, w, d)`` cost arrays.
-
-    Performs exactly the per-worker divisions of
-    :meth:`MatrixProductWorkload.worker` (a factor ``k`` divides the
-    reference cost by ``k``), broadcast over any array shape — entries are
-    bit-identical to the object path's worker costs.
-    """
-    c = base[0] / comm
-    w = base[1] / comp
-    d = base[2] / (comm if ret is None else ret)
-    return c, w, d
-
-
-def family_cost_tables(
-    table: FactorTable, matrix_size: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The stacked ``(count, q)`` cost tables of a family at one size."""
-    return cost_table(base_costs(matrix_size), table.comm, table.comp, table.ret)
-
-
-# --------------------------------------------------------------------- #
-# array-level heuristic order rules (mirrors of repro.core.heuristics)
-# --------------------------------------------------------------------- #
-
-#: Cached ``("P1", ..., "Pq")`` name tuples (the names the matrix workload
-#: gives its platform's workers).
-_WORKER_NAMES: dict[int, tuple[str, ...]] = {}
-
-
-def worker_names(q: int) -> tuple[str, ...]:
-    """The canonical worker names of a ``q``-worker matrix platform."""
-    names = _WORKER_NAMES.get(q)
-    if names is None:
-        names = _WORKER_NAMES[q] = tuple(f"P{i + 1}" for i in range(q))
-    return names
-
-
-def sorted_indices(
-    names: Sequence[str], costs: Sequence[float], descending: bool = False
-) -> list[int]:
-    """Worker indices sorted by cost, ties broken by name.
-
-    Mirrors :meth:`StarPlatform.ordered_by_c` / ``ordered_by_w`` exactly
-    (same ``(cost, name)`` sort keys), which the test-suite pins.
-    """
-    return sorted(
-        range(len(names)), key=lambda i: (costs[i], names[i]), reverse=descending
-    )
-
-
-def optimal_fifo_indices(names, c, w, d) -> list[int]:
-    """Theorem 1's order on a cost table (mirrors ``optimal_fifo_order``)."""
-    ratios = [d[i] / c[i] for i in range(len(names))]
-    first = ratios[0]
-    z = first if all(
-        math.isclose(r, first, rel_tol=_RATIO_TOLERANCE, abs_tol=_RATIO_TOLERANCE)
-        for r in ratios
-    ) else None
-    return sorted_indices(names, c, descending=z is not None and z > 1.0)
-
-
-#: Per-heuristic FIFO order rules on a (names, c, w, d) cost table —
-#: the array-level mirror of ``repro.core.heuristics._FIFO_ORDERS``
-#: (asserted equal by the test-suite).
-ORDER_RULES = {
-    "INC_C": lambda names, c, w, d: sorted_indices(names, c),
-    "INC_W": lambda names, c, w, d: sorted_indices(names, w),
-    "DEC_C": lambda names, c, w, d: sorted_indices(names, c, descending=True),
-    "PLATFORM_ORDER": lambda names, c, w, d: list(range(len(names))),
-    "OPT_FIFO": optimal_fifo_indices,
-}
-
-
-def lifo_chain_values(c, w, d, order, deadline: float = 1.0) -> list[float]:
-    """Closed-form LIFO loads on a cost table, in ``order``.
-
-    Mirrors :func:`repro.core.lifo.lifo_closed_form_loads` operation for
-    operation (same additions, multiplications and divisions).
-    """
-    values: list[float] = []
-    previous_load = None
-    previous = None
-    for index in order:
-        denominator = c[index] + d[index] + w[index]
-        if previous_load is None:
-            load = deadline / denominator
-        else:
-            load = previous_load * w[previous] / denominator
-        values.append(load)
-        previous_load = load
-        previous = index
-    return values

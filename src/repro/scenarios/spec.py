@@ -10,12 +10,21 @@ as_dict` / :meth:`ScenarioSpec.from_dict`), and their canonical JSON form
 is hashed (:func:`spec_hash`) to key the persistent result store — two
 campaigns with the same spec share results, whatever the spec was named.
 
+The platform-family building blocks — :class:`Distribution` and
+:class:`PlatformFamily` — live in :mod:`repro.workloads.sampling` (below
+the workload layer, next to the vectorised sampler that draws them) and
+are re-exported here unchanged: the spec layer adds the campaign fields
+on top.
+
 The module also ships :data:`NAMED_SPACES`, a library of ready-made
 spaces: the paper's Figure 10-13 factor sets re-expressed as specs (the
 sampler reproduces their platform draws bit for bit), three new families
-(bandwidth-correlated, bimodal two-cluster, power-law heterogeneity) and a
-10k-platform mega campaign, plus the :func:`product_specs` grid combinator
-to derive whole families of variant spaces.
+(bandwidth-correlated, bimodal two-cluster, power-law heterogeneity), a
+10k-platform mega campaign, and — since the two-port evaluation chain —
+two-port variants of the paper's campaigns plus a two-port mega family
+(``one_port: false`` flows through the whole array-native stack).  The
+:func:`product_specs` grid combinator derives whole families of variant
+spaces.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Mapping, Sequence
 
 from repro.exceptions import ExperimentError
+from repro.workloads.sampling import PAPER_UNIFORM, UNIT, Distribution, PlatformFamily
 
 __all__ = [
     "Distribution",
@@ -42,216 +52,15 @@ __all__ = [
 
 
 #: Heuristics a scenario campaign can evaluate at the array level: the
-#: LP-backed FIFO orderings of the campaign engine plus the closed-form
-#: LIFO chain (mirrors ``repro.experiments.campaign_engine``).
+#: LP-backed FIFO orderings of the campaign engine plus the LIFO chain
+#: (closed-form under one-port, LP-backed under two-port) — mirrors
+#: ``repro.experiments.campaign_engine``.
 EVALUABLE_HEURISTICS = ("INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER", "OPT_FIFO", "LIFO")
 
 #: Noise models a spec may name for its measured ("real") series; ``None``
 #: turns measurement off (LP-only campaigns).  The factories live in
 #: :mod:`repro.scenarios.runner` — the spec layer only validates the key.
 NOISE_MODELS = ("default", "overhead")
-
-#: Factor-distribution kinds understood by the sampler, with their
-#: required parameters (optional parameters in the second tuple).
-_DISTRIBUTION_KINDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
-    "constant": (("value",), ()),
-    "uniform": (("low", "high"), ()),
-    "bimodal": (("slow", "fast", "fast_fraction"), ()),
-    "powerlaw": (("minimum", "alpha"), ("cap",)),
-}
-
-
-@dataclass(frozen=True)
-class Distribution:
-    """How one per-worker speed-up factor is drawn.
-
-    ``kind`` selects the sampler; ``params`` are the kind's parameters as a
-    sorted tuple of ``(name, value)`` pairs (kept hashable for frozen
-    dataclass semantics — use :meth:`of` and :meth:`param` rather than
-    touching the tuple).  Supported kinds:
-
-    * ``constant(value)`` — every worker gets the same factor (the paper's
-      homogeneous dimensions);
-    * ``uniform(low, high)`` — i.i.d. uniform factors (the paper's
-      heterogeneous dimensions draw from ``uniform(1, 10)``);
-    * ``bimodal(slow, fast, fast_fraction)`` — each worker is ``fast`` with
-      probability ``fast_fraction``, else ``slow`` (two-cluster platforms);
-    * ``powerlaw(minimum, alpha[, cap])`` — Pareto-tailed factors
-      ``minimum * (1 + Pareto(alpha))``, optionally capped (a few very
-      fast nodes over a slow fleet).
-    """
-
-    kind: str
-    params: tuple[tuple[str, float], ...]
-
-    def __post_init__(self) -> None:
-        if self.kind not in _DISTRIBUTION_KINDS:
-            raise ExperimentError(
-                f"unknown distribution kind {self.kind!r}; "
-                f"expected one of {sorted(_DISTRIBUTION_KINDS)}"
-            )
-        required, optional = _DISTRIBUTION_KINDS[self.kind]
-        given = {name for name, _ in self.params}
-        missing = set(required) - given
-        unknown = given - set(required) - set(optional)
-        if missing or unknown:
-            raise ExperimentError(
-                f"distribution {self.kind!r}: missing parameters {sorted(missing)}, "
-                f"unknown parameters {sorted(unknown)}"
-            )
-        self._validate_support()
-
-    def _validate_support(self) -> None:
-        """Factors divide positive costs, so every distribution must only
-        ever produce strictly positive values."""
-        kind = self.kind
-        if kind == "constant" and self.param("value") <= 0:
-            raise ExperimentError("constant factor must be positive")
-        elif kind == "uniform":
-            low, high = self.param("low"), self.param("high")
-            if low <= 0 or high < low:
-                raise ExperimentError("uniform factors need 0 < low <= high")
-        elif kind == "bimodal":
-            slow, fast = self.param("slow"), self.param("fast")
-            fraction = self.param("fast_fraction")
-            if slow <= 0 or fast <= 0:
-                raise ExperimentError("bimodal cluster factors must be positive")
-            if not 0.0 <= fraction <= 1.0:
-                raise ExperimentError("fast_fraction must lie in [0, 1]")
-        elif kind == "powerlaw":
-            minimum, alpha = self.param("minimum"), self.param("alpha")
-            cap = self.param("cap", None)
-            if minimum <= 0 or alpha <= 0:
-                raise ExperimentError("powerlaw needs positive minimum and alpha")
-            if cap is not None and cap < minimum:
-                raise ExperimentError("powerlaw cap must be at least the minimum")
-
-    @classmethod
-    def of(cls, kind: str, **params: float) -> "Distribution":
-        """Build a distribution from keyword parameters.
-
-        Values are coerced to float so that ``of(low=1)`` and
-        ``of(low=1.0)`` are the same distribution — equality, JSON form
-        and :func:`spec_hash` must not depend on the authoring style.
-        """
-        return cls(
-            kind=kind,
-            params=tuple(sorted((name, float(value)) for name, value in params.items())),
-        )
-
-    def param(self, name: str, default: float | None = ...) -> float | None:  # type: ignore[assignment]
-        """Look one parameter up (raises on absence unless a default is given)."""
-        for key, value in self.params:
-            if key == name:
-                return value
-        if default is ...:
-            raise ExperimentError(f"distribution {self.kind!r} has no parameter {name!r}")
-        return default
-
-    @property
-    def is_constant(self) -> bool:
-        """Whether sampling consumes no random stream."""
-        return self.kind == "constant"
-
-    def as_dict(self) -> dict:
-        return {"kind": self.kind, "params": dict(self.params)}
-
-    @classmethod
-    def from_dict(cls, data: Mapping) -> "Distribution":
-        return cls.of(str(data["kind"]), **{str(k): v for k, v in data.get("params", {}).items()})
-
-
-#: The reference factor (speed-up 1) used for homogeneous dimensions.
-UNIT = Distribution.of("constant", value=1.0)
-
-#: The paper's heterogeneous factor range, as a distribution.
-PAPER_UNIFORM = Distribution.of("uniform", low=1.0, high=10.0)
-
-
-@dataclass(frozen=True)
-class PlatformFamily:
-    """Distribution of one random platform family.
-
-    ``comm`` and ``comp`` describe the per-worker communication and
-    computation speed-up factors (the paper's Section 5.2 methodology: a
-    factor ``k`` divides the reference per-unit cost by ``k``).
-    ``return_comm``, when given, draws an *independent* speed-up for the
-    return link — the default ``None`` keeps the paper's model where the
-    return message travels the same link (``d = z * c``).  ``correlation``
-    couples the computation draw to the communication draw through a
-    Gaussian copula (both must be uniform; the declared marginals are
-    preserved exactly): 1 means comp is a monotone function of comm (fast
-    links imply fast CPUs), -1 the opposite, and intermediate values set
-    the copula parameter — the realised correlation between the factors is
-    the copula's rank correlation ``(6/pi) * asin(rho/2)``.
-    ``comm_scale``/``comp_scale`` multiply every drawn factor, the x10
-    scalings of Section 5.3.3.
-    """
-
-    workers: int
-    count: int
-    seed: int
-    comm: Distribution = UNIT
-    comp: Distribution = UNIT
-    return_comm: Distribution | None = None
-    correlation: float = 0.0
-    comm_scale: float = 1.0
-    comp_scale: float = 1.0
-
-    def __post_init__(self) -> None:
-        # Canonicalise the numeric fields (int literals are equivalent to
-        # their float forms and must hash identically).
-        object.__setattr__(self, "workers", int(self.workers))
-        object.__setattr__(self, "count", int(self.count))
-        object.__setattr__(self, "seed", int(self.seed))
-        object.__setattr__(self, "correlation", float(self.correlation))
-        object.__setattr__(self, "comm_scale", float(self.comm_scale))
-        object.__setattr__(self, "comp_scale", float(self.comp_scale))
-        if self.workers <= 0:
-            raise ExperimentError("a platform family needs at least one worker")
-        if self.count <= 0:
-            raise ExperimentError("a platform family needs at least one draw")
-        if not -1.0 <= self.correlation <= 1.0:
-            raise ExperimentError("correlation must lie in [-1, 1]")
-        if self.correlation != 0.0 and not (
-            self.comm.kind == "uniform" and self.comp.kind == "uniform"
-        ):
-            raise ExperimentError(
-                "correlated factor draws are defined for uniform comm/comp distributions"
-            )
-        if self.comm_scale <= 0 or self.comp_scale <= 0:
-            raise ExperimentError("scale factors must be positive")
-
-    def as_dict(self) -> dict:
-        data = {
-            "workers": self.workers,
-            "count": self.count,
-            "seed": self.seed,
-            "comm": self.comm.as_dict(),
-            "comp": self.comp.as_dict(),
-            "correlation": self.correlation,
-            "comm_scale": self.comm_scale,
-            "comp_scale": self.comp_scale,
-        }
-        if self.return_comm is not None:
-            data["return_comm"] = self.return_comm.as_dict()
-        return data
-
-    @classmethod
-    def from_dict(cls, data: Mapping) -> "PlatformFamily":
-        return cls(
-            workers=int(data["workers"]),
-            count=int(data["count"]),
-            seed=int(data["seed"]),
-            comm=Distribution.from_dict(data.get("comm", UNIT.as_dict())),
-            comp=Distribution.from_dict(data.get("comp", UNIT.as_dict())),
-            return_comm=(
-                Distribution.from_dict(data["return_comm"]) if "return_comm" in data else None
-            ),
-            correlation=float(data.get("correlation", 0.0)),
-            comm_scale=float(data.get("comm_scale", 1.0)),
-            comp_scale=float(data.get("comp_scale", 1.0)),
-        )
 
 
 @dataclass(frozen=True)
@@ -260,11 +69,15 @@ class ScenarioSpec:
 
     A *scenario* is one (drawn platform, matrix size) cell; the space holds
     ``family.count * len(matrix_sizes)`` of them.  ``heuristics`` are
-    evaluated on every cell with the scenario LP (``LIFO`` by its closed
-    form) and normalised by the ``reference`` heuristic's LP prediction,
-    exactly like the paper's campaign figures.  ``noise`` names the noise
-    model of the simulated measurements (``None`` runs LP-only, which is
-    what mega-campaigns typically want).
+    evaluated on every cell with the scenario LP (one-port ``LIFO`` by its
+    closed form) and normalised by the ``reference`` heuristic's LP
+    prediction, exactly like the paper's campaign figures.  ``noise`` names
+    the noise model of the simulated measurements (``None`` runs LP-only,
+    which is what mega-campaigns typically want).  ``one_port`` selects the
+    communication model: ``True`` is the paper's one-port master, ``False``
+    the two-port master of the companion report (independent send/receive
+    ports — the scenario LP drops coupling constraint (2b) and the
+    measured series replay the merge-ordered two-port timeline).
     """
 
     name: str
@@ -286,6 +99,7 @@ class ScenarioSpec:
             raise ExperimentError("matrix sizes must be positive")
         object.__setattr__(self, "matrix_sizes", tuple(int(size) for size in self.matrix_sizes))
         object.__setattr__(self, "total_tasks", int(self.total_tasks))
+        object.__setattr__(self, "one_port", bool(self.one_port))
         if not self.heuristics:
             raise ExperimentError("a scenario spec needs at least one heuristic")
         unknown = [name for name in self.heuristics if name not in EVALUABLE_HEURISTICS]
@@ -302,17 +116,6 @@ class ScenarioSpec:
         if self.noise is not None and self.noise not in NOISE_MODELS:
             raise ExperimentError(
                 f"unknown noise model {self.noise!r}; expected one of {list(NOISE_MODELS)} or null"
-            )
-        if not self.one_port:
-            # The runner's whole evaluation chain — FIFO LP build, the
-            # closed-form LIFO chain and the measurement replay — is
-            # one-port; accepting two-port specs would silently return
-            # one-port numbers for them.  The field stays in the JSON
-            # format so a future two-port runner is a value change, not a
-            # format change.
-            raise ExperimentError(
-                "two-port scenario spaces are not supported yet; "
-                "the campaign evaluation chain is one-port"
             )
 
     @property
@@ -419,13 +222,8 @@ def _paper_sizes() -> tuple[int, ...]:
     return tuple(range(40, 201, 20))
 
 
-#: Library of named scenario spaces.  The fig* entries re-express the
-#: paper's campaign factor sets: their platform draws are bit-identical to
-#: ``repro.workloads.platforms.campaign_factors`` (pinned by the
-#: test-suite), so a sampler-fed campaign reproduces the figures exactly.
-NAMED_SPACES: dict[str, ScenarioSpec] = {
-    space.name: space
-    for space in (
+def _one_port_spaces() -> tuple[ScenarioSpec, ...]:
+    return (
         ScenarioSpec(
             name="fig10",
             description="Paper Figure 10: 50 homogeneous 11-worker platforms",
@@ -504,6 +302,39 @@ NAMED_SPACES: dict[str, ScenarioSpec] = {
             noise=None,
         ),
     )
+
+
+def _two_port_spaces(one_port_spaces: Sequence[ScenarioSpec]) -> list[ScenarioSpec]:
+    """Two-port variants of the paper campaigns and the mega family.
+
+    Same factor sets, same seeds, same sizes — only the communication
+    model changes, so a ``fig12`` / ``fig12-twoport`` pair isolates the
+    coupling constraint's contribution exactly like the paper's
+    one-port-vs-two-port comparison.
+    """
+    variants = []
+    by_name = {space.name: space for space in one_port_spaces}
+    for name in ("fig10", "fig11", "fig12", "fig13a", "fig13b", "mega-uniform"):
+        base = by_name[name]
+        variants.append(
+            base.derive(
+                name=f"{name}-twoport",
+                one_port=False,
+                description=f"{base.description} — two-port master (no coupling constraint)",
+            )
+        )
+    return variants
+
+
+_SPACES = _one_port_spaces()
+
+#: Library of named scenario spaces.  The fig* entries re-express the
+#: paper's campaign factor sets: their platform draws are bit-identical to
+#: ``repro.workloads.platforms.campaign_factors`` (pinned by the
+#: test-suite), so a sampler-fed campaign reproduces the figures exactly.
+#: Every ``*-twoport`` entry is the same space under the two-port master.
+NAMED_SPACES: dict[str, ScenarioSpec] = {
+    space.name: space for space in (*_SPACES, *_two_port_spaces(_SPACES))
 }
 
 

@@ -20,10 +20,23 @@ the chunk indices already present.  Chunk results are deterministic
 functions of the spec, so a resumed campaign is bit-identical to an
 uninterrupted one (pinned by the test-suite).
 
+The in-memory :class:`CampaignState` is an *index*, not a cache: loading
+keeps only each chunk's byte span, platform range and row count — a few
+ints per chunk — and re-reads rows from disk on demand
+(:meth:`~CampaignState.chunk_rows` / :meth:`~CampaignState.iter_chunk_rows`).
+:meth:`~CampaignState.aggregate` streams the chunks one at a time,
+accumulating compact per-(series, size) float columns instead of holding
+every row dict in the parent process, so a mega-campaign's aggregation
+costs ~8 bytes per value rather than a JSON object per row — and the
+resulting statistics are bit-identical to :func:`aggregate_rows` over the
+full row list (same column arrays, same ``mean``/``quantile`` calls).
+:meth:`~CampaignState.export_npz` writes the same columns out as a
+``.npz`` file (one array per series plus ``platform``/``size``/``spec``),
+the columnar hand-off for notebooks and external analysis.
+
 Rows are plain JSON objects ``{"platform": int, "size": int, "values":
 {series: float}}``; Python floats round-trip JSON exactly, so persisted
-results keep every bit.  :func:`aggregate_rows` turns them into
-means/quantiles per (series, size) cell.
+results keep every bit.
 """
 
 from __future__ import annotations
@@ -31,7 +44,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -39,6 +52,55 @@ from repro.exceptions import ExperimentError
 from repro.scenarios.spec import ScenarioSpec, spec_hash
 
 __all__ = ["CampaignState", "CampaignStore", "aggregate_rows"]
+
+
+class _ColumnAccumulator:
+    """Streaming per-(series, size) column builder.
+
+    ``update`` ingests one chunk's rows (per-chunk partial arrays are
+    appended, nothing per-row survives the call); ``statistics`` finalises
+    each cell by concatenating its per-chunk arrays — the concatenation
+    equals the array :func:`aggregate_rows` would have built row by row,
+    so every statistic matches it bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self._cells: dict[str, dict[int, list[np.ndarray]]] = {}
+
+    def update(self, rows: Iterable[Mapping]) -> None:
+        chunk_values: dict[str, dict[int, list[float]]] = {}
+        for row in rows:
+            size = int(row["size"])
+            for series, value in row["values"].items():
+                chunk_values.setdefault(series, {}).setdefault(size, []).append(float(value))
+        for series, per_size in chunk_values.items():
+            cells = self._cells.setdefault(series, {})
+            for size, values in per_size.items():
+                cells.setdefault(size, []).append(np.array(values))
+
+    def columns(self) -> Iterator[tuple[str, int, np.ndarray]]:
+        """Every (series, size, values) column, sizes sorted per series."""
+        for series, per_size in self._cells.items():
+            for size, chunks in sorted(per_size.items()):
+                yield series, size, (chunks[0] if len(chunks) == 1 else np.concatenate(chunks))
+
+    def statistics(self, quantiles: Sequence[float]) -> dict:
+        aggregated: dict[str, dict[int, dict[str, float]]] = {}
+        for series, size, array in self.columns():
+            aggregated.setdefault(series, {})[size] = _cell_statistics(array, quantiles)
+        return aggregated
+
+
+def _cell_statistics(array: np.ndarray, quantiles: Sequence[float]) -> dict[str, float]:
+    cell = {
+        "count": int(array.size),
+        "mean": float(array.mean()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }
+    for q in quantiles:
+        cell[f"q{round(q * 100):02d}"] = float(np.quantile(array, q))
+    return cell
 
 
 class CampaignState:
@@ -49,8 +111,9 @@ class CampaignState:
         self.spec = spec
         self.spec_path = self.directory / "spec.json"
         self.chunks_path = self.directory / "chunks.jsonl"
-        self._completed: dict[int, list[dict]] = {}
         self._ranges: dict[int, tuple[int, int]] = {}
+        self._row_counts: dict[int, int] = {}
+        self._spans: dict[int, tuple[int, int]] = {}
         self._load()
 
     def _load(self) -> None:
@@ -64,27 +127,37 @@ class CampaignState:
                 )
         else:
             self.spec_path.write_text(self.spec.to_json() + "\n", encoding="utf-8")
-        self._completed = {}
+        self._ranges = {}
+        self._row_counts = {}
+        self._spans = {}
         if not self.chunks_path.exists():
             return
-        raw = self.chunks_path.read_bytes()
-        lines = raw.splitlines(keepends=True)
-        valid_bytes = 0
-        for number, line_bytes in enumerate(lines):
-            line = line_bytes.decode("utf-8", errors="replace").strip()
-            if line:
+        # Index pass: records are parsed one line at a time to validate
+        # them and note their byte spans, then dropped — the state holds a
+        # few ints per chunk, never the rows themselves.
+        size = os.path.getsize(self.chunks_path)
+        truncate_at: int | None = None
+        ends_with_newline = True
+        offset = 0
+        with open(self.chunks_path, "rb") as handle:
+            for number, line_bytes in enumerate(handle):
+                line_start = offset
+                offset += len(line_bytes)
+                ends_with_newline = line_bytes.endswith(b"\n")
+                line = line_bytes.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    if number == len(lines) - 1:
+                    if offset == size:
                         # A truncated tail line is exactly what a kill
                         # mid-write leaves behind.  Truncate the file back
                         # to the last complete record so the next append
                         # starts on a fresh line (appending straight after
                         # the torn write would glue two records together);
                         # the chunk is simply re-run.
-                        with open(self.chunks_path, "r+b") as handle:
-                            handle.truncate(valid_bytes)
+                        truncate_at = line_start
                         break
                     raise ExperimentError(
                         f"corrupt (non-tail) line {number + 1} in {self.chunks_path}"
@@ -93,26 +166,52 @@ class CampaignState:
                 # First write wins: a duplicate line can only appear if two
                 # runners raced on the same store, and the earlier results
                 # are the ones any completed aggregate was built from.
-                if index not in self._completed:
-                    self._completed[index] = record["rows"]
+                if index not in self._ranges:
                     self._ranges[index] = (int(record["start"]), int(record["stop"]))
-            valid_bytes += len(line_bytes)
-        else:
+                    self._row_counts[index] = len(record["rows"])
+                    self._spans[index] = (line_start, offset)
+        if truncate_at is not None:
+            with open(self.chunks_path, "r+b") as handle:
+                handle.truncate(truncate_at)
+        elif size and not ends_with_newline:
             # No torn tail; a final record missing only its newline (flush
             # raced the kill after the JSON but before "\n") still needs
             # one before the next append.
-            if raw and not raw.endswith(b"\n"):
-                with open(self.chunks_path, "ab") as handle:
-                    handle.write(b"\n")
+            with open(self.chunks_path, "ab") as handle:
+                handle.write(b"\n")
 
     @property
     def completed_chunks(self) -> set[int]:
         """Indices of the chunks already evaluated and persisted."""
-        return set(self._completed)
+        return set(self._ranges)
+
+    def row_count(self) -> int:
+        """Number of persisted rows (from the index, no disk read)."""
+        return sum(self._row_counts.values())
+
+    def covered_platforms(self) -> int:
+        """Number of platforms the persisted chunk ranges cover."""
+        return sum(stop - start for start, stop in self._ranges.values())
 
     def chunk_rows(self, index: int) -> list[dict]:
-        """Rows of one completed chunk."""
-        return self._completed[index]
+        """Rows of one completed chunk (re-read from disk)."""
+        try:
+            start, stop = self._spans[index]
+        except KeyError:
+            raise ExperimentError(f"chunk {index} is not persisted") from None
+        with open(self.chunks_path, "rb") as handle:
+            handle.seek(start)
+            payload = handle.read(stop - start)
+        return json.loads(payload.decode("utf-8"))["rows"]
+
+    def iter_chunk_rows(self) -> Iterator[tuple[int, list[dict]]]:
+        """Stream ``(index, rows)`` per completed chunk, in chunk order.
+
+        Only one chunk's rows are alive at a time — the streaming primitive
+        behind :meth:`aggregate` and :meth:`export_npz`.
+        """
+        for index in sorted(self._ranges):
+            yield index, self.chunk_rows(index)
 
     def chunk_range(self, index: int) -> tuple[int, int]:
         """The ``[start, stop)`` platform range a completed chunk covers.
@@ -125,29 +224,97 @@ class CampaignState:
 
     def append_chunk(self, index: int, start: int, stop: int, rows: Sequence[Mapping]) -> None:
         """Persist one finished chunk (atomic at line granularity)."""
-        if index in self._completed:
+        if index in self._ranges:
             raise ExperimentError(f"chunk {index} is already persisted")
-        line = json.dumps(
+        payload = json.dumps(
             {"chunk": index, "start": int(start), "stop": int(stop), "rows": list(rows)},
             sort_keys=True,
-        )
-        with open(self.chunks_path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        ).encode("utf-8") + b"\n"
+        with open(self.chunks_path, "ab") as handle:
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
-        self._completed[index] = list(rows)
+            # Span from tell() *after* the write: O_APPEND seeks to EOF at
+            # write time, so if another runner raced an append in between,
+            # the position before our write would not be where our bytes
+            # landed — end-minus-length always is.
+            span_stop = handle.tell()
         self._ranges[index] = (int(start), int(stop))
+        self._row_counts[index] = len(rows)
+        self._spans[index] = (span_stop - len(payload), span_stop)
 
     def rows(self) -> list[dict]:
-        """Every persisted row, in chunk order."""
+        """Every persisted row, in chunk order (materialised; prefer
+        :meth:`iter_chunk_rows` / :meth:`aggregate` for mega-campaigns)."""
         collected: list[dict] = []
-        for index in sorted(self._completed):
-            collected.extend(self._completed[index])
+        for _, chunk in self.iter_chunk_rows():
+            collected.extend(chunk)
         return collected
 
     def aggregate(self, quantiles: Sequence[float] = (0.05, 0.5, 0.95)) -> dict:
-        """Means/quantiles per (series, size) over the persisted rows."""
-        return aggregate_rows(self.rows(), quantiles=quantiles)
+        """Means/quantiles per (series, size), streamed chunk by chunk.
+
+        Bit-identical to ``aggregate_rows(self.rows())`` — the streamed
+        columns concatenate to the very arrays the row-list path builds —
+        without ever materialising the rows in memory.
+        """
+        accumulator = _ColumnAccumulator()
+        for _, chunk in self.iter_chunk_rows():
+            accumulator.update(chunk)
+        return accumulator.statistics(quantiles)
+
+    def export_npz(self, path: str | Path, compress: bool = True) -> dict:
+        """Columnar ``.npz`` export of the persisted rows.
+
+        The archive holds ``platform`` and ``size`` index arrays, one
+        float column per series (NaN where a row lacks the series), and
+        the spec's canonical JSON under ``spec``.  Rows are streamed chunk
+        by chunk into per-chunk column arrays (the same compact layout the
+        aggregator uses — no boxed per-value Python objects survive a
+        chunk); returns a small summary dict (rows, series, path).  The
+        reported path always carries the ``.npz`` suffix ``np.savez``
+        would silently append.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            # np.savez appends ".npz" itself; normalise up front so the
+            # reported path names the file that actually exists.
+            path = path.with_name(path.name + ".npz")
+        nan = float("nan")
+        platforms: list[np.ndarray] = []
+        sizes: list[np.ndarray] = []
+        columns: dict[str, list[np.ndarray]] = {}
+        chunk_lengths: list[int] = []
+        total = 0
+        for _, chunk in self.iter_chunk_rows():
+            platforms.append(np.array([int(row["platform"]) for row in chunk], dtype=np.int64))
+            sizes.append(np.array([int(row["size"]) for row in chunk], dtype=np.int64))
+            for row in chunk:
+                for series in row["values"]:
+                    if series not in columns:
+                        # Back-fill the chunks seen before this series
+                        # appeared with NaN blocks.
+                        columns[series] = [np.full(length, nan) for length in chunk_lengths]
+            for series, blocks in columns.items():
+                blocks.append(
+                    np.array([float(row["values"].get(series, nan)) for row in chunk])
+                )
+            chunk_lengths.append(len(chunk))
+            total += len(chunk)
+        arrays: dict[str, np.ndarray] = {
+            "platform": np.concatenate(platforms) if platforms else np.empty(0, dtype=np.int64),
+            "size": np.concatenate(sizes) if sizes else np.empty(0, dtype=np.int64),
+            "spec": np.array(self.spec.to_json(indent=None)),
+        }
+        for series, blocks in columns.items():
+            if series in arrays:
+                raise ExperimentError(
+                    f"series name {series!r} collides with an index column"
+                )
+            arrays[series] = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        writer = np.savez_compressed if compress else np.savez
+        writer(path, **arrays)
+        return {"path": str(path), "rows": total, "series": sorted(columns)}
 
 
 class CampaignStore:
@@ -185,6 +352,8 @@ def aggregate_rows(
 
     Returns ``{series: {size: {"count", "mean", "min", "max", "qXX"...}}}``
     with one ``qXX`` entry per requested quantile (linear interpolation).
+    The in-memory counterpart of :meth:`CampaignState.aggregate` (which
+    streams from disk and matches this bit for bit).
     """
     collected: dict[str, dict[int, list[float]]] = {}
     for row in rows:
@@ -196,14 +365,5 @@ def aggregate_rows(
     for series, per_size in collected.items():
         aggregated[series] = {}
         for size, values in sorted(per_size.items()):
-            array = np.array(values)
-            cell = {
-                "count": int(array.size),
-                "mean": float(array.mean()),
-                "min": float(array.min()),
-                "max": float(array.max()),
-            }
-            for q in quantiles:
-                cell[f"q{round(q * 100):02d}"] = float(np.quantile(array, q))
-            aggregated[series][size] = cell
+            aggregated[series][size] = _cell_statistics(np.array(values), quantiles)
     return aggregated

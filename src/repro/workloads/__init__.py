@@ -3,6 +3,15 @@
 from __future__ import annotations
 
 from repro.workloads.matrices import DEFAULT_BANDWIDTH, DEFAULT_FLOP_RATE, MatrixProductWorkload
+from repro.workloads.sampling import (
+    Distribution,
+    FactorTable,
+    PlatformFamily,
+    base_costs,
+    cost_table,
+    family_cost_tables,
+    sample_factors,
+)
 from repro.workloads.platforms import (
     DEFAULT_WORKERS,
     FACTOR_RANGE,
@@ -32,4 +41,11 @@ __all__ = [
     "PARTICIPATION_COMP_SPEEDS",
     "DEFAULT_WORKERS",
     "FACTOR_RANGE",
+    "Distribution",
+    "PlatformFamily",
+    "FactorTable",
+    "sample_factors",
+    "base_costs",
+    "cost_table",
+    "family_cost_tables",
 ]

@@ -149,13 +149,12 @@ def campaign_factors(
     """
     if count <= 0:
         raise ExperimentError("count must be positive")
-    # The factor matrices come from the scenario sampler's vectorised draw
-    # (one stacked RNG call per family), which reproduces the historical
-    # per-platform generator stream bit for bit — pinned by the test-suite
-    # against the sequential `random_factors` path kept above for
-    # single-platform callers.
-    from repro.scenarios.sampler import sample_factors
-    from repro.scenarios.spec import Distribution, PlatformFamily
+    # The factor matrices come from the vectorised sampler (one stacked RNG
+    # call per family), which reproduces the historical per-platform
+    # generator stream bit for bit — pinned by the test-suite against the
+    # sequential `random_factors` path kept above for single-platform
+    # callers.
+    from repro.workloads.sampling import Distribution, PlatformFamily, sample_factors
 
     uniform = Distribution.of("uniform", low=FACTOR_RANGE[0], high=FACTOR_RANGE[1])
     unit = Distribution.of("constant", value=1.0)

@@ -199,6 +199,95 @@ class TestScenariosCommands:
         with pytest.raises(ExperimentError, match="invalid scenario spec"):
             main(["scenarios", "show", str(path)])
 
+    def test_scenarios_show_on_partial_store(self, capsys, tiny_space):
+        """`show` must render a partially persisted campaign: honest chunk
+        and row counts plus the aggregate of what exists so far."""
+        spec, path, store = tiny_space
+        code = main(
+            [
+                "scenarios", "run", str(path),
+                "--store", str(store), "--chunk-size", "1", "--max-chunks", "3",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "completed chunks: 3" in out
+        assert "persisted scenarios: 6 of 8" in out
+        assert "INC_C lp" in out
+
+    def test_scenarios_show_on_empty_partial_directory(self, capsys, tiny_space):
+        """A store directory created but holding zero completed chunks
+        (killed before the first append) still shows cleanly."""
+        from repro.scenarios.store import CampaignStore
+
+        spec, path, store = tiny_space
+        CampaignStore(store).campaign(spec)  # creates spec.json, no chunks
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "completed chunks: 0" in out
+        assert "persisted scenarios: 0 of 8" in out
+
+    def test_scenarios_export_npz(self, capsys, tiny_space, tmp_path):
+        spec, path, store = tiny_space
+        assert main(["scenarios", "run", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "columns.npz"
+        code = main(
+            ["scenarios", "export", str(path), "--store", str(store),
+             "--npz", str(out_path)]
+        )
+        assert code == 0
+        assert "8 rows" in capsys.readouterr().out
+        import numpy as np
+
+        with np.load(out_path) as archive:
+            assert archive["platform"].shape == (8,)
+            assert "INC_C lp" in archive
+
+    def test_scenarios_export_requires_results(self, tiny_space, tmp_path):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "export", str(path), "--store", str(store),
+                 "--npz", str(tmp_path / "x.npz")]
+            )
+
+    def test_scenarios_export_rejects_partial_store(self, capsys, tiny_space, tmp_path):
+        spec, path, store = tiny_space
+        assert main(
+            ["scenarios", "run", str(path), "--store", str(store),
+             "--chunk-size", "1", "--max-chunks", "2"]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "export", str(path), "--store", str(store),
+                 "--npz", str(tmp_path / "x.npz")]
+            )
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_scenarios_list_includes_two_port_spaces(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12-twoport" in out
+        assert "mega-uniform-twoport" in out
+
+    def test_spec_file_with_bad_distribution_reports_cleanly(self, tmp_path):
+        """The spec error path surfaces through the CLI with the kind named."""
+        import json
+
+        from repro.exceptions import ExperimentError
+        from repro.scenarios.spec import named_space
+
+        payload = named_space("fig12").as_dict()
+        payload["family"]["comm"] = {"kind": "zipf", "params": {"s": 2.0}}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ExperimentError, match="unknown distribution kind"):
+            main(["scenarios", "show", str(path)])
+
     def test_local_file_cannot_shadow_named_space(self, tmp_path, monkeypatch, capsys):
         """A stray file named like a built-in space must not hijack it."""
         (tmp_path / "fig10").write_text("not a spec", encoding="utf-8")

@@ -1,0 +1,52 @@
+"""Import-hierarchy tests: the layering below ``repro.scenarios`` is strict.
+
+The workload generators and the campaign engine consume the vectorised
+sampler and the order-rule mirrors from their new homes
+(:mod:`repro.workloads.sampling`, :mod:`repro.core.order_rules`); nothing
+below the scenario subsystem may import from ``repro.scenarios``.  The
+check runs in a subprocess so this test cannot be fooled by modules some
+earlier test already imported.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def test_lower_layers_do_not_import_scenarios():
+    """core + workloads + experiments import (and run) without scenarios."""
+    probe = (
+        "import sys\n"
+        "import repro.core.order_rules\n"
+        "import repro.core.batch_twoport\n"
+        "import repro.workloads.sampling\n"
+        "import repro.experiments.campaign_engine\n"
+        "from repro.workloads.platforms import campaign_factors\n"
+        "factors = campaign_factors('hetero-star', 2, size=3, seed=0)\n"
+        "assert len(factors) == 2\n"
+        "polluted = sorted(m for m in sys.modules if m.startswith('repro.scenarios'))\n"
+        "assert not polluted, f'lower layers pulled in {polluted}'\n"
+    )
+    subprocess.run([sys.executable, "-c", probe], check=True)
+
+
+def test_sampler_facade_re_exports_every_primitive():
+    """The historical ``repro.scenarios.sampler`` names keep working and
+    are the same objects as their new homes."""
+    from repro.core import order_rules
+    from repro.scenarios import sampler
+    from repro.workloads import sampling
+
+    for name in ("ORDER_RULES", "TWO_PORT_ORDER_RULES", "TWO_PORT_REVERSED_RETURN",
+                 "lifo_chain_values", "sorted_indices", "worker_names"):
+        assert getattr(sampler, name) is getattr(order_rules, name)
+    for name in ("FactorTable", "sample_factors", "base_costs", "cost_table",
+                 "family_cost_tables", "Distribution", "PlatformFamily",
+                 "UNIT", "PAPER_UNIFORM"):
+        assert getattr(sampler, name) is getattr(sampling, name)
+
+    from repro.scenarios import spec as scenario_spec
+
+    assert scenario_spec.Distribution is sampling.Distribution
+    assert scenario_spec.PlatformFamily is sampling.PlatformFamily

@@ -183,9 +183,14 @@ class TestResumeSemantics:
             run_campaign(spec, tmp_path, chunk_size=2)
 
     def test_resume_with_different_chunk_size_fails_loudly(self, tmp_path):
+        """Chunk-size drift is rejected with a message that tells the user
+        exactly how to recover (resume with the original chunk size)."""
         spec = small_spec()
         run_campaign(spec, tmp_path, chunk_size=2, max_chunks=1)
-        with pytest.raises(ExperimentError):
+        with pytest.raises(
+            ExperimentError,
+            match="resume with the chunk size the campaign was started with",
+        ):
             run_campaign(spec, tmp_path, chunk_size=4)
 
     def test_store_refuses_foreign_spec(self, tmp_path):
@@ -237,3 +242,65 @@ class TestAggregation:
         assert len(campaigns) == 1
         assert campaigns[0][0] == spec_hash(spec)
         assert campaigns[0][1].name == spec.name
+
+
+class TestStreamingStore:
+    """The store is an index, not a cache: rows live on disk and are
+    streamed back chunk by chunk for reads, aggregation and export."""
+
+    def test_streaming_aggregate_matches_row_list_aggregate(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path, chunk_size=2)
+        state = progress.state
+        assert state.aggregate() == aggregate_rows(state.rows())
+        assert state.aggregate(quantiles=(0.25,)) == aggregate_rows(
+            state.rows(), quantiles=(0.25,)
+        )
+
+    def test_reopened_state_serves_rows_from_disk(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path, chunk_size=2)
+        reopened = CampaignState(progress.state.directory, spec)
+        assert reopened.rows() == progress.rows()
+        assert reopened.row_count() == len(progress.rows())
+        assert reopened.covered_platforms() == spec.family.count
+        for index in sorted(reopened.completed_chunks):
+            assert reopened.chunk_rows(index) == progress.state.chunk_rows(index)
+        chunks = dict(reopened.iter_chunk_rows())
+        assert sorted(chunks) == sorted(reopened.completed_chunks)
+
+    def test_chunk_rows_for_missing_chunk_raises(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path, chunk_size=3, max_chunks=1)
+        with pytest.raises(ExperimentError, match="not persisted"):
+            progress.state.chunk_rows(99)
+
+    def test_export_npz_normalises_suffix(self, tmp_path):
+        """np.savez silently appends .npz; the reported path must name the
+        file that actually exists."""
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=3)
+        summary = progress.state.export_npz(tmp_path / "columns")
+        assert summary["path"].endswith("columns.npz")
+        assert (tmp_path / "columns.npz").exists()
+
+    def test_export_npz_round_trips_columns(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=2)
+        path = tmp_path / "out.npz"
+        summary = progress.state.export_npz(path)
+        rows = progress.rows()
+        assert summary["rows"] == len(rows)
+
+        with np.load(path) as archive:
+            assert archive["platform"].tolist() == [row["platform"] for row in rows]
+            assert archive["size"].tolist() == [row["size"] for row in rows]
+            series_names = set(rows[0]["values"])
+            assert set(summary["series"]) == series_names
+            for series in series_names:
+                column = archive[series]
+                assert column.tolist() == [row["values"][series] for row in rows]
+            from repro.scenarios.spec import ScenarioSpec
+
+            stored = ScenarioSpec.from_json(str(archive["spec"]))
+            assert spec_hash(stored) == spec_hash(spec)

@@ -113,13 +113,28 @@ class TestScenarioSpec:
         with pytest.raises(ExperimentError):
             named_space("fig12").derive(noise="heavy")
 
-    def test_two_port_rejected(self):
-        """The evaluation chain is one-port; two-port specs must fail
-        loudly rather than silently get one-port numbers."""
-        with pytest.raises(ExperimentError):
-            named_space("fig12").derive(one_port=False)
-        with pytest.raises(ExperimentError):
-            named_space("fig12").derive(noise=None, one_port=False)
+    def test_two_port_axis_accepted(self):
+        """The port-model axis is open: one_port=False derives a distinct
+        space that round-trips JSON and hashes apart from its one-port
+        twin (a two-port campaign must never share its store)."""
+        spec = named_space("fig12")
+        two_port = spec.derive(one_port=False)
+        assert not two_port.one_port
+        assert spec_hash(two_port) != spec_hash(spec)
+        assert ScenarioSpec.from_json(two_port.to_json()) == two_port
+        assert not named_space("fig12-twoport").one_port
+        assert spec_hash(named_space("fig12-twoport")) == spec_hash(two_port)
+
+    def test_two_port_variants_share_factor_sets(self):
+        """A *-twoport space differs from its twin only in the port model."""
+        for name in ("fig10", "fig11", "fig12", "fig13a", "fig13b", "mega-uniform"):
+            base = named_space(name)
+            variant = named_space(f"{name}-twoport")
+            assert variant.family == base.family
+            assert variant.matrix_sizes == base.matrix_sizes
+            assert variant.heuristics == base.heuristics
+            assert variant.noise == base.noise
+            assert not variant.one_port and base.one_port
 
     def test_unknown_named_space(self):
         with pytest.raises(ExperimentError):
@@ -165,6 +180,45 @@ class TestSpecHash:
             comp=Distribution.of("uniform", low=1, high=10),
         )
         assert spec_hash(relaxed) == spec_hash(spec)
+
+
+class TestSpecJsonErrorPaths:
+    """Malformed spec documents must fail loudly, with actionable messages,
+    through the same ``from_json`` path the CLI uses for spec files."""
+
+    def _payload(self, **overrides) -> dict:
+        payload = named_space("fig12").as_dict()
+        payload.update(overrides)
+        return payload
+
+    def test_malformed_distribution_kind_in_family(self):
+        payload = self._payload()
+        payload["family"]["comm"] = {"kind": "zipf", "params": {"s": 2.0}}
+        with pytest.raises(ExperimentError, match="unknown distribution kind 'zipf'"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_distribution_parameter_mismatch_in_family(self):
+        payload = self._payload()
+        payload["family"]["comp"] = {"kind": "uniform", "params": {"low": 1.0}}
+        with pytest.raises(ExperimentError, match="missing parameters \\['high'\\]"):
+            ScenarioSpec.from_dict(payload)
+
+    @pytest.mark.parametrize("correlation", (-1.5, 1.0001, 7.0))
+    def test_correlation_out_of_range(self, correlation):
+        payload = self._payload()
+        payload["family"]["correlation"] = correlation
+        with pytest.raises(ExperimentError, match="correlation must lie in \\[-1, 1\\]"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_heuristic_names_the_evaluable_set(self):
+        payload = self._payload(heuristics=["INC_C", "RANDOM"])
+        with pytest.raises(ExperimentError, match="unknown heuristics \\['RANDOM'\\]"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_empty_matrix_sizes(self):
+        payload = self._payload(matrix_sizes=[])
+        with pytest.raises(ExperimentError, match="at least one matrix size"):
+            ScenarioSpec.from_dict(payload)
 
 
 class TestProductSpecs:
