@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke bench-check
 
 ## Tier-1 correctness suite (what CI gates on).
 test:
@@ -27,3 +27,9 @@ bench-smoke:
 	    benchmarks/test_bench_scenarios.py -q \
 	    --benchmark-json=BENCH_campaign.json
 	@$(PYTHONPATH_SRC) $(PYTHON) benchmarks/trajectory.py BENCH_campaign.json BENCH_TRAJECTORY.jsonl
+
+## Bench-regression gate: compare the newest BENCH_TRAJECTORY.jsonl row
+## against the most recent comparable one (same platform_count/cpu_count)
+## and fail if any wall-clock regressed by more than 25%.
+bench-check:
+	$(PYTHON) benchmarks/check_trajectory.py BENCH_TRAJECTORY.jsonl

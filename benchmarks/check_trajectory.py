@@ -1,0 +1,141 @@
+"""Bench-regression gate over the perf trajectory.
+
+``make bench-smoke`` appends one summary row per run to
+``BENCH_TRAJECTORY.jsonl`` (see :mod:`benchmarks.trajectory`).  This script
+compares the newest row against the most recent *comparable* earlier row —
+same ``platform_count`` and same ``cpu_count``, so a laptop run is never
+judged against a CI runner — and fails (exit 1) when any wall-clock
+regressed by more than the threshold (default 25%).
+
+Compared wall-clocks, when present in both rows:
+
+* ``total_wall_clock_seconds`` — the figure 10-13 + crossover campaign;
+* ``twoport_wall_clock_seconds`` — the two-port scenario campaign;
+* ``multicore_total_wall_clock_seconds`` — the ``jobs=0`` run;
+* every per-figure entry of the ``wall_clock_seconds`` mapping.
+
+With fewer than two comparable rows there is nothing to gate on and the
+script passes with a note — the first run on any new machine (or a CI
+runner on a fresh checkout) establishes the baseline instead of failing.
+
+Usage::
+
+    python benchmarks/check_trajectory.py [BENCH_TRAJECTORY.jsonl] [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Scalar wall-clock keys compared between two trajectory rows.
+SCALAR_CLOCKS = (
+    "total_wall_clock_seconds",
+    "twoport_wall_clock_seconds",
+    "multicore_total_wall_clock_seconds",
+)
+
+#: Keys two rows must agree on to be comparable at all.
+CONTEXT_KEYS = ("platform_count", "cpu_count")
+
+
+def load_rows(path: Path) -> list[dict]:
+    """Parse the trajectory, skipping blank lines."""
+    rows: list[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def comparable(current: dict, candidate: dict) -> bool:
+    """Whether ``candidate`` is a valid baseline for ``current``."""
+    return all(candidate.get(key) == current.get(key) for key in CONTEXT_KEYS)
+
+
+def collect_clocks(row: dict) -> dict[str, float]:
+    """Every gated wall-clock of one row, flattened to ``name -> seconds``."""
+    clocks: dict[str, float] = {}
+    for key in SCALAR_CLOCKS:
+        value = row.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            clocks[key] = float(value)
+    per_figure = row.get("wall_clock_seconds")
+    if isinstance(per_figure, dict):
+        for name, value in per_figure.items():
+            if isinstance(value, (int, float)) and value > 0:
+                clocks[f"wall_clock_seconds.{name}"] = float(value)
+    return clocks
+
+
+def check(rows: list[dict], threshold: float) -> int:
+    """Compare the newest row against its baseline; return the exit code."""
+    if len(rows) < 2:
+        print("bench-check: fewer than two trajectory rows; nothing to compare")
+        return 0
+    current = rows[-1]
+    baseline = next((row for row in reversed(rows[:-1]) if comparable(current, row)), None)
+    if baseline is None:
+        print(
+            "bench-check: no earlier row matches "
+            + ", ".join(f"{key}={current.get(key)}" for key in CONTEXT_KEYS)
+            + "; this run establishes the baseline"
+        )
+        return 0
+
+    current_clocks = collect_clocks(current)
+    baseline_clocks = collect_clocks(baseline)
+    shared = sorted(set(current_clocks) & set(baseline_clocks))
+    if not shared:
+        print("bench-check: the rows share no wall-clock keys; nothing to compare")
+        return 0
+
+    regressions = []
+    for name in shared:
+        before, after = baseline_clocks[name], current_clocks[name]
+        change = after / before - 1.0
+        marker = "REGRESSION" if change > threshold else "ok"
+        print(
+            f"bench-check: {name:45s} {before:9.4f}s -> {after:9.4f}s "
+            f"({change:+7.1%})  {marker}"
+        )
+        if change > threshold:
+            regressions.append((name, before, after, change))
+
+    if regressions:
+        print(
+            f"bench-check: FAILED — {len(regressions)} wall-clock(s) regressed by more "
+            f"than {threshold:.0%} vs {baseline.get('sha', 'unknown')} "
+            f"({baseline.get('timestamp', '?')})"
+        )
+        return 1
+    print(
+        f"bench-check: OK — no wall-clock regressed by more than {threshold:.0%} "
+        f"vs {baseline.get('sha', 'unknown')}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trajectory", nargs="?", default="BENCH_TRAJECTORY.jsonl",
+        help="path to the trajectory file (default: BENCH_TRAJECTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown that fails the gate (default: 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.trajectory)
+    if not path.exists():
+        print(f"bench-check: {path} does not exist; run 'make bench-smoke' first")
+        return 1
+    return check(load_rows(path), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

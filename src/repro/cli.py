@@ -20,6 +20,8 @@ Scenario spaces (declarative campaigns over generated platform families)::
     repro-experiments scenarios list
     repro-experiments scenarios run fig12 --store results --jobs 0
     repro-experiments scenarios run fig12-twoport --store results
+    repro-experiments scenarios run bus-hetero --store results
+    repro-experiments scenarios run fig08-probe --store results
     repro-experiments scenarios run my_space.json --chunk-size 50
     repro-experiments scenarios resume mega-uniform --store results
     repro-experiments scenarios show mega-uniform --store results
@@ -27,7 +29,8 @@ Scenario spaces (declarative campaigns over generated platform families)::
 
 ``scenarios run`` persists every finished chunk, so an interrupted
 campaign (Ctrl-C, crash) picks up where it left off — ``resume`` is
-``run`` that insists prior results exist.  Every verb works for one-port
+``run`` that insists prior results exist.  Every verb works for every
+workload (matrix, ``bus-*`` sweeps, ``*-probe`` grids) and for one-port
 and two-port (``*-twoport``, or ``"one_port": false`` in a spec JSON)
 spaces alike; ``export`` turns a finished store into a columnar ``.npz``.
 """
@@ -232,7 +235,7 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         for name in available_spaces():
             spec = NAMED_SPACES[name]
             print(
-                f"{name:22s} {spec.scenario_count:7d} scenarios  "
+                f"{name:22s} {spec.workload.kind:7s} {spec.scenario_count:7d} scenarios  "
                 f"[{spec_hash(spec)}]  {spec.description}"
             )
         return 0

@@ -367,8 +367,11 @@ def prepare_cells(
 ) -> dict[tuple, PreparedCell] | dict[tuple, TwoPortCell]:
     """Prepare a batch of ``(key, c, w, d)`` cost tables for evaluation.
 
-    Each table is one scenario cell (a platform's cost vectors at one
-    matrix size).  Every LP the batch needs — one per (table, LP-backed
+    Each table is one scenario cell: a platform's cost vectors at one grid
+    point of whatever workload produced them — a matrix size here and in
+    the figure campaigns, a bus ``w/c`` ratio when the scenario runner
+    feeds a bus-workload space through this same entry point.  Every LP
+    the batch needs — one per (table, LP-backed
     heuristic) pair — is stacked into one batched kernel call per worker
     count; throughputs and prepared replays are assembled straight from
     the kernel's load vectors, no platform or schedule objects at all.

@@ -22,25 +22,37 @@ from repro.experiments.common import FigureResult
 from repro.experiments.sweep_engine import run_sweep
 from repro.runtime.api import MASTER_RANK, NodeContext, SimulatedRuntime
 from repro.simulation.noise import NoiseModel
-from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.matrices import (
+    LINEARITY_COMM_FACTORS,
+    LINEARITY_MESSAGE_SIZES_MB,
+    MatrixProductWorkload,
+)
 
-__all__ = ["run", "linear_fit_residuals"]
+__all__ = ["run", "linear_fit_residuals", "measure_transfer"]
 
 
-#: Communication speed-up factors of the five probed workers.
-DEFAULT_COMM_FACTORS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+#: Communication speed-up factors of the five probed workers (canonically
+#: defined in :mod:`repro.workloads.matrices`, shared with the
+#: ``fig08-probe`` scenario space).
+DEFAULT_COMM_FACTORS: tuple[float, ...] = LINEARITY_COMM_FACTORS
 
 #: Message sizes in megabytes (the paper sweeps 0–5 MB).
-DEFAULT_MESSAGE_SIZES_MB: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+DEFAULT_MESSAGE_SIZES_MB: tuple[float, ...] = LINEARITY_MESSAGE_SIZES_MB
 
 
-def _measure_transfer(
+def measure_transfer(
     workload: MatrixProductWorkload,
     comm_factor: float,
     megabytes: float,
-    noise: NoiseModel | None,
+    noise: NoiseModel | None = None,
 ) -> float:
-    """Measured time to push one message of ``megabytes`` MB to one worker."""
+    """Measured time to push one message of ``megabytes`` MB to one worker.
+
+    One rendezvous transfer through the one-port master on the simulated
+    runtime — the probe the paper's Figure 8 sweeps.  Public because the
+    scenario subsystem's ``probe`` workload replays the same measurement
+    (its rows are therefore bit-identical to this driver's series).
+    """
     runtime = SimulatedRuntime(
         bandwidths={MASTER_RANK: workload.bandwidth, 1: workload.bandwidth * comm_factor},
         flop_rates={MASTER_RANK: workload.flop_rate, 1: workload.flop_rate},
@@ -67,7 +79,7 @@ def _measure_cell(
 ) -> float:
     """Sweep-engine worker: one (comm factor, message size) probe."""
     factor, megabytes = cell
-    return _measure_transfer(workload, factor, megabytes, noise)
+    return measure_transfer(workload, factor, megabytes, noise)
 
 
 def run(

@@ -23,18 +23,20 @@ from repro.simulation.executor import execute_schedule
 from repro.simulation.noise import NoiseModel
 from repro.simulation.trace import ascii_gantt
 from repro.workloads.matrices import MatrixProductWorkload
-from repro.workloads.platforms import PlatformFactors
+from repro.workloads.platforms import FIG09_COMM_FACTORS, FIG09_COMP_FACTORS, PlatformFactors
 
 __all__ = ["run", "DEFAULT_COMM_FACTORS", "DEFAULT_COMP_FACTORS"]
 
 
 #: Communication factors of the five illustrated workers: two fast links,
 #: one medium, two slow — chosen so that (as in the paper's snapshot) the
-#: optimal FIFO enrols only part of the platform.
-DEFAULT_COMM_FACTORS: tuple[float, ...] = (10.0, 9.0, 6.0, 1.0, 1.0)
+#: optimal FIFO enrols only part of the platform.  Canonically defined in
+#: :mod:`repro.workloads.platforms`, shared with the ``fig09-trace``
+#: scenario space.
+DEFAULT_COMM_FACTORS: tuple[float, ...] = FIG09_COMM_FACTORS
 
 #: Computation factors of the five illustrated workers.
-DEFAULT_COMP_FACTORS: tuple[float, ...] = (8.0, 7.0, 9.0, 2.0, 1.0)
+DEFAULT_COMP_FACTORS: tuple[float, ...] = FIG09_COMP_FACTORS
 
 
 def _trace_execution(spec: tuple):

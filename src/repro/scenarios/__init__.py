@@ -35,10 +35,12 @@ acyclic — ``from repro.scenarios import run_campaign`` works either way.
 
 from repro.scenarios.sampler import FactorTable, base_costs, cost_table, sample_factors
 from repro.scenarios.spec import (
+    MATRIX_WORKLOAD,
     NAMED_SPACES,
     Distribution,
     PlatformFamily,
     ScenarioSpec,
+    Workload,
     available_spaces,
     named_space,
     product_specs,
@@ -50,6 +52,8 @@ __all__ = [
     "Distribution",
     "PlatformFamily",
     "ScenarioSpec",
+    "Workload",
+    "MATRIX_WORKLOAD",
     "NAMED_SPACES",
     "available_spaces",
     "named_space",

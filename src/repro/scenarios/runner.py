@@ -34,6 +34,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.bus import (
+    optimal_bus_fifo_schedule,
+    optimal_bus_throughput,
+    two_port_bus_throughput,
+)
+from repro.core.platform import bus_platform
 from repro.exceptions import ExperimentError
 from repro.experiments.campaign_engine import (
     noise_seed,
@@ -42,12 +48,14 @@ from repro.experiments.campaign_engine import (
     replay_two_port,
 )
 from repro.experiments.common import default_noise
+from repro.experiments.fig08_linearity import measure_transfer
 from repro.experiments.fig13_ratio import overhead_noise
 from repro.experiments.sweep_engine import resolve_jobs, run_sweep
-from repro.scenarios.sampler import base_costs, cost_table, sample_factors
+from repro.scenarios.sampler import cost_table, sample_factors, workload_base_costs
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import CampaignState, CampaignStore
 from repro.simulation.noise import NoiseModel, perturb_sequence
+from repro.workloads.matrices import MatrixProductWorkload
 
 __all__ = [
     "NOISE_FACTORIES",
@@ -80,25 +88,100 @@ def plan_chunks(count: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
 
 
+def _grid_noise_key(spec: ScenarioSpec, grid_index: int, x) -> int:
+    """The "size" term of a cell's noise seed.
+
+    Matrix grids keep the matrix size itself — the figure campaigns'
+    formula, which the bit-identity guarantee rests on.  Non-integer grids
+    (bus ``w/c`` ratios) use the grid *position* instead: truncating 0.5
+    and 1.0 and 1.5 to ints would hand several grid points one shared
+    noise stream.
+    """
+    return int(x) if spec.workload.kind == "matrix" else grid_index
+
+
+def _row_size(spec: ScenarioSpec, x) -> int | float:
+    """The JSON form of a row's grid point (ints for matrix sizes)."""
+    return int(x) if spec.workload.kind == "matrix" else float(x)
+
+
+def _bus_closed_form(comm_row: np.ndarray, w_row: np.ndarray, d_row: np.ndarray) -> dict:
+    """Theorem 2's closed forms for one (platform, ratio) bus cell.
+
+    Values are produced by :mod:`repro.core.bus` itself on the very cost
+    table the LP sees, so the series are bit-identical to the legacy
+    closed-form driver by construction: the optimal one-port FIFO
+    throughput, the two-port optimum ``rho~``, the port-capacity bound
+    ``1/(c+d)``, and the uniform gap the constructive Figure 7
+    transformation inserts (with its saturation flag).
+    """
+    platform = bus_platform(w_row.tolist(), c=float(comm_row[0]), d=float(d_row[0]))
+    construction = optimal_bus_fifo_schedule(platform)
+    c, d = platform.bus_costs
+    return {
+        "bus closed-form": optimal_bus_throughput(platform),
+        "bus two-port": two_port_bus_throughput(platform),
+        "bus port bound": 1.0 / (c + d),
+        "bus gap": construction.gap,
+        "bus saturated": 1.0 if construction.saturated else 0.0,
+    }
+
+
+def _evaluate_probe_chunk(
+    spec: ScenarioSpec,
+    descriptor: tuple[int, int, np.ndarray, np.ndarray, np.ndarray | None],
+) -> list[dict]:
+    """Evaluate one chunk of a probe-workload space.
+
+    Every (platform, message size) cell replays the Figure 8 measurement —
+    :func:`repro.experiments.fig08_linearity.measure_transfer`, one
+    rendezvous transfer per worker through the one-port master on the
+    simulated runtime — so the rows are bit-identical to the legacy
+    linearity driver's series on the same factors.
+    """
+    start, stop, comm, _, _ = descriptor
+    workload_model = MatrixProductWorkload(int(spec.workload.param("matrix_size")))
+    rows: list[dict] = []
+    for offset in range(stop - start):
+        factors = comm[offset]
+        for megabytes in spec.grid:
+            values = {
+                f"worker {index + 1} transfer": float(
+                    measure_transfer(workload_model, float(factor), float(megabytes))
+                )
+                for index, factor in enumerate(factors)
+            }
+            rows.append(
+                {"platform": start + offset, "size": _row_size(spec, megabytes), "values": values}
+            )
+    return rows
+
+
 def _evaluate_chunk(
     spec: ScenarioSpec,
     descriptor: tuple[int, int, np.ndarray, np.ndarray, np.ndarray | None],
 ) -> list[dict]:
-    """Evaluate one chunk of platforms across every matrix size.
+    """Evaluate one chunk of platforms across every grid point.
 
-    Returns one row per (platform, size) cell: the per-heuristic LP ratio
-    (vs the reference heuristic's LP prediction), the measured ratio when
-    the spec names a noise model, the rounded participant count, and the
-    reference's absolute predicted time.  Pure function of (spec,
-    descriptor) — the resume guarantee rests on this.
+    Returns one row per (platform, grid point) cell: the per-heuristic LP
+    ratio (vs the reference heuristic's LP prediction), the measured ratio
+    when the spec names a noise model, the rounded participant count, and
+    the reference's absolute predicted time; bus cells additionally carry
+    Theorem 2's closed-form series, probe cells their per-worker transfer
+    times.  Pure function of (spec, descriptor) — the resume guarantee
+    rests on this.
     """
+    if spec.workload.kind == "probe":
+        return _evaluate_probe_chunk(spec, descriptor)
     start, stop, comm, comp, ret = descriptor
     count = stop - start
+    grid = spec.grid
+    is_bus = spec.workload.kind == "bus"
 
     # Like the figure engine, key the prepared cells on the factor vectors
     # themselves: families with repeated draws (every constant dimension —
     # fig10's homogeneous space repeats one factor set 50 times) prepare
-    # each distinct (factor set, size) pair once instead of once per
+    # each distinct (factor set, grid point) pair once instead of once per
     # platform.  The emitted rows are unchanged — identical inputs prepare
     # to identical values.
     factor_keys = [
@@ -110,16 +193,20 @@ def _evaluate_chunk(
         for offset in range(count)
     ]
     keyed_tables = []
+    closed_forms: dict[tuple, dict] = {}
     seen: set[tuple] = set()
-    for size in spec.matrix_sizes:
-        c, w, d = cost_table(base_costs(size), comm, comp, ret)
+    for x in grid:
+        c, w, d = cost_table(workload_base_costs(spec.workload, x), comm, comp, ret)
         for offset in range(count):
-            key = (factor_keys[offset], size)
+            key = (factor_keys[offset], x)
             if key not in seen:
                 seen.add(key)
                 keyed_tables.append((key, c[offset], w[offset], d[offset]))
+                if is_bus and spec.one_port:
+                    closed_forms[key] = _bus_closed_form(c[offset], w[offset], d[offset])
+    total_tasks = spec.effective_total_tasks
     cells = prepare_cells(
-        spec.heuristics, spec.reference, spec.total_tasks, keyed_tables,
+        spec.heuristics, spec.reference, total_tasks, keyed_tables,
         one_port=spec.one_port,
     )
 
@@ -127,11 +214,15 @@ def _evaluate_chunk(
     occurrences = []
     for offset in range(count):
         platform_index = start + offset
-        for size in spec.matrix_sizes:
-            cell = cells[(factor_keys[offset], size)]
+        for grid_index, x in enumerate(grid):
+            cell = cells[(factor_keys[offset], x)]
             payload = None
             if noise_factory is not None:
-                noise = noise_factory(noise_seed(spec.family.seed, platform_index, size))
+                noise = noise_factory(
+                    noise_seed(
+                        spec.family.seed, platform_index, _grid_noise_key(spec, grid_index, x)
+                    )
+                )
                 if spec.one_port:
                     # One-port: the draw order is static, so the cell's
                     # whole stream is drawn here in one batched call.
@@ -142,7 +233,7 @@ def _evaluate_chunk(
                     # Two-port: the merge-ordered replay draws on demand —
                     # the occurrence carries the seeded model itself.
                     payload = noise
-            occurrences.append((platform_index, size, cell, payload))
+            occurrences.append((platform_index, x, cell, payload))
 
     if noise_factory is None:
         makespans = None
@@ -152,7 +243,7 @@ def _evaluate_chunk(
         makespans = replay_two_port(occurrences, len(spec.heuristics))
 
     rows: list[dict] = []
-    for occurrence, (platform_index, size, cell, _) in enumerate(occurrences):
+    for occurrence, (platform_index, x, cell, _) in enumerate(occurrences):
         values: dict[str, float] = {}
         for slot, (name, lp_ratio) in enumerate(cell.lp_ratios):
             values[f"{name} lp"] = lp_ratio
@@ -160,7 +251,11 @@ def _evaluate_chunk(
                 values[f"{name} real"] = makespans[occurrence, slot] / cell.reference_time
             values[f"{name} workers"] = cell.prepared[slot].participant_count
         values[f"{spec.reference} time"] = cell.reference_time
-        rows.append({"platform": platform_index, "size": int(size), "values": values})
+        offset = occurrence // len(grid)
+        closed = closed_forms.get((factor_keys[offset], x))
+        if closed is not None:
+            values.update(closed)
+        rows.append({"platform": platform_index, "size": _row_size(spec, x), "values": values})
     return rows
 
 
@@ -265,27 +360,40 @@ def run_campaign(
     )
 
 
+#: The x-axis label of each workload kind's grid.
+_X_LABELS = {"matrix": "matrix size", "bus": "w/c ratio", "probe": "megabytes"}
+
+
 def aggregate_figure(spec: ScenarioSpec, aggregated: dict):
     """Render an aggregate as a :class:`FigureResult` (mean per cell).
 
     Gives ``scenarios run/show`` the same aligned-table output as the
     figure experiments; quantile columns stay available through the raw
-    aggregate.
+    aggregate.  Heuristic series come first in the campaign order; any
+    remaining series (bus closed forms, probe transfer times) follow
+    sorted by name.
     """
     from repro.experiments.common import FigureResult
 
     result = FigureResult(
         figure=spec.name,
         title=spec.description or f"scenario space {spec.name}",
-        x_label="matrix size",
+        x_label=_X_LABELS[spec.workload.kind],
         parameters={"spec": spec.as_dict()},
     )
+    emitted = set()
     for name in spec.heuristics:
         for suffix in ("lp", "real", "workers"):
             series = f"{name} {suffix}"
+            emitted.add(series)
             for size, cell in aggregated.get(series, {}).items():
                 result.add_point(series, size, cell["mean"])
-    series = f"{spec.reference} time"
-    for size, cell in aggregated.get(series, {}).items():
-        result.add_point(series, size, cell["mean"])
+    if spec.reference:
+        series = f"{spec.reference} time"
+        emitted.add(series)
+        for size, cell in aggregated.get(series, {}).items():
+            result.add_point(series, size, cell["mean"])
+    for series in sorted(set(aggregated) - emitted):
+        for size, cell in aggregated[series].items():
+            result.add_point(series, size, cell["mean"])
     return result

@@ -29,23 +29,28 @@ from repro.core.order_rules import (
     worker_names,
 )
 from repro.workloads.sampling import (
+    MATRIX_WORKLOAD,
     PAPER_UNIFORM,
     UNIT,
     Distribution,
     FactorTable,
     PlatformFamily,
+    Workload,
     base_costs,
     cost_table,
     family_cost_tables,
     sample_factors,
+    workload_base_costs,
 )
 
 __all__ = [
     "Distribution",
     "FactorTable",
+    "MATRIX_WORKLOAD",
     "PAPER_UNIFORM",
     "PlatformFamily",
     "UNIT",
+    "Workload",
     "ORDER_RULES",
     "TWO_PORT_ORDER_RULES",
     "TWO_PORT_REVERSED_RETURN",
@@ -57,4 +62,5 @@ __all__ = [
     "sample_factors",
     "sorted_indices",
     "worker_names",
+    "workload_base_costs",
 ]

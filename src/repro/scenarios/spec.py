@@ -3,8 +3,9 @@
 A :class:`ScenarioSpec` describes everything needed to regenerate a
 campaign deterministically: the platform family (distributions and
 correlations of the per-worker speed-up factors, worker count, draw count,
-seed, scale factors), the matrix-size grid, the heuristics to compare, the
-noise model of the measured series and the port model.  Specs are plain
+seed, scale factors), the workload and its grid (matrix sizes, bus ``w/c``
+ratios or probe message sizes), the heuristics to compare, the noise model
+of the measured series and the port model.  Specs are plain
 frozen dataclasses that round-trip through JSON (:meth:`ScenarioSpec.
 as_dict` / :meth:`ScenarioSpec.from_dict`), and their canonical JSON form
 is hashed (:func:`spec_hash`) to key the persistent result store — two
@@ -35,12 +36,23 @@ from dataclasses import dataclass, fields, replace
 from typing import Mapping, Sequence
 
 from repro.exceptions import ExperimentError
-from repro.workloads.sampling import PAPER_UNIFORM, UNIT, Distribution, PlatformFamily
+from repro.workloads.matrices import LINEARITY_COMM_FACTORS, LINEARITY_MESSAGE_SIZES_MB
+from repro.workloads.platforms import FIG09_COMM_FACTORS, FIG09_COMP_FACTORS
+from repro.workloads.sampling import (
+    MATRIX_WORKLOAD,
+    PAPER_UNIFORM,
+    UNIT,
+    Distribution,
+    PlatformFamily,
+    Workload,
+)
 
 __all__ = [
     "Distribution",
     "PlatformFamily",
     "ScenarioSpec",
+    "Workload",
+    "MATRIX_WORKLOAD",
     "EVALUABLE_HEURISTICS",
     "NOISE_MODELS",
     "NAMED_SPACES",
@@ -65,10 +77,15 @@ NOISE_MODELS = ("default", "overhead")
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One complete scenario space: family x matrix-size grid.
+    """One complete scenario space: family x workload grid.
 
-    A *scenario* is one (drawn platform, matrix size) cell; the space holds
-    ``family.count * len(matrix_sizes)`` of them.  ``heuristics`` are
+    A *scenario* is one (drawn platform, grid point) cell; the space holds
+    ``family.count * len(grid)`` of them.  ``workload`` selects what a cell
+    computes: the default matrix-product application (grid =
+    ``matrix_sizes``), a ``bus`` workload swept over ``w/c`` ratios
+    (Theorem 2 — the grid and the shared link costs live in the workload
+    parameters), or a ``probe`` workload replaying the Figure 8 linearity
+    transfers (grid = message sizes; no LPs, no noise).  ``heuristics`` are
     evaluated on every cell with the scenario LP (one-port ``LIFO`` by its
     closed form) and normalised by the ``reference`` heuristic's LP
     prediction, exactly like the paper's campaign figures.  ``noise`` names
@@ -82,46 +99,99 @@ class ScenarioSpec:
 
     name: str
     family: PlatformFamily
-    matrix_sizes: tuple[int, ...]
+    matrix_sizes: tuple[int, ...] = ()
     heuristics: tuple[str, ...] = ("INC_C", "INC_W", "LIFO")
     reference: str = "INC_C"
     total_tasks: int = 1000
     noise: str | None = "default"
     one_port: bool = True
+    workload: Workload = MATRIX_WORKLOAD
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ExperimentError("a scenario spec needs a name")
-        if not self.matrix_sizes:
-            raise ExperimentError("a scenario spec needs at least one matrix size")
-        if any(int(size) <= 0 for size in self.matrix_sizes):
-            raise ExperimentError("matrix sizes must be positive")
-        object.__setattr__(self, "matrix_sizes", tuple(int(size) for size in self.matrix_sizes))
+        kind = self.workload.kind
+        if kind == "matrix":
+            if not self.matrix_sizes:
+                raise ExperimentError("a scenario spec needs at least one matrix size")
+            if any(int(size) <= 0 for size in self.matrix_sizes):
+                raise ExperimentError("matrix sizes must be positive")
+            object.__setattr__(
+                self, "matrix_sizes", tuple(int(size) for size in self.matrix_sizes)
+            )
+        elif self.matrix_sizes:
+            raise ExperimentError(
+                f"matrix_sizes apply to the matrix workload only (this is a {kind!r} "
+                f"workload; its grid lives in the workload parameters)"
+            )
         object.__setattr__(self, "total_tasks", int(self.total_tasks))
         object.__setattr__(self, "one_port", bool(self.one_port))
-        if not self.heuristics:
-            raise ExperimentError("a scenario spec needs at least one heuristic")
-        unknown = [name for name in self.heuristics if name not in EVALUABLE_HEURISTICS]
-        if unknown:
-            raise ExperimentError(
-                f"unknown heuristics {unknown}; evaluable: {list(EVALUABLE_HEURISTICS)}"
-            )
-        if self.reference not in self.heuristics:
-            raise ExperimentError(
-                f"the reference heuristic {self.reference!r} must be one of the evaluated ones"
-            )
+        if kind == "bus":
+            if not self.family.comm.is_constant or self.family.comm.kind == "fixed":
+                raise ExperimentError(
+                    "bus workloads need identical links: the family's comm "
+                    "distribution must be constant"
+                )
+            if self.family.return_comm is not None:
+                raise ExperimentError(
+                    "bus workloads draw no independent return links (d = z * c)"
+                )
+        if kind == "probe":
+            # Probes measure raw transfers: no LPs, no heuristics, and a
+            # deterministic timeline.  Normalise the unused axes so every
+            # authoring style of the same probe space hashes identically.
+            if self.noise is not None:
+                raise ExperimentError("probe workloads are noise-free; set noise to null")
+            if not self.one_port:
+                raise ExperimentError("probe workloads run through the one-port master")
+            object.__setattr__(self, "heuristics", ())
+            object.__setattr__(self, "reference", "")
+        else:
+            if not self.heuristics:
+                raise ExperimentError("a scenario spec needs at least one heuristic")
+            unknown = [name for name in self.heuristics if name not in EVALUABLE_HEURISTICS]
+            if unknown:
+                raise ExperimentError(
+                    f"unknown heuristics {unknown}; evaluable: {list(EVALUABLE_HEURISTICS)}"
+                )
+            if self.reference not in self.heuristics:
+                raise ExperimentError(
+                    f"the reference heuristic {self.reference!r} must be one of the evaluated ones"
+                )
+            if self.noise is not None and self.noise not in NOISE_MODELS:
+                raise ExperimentError(
+                    f"unknown noise model {self.noise!r}; "
+                    f"expected one of {list(NOISE_MODELS)} or null"
+                )
         if self.total_tasks <= 0:
             raise ExperimentError("total_tasks must be positive")
-        if self.noise is not None and self.noise not in NOISE_MODELS:
-            raise ExperimentError(
-                f"unknown noise model {self.noise!r}; expected one of {list(NOISE_MODELS)} or null"
-            )
+
+    @property
+    def grid(self) -> tuple:
+        """The x-axis of the space, whatever the workload calls it.
+
+        Matrix sizes for the matrix workload, ``w/c`` ratios for a bus
+        workload, message sizes (MB) for a probe — one scenario cell per
+        (platform draw, grid point) either way.
+        """
+        kind = self.workload.kind
+        if kind == "matrix":
+            return self.matrix_sizes
+        if kind == "bus":
+            return self.workload.param("ratios")
+        return self.workload.param("message_sizes_mb")
+
+    @property
+    def effective_total_tasks(self) -> int:
+        """Tasks per scenario: the workload's override, else the spec field."""
+        override = self.workload.param("total_tasks", None)
+        return self.total_tasks if override is None else int(override)
 
     @property
     def scenario_count(self) -> int:
-        """Number of (platform, size) cells in the space."""
-        return self.family.count * len(self.matrix_sizes)
+        """Number of (platform, grid point) cells in the space."""
+        return self.family.count * len(self.grid)
 
     def derive(self, name: str | None = None, **overrides) -> "ScenarioSpec":
         """A copy with field overrides; family fields are routed through.
@@ -142,10 +212,20 @@ class ScenarioSpec:
             spec_overrides["matrix_sizes"] = tuple(spec_overrides["matrix_sizes"])
         if "heuristics" in spec_overrides:
             spec_overrides["heuristics"] = tuple(spec_overrides["heuristics"])
+        if "workload" in spec_overrides:
+            workload = spec_overrides["workload"]
+            if isinstance(workload, Mapping):
+                workload = Workload.from_dict(workload)
+            spec_overrides["workload"] = workload
+            # Switching off the matrix workload moves the grid into the
+            # workload parameters; drop the stale matrix grid unless the
+            # caller overrides it explicitly.
+            if workload.kind != "matrix" and "matrix_sizes" not in spec_overrides:
+                spec_overrides["matrix_sizes"] = ()
         return replace(self, name=name or self.name, family=family, **spec_overrides)
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "family": self.family.as_dict(),
@@ -156,19 +236,29 @@ class ScenarioSpec:
             "noise": self.noise,
             "one_port": self.one_port,
         }
+        if self.workload != MATRIX_WORKLOAD:
+            # The default matrix workload is *omitted*: every spec document
+            # written before the workload axis existed — and its content
+            # hash, which keys the persistent store — stays valid.
+            data["workload"] = self.workload.as_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        workload = (
+            Workload.from_dict(data["workload"]) if "workload" in data else MATRIX_WORKLOAD
+        )
         return cls(
             name=str(data["name"]),
             description=str(data.get("description", "")),
             family=PlatformFamily.from_dict(data["family"]),
-            matrix_sizes=tuple(int(size) for size in data["matrix_sizes"]),
+            matrix_sizes=tuple(int(size) for size in data.get("matrix_sizes", ())),
             heuristics=tuple(str(name) for name in data.get("heuristics", ("INC_C", "INC_W", "LIFO"))),
             reference=str(data.get("reference", "INC_C")),
             total_tasks=int(data.get("total_tasks", 1000)),
             noise=data.get("noise", "default"),
             one_port=bool(data.get("one_port", True)),
+            workload=workload,
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -326,15 +416,72 @@ def _two_port_spaces(one_port_spaces: Sequence[ScenarioSpec]) -> list[ScenarioSp
     return variants
 
 
+def _workload_spaces() -> tuple[ScenarioSpec, ...]:
+    """The non-matrix workloads: bus sweeps and the fig08/09 probe grids.
+
+    These re-express the remaining hand-coded experiment drivers as
+    declarative spaces, pinned bit-identical to the legacy paths by the
+    test-suite: ``bus-theorem2`` / ``bus-hetero`` against the closed forms
+    of :mod:`repro.core.bus` (and the scenario LP they compare to),
+    ``fig08-probe`` against the Figure 8 linearity driver's measured
+    transfers, ``fig09-trace`` against the Figure 9 optimal-FIFO solve.
+    """
+    return (
+        ScenarioSpec(
+            name="bus-theorem2",
+            description="Theorem 2 sweep: homogeneous 8-worker bus over w/c ratios",
+            family=PlatformFamily(workers=8, count=1, seed=0),
+            workload=Workload.of(
+                "bus", ratios=(0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 40.0, 80.0)
+            ),
+            heuristics=("INC_C", "LIFO"),
+            noise=None,
+        ),
+        ScenarioSpec(
+            name="bus-hetero",
+            description="Bus workload: shared links, uniform(1,10) CPUs, measured series",
+            family=PlatformFamily(workers=8, count=50, seed=21, comp=PAPER_UNIFORM),
+            workload=Workload.of("bus", ratios=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 40.0)),
+        ),
+        ScenarioSpec(
+            name="fig08-probe",
+            description="Paper Figure 8: linearity probe grid (raw transfers, 5 workers)",
+            family=PlatformFamily(
+                workers=5, count=1, seed=0,
+                comm=Distribution.of("fixed", values=LINEARITY_COMM_FACTORS),
+            ),
+            workload=Workload.of("probe", message_sizes_mb=LINEARITY_MESSAGE_SIZES_MB),
+            noise=None,
+        ),
+        ScenarioSpec(
+            name="fig09-trace",
+            description="Paper Figure 9: resource-selection star, optimal FIFO (one draw)",
+            family=PlatformFamily(
+                workers=5, count=1, seed=0,
+                comm=Distribution.of("fixed", values=FIG09_COMM_FACTORS),
+                comp=Distribution.of("fixed", values=FIG09_COMP_FACTORS),
+            ),
+            matrix_sizes=(200,),
+            heuristics=("OPT_FIFO",),
+            reference="OPT_FIFO",
+            total_tasks=200,
+            noise=None,
+        ),
+    )
+
+
 _SPACES = _one_port_spaces()
 
 #: Library of named scenario spaces.  The fig* entries re-express the
 #: paper's campaign factor sets: their platform draws are bit-identical to
 #: ``repro.workloads.platforms.campaign_factors`` (pinned by the
 #: test-suite), so a sampler-fed campaign reproduces the figures exactly.
-#: Every ``*-twoport`` entry is the same space under the two-port master.
+#: Every ``*-twoport`` entry is the same space under the two-port master;
+#: the ``bus-*`` and ``fig08-probe``/``fig09-trace`` entries cover the
+#: non-matrix workloads (Theorem 2 sweeps and the probe figures).
 NAMED_SPACES: dict[str, ScenarioSpec] = {
-    space.name: space for space in (*_SPACES, *_two_port_spaces(_SPACES))
+    space.name: space
+    for space in (*_SPACES, *_two_port_spaces(_SPACES), *_workload_spaces())
 }
 
 

@@ -34,9 +34,11 @@ full row list (same column arrays, same ``mean``/``quantile`` calls).
 ``.npz`` file (one array per series plus ``platform``/``size``/``spec``),
 the columnar hand-off for notebooks and external analysis.
 
-Rows are plain JSON objects ``{"platform": int, "size": int, "values":
-{series: float}}``; Python floats round-trip JSON exactly, so persisted
-results keep every bit.
+Rows are plain JSON objects ``{"platform": int, "size": int | float,
+"values": {series: float}}`` (``size`` is the workload grid point: an int
+for matrix sizes, a float for bus ``w/c`` ratios or probe megabytes);
+Python ints and floats round-trip JSON exactly, so persisted results keep
+every bit.
 """
 
 from __future__ import annotations
@@ -68,9 +70,11 @@ class _ColumnAccumulator:
         self._cells: dict[str, dict[int, list[np.ndarray]]] = {}
 
     def update(self, rows: Iterable[Mapping]) -> None:
-        chunk_values: dict[str, dict[int, list[float]]] = {}
+        chunk_values: dict[str, dict[int | float, list[float]]] = {}
         for row in rows:
-            size = int(row["size"])
+            # The grid value is an int (matrix sizes) or a float (bus w/c
+            # ratios, probe megabytes); JSON round-trips both exactly.
+            size = row["size"]
             for series, value in row["values"].items():
                 chunk_values.setdefault(series, {}).setdefault(size, []).append(float(value))
         for series, per_size in chunk_values.items():
@@ -288,7 +292,9 @@ class CampaignState:
         total = 0
         for _, chunk in self.iter_chunk_rows():
             platforms.append(np.array([int(row["platform"]) for row in chunk], dtype=np.int64))
-            sizes.append(np.array([int(row["size"]) for row in chunk], dtype=np.int64))
+            # int64 for matrix-size grids, float64 for bus/probe grids —
+            # chunks of one campaign always agree on the type.
+            sizes.append(np.asarray([row["size"] for row in chunk]))
             for row in chunk:
                 for series in row["values"]:
                     if series not in columns:
@@ -355,9 +361,9 @@ def aggregate_rows(
     The in-memory counterpart of :meth:`CampaignState.aggregate` (which
     streams from disk and matches this bit for bit).
     """
-    collected: dict[str, dict[int, list[float]]] = {}
+    collected: dict[str, dict[int | float, list[float]]] = {}
     for row in rows:
-        size = int(row["size"])
+        size = row["size"]
         for series, value in row["values"].items():
             collected.setdefault(series, {}).setdefault(size, []).append(float(value))
 

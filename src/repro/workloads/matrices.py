@@ -25,7 +25,13 @@ from dataclasses import dataclass
 from repro.core.platform import StarPlatform, Worker
 from repro.exceptions import ExperimentError
 
-__all__ = ["MatrixProductWorkload", "DEFAULT_BANDWIDTH", "DEFAULT_FLOP_RATE"]
+__all__ = [
+    "MatrixProductWorkload",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_FLOP_RATE",
+    "LINEARITY_COMM_FACTORS",
+    "LINEARITY_MESSAGE_SIZES_MB",
+]
 
 
 #: Reference link speed, in bytes per second (100 Mb/s Ethernet, the slowest
@@ -43,6 +49,18 @@ DEFAULT_FLOP_RATE = 6.0e7
 
 #: Size of one matrix element in bytes (double precision).
 ELEMENT_BYTES = 8
+
+#: Communication speed-up factors of the five workers probed by the
+#: Figure 8 linearity test.  Canonical here (the workload layer) so the
+#: ``fig08`` experiment driver and the ``fig08-probe`` scenario space
+#: share one definition.
+LINEARITY_COMM_FACTORS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+#: Message sizes of the Figure 8 linearity test, in megabytes (the paper
+#: sweeps 0-5 MB).
+LINEARITY_MESSAGE_SIZES_MB: tuple[float, ...] = (
+    0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0,
+)
 
 
 @dataclass(frozen=True)

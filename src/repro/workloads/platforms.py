@@ -28,6 +28,8 @@ from repro.exceptions import ExperimentError
 from repro.workloads.matrices import MatrixProductWorkload
 
 __all__ = [
+    "FIG09_COMM_FACTORS",
+    "FIG09_COMP_FACTORS",
     "PlatformFactors",
     "random_factors",
     "homogeneous_factors",
@@ -54,6 +56,15 @@ PARTICIPATION_COMM_SPEEDS = (10.0, 8.0, 8.0)
 
 #: Computation speed-up factors of the participation platform (Section 5.3.4).
 PARTICIPATION_COMP_SPEEDS = (9.0, 9.0, 10.0, 1.0)
+
+#: Communication factors of the five workers of the Figure 9 trace: two
+#: fast links, one medium, two slow — chosen so the optimal FIFO enrols
+#: only part of the platform.  Canonical here so the ``fig09`` driver and
+#: the ``fig09-trace`` scenario space share one definition.
+FIG09_COMM_FACTORS = (10.0, 9.0, 6.0, 1.0, 1.0)
+
+#: Computation factors of the five workers of the Figure 9 trace.
+FIG09_COMP_FACTORS = (8.0, 7.0, 9.0, 2.0, 1.0)
 
 
 @dataclass(frozen=True)

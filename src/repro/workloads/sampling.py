@@ -46,13 +46,16 @@ from repro.workloads.matrices import MatrixProductWorkload
 __all__ = [
     "Distribution",
     "FactorTable",
+    "MATRIX_WORKLOAD",
     "PAPER_UNIFORM",
     "PlatformFamily",
     "UNIT",
+    "Workload",
     "base_costs",
     "cost_table",
     "family_cost_tables",
     "sample_factors",
+    "workload_base_costs",
 ]
 
 
@@ -63,6 +66,7 @@ _DISTRIBUTION_KINDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "uniform": (("low", "high"), ()),
     "bimodal": (("slow", "fast", "fast_fraction"), ()),
     "powerlaw": (("minimum", "alpha"), ("cap",)),
+    "fixed": (("values",), ()),
 }
 
 
@@ -83,11 +87,15 @@ class Distribution:
       probability ``fast_fraction``, else ``slow`` (two-cluster platforms);
     * ``powerlaw(minimum, alpha[, cap])`` — Pareto-tailed factors
       ``minimum * (1 + Pareto(alpha))``, optionally capped (a few very
-      fast nodes over a slow fleet).
+      fast nodes over a slow fleet);
+    * ``fixed(values)`` — an explicit per-worker factor vector, repeated
+      for every draw (the deterministic platforms of the probe figures:
+      Figure 8's x1..x5 ramp, Figure 9's resource-selection star).  The
+      vector length must match the family's worker count.
     """
 
     kind: str
-    params: tuple[tuple[str, float], ...]
+    params: tuple[tuple[str, float | tuple[float, ...]], ...]
 
     def __post_init__(self) -> None:
         if self.kind not in _DISTRIBUTION_KINDS:
@@ -130,22 +138,30 @@ class Distribution:
                 raise ExperimentError("powerlaw needs positive minimum and alpha")
             if cap is not None and cap < minimum:
                 raise ExperimentError("powerlaw cap must be at least the minimum")
+        elif kind == "fixed":
+            values = self.param("values")
+            if not values:
+                raise ExperimentError("fixed factors need a non-empty values vector")
+            if any(value <= 0 for value in values):
+                raise ExperimentError("fixed factors must all be positive")
 
     @classmethod
-    def of(cls, kind: str, **params: float) -> "Distribution":
+    def of(cls, kind: str, **params) -> "Distribution":
         """Build a distribution from keyword parameters.
 
-        Values are coerced to float so that ``of(low=1)`` and
-        ``of(low=1.0)`` are the same distribution — equality, JSON form
-        and :func:`~repro.scenarios.spec.spec_hash` must not depend on the
-        authoring style.
+        Values are coerced to float (vector parameters to float tuples) so
+        that ``of(low=1)`` and ``of(low=1.0)`` are the same distribution —
+        equality, JSON form and :func:`~repro.scenarios.spec.spec_hash`
+        must not depend on the authoring style.
         """
         return cls(
             kind=kind,
-            params=tuple(sorted((name, float(value)) for name, value in params.items())),
+            params=tuple(
+                sorted((name, _coerce_param(name, value)) for name, value in params.items())
+            ),
         )
 
-    def param(self, name: str, default: float | None = ...) -> float | None:  # type: ignore[assignment]
+    def param(self, name: str, default=...):
         """Look one parameter up (raises on absence unless a default is given)."""
         for key, value in self.params:
             if key == name:
@@ -157,14 +173,44 @@ class Distribution:
     @property
     def is_constant(self) -> bool:
         """Whether sampling consumes no random stream."""
-        return self.kind == "constant"
+        return self.kind in ("constant", "fixed")
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "params": dict(self.params)}
+        return {"kind": self.kind, "params": _params_as_dict(self.params)}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Distribution":
         return cls.of(str(data["kind"]), **{str(k): v for k, v in data.get("params", {}).items()})
+
+
+#: Parameters whose values are per-entry vectors; every other parameter
+#: is a scalar.  Enforced at coercion time so a hand-written spec with,
+#: say, ``"c": [1, 2]`` fails with a named ExperimentError instead of a
+#: TypeError deep inside validation.
+_VECTOR_PARAMS = frozenset({"values", "ratios", "message_sizes_mb"})
+
+
+def _coerce_param(name: str, value) -> float | tuple[float, ...]:
+    """Canonicalise one distribution/workload parameter value.
+
+    Scalars become floats, vectors become float tuples — the JSON form and
+    the spec hash must not depend on whether the author wrote ``1`` or
+    ``1.0``, a list or a tuple.
+    """
+    if name in _VECTOR_PARAMS:
+        if not isinstance(value, (list, tuple)):
+            raise ExperimentError(f"parameter {name!r} must be a list of numbers")
+        return tuple(float(entry) for entry in value)
+    if isinstance(value, (list, tuple)):
+        raise ExperimentError(f"parameter {name!r} must be a single number")
+    return float(value)
+
+
+def _params_as_dict(params: tuple[tuple[str, float | tuple[float, ...]], ...]) -> dict:
+    """JSON-friendly view of a sorted parameter tuple (vectors as lists)."""
+    return {
+        name: (list(value) if isinstance(value, tuple) else value) for name, value in params
+    }
 
 
 #: The reference factor (speed-up 1) used for homogeneous dimensions.
@@ -172,6 +218,143 @@ UNIT = Distribution.of("constant", value=1.0)
 
 #: The paper's heterogeneous factor range, as a distribution.
 PAPER_UNIFORM = Distribution.of("uniform", low=1.0, high=10.0)
+
+
+#: Workload kinds a scenario spec may name, with their required and
+#: optional parameters.  ``total_tasks``, when given, overrides the spec's
+#: own ``total_tasks`` field (the ISSUE-era ``{"kind": "bus",
+#: "total_tasks": N}`` shape keeps working).
+_WORKLOAD_KINDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "matrix": ((), ("total_tasks",)),
+    "bus": (("ratios",), ("c", "z", "total_tasks")),
+    "probe": (("message_sizes_mb",), ("matrix_size",)),
+}
+
+#: Optional parameters filled in at construction so that, e.g., an
+#: explicit ``c=1.0`` and an omitted ``c`` are the *same* bus workload —
+#: same equality, same JSON form, same spec hash.
+_WORKLOAD_DEFAULTS: dict[str, dict[str, float]] = {
+    "bus": {"c": 1.0, "z": 0.5},
+    "probe": {"matrix_size": 100.0},
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What one scenario cell *computes* — the spec's workload axis.
+
+    ``kind`` selects the cost model the scenario grid is evaluated under;
+    ``params`` are the kind's parameters as a sorted tuple of ``(name,
+    value)`` pairs where a value is a float or a float tuple (kept
+    hashable for frozen dataclass semantics — use :meth:`of` and
+    :meth:`param` rather than touching the tuple).  Supported kinds:
+
+    * ``matrix`` — the paper's matrix-product application (the default):
+      the grid is the spec's ``matrix_sizes`` and the per-unit costs come
+      from :func:`base_costs`;
+    * ``bus(ratios[, c, z, total_tasks])`` — a bus network swept over the
+      computation-to-communication ratios ``w/c`` (Theorem 2 / Figure 7):
+      grid point ``x`` evaluates per-unit costs ``(c, x*c, z*c)`` before
+      the family's speed-up factors divide them.  The family's ``comm``
+      dimension must be constant (identical links are what makes it a
+      bus);
+    * ``probe(message_sizes_mb[, matrix_size])`` — the Figure 8 linearity
+      probe: each grid point sends one raw message of that many megabytes
+      to every worker through the one-port master and records the
+      measured transfer times (no LPs, no heuristics, noise-free).
+    """
+
+    kind: str
+    params: tuple[tuple[str, float | tuple[float, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKLOAD_KINDS:
+            raise ExperimentError(
+                f"unknown workload kind {self.kind!r}; "
+                f"expected one of {sorted(_WORKLOAD_KINDS)}"
+            )
+        required, optional = _WORKLOAD_KINDS[self.kind]
+        given = {name for name, _ in self.params}
+        missing = set(required) - given
+        unknown = given - set(required) - set(optional)
+        if missing or unknown:
+            raise ExperimentError(
+                f"workload {self.kind!r}: missing parameters {sorted(missing)}, "
+                f"unknown parameters {sorted(unknown)}"
+            )
+        self._validate_support()
+
+    def _validate_support(self) -> None:
+        total_tasks = self.param("total_tasks", None)
+        if total_tasks is not None and (total_tasks <= 0 or total_tasks != int(total_tasks)):
+            raise ExperimentError("workload total_tasks must be a positive integer")
+        if self.kind == "bus":
+            ratios = self.param("ratios")
+            if not ratios:
+                raise ExperimentError("bus workloads need a non-empty ratios grid")
+            if any(ratio <= 0 for ratio in ratios):
+                raise ExperimentError("bus w/c ratios must be positive")
+            if self.param("c") <= 0 or self.param("z") <= 0:
+                raise ExperimentError("bus per-unit costs c and z must be positive")
+        elif self.kind == "probe":
+            sizes = self.param("message_sizes_mb")
+            if not sizes:
+                raise ExperimentError("probe workloads need a non-empty message-size grid")
+            if any(size <= 0 for size in sizes):
+                raise ExperimentError("probe message sizes must be positive")
+            matrix_size = self.param("matrix_size")
+            if matrix_size <= 0 or matrix_size != int(matrix_size):
+                raise ExperimentError("probe matrix_size must be a positive integer")
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "Workload":
+        """Build a workload from keyword parameters (defaults filled in)."""
+        merged = {**_WORKLOAD_DEFAULTS.get(kind, {}), **params}
+        return cls(
+            kind=kind,
+            params=tuple(
+                sorted((name, _coerce_param(name, value)) for name, value in merged.items())
+            ),
+        )
+
+    def param(self, name: str, default=...):
+        """Look one parameter up (raises on absence unless a default is given)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is ...:
+            raise ExperimentError(f"workload {self.kind!r} has no parameter {name!r}")
+        return default
+
+    def __str__(self) -> str:
+        """Short display form, e.g. ``bus-9f2c`` (used in derived spec names).
+
+        The digest disambiguates two workloads of the same kind when a
+        :func:`repro.scenarios.spec.product_specs` axis sweeps over them.
+        """
+        if not self.params:
+            return self.kind
+        import hashlib
+        import json
+
+        digest = hashlib.sha256(
+            json.dumps(_params_as_dict(self.params), sort_keys=True).encode("utf-8")
+        ).hexdigest()[:4]
+        return f"{self.kind}-{digest}"
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "params": _params_as_dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Workload":
+        return cls.of(str(data["kind"]), **{str(k): v for k, v in data.get("params", {}).items()})
+
+
+#: The default workload: the paper's matrix-product application.  Specs
+#: whose workload equals this one serialise *without* a ``workload`` key,
+#: so every pre-workload-axis spec document (and its content hash) stays
+#: valid.
+MATRIX_WORKLOAD = Workload.of("matrix")
 
 
 @dataclass(frozen=True)
@@ -227,6 +410,18 @@ class PlatformFamily:
             )
         if self.comm_scale <= 0 or self.comp_scale <= 0:
             raise ExperimentError("scale factors must be positive")
+        for label, dist in (
+            ("comm", self.comm),
+            ("comp", self.comp),
+            ("return_comm", self.return_comm),
+        ):
+            if dist is not None and dist.kind == "fixed":
+                values = dist.param("values")
+                if len(values) != self.workers:
+                    raise ExperimentError(
+                        f"fixed {label} factors list {len(values)} values for "
+                        f"{self.workers} workers"
+                    )
 
     def as_dict(self) -> dict:
         data = {
@@ -297,6 +492,8 @@ def _draw(rng: np.random.Generator, dist: Distribution, shape: tuple[int, ...]) 
     kind = dist.kind
     if kind == "constant":
         return np.full(shape, float(dist.param("value")))
+    if kind == "fixed":
+        return np.tile(np.asarray(dist.param("values"), dtype=float), (shape[0], 1))
     if kind == "uniform":
         return rng.uniform(dist.param("low"), dist.param("high"), shape)
     if kind == "bimodal":
@@ -375,6 +572,25 @@ def base_costs(matrix_size: int) -> tuple[float, float, float]:
     """Reference per-unit ``(c, w, d)`` costs of one matrix size, cached."""
     workload = MatrixProductWorkload(int(matrix_size))
     return (workload.base_c, workload.base_w, workload.base_d)
+
+
+def workload_base_costs(workload: Workload, x: float) -> tuple[float, float, float]:
+    """Reference per-unit ``(c, w, d)`` costs of one grid point.
+
+    The workload-generalised form of :func:`base_costs`: a matrix workload
+    maps grid point ``x`` (a matrix size) through the matrix-product cost
+    model, a bus workload maps ``x`` (a ``w/c`` ratio) to ``(c, x*c, z*c)``
+    — the exact arithmetic of the Theorem 2 sweep, so the resulting cost
+    tables are bit-identical to :func:`repro.core.platform.bus_platform`
+    entries.  Probe workloads have no cost tables (they measure raw
+    transfers); asking for them is a programming error.
+    """
+    if workload.kind == "matrix":
+        return base_costs(int(x))
+    if workload.kind == "bus":
+        c = workload.param("c")
+        return (c, x * c, workload.param("z") * c)
+    raise ExperimentError(f"workload kind {workload.kind!r} has no cost tables")
 
 
 def cost_table(

@@ -274,6 +274,45 @@ class TestScenariosCommands:
         assert "fig12-twoport" in out
         assert "mega-uniform-twoport" in out
 
+    def test_scenarios_list_names_the_workload_kind(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bus-theorem2", "bus-hetero", "fig08-probe", "fig09-trace"):
+            assert name in out
+        assert "bus" in out and "probe" in out and "matrix" in out
+
+    def test_scenarios_bus_space_interrupt_resume_export(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["scenarios", "run", "bus-hetero", "--count", "4", "--store", store,
+             "--chunk-size", "2", "--max-chunks", "1"]
+        ) == 0
+        assert "campaign incomplete" in capsys.readouterr().out
+        assert main(
+            ["scenarios", "resume", "bus-hetero", "--count", "4", "--store", store,
+             "--chunk-size", "2"]
+        ) == 0
+        assert "chunks: 2/2 complete" in capsys.readouterr().out
+        npz = tmp_path / "bus.npz"
+        assert main(
+            ["scenarios", "export", "bus-hetero", "--count", "4", "--store", store,
+             "--npz", str(npz)]
+        ) == 0
+        import numpy as np
+
+        with np.load(npz) as archive:
+            assert "bus closed-form" in archive
+            assert archive["size"].dtype == np.float64
+
+    def test_scenarios_probe_space_runs_and_shows(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["scenarios", "run", "fig08-probe", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "chunks: 1/1 complete" in out
+        assert "worker 1 transfer" in out
+        assert main(["scenarios", "show", "fig08-probe", "--store", store]) == 0
+        assert "persisted scenarios: 10 of 10" in capsys.readouterr().out
+
     def test_spec_file_with_bad_distribution_reports_cleanly(self, tmp_path):
         """The spec error path surfaces through the CLI with the kind named."""
         import json

@@ -43,10 +43,12 @@ def test_sampler_facade_re_exports_every_primitive():
         assert getattr(sampler, name) is getattr(order_rules, name)
     for name in ("FactorTable", "sample_factors", "base_costs", "cost_table",
                  "family_cost_tables", "Distribution", "PlatformFamily",
-                 "UNIT", "PAPER_UNIFORM"):
+                 "UNIT", "PAPER_UNIFORM", "Workload", "MATRIX_WORKLOAD",
+                 "workload_base_costs"):
         assert getattr(sampler, name) is getattr(sampling, name)
 
     from repro.scenarios import spec as scenario_spec
 
     assert scenario_spec.Distribution is sampling.Distribution
     assert scenario_spec.PlatformFamily is sampling.PlatformFamily
+    assert scenario_spec.Workload is sampling.Workload

@@ -6,10 +6,12 @@ import pytest
 
 from repro.exceptions import ExperimentError
 from repro.scenarios.spec import (
+    MATRIX_WORKLOAD,
     NAMED_SPACES,
     Distribution,
     PlatformFamily,
     ScenarioSpec,
+    Workload,
     available_spaces,
     named_space,
     product_specs,
@@ -147,6 +149,171 @@ class TestScenarioSpec:
         assert spec.total_tasks == 10
         with pytest.raises(ExperimentError):
             spec.derive(bogus_field=1)
+
+
+class TestWorkloadAxis:
+    def test_unknown_workload_kind_fails_loudly_with_the_kind_named(self):
+        with pytest.raises(ExperimentError, match="unknown workload kind 'warp'"):
+            Workload.of("warp", speed=9.0)
+        payload = named_space("fig12").as_dict()
+        payload["workload"] = {"kind": "gpu", "params": {}}
+        with pytest.raises(ExperimentError, match="unknown workload kind 'gpu'"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_workload_parameter_validation(self):
+        with pytest.raises(ExperimentError, match="missing parameters \\['ratios'\\]"):
+            Workload.of("bus")
+        with pytest.raises(ExperimentError, match="unknown parameters \\['sizes'\\]"):
+            Workload.of("bus", ratios=(1.0,), sizes=2.0)
+        with pytest.raises(ExperimentError, match="ratios must be positive"):
+            Workload.of("bus", ratios=(1.0, -2.0))
+        with pytest.raises(ExperimentError, match="message sizes must be positive"):
+            Workload.of("probe", message_sizes_mb=(0.0,))
+        with pytest.raises(ExperimentError, match="total_tasks must be a positive integer"):
+            Workload.of("matrix", total_tasks=2.5)
+
+    def test_scalar_workload_parameters_reject_vectors(self):
+        """A hand-written spec with ``"c": [1, 2]`` must fail with a named
+        ExperimentError, not a TypeError deep inside validation."""
+        with pytest.raises(ExperimentError, match="'c' must be a single number"):
+            Workload.of("bus", ratios=(1.0,), c=[1, 2])
+        with pytest.raises(ExperimentError, match="'total_tasks' must be a single number"):
+            Workload.of("matrix", total_tasks=[500])
+        payload = named_space("fig12").as_dict()
+        payload["workload"] = {"kind": "bus", "params": {"ratios": [1.0], "c": [1, 2]}}
+        with pytest.raises(ExperimentError, match="must be a single number"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_vector_workload_parameters_reject_scalars(self):
+        with pytest.raises(ExperimentError, match="'ratios' must be a list"):
+            Workload.of("bus", ratios=2.0)
+        with pytest.raises(ExperimentError, match="'message_sizes_mb' must be a list"):
+            Workload.of("probe", message_sizes_mb=1.0)
+
+    def test_workload_defaults_are_filled_at_construction(self):
+        """An explicit c=1.0 and an omitted c are the *same* bus workload
+        — equal, same JSON, same spec hash."""
+        implicit = Workload.of("bus", ratios=(1.0, 2.0))
+        explicit = Workload.of("bus", ratios=(1, 2), c=1.0, z=0.5)
+        assert implicit == explicit
+        assert implicit.as_dict() == explicit.as_dict()
+        assert Workload.from_dict(implicit.as_dict()) == implicit
+
+    def test_workload_total_tasks_overrides_the_spec_field(self):
+        base = named_space("bus-theorem2")
+        assert base.effective_total_tasks == base.total_tasks
+        override = base.derive(
+            workload=Workload.of("bus", ratios=(1.0,), total_tasks=500)
+        )
+        assert override.effective_total_tasks == 500
+
+    def test_named_workload_spaces_round_trip_and_count(self):
+        bus = named_space("bus-theorem2")
+        assert bus.workload.kind == "bus"
+        assert bus.scenario_count == 1 * 10
+        probe = named_space("fig08-probe")
+        assert probe.workload.kind == "probe"
+        assert probe.scenario_count == 1 * 10
+        assert probe.heuristics == () and probe.reference == ""
+        for name in ("bus-theorem2", "bus-hetero", "fig08-probe", "fig09-trace"):
+            spec = named_space(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_derive_workload_axis_clears_the_matrix_grid(self):
+        derived = named_space("fig11").derive(
+            name="bus-variant", workload=Workload.of("bus", ratios=(1.0, 2.0))
+        )
+        assert derived.matrix_sizes == ()
+        assert derived.grid == (1.0, 2.0)
+        # ... and a dict form works too (the JSON-file authoring route).
+        from_mapping = named_space("fig11").derive(
+            workload={"kind": "bus", "params": {"ratios": [4.0]}}
+        )
+        assert from_mapping.workload == Workload.of("bus", ratios=(4.0,))
+
+    def test_matrix_sizes_rejected_for_non_matrix_workloads(self):
+        with pytest.raises(ExperimentError, match="matrix_sizes apply to the matrix"):
+            named_space("bus-theorem2").derive(matrix_sizes=(40,))
+
+    def test_bus_workload_requires_identical_links(self):
+        with pytest.raises(ExperimentError, match="comm distribution must be constant"):
+            named_space("fig12").derive(workload=Workload.of("bus", ratios=(1.0,)))
+
+    def test_probe_workload_is_noise_free_and_one_port(self):
+        probe = Workload.of("probe", message_sizes_mb=(1.0,))
+        base = named_space("fig08-probe")
+        with pytest.raises(ExperimentError, match="noise-free"):
+            base.derive(workload=probe, noise="default")
+        with pytest.raises(ExperimentError, match="one-port master"):
+            base.derive(workload=probe, one_port=False)
+
+    def test_product_specs_over_the_workload_axis(self):
+        specs = product_specs(
+            named_space("bus-theorem2"),
+            workload=(Workload.of("bus", ratios=(1.0,)), Workload.of("bus", ratios=(2.0,))),
+            workers=(4, 8),
+        )
+        assert len(specs) == 4
+        assert len({spec.name for spec in specs}) == 4
+        assert len({spec_hash(spec) for spec in specs}) == 4
+
+
+class TestSpecBackCompat:
+    """Specs written before the workload axis existed must keep loading —
+    and keep their content hash, or every pre-PR-5 store is orphaned."""
+
+    #: Content hashes of the named spaces as frozen at the end of PR 4
+    #: (captured from the pre-workload-axis spec module).
+    FROZEN_PR4_HASHES = {
+        "bandwidth-correlated": "75e8bb7ac1a0",
+        "bimodal": "7be16f47eb55",
+        "fig10": "e8e9611e72f9",
+        "fig10-twoport": "a99c41281a0d",
+        "fig11": "ed366c9304e9",
+        "fig11-twoport": "1f693ac2576a",
+        "fig12": "8fcd17cdbf80",
+        "fig12-twoport": "160366e4506d",
+        "fig13a": "f6e10110c524",
+        "fig13a-twoport": "9f8eeb515caa",
+        "fig13b": "91270a13e692",
+        "fig13b-twoport": "dace65b02cd0",
+        "mega-uniform": "78c4f11efa84",
+        "mega-uniform-twoport": "9c6cfd786fc9",
+        "power-law": "3a7bf746e365",
+    }
+
+    #: A spec document exactly as PR 4 stores wrote it (no workload key).
+    FROZEN_PR4_FIG12_JSON = (
+        '{"description": "Paper Figure 12: fully heterogeneous uniform(1,10) stars",'
+        ' "family": {"comm": {"kind": "uniform", "params": {"high": 10.0, "low": 1.0}},'
+        ' "comm_scale": 1.0, "comp": {"kind": "uniform", "params": {"high": 10.0,'
+        ' "low": 1.0}}, "comp_scale": 1.0, "correlation": 0.0, "count": 50, "seed": 12,'
+        ' "workers": 11}, "heuristics": ["INC_C", "INC_W", "LIFO"],'
+        ' "matrix_sizes": [40, 60, 80, 100, 120, 140, 160, 180, 200], "name": "fig12",'
+        ' "noise": "default", "one_port": true, "reference": "INC_C", "total_tasks": 1000}'
+    )
+
+    def test_every_pre_pr5_named_space_keeps_its_hash(self):
+        for name, frozen in self.FROZEN_PR4_HASHES.items():
+            assert spec_hash(named_space(name)) == frozen, name
+
+    def test_spec_without_workload_field_loads_as_matrix_and_keeps_its_hash(self):
+        spec = ScenarioSpec.from_json(self.FROZEN_PR4_FIG12_JSON)
+        assert spec.workload == MATRIX_WORKLOAD
+        assert spec == named_space("fig12")
+        assert spec_hash(spec) == self.FROZEN_PR4_HASHES["fig12"]
+
+    def test_default_matrix_workload_is_omitted_from_the_json_form(self):
+        payload = named_space("fig12").as_dict()
+        assert "workload" not in payload
+        explicit = named_space("fig12").derive(workload=Workload.of("matrix"))
+        assert "workload" not in explicit.as_dict()
+        assert spec_hash(explicit) == self.FROZEN_PR4_HASHES["fig12"]
+
+    def test_non_default_workloads_change_the_hash(self):
+        spec = named_space("bus-theorem2")
+        assert "workload" in spec.as_dict()
+        assert spec_hash(spec) not in set(self.FROZEN_PR4_HASHES.values())
 
 
 class TestSpecHash:

@@ -1,0 +1,191 @@
+"""Workload-generalised scenario campaigns (bus sweeps, probe grids).
+
+The load-bearing guarantee of the workload axis: the named non-matrix
+spaces are the legacy hand-coded experiment paths, *re-expressed* — their
+rows are pinned bit-identical to the closed forms of :mod:`repro.core.bus`
+plus the scenario LP (bus spaces) and to the Figure 8/9 drivers (probe and
+trace spaces) — and they inherit the streaming store's resume guarantee
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bus import optimal_bus_throughput, two_port_bus_throughput
+from repro.core.fifo import fifo_schedule_for_order, optimal_fifo_schedule
+from repro.core.platform import bus_platform
+from repro.exceptions import ExperimentError
+from repro.scenarios.runner import aggregate_figure, run_campaign
+from repro.scenarios.spec import Workload, named_space, spec_hash
+from repro.workloads.sampling import sample_factors, workload_base_costs
+
+
+class TestWorkloadBaseCosts:
+    def test_bus_costs_match_the_theorem2_sweep_arithmetic(self):
+        workload = Workload.of("bus", ratios=(8.0,), c=2.0, z=0.5)
+        assert workload_base_costs(workload, 8.0) == (2.0, 8.0 * 2.0, 0.5 * 2.0)
+
+    def test_matrix_costs_delegate_to_the_cached_base_costs(self):
+        from repro.workloads.sampling import base_costs
+
+        assert workload_base_costs(Workload.of("matrix"), 120) == base_costs(120)
+
+    def test_probe_workloads_have_no_cost_tables(self):
+        probe = Workload.of("probe", message_sizes_mb=(1.0,))
+        with pytest.raises(ExperimentError, match="no cost tables"):
+            workload_base_costs(probe, 1.0)
+
+
+class TestBusParity:
+    def test_theorem2_rows_bit_identical(self, tmp_path):
+        """Every ``bus-theorem2`` row reproduces the legacy Theorem 2 sweep
+        bit for bit: the reference time comes from the same LP value as
+        ``fifo_schedule_for_order`` and the closed-form series are the
+        :mod:`repro.core.bus` values on the same platform."""
+        spec = named_space("bus-theorem2")
+        progress = run_campaign(spec, tmp_path, chunk_size=1)
+        assert progress.finished
+        rows = progress.rows()
+        assert len(rows) == spec.scenario_count
+        c0 = spec.workload.param("c")
+        z = spec.workload.param("z")
+        for row in rows:
+            ratio = row["size"]
+            platform = bus_platform(
+                [ratio * c0] * spec.family.workers, c=c0, d=z * c0
+            )
+            values = row["values"]
+            lp = fifo_schedule_for_order(platform, platform.worker_names)
+            assert values["INC_C time"] == spec.total_tasks / lp.throughput
+            assert values["bus closed-form"] == optimal_bus_throughput(platform)
+            assert values["bus two-port"] == two_port_bus_throughput(platform)
+            assert values["bus port bound"] == 1.0 / (c0 + z * c0)
+            # The Figure 7 construction inserts a gap exactly when the
+            # two-port optimum exceeds the port bound.
+            saturated = values["bus two-port"] > values["bus port bound"]
+            assert values["bus saturated"] == (1.0 if saturated else 0.0)
+            assert (values["bus gap"] > 0.0) == saturated
+
+    def test_hetero_bus_rows_use_the_family_factors(self, tmp_path):
+        """A heterogeneous bus campaign divides the per-unit computation
+        cost by the drawn factors — same platforms as building
+        ``bus_platform`` by hand from the sampled table."""
+        spec = named_space("bus-hetero").derive(name="small", count=3)
+        progress = run_campaign(spec, tmp_path, chunk_size=2)
+        table = sample_factors(spec.family)
+        c0 = spec.workload.param("c")
+        z = spec.workload.param("z")
+        for row in progress.rows():
+            ratio = row["size"]
+            compute_costs = (ratio * c0) / table.comp[row["platform"]]
+            platform = bus_platform(compute_costs.tolist(), c=c0, d=z * c0)
+            lp = fifo_schedule_for_order(platform, platform.worker_names)
+            assert row["values"]["INC_C time"] == spec.total_tasks / lp.throughput
+            assert row["values"]["bus closed-form"] == optimal_bus_throughput(platform)
+            assert "INC_C real" in row["values"]  # measured series present
+
+    def test_two_port_bus_space_runs_without_closed_form_series(self, tmp_path):
+        spec = named_space("bus-theorem2").derive(name="tp", one_port=False)
+        progress = run_campaign(spec, tmp_path, chunk_size=1)
+        for row in progress.rows():
+            assert "INC_C lp" in row["values"]
+            assert "bus closed-form" not in row["values"]
+
+
+class TestProbeParity:
+    def test_fig08_probe_rows_match_the_legacy_driver_bit_for_bit(self, tmp_path):
+        from repro.experiments import fig08_linearity
+
+        spec = named_space("fig08-probe")
+        progress = run_campaign(spec, tmp_path, chunk_size=1)
+        rows = progress.rows()
+        assert len(rows) == spec.scenario_count
+        legacy = fig08_linearity.run()
+        for row in rows:
+            megabytes = row["size"]
+            for index, factor in enumerate(fig08_linearity.DEFAULT_COMM_FACTORS, start=1):
+                assert row["values"][f"worker {index} transfer"] == legacy.value(
+                    f"worker {index} (x{factor:g})", megabytes
+                )
+
+    def test_fig09_trace_space_matches_the_optimal_fifo_solve(self, tmp_path):
+        from repro.experiments import fig09_trace
+        from repro.workloads.matrices import MatrixProductWorkload
+        from repro.workloads.platforms import PlatformFactors
+
+        spec = named_space("fig09-trace")
+        progress = run_campaign(spec, tmp_path, chunk_size=1)
+        (row,) = progress.rows()
+        factors = PlatformFactors(
+            fig09_trace.DEFAULT_COMM_FACTORS, fig09_trace.DEFAULT_COMP_FACTORS
+        )
+        platform = factors.platform(MatrixProductWorkload(row["size"]))
+        solution = optimal_fifo_schedule(platform)
+        assert row["values"]["OPT_FIFO lp"] == 1.0
+        assert row["values"]["OPT_FIFO time"] == (
+            spec.total_tasks / solution.schedule.total_load
+        )
+        assert row["values"]["OPT_FIFO workers"] == len(solution.participants)
+
+    def test_probe_family_factors_are_the_fig08_ramp(self):
+        table = sample_factors(named_space("fig08-probe").family)
+        assert table.comm.tolist() == [[1.0, 2.0, 3.0, 4.0, 5.0]]
+
+
+class TestWorkloadResume:
+    @pytest.mark.parametrize(
+        "space, count, chunk_size",
+        [("bus-hetero", 6, 2), ("fig08-probe", 4, 1)],
+    )
+    def test_interrupted_campaign_resumes_byte_identically(
+        self, tmp_path, space, count, chunk_size
+    ):
+        spec = named_space(space).derive(name=f"{space}-small", count=count)
+        full = run_campaign(spec, tmp_path / "full", chunk_size=chunk_size)
+        assert full.finished
+
+        partial = run_campaign(
+            spec, tmp_path / "resumed", chunk_size=chunk_size, max_chunks=2
+        )
+        assert not partial.finished
+        resumed = run_campaign(spec, tmp_path / "resumed", chunk_size=chunk_size)
+        assert resumed.finished
+        full_bytes = (tmp_path / "full" / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        resumed_bytes = (
+            tmp_path / "resumed" / spec_hash(spec) / "chunks.jsonl"
+        ).read_bytes()
+        assert full_bytes == resumed_bytes
+
+    def test_jobs_do_not_change_bus_rows(self, tmp_path):
+        spec = named_space("bus-hetero").derive(name="jobs-small", count=4)
+        serial = run_campaign(spec, tmp_path / "serial", chunk_size=2, jobs=1)
+        parallel = run_campaign(spec, tmp_path / "parallel", chunk_size=2, jobs=2)
+        assert serial.rows() == parallel.rows()
+
+    def test_float_grid_round_trips_through_npz_export(self, tmp_path):
+        spec = named_space("fig08-probe")
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=1)
+        summary = progress.state.export_npz(tmp_path / "probe.npz")
+        rows = progress.rows()
+        with np.load(tmp_path / "probe.npz") as archive:
+            assert archive["size"].dtype == np.float64
+            assert archive["size"].tolist() == [row["size"] for row in rows]
+            assert archive["worker 1 transfer"].tolist() == [
+                row["values"]["worker 1 transfer"] for row in rows
+            ]
+        assert summary["rows"] == len(rows)
+
+    def test_aggregate_figure_renders_workload_series(self, tmp_path):
+        spec = named_space("bus-theorem2")
+        progress = run_campaign(spec, tmp_path, chunk_size=5)
+        figure = aggregate_figure(spec, progress.aggregate())
+        table = figure.format_table()
+        assert "w/c ratio" in table
+        assert "bus closed-form" in table
+        probe = named_space("fig08-probe")
+        probe_progress = run_campaign(probe, tmp_path / "probe", chunk_size=1)
+        probe_table = aggregate_figure(probe, probe_progress.aggregate()).format_table()
+        assert "megabytes" in probe_table
+        assert "worker 1 transfer" in probe_table

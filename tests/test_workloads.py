@@ -159,3 +159,60 @@ class TestParticipationPlatform:
             participation_platform(0.0, workload)
         with pytest.raises(ExperimentError):
             participation_platform(1.0, workload, available_workers=5)
+
+
+class TestFixedDistribution:
+    """The ``fixed`` kind: explicit per-worker factors, no random stream."""
+
+    def test_sampling_tiles_the_vector(self):
+        from repro.workloads.sampling import Distribution, PlatformFamily, sample_factors
+
+        family = PlatformFamily(
+            workers=3, count=4, seed=0,
+            comm=Distribution.of("fixed", values=(1.0, 2.0, 3.0)),
+        )
+        table = sample_factors(family)
+        assert table.comm.tolist() == [[1.0, 2.0, 3.0]] * 4
+        assert table.comp.tolist() == [[1.0, 1.0, 1.0]] * 4
+
+    def test_fixed_consumes_no_random_stream(self):
+        """A fixed dimension must not shift the draws of the random one."""
+        from repro.workloads.sampling import (
+            PAPER_UNIFORM, Distribution, PlatformFamily, sample_factors,
+        )
+
+        fixed = PlatformFamily(
+            workers=3, count=2, seed=7,
+            comm=Distribution.of("fixed", values=(1.0, 2.0, 3.0)), comp=PAPER_UNIFORM,
+        )
+        constant = PlatformFamily(workers=3, count=2, seed=7, comp=PAPER_UNIFORM)
+        assert sample_factors(fixed).comp.tolist() == sample_factors(constant).comp.tolist()
+
+    def test_length_must_match_the_worker_count(self):
+        from repro.workloads.sampling import Distribution, PlatformFamily
+
+        with pytest.raises(ExperimentError, match="3 values for 4 workers"):
+            PlatformFamily(
+                workers=4, count=1, seed=0,
+                comm=Distribution.of("fixed", values=(1.0, 2.0, 3.0)),
+            )
+
+    def test_values_must_be_positive_and_non_empty(self):
+        from repro.workloads.sampling import Distribution
+
+        with pytest.raises(ExperimentError):
+            Distribution.of("fixed", values=())
+        with pytest.raises(ExperimentError):
+            Distribution.of("fixed", values=(1.0, -2.0))
+        with pytest.raises(ExperimentError, match="'values' must be a list"):
+            Distribution.of("fixed", values=3.0)
+        with pytest.raises(ExperimentError, match="'low' must be a single number"):
+            Distribution.of("uniform", low=[1.0], high=2.0)
+
+    def test_json_round_trip_keeps_the_vector(self):
+        from repro.workloads.sampling import Distribution
+
+        dist = Distribution.of("fixed", values=[1, 2, 3])
+        assert dist.param("values") == (1.0, 2.0, 3.0)
+        assert Distribution.from_dict(dist.as_dict()) == dist
+        assert dist.as_dict()["params"]["values"] == [1.0, 2.0, 3.0]
