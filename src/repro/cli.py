@@ -27,12 +27,25 @@ Scenario spaces (declarative campaigns over generated platform families)::
     repro-experiments scenarios show mega-uniform --store results
     repro-experiments scenarios export mega-uniform --store results --npz mega.npz
 
+Fault-tolerant multi-worker campaigns (the fabric)::
+
+    repro-experiments scenarios run mega-uniform --store results --workers 4
+    repro-experiments scenarios run fig12 --workers 3 --faults "crash-pre@0,hang@2"
+    repro-experiments scenarios heal mega-uniform --store results
+    repro-experiments scenarios merge mega-uniform --store results
+
 ``scenarios run`` persists every finished chunk, so an interrupted
 campaign (Ctrl-C, crash) picks up where it left off — ``resume`` is
-``run`` that insists prior results exist.  Every verb works for every
-workload (matrix, ``bus-*`` sweeps, ``*-probe`` grids) and for one-port
-and two-port (``*-twoport``, or ``"one_port": false`` in a spec JSON)
-spaces alike; ``export`` turns a finished store into a columnar ``.npz``.
+``run`` that insists prior results exist.  ``--workers N`` runs the
+lease-based fabric: N worker processes with isolated stores, retry/
+backoff/timeout per chunk, and a canonical merge at the end; ``--faults``
+injects a deterministic chaos schedule (testing).  ``heal`` recovers a
+campaign whose coordinator died (merges worker stores, re-evaluates
+abandoned leases); ``merge`` folds worker stores in without healing.
+Every verb works for every workload (matrix, ``bus-*`` sweeps,
+``*-probe`` grids) and for one-port and two-port (``*-twoport``, or
+``"one_port": false`` in a spec JSON) spaces alike; ``export`` turns a
+finished store into a columnar ``.npz``.
 """
 
 from __future__ import annotations
@@ -157,6 +170,49 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="evaluate at most N new chunks this invocation (budgeted sessions)",
         )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="run on the fault-tolerant fabric: N worker processes with "
+            "isolated per-worker stores, chunk leases with retry/backoff/"
+            "timeout, and a canonical merge at the end (results identical "
+            "to a single-writer run)",
+        )
+        sub.add_argument(
+            "--faults",
+            metavar="SPEC",
+            default=None,
+            help="inject a deterministic fault schedule (requires --workers): "
+            "comma-separated kind@chunk[:attempt] with kinds crash-pre, "
+            "crash-post, hang, poison, abandon — or random:SEED:RATE",
+        )
+        sub.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-chunk attempt timeout on the fabric (default: 60)",
+        )
+
+    for verb, help_text in (
+        ("merge", "fold per-worker fabric stores into the canonical store"),
+        (
+            "heal",
+            "recover a fabric campaign whose coordinator died: merge worker "
+            "stores, re-evaluate abandoned leases, clear stale lease files",
+        ),
+    ):
+        sub = scenarios_sub.add_parser(verb, help=help_text)
+        add_space_argument(sub)
+        sub.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="chunk size the campaign was started with (default: 100)",
+        )
 
     show = scenarios_sub.add_parser(
         "show", help="print a space's spec and any stored progress/aggregates"
@@ -226,8 +282,25 @@ def _load_space(space: str):
         raise ExperimentError(f"invalid scenario spec {space!r}: {error}") from None
 
 
+def _show_fabric_state(state) -> None:
+    """Print any fabric leftovers (worker stores, leases) of a campaign."""
+    from repro.scenarios.fabric import read_leases, worker_store_paths
+
+    workers = list(worker_store_paths(state))
+    if workers:
+        print(f"worker stores pending merge: {', '.join(path.name for path in workers)}")
+    leases = read_leases(state)
+    if leases:
+        chunks = ", ".join(
+            f"{lease.chunk} (owner {lease.owner}, epoch {lease.epoch})" for lease in leases
+        )
+        print(f"outstanding leases: {chunks}")
+    if workers or leases:
+        print("recover with 'scenarios heal' (or fold results in with 'scenarios merge')")
+
+
 def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    from repro.scenarios.runner import aggregate_figure, run_campaign
+    from repro.scenarios.runner import DEFAULT_CHUNK_SIZE, aggregate_figure, run_campaign
     from repro.scenarios.spec import NAMED_SPACES, available_spaces, spec_hash
     from repro.scenarios.store import CampaignStore
 
@@ -255,11 +328,40 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             return 0
         print(f"\nstore: {state.directory}")
         print(f"completed chunks: {len(state.completed_chunks)}")
+        if state.recovered_tail is not None:
+            print(f"recovered on open: {state.recovered_tail.describe()}")
+        _show_fabric_state(state)
         count = state.row_count()
         print(f"persisted scenarios: {count} of {spec.scenario_count}")
         if count:
             print()
             print(aggregate_figure(spec, state.aggregate()).format_table())
+        return 0
+
+    if args.scenarios_command in ("merge", "heal"):
+        from repro.scenarios.fabric import heal_campaign, merge_worker_stores
+
+        if not store.exists(spec):
+            parser.error(
+                f"no campaign for {spec.name!r} (hash {spec_hash(spec)}) under "
+                f"{store.root}; run it first with 'scenarios run'"
+            )
+        if args.scenarios_command == "merge":
+            state = store.campaign(spec)
+            report = merge_worker_stores(state)
+            print(f"store: {state.directory}")
+            print(report.describe())
+        else:
+            report = heal_campaign(
+                spec, store, chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE
+            )
+            print(f"store: {report.state.directory}")
+            print(report.describe())
+            if not report.complete:
+                print(
+                    "campaign still incomplete; finish the remaining chunks with "
+                    "'scenarios resume'"
+                )
         return 0
 
     if args.scenarios_command == "export":
@@ -291,6 +393,10 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         )
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be 0 (one per CPU) or a positive count, got {args.jobs}")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be a positive count, got {args.workers}")
+    if args.faults is not None and args.workers is None:
+        parser.error("--faults injects faults into fabric workers; it requires --workers")
     kwargs: dict[str, object] = {}
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
@@ -299,19 +405,38 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     # a different spec hash) and the chunk plan (a different --chunk-size
     # is rejected by the store).
     resume_hint = f"  repro-experiments scenarios resume {args.space} --store {args.store}"
-    for flag in ("chunk_size", "count", "seed"):
+    for flag in ("chunk_size", "count", "seed", "workers"):
         value = getattr(args, flag)
         if value is not None:
             resume_hint += f" --{flag.replace('_', '-')} {value}"
     try:
-        progress = run_campaign(
-            spec,
-            store,
-            jobs=None if args.jobs == 0 else (args.jobs if args.jobs is not None else 1),
-            max_chunks=args.max_chunks,
-            progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
-            **kwargs,
-        )
+        if args.workers is not None:
+            from repro.scenarios.fabric import FaultPolicy, run_fabric_campaign
+
+            policy = (
+                FaultPolicy(timeout=args.chunk_timeout)
+                if args.chunk_timeout is not None
+                else FaultPolicy()
+            )
+            progress = run_fabric_campaign(
+                spec,
+                store,
+                workers=args.workers,
+                policy=policy,
+                faults=args.faults,
+                max_chunks=args.max_chunks,
+                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                **kwargs,
+            )
+        else:
+            progress = run_campaign(
+                spec,
+                store,
+                jobs=None if args.jobs == 0 else (args.jobs if args.jobs is not None else 1),
+                max_chunks=args.max_chunks,
+                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                **kwargs,
+            )
     except KeyboardInterrupt:
         state = store.campaign(spec)
         print(
@@ -325,7 +450,20 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         f"chunks: {progress.completed_after}/{progress.total_chunks} complete "
         f"({progress.completed_after - progress.completed_before} new)"
     )
-    if not progress.finished:
+    retries = getattr(progress, "retries", 0)
+    degraded = getattr(progress, "degraded_chunks", [])
+    abandoned = getattr(progress, "abandoned_chunks", [])
+    if retries or degraded:
+        print(
+            f"fabric: {retries} retried attempt(s), "
+            f"{len(degraded)} chunk(s) degraded to in-parent evaluation"
+        )
+    if abandoned:
+        print(
+            f"abandoned lease(s) on chunk(s) {abandoned}; recover with:\n"
+            f"  repro-experiments scenarios heal {args.space} --store {args.store}"
+        )
+    if not progress.finished and not abandoned:
         print(f"campaign incomplete; finish with:\n{resume_hint}")
     if state.row_count():
         print()

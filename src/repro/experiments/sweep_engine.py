@@ -35,13 +35,27 @@ Workers must be picklable when ``jobs > 1`` (module-level callables, or
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import ExperimentError
 
-__all__ = ["resolve_jobs", "run_chunked", "run_sweep"]
+__all__ = ["SweepTimeoutError", "resolve_jobs", "run_chunked", "run_sweep"]
+
+
+class SweepTimeoutError(ExperimentError):
+    """A sweep chunk's future did not complete within its timeout.
+
+    Raised by :func:`run_chunked` / :func:`run_sweep` when ``timeout`` is
+    set and a chunk overruns it — the fault-tolerance hook that lets a
+    caller bound how long a hung worker can stall a sweep.  ``pending``
+    counts the chunks still unfinished when the deadline fired.
+    """
+
+    def __init__(self, message: str, pending: int) -> None:
+        super().__init__(message)
+        self.pending = pending
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -69,6 +83,7 @@ def run_chunked(
     items: Sequence[Item],
     jobs: int | None = 1,
     executor: ProcessPoolExecutor | None = None,
+    timeout: float | None = None,
 ) -> list[Result]:
     """Run ``worker`` over strided chunks of ``items``; results in item order.
 
@@ -80,6 +95,17 @@ def run_chunked(
     groups) reuse one long-lived pool instead of paying worker spawn +
     import per call; it is never shut down here, and ``jobs`` still
     controls how many chunks are formed.
+
+    ``timeout`` makes the futures timeout-aware: every dispatched chunk
+    must complete within ``timeout`` seconds of the *last* observed
+    completion (all chunks run concurrently, so this bounds a hung
+    worker, not the sweep's total wall-clock).  On expiry the pending
+    futures are cancelled and :class:`SweepTimeoutError` is raised — note
+    that an already-running chunk cannot be preempted inside a
+    ``ProcessPoolExecutor``; callers that must reclaim the process slot
+    own the pool and shut it down (the campaign fabric manages worker
+    processes directly for exactly this reason).  Only effective with
+    ``jobs > 1``: the inline path cannot interrupt itself.
     """
     indexed = list(enumerate(items))
     if not indexed:
@@ -93,11 +119,9 @@ def run_chunked(
         pairs = []
         if executor is None:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for chunk_result in pool.map(worker, chunks):
-                    pairs.extend(chunk_result)
+                pairs = _collect_futures(pool, worker, chunks, timeout)
         else:
-            for chunk_result in executor.map(worker, chunks):
-                pairs.extend(chunk_result)
+            pairs = _collect_futures(executor, worker, chunks, timeout)
 
     pairs.sort(key=lambda pair: pair[0])
     if [index for index, _ in pairs] != list(range(len(indexed))):
@@ -105,6 +129,35 @@ def run_chunked(
             "sweep worker did not return exactly one result per item"
         )
     return [result for _, result in pairs]
+
+
+def _collect_futures(
+    pool: ProcessPoolExecutor,
+    worker: ChunkWorker,
+    chunks: Sequence[Sequence[tuple[int, Item]]],
+    timeout: float | None,
+) -> list[tuple[int, Result]]:
+    """Submit one future per chunk and drain them, optionally bounded.
+
+    With a timeout, each wait is for *any* completion within ``timeout``
+    seconds — a healthy sweep keeps making progress and never trips it; a
+    hung chunk stalls every remaining future and fires it.
+    """
+    futures = {pool.submit(worker, chunk) for chunk in chunks}
+    pairs: list[tuple[int, Result]] = []
+    while futures:
+        done, futures = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+        if not done:
+            for future in futures:
+                future.cancel()
+            raise SweepTimeoutError(
+                f"sweep chunk timed out after {timeout}s with "
+                f"{len(futures)} chunk future(s) unfinished",
+                pending=len(futures),
+            )
+        for future in done:
+            pairs.extend(future.result())
+    return pairs
 
 
 @dataclass(frozen=True)
@@ -133,12 +186,16 @@ def run_sweep(
     jobs: int | None = 1,
     cache_key: Callable[[Item], Hashable] | None = None,
     executor: ProcessPoolExecutor | None = None,
+    timeout: float | None = None,
 ) -> list[Result]:
     """Map ``fn`` over ``items``, chunked and optionally process-parallel.
 
     ``cache_key`` enables a per-chunk memo: items with equal keys are
     evaluated once per chunk and share the result.  Only safe when ``fn``
     is deterministic in the key (the engine does not verify this).
-    ``executor`` is passed through to :func:`run_chunked` (pool reuse).
+    ``executor`` and ``timeout`` are passed through to :func:`run_chunked`
+    (pool reuse; timeout-aware futures raising :class:`SweepTimeoutError`).
     """
-    return run_chunked(_MappedChunk(fn, cache_key), items, jobs=jobs, executor=executor)
+    return run_chunked(
+        _MappedChunk(fn, cache_key), items, jobs=jobs, executor=executor, timeout=timeout
+    )

@@ -69,11 +69,28 @@ __all__ = [
     "aggregate_figure",
     "plan_chunks",
     "run_campaign",
+    "FaultInjector",
+    "FaultPolicy",
+    "FabricProgress",
+    "HealReport",
+    "heal_campaign",
+    "merge_worker_stores",
+    "run_fabric_campaign",
 ]
 
-#: Runner symbols resolved on first access (PEP 562): the runner imports
-#: the experiment layer, which imports the sampler from this package.
+#: Runner/fabric symbols resolved on first access (PEP 562): the runner
+#: imports the experiment layer, which imports the sampler from this
+#: package, and the fabric builds on the runner.
 _RUNNER_EXPORTS = {"CampaignProgress", "run_campaign", "aggregate_figure", "plan_chunks"}
+_FABRIC_EXPORTS = {
+    "FaultInjector",
+    "FaultPolicy",
+    "FabricProgress",
+    "HealReport",
+    "heal_campaign",
+    "merge_worker_stores",
+    "run_fabric_campaign",
+}
 
 
 def __getattr__(name: str):
@@ -81,4 +98,8 @@ def __getattr__(name: str):
         from repro.scenarios import runner
 
         return getattr(runner, name)
+    if name in _FABRIC_EXPORTS:
+        from repro.scenarios import fabric
+
+        return getattr(fabric, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,811 @@
+"""Fault-tolerant multi-worker campaign fabric.
+
+The streaming store (:mod:`repro.scenarios.store`) already defines an
+idempotent work-unit protocol — spec content hash + ``[start, stop)``
+chunk ranges + fsynced appends — but the single-writer runner owns every
+campaign end to end: a worker crash, hang or torn write beyond the parent
+process is unrecoverable.  This module turns the protocol into a
+coordinator/worker **fabric**:
+
+* the coordinator shards a campaign's chunk plan into **leases** — one
+  JSON file per chunk range carrying the owner id, an epoch and a logical
+  heartbeat deadline — and hands them to ``workers`` processes;
+* every worker appends finished chunks to its own isolated per-worker
+  :class:`~repro.scenarios.store.CampaignState` (``workers/<owner>/``
+  under the campaign directory), so no two writers ever share a file;
+* a :class:`FaultPolicy` wraps each chunk attempt: a crashed or failed
+  attempt is retried with a deterministic backoff schedule and a bumped
+  lease epoch; a worker that outlives its lease's logical deadline (a
+  hang) is killed and its chunk re-leased; a chunk that exhausts its
+  attempt budget degrades gracefully to an in-parent evaluation;
+* when the plan is complete the per-worker stores are **merged** into the
+  canonical one (:meth:`CampaignState.merge` — chunk-index-keyed,
+  idempotent, duplicate-tolerant, spec-hash-checked), producing a
+  ``chunks.jsonl`` byte-identical to an uninterrupted single-writer run;
+* :func:`heal_campaign` recovers a campaign whose *coordinator* died:
+  worker stores are merged (crash-after-append chunks surface here),
+  abandoned leases are re-evaluated in the healing parent, and stale
+  lease files are cleared.
+
+Chunk results are deterministic functions of the spec, so every recovery
+path converges to the same bytes — the :class:`FaultInjector` and the
+test-suite's fault matrix (crash-before-fsync, crash-after-append, hangs,
+poisoned chunks, abandoned leases) pin exactly that.
+
+Workers are processes today; the lease files, the per-worker stores and
+the merge are deliberately machine-shaped — a future multi-machine fabric
+reuses them unchanged with a shared filesystem or object store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import math
+import multiprocessing
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.runner import DEFAULT_CHUNK_SIZE, evaluate_range, plan_chunks
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import CampaignState, CampaignStore, MergeReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChunkFault",
+    "FabricProgress",
+    "FaultInjector",
+    "FaultPolicy",
+    "HealReport",
+    "Lease",
+    "heal_campaign",
+    "merge_worker_stores",
+    "read_leases",
+    "run_fabric_campaign",
+    "worker_store_paths",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Injectable fault kinds.  The first four fire inside a worker process;
+#: ``abandon`` is coordinator-side: the lease is written but its worker
+#: "vanishes" without ever running, leaving an abandoned lease for
+#: :func:`heal_campaign`.
+FAULT_KINDS = ("crash-pre", "crash-post", "hang", "poison", "abandon")
+
+#: How long an injected hang sleeps.  Far beyond any sane per-chunk
+#: timeout; the coordinator kills the worker long before it wakes.
+_HANG_SECONDS = 600.0
+
+#: Worker exit codes for the injected crashes (any non-zero exit with no
+#: persisted chunk is treated the same; these just aid debugging).
+_EXIT_CRASH_PRE = 23
+_EXIT_CRASH_POST = 24
+_EXIT_FAILURE = 21
+
+#: Owner id recorded on an ``abandon`` lease: a worker that never existed.
+_LOST_OWNER = "lost"
+
+#: Reserved per-worker store names used by the parent itself.
+_DEGRADED_OWNER = "degraded"
+_HEAL_OWNER = "heal"
+
+
+# ---------------------------------------------------------------------------
+# Fault policy: retry, backoff, timeout, graceful degradation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/timeout/backoff policy wrapping every chunk attempt.
+
+    ``max_attempts`` bounds worker-side tries per chunk; once exhausted
+    the chunk **degrades gracefully** to an in-parent evaluation (the
+    parent runs no injected faults and no process machinery — the slow
+    but sure path).  ``backoff(attempt)`` is deterministic —
+    ``base * factor**attempt`` capped at ``cap`` seconds, no jitter — so
+    fault schedules replay identically.  ``timeout`` is the per-attempt
+    wall-clock budget, enforced through the lease's logical heartbeat
+    deadline: the coordinator advances one tick per ``poll_interval``
+    sleep, and a lease that lives past ``timeout / poll_interval`` ticks
+    is expired (its worker killed, the chunk re-leased).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 1.0
+    timeout: float = 60.0
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be at least 1 (got {self.max_attempts})"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_cap < 0:
+            raise ExperimentError(
+                "backoff must be non-negative with factor >= 1 "
+                f"(got base={self.backoff_base}, factor={self.backoff_factor}, "
+                f"cap={self.backoff_cap})"
+            )
+        if self.timeout <= 0 or self.poll_interval <= 0:
+            raise ExperimentError(
+                f"timeout and poll_interval must be positive (got "
+                f"timeout={self.timeout}, poll_interval={self.poll_interval})"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before re-trying after failed attempt ``attempt``."""
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
+
+    def backoff_schedule(self) -> tuple[float, ...]:
+        """The full deterministic backoff sequence, one delay per retry."""
+        return tuple(self.backoff(attempt) for attempt in range(self.max_attempts - 1))
+
+    @property
+    def lease_ttl_ticks(self) -> int:
+        """Logical heartbeat budget of one lease, in coordinator ticks."""
+        return max(1, math.ceil(self.timeout / self.poll_interval))
+
+    def run(
+        self,
+        attempt_fn: Callable[[int], object],
+        degrade: Callable[[], object] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Run ``attempt_fn(attempt)`` under this policy, in-process.
+
+        The process-free core of the retry loop (and its isolation-test
+        surface): up to ``max_attempts`` tries with the deterministic
+        backoff sleeps in between, then the ``degrade`` fallback — or the
+        last error re-raised when there is none.
+        """
+        error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                sleep(self.backoff(attempt - 1))
+            try:
+                return attempt_fn(attempt)
+            except ExperimentError as exc:
+                error = exc
+        if degrade is not None:
+            return degrade()
+        raise error  # type: ignore[misc]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fault injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkFault:
+    """One injected fault: ``kind`` fired at ``(chunk, attempt)``.
+
+    ``attempt=None`` fires on *every* attempt (the poisoned-chunk shape:
+    only the parent's degradation path can complete it); an integer fires
+    on that attempt only, so retries succeed.
+    """
+
+    kind: str
+    chunk: int
+    attempt: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ExperimentError(
+                f"unknown fault kind {self.kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+            )
+
+    def fires(self, chunk: int, attempt: int) -> bool:
+        return self.chunk == chunk and (self.attempt is None or self.attempt == attempt)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic fault schedule for the fabric (tests and CLI).
+
+    Built either from an explicit list of :class:`ChunkFault` or from a
+    seed (``FaultInjector.seeded``): seeded mode assigns each chunk a
+    fault pseudo-randomly but reproducibly — the draw is a pure function
+    of ``(seed, chunk)`` via SHA-256, independent of chunk count, worker
+    count and scheduling order, so the same seed always injects the same
+    schedule.
+
+    The CLI spec grammar (:meth:`from_spec`)::
+
+        crash-pre@2            # torn write on chunk 2's first attempt
+        crash-post@4:1         # crash after fsync, chunk 4, attempt 1
+        hang@1                 # chunk 1's first attempt hangs
+        poison@3:*             # chunk 3 fails on every worker attempt
+        abandon@5              # chunk 5's lease is written, worker vanishes
+        random:7:0.4           # seeded: ~40% of chunks fault, seed 7
+
+    comma-separated; kinds are listed in :data:`FAULT_KINDS`.
+    """
+
+    faults: tuple[ChunkFault, ...] = ()
+    seed: int | None = None
+    rate: float = 0.0
+    seeded_kinds: tuple[str, ...] = ("crash-pre", "crash-post", "hang", "poison")
+
+    @classmethod
+    def seeded(
+        cls, seed: int, rate: float, kinds: Sequence[str] | None = None
+    ) -> "FaultInjector":
+        if not 0.0 <= rate <= 1.0:
+            raise ExperimentError(f"fault rate must be in [0, 1] (got {rate})")
+        kinds = tuple(kinds) if kinds is not None else ("crash-pre", "crash-post", "hang", "poison")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ExperimentError(
+                    f"unknown fault kind {kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+                )
+        return cls(seed=seed, rate=rate, seeded_kinds=kinds)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultInjector":
+        text = text.strip()
+        if text.startswith("random:"):
+            parts = text.split(":")
+            if len(parts) not in (3, 4):
+                raise ExperimentError(
+                    f"seeded fault spec must be random:SEED:RATE[:kind+kind...] (got {text!r})"
+                )
+            kinds = tuple(parts[3].split("+")) if len(parts) == 4 else None
+            try:
+                return cls.seeded(int(parts[1]), float(parts[2]), kinds)
+            except ValueError as error:
+                raise ExperimentError(f"invalid seeded fault spec {text!r}: {error}") from None
+        faults = []
+        for item in filter(None, (part.strip() for part in text.split(","))):
+            kind, separator, target = item.partition("@")
+            if not separator:
+                raise ExperimentError(
+                    f"fault {item!r} must be kind@chunk or kind@chunk:attempt"
+                )
+            chunk_text, _, attempt_text = target.partition(":")
+            try:
+                chunk = int(chunk_text)
+                attempt = (
+                    None
+                    if attempt_text == "*"
+                    else int(attempt_text)
+                    if attempt_text
+                    else (None if kind == "poison" else 0)
+                )
+            except ValueError:
+                raise ExperimentError(f"invalid fault target in {item!r}") from None
+            faults.append(ChunkFault(kind=kind, chunk=chunk, attempt=attempt))
+        return cls(faults=tuple(faults))
+
+    def _seeded_fault(self, chunk: int) -> str | None:
+        if self.seed is None or self.rate <= 0.0:
+            return None
+        digest = hashlib.sha256(f"fabric-fault:{self.seed}:{chunk}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        if draw >= self.rate:
+            return None
+        pick = int.from_bytes(digest[8:16], "big") % len(self.seeded_kinds)
+        return self.seeded_kinds[pick]
+
+    def worker_fault(self, chunk: int, attempt: int) -> str | None:
+        """The fault (if any) a worker must act out at ``(chunk, attempt)``."""
+        for fault in self.faults:
+            if fault.kind != "abandon" and fault.fires(chunk, attempt):
+                return fault.kind
+        kind = self._seeded_fault(chunk)
+        if kind is not None and kind != "abandon":
+            # Seeded worker faults fire on the first attempt only (poison
+            # fires always): every seeded schedule must converge.
+            if kind == "poison" or attempt == 0:
+                return kind
+        return None
+
+    def coordinator_fault(self, chunk: int) -> str | None:
+        """Coordinator-side fault for ``chunk`` (currently only abandon)."""
+        for fault in self.faults:
+            if fault.kind == "abandon" and fault.chunk == chunk:
+                return "abandon"
+        if self._seeded_fault(chunk) == "abandon":
+            return "abandon"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Leases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One chunk range leased to one worker.
+
+    ``epoch`` increments every time the chunk is re-leased (retry after a
+    crash, kill after an expired deadline), so a stale worker's late write
+    is recognisably outdated; ``deadline_tick`` is a *logical* heartbeat
+    deadline on the coordinator's tick clock — one tick per poll sleep —
+    which keeps the format wall-clock-free and machine-portable.
+    """
+
+    chunk: int
+    start: int
+    stop: int
+    owner: str
+    epoch: int
+    granted_tick: int
+    deadline_tick: int
+
+    def path(self, directory: Path) -> Path:
+        return directory / f"chunk-{self.chunk:06d}.json"
+
+    def write(self, directory: Path) -> None:
+        payload = json.dumps(
+            {
+                "chunk": self.chunk,
+                "start": self.start,
+                "stop": self.stop,
+                "owner": self.owner,
+                "epoch": self.epoch,
+                "granted_tick": self.granted_tick,
+                "deadline_tick": self.deadline_tick,
+            },
+            sort_keys=True,
+        )
+        path = self.path(directory)
+        path.write_text(payload + "\n", encoding="utf-8")
+
+    @classmethod
+    def read(cls, path: Path) -> "Lease":
+        record = json.loads(path.read_text(encoding="utf-8"))
+        return cls(
+            chunk=int(record["chunk"]),
+            start=int(record["start"]),
+            stop=int(record["stop"]),
+            owner=str(record["owner"]),
+            epoch=int(record["epoch"]),
+            granted_tick=int(record["granted_tick"]),
+            deadline_tick=int(record["deadline_tick"]),
+        )
+
+
+def lease_directory(state: CampaignState) -> Path:
+    return state.directory / "leases"
+
+
+def worker_directory(state: CampaignState, owner: str) -> Path:
+    return state.directory / "workers" / owner
+
+
+def read_leases(state: CampaignState) -> list[Lease]:
+    """Every lease file currently on disk, sorted by chunk index."""
+    directory = lease_directory(state)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        (Lease.read(path) for path in directory.glob("chunk-*.json")),
+        key=lambda lease: lease.chunk,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process entry point
+# ---------------------------------------------------------------------------
+
+
+def _torn_append(state: CampaignState, chunk: int, start: int, stop: int, rows) -> None:
+    """Simulate a crash mid-append: half the record's bytes, fsynced.
+
+    This is exactly the torn tail the store's recovery path handles —
+    written deliberately (and fsynced, so the test observes it
+    deterministically) before the injected kill.
+    """
+    payload = json.dumps(
+        {"chunk": chunk, "start": int(start), "stop": int(stop), "rows": list(rows)},
+        sort_keys=True,
+    ).encode("utf-8")
+    with open(state.chunks_path, "ab") as handle:
+        handle.write(payload[: max(1, len(payload) // 2)])
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _worker_chunk_main(
+    spec: ScenarioSpec,
+    directory: str,
+    chunk: int,
+    start: int,
+    stop: int,
+    attempt: int,
+    injector: FaultInjector | None,
+) -> None:
+    """Evaluate one leased chunk inside a worker process.
+
+    Appends the finished chunk to the worker's own store and exits 0; any
+    failure exits non-zero — the coordinator judges success solely by the
+    chunk's presence in the worker store, which is what makes
+    crash-after-append (persisted, then died) count as success.
+    """
+    try:
+        state = CampaignState(Path(directory), spec)
+        if chunk in state.completed_chunks:
+            # A previous attempt crashed after its append: the work is
+            # already durable, the protocol is idempotent — just ack.
+            os._exit(0)
+        fault = injector.worker_fault(chunk, attempt) if injector is not None else None
+        if fault == "hang":
+            time.sleep(_HANG_SECONDS)
+            os._exit(_EXIT_FAILURE)
+        if fault == "poison":
+            raise ExperimentError(f"poisoned chunk {chunk} (injected, attempt {attempt})")
+        rows = evaluate_range(spec, start, stop)
+        if fault == "crash-pre":
+            _torn_append(state, chunk, start, stop, rows)
+            os._exit(_EXIT_CRASH_PRE)
+        state.append_chunk(chunk, start, stop, rows)
+        if fault == "crash-post":
+            os._exit(_EXIT_CRASH_POST)
+        os._exit(0)
+    except ExperimentError as error:
+        logger.warning("worker %s failed on chunk %d: %s", directory, chunk, error)
+        os._exit(_EXIT_FAILURE)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FabricProgress:
+    """Outcome of one :func:`run_fabric_campaign` call."""
+
+    state: CampaignState
+    chunk_size: int
+    total_chunks: int
+    completed_before: int
+    completed_after: int
+    retries: int = 0
+    expired_leases: int = 0
+    degraded_chunks: list[int] = field(default_factory=list)
+    abandoned_chunks: list[int] = field(default_factory=list)
+    merge: MergeReport | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_after == self.total_chunks
+
+    def rows(self) -> list[dict]:
+        return self.state.rows()
+
+    def aggregate(self, quantiles: Sequence[float] = (0.05, 0.5, 0.95)) -> dict:
+        return self.state.aggregate(quantiles=quantiles)
+
+
+@dataclass
+class _ActiveLease:
+    process: multiprocessing.Process
+    lease: Lease
+    attempt: int
+
+
+def _validate_plan(state: CampaignState, chunks: list[tuple[int, int]]) -> set[int]:
+    """The single-writer runner's plan check, shared by the fabric."""
+    completed = state.completed_chunks
+    unknown = completed - set(range(len(chunks)))
+    mismatched = sorted(
+        index for index in completed - unknown if state.chunk_range(index) != chunks[index]
+    )
+    if unknown or mismatched:
+        raise ExperimentError(
+            f"store chunks {sorted(unknown) + mismatched} do not fit the "
+            f"{len(chunks)}-chunk plan; resume with the chunk size the campaign "
+            "was started with"
+        )
+    return completed
+
+
+def worker_store_paths(state: CampaignState) -> Iterator[Path]:
+    root = state.directory / "workers"
+    if not root.is_dir():
+        return
+    for path in sorted(root.iterdir()):
+        if (path / "spec.json").is_file():
+            yield path
+
+
+def merge_worker_stores(state: CampaignState) -> MergeReport:
+    """Merge every per-worker store under a campaign into the canonical one.
+
+    Idempotent: chunks already merged are recognised as byte-identical
+    duplicates and skipped; worker stores with torn tails (a worker died
+    mid-append) are recovered by the store's own open-time truncation
+    before their surviving chunks merge.
+    """
+    return state.merge(*worker_store_paths(state))
+
+
+def _cleanup_if_complete(state: CampaignState, total_chunks: int) -> None:
+    """Drop worker stores and leases once every chunk is canonical.
+
+    Only a fully merged campaign is cleaned: a partial one keeps its
+    worker stores and lease files — they are the recovery evidence
+    :func:`heal_campaign` works from.
+    """
+    if len(state.completed_chunks) != total_chunks:
+        return
+    shutil.rmtree(state.directory / "workers", ignore_errors=True)
+    shutil.rmtree(lease_directory(state), ignore_errors=True)
+
+
+def run_fabric_campaign(
+    spec: ScenarioSpec,
+    store: CampaignStore | str | Path,
+    workers: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    policy: FaultPolicy | None = None,
+    faults: FaultInjector | str | None = None,
+    max_chunks: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FabricProgress:
+    """Run (or continue) a campaign on the multi-worker fabric.
+
+    Shards the chunk plan into leases across ``workers`` worker
+    processes, each writing its own isolated store; retries, re-leases
+    and degrades per ``policy``; merges the worker stores into the
+    canonical one on completion.  The result store is byte-identical to a
+    single-writer :func:`~repro.scenarios.runner.run_campaign` of the
+    same spec — under every injected fault schedule (pinned by tests).
+
+    ``faults`` (a :class:`FaultInjector` or its CLI spec string) is the
+    chaos hook; production runs leave it ``None``.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be at least 1 (got {workers})")
+    if isinstance(store, (str, Path)):
+        store = CampaignStore(store)
+    if isinstance(faults, str):
+        faults = FaultInjector.from_spec(faults)
+    policy = policy or FaultPolicy()
+    state = store.campaign(spec)
+
+    chunks = plan_chunks(spec.family.count, chunk_size)
+    # Absorb leftovers of an earlier (possibly crashed) fabric run first:
+    # whatever the workers persisted is durable progress.
+    merge_worker_stores(state)
+    completed = _validate_plan(state, chunks)
+    pending = [index for index in range(len(chunks)) if index not in completed]
+    before = len(completed)
+    if max_chunks is not None:
+        if max_chunks < 0:
+            raise ExperimentError(f"max_chunks must be non-negative (got {max_chunks})")
+        pending = pending[:max_chunks]
+
+    result = FabricProgress(
+        state=state,
+        chunk_size=chunk_size,
+        total_chunks=len(chunks),
+        completed_before=before,
+        completed_after=before,
+    )
+    if not pending:
+        result.merge = MergeReport(total_chunks=len(state.completed_chunks))
+        _cleanup_if_complete(state, len(chunks))
+        return result
+
+    leases_dir = lease_directory(state)
+    leases_dir.mkdir(parents=True, exist_ok=True)
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    ttl = policy.lease_ttl_ticks
+    #: (ready_tick, chunk, attempt) — chunks waiting for a slot (or for
+    #: their backoff delay to elapse).
+    queue: list[tuple[int, int, int]] = [(0, index, 0) for index in pending]
+    active: dict[str, _ActiveLease] = {}
+    free_owners = [f"w{slot}" for slot in range(workers)]
+    done_count = 0
+    tick = 0
+
+    def requeue(chunk: int, attempt: int, reason: str) -> None:
+        next_attempt = attempt + 1
+        delay_ticks = math.ceil(policy.backoff(attempt) / policy.poll_interval)
+        queue.append((tick + delay_ticks, chunk, next_attempt))
+        queue.sort()
+        result.retries += 1
+        logger.warning(
+            "chunk %d attempt %d failed (%s); retrying as attempt %d "
+            "after %.3fs backoff",
+            chunk, attempt, reason, next_attempt, policy.backoff(attempt),
+        )
+
+    def degrade(chunk: int) -> None:
+        # Graceful degradation: the attempt budget is spent — evaluate in
+        # the parent (no worker process, no injected faults) and persist
+        # through the parent's own worker store so the final merge still
+        # produces the canonical byte layout.
+        start, stop = chunks[chunk]
+        rows = evaluate_range(spec, start, stop)
+        parent_store = CampaignState(worker_directory(state, _DEGRADED_OWNER), spec)
+        if chunk not in parent_store.completed_chunks:
+            parent_store.append_chunk(chunk, start, stop, rows)
+        result.degraded_chunks.append(chunk)
+        (leases_dir / f"chunk-{chunk:06d}.json").unlink(missing_ok=True)
+
+    try:
+        while queue or active:
+            tick += 1
+            # Grant leases to free workers.
+            while free_owners and queue and queue[0][0] <= tick:
+                _, chunk, attempt = queue.pop(0)
+                start, stop = chunks[chunk]
+                if attempt == 0 and faults is not None and faults.coordinator_fault(chunk):
+                    # The worker "takes" the lease and vanishes: the lease
+                    # file stays behind for `scenarios heal`.
+                    Lease(chunk, start, stop, _LOST_OWNER, 0, tick, tick + ttl).write(
+                        leases_dir
+                    )
+                    result.abandoned_chunks.append(chunk)
+                    logger.warning("chunk %d abandoned (injected lost worker)", chunk)
+                    continue
+                if attempt >= policy.max_attempts:
+                    degrade(chunk)
+                    done_count += 1
+                    if progress is not None:
+                        progress(before + done_count, len(chunks))
+                    continue
+                owner = free_owners.pop(0)
+                lease = Lease(chunk, start, stop, owner, attempt, tick, tick + ttl)
+                lease.write(leases_dir)
+                process = context.Process(
+                    target=_worker_chunk_main,
+                    args=(
+                        spec,
+                        str(worker_directory(state, owner)),
+                        chunk,
+                        start,
+                        stop,
+                        attempt,
+                        faults,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                active[owner] = _ActiveLease(process, lease, attempt)
+            # Reap finished / expired workers.
+            for owner, slot in list(active.items()):
+                lease = slot.lease
+                if not slot.process.is_alive():
+                    slot.process.join()
+                    del active[owner]
+                    free_owners.append(owner)
+                    free_owners.sort()
+                    worker_state = CampaignState(worker_directory(state, owner), spec)
+                    if lease.chunk in worker_state.completed_chunks:
+                        # Success — including crash-after-append: the
+                        # chunk is durable even though the worker died.
+                        lease.path(leases_dir).unlink(missing_ok=True)
+                        done_count += 1
+                        if progress is not None:
+                            progress(before + done_count, len(chunks))
+                    else:
+                        reason = (
+                            "clean failure"
+                            if slot.process.exitcode == _EXIT_FAILURE
+                            else f"worker crash (exit {slot.process.exitcode})"
+                        )
+                        requeue(lease.chunk, slot.attempt, reason)
+                elif tick > lease.deadline_tick:
+                    # Logical heartbeat deadline expired: the worker is
+                    # hung.  Kill it and re-lease the chunk.
+                    slot.process.terminate()
+                    slot.process.join(timeout=5.0)
+                    if slot.process.is_alive():
+                        slot.process.kill()
+                        slot.process.join()
+                    del active[owner]
+                    free_owners.append(owner)
+                    free_owners.sort()
+                    result.expired_leases += 1
+                    requeue(lease.chunk, slot.attempt, "lease expired (hang)")
+            if active or (queue and queue[0][0] > tick):
+                time.sleep(policy.poll_interval)
+    finally:
+        for slot in active.values():
+            slot.process.terminate()
+            slot.process.join(timeout=5.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+
+    result.merge = merge_worker_stores(state)
+    result.completed_after = len(state.completed_chunks)
+    _cleanup_if_complete(state, len(chunks))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Healing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HealReport:
+    """Outcome of one :func:`heal_campaign` call."""
+
+    state: CampaignState
+    merge: MergeReport
+    healed_chunks: list[int] = field(default_factory=list)
+    cleared_leases: list[int] = field(default_factory=list)
+    missing_chunks: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.missing_chunks == 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.merge.describe()}; healed {len(self.healed_chunks)} "
+            f"abandoned chunk(s), cleared {len(self.cleared_leases)} stale "
+            f"lease(s), {self.missing_chunks} chunk(s) still missing"
+        )
+
+
+def heal_campaign(
+    spec: ScenarioSpec,
+    store: CampaignStore | str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> HealReport:
+    """Recover a campaign whose fabric coordinator died mid-run.
+
+    Three passes, each durable on its own:
+
+    1. **merge** every surviving per-worker store into the canonical one
+       (crash-after-append chunks and torn worker tails surface here);
+    2. **re-evaluate** every leased-but-missing chunk in the healing
+       parent — the abandoned/expired leases name their exact
+       ``[start, stop)`` ranges, so no chunk plan is needed to find them;
+    3. **clear** lease files whose chunks are now canonical.
+
+    Chunks that were never leased (the coordinator died before sharding
+    that far) are reported as ``missing_chunks``; ``scenarios resume`` or
+    a fresh fabric run completes them.
+    """
+    if isinstance(store, (str, Path)):
+        store = CampaignStore(store)
+    state = store.campaign(spec)
+    merged = merge_worker_stores(state)
+    report = HealReport(state=state, merge=merged)
+
+    leases = read_leases(state)
+    stale = [lease for lease in leases if lease.chunk not in state.completed_chunks]
+    if stale:
+        heal_store = CampaignState(worker_directory(state, _HEAL_OWNER), spec)
+        for lease in stale:
+            if lease.chunk not in heal_store.completed_chunks:
+                rows = evaluate_range(spec, lease.start, lease.stop)
+                heal_store.append_chunk(lease.chunk, lease.start, lease.stop, rows)
+            report.healed_chunks.append(lease.chunk)
+        healed_merge = state.merge(heal_store)
+        report.merge.added.extend(healed_merge.added)
+        report.merge.duplicates.extend(healed_merge.duplicates)
+        report.merge.rewritten = report.merge.rewritten or healed_merge.rewritten
+    report.merge.total_chunks = len(state.completed_chunks)
+
+    leases_dir = lease_directory(state)
+    for lease in leases:
+        if lease.chunk in state.completed_chunks:
+            lease.path(leases_dir).unlink(missing_ok=True)
+            report.cleared_leases.append(lease.chunk)
+
+    total = len(plan_chunks(spec.family.count, chunk_size))
+    report.missing_chunks = max(0, total - len(state.completed_chunks))
+    _cleanup_if_complete(state, total)
+    return report

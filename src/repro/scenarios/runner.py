@@ -61,6 +61,8 @@ __all__ = [
     "NOISE_FACTORIES",
     "CampaignProgress",
     "aggregate_figure",
+    "evaluate_chunk",
+    "evaluate_range",
     "plan_chunks",
     "run_campaign",
 ]
@@ -157,7 +159,7 @@ def _evaluate_probe_chunk(
     return rows
 
 
-def _evaluate_chunk(
+def evaluate_chunk(
     spec: ScenarioSpec,
     descriptor: tuple[int, int, np.ndarray, np.ndarray, np.ndarray | None],
 ) -> list[dict]:
@@ -259,6 +261,26 @@ def _evaluate_chunk(
     return rows
 
 
+#: Backward-compatible alias: the chunk evaluator predates the fabric's
+#: public worker entry points.
+_evaluate_chunk = evaluate_chunk
+
+
+def evaluate_range(spec: ScenarioSpec, start: int, stop: int) -> list[dict]:
+    """Evaluate platforms ``[start, stop)`` of a spec, self-contained.
+
+    The fabric's worker entry point: a worker process holds only the spec
+    and a lease's platform range — it re-samples the family's factor
+    tables itself (deterministic in the spec, vectorised, cheap next to a
+    chunk evaluation) and runs the shared chunk evaluator, so a chunk
+    evaluated by any worker, on any machine, yields the exact rows the
+    single-writer runner would have persisted.
+    """
+    table = sample_factors(spec.family)
+    view = table.rows(start, stop)
+    return evaluate_chunk(spec, (start, stop, view.comm, view.comp, view.ret))
+
+
 @dataclass
 class CampaignProgress:
     """Outcome of one :func:`run_campaign` call (possibly partial)."""
@@ -327,7 +349,7 @@ def run_campaign(
     if pending:
         table = sample_factors(spec.family)
         group_size = max(resolve_jobs(jobs), 1)
-        worker = partial(_evaluate_chunk, spec)
+        worker = partial(evaluate_chunk, spec)
         # One pool for the whole campaign: chunk groups reuse the workers
         # instead of paying process spawn + numpy import per group.
         pool = ProcessPoolExecutor(max_workers=group_size) if group_size > 1 else None

@@ -44,7 +44,13 @@ every bit.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import re
+import shutil
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -53,7 +59,58 @@ import numpy as np
 from repro.exceptions import ExperimentError
 from repro.scenarios.spec import ScenarioSpec, spec_hash
 
-__all__ = ["CampaignState", "CampaignStore", "aggregate_rows"]
+__all__ = [
+    "CampaignState",
+    "CampaignStore",
+    "MergeReport",
+    "TornTailRecovery",
+    "aggregate_rows",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class TornTailRecovery:
+    """What :meth:`CampaignState._load` dropped (or repaired) on open.
+
+    ``kind`` is ``"torn-tail"`` when a truncated trailing record was cut
+    away (a crash mid-append) or ``"missing-newline"`` when only the final
+    newline was missing and got repaired in place.  ``chunk_index`` is the
+    chunk the dropped record claimed to hold, when that much of the line
+    survived — the chunk that will be re-evaluated on resume.
+    """
+
+    kind: str
+    byte_offset: int
+    dropped_bytes: int
+    chunk_index: int | None = None
+
+    def describe(self) -> str:
+        if self.kind == "missing-newline":
+            return f"repaired missing final newline at byte {self.byte_offset}"
+        chunk = f" of chunk {self.chunk_index}" if self.chunk_index is not None else ""
+        return (
+            f"dropped torn tail{chunk}: {self.dropped_bytes} bytes "
+            f"at byte offset {self.byte_offset} (chunk will be re-evaluated)"
+        )
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one :meth:`CampaignState.merge` call."""
+
+    added: list[int] = field(default_factory=list)
+    duplicates: list[int] = field(default_factory=list)
+    rewritten: bool = False
+    total_chunks: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"merged {len(self.added)} new chunk(s), "
+            f"{len(self.duplicates)} duplicate(s) skipped, "
+            f"{self.total_chunks} total"
+        )
 
 
 class _ColumnAccumulator:
@@ -118,6 +175,11 @@ class CampaignState:
         self._ranges: dict[int, tuple[int, int]] = {}
         self._row_counts: dict[int, int] = {}
         self._spans: dict[int, tuple[int, int]] = {}
+        #: Set when opening the store recovered from a torn write; the
+        #: diagnostic names the byte offset and chunk index it dropped so
+        #: ``scenarios show`` (and logs) can report it instead of the old
+        #: silent truncation.
+        self.recovered_tail: TornTailRecovery | None = None
         self._load()
 
     def _load(self) -> None:
@@ -141,6 +203,7 @@ class CampaignState:
         # few ints per chunk, never the rows themselves.
         size = os.path.getsize(self.chunks_path)
         truncate_at: int | None = None
+        torn_line: str | None = None
         ends_with_newline = True
         offset = 0
         with open(self.chunks_path, "rb") as handle:
@@ -162,6 +225,7 @@ class CampaignState:
                         # the torn write would glue two records together);
                         # the chunk is simply re-run.
                         truncate_at = line_start
+                        torn_line = line
                         break
                     raise ExperimentError(
                         f"corrupt (non-tail) line {number + 1} in {self.chunks_path}"
@@ -177,12 +241,23 @@ class CampaignState:
         if truncate_at is not None:
             with open(self.chunks_path, "r+b") as handle:
                 handle.truncate(truncate_at)
+            self.recovered_tail = TornTailRecovery(
+                kind="torn-tail",
+                byte_offset=truncate_at,
+                dropped_bytes=size - truncate_at,
+                chunk_index=_torn_chunk_index(torn_line),
+            )
+            logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
         elif size and not ends_with_newline:
             # No torn tail; a final record missing only its newline (flush
             # raced the kill after the JSON but before "\n") still needs
             # one before the next append.
             with open(self.chunks_path, "ab") as handle:
                 handle.write(b"\n")
+            self.recovered_tail = TornTailRecovery(
+                kind="missing-newline", byte_offset=size, dropped_bytes=0
+            )
+            logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
 
     @property
     def completed_chunks(self) -> set[int]:
@@ -199,14 +274,22 @@ class CampaignState:
 
     def chunk_rows(self, index: int) -> list[dict]:
         """Rows of one completed chunk (re-read from disk)."""
+        return json.loads(self.raw_chunk_line(index).decode("utf-8"))["rows"]
+
+    def raw_chunk_line(self, index: int) -> bytes:
+        """The exact persisted bytes of one chunk's record line.
+
+        The byte-level primitive behind :meth:`merge`: copying raw lines
+        between stores (instead of re-serialising parsed records) is what
+        makes a merged store byte-identical to a single-writer run.
+        """
         try:
             start, stop = self._spans[index]
         except KeyError:
             raise ExperimentError(f"chunk {index} is not persisted") from None
         with open(self.chunks_path, "rb") as handle:
             handle.seek(start)
-            payload = handle.read(stop - start)
-        return json.loads(payload.decode("utf-8"))["rows"]
+            return handle.read(stop - start)
 
     def iter_chunk_rows(self) -> Iterator[tuple[int, list[dict]]]:
         """Stream ``(index, rows)`` per completed chunk, in chunk order.
@@ -247,6 +330,105 @@ class CampaignState:
         self._row_counts[index] = len(rows)
         self._spans[index] = (span_stop - len(payload), span_stop)
 
+    def merge(self, *sources: "CampaignState | str | Path") -> MergeReport:
+        """Fold other stores of the *same spec* into this one.
+
+        The multi-writer primitive of the campaign fabric: every worker
+        writes an isolated per-worker store, and the coordinator merges
+        them into the canonical one.  Semantics:
+
+        * **spec-hash-checked** — a source holding a different spec's
+          results is rejected loudly, never silently mixed;
+        * **idempotent and duplicate-tolerant** — a chunk index present in
+          several stores with byte-identical records (the normal outcome
+          of a retried chunk: chunk results are deterministic in the spec)
+          is accepted once; *divergent* duplicates are rejected loudly;
+        * **overlap-checked** — two distinct chunk indices whose
+          ``[start, stop)`` platform ranges overlap (chunk-size drift
+          between workers) are rejected loudly;
+        * **canonical byte layout** — when anything new is merged, the
+          whole file is rewritten atomically (temp file + fsync +
+          ``os.replace``) with chunks in index order, raw record lines
+          copied verbatim, so the merged ``chunks.jsonl`` is byte-identical
+          to the one an uninterrupted single-writer run would have
+          produced.
+        """
+        own_hash = spec_hash(self.spec)
+        accepted_lines: dict[int, bytes] = {}
+        accepted_ranges = dict(self._ranges)
+        report = MergeReport()
+        for source in sources:
+            if isinstance(source, (str, Path)):
+                source = CampaignState(Path(source), self.spec)
+            if spec_hash(source.spec) != own_hash:
+                raise ExperimentError(
+                    f"cannot merge {source.directory}: it holds results of spec "
+                    f"{spec_hash(source.spec)} ({source.spec.name!r}), not "
+                    f"{own_hash} ({self.spec.name!r})"
+                )
+            for index in sorted(source._ranges):
+                start, stop = source._ranges[index]
+                if index in accepted_ranges:
+                    known = (
+                        accepted_lines[index]
+                        if index in accepted_lines
+                        else self.raw_chunk_line(index)
+                    )
+                    if source.raw_chunk_line(index) != known:
+                        raise ExperimentError(
+                            f"divergent duplicate chunk {index} in {source.directory}: "
+                            f"its record differs from the one already merged — "
+                            f"refusing to pick silently"
+                        )
+                    report.duplicates.append(index)
+                    continue
+                for other, (o_start, o_stop) in accepted_ranges.items():
+                    if start < o_stop and stop > o_start:
+                        raise ExperimentError(
+                            f"chunk {index} [{start}, {stop}) of {source.directory} "
+                            f"overlaps chunk {other} [{o_start}, {o_stop}); "
+                            f"chunk-size drift between stores is not mergeable"
+                        )
+                accepted_lines[index] = source.raw_chunk_line(index)
+                accepted_ranges[index] = (start, stop)
+                report.added.append(index)
+        if accepted_lines:
+            own_lines = {index: self.raw_chunk_line(index) for index in self._ranges}
+            own_lines.update(accepted_lines)
+            self._rewrite_sorted(own_lines)
+            report.rewritten = True
+        report.total_chunks = len(self._ranges)
+        return report
+
+    def _rewrite_sorted(self, lines: Mapping[int, bytes]) -> None:
+        """Atomically replace ``chunks.jsonl`` with records in index order.
+
+        The append path stays append-only; only :meth:`merge` compacts, and
+        it does so crash-safely: a full temp file is fsynced first, then
+        ``os.replace`` swaps it in (a crash leaves either the old file or
+        the new one, never a mix), then the directory entry is fsynced.
+        """
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".chunks-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for index in sorted(lines):
+                    handle.write(lines[index])
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, self.chunks_path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+        directory_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+        self._load()
+
     def rows(self) -> list[dict]:
         """Every persisted row, in chunk order (materialised; prefer
         :meth:`iter_chunk_rows` / :meth:`aggregate` for mega-campaigns)."""
@@ -268,59 +450,132 @@ class CampaignState:
         return accumulator.statistics(quantiles)
 
     def export_npz(self, path: str | Path, compress: bool = True) -> dict:
-        """Columnar ``.npz`` export of the persisted rows.
+        """Columnar ``.npz`` export of the persisted rows, memory O(chunk).
 
         The archive holds ``platform`` and ``size`` index arrays, one
         float column per series (NaN where a row lacks the series), and
-        the spec's canonical JSON under ``spec``.  Rows are streamed chunk
-        by chunk into per-chunk column arrays (the same compact layout the
-        aggregator uses — no boxed per-value Python objects survive a
-        chunk); returns a small summary dict (rows, series, path).  The
-        reported path always carries the ``.npz`` suffix ``np.savez``
-        would silently append.
+        the spec's canonical JSON under ``spec``.  The total row count is
+        known from the index, so every column is **preallocated on disk**
+        as a ``.npy`` memmap and filled chunk by chunk — the parent never
+        holds more than one chunk's rows (plus the memmap pages being
+        written), however large the campaign.  The finished ``.npy``
+        members are then streamed into the ``.npz`` zip container, which
+        ``np.load`` reads exactly as it reads a ``np.savez`` archive.
+        Returns a small summary dict (rows, series, path); the reported
+        path always carries the ``.npz`` suffix ``np.savez`` would
+        silently append.
         """
         path = Path(path)
         if path.suffix != ".npz":
             # np.savez appends ".npz" itself; normalise up front so the
             # reported path names the file that actually exists.
             path = path.with_name(path.name + ".npz")
+        total = self.row_count()
+        if total == 0:
+            # Nothing persisted: the tiny constant-size archive needs no
+            # streaming machinery.
+            writer = np.savez_compressed if compress else np.savez
+            writer(
+                path,
+                platform=np.empty(0, dtype=np.int64),
+                size=np.empty(0, dtype=np.int64),
+                spec=np.array(self.spec.to_json(indent=None)),
+            )
+            return {"path": str(path), "rows": 0, "series": []}
+
         nan = float("nan")
-        platforms: list[np.ndarray] = []
-        sizes: list[np.ndarray] = []
-        columns: dict[str, list[np.ndarray]] = {}
-        chunk_lengths: list[int] = []
-        total = 0
-        for _, chunk in self.iter_chunk_rows():
-            platforms.append(np.array([int(row["platform"]) for row in chunk], dtype=np.int64))
-            # int64 for matrix-size grids, float64 for bus/probe grids —
-            # chunks of one campaign always agree on the type.
-            sizes.append(np.asarray([row["size"] for row in chunk]))
-            for row in chunk:
-                for series in row["values"]:
-                    if series not in columns:
-                        # Back-fill the chunks seen before this series
-                        # appeared with NaN blocks.
-                        columns[series] = [np.full(length, nan) for length in chunk_lengths]
-            for series, blocks in columns.items():
-                blocks.append(
-                    np.array([float(row["values"].get(series, nan)) for row in chunk])
-                )
-            chunk_lengths.append(len(chunk))
-            total += len(chunk)
-        arrays: dict[str, np.ndarray] = {
-            "platform": np.concatenate(platforms) if platforms else np.empty(0, dtype=np.int64),
-            "size": np.concatenate(sizes) if sizes else np.empty(0, dtype=np.int64),
-            "spec": np.array(self.spec.to_json(indent=None)),
-        }
-        for series, blocks in columns.items():
-            if series in arrays:
-                raise ExperimentError(
-                    f"series name {series!r} collides with an index column"
-                )
-            arrays[series] = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
-        writer = np.savez_compressed if compress else np.savez
-        writer(path, **arrays)
+        staging = Path(tempfile.mkdtemp(dir=path.parent, prefix=".npz-stage-"))
+        try:
+            member = _MemberAllocator(staging, total)
+            platform_column = member.allocate("platform", np.int64)
+            size_column = None
+            columns: dict[str, np.memmap] = {}
+            filled = 0
+            for _, chunk in self.iter_chunk_rows():
+                count = len(chunk)
+                platform_column[filled : filled + count] = [
+                    int(row["platform"]) for row in chunk
+                ]
+                # int64 for matrix-size grids, float64 for bus/probe grids —
+                # chunks of one campaign always agree on the type.
+                sizes = np.asarray([row["size"] for row in chunk])
+                if size_column is None:
+                    size_column = member.allocate(
+                        "size", np.int64 if sizes.dtype.kind == "i" else np.float64
+                    )
+                size_column[filled : filled + count] = sizes
+                for row in chunk:
+                    for series in row["values"]:
+                        if series not in columns:
+                            if series in ("platform", "size", "spec"):
+                                raise ExperimentError(
+                                    f"series name {series!r} collides with an index column"
+                                )
+                            # Back-fill the rows streamed before this
+                            # series appeared with NaN (on disk, not in
+                            # parent memory).
+                            column = member.allocate(series, np.float64)
+                            column[:filled] = nan
+                            columns[series] = column
+                for series, column in columns.items():
+                    column[filled : filled + count] = [
+                        float(row["values"].get(series, nan)) for row in chunk
+                    ]
+                filled += count
+            np.save(staging / "spec.npy", np.array(self.spec.to_json(indent=None)))
+            member.finalise()
+            compression = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
+            with zipfile.ZipFile(path, "w", compression) as archive:
+                for name in member.names() + ["spec"]:
+                    archive.write(staging / f"{name}.npy", arcname=f"{name}.npy")
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
         return {"path": str(path), "rows": total, "series": sorted(columns)}
+
+
+class _MemberAllocator:
+    """Preallocated on-disk ``.npy`` columns for the streaming export.
+
+    Every column is an ``open_memmap`` of the full (index-known) row
+    count, created in a staging directory and filled chunk by chunk —
+    the RAM footprint is the pages being written, not the columns.
+    """
+
+    def __init__(self, staging: Path, total: int) -> None:
+        self.staging = staging
+        self.total = total
+        self._columns: dict[str, np.memmap] = {}
+
+    def allocate(self, name: str, dtype) -> np.memmap:
+        if os.sep in name or (os.altsep and os.altsep in name) or "\x00" in name:
+            raise ExperimentError(
+                f"series name {name!r} cannot be exported (path separator)"
+            )
+        column = np.lib.format.open_memmap(
+            self.staging / f"{name}.npy", mode="w+", dtype=dtype, shape=(self.total,)
+        )
+        self._columns[name] = column
+        return column
+
+    def names(self) -> list[str]:
+        return list(self._columns)
+
+    def finalise(self) -> None:
+        """Flush every memmap so the staged files are complete on disk."""
+        for column in self._columns.values():
+            column.flush()
+
+
+def _torn_chunk_index(torn_line: str | None) -> int | None:
+    """Best-effort chunk index of a truncated record line.
+
+    The append path serialises with ``sort_keys=True``, so ``"chunk": N``
+    is the first key and survives all but the shortest torn writes.
+    """
+    if not torn_line:
+        return None
+    match = re.search(r'"chunk"\s*:\s*(\d+)', torn_line)
+    return int(match.group(1)) if match else None
 
 
 class CampaignStore:

@@ -333,3 +333,117 @@ class TestScenariosCommands:
         monkeypatch.chdir(tmp_path)
         assert main(["scenarios", "show", "fig10", "--store", str(tmp_path / "s")]) == 0
         assert '"name": "fig10"' in capsys.readouterr().out
+
+
+class TestFabricCommands:
+    """The fault-tolerant fabric through the CLI: --workers/--faults on
+    run/resume, the heal and merge verbs, and the show diagnostics."""
+
+    @pytest.fixture()
+    def tiny_space(self, tmp_path):
+        from repro.scenarios.spec import named_space
+
+        spec = named_space("fig12").derive(
+            name="cli-fabric", count=6, matrix_sizes=(40, 120), noise=None
+        )
+        path = tmp_path / "space.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        return spec, path, tmp_path / "store"
+
+    def test_run_with_workers_matches_single_writer_bytes(self, capsys, tiny_space, tmp_path):
+        from repro.scenarios.spec import spec_hash
+
+        spec, path, store = tiny_space
+        single = tmp_path / "single"
+        code = main(
+            ["scenarios", "run", str(path), "--store", str(single), "--chunk-size", "2"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "scenarios", "run", str(path),
+                "--store", str(store), "--chunk-size", "2", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "chunks: 3/3 complete" in capsys.readouterr().out
+        reference = (single / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        assert (store / spec_hash(spec) / "chunks.jsonl").read_bytes() == reference
+
+    def test_faults_requires_workers(self, tiny_space):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "run", str(path), "--store", str(store),
+                 "--faults", "crash-pre@0"]
+            )
+
+    def test_workers_must_be_positive(self, tiny_space):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "run", str(path), "--store", str(store), "--workers", "0"]
+            )
+
+    def test_chaos_run_then_heal_completes_campaign(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        code = main(
+            [
+                "scenarios", "run", str(path),
+                "--store", str(store), "--chunk-size", "2", "--workers", "2",
+                "--faults", "crash-pre@0,abandon@2", "--chunk-timeout", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chunks: 2/3 complete" in out
+        assert "fabric: " in out  # the crash-pre retry is reported
+        assert "abandoned lease(s) on chunk(s) [2]" in out
+        assert "scenarios heal" in out
+
+        # show surfaces the outstanding lease before healing.
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "outstanding leases: 2" in out
+        assert "recover with 'scenarios heal'" in out
+
+        code = main(
+            ["scenarios", "heal", str(path), "--store", str(store), "--chunk-size", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healed 1 abandoned chunk(s)" in out
+        assert "still incomplete" not in out
+
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "persisted scenarios: 12 of 12" in out
+        assert "outstanding leases" not in out
+
+    def test_merge_verb_on_clean_campaign_is_a_no_op(self, capsys, tiny_space):
+        spec, path, store = tiny_space
+        assert main(["scenarios", "run", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "merge", str(path), "--store", str(store)]) == 0
+        assert "merged 0 new chunk(s)" in capsys.readouterr().out
+
+    def test_heal_requires_prior_campaign(self, tiny_space):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(["scenarios", "heal", str(path), "--store", str(store)])
+
+    def test_show_reports_torn_tail_recovery(self, capsys, tiny_space):
+        from repro.scenarios.spec import spec_hash
+
+        spec, path, store = tiny_space
+        assert main(
+            ["scenarios", "run", str(path), "--store", str(store), "--chunk-size", "2"]
+        ) == 0
+        capsys.readouterr()
+        chunks_path = store / spec_hash(spec) / "chunks.jsonl"
+        with open(chunks_path, "a", encoding="utf-8") as handle:
+            handle.write('{"chunk": 3, "start": 6, "rows": [{"pla')
+        assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered on open: dropped torn tail of chunk 3" in out

@@ -1,0 +1,371 @@
+"""Tests for the fault-tolerant multi-worker campaign fabric.
+
+The load-bearing guarantee: for every deterministic fault-injection
+schedule in the matrix — crash-before-fsync (torn write), crash-after-
+append, hang + lease expiry, poisoned chunk, abandoned lease — a
+multi-worker run (followed by heal + merge where the schedule leaves
+leftovers) produces a ``chunks.jsonl`` **byte-identical** to an
+uninterrupted single-writer campaign, and bit-identical aggregates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.fabric import (
+    ChunkFault,
+    FaultInjector,
+    FaultPolicy,
+    Lease,
+    heal_campaign,
+    lease_directory,
+    merge_worker_stores,
+    read_leases,
+    run_fabric_campaign,
+    worker_directory,
+)
+from repro.scenarios.runner import evaluate_range, run_campaign
+from repro.scenarios.spec import named_space, spec_hash
+from repro.scenarios.store import CampaignState
+
+
+def small_spec(name="fabric-small", count=6, sizes=(40, 120), noise=None):
+    return named_space("fig12").derive(name=name, count=count, matrix_sizes=sizes, noise=noise)
+
+
+def fast_policy(**overrides):
+    defaults = dict(
+        max_attempts=3,
+        backoff_base=0.01,
+        backoff_factor=2.0,
+        backoff_cap=0.05,
+        timeout=10.0,
+        poll_interval=0.01,
+    )
+    defaults.update(overrides)
+    return FaultPolicy(**defaults)
+
+
+def store_bytes(root, spec):
+    return (root / spec_hash(spec) / "chunks.jsonl").read_bytes()
+
+
+class TestFaultPolicy:
+    """The retry/backoff policy in isolation (no processes involved)."""
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = FaultPolicy(
+            max_attempts=4, backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.3
+        )
+        assert policy.backoff_schedule() == (0.1, 0.2, 0.3)
+        assert policy.backoff(10) == 0.3  # capped
+
+    def test_run_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        calls: list[int] = []
+
+        def attempt(attempt_index):
+            calls.append(attempt_index)
+            if attempt_index < 2:
+                raise ExperimentError("flaky")
+            return "ok"
+
+        policy = FaultPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.run(attempt, sleep=sleeps.append) == "ok"
+        assert calls == [0, 1, 2]
+        assert sleeps == [0.1, 0.2]
+
+    def test_exhausted_attempts_escalate_to_degradation(self):
+        sleeps: list[float] = []
+
+        def attempt(attempt_index):
+            raise ExperimentError("always broken")
+
+        policy = FaultPolicy(max_attempts=3, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.run(attempt, degrade=lambda: "degraded", sleep=sleeps.append) == "degraded"
+        # The full backoff budget was spent before degrading.
+        assert sleeps == list(policy.backoff_schedule())
+
+    def test_exhausted_attempts_without_degradation_raise_last_error(self):
+        policy = FaultPolicy(max_attempts=2, backoff_base=0.0)
+        with pytest.raises(ExperimentError, match="always broken"):
+            policy.run(
+                lambda attempt: (_ for _ in ()).throw(ExperimentError("always broken")),
+                sleep=lambda delay: None,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="max_attempts"):
+            FaultPolicy(max_attempts=0)
+        with pytest.raises(ExperimentError, match="backoff"):
+            FaultPolicy(backoff_factor=0.5)
+        with pytest.raises(ExperimentError, match="timeout"):
+            FaultPolicy(timeout=0.0)
+
+    def test_lease_ttl_ticks(self):
+        assert FaultPolicy(timeout=1.0, poll_interval=0.1).lease_ttl_ticks == 10
+
+
+class TestFaultInjector:
+    def test_from_spec_explicit(self):
+        injector = FaultInjector.from_spec("crash-pre@2,hang@1:1,poison@3")
+        assert injector.worker_fault(2, 0) == "crash-pre"
+        assert injector.worker_fault(2, 1) is None  # crash fires once
+        assert injector.worker_fault(1, 0) is None
+        assert injector.worker_fault(1, 1) == "hang"
+        # Poison defaults to every attempt.
+        assert injector.worker_fault(3, 0) == "poison"
+        assert injector.worker_fault(3, 5) == "poison"
+
+    def test_from_spec_abandon_is_coordinator_side(self):
+        injector = FaultInjector.from_spec("abandon@4")
+        assert injector.coordinator_fault(4) == "abandon"
+        assert injector.worker_fault(4, 0) is None
+
+    def test_from_spec_rejects_unknown_kind_and_bad_target(self):
+        with pytest.raises(ExperimentError, match="unknown fault kind"):
+            FaultInjector.from_spec("meteor@1")
+        with pytest.raises(ExperimentError, match="kind@chunk"):
+            FaultInjector.from_spec("crash-pre")
+        with pytest.raises(ExperimentError, match="invalid fault target"):
+            FaultInjector.from_spec("hang@x")
+
+    def test_seeded_schedule_is_deterministic_and_rate_bounded(self):
+        injector = FaultInjector.seeded(7, 0.5)
+        again = FaultInjector.seeded(7, 0.5)
+        schedule = [injector.worker_fault(chunk, 0) for chunk in range(100)]
+        assert schedule == [again.worker_fault(chunk, 0) for chunk in range(100)]
+        faulted = sum(1 for kind in schedule if kind)
+        assert 20 <= faulted <= 80  # ~rate, deterministic either way
+        assert [injector.worker_fault(c, 0) for c in range(100)] == schedule
+
+    def test_seeded_rate_validation(self):
+        with pytest.raises(ExperimentError, match="rate"):
+            FaultInjector.seeded(1, 1.5)
+
+    def test_chunk_fault_rejects_unknown_kind(self):
+        with pytest.raises(ExperimentError, match="unknown fault kind"):
+            ChunkFault(kind="nope", chunk=0)
+
+
+class TestLease:
+    def test_round_trip(self, tmp_path):
+        lease = Lease(chunk=3, start=6, stop=8, owner="w1", epoch=2,
+                      granted_tick=10, deadline_tick=110)
+        lease.write(tmp_path)
+        assert Lease.read(lease.path(tmp_path)) == lease
+
+
+class TestFabricByteIdentity:
+    """Every injected schedule converges to the single-writer bytes."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        spec = small_spec()
+        root = tmp_path_factory.mktemp("reference")
+        progress = run_campaign(spec, root, chunk_size=2)
+        assert progress.finished
+        return spec, store_bytes(root, spec), progress.aggregate()
+
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            None,
+            "crash-pre@0",
+            "crash-post@1",
+            "poison@2",
+            "crash-pre@0,crash-post@1,poison@2",
+        ],
+        ids=["clean", "crash-before-fsync", "crash-after-append", "poisoned", "combined"],
+    )
+    def test_fabric_matches_single_writer(self, tmp_path, reference, faults):
+        spec, expected, aggregates = reference
+        progress = run_fabric_campaign(
+            spec, tmp_path, workers=2, chunk_size=2, policy=fast_policy(), faults=faults
+        )
+        assert progress.finished
+        assert store_bytes(tmp_path, spec) == expected
+        assert progress.aggregate() == aggregates
+        # A finished fabric campaign leaves no worker stores or leases.
+        assert not (progress.state.directory / "workers").exists()
+        assert not lease_directory(progress.state).exists()
+
+    def test_hang_expires_lease_and_converges(self, tmp_path, reference):
+        spec, expected, _ = reference
+        progress = run_fabric_campaign(
+            spec,
+            tmp_path,
+            workers=2,
+            chunk_size=2,
+            policy=fast_policy(timeout=0.3),
+            faults="hang@0",
+        )
+        assert progress.finished
+        assert progress.expired_leases >= 1
+        assert progress.retries >= 1
+        assert store_bytes(tmp_path, spec) == expected
+
+    def test_poisoned_chunk_degrades_to_parent(self, tmp_path, reference):
+        spec, expected, _ = reference
+        progress = run_fabric_campaign(
+            spec, tmp_path, workers=2, chunk_size=2, policy=fast_policy(), faults="poison@1"
+        )
+        assert progress.finished
+        assert progress.degraded_chunks == [1]
+        # Every worker attempt was spent before degrading.
+        assert progress.retries == fast_policy().max_attempts
+        assert store_bytes(tmp_path, spec) == expected
+
+    def test_seeded_schedule_converges(self, tmp_path, reference):
+        spec, expected, _ = reference
+        faults = FaultInjector.seeded(3, 0.7, kinds=("crash-pre", "crash-post", "poison"))
+        progress = run_fabric_campaign(
+            spec, tmp_path, workers=3, chunk_size=2, policy=fast_policy(), faults=faults
+        )
+        assert progress.finished
+        assert store_bytes(tmp_path, spec) == expected
+
+    def test_measured_space_matches_single_writer(self, tmp_path):
+        """Noise-model campaigns (measured series) survive faults too."""
+        spec = small_spec(name="fabric-noise", noise="default")
+        single = run_campaign(spec, tmp_path / "single", chunk_size=2)
+        assert single.finished
+        progress = run_fabric_campaign(
+            spec,
+            tmp_path / "fabric",
+            workers=2,
+            chunk_size=2,
+            policy=fast_policy(),
+            faults="crash-pre@1",
+        )
+        assert progress.finished
+        assert store_bytes(tmp_path / "fabric", spec) == store_bytes(tmp_path / "single", spec)
+
+
+class TestAbandonedLeasesAndHeal:
+    def test_abandoned_lease_left_for_heal(self, tmp_path):
+        spec = small_spec()
+        progress = run_fabric_campaign(
+            spec, tmp_path, workers=2, chunk_size=2, policy=fast_policy(), faults="abandon@1"
+        )
+        assert not progress.finished
+        assert progress.abandoned_chunks == [1]
+        leases = read_leases(progress.state)
+        assert [lease.chunk for lease in leases] == [1]
+        assert leases[0].owner == "lost"
+        assert leases[0].stop - leases[0].start == 2
+
+    def test_heal_recovers_abandoned_lease_byte_identically(self, tmp_path):
+        spec = small_spec()
+        reference = run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        run_fabric_campaign(
+            spec,
+            tmp_path / "chaos",
+            workers=2,
+            chunk_size=2,
+            policy=fast_policy(),
+            faults="abandon@1,crash-post@2",
+        )
+        report = heal_campaign(spec, tmp_path / "chaos", chunk_size=2)
+        assert report.complete
+        assert report.healed_chunks == [1]
+        assert store_bytes(tmp_path / "chaos", spec) == store_bytes(tmp_path / "ref", spec)
+        assert report.state.rows() == reference.rows()
+        # Healing cleans up: no leases, no worker stores.
+        assert not lease_directory(report.state).exists()
+        assert not (report.state.directory / "workers").exists()
+
+    def test_heal_on_clean_store_is_a_no_op(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2)
+        before = store_bytes(tmp_path, spec)
+        report = heal_campaign(spec, tmp_path, chunk_size=2)
+        assert report.complete
+        assert report.healed_chunks == []
+        assert store_bytes(tmp_path, spec) == before
+
+    def test_heal_recovers_dead_coordinator_leftovers(self, tmp_path):
+        """Simulated coordinator death: canonical holds chunk 0, a worker
+        store holds chunk 1 (crash-after-append), chunk 2 is leased but
+        lost.  Heal must reassemble the single-writer bytes."""
+        spec = small_spec()
+        reference = run_campaign(spec, tmp_path / "ref", chunk_size=2)
+
+        from repro.scenarios.store import CampaignStore
+
+        state = CampaignStore(tmp_path / "dead").campaign(spec)
+        state.append_chunk(0, 0, 2, evaluate_range(spec, 0, 2))
+        worker = CampaignState(worker_directory(state, "w0"), spec)
+        worker.append_chunk(1, 2, 4, evaluate_range(spec, 2, 4))
+        lease_directory(state).mkdir(parents=True)
+        Lease(chunk=2, start=4, stop=6, owner="w1", epoch=0,
+              granted_tick=1, deadline_tick=2).write(lease_directory(state))
+
+        report = heal_campaign(spec, tmp_path / "dead", chunk_size=2)
+        assert report.complete
+        assert report.healed_chunks == [2]
+        assert store_bytes(tmp_path / "dead", spec) == store_bytes(tmp_path / "ref", spec)
+        assert report.state.rows() == reference.rows()
+
+    def test_fabric_resumes_after_partial_run(self, tmp_path):
+        """max_chunks-bounded fabric run + single-writer resume ==
+        uninterrupted bytes (the two writers interleave cleanly)."""
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        partial = run_fabric_campaign(
+            spec, tmp_path / "mixed", workers=2, chunk_size=2,
+            policy=fast_policy(), max_chunks=2,
+        )
+        assert not partial.finished and partial.completed_after == 2
+        resumed = run_campaign(spec, tmp_path / "mixed", chunk_size=2)
+        assert resumed.finished
+        assert store_bytes(tmp_path / "mixed", spec) == store_bytes(tmp_path / "ref", spec)
+
+    def test_fabric_continues_single_writer_campaign(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        run_campaign(spec, tmp_path / "mixed", chunk_size=2, max_chunks=1)
+        progress = run_fabric_campaign(
+            spec, tmp_path / "mixed", workers=2, chunk_size=2, policy=fast_policy()
+        )
+        assert progress.finished
+        assert store_bytes(tmp_path / "mixed", spec) == store_bytes(tmp_path / "ref", spec)
+
+    def test_fabric_rejects_chunk_size_drift(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2, max_chunks=1)
+        with pytest.raises(ExperimentError, match="chunk size"):
+            run_fabric_campaign(spec, tmp_path, workers=2, chunk_size=3, policy=fast_policy())
+
+    def test_fabric_validates_worker_count(self, tmp_path):
+        with pytest.raises(ExperimentError, match="workers"):
+            run_fabric_campaign(small_spec(), tmp_path, workers=0)
+
+
+class TestMergeWorkerStores:
+    def test_merge_picks_up_worker_leftovers(self, tmp_path):
+        spec = small_spec()
+        from repro.scenarios.store import CampaignStore
+
+        state = CampaignStore(tmp_path).campaign(spec)
+        worker = CampaignState(worker_directory(state, "w3"), spec)
+        worker.append_chunk(0, 0, 2, evaluate_range(spec, 0, 2))
+        report = merge_worker_stores(state)
+        assert report.added == [0]
+        assert state.completed_chunks == {0}
+
+    def test_merge_recovers_torn_worker_tail(self, tmp_path):
+        """A worker killed mid-append leaves a torn tail in *its* store;
+        the merge path truncates it on open and merges the survivors."""
+        spec = small_spec()
+        from repro.scenarios.store import CampaignStore
+
+        state = CampaignStore(tmp_path).campaign(spec)
+        worker = CampaignState(worker_directory(state, "w0"), spec)
+        worker.append_chunk(0, 0, 2, evaluate_range(spec, 0, 2))
+        with open(worker.chunks_path, "a", encoding="utf-8") as handle:
+            handle.write('{"chunk": 1, "start": 2, "rows": [{"pla')
+        report = merge_worker_stores(state)
+        assert report.added == [0]
+        assert state.completed_chunks == {0}

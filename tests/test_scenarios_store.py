@@ -1,0 +1,282 @@
+"""Store-level tests for the fabric-era ``CampaignState`` features.
+
+Covers the multi-writer merge primitive (idempotence, duplicate
+tolerance, spec-hash checks, overlap/chunk-size-drift rejection, the
+canonical sorted byte layout), the torn-tail recovery *diagnostics*
+(``recovered_tail`` reporting what was dropped and where), and the
+streaming ``export_npz`` path (chunk-at-a-time fill of preallocated
+columns: NaN backfill for late-appearing series, empty stores,
+compressed and uncompressed archives).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.runner import evaluate_range, run_campaign
+from repro.scenarios.spec import named_space, spec_hash
+from repro.scenarios.store import CampaignState, CampaignStore
+
+
+def small_spec(name="store-small", count=6, sizes=(40, 120)):
+    return named_space("fig12").derive(
+        name=name, count=count, matrix_sizes=sizes, noise=None
+    )
+
+
+def make_state(directory, spec, chunks):
+    """Build a store holding the given ``(index, start, stop)`` chunks."""
+    state = CampaignState(directory, spec)
+    for index, start, stop in chunks:
+        state.append_chunk(index, start, stop, evaluate_range(spec, start, stop))
+    return state
+
+
+class TestMerge:
+    def test_merge_reassembles_single_writer_bytes(self, tmp_path):
+        spec = small_spec()
+        reference = run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        canonical = make_state(tmp_path / "canonical", spec, [(1, 2, 4)])
+        worker_a = make_state(tmp_path / "a", spec, [(2, 4, 6)])
+        worker_b = make_state(tmp_path / "b", spec, [(0, 0, 2)])
+
+        report = canonical.merge(worker_a, worker_b)
+        assert sorted(report.added) == [0, 2]
+        assert report.rewritten
+        assert report.total_chunks == 3
+        expected = (tmp_path / "ref" / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        assert canonical.chunks_path.read_bytes() == expected
+        assert canonical.rows() == reference.rows()
+
+    def test_merge_accepts_path_sources(self, tmp_path):
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        make_state(tmp_path / "worker", spec, [(1, 2, 4)])
+        report = canonical.merge(str(tmp_path / "worker"))
+        assert report.added == [1]
+
+    def test_identical_duplicates_are_idempotent(self, tmp_path):
+        """The normal retry outcome: the same chunk lands in two worker
+        stores with byte-identical records — accepted once, reported."""
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        worker_a = make_state(tmp_path / "a", spec, [(0, 0, 2), (1, 2, 4)])
+        worker_b = make_state(tmp_path / "b", spec, [(1, 2, 4)])
+
+        report = canonical.merge(worker_a, worker_b)
+        assert report.added == [1]
+        assert sorted(report.duplicates) == [0, 1]
+        assert canonical.completed_chunks == {0, 1}
+
+    def test_remerge_is_a_no_op(self, tmp_path):
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        worker = make_state(tmp_path / "w", spec, [(1, 2, 4)])
+        canonical.merge(worker)
+        before = canonical.chunks_path.read_bytes()
+
+        report = canonical.merge(worker)
+        assert report.added == []
+        assert report.duplicates == [1]
+        assert not report.rewritten
+        assert canonical.chunks_path.read_bytes() == before
+
+    def test_divergent_duplicates_are_rejected_loudly(self, tmp_path):
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        impostor = CampaignState(tmp_path / "impostor", spec)
+        rows = evaluate_range(spec, 0, 2)
+        rows[0]["values"] = dict(rows[0]["values"], forged=1.0)
+        impostor.append_chunk(0, 0, 2, rows)
+
+        with pytest.raises(ExperimentError, match="divergent duplicate chunk 0"):
+            canonical.merge(impostor)
+
+    def test_mismatched_spec_hashes_are_rejected_loudly(self, tmp_path):
+        spec = small_spec()
+        other = small_spec(name="store-other", count=8)
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        stranger = make_state(tmp_path / "stranger", other, [(1, 2, 4)])
+
+        with pytest.raises(ExperimentError, match="cannot merge"):
+            canonical.merge(stranger)
+        # Nothing was mixed in.
+        assert canonical.completed_chunks == {0}
+
+    def test_overlapping_ranges_chunk_size_drift_rejected(self, tmp_path):
+        """Distinct chunk indices with overlapping platform ranges mean
+        the stores were written with different chunk sizes."""
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        drifted = CampaignState(tmp_path / "drifted", spec)
+        drifted.append_chunk(1, 1, 4, evaluate_range(spec, 1, 4))
+
+        with pytest.raises(ExperimentError, match="chunk-size drift"):
+            canonical.merge(drifted)
+
+    def test_same_index_different_range_is_divergent(self, tmp_path):
+        spec = small_spec()
+        canonical = make_state(tmp_path / "canonical", spec, [(0, 0, 2)])
+        drifted = make_state(tmp_path / "drifted", spec, [(0, 0, 3)])
+
+        with pytest.raises(ExperimentError, match="divergent duplicate chunk 0"):
+            canonical.merge(drifted)
+
+    def test_merge_into_empty_store(self, tmp_path):
+        spec = small_spec()
+        reference = run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        canonical = CampaignStore(tmp_path / "empty").campaign(spec)
+        workers = [
+            make_state(tmp_path / f"w{i}", spec, [(i, 2 * i, 2 * i + 2)])
+            for i in range(3)
+        ]
+        report = canonical.merge(*workers)
+        assert report.added == [0, 1, 2]
+        expected = (tmp_path / "ref" / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        assert canonical.chunks_path.read_bytes() == expected
+        assert canonical.rows() == reference.rows()
+
+
+class TestTornTailDiagnostics:
+    def test_clean_store_reports_no_recovery(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path, chunk_size=2)
+        reopened = CampaignState(progress.state.directory, spec)
+        assert reopened.recovered_tail is None
+
+    def test_torn_tail_reports_offset_bytes_and_chunk(self, tmp_path, caplog):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2, max_chunks=2)
+        directory = tmp_path / spec_hash(spec)
+        clean_size = (directory / "chunks.jsonl").stat().st_size
+        torn = '{"chunk": 2, "start": 4, "rows": [{"platform"'
+        with open(directory / "chunks.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(torn)
+
+        with caplog.at_level("WARNING", logger="repro.scenarios.store"):
+            reopened = CampaignState(directory, spec)
+        recovery = reopened.recovered_tail
+        assert recovery is not None
+        assert recovery.kind == "torn-tail"
+        assert recovery.byte_offset == clean_size
+        assert recovery.dropped_bytes == len(torn.encode())
+        assert recovery.chunk_index == 2
+        assert "chunk 2" in recovery.describe()
+        assert str(clean_size) in recovery.describe()
+        assert any("torn tail" in record.message for record in caplog.records)
+        # The tail was actually truncated away.
+        assert (directory / "chunks.jsonl").stat().st_size == clean_size
+
+    def test_torn_tail_without_chunk_header_reports_unknown_chunk(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2, max_chunks=1)
+        directory = tmp_path / spec_hash(spec)
+        with open(directory / "chunks.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"chu')
+
+        reopened = CampaignState(directory, spec)
+        assert reopened.recovered_tail is not None
+        assert reopened.recovered_tail.chunk_index is None
+        assert "torn tail:" in reopened.recovered_tail.describe()
+
+    def test_missing_newline_repair_is_reported(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2, max_chunks=1)
+        directory = tmp_path / spec_hash(spec)
+        raw = (directory / "chunks.jsonl").read_bytes()
+        (directory / "chunks.jsonl").write_bytes(raw[:-1])
+
+        reopened = CampaignState(directory, spec)
+        recovery = reopened.recovered_tail
+        assert recovery is not None
+        assert recovery.kind == "missing-newline"
+        assert recovery.byte_offset == len(raw) - 1
+        assert "missing final newline" in recovery.describe()
+        # Unlike the torn tail, the record itself survived.
+        assert reopened.completed_chunks == {0}
+
+
+class TestStreamingExport:
+    def test_export_streams_without_full_column_lists(self, tmp_path, monkeypatch):
+        """The export must never materialise whole-store Python lists —
+        only per-chunk reads plus preallocated on-disk arrays."""
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=2)
+        state = progress.state
+        calls = []
+        original = CampaignState.chunk_rows
+
+        def spying(self, index):
+            calls.append(index)
+            return original(self, index)
+
+        monkeypatch.setattr(CampaignState, "chunk_rows", spying)
+        monkeypatch.setattr(
+            CampaignState, "rows", lambda self: pytest.fail("rows() materialises")
+        )
+        state.export_npz(tmp_path / "out.npz")
+        assert calls == [0, 1, 2]
+
+    def test_late_appearing_series_backfilled_with_nan(self, tmp_path):
+        """A series first seen in chunk 1 gets NaN for chunk 0's rows."""
+        spec = small_spec()
+        state = CampaignState(tmp_path / "store", spec)
+        state.append_chunk(
+            0, 0, 1, [{"platform": 0, "size": 40, "values": {"lp": 1.0}}]
+        )
+        state.append_chunk(
+            1, 1, 2, [{"platform": 1, "size": 40, "values": {"lp": 2.0, "late": 3.0}}]
+        )
+        state.export_npz(tmp_path / "out.npz")
+        with np.load(tmp_path / "out.npz") as archive:
+            assert archive["lp"].tolist() == [1.0, 2.0]
+            late = archive["late"]
+            assert np.isnan(late[0]) and late[1] == 3.0
+
+    def test_integer_sizes_export_as_integers(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=2)
+        progress.state.export_npz(tmp_path / "out.npz")
+        with np.load(tmp_path / "out.npz") as archive:
+            assert archive["size"].dtype == np.int64
+            assert archive["platform"].dtype == np.int64
+
+    def test_empty_store_exports_empty_archive(self, tmp_path):
+        spec = small_spec()
+        state = CampaignStore(tmp_path / "store").campaign(spec)
+        summary = state.export_npz(tmp_path / "out.npz")
+        assert summary["rows"] == 0
+        with np.load(tmp_path / "out.npz") as archive:
+            assert archive["platform"].size == 0
+
+    def test_uncompressed_export_round_trips(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path / "store", chunk_size=2)
+        progress.state.export_npz(tmp_path / "out.npz", compress=False)
+        rows = progress.rows()
+        with np.load(tmp_path / "out.npz") as archive:
+            assert archive["platform"].tolist() == [row["platform"] for row in rows]
+
+    def test_export_rejects_hostile_series_names(self, tmp_path):
+        """Series names become zip member names; path separators must not
+        escape the archive root."""
+        spec = small_spec()
+        state = CampaignState(tmp_path / "store", spec)
+        state.append_chunk(
+            0, 0, 1, [{"platform": 0, "size": 40, "values": {"../evil": 1.0}}]
+        )
+        with pytest.raises(ExperimentError, match="series name"):
+            state.export_npz(tmp_path / "out.npz")
+
+    def test_raw_chunk_line_round_trips_json(self, tmp_path):
+        spec = small_spec()
+        progress = run_campaign(spec, tmp_path, chunk_size=2, max_chunks=1)
+        line = progress.state.raw_chunk_line(0)
+        assert line.endswith(b"\n")
+        record = json.loads(line)
+        assert record["chunk"] == 0
+        assert record["rows"] == progress.state.chunk_rows(0)

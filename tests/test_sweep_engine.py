@@ -7,7 +7,12 @@ import pytest
 
 from repro.exceptions import ExperimentError
 from repro.experiments.common import default_noise
-from repro.experiments.sweep_engine import resolve_jobs, run_chunked, run_sweep
+from repro.experiments.sweep_engine import (
+    SweepTimeoutError,
+    resolve_jobs,
+    run_chunked,
+    run_sweep,
+)
 from repro.simulation.executor import (
     measure_heuristic,
     prepare_measurement,
@@ -31,6 +36,20 @@ def _double(value):
 
 def _indexed_doubler(chunk):
     return [(index, 2 * item) for index, item in chunk]
+
+
+def _sleepy_doubler(chunk):
+    import time
+
+    time.sleep(5.0)
+    return [(index, 2 * item) for index, item in chunk]
+
+
+def _sleep_briefly(value):
+    import time
+
+    time.sleep(0.05)
+    return 2 * value
 
 
 class TestResolveJobs:
@@ -78,6 +97,29 @@ class TestRunChunked:
 
         with pytest.raises(ExperimentError):
             run_chunked(broken, [1, 2, 3])
+
+
+class TestTimeoutAwareFutures:
+    """``timeout`` bounds a hung chunk; healthy sweeps never trip it."""
+
+    def test_hung_chunk_raises_sweep_timeout(self):
+        with pytest.raises(SweepTimeoutError) as excinfo:
+            run_chunked(_sleepy_doubler, [1, 2, 3, 4], jobs=2, timeout=0.2)
+        assert excinfo.value.pending >= 1
+        assert "timed out" in str(excinfo.value)
+
+    def test_healthy_sweep_is_untouched_by_generous_timeout(self):
+        items = list(range(6))
+        assert run_sweep(_sleep_briefly, items, jobs=2, timeout=30.0) == [
+            2 * item for item in items
+        ]
+
+    def test_timeout_is_inert_on_the_inline_path(self):
+        # jobs=1 runs inline: nothing to interrupt, timeout ignored.
+        assert run_chunked(_indexed_doubler, [5, 6], jobs=1, timeout=0.001) == [10, 12]
+
+    def test_sweep_timeout_is_an_experiment_error(self):
+        assert issubclass(SweepTimeoutError, ExperimentError)
 
 
 class TestPreparedMeasurement:
