@@ -34,14 +34,24 @@ Fault-tolerant multi-worker campaigns (the fabric)::
     repro-experiments scenarios heal mega-uniform --store results
     repro-experiments scenarios merge mega-uniform --store results
 
+Multi-machine campaigns (the detached tier, any hosts sharing one
+directory)::
+
+    repro-experiments scenarios work shared/results --space mega-uniform   # on each machine
+    repro-experiments scenarios run mega-uniform --store shared/results --detached-workers
+
 ``scenarios run`` persists every finished chunk, so an interrupted
 campaign (Ctrl-C, crash) picks up where it left off — ``resume`` is
 ``run`` that insists prior results exist.  ``--workers N`` runs the
 lease-based fabric: N worker processes with isolated stores, retry/
 backoff/timeout per chunk, and a canonical merge at the end; ``--faults``
-injects a deterministic chaos schedule (testing).  ``heal`` recovers a
-campaign whose coordinator died (merges worker stores, re-evaluates
-abandoned leases); ``merge`` folds worker stores in without healing.
+injects a deterministic chaos schedule (testing).  ``--detached-workers``
+coordinates *external* ``scenarios work`` processes instead of spawning:
+wall-clock leases with heartbeats and skew slack, epoch fencing against
+zombie writers, and an append-only ``coordinator.jsonl`` journal a
+restarted coordinator replays.  ``heal`` recovers a campaign whose
+coordinator died (merges worker stores, re-evaluates abandoned leases);
+``merge`` folds worker stores in without healing.
 Every verb works for every workload (matrix, ``bus-*`` sweeps,
 ``*-probe`` grids) and for one-port and two-port (``*-twoport``, or
 ``"one_port": false`` in a spec JSON) spaces alike; ``export`` turns a
@@ -193,7 +203,33 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             metavar="SECONDS",
-            help="per-chunk attempt timeout on the fabric (default: 60)",
+            help="per-chunk attempt timeout on the fabric (default: 60); on the "
+            "detached tier this is the lease TTL each heartbeat renews",
+        )
+        sub.add_argument(
+            "--detached-workers",
+            action="store_true",
+            help="coordinate external 'scenarios work' processes over the "
+            "shared store directory instead of spawning workers: wall-clock "
+            "leases with heartbeats, epoch fencing, and a crash-recoverable "
+            "coordinator journal",
+        )
+        sub.add_argument(
+            "--skew-slack",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock slack past a lease deadline before expiry may be "
+            "declared (detached tier; default: 2.0) — set it above the worst "
+            "clock skew between your machines",
+        )
+        sub.add_argument(
+            "--wait-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="give up coordinating detached workers after this long "
+            "(default: wait until the campaign completes)",
         )
 
     for verb, help_text in (
@@ -213,6 +249,81 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="chunk size the campaign was started with (default: 100)",
         )
+        if verb == "heal":
+            sub.add_argument(
+                "--skew-slack",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="wall-clock slack before a detached worker's lease counts "
+                "as expired (default: 2.0); live leases are left to their "
+                "workers",
+            )
+
+    work = scenarios_sub.add_parser(
+        "work",
+        help="run a detached fabric worker over a shared campaign directory: "
+        "claim chunks, heartbeat leases, append to an isolated per-worker "
+        "store until the plan is complete (SIGTERM drains gracefully)",
+    )
+    work.add_argument(
+        "store_dir",
+        metavar="DIR",
+        help="the campaign directory (…/<spec-hash>, as printed by the "
+        "coordinator) — or, with --space, the store root the other verbs use",
+    )
+    work.add_argument(
+        "--space",
+        default=None,
+        help="space name or spec JSON path; DIR is then the store root and "
+        "the campaign directory is derived from the spec hash",
+    )
+    work.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="override the family's platform count (derives a new space)",
+    )
+    work.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the family's seed (derives a new space)",
+    )
+    work.add_argument(
+        "--owner",
+        default=None,
+        metavar="ID",
+        help="worker id used for lease ownership and the per-worker store "
+        "directory (default: <hostname>-<pid>)",
+    )
+    work.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="act out a deterministic fault schedule in this worker "
+        "(kind@chunk[:attempt], random:SEED:RATE, skew:SECONDS; kinds "
+        "include partition and zombie)",
+    )
+    work.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay between claim scans when nothing was claimable "
+        "(jittered per owner; default: 0.25)",
+    )
+    work.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="work at most N claims, then exit (budgeted workers)",
+    )
+    work.add_argument(
+        "--wait",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to wait for the coordinator's campaign advert to "
+        "appear before giving up (default: 30)",
+    )
 
     show = scenarios_sub.add_parser(
         "show", help="print a space's spec and any stored progress/aggregates"
@@ -313,6 +424,31 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             )
         return 0
 
+    if args.scenarios_command == "work":
+        from repro.scenarios.detached import DEFAULT_CLAIM_POLL, work_loop
+
+        campaign_dir = Path(args.store_dir)
+        spec = None
+        if args.space is not None:
+            spec = _load_space(args.space)
+            if args.count is not None:
+                spec = spec.derive(count=args.count)
+            if args.seed is not None:
+                spec = spec.derive(seed=args.seed)
+            campaign_dir = campaign_dir / spec_hash(spec)
+        report = work_loop(
+            campaign_dir,
+            owner=args.owner,
+            faults=args.faults,
+            poll=args.poll if args.poll is not None else DEFAULT_CLAIM_POLL,
+            max_chunks=args.max_chunks,
+            wait=args.wait,
+            install_signal_handlers=True,
+            spec=spec,
+        )
+        print(report.describe())
+        return 0
+
     spec = _load_space(args.space)
     if getattr(args, "count", None) is not None:
         spec = spec.derive(count=args.count)
@@ -339,28 +475,51 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         return 0
 
     if args.scenarios_command in ("merge", "heal"):
-        from repro.scenarios.fabric import heal_campaign, merge_worker_stores
+        from repro.scenarios.fabric import DEFAULT_SKEW_SLACK, heal_campaign, merge_worker_stores
+        from repro.scenarios.runner import plan_chunks
 
+        # One normalized shape for every store-path mention (plain str, no
+        # repr) and a copy-pasteable recovery command, same as the run
+        # verb's KeyboardInterrupt path.
+        resume_hint = (
+            f"  repro-experiments scenarios resume {args.space} --store {args.store}"
+        )
+        if args.chunk_size is not None:
+            resume_hint += f" --chunk-size {args.chunk_size}"
         if not store.exists(spec):
             parser.error(
                 f"no campaign for {spec.name!r} (hash {spec_hash(spec)}) under "
-                f"{store.root}; run it first with 'scenarios run'"
+                f"store {store.root}; start one with:\n"
+                f"  repro-experiments scenarios run {args.space} --store {args.store}"
             )
         if args.scenarios_command == "merge":
             state = store.campaign(spec)
             report = merge_worker_stores(state)
             print(f"store: {state.directory}")
             print(report.describe())
+            total = len(plan_chunks(spec.family.count, args.chunk_size or DEFAULT_CHUNK_SIZE))
+            if len(state.completed_chunks) < total:
+                print(f"campaign incomplete; finish with:\n{resume_hint}")
         else:
             report = heal_campaign(
-                spec, store, chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE
+                spec,
+                store,
+                chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+                skew_slack=(
+                    args.skew_slack if args.skew_slack is not None else DEFAULT_SKEW_SLACK
+                ),
             )
             print(f"store: {report.state.directory}")
             print(report.describe())
+            if report.live_leases:
+                print(
+                    f"live lease(s) on chunk(s) {report.live_leases} were left to "
+                    "their workers; re-run heal once they finish or expire"
+                )
             if not report.complete:
                 print(
-                    "campaign still incomplete; finish the remaining chunks with "
-                    "'scenarios resume'"
+                    f"campaign still incomplete; finish the remaining chunks "
+                    f"with:\n{resume_hint}"
                 )
         return 0
 
@@ -395,8 +554,22 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         parser.error(f"--jobs must be 0 (one per CPU) or a positive count, got {args.jobs}")
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be a positive count, got {args.workers}")
+    if args.detached_workers and args.workers is not None:
+        parser.error(
+            "--detached-workers coordinates external 'scenarios work' processes; "
+            "it cannot be combined with --workers (which spawns its own)"
+        )
+    if args.detached_workers and args.faults is not None:
+        parser.error(
+            "--faults on the detached tier belongs to the workers: pass it to "
+            "'scenarios work', not to the coordinator"
+        )
+    if args.detached_workers and args.max_chunks is not None:
+        parser.error("--max-chunks is not supported with --detached-workers")
     if args.faults is not None and args.workers is None:
         parser.error("--faults injects faults into fabric workers; it requires --workers")
+    if (args.skew_slack is not None or args.wait_timeout is not None) and not args.detached_workers:
+        parser.error("--skew-slack/--wait-timeout apply to --detached-workers only")
     kwargs: dict[str, object] = {}
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
@@ -410,7 +583,26 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         if value is not None:
             resume_hint += f" --{flag.replace('_', '-')} {value}"
     try:
-        if args.workers is not None:
+        if args.detached_workers:
+            from repro.scenarios.detached import run_detached_campaign
+            from repro.scenarios.fabric import FaultPolicy
+
+            policy_kwargs: dict[str, float] = {}
+            if args.chunk_timeout is not None:
+                policy_kwargs["timeout"] = args.chunk_timeout
+            if args.skew_slack is not None:
+                policy_kwargs["skew_slack"] = args.skew_slack
+            progress = run_detached_campaign(
+                spec,
+                store,
+                policy=FaultPolicy(**policy_kwargs),
+                wait_timeout=args.wait_timeout,
+                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                **kwargs,
+            )
+            if progress.resumed_from_journal:
+                print("coordinator restarted: journal replayed")
+        elif args.workers is not None:
             from repro.scenarios.fabric import FaultPolicy, run_fabric_campaign
 
             policy = (

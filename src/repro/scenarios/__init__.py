@@ -23,10 +23,17 @@ batched scenario kernel and the parallel sweep engine:
   arbitrarily large spaces into chunks, persists every finished chunk and
   resumes interrupted mega-campaigns where they left off; two-port spaces
   flow through the two-port kernel (:mod:`repro.core.batch_twoport`) and
-  the merge-ordered analytic replay.
+  the merge-ordered analytic replay;
+* :mod:`repro.scenarios.fabric` — the fault-tolerant multi-worker tier:
+  chunk leases, per-worker stores, retry/backoff/degradation, epoch
+  fencing and a crash-recoverable coordinator journal;
+* :mod:`repro.scenarios.detached` — the multi-machine tier: detached
+  ``scenarios work`` workers over one shared directory, wall-clock leases
+  with heartbeats and skew slack, and an observing (never spawning)
+  coordinator.
 
 The CLI front end is ``repro-experiments scenarios
-list/run/resume/show/export``.
+list/run/resume/show/export/work/heal/merge``.
 
 The runner builds on :mod:`repro.experiments` (which itself consumes the
 sampler), so its symbols are exposed lazily here to keep the import graph
@@ -73,9 +80,16 @@ __all__ = [
     "FaultPolicy",
     "FabricProgress",
     "HealReport",
+    "CoordinatorJournal",
+    "Lease",
     "heal_campaign",
     "merge_worker_stores",
     "run_fabric_campaign",
+    "DetachedProgress",
+    "FabricAdvert",
+    "WorkerReport",
+    "run_detached_campaign",
+    "work_loop",
 ]
 
 #: Runner/fabric symbols resolved on first access (PEP 562): the runner
@@ -87,9 +101,18 @@ _FABRIC_EXPORTS = {
     "FaultPolicy",
     "FabricProgress",
     "HealReport",
+    "CoordinatorJournal",
+    "Lease",
     "heal_campaign",
     "merge_worker_stores",
     "run_fabric_campaign",
+}
+_DETACHED_EXPORTS = {
+    "DetachedProgress",
+    "FabricAdvert",
+    "WorkerReport",
+    "run_detached_campaign",
+    "work_loop",
 }
 
 
@@ -102,4 +125,8 @@ def __getattr__(name: str):
         from repro.scenarios import fabric
 
         return getattr(fabric, name)
+    if name in _DETACHED_EXPORTS:
+        from repro.scenarios import detached
+
+        return getattr(detached, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,897 @@
+"""Multi-machine campaign fabric: detached workers over a shared directory.
+
+The in-process fabric (:mod:`repro.scenarios.fabric`) spawns its workers
+and enforces lease expiry on a logical tick clock it owns — which cannot
+express cross-machine expiry.  This module is the **detached tier**: any
+number of ``scenarios work`` processes, on any machines that see one
+shared directory, cooperate through plain files only:
+
+* the coordinator (:func:`run_detached_campaign`) publishes the campaign
+  **advert** (``fabric.json``: chunk size, lease TTL, skew slack, attempt
+  budget) and then *observes* — it spawns nothing;
+* each worker (:func:`work_loop`) runs a long-lived
+  claim → evaluate → append → release loop: claims are **atomic file
+  creations** (``os.link`` of a private temp lease — exactly one claimant
+  wins a race), appends go to the worker's own isolated store, heartbeats
+  rewrite the lease atomically every ``ttl / 4`` seconds;
+* expiry is **wall-clock with skew slack**: nobody declares a lease dead
+  before ``deadline + skew_slack``, so modest clock skew between machines
+  never causes a false takeover;
+* every takeover bumps the chunk's lease **epoch** and records a fence
+  (:func:`~repro.scenarios.fabric.record_fence`): a partitioned or zombie
+  worker that appends under a superseded epoch is fenced out of the
+  canonical store at merge time, and a worker that notices the takeover
+  at heartbeat-renewal time abandons its chunk *before* append time;
+* the coordinator journals every decision to ``coordinator.jsonl``
+  (:class:`~repro.scenarios.fabric.CoordinatorJournal`), so a restarted
+  coordinator — or ``scenarios heal`` — reconstructs campaign state
+  instead of inferring it.
+
+Worker stores that are *live* (their owner may be mid-append) are only
+ever observed through **read-only snapshots**
+(``CampaignState(read_only=True)``): an observing open must never
+truncate a torn tail the owner is still writing behind.
+
+Chunk results are deterministic functions of the spec, so every recovery
+path — crash, hang, partition, zombie, clock skew, coordinator kill +
+restart — converges to a ``chunks.jsonl`` byte-identical to an
+uninterrupted single-writer run (pinned by the tests and the CI chaos
+smoke).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import re
+import signal
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.scenarios.fabric import (
+    DEFAULT_SKEW_SLACK,
+    CoordinatorJournal,
+    FaultInjector,
+    FaultPolicy,
+    Lease,
+    _DEGRADED_OWNER,
+    _EXIT_CRASH_POST,
+    _EXIT_CRASH_PRE,
+    _cleanup_if_complete,
+    _torn_append,
+    lease_directory,
+    read_fences,
+    read_lease,
+    record_fence,
+    worker_directory,
+    worker_store_paths,
+)
+from repro.scenarios.runner import (
+    DEFAULT_CHUNK_SIZE,
+    evaluate_range,
+    plan_chunks,
+    validate_plan,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import CampaignState, CampaignStore, MergeReport
+
+__all__ = [
+    "DetachedProgress",
+    "FabricAdvert",
+    "WorkerReport",
+    "default_owner",
+    "merge_worker_snapshots",
+    "run_detached_campaign",
+    "work_loop",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Default seconds between a worker's claim-scan rounds when nothing was
+#: claimable; actual sleeps are jittered per owner (see
+#: :func:`_claim_backoff`) to avoid thundering-herd claims.
+DEFAULT_CLAIM_POLL = 0.25
+
+#: Extra wall-clock margin (beyond ``skew_slack``) an injected zombie or
+#: partition sleeps past its lease deadline, so the takeover it is meant
+#: to collide with has definitely been possible.
+_TAKEOVER_GRACE = 0.5
+
+
+def default_owner() -> str:
+    """A filesystem-safe owner id unique to this process: host + pid."""
+    return _sanitize_owner(f"{socket.gethostname()}-{os.getpid()}")
+
+
+def _sanitize_owner(owner: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9._-]", "-", owner).strip(".-")
+    if not cleaned:
+        raise ExperimentError(f"owner id {owner!r} has no filesystem-safe characters")
+    return cleaned
+
+
+# ---------------------------------------------------------------------------
+# The campaign advert: fabric.json
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricAdvert:
+    """The coordinator's published campaign parameters (``fabric.json``).
+
+    Workers must agree with the coordinator — and with each other — on
+    the chunk plan and the lease protocol's constants; the advert is the
+    single source of truth, written atomically once per campaign.
+    """
+
+    chunk_size: int
+    total_chunks: int
+    ttl: float
+    skew_slack: float = DEFAULT_SKEW_SLACK
+    max_attempts: int = 3
+
+    def write(self, directory: Path) -> None:
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True) + "\n"
+        path = directory / "fabric.json"
+        fd, temp_name = tempfile.mkstemp(dir=directory, prefix=".fabric.json-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    @classmethod
+    def read(cls, directory: Path) -> "FabricAdvert | None":
+        """The advert, or ``None`` when absent or (transiently) unreadable."""
+        path = directory / "fabric.json"
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            return cls(
+                chunk_size=int(record["chunk_size"]),
+                total_chunks=int(record["total_chunks"]),
+                ttl=float(record["ttl"]),
+                skew_slack=float(record["skew_slack"]),
+                max_attempts=int(record["max_attempts"]),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            logger.warning("unreadable fabric advert %s (%s)", path, error)
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Atomic claim / takeover / release over the shared lease directory
+# ---------------------------------------------------------------------------
+
+
+def _claim_lease(leases_dir: Path, lease: Lease) -> bool:
+    """Atomically create a lease file; exactly one claimant wins.
+
+    The payload is written (and fsynced) to a private temp file first,
+    then ``os.link``\\ ed to the lease path — link fails with ``EEXIST``
+    when any other party created the file in between, which is the lost
+    race.  Works on any POSIX filesystem including NFS.
+    """
+    path = lease.path(leases_dir)
+    fd, temp_name = tempfile.mkstemp(dir=leases_dir, prefix=f".{path.name}-claim-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(lease.payload())
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(temp_name, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+
+
+def _take_over_lease(leases_dir: Path, stale: Lease) -> bool:
+    """Displace an expired lease; exactly one taker wins.
+
+    ``os.rename`` of the lease file to a unique tombstone name: only one
+    renamer succeeds (the others get ``ENOENT``), and the winner then owns
+    the now-vacant lease path.  The tombstone is removed once the new
+    lease is in place.
+    """
+    path = stale.path(leases_dir)
+    tombstone = leases_dir / f".{path.name}.stale-{stale.epoch}-{stale.owner}"
+    try:
+        os.rename(path, tombstone)
+    except FileNotFoundError:
+        return False
+    tombstone.unlink(missing_ok=True)
+    return True
+
+
+def _release_lease(leases_dir: Path, lease: Lease) -> bool:
+    """Guarded release: unlink only if the lease is still ours.
+
+    A worker that lost its lease to a takeover (partition, zombie) must
+    never delete the *new* claimant's lease file — re-read and compare
+    owner + epoch before unlinking.  The read-check-unlink window is not
+    atomic; the fencing epoch on the store side is the backstop.
+    """
+    current = read_lease(lease.path(leases_dir))
+    if current is None or current.owner != lease.owner or current.epoch != lease.epoch:
+        return False
+    lease.path(leases_dir).unlink(missing_ok=True)
+    return True
+
+
+def _lease_lost(leases_dir: Path, lease: Lease) -> bool:
+    """Whether ``lease`` was displaced (taken over or cleared) on disk."""
+    current = read_lease(lease.path(leases_dir))
+    return current is None or current.owner != lease.owner or current.epoch != lease.epoch
+
+
+def _claim_backoff(owner: str, round_number: int, poll: float) -> float:
+    """Deterministic per-owner jitter in ``[0.5, 1.5) * poll`` seconds.
+
+    Every worker sleeps a *different* (but reproducible) fraction of the
+    poll interval between claim scans, so a fleet started simultaneously
+    does not hammer the shared directory in lockstep.
+    """
+    digest = hashlib.sha256(f"claim-jitter:{owner}:{round_number}".encode()).digest()
+    draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return poll * (0.5 + draw)
+
+
+# ---------------------------------------------------------------------------
+# Read-only observation of live worker stores
+# ---------------------------------------------------------------------------
+
+
+def _worker_snapshots(state: CampaignState) -> list[CampaignState]:
+    """Read-only snapshots of every per-worker store under a campaign.
+
+    Live stores are never opened writable by an observer: a repairing
+    open would truncate a torn tail the owning worker is still appending
+    behind.
+    """
+    return [
+        CampaignState(path, state.spec, read_only=True)
+        for path in worker_store_paths(state)
+    ]
+
+
+def merge_worker_snapshots(state: CampaignState) -> MergeReport:
+    """Merge worker stores into the canonical one via read-only snapshots.
+
+    The detached coordinator's merge: fences are honoured
+    (``skip_fenced`` — a zombie's stale-epoch chunk is skipped, the
+    re-issued epoch's byte-identical copy is canonical) and the sources
+    stay untouched on disk.
+    """
+    fences = read_fences(state)
+    return state.merge(*_worker_snapshots(state), fences=fences, skip_fenced=True)
+
+
+def _observed_chunks(state: CampaignState, fences: dict[int, int]) -> set[int]:
+    """Chunks durable *somewhere*: canonical, or unfenced in a worker store.
+
+    A chunk a zombie appended under a superseded epoch does **not** count
+    — its bytes will be fenced out at merge time, so the chunk still
+    needs a legitimate evaluation.
+    """
+    done = set(state.completed_chunks)
+    for snapshot in _worker_snapshots(state):
+        for index in snapshot.completed_chunks:
+            if index in done:
+                continue
+            epoch = snapshot.chunk_epoch(index)
+            fence = fences.get(index)
+            if epoch is not None and fence is not None and epoch < fence:
+                continue
+            done.add(index)
+    return done
+
+
+# ---------------------------------------------------------------------------
+# The detached worker: claim → evaluate → append → release
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerReport:
+    """Outcome of one :func:`work_loop` run."""
+
+    owner: str
+    completed: list[int] = field(default_factory=list)
+    abandoned: list[int] = field(default_factory=list)
+    failed: list[int] = field(default_factory=list)
+    drained: bool = False
+
+    def describe(self) -> str:
+        drained = " (drained on signal)" if self.drained else ""
+        return (
+            f"worker {self.owner}: {len(self.completed)} chunk(s) completed, "
+            f"{len(self.abandoned)} abandoned to takeovers, "
+            f"{len(self.failed)} failed{drained}"
+        )
+
+
+class _Heartbeat:
+    """Background lease renewal for one in-flight chunk.
+
+    Every beat atomically rewrites the lease with a fresh
+    ``heartbeat_at``/``deadline`` — but first re-reads it: a lease that no
+    longer names this owner/epoch was **taken over** (we were partitioned
+    or too slow), and the worker must abandon the chunk before append
+    time.  ``fenced`` latches that observation.
+    """
+
+    def __init__(
+        self, leases_dir: Path, lease: Lease, interval: float, now: Callable[[], float]
+    ) -> None:
+        self.leases_dir = leases_dir
+        self.lease = lease
+        self.interval = interval
+        self.now = now
+        self.fenced = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            if _lease_lost(self.leases_dir, self.lease):
+                self.fenced.set()
+                logger.warning(
+                    "worker %s lost lease on chunk %d (epoch %d) at renewal; "
+                    "abandoning before append",
+                    self.lease.owner, self.lease.chunk, self.lease.epoch,
+                )
+                return
+            self.lease = self.lease.renewed(self.now())
+            try:
+                self.lease.write(self.leases_dir)
+            except OSError as error:
+                logger.warning(
+                    "worker %s failed to renew lease on chunk %d: %s",
+                    self.lease.owner, self.lease.chunk, error,
+                )
+
+
+def work_loop(
+    campaign_dir: str | Path,
+    owner: str | None = None,
+    faults: FaultInjector | str | None = None,
+    poll: float = DEFAULT_CLAIM_POLL,
+    max_chunks: int | None = None,
+    wait: float = 30.0,
+    stop: threading.Event | None = None,
+    install_signal_handlers: bool = False,
+    spec: ScenarioSpec | None = None,
+) -> WorkerReport:
+    """Run a detached worker over a shared campaign directory.
+
+    The long-lived loop behind ``scenarios work``: scan the shared lease
+    directory, **claim** an unleased pending chunk (or **take over** an
+    expired lease, bumping its epoch and recording a fence), evaluate it
+    while a heartbeat thread renews the lease, **append** to this
+    worker's own isolated store (recording the lease epoch), and
+    **release** the lease guardedly.  Exits when the plan is complete,
+    ``max_chunks`` claims have been worked, or ``stop`` is set — SIGTERM
+    (with ``install_signal_handlers=True``) sets ``stop``, so an
+    in-flight chunk is *drained*: finished and released, never torn.
+
+    The campaign's spec and protocol constants come from the shared
+    directory itself (``spec.json`` + ``fabric.json``), published by the
+    coordinator; the worker waits up to ``wait`` seconds for them, so
+    workers may be started first.
+
+    ``faults`` acts out this worker's injected chaos, including the
+    machine-tier kinds: ``partition`` computes without heartbeating and
+    abandons if taken over; ``zombie`` sleeps past its own expiry and
+    appends under its stale (fenced) epoch anyway; ``skew:SECONDS``
+    offsets every clock read this worker makes.
+    """
+    campaign_dir = Path(campaign_dir)
+    if isinstance(faults, str):
+        faults = FaultInjector.from_spec(faults)
+    owner = _sanitize_owner(owner) if owner else default_owner()
+    stop = stop or threading.Event()
+    report = WorkerReport(owner=owner)
+    clock_skew = faults.clock_skew if faults is not None else 0.0
+
+    def now() -> float:
+        # The injected clock skew applies to *every* wall-clock read this
+        # worker makes — granted/heartbeat/deadline stamps and expiry
+        # checks alike — exactly like a machine with a drifted clock.
+        return time.time() + clock_skew
+
+    if install_signal_handlers:
+
+        def _drain(signum, frame) -> None:
+            logger.warning(
+                "worker %s received signal %d; draining current lease", owner, signum
+            )
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+
+    spec, advert = _await_campaign(campaign_dir, wait, stop, spec)
+    if spec is None or advert is None:
+        report.drained = stop.is_set()
+        return report
+    plan = plan_chunks_from_advert(spec, advert)
+    leases_dir = lease_directory_of(campaign_dir)
+    leases_dir.mkdir(parents=True, exist_ok=True)
+    worker_state = CampaignState(campaign_dir / "workers" / owner, spec)
+    heartbeat_interval = max(0.05, advert.ttl / 4.0)
+
+    claimed_budget = max_chunks if max_chunks is not None else None
+    round_number = 0
+    while not stop.is_set():
+        if claimed_budget is not None and claimed_budget <= 0:
+            break
+        canonical = CampaignState(campaign_dir, spec, read_only=True)
+        fences = read_fences(canonical)
+        done = _observed_chunks(canonical, fences)
+        if len(done) >= len(plan):
+            break
+        claimed = _claim_next(
+            leases_dir, plan, done, fences, owner, advert, now, report
+        )
+        if claimed is None:
+            round_number += 1
+            stop.wait(_claim_backoff(owner, round_number, poll))
+            continue
+        if claimed_budget is not None:
+            claimed_budget -= 1
+        _work_one_chunk(
+            leases_dir, worker_state, claimed, advert, faults, now,
+            heartbeat_interval, report,
+        )
+    report.drained = stop.is_set()
+    logger.info(report.describe())
+    return report
+
+
+def lease_directory_of(campaign_dir: Path) -> Path:
+    return Path(campaign_dir) / "leases"
+
+
+def plan_chunks_from_advert(spec: ScenarioSpec, advert: FabricAdvert) -> list[tuple[int, int]]:
+    plan = plan_chunks(spec.family.count, advert.chunk_size)
+    if len(plan) != advert.total_chunks:
+        raise ExperimentError(
+            f"fabric advert promises {advert.total_chunks} chunk(s) but the spec "
+            f"plans {len(plan)}; the shared directory mixes campaign generations"
+        )
+    return plan
+
+
+def _await_campaign(
+    campaign_dir: Path,
+    wait: float,
+    stop: threading.Event,
+    spec: ScenarioSpec | None,
+) -> tuple[ScenarioSpec | None, FabricAdvert | None]:
+    """Wait for the coordinator's ``spec.json`` + ``fabric.json`` to appear."""
+    deadline = time.monotonic() + wait
+    spec_path = campaign_dir / "spec.json"
+    while True:
+        if spec is None and spec_path.is_file():
+            try:
+                spec = ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError, ExperimentError) as error:
+                logger.warning("unreadable %s (%s); retrying", spec_path, error)
+        advert = FabricAdvert.read(campaign_dir)
+        if spec is not None and advert is not None:
+            return spec, advert
+        if stop.is_set() or time.monotonic() >= deadline:
+            logger.warning(
+                "no campaign advert in %s after %.1fs; is the coordinator "
+                "(`scenarios run --detached-workers`) running?",
+                campaign_dir, wait,
+            )
+            return None, None
+        stop.wait(0.1)
+
+
+def _claim_next(
+    leases_dir: Path,
+    plan: Sequence[tuple[int, int]],
+    done: set[int],
+    fences: dict[int, int],
+    owner: str,
+    advert: FabricAdvert,
+    now: Callable[[], float],
+    report: WorkerReport,
+) -> Lease | None:
+    """Claim one pending chunk: a vacant lease path, or an expired lease.
+
+    The claim epoch starts at the chunk's current fence (takeovers bump
+    past it), so a freshly claimed chunk always merges over any fenced
+    leftovers.  Chunks whose next epoch would exhaust the advert's
+    attempt budget are left for the coordinator's degradation path.
+    """
+    for chunk, (start, stop_platform) in enumerate(plan):
+        if chunk in done:
+            continue
+        path = leases_dir / f"chunk-{chunk:06d}.json"
+        current = read_lease(path) if path.exists() else None
+        moment = now()
+        if current is None:
+            epoch = fences.get(chunk, 0)
+            if epoch >= advert.max_attempts:
+                continue
+            lease = Lease(
+                chunk=chunk, start=start, stop=stop_platform, owner=owner,
+                epoch=epoch, granted_at=moment, heartbeat_at=moment,
+                deadline=moment + advert.ttl, ttl=advert.ttl,
+            )
+            if _claim_lease(leases_dir, lease):
+                return lease
+            continue
+        # A leftover lease of this very owner (a prior life crashed) is as
+        # expired as anyone else's — the wall clock decides, not the name.
+        if not current.expired(moment, advert.skew_slack):
+            continue
+        next_epoch = max(current.epoch, fences.get(chunk, 0)) + 1
+        if next_epoch >= advert.max_attempts:
+            continue
+        if not _take_over_lease(leases_dir, current):
+            continue
+        record_fence_at(leases_dir.parent, chunk, next_epoch)
+        lease = Lease(
+            chunk=chunk, start=start, stop=stop_platform, owner=owner,
+            epoch=next_epoch, granted_at=moment, heartbeat_at=moment,
+            deadline=moment + advert.ttl, ttl=advert.ttl,
+        )
+        lease.write(leases_dir)
+        logger.warning(
+            "worker %s took over expired lease on chunk %d from %s "
+            "(epoch %d -> %d)",
+            owner, chunk, current.owner, current.epoch, next_epoch,
+        )
+        return lease
+    return None
+
+
+def record_fence_at(campaign_dir: Path, chunk: int, epoch: int) -> None:
+    """``record_fence`` addressed by directory (workers hold no state)."""
+    line = json.dumps({"chunk": int(chunk), "epoch": int(epoch)}, sort_keys=True)
+    with open(Path(campaign_dir) / "fences.jsonl", "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _work_one_chunk(
+    leases_dir: Path,
+    worker_state: CampaignState,
+    lease: Lease,
+    advert: FabricAdvert,
+    faults: FaultInjector | None,
+    now: Callable[[], float],
+    heartbeat_interval: float,
+    report: WorkerReport,
+) -> None:
+    """Evaluate one claimed chunk, acting out any injected fault."""
+    chunk = lease.chunk
+    fault = faults.worker_fault(chunk, lease.epoch) if faults is not None else None
+    spec = worker_state.spec
+
+    if chunk in worker_state.completed_chunks:
+        # A prior life of this worker crashed after the append: the bytes
+        # are durable — re-bless them under the current epoch (they may
+        # have been fenced by the takeover that led here) and release.
+        worker_state.record_epoch(chunk, lease.epoch)
+        _release_lease(leases_dir, lease)
+        report.completed.append(chunk)
+        return
+
+    if fault == "hang":
+        # A hung worker stops making progress *and* stops heartbeating:
+        # sleep past our own expiry, then abandon — someone else has (or
+        # will have) taken the chunk over.
+        _sleep_past_expiry(lease, advert, now)
+        report.abandoned.append(chunk)
+        return
+
+    if fault == "poison":
+        # A deterministic failure: surrender the lease *expired* (deadline
+        # in the past) so the next scanner retries it under a bumped,
+        # fenced epoch — until the attempt budget degrades it.
+        logger.warning("worker %s: poisoned chunk %d (injected)", lease.owner, chunk)
+        surrendered = dataclasses.replace(
+            lease, heartbeat_at=now(), deadline=now() - advert.skew_slack - advert.ttl
+        )
+        surrendered.write(leases_dir)
+        report.failed.append(chunk)
+        return
+
+    heartbeat: _Heartbeat | None = None
+    if fault not in ("partition", "zombie"):
+        heartbeat = _Heartbeat(leases_dir, lease, heartbeat_interval, now).start()
+    try:
+        rows = evaluate_range(spec, lease.start, lease.stop)
+        if fault in ("partition", "zombie"):
+            # Partitioned/zombie workers never heartbeated: sleep until the
+            # lease has definitely been expirable, so the takeover this
+            # fault is meant to collide with has had its chance.
+            _sleep_past_expiry(lease, advert, now)
+        if heartbeat is not None:
+            heartbeat.stop()
+            if heartbeat.fenced.is_set():
+                report.abandoned.append(chunk)
+                return
+        if fault == "partition" and _lease_lost(leases_dir, lease):
+            # The renewal-time check a partitioned worker never ran: the
+            # append-time fence.  Taken over → abandon, never append.
+            logger.warning(
+                "worker %s: chunk %d was taken over during the partition; abandoning",
+                lease.owner, chunk,
+            )
+            report.abandoned.append(chunk)
+            return
+        # A zombie skips every check — that is the point: its stale-epoch
+        # append must be fenced out at merge time, not trusted here.
+        if fault == "crash-pre":
+            _torn_append(worker_state, chunk, lease.start, lease.stop, rows)
+            os._exit(_EXIT_CRASH_PRE)
+        try:
+            worker_state.append_chunk(chunk, lease.start, lease.stop, rows, epoch=lease.epoch)
+        except OSError:
+            if fault != "zombie":
+                raise
+            # The campaign completed while this zombie slept and the
+            # coordinator tore the worker scaffolding down; the stale
+            # append has nowhere to land, which is the same outcome the
+            # merge fence would have forced.
+            logger.warning(
+                "worker %s: chunk %d outlived the campaign; abandoning stale append",
+                lease.owner, chunk,
+            )
+            report.abandoned.append(chunk)
+            return
+        if fault == "crash-post":
+            os._exit(_EXIT_CRASH_POST)
+        _release_lease(leases_dir, lease)
+        report.completed.append(chunk)
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+
+
+def _sleep_past_expiry(lease: Lease, advert: FabricAdvert, now: Callable[[], float]) -> None:
+    deadline = (lease.deadline or now()) + advert.skew_slack + _TAKEOVER_GRACE
+    while now() < deadline:
+        time.sleep(min(0.05, max(0.0, deadline - now())))
+
+
+# ---------------------------------------------------------------------------
+# The detached coordinator: publish, observe, expire, degrade, merge
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DetachedProgress:
+    """Outcome of one :func:`run_detached_campaign` call."""
+
+    state: CampaignState
+    chunk_size: int
+    total_chunks: int
+    completed_before: int
+    completed_after: int
+    retries: int = 0
+    expired_leases: int = 0
+    degraded_chunks: list[int] = field(default_factory=list)
+    resumed_from_journal: bool = False
+    merge: MergeReport | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_after == self.total_chunks
+
+    def rows(self) -> list[dict]:
+        return self.state.rows()
+
+    def aggregate(self, quantiles: Sequence[float] = (0.05, 0.5, 0.95)) -> dict:
+        return self.state.aggregate(quantiles=quantiles)
+
+
+def run_detached_campaign(
+    spec: ScenarioSpec,
+    store: CampaignStore | str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    policy: FaultPolicy | None = None,
+    wait_timeout: float | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> DetachedProgress:
+    """Coordinate a campaign worked by detached ``scenarios work`` processes.
+
+    Publishes the campaign advert, then **observes** the shared directory
+    until the plan is complete: worker stores are merged eagerly (through
+    read-only snapshots — never repairing a live store), released leases
+    of canonical chunks are cleared, **expired** leases are fenced and
+    cleared (their chunk becomes claimable under a bumped epoch), and a
+    chunk whose attempt budget is exhausted **degrades** to an in-parent
+    evaluation.  Every decision is journaled to ``coordinator.jsonl``; a
+    restarted coordinator replays the journal and resumes the same
+    campaign — re-running it is always safe.
+
+    ``wait_timeout`` bounds the observation loop (``None`` waits until
+    complete); on expiry the campaign state is left intact for
+    ``scenarios heal`` or a restarted coordinator, and the error names
+    the store so the hint is copy-pasteable.
+    """
+    if isinstance(store, (str, Path)):
+        store = CampaignStore(store)
+    policy = policy or FaultPolicy()
+    state = store.campaign(spec)
+    journal = CoordinatorJournal(state)
+    prior = journal.replay()
+    chunks = plan_chunks(spec.family.count, chunk_size)
+
+    merge_worker_snapshots(state)
+    completed = validate_plan(state, chunks)
+    before = len(completed)
+    result = DetachedProgress(
+        state=state,
+        chunk_size=chunk_size,
+        total_chunks=len(chunks),
+        completed_before=before,
+        completed_after=before,
+        resumed_from_journal=bool(prior.events),
+    )
+    if prior.events:
+        # A restarted coordinator: the journal is the record of what the
+        # previous incarnation already decided — adopt its counters
+        # instead of inferring them from leftovers.
+        result.retries = prior.retries
+        result.expired_leases = prior.expired_leases
+        result.degraded_chunks = list(prior.degraded_chunks)
+        logger.warning(
+            "coordinator restarted over %s: replayed %d journal event(s) "
+            "(%d retries, %d expiries, %d degraded chunk(s))",
+            state.directory, len(prior.events), prior.retries,
+            prior.expired_leases, len(prior.degraded_chunks),
+        )
+    if before == len(chunks):
+        result.merge = MergeReport(total_chunks=before)
+        _cleanup_if_complete(state, len(chunks))
+        return result
+
+    lease_directory(state).mkdir(parents=True, exist_ok=True)
+    advert = FabricAdvert(
+        chunk_size=chunk_size,
+        total_chunks=len(chunks),
+        ttl=policy.timeout,
+        skew_slack=policy.skew_slack,
+        max_attempts=policy.max_attempts,
+    )
+    advert.write(state.directory)
+    journal.append(
+        "plan",
+        total_chunks=len(chunks),
+        chunk_size=chunk_size,
+        pending=len(chunks) - before,
+        tier="detached",
+        ttl=policy.timeout,
+        skew_slack=policy.skew_slack,
+    )
+
+    leases_dir = lease_directory(state)
+    deadline = None if wait_timeout is None else time.monotonic() + wait_timeout
+    reported = before
+    try:
+        while True:
+            merged = merge_worker_snapshots(state)
+            if merged.added:
+                journal.append("merge", added=len(merged.added), fenced=len(merged.fenced))
+            done = state.completed_chunks
+            if progress is not None and len(done) != reported:
+                reported = len(done)
+                progress(reported, len(chunks))
+            if len(done) >= len(chunks):
+                break
+            now = time.time()
+            fences = read_fences(state)
+            for path in sorted(leases_dir.glob("chunk-*.json")):
+                lease = read_lease(path)
+                if lease is None:
+                    # Torn lease file: treat as expired — clear it so the
+                    # chunk is claimable again (satellite of read_lease).
+                    path.unlink(missing_ok=True)
+                    continue
+                if lease.chunk in done:
+                    path.unlink(missing_ok=True)
+                    continue
+                if not lease.expired(now, policy.skew_slack):
+                    continue
+                if not _take_over_lease(leases_dir, lease):
+                    continue
+                next_epoch = max(lease.epoch, fences.get(lease.chunk, 0)) + 1
+                record_fence(state, lease.chunk, next_epoch)
+                result.expired_leases += 1
+                journal.append(
+                    "expire", chunk=lease.chunk, owner=lease.owner, epoch=lease.epoch
+                )
+                if next_epoch >= policy.max_attempts:
+                    _degrade_chunk(state, chunks, lease.chunk, result, journal)
+                else:
+                    result.retries += 1
+                    journal.append(
+                        "requeue",
+                        chunk=lease.chunk,
+                        attempt=lease.epoch,
+                        fence=next_epoch,
+                        reason="lease expired",
+                    )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ExperimentError(
+                    f"detached campaign did not complete within {wait_timeout:.1f}s "
+                    f"({len(done)}/{len(chunks)} chunks done); workers may still "
+                    f"be running — resume with: scenarios heal --store "
+                    f"{state.directory.parent} --space {spec.name}"
+                )
+            time.sleep(policy.poll_interval)
+    finally:
+        final = merge_worker_snapshots(state)
+        result.merge = final
+        result.completed_after = len(state.completed_chunks)
+        journal.append(
+            "merge",
+            added=len(final.added),
+            duplicates=len(final.duplicates),
+            fenced=len(final.fenced),
+            total=final.total_chunks,
+        )
+        if result.finished:
+            journal.append("complete", total_chunks=len(chunks))
+            _cleanup_if_complete(state, len(chunks))
+    return result
+
+
+def _degrade_chunk(
+    state: CampaignState,
+    chunks: Sequence[tuple[int, int]],
+    chunk: int,
+    result: DetachedProgress,
+    journal: CoordinatorJournal,
+) -> None:
+    """Attempt budget exhausted: evaluate in the coordinator itself.
+
+    The degraded store carries no epoch metadata, so its chunks are
+    trusted over any fence — the slow but sure path, same as the
+    in-process tier.
+    """
+    start, stop = chunks[chunk]
+    rows = evaluate_range(state.spec, start, stop)
+    parent_store = CampaignState(worker_directory(state, _DEGRADED_OWNER), state.spec)
+    if chunk not in parent_store.completed_chunks:
+        parent_store.append_chunk(chunk, start, stop, rows)
+    if chunk not in result.degraded_chunks:
+        result.degraded_chunks.append(chunk)
+    journal.append("degrade", chunk=chunk)
+    logger.warning("chunk %d degraded to coordinator evaluation", chunk)

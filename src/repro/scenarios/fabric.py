@@ -32,13 +32,22 @@ path converges to the same bytes — the :class:`FaultInjector` and the
 test-suite's fault matrix (crash-before-fsync, crash-after-append, hangs,
 poisoned chunks, abandoned leases) pin exactly that.
 
-Workers are processes today; the lease files, the per-worker stores and
-the merge are deliberately machine-shaped — a future multi-machine fabric
-reuses them unchanged with a shared filesystem or object store.
+Workers are **processes or machines**: the lease files, the per-worker
+stores and the merge need nothing but a shared directory.  The in-process
+tier (this module's coordinator) keeps its logical tick clock; the
+**multi-machine tier** (:mod:`repro.scenarios.detached`) layers wall-clock
+leases on the same files — ``deadline``/``heartbeat_at`` epoch-seconds
+fields with a configurable skew slack, heartbeat renewals via atomic
+lease rewrites, **epoch fencing** (a re-issued lease bumps the chunk's
+epoch and records a fence; a zombie worker's stale-epoch append can never
+enter the canonical store), and an append-only ``coordinator.jsonl``
+journal from which a restarted coordinator — or :func:`heal_campaign` —
+reconstructs its decisions instead of inferring them.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import logging
@@ -46,38 +55,59 @@ import math
 import multiprocessing
 import os
 import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ExperimentError
-from repro.scenarios.runner import DEFAULT_CHUNK_SIZE, evaluate_range, plan_chunks
+from repro.scenarios.runner import (
+    DEFAULT_CHUNK_SIZE,
+    evaluate_range,
+    plan_chunks,
+    validate_plan,
+)
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import CampaignState, CampaignStore, MergeReport
 
 __all__ = [
+    "DEFAULT_SKEW_SLACK",
     "FAULT_KINDS",
     "ChunkFault",
+    "CoordinatorJournal",
     "FabricProgress",
     "FaultInjector",
     "FaultPolicy",
     "HealReport",
+    "JournalState",
     "Lease",
     "heal_campaign",
     "merge_worker_stores",
+    "read_fences",
+    "read_lease",
     "read_leases",
+    "record_fence",
     "run_fabric_campaign",
     "worker_store_paths",
 ]
 
 logger = logging.getLogger(__name__)
 
-#: Injectable fault kinds.  The first four fire inside a worker process;
-#: ``abandon`` is coordinator-side: the lease is written but its worker
-#: "vanishes" without ever running, leaving an abandoned lease for
-#: :func:`heal_campaign`.
-FAULT_KINDS = ("crash-pre", "crash-post", "hang", "poison", "abandon")
+#: Injectable fault kinds.  ``crash-pre``/``crash-post``/``hang``/
+#: ``poison`` fire inside a worker; ``abandon`` is coordinator-side (the
+#: lease is written but its worker "vanishes" without ever running);
+#: ``partition`` (stop heartbeating but keep computing) and ``zombie``
+#: (wake up after being fenced and append anyway) are machine-tier faults
+#: acted out fully by the detached work loop
+#: (:mod:`repro.scenarios.detached`) — the in-process tier, whose expired
+#: workers are killed outright, maps both to a hang.
+FAULT_KINDS = ("crash-pre", "crash-post", "hang", "poison", "abandon", "partition", "zombie")
+
+#: Default wall-clock slack added to a lease deadline before another
+#: party may declare it expired: modest clock skew between machines must
+#: never cause a false takeover.
+DEFAULT_SKEW_SLACK = 2.0
 
 #: How long an injected hang sleeps.  Far beyond any sane per-chunk
 #: timeout; the coordinator kills the worker long before it wakes.
@@ -112,10 +142,16 @@ class FaultPolicy:
     but sure path).  ``backoff(attempt)`` is deterministic —
     ``base * factor**attempt`` capped at ``cap`` seconds, no jitter — so
     fault schedules replay identically.  ``timeout`` is the per-attempt
-    wall-clock budget, enforced through the lease's logical heartbeat
-    deadline: the coordinator advances one tick per ``poll_interval``
-    sleep, and a lease that lives past ``timeout / poll_interval`` ticks
-    is expired (its worker killed, the chunk re-leased).
+    wall-clock budget.  The in-process tier enforces it through the
+    lease's logical heartbeat deadline: the coordinator advances one tick
+    per ``poll_interval`` sleep, and a lease that lives past
+    ``timeout / poll_interval`` ticks is expired (its worker killed, the
+    chunk re-leased).  The detached (multi-machine) tier enforces it on
+    the wall clock instead: a lease's ``deadline`` is ``timeout`` seconds
+    past its last heartbeat, workers renew every
+    :attr:`heartbeat_interval` seconds, and nobody may declare a lease
+    expired until ``skew_slack`` seconds *past* its deadline — so modest
+    clock skew between machines never causes a false takeover.
     """
 
     max_attempts: int = 3
@@ -124,6 +160,7 @@ class FaultPolicy:
     backoff_cap: float = 1.0
     timeout: float = 60.0
     poll_interval: float = 0.02
+    skew_slack: float = DEFAULT_SKEW_SLACK
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -141,6 +178,19 @@ class FaultPolicy:
                 f"timeout and poll_interval must be positive (got "
                 f"timeout={self.timeout}, poll_interval={self.poll_interval})"
             )
+        if self.skew_slack < 0:
+            raise ExperimentError(
+                f"skew_slack must be non-negative (got {self.skew_slack})"
+            )
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """Seconds between a detached worker's lease renewals.
+
+        A quarter of the lease TTL: several renewals can be lost (a slow
+        shared filesystem, a stalled worker) before the lease expires.
+        """
+        return max(0.05, self.timeout / 4.0)
 
     def backoff(self, attempt: int) -> float:
         """Seconds to wait before re-trying after failed attempt ``attempt``."""
@@ -227,15 +277,25 @@ class FaultInjector:
         hang@1                 # chunk 1's first attempt hangs
         poison@3:*             # chunk 3 fails on every worker attempt
         abandon@5              # chunk 5's lease is written, worker vanishes
+        partition@1            # stop heartbeating on chunk 1, keep computing
+        zombie@2               # sleep past expiry on chunk 2, append anyway
+        skew:3.5               # this worker's clock runs 3.5 s fast (or
+                               # slow, with skew:-3.5) — not a chunk fault
         random:7:0.4           # seeded: ~40% of chunks fault, seed 7
 
     comma-separated; kinds are listed in :data:`FAULT_KINDS`.
+    ``str(injector)`` emits the canonical spec back (round-trips through
+    :meth:`from_spec`).
     """
 
     faults: tuple[ChunkFault, ...] = ()
     seed: int | None = None
     rate: float = 0.0
     seeded_kinds: tuple[str, ...] = ("crash-pre", "crash-post", "hang", "poison")
+    #: Seconds added to the injected worker's wall clock (``skew:X``):
+    #: positive runs fast, negative slow.  Models cross-machine clock skew
+    #: — the lease protocol's ``skew_slack`` must absorb it.
+    clock_skew: float = 0.0
 
     @classmethod
     def seeded(
@@ -253,20 +313,35 @@ class FaultInjector:
 
     @classmethod
     def from_spec(cls, text: str) -> "FaultInjector":
-        text = text.strip()
-        if text.startswith("random:"):
-            parts = text.split(":")
-            if len(parts) not in (3, 4):
-                raise ExperimentError(
-                    f"seeded fault spec must be random:SEED:RATE[:kind+kind...] (got {text!r})"
-                )
-            kinds = tuple(parts[3].split("+")) if len(parts) == 4 else None
-            try:
-                return cls.seeded(int(parts[1]), float(parts[2]), kinds)
-            except ValueError as error:
-                raise ExperimentError(f"invalid seeded fault spec {text!r}: {error}") from None
         faults = []
+        seeded: FaultInjector | None = None
+        clock_skew = 0.0
         for item in filter(None, (part.strip() for part in text.split(","))):
+            if item.startswith("random:"):
+                parts = item.split(":")
+                if len(parts) not in (3, 4):
+                    raise ExperimentError(
+                        f"seeded fault spec must be random:SEED:RATE[:kind+kind...] "
+                        f"(got {item!r})"
+                    )
+                kinds = tuple(parts[3].split("+")) if len(parts) == 4 else None
+                try:
+                    seeded = cls.seeded(int(parts[1]), float(parts[2]), kinds)
+                except (ValueError, ExperimentError) as error:
+                    # Always name the offending term: a rejected rate or kind
+                    # surfaces from seeded() without the spec context.
+                    raise ExperimentError(
+                        f"invalid seeded fault spec {item!r}: {error}"
+                    ) from None
+                continue
+            if item.startswith("skew:"):
+                try:
+                    clock_skew = float(item.partition(":")[2])
+                except ValueError:
+                    raise ExperimentError(
+                        f"invalid clock-skew fault {item!r}: must be skew:SECONDS"
+                    ) from None
+                continue
             kind, separator, target = item.partition("@")
             if not separator:
                 raise ExperimentError(
@@ -285,7 +360,38 @@ class FaultInjector:
             except ValueError:
                 raise ExperimentError(f"invalid fault target in {item!r}") from None
             faults.append(ChunkFault(kind=kind, chunk=chunk, attempt=attempt))
-        return cls(faults=tuple(faults))
+        return cls(
+            faults=tuple(faults),
+            seed=seeded.seed if seeded is not None else None,
+            rate=seeded.rate if seeded is not None else 0.0,
+            seeded_kinds=(
+                seeded.seeded_kinds
+                if seeded is not None
+                else cls.__dataclass_fields__["seeded_kinds"].default
+            ),
+            clock_skew=clock_skew,
+        )
+
+    def __str__(self) -> str:
+        """The canonical CLI spec of this schedule (round-trips)."""
+        terms = []
+        for fault in self.faults:
+            if fault.attempt is None:
+                suffix = "" if fault.kind == "poison" else ":*"
+            elif fault.attempt == 0 and fault.kind != "poison":
+                suffix = ""
+            else:
+                suffix = f":{fault.attempt}"
+            terms.append(f"{fault.kind}@{fault.chunk}{suffix}")
+        if self.seed is not None:
+            term = f"random:{self.seed}:{self.rate!r}"
+            default_kinds = type(self).__dataclass_fields__["seeded_kinds"].default
+            if self.seeded_kinds != default_kinds:
+                term += ":" + "+".join(self.seeded_kinds)
+            terms.append(term)
+        if self.clock_skew:
+            terms.append(f"skew:{self.clock_skew!r}")
+        return ",".join(terms)
 
     def _seeded_fault(self, chunk: int) -> str | None:
         if self.seed is None or self.rate <= 0.0:
@@ -330,10 +436,17 @@ class Lease:
     """One chunk range leased to one worker.
 
     ``epoch`` increments every time the chunk is re-leased (retry after a
-    crash, kill after an expired deadline), so a stale worker's late write
-    is recognisably outdated; ``deadline_tick`` is a *logical* heartbeat
-    deadline on the coordinator's tick clock — one tick per poll sleep —
-    which keeps the format wall-clock-free and machine-portable.
+    crash, takeover after an expired deadline), so a stale worker's late
+    write is recognisably outdated — the **fencing token** of the fabric.
+
+    Two clocks coexist.  ``deadline_tick`` is a *logical* heartbeat
+    deadline on the in-process coordinator's tick clock — one tick per
+    poll sleep.  The detached (multi-machine) tier adds **wall-clock**
+    fields: ``granted_at``/``heartbeat_at``/``deadline`` are epoch
+    seconds, ``ttl`` is the seconds each heartbeat renewal extends the
+    deadline by.  Wall-clock expiry is never declared before
+    ``deadline + skew_slack`` (:meth:`expired`), so modest clock skew
+    between machines cannot cause a false takeover.
     """
 
     chunk: int
@@ -341,39 +454,108 @@ class Lease:
     stop: int
     owner: str
     epoch: int
-    granted_tick: int
-    deadline_tick: int
+    granted_tick: int = 0
+    deadline_tick: int = 0
+    granted_at: float | None = None
+    heartbeat_at: float | None = None
+    deadline: float | None = None
+    ttl: float | None = None
+
+    @property
+    def wall_clocked(self) -> bool:
+        """Whether this lease carries a wall-clock deadline."""
+        return self.deadline is not None
+
+    def expired(self, now: float, skew_slack: float = DEFAULT_SKEW_SLACK) -> bool:
+        """Wall-clock expiry with skew slack.
+
+        A lease without wall-clock fields (the in-process tier's logical
+        leases, observed after its coordinator died) is treated as
+        expired: its tick clock died with the coordinator.
+        """
+        if self.deadline is None:
+            return True
+        return now > self.deadline + skew_slack
+
+    def renewed(self, now: float) -> "Lease":
+        """This lease with its heartbeat refreshed and deadline extended."""
+        ttl = self.ttl if self.ttl is not None else 0.0
+        return dataclasses.replace(self, heartbeat_at=now, deadline=now + ttl)
+
+    def reissued(self, owner: str, now: float, ttl: float) -> "Lease":
+        """A takeover lease: same chunk, new owner, **bumped epoch**."""
+        return dataclasses.replace(
+            self,
+            owner=owner,
+            epoch=self.epoch + 1,
+            granted_at=now,
+            heartbeat_at=now,
+            deadline=now + ttl,
+            ttl=ttl,
+        )
 
     def path(self, directory: Path) -> Path:
         return directory / f"chunk-{self.chunk:06d}.json"
 
+    def payload(self) -> str:
+        record = {
+            "chunk": self.chunk,
+            "start": self.start,
+            "stop": self.stop,
+            "owner": self.owner,
+            "epoch": self.epoch,
+            "granted_tick": self.granted_tick,
+            "deadline_tick": self.deadline_tick,
+        }
+        if self.wall_clocked:
+            record.update(
+                granted_at=self.granted_at,
+                heartbeat_at=self.heartbeat_at,
+                deadline=self.deadline,
+                ttl=self.ttl,
+            )
+        return json.dumps(record, sort_keys=True) + "\n"
+
     def write(self, directory: Path) -> None:
-        payload = json.dumps(
-            {
-                "chunk": self.chunk,
-                "start": self.start,
-                "stop": self.stop,
-                "owner": self.owner,
-                "epoch": self.epoch,
-                "granted_tick": self.granted_tick,
-                "deadline_tick": self.deadline_tick,
-            },
-            sort_keys=True,
-        )
+        """Atomically write (or rewrite) the lease file.
+
+        Temp file + fsync + ``os.replace``: a reader never observes a
+        half-written lease from *this* path — heartbeats rewrite the lease
+        mid-chunk, so readers and writers genuinely race.  (A worker dying
+        mid-write on a non-atomic network filesystem can still tear one;
+        :func:`read_lease` treats such files as expired.)
+        """
         path = self.path(directory)
-        path.write_text(payload + "\n", encoding="utf-8")
+        fd, temp_name = tempfile.mkstemp(dir=directory, prefix=f".{path.name}-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.payload())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
 
     @classmethod
     def read(cls, path: Path) -> "Lease":
         record = json.loads(path.read_text(encoding="utf-8"))
+        deadline = record.get("deadline")
         return cls(
             chunk=int(record["chunk"]),
             start=int(record["start"]),
             stop=int(record["stop"]),
             owner=str(record["owner"]),
             epoch=int(record["epoch"]),
-            granted_tick=int(record["granted_tick"]),
-            deadline_tick=int(record["deadline_tick"]),
+            granted_tick=int(record.get("granted_tick", 0)),
+            deadline_tick=int(record.get("deadline_tick", 0)),
+            granted_at=None if record.get("granted_at") is None else float(record["granted_at"]),
+            heartbeat_at=(
+                None if record.get("heartbeat_at") is None else float(record["heartbeat_at"])
+            ),
+            deadline=None if deadline is None else float(deadline),
+            ttl=None if record.get("ttl") is None else float(record["ttl"]),
         )
 
 
@@ -385,15 +567,181 @@ def worker_directory(state: CampaignState, owner: str) -> Path:
     return state.directory / "workers" / owner
 
 
+def read_lease(path: Path) -> Lease | None:
+    """One lease file, or ``None`` when it cannot be read.
+
+    A torn or garbled lease file — a worker dying mid-write on a
+    filesystem without atomic rename, a reader racing a non-atomic writer
+    — must never crash the coordinator: it is logged and treated exactly
+    like an expired lease (its chunk is claimable again; the fencing
+    epoch on the *store* side still protects against its zombie writer).
+    """
+    try:
+        return Lease.read(path)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        logger.warning(
+            "skipping unreadable lease file %s (%s); treating it as expired",
+            path, error,
+        )
+        return None
+
+
 def read_leases(state: CampaignState) -> list[Lease]:
-    """Every lease file currently on disk, sorted by chunk index."""
+    """Every readable lease file currently on disk, sorted by chunk index.
+
+    Unreadable (torn) lease files are skipped with a warning — see
+    :func:`read_lease`.
+    """
     directory = lease_directory(state)
     if not directory.is_dir():
         return []
+    leases = (read_lease(path) for path in sorted(directory.glob("chunk-*.json")))
     return sorted(
-        (Lease.read(path) for path in directory.glob("chunk-*.json")),
+        (lease for lease in leases if lease is not None),
         key=lambda lease: lease.chunk,
     )
+
+
+# ---------------------------------------------------------------------------
+# Epoch fences
+# ---------------------------------------------------------------------------
+
+
+def fences_path(state: CampaignState) -> Path:
+    return state.directory / "fences.jsonl"
+
+
+def record_fence(state: CampaignState, chunk: int, epoch: int) -> None:
+    """Record that ``chunk`` may only merge from lease epoch ``epoch`` up.
+
+    Written whenever a lease is re-issued (a retry, an expiry takeover):
+    every result the superseded epochs might still produce is fenced out
+    of the canonical store.  Append-only with an fsynced line per fence —
+    concurrent fencers on a shared directory interleave whole lines in
+    the common case, and :func:`read_fences` tolerates a torn one (the
+    divergent-duplicate check on merge remains the backstop).
+    """
+    line = json.dumps({"chunk": int(chunk), "epoch": int(epoch)}, sort_keys=True)
+    with open(fences_path(state), "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_fences(state: CampaignState) -> dict[int, int]:
+    """Chunk → minimum acceptable lease epoch (highest fence recorded)."""
+    fences: dict[int, int] = {}
+    path = fences_path(state)
+    if not path.exists():
+        return fences
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                chunk, epoch = int(record["chunk"]), int(record["epoch"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                logger.warning("%s: skipping unreadable fence line %d", path, number + 1)
+                continue
+            fences[chunk] = max(epoch, fences.get(chunk, epoch))
+    return fences
+
+
+# ---------------------------------------------------------------------------
+# Coordinator journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalState:
+    """Campaign state reconstructed from a coordinator journal replay."""
+
+    events: list[dict] = field(default_factory=list)
+    retries: int = 0
+    expired_leases: int = 0
+    degraded_chunks: list[int] = field(default_factory=list)
+    abandoned_chunks: list[int] = field(default_factory=list)
+    fences: dict[int, int] = field(default_factory=dict)
+    plan: dict | None = None
+    completed: bool = False
+
+
+class CoordinatorJournal:
+    """Append-only decision journal of a campaign's coordinator.
+
+    Every coordinator decision — the plan adopted, claims observed,
+    expiries declared, requeues, degradations, merges — is an fsynced
+    JSON line in ``coordinator.jsonl``.  A restarted coordinator (or
+    :func:`heal_campaign`, or ``scenarios show``) **replays** the journal
+    to reconstruct exactly what was decided instead of inferring it from
+    leftovers; the journal never holds results, so losing it costs
+    diagnostics, not data.
+    """
+
+    def __init__(self, state: CampaignState) -> None:
+        self.path = state.directory / "coordinator.jsonl"
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, event: str, **fields) -> None:
+        record = {"event": event, "at": time.time(), **fields}
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay(self) -> JournalState:
+        """Reconstruct coordinator state from the journal (tolerantly).
+
+        A torn final line — the coordinator died mid-append — is skipped
+        with a warning, exactly like the stores' torn tails.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    event = record["event"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    logger.warning(
+                        "%s: skipping unreadable journal line %d", self.path, number + 1
+                    )
+                    continue
+                state.events.append(record)
+                if event == "plan":
+                    state.plan = record
+                    state.completed = False
+                elif event == "requeue":
+                    state.retries += 1
+                    fence = int(record.get("fence", 0))
+                    chunk = int(record["chunk"])
+                    state.fences[chunk] = max(fence, state.fences.get(chunk, fence))
+                elif event == "expire":
+                    state.expired_leases += 1
+                elif event == "degrade":
+                    chunk = int(record["chunk"])
+                    if chunk not in state.degraded_chunks:
+                        state.degraded_chunks.append(chunk)
+                elif event == "abandon":
+                    chunk = int(record["chunk"])
+                    if chunk not in state.abandoned_chunks:
+                        state.abandoned_chunks.append(chunk)
+                elif event == "fence":
+                    fence = int(record["epoch"])
+                    chunk = int(record["chunk"])
+                    state.fences[chunk] = max(fence, state.fences.get(chunk, fence))
+                elif event == "complete":
+                    state.completed = True
+        return state
 
 
 # ---------------------------------------------------------------------------
@@ -438,10 +786,17 @@ def _worker_chunk_main(
         state = CampaignState(Path(directory), spec)
         if chunk in state.completed_chunks:
             # A previous attempt crashed after its append: the work is
-            # already durable, the protocol is idempotent — just ack.
+            # already durable, the protocol is idempotent — re-bless the
+            # bytes under the current epoch (they may have been fenced by
+            # the requeue that led here) and ack.
+            state.record_epoch(chunk, attempt)
             os._exit(0)
         fault = injector.worker_fault(chunk, attempt) if injector is not None else None
-        if fault == "hang":
+        if fault in ("hang", "partition", "zombie"):
+            # In-process tier: an expired worker is killed outright, so a
+            # partitioned or zombie worker cannot outlive its takeover —
+            # both collapse to a hang here.  The detached work loop
+            # (repro.scenarios.detached) acts them out fully.
             time.sleep(_HANG_SECONDS)
             os._exit(_EXIT_FAILURE)
         if fault == "poison":
@@ -450,7 +805,7 @@ def _worker_chunk_main(
         if fault == "crash-pre":
             _torn_append(state, chunk, start, stop, rows)
             os._exit(_EXIT_CRASH_PRE)
-        state.append_chunk(chunk, start, stop, rows)
+        state.append_chunk(chunk, start, stop, rows, epoch=attempt)
         if fault == "crash-post":
             os._exit(_EXIT_CRASH_POST)
         os._exit(0)
@@ -497,22 +852,6 @@ class _ActiveLease:
     attempt: int
 
 
-def _validate_plan(state: CampaignState, chunks: list[tuple[int, int]]) -> set[int]:
-    """The single-writer runner's plan check, shared by the fabric."""
-    completed = state.completed_chunks
-    unknown = completed - set(range(len(chunks)))
-    mismatched = sorted(
-        index for index in completed - unknown if state.chunk_range(index) != chunks[index]
-    )
-    if unknown or mismatched:
-        raise ExperimentError(
-            f"store chunks {sorted(unknown) + mismatched} do not fit the "
-            f"{len(chunks)}-chunk plan; resume with the chunk size the campaign "
-            "was started with"
-        )
-    return completed
-
-
 def worker_store_paths(state: CampaignState) -> Iterator[Path]:
     root = state.directory / "workers"
     if not root.is_dir():
@@ -522,28 +861,38 @@ def worker_store_paths(state: CampaignState) -> Iterator[Path]:
             yield path
 
 
-def merge_worker_stores(state: CampaignState) -> MergeReport:
+def merge_worker_stores(
+    state: CampaignState, fences: Mapping[int, int] | None = None
+) -> MergeReport:
     """Merge every per-worker store under a campaign into the canonical one.
 
     Idempotent: chunks already merged are recognised as byte-identical
     duplicates and skipped; worker stores with torn tails (a worker died
     mid-append) are recovered by the store's own open-time truncation
-    before their surviving chunks merge.
+    before their surviving chunks merge; chunks a zombie worker appended
+    under a **fenced** (superseded) lease epoch are skipped with a
+    warning — the re-issued epoch's copy is the canonical one.  ``fences``
+    defaults to the campaign's recorded fences (:func:`read_fences`).
     """
-    return state.merge(*worker_store_paths(state))
+    if fences is None:
+        fences = read_fences(state)
+    return state.merge(*worker_store_paths(state), fences=fences, skip_fenced=True)
 
 
 def _cleanup_if_complete(state: CampaignState, total_chunks: int) -> None:
-    """Drop worker stores and leases once every chunk is canonical.
+    """Drop fabric scaffolding once every chunk is canonical.
 
     Only a fully merged campaign is cleaned: a partial one keeps its
-    worker stores and lease files — they are the recovery evidence
-    :func:`heal_campaign` works from.
+    worker stores, lease files and fences — they are the recovery
+    evidence :func:`heal_campaign` works from.  The coordinator journal
+    is kept either way: it is the campaign's flight record.
     """
     if len(state.completed_chunks) != total_chunks:
         return
     shutil.rmtree(state.directory / "workers", ignore_errors=True)
     shutil.rmtree(lease_directory(state), ignore_errors=True)
+    fences_path(state).unlink(missing_ok=True)
+    (state.directory / "fabric.json").unlink(missing_ok=True)
 
 
 def run_fabric_campaign(
@@ -581,8 +930,9 @@ def run_fabric_campaign(
     # Absorb leftovers of an earlier (possibly crashed) fabric run first:
     # whatever the workers persisted is durable progress.
     merge_worker_stores(state)
-    completed = _validate_plan(state, chunks)
+    completed = validate_plan(state, chunks)
     pending = [index for index in range(len(chunks)) if index not in completed]
+    journal = CoordinatorJournal(state)
     before = len(completed)
     if max_chunks is not None:
         if max_chunks < 0:
@@ -601,6 +951,14 @@ def run_fabric_campaign(
         _cleanup_if_complete(state, len(chunks))
         return result
 
+    journal.append(
+        "plan",
+        total_chunks=len(chunks),
+        chunk_size=chunk_size,
+        pending=len(pending),
+        workers=workers,
+        tier="process",
+    )
     leases_dir = lease_directory(state)
     leases_dir.mkdir(parents=True, exist_ok=True)
     context = multiprocessing.get_context(
@@ -621,6 +979,13 @@ def run_fabric_campaign(
         queue.append((tick + delay_ticks, chunk, next_attempt))
         queue.sort()
         result.retries += 1
+        # The re-issued lease supersedes every earlier epoch of this
+        # chunk: fence them out of the canonical store so a zombie
+        # attempt's late append can never merge.
+        record_fence(state, chunk, next_attempt)
+        journal.append(
+            "requeue", chunk=chunk, attempt=attempt, fence=next_attempt, reason=reason
+        )
         logger.warning(
             "chunk %d attempt %d failed (%s); retrying as attempt %d "
             "after %.3fs backoff",
@@ -638,6 +1003,7 @@ def run_fabric_campaign(
         if chunk not in parent_store.completed_chunks:
             parent_store.append_chunk(chunk, start, stop, rows)
         result.degraded_chunks.append(chunk)
+        journal.append("degrade", chunk=chunk)
         (leases_dir / f"chunk-{chunk:06d}.json").unlink(missing_ok=True)
 
     try:
@@ -654,6 +1020,7 @@ def run_fabric_campaign(
                         leases_dir
                     )
                     result.abandoned_chunks.append(chunk)
+                    journal.append("abandon", chunk=chunk)
                     logger.warning("chunk %d abandoned (injected lost worker)", chunk)
                     continue
                 if attempt >= policy.max_attempts:
@@ -715,6 +1082,9 @@ def run_fabric_campaign(
                     free_owners.append(owner)
                     free_owners.sort()
                     result.expired_leases += 1
+                    journal.append(
+                        "expire", chunk=lease.chunk, owner=owner, epoch=lease.epoch
+                    )
                     requeue(lease.chunk, slot.attempt, "lease expired (hang)")
             if active or (queue and queue[0][0] > tick):
                 time.sleep(policy.poll_interval)
@@ -727,6 +1097,15 @@ def run_fabric_campaign(
 
     result.merge = merge_worker_stores(state)
     result.completed_after = len(state.completed_chunks)
+    journal.append(
+        "merge",
+        added=len(result.merge.added),
+        duplicates=len(result.merge.duplicates),
+        fenced=len(result.merge.fenced),
+        total=result.merge.total_chunks,
+    )
+    if result.finished:
+        journal.append("complete", total_chunks=len(chunks))
     _cleanup_if_complete(state, len(chunks))
     return result
 
@@ -744,6 +1123,7 @@ class HealReport:
     merge: MergeReport
     healed_chunks: list[int] = field(default_factory=list)
     cleared_leases: list[int] = field(default_factory=list)
+    live_leases: list[int] = field(default_factory=list)
     missing_chunks: int = 0
 
     @property
@@ -751,10 +1131,15 @@ class HealReport:
         return self.missing_chunks == 0
 
     def describe(self) -> str:
+        live = (
+            f", {len(self.live_leases)} live lease(s) left to their workers"
+            if self.live_leases
+            else ""
+        )
         return (
             f"{self.merge.describe()}; healed {len(self.healed_chunks)} "
             f"abandoned chunk(s), cleared {len(self.cleared_leases)} stale "
-            f"lease(s), {self.missing_chunks} chunk(s) still missing"
+            f"lease(s){live}, {self.missing_chunks} chunk(s) still missing"
         )
 
 
@@ -762,16 +1147,25 @@ def heal_campaign(
     spec: ScenarioSpec,
     store: CampaignStore | str | Path,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    skew_slack: float = DEFAULT_SKEW_SLACK,
 ) -> HealReport:
     """Recover a campaign whose fabric coordinator died mid-run.
 
     Three passes, each durable on its own:
 
     1. **merge** every surviving per-worker store into the canonical one
-       (crash-after-append chunks and torn worker tails surface here);
+       (crash-after-append chunks and torn worker tails surface here;
+       chunks appended under a fenced, superseded lease epoch are skipped
+       — the re-issued epoch's copy is the canonical one);
     2. **re-evaluate** every leased-but-missing chunk in the healing
        parent — the abandoned/expired leases name their exact
-       ``[start, stop)`` ranges, so no chunk plan is needed to find them;
+       ``[start, stop)`` ranges, so no chunk plan is needed to find them.
+       A **live** wall-clock lease (its ``deadline + skew_slack`` has not
+       passed — a detached worker is still computing it) is left alone
+       and reported in ``live_leases``; logical-tick leases are always
+       stale, their coordinator's tick clock died with it.  An unreadable
+       (torn) lease file is treated as expired and re-evaluated from the
+       chunk plan;
     3. **clear** lease files whose chunks are now canonical.
 
     Chunks that were never leased (the coordinator died before sharding
@@ -783,29 +1177,74 @@ def heal_campaign(
     state = store.campaign(spec)
     merged = merge_worker_stores(state)
     report = HealReport(state=state, merge=merged)
+    journal = CoordinatorJournal(state)
+    now = time.time()
 
-    leases = read_leases(state)
-    stale = [lease for lease in leases if lease.chunk not in state.completed_chunks]
+    plan = plan_chunks(spec.family.count, chunk_size)
+    leases: list[Lease] = []
+    torn_chunks: list[int] = []
+    leases_dir = lease_directory(state)
+    if leases_dir.is_dir():
+        for path in sorted(leases_dir.glob("chunk-*.json")):
+            lease = read_lease(path)
+            if lease is not None:
+                leases.append(lease)
+                continue
+            # The filename carries the chunk index; a torn lease is an
+            # expired lease whose range we recover from the plan.
+            try:
+                torn_chunks.append(int(path.stem.partition("-")[2]))
+            except ValueError:
+                path.unlink(missing_ok=True)
+
+    live = {
+        lease.chunk
+        for lease in leases
+        if lease.chunk not in state.completed_chunks
+        and not lease.expired(now, skew_slack)
+    }
+    report.live_leases = sorted(live)
+    stale: list[tuple[int, int, int]] = [
+        (lease.chunk, lease.start, lease.stop)
+        for lease in leases
+        if lease.chunk not in state.completed_chunks and lease.chunk not in live
+    ]
+    stale.extend(
+        (chunk, *plan[chunk])
+        for chunk in torn_chunks
+        if chunk not in state.completed_chunks and chunk < len(plan)
+    )
     if stale:
         heal_store = CampaignState(worker_directory(state, _HEAL_OWNER), spec)
-        for lease in stale:
-            if lease.chunk not in heal_store.completed_chunks:
-                rows = evaluate_range(spec, lease.start, lease.stop)
-                heal_store.append_chunk(lease.chunk, lease.start, lease.stop, rows)
-            report.healed_chunks.append(lease.chunk)
+        for chunk, start, stop in stale:
+            if chunk not in heal_store.completed_chunks:
+                rows = evaluate_range(spec, start, stop)
+                heal_store.append_chunk(chunk, start, stop, rows)
+            report.healed_chunks.append(chunk)
         healed_merge = state.merge(heal_store)
         report.merge.added.extend(healed_merge.added)
         report.merge.duplicates.extend(healed_merge.duplicates)
         report.merge.rewritten = report.merge.rewritten or healed_merge.rewritten
     report.merge.total_chunks = len(state.completed_chunks)
 
-    leases_dir = lease_directory(state)
     for lease in leases:
         if lease.chunk in state.completed_chunks:
             lease.path(leases_dir).unlink(missing_ok=True)
             report.cleared_leases.append(lease.chunk)
+    for chunk in torn_chunks:
+        if chunk in state.completed_chunks:
+            (leases_dir / f"chunk-{chunk:06d}.json").unlink(missing_ok=True)
 
-    total = len(plan_chunks(spec.family.count, chunk_size))
-    report.missing_chunks = max(0, total - len(state.completed_chunks))
-    _cleanup_if_complete(state, total)
+    report.missing_chunks = max(
+        0, len(plan) - len(state.completed_chunks) - len(report.live_leases)
+    )
+    journal.append(
+        "heal",
+        healed=report.healed_chunks,
+        cleared=report.cleared_leases,
+        live=report.live_leases,
+        missing=report.missing_chunks,
+    )
+    if not report.live_leases:
+        _cleanup_if_complete(state, len(plan))
     return report

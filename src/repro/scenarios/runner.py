@@ -65,6 +65,7 @@ __all__ = [
     "evaluate_range",
     "plan_chunks",
     "run_campaign",
+    "validate_plan",
 ]
 
 
@@ -88,6 +89,29 @@ def plan_chunks(count: int, chunk_size: int) -> list[tuple[int, int]]:
     if chunk_size <= 0:
         raise ExperimentError("chunk_size must be positive")
     return [(start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)]
+
+
+def validate_plan(state: CampaignState, chunks: list[tuple[int, int]]) -> set[int]:
+    """Check a store's persisted chunks against a chunk plan.
+
+    Returns the completed chunk indices; raises when the store holds
+    chunks outside the plan or with drifted ``[start, stop)`` ranges (a
+    campaign resumed with a different chunk size).  Shared by the
+    single-writer runner, the in-process fabric coordinator and the
+    detached (multi-machine) tier — every writer agrees on one plan.
+    """
+    completed = state.completed_chunks
+    unknown = completed - set(range(len(chunks)))
+    mismatched = sorted(
+        index for index in completed - unknown if state.chunk_range(index) != chunks[index]
+    )
+    if unknown or mismatched:
+        raise ExperimentError(
+            f"store chunks {sorted(unknown) + mismatched} do not fit the "
+            f"{len(chunks)}-chunk plan; resume with the chunk size the campaign "
+            "was started with"
+        )
+    return completed
 
 
 def _grid_noise_key(spec: ScenarioSpec, grid_index: int, x) -> int:
@@ -328,17 +352,7 @@ def run_campaign(
     state = store.campaign(spec)
 
     chunks = plan_chunks(spec.family.count, chunk_size)
-    completed = state.completed_chunks
-    unknown = completed - set(range(len(chunks)))
-    mismatched = sorted(
-        index for index in completed - set(unknown) if state.chunk_range(index) != chunks[index]
-    )
-    if unknown or mismatched:
-        raise ExperimentError(
-            f"store chunks {sorted(unknown) + mismatched} do not fit the "
-            f"{len(chunks)}-chunk plan; resume with the chunk size the campaign "
-            "was started with"
-        )
+    completed = validate_plan(state, chunks)
     pending = [index for index in range(len(chunks)) if index not in completed]
     before = len(completed)
     if max_chunks is not None:

@@ -102,13 +102,15 @@ class MergeReport:
 
     added: list[int] = field(default_factory=list)
     duplicates: list[int] = field(default_factory=list)
+    fenced: list[int] = field(default_factory=list)
     rewritten: bool = False
     total_chunks: int = 0
 
     def describe(self) -> str:
+        fenced = f", {len(self.fenced)} fenced chunk(s) rejected" if self.fenced else ""
         return (
             f"merged {len(self.added)} new chunk(s), "
-            f"{len(self.duplicates)} duplicate(s) skipped, "
+            f"{len(self.duplicates)} duplicate(s) skipped{fenced}, "
             f"{self.total_chunks} total"
         )
 
@@ -165,16 +167,26 @@ def _cell_statistics(array: np.ndarray, quantiles: Sequence[float]) -> dict[str,
 
 
 class CampaignState:
-    """One spec's slice of the store: its directory, chunks and rows."""
+    """One spec's slice of the store: its directory, chunks and rows.
 
-    def __init__(self, directory: Path, spec: ScenarioSpec) -> None:
+    ``read_only=True`` opens a **snapshot**: nothing on disk is created,
+    repaired or truncated — a torn tail is noted in ``recovered_tail`` and
+    skipped, not cut away.  This is how a live store owned by *another*
+    process (a detached fabric worker mid-append) is observed safely: a
+    repairing open would truncate bytes the owner is still writing behind.
+    """
+
+    def __init__(self, directory: Path, spec: ScenarioSpec, read_only: bool = False) -> None:
         self.directory = Path(directory)
         self.spec = spec
+        self.read_only = read_only
         self.spec_path = self.directory / "spec.json"
         self.chunks_path = self.directory / "chunks.jsonl"
+        self.epochs_path = self.directory / "epochs.jsonl"
         self._ranges: dict[int, tuple[int, int]] = {}
         self._row_counts: dict[int, int] = {}
         self._spans: dict[int, tuple[int, int]] = {}
+        self._epochs: dict[int, int] = {}
         #: Set when opening the store recovered from a torn write; the
         #: diagnostic names the byte offset and chunk index it dropped so
         #: ``scenarios show`` (and logs) can report it instead of the old
@@ -183,7 +195,8 @@ class CampaignState:
         self._load()
 
     def _load(self) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
+        if not self.read_only:
+            self.directory.mkdir(parents=True, exist_ok=True)
         if self.spec_path.exists():
             stored = ScenarioSpec.from_json(self.spec_path.read_text(encoding="utf-8"))
             if spec_hash(stored) != spec_hash(self.spec):
@@ -191,11 +204,15 @@ class CampaignState:
                     f"store directory {self.directory} holds results of a different "
                     f"spec ({stored.name!r}); refusing to mix campaigns"
                 )
-        else:
-            self.spec_path.write_text(self.spec.to_json() + "\n", encoding="utf-8")
+        elif not self.read_only:
+            # Atomic first write: two fabric workers bootstrapping the same
+            # campaign directory concurrently must never interleave a torn
+            # spec.json (they write identical canonical JSON either way).
+            _atomic_write_text(self.spec_path, self.spec.to_json() + "\n")
         self._ranges = {}
         self._row_counts = {}
         self._spans = {}
+        self._epochs = _load_epochs(self.epochs_path)
         if not self.chunks_path.exists():
             return
         # Index pass: records are parsed one line at a time to validate
@@ -239,25 +256,31 @@ class CampaignState:
                     self._row_counts[index] = len(record["rows"])
                     self._spans[index] = (line_start, offset)
         if truncate_at is not None:
-            with open(self.chunks_path, "r+b") as handle:
-                handle.truncate(truncate_at)
+            if not self.read_only:
+                with open(self.chunks_path, "r+b") as handle:
+                    handle.truncate(truncate_at)
             self.recovered_tail = TornTailRecovery(
                 kind="torn-tail",
                 byte_offset=truncate_at,
                 dropped_bytes=size - truncate_at,
                 chunk_index=_torn_chunk_index(torn_line),
             )
-            logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
+            if not self.read_only:
+                logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
         elif size and not ends_with_newline:
             # No torn tail; a final record missing only its newline (flush
             # raced the kill after the JSON but before "\n") still needs
-            # one before the next append.
-            with open(self.chunks_path, "ab") as handle:
-                handle.write(b"\n")
+            # one before the next append.  A read-only snapshot of a live
+            # store may simply have caught the owner between its JSON write
+            # and the trailing newline: index the record, repair nothing.
+            if not self.read_only:
+                with open(self.chunks_path, "ab") as handle:
+                    handle.write(b"\n")
             self.recovered_tail = TornTailRecovery(
                 kind="missing-newline", byte_offset=size, dropped_bytes=0
             )
-            logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
+            if not self.read_only:
+                logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
 
     @property
     def completed_chunks(self) -> set[int]:
@@ -309,10 +332,54 @@ class CampaignState:
         """
         return self._ranges[index]
 
-    def append_chunk(self, index: int, start: int, stop: int, rows: Sequence[Mapping]) -> None:
-        """Persist one finished chunk (atomic at line granularity)."""
+    def chunk_epoch(self, index: int) -> int | None:
+        """The lease epoch a chunk was appended under, if one was recorded.
+
+        ``None`` means "no epoch metadata" — chunks written by the
+        single-writer runner, the degradation path or a pre-fencing store;
+        fence checks treat them as trusted.
+        """
+        return self._epochs.get(index)
+
+    def record_epoch(self, index: int, epoch: int) -> None:
+        """Record (or re-bless) the lease epoch of one chunk.
+
+        Appended to the ``epochs.jsonl`` sidecar — never to the chunk
+        record itself, which must stay byte-identical to a single-writer
+        run.  The highest epoch recorded for a chunk wins, so a worker
+        acknowledging already-durable bytes under a re-issued lease lifts
+        them over the fence without rewriting them.
+        """
+        if self.read_only:
+            raise ExperimentError(f"store {self.directory} is open read-only")
+        line = json.dumps({"chunk": int(index), "epoch": int(epoch)}, sort_keys=True)
+        with open(self.epochs_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._epochs[index] = max(epoch, self._epochs.get(index, epoch))
+
+    def append_chunk(
+        self,
+        index: int,
+        start: int,
+        stop: int,
+        rows: Sequence[Mapping],
+        epoch: int | None = None,
+    ) -> None:
+        """Persist one finished chunk (atomic at line granularity).
+
+        ``epoch`` (fabric workers only) records the lease epoch the chunk
+        was evaluated under in the ``epochs.jsonl`` sidecar **before** the
+        chunk bytes land, so a zombie worker that dies mid-protocol still
+        leaves the fence evidence behind.
+        """
+        if self.read_only:
+            raise ExperimentError(f"store {self.directory} is open read-only")
         if index in self._ranges:
             raise ExperimentError(f"chunk {index} is already persisted")
+        if epoch is not None:
+            self.record_epoch(index, epoch)
         payload = json.dumps(
             {"chunk": index, "start": int(start), "stop": int(stop), "rows": list(rows)},
             sort_keys=True,
@@ -330,7 +397,12 @@ class CampaignState:
         self._row_counts[index] = len(rows)
         self._spans[index] = (span_stop - len(payload), span_stop)
 
-    def merge(self, *sources: "CampaignState | str | Path") -> MergeReport:
+    def merge(
+        self,
+        *sources: "CampaignState | str | Path",
+        fences: Mapping[int, int] | None = None,
+        skip_fenced: bool = False,
+    ) -> MergeReport:
         """Fold other stores of the *same spec* into this one.
 
         The multi-writer primitive of the campaign fabric: every worker
@@ -339,6 +411,15 @@ class CampaignState:
 
         * **spec-hash-checked** — a source holding a different spec's
           results is rejected loudly, never silently mixed;
+        * **epoch-fenced** — ``fences`` maps chunk index to the minimum
+          acceptable lease epoch: a source chunk recorded under a
+          *superseded* epoch (a zombie worker that appended after its
+          lease was re-issued) is rejected loudly — or, with
+          ``skip_fenced=True`` (the fabric's merge, which knows the
+          re-issued epoch's copy is the canonical one), skipped with a
+          warning and reported in ``MergeReport.fenced``.  Chunks without
+          epoch metadata are trusted (single-writer, degraded and
+          pre-fencing stores);
         * **idempotent and duplicate-tolerant** — a chunk index present in
           several stores with byte-identical records (the normal outcome
           of a retried chunk: chunk results are deterministic in the spec)
@@ -354,9 +435,19 @@ class CampaignState:
           produced.
         """
         own_hash = spec_hash(self.spec)
+        fences = fences or {}
         accepted_lines: dict[int, bytes] = {}
         accepted_ranges = dict(self._ranges)
         report = MergeReport()
+
+        def record_line(source: "CampaignState", index: int) -> bytes:
+            # A read-only snapshot of a live store may have indexed a final
+            # record caught before its trailing newline landed; the append
+            # path always writes record + "\n", so restoring it here keeps
+            # the merged layout byte-identical to a single-writer run.
+            raw = source.raw_chunk_line(index)
+            return raw if raw.endswith(b"\n") else raw + b"\n"
+
         for source in sources:
             if isinstance(source, (str, Path)):
                 source = CampaignState(Path(source), self.spec)
@@ -368,13 +459,29 @@ class CampaignState:
                 )
             for index in sorted(source._ranges):
                 start, stop = source._ranges[index]
+                epoch = source.chunk_epoch(index)
+                fence = fences.get(index)
+                if epoch is not None and fence is not None and epoch < fence:
+                    if not skip_fenced:
+                        raise ExperimentError(
+                            f"chunk {index} in {source.directory} is fenced: it was "
+                            f"appended under superseded lease epoch {epoch} (the "
+                            f"chunk was re-issued at epoch {fence}); a zombie "
+                            f"worker's result cannot enter the canonical store"
+                        )
+                    logger.warning(
+                        "%s: skipping fenced chunk %d (epoch %d < fence %d)",
+                        source.directory, index, epoch, fence,
+                    )
+                    report.fenced.append(index)
+                    continue
                 if index in accepted_ranges:
                     known = (
                         accepted_lines[index]
                         if index in accepted_lines
                         else self.raw_chunk_line(index)
                     )
-                    if source.raw_chunk_line(index) != known:
+                    if record_line(source, index) != known:
                         raise ExperimentError(
                             f"divergent duplicate chunk {index} in {source.directory}: "
                             f"its record differs from the one already merged — "
@@ -389,7 +496,7 @@ class CampaignState:
                             f"overlaps chunk {other} [{o_start}, {o_stop}); "
                             f"chunk-size drift between stores is not mergeable"
                         )
-                accepted_lines[index] = source.raw_chunk_line(index)
+                accepted_lines[index] = record_line(source, index)
                 accepted_ranges[index] = (start, stop)
                 report.added.append(index)
         if accepted_lines:
@@ -564,6 +671,52 @@ class _MemberAllocator:
         """Flush every memmap so the staged files are complete on disk."""
         for column in self._columns.values():
             column.flush()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write a small metadata file atomically (temp + fsync + replace).
+
+    Concurrent writers of *identical* content (two workers bootstrapping
+    one campaign) race harmlessly — ``os.replace`` leaves whichever full
+    copy landed last, never an interleaving.
+    """
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+        raise
+
+
+def _load_epochs(path: Path) -> dict[int, int]:
+    """Chunk → highest recorded lease epoch from an ``epochs.jsonl`` sidecar.
+
+    Tolerant by design: the sidecar is advisory fence evidence, so a torn
+    or garbled line (a worker killed mid-write) is skipped with a warning
+    rather than failing the open — a chunk without a readable epoch is
+    simply treated as unfenced metadata-wise.
+    """
+    epochs: dict[int, int] = {}
+    if not path.exists():
+        return epochs
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                index, epoch = int(record["chunk"]), int(record["epoch"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                logger.warning("%s: skipping unreadable epoch line %d", path, number + 1)
+                continue
+            epochs[index] = max(epoch, epochs.get(index, epoch))
+    return epochs
 
 
 def _torn_chunk_index(torn_line: str | None) -> int | None:

@@ -447,3 +447,107 @@ class TestFabricCommands:
         assert main(["scenarios", "show", str(path), "--store", str(store)]) == 0
         out = capsys.readouterr().out
         assert "recovered on open: dropped torn tail of chunk 3" in out
+
+
+class TestDetachedCommands:
+    """The multi-machine tier through the CLI: the 'work' verb and the
+    '--detached-workers' coordinator mode over one shared store."""
+
+    @pytest.fixture()
+    def tiny_space(self, tmp_path):
+        from repro.scenarios.spec import named_space
+
+        spec = named_space("fig12").derive(
+            name="cli-detached", count=6, matrix_sizes=(40, 120), noise=None
+        )
+        path = tmp_path / "space.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        return spec, path, tmp_path / "store"
+
+    @pytest.fixture(autouse=True)
+    def restore_signal_handlers(self):
+        import signal
+
+        term = signal.getsignal(signal.SIGTERM)
+        intr = signal.getsignal(signal.SIGINT)
+        yield
+        signal.signal(signal.SIGTERM, term)
+        signal.signal(signal.SIGINT, intr)
+
+    def test_work_gives_up_without_a_coordinator(self, capsys, tmp_path):
+        code = main(
+            ["scenarios", "work", str(tmp_path / "empty"), "--owner", "w0",
+             "--wait", "0.1"]
+        )
+        assert code == 0
+        assert "worker w0: 0 chunk(s) completed" in capsys.readouterr().out
+
+    def test_work_and_detached_coordinator_converge(self, capsys, tiny_space, tmp_path):
+        import multiprocessing
+
+        from repro.scenarios.spec import spec_hash
+
+        spec, path, store = tiny_space
+        single = tmp_path / "single"
+        assert main(
+            ["scenarios", "run", str(path), "--store", str(single), "--chunk-size", "2"]
+        ) == 0
+        capsys.readouterr()
+
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(
+                target=main,
+                args=(
+                    ["scenarios", "work", str(store), "--space", str(path),
+                     "--owner", f"cli-w{index}", "--poll", "0.05", "--wait", "20"],
+                ),
+            )
+            for index in range(2)
+        ]
+        for process in workers:
+            process.start()
+        try:
+            code = main(
+                [
+                    "scenarios", "run", str(path), "--store", str(store),
+                    "--chunk-size", "2", "--detached-workers",
+                    "--chunk-timeout", "5", "--wait-timeout", "60",
+                ]
+            )
+        finally:
+            for process in workers:
+                process.join(timeout=30)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+        assert code == 0
+        assert "chunks: 3/3 complete" in capsys.readouterr().out
+        reference = (single / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        assert (store / spec_hash(spec) / "chunks.jsonl").read_bytes() == reference
+
+    def test_detached_workers_rejects_spawning_flags(self, tiny_space):
+        spec, path, store = tiny_space
+        for extra in (
+            ["--workers", "2"],
+            ["--faults", "crash-pre@0"],
+            ["--max-chunks", "1"],
+        ):
+            with pytest.raises(SystemExit):
+                main(
+                    ["scenarios", "run", str(path), "--store", str(store),
+                     "--detached-workers", *extra]
+                )
+
+    def test_skew_slack_requires_detached_workers(self, tiny_space):
+        spec, path, store = tiny_space
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "run", str(path), "--store", str(store),
+                 "--skew-slack", "5"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["scenarios", "run", str(path), "--store", str(store),
+                 "--wait-timeout", "5"]
+            )

@@ -369,3 +369,281 @@ class TestMergeWorkerStores:
         report = merge_worker_stores(state)
         assert report.added == [0]
         assert state.completed_chunks == {0}
+
+
+class TestFaultSpecErrorPaths:
+    """`from_spec` must name the offending term; valid specs round-trip."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus@x",
+            "meteor@1",
+            "hang@x",
+            "random:1:-0.5",
+            "random:1:1.5",
+            "random:1:0.5:meteor",
+            "random:9",
+            "random:a:0.5",
+            "skew:abc",
+        ],
+    )
+    def test_malformed_terms_are_named(self, text):
+        # The failing term itself appears in the message (the spec may
+        # hold several comma-separated terms; the user needs to know
+        # which one was rejected).
+        offending = text.split(",")[0]
+        with pytest.raises(ExperimentError) as excinfo:
+            FaultInjector.from_spec(text)
+        message = str(excinfo.value)
+        assert offending in message or offending.partition("@")[0] in message
+
+    def test_negative_rate_is_rejected_with_term(self):
+        with pytest.raises(ExperimentError, match=r"random:1:-0\.5"):
+            FaultInjector.from_spec("crash-pre@0,random:1:-0.5")
+
+    def test_out_of_range_rate_is_rejected_with_term(self):
+        with pytest.raises(ExperimentError, match=r"random:2:1\.5"):
+            FaultInjector.from_spec("random:2:1.5")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "crash-pre@0",
+            "poison@3",
+            "hang@1:1",
+            "crash-post@4:*",
+            "partition@1",
+            "zombie@2",
+            "random:7:0.25",
+            "random:7:0.5:hang+poison",
+            "skew:1.5",
+            "skew:-2.0",
+            "crash-pre@0,hang@2:1,random:3:0.1,skew:0.75",
+        ],
+    )
+    def test_valid_specs_round_trip_through_str(self, text):
+        injector = FaultInjector.from_spec(text)
+        assert FaultInjector.from_spec(str(injector)) == injector
+
+    def test_canonical_str_is_stable(self):
+        injector = FaultInjector.from_spec(" crash-pre@0 , poison@3 ,random:7:0.5")
+        assert str(FaultInjector.from_spec(str(injector))) == str(injector)
+
+
+class TestTornLeaseFiles:
+    """Satellite: a torn lease JSON must never crash the coordinator."""
+
+    def test_read_leases_skips_unreadable_files(self, tmp_path, caplog):
+        import logging
+
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        state = CampaignStore(tmp_path).campaign(spec)
+        leases_dir = lease_directory(state)
+        leases_dir.mkdir(parents=True)
+        good = Lease(chunk=1, start=2, stop=4, owner="w0", epoch=0,
+                     granted_tick=1, deadline_tick=100)
+        good.write(leases_dir)
+        (leases_dir / "chunk-000000.json").write_text('{"chunk": 0, "sta', encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.scenarios.fabric"):
+            leases = read_leases(state)
+        assert [lease.chunk for lease in leases] == [1]
+        assert any("unreadable lease" in record.message for record in caplog.records)
+
+    def test_heal_treats_torn_lease_as_expired(self, tmp_path):
+        """The torn lease's chunk is recovered from the chunk plan."""
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", chunk_size=2)
+        run_campaign(spec, tmp_path / "torn", chunk_size=2, max_chunks=2)
+        state = CampaignStore(tmp_path / "torn").campaign(spec)
+        leases_dir = lease_directory(state)
+        leases_dir.mkdir(parents=True)
+        (leases_dir / "chunk-000002.json").write_text("{garbled", encoding="utf-8")
+        report = heal_campaign(spec, tmp_path / "torn", chunk_size=2)
+        assert report.complete
+        assert 2 in report.healed_chunks
+        assert store_bytes(tmp_path / "torn", spec) == store_bytes(tmp_path / "ref", spec)
+
+
+class TestMergeFencing:
+    """Satellite: stale-epoch chunks are fenced out, re-issued ones merge."""
+
+    def _worker_with_chunk(self, state, owner, epoch, spec):
+        worker = CampaignState(worker_directory(state, owner), spec)
+        worker.append_chunk(0, 0, 2, evaluate_range(spec, 0, 2), epoch=epoch)
+        return worker
+
+    def test_fenced_chunk_is_rejected_loudly_by_default(self, tmp_path):
+        from repro.scenarios.fabric import record_fence
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        state = CampaignStore(tmp_path).campaign(spec)
+        zombie = self._worker_with_chunk(state, "zombie", epoch=0, spec=spec)
+        record_fence(state, 0, 1)
+        from repro.scenarios.fabric import read_fences
+
+        with pytest.raises(ExperimentError, match="fenced"):
+            state.merge(zombie, fences=read_fences(state))
+
+    def test_reissued_epoch_merges_cleanly_over_fenced_copy(self, tmp_path):
+        from repro.scenarios.fabric import read_fences, record_fence
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", chunk_size=2, max_chunks=1)
+        state = CampaignStore(tmp_path / "fab").campaign(spec)
+        self._worker_with_chunk(state, "zombie", epoch=0, spec=spec)
+        self._worker_with_chunk(state, "taker", epoch=1, spec=spec)
+        record_fence(state, 0, 1)
+        report = merge_worker_stores(state)
+        assert report.fenced == [0]
+        assert report.added == [0]
+        assert state.completed_chunks == {0}
+        # The canonical bytes are the single-writer bytes either way.
+        assert (state.chunks_path.read_bytes()
+                == store_bytes(tmp_path / "ref", spec))
+
+    def test_unfenced_epochless_chunks_stay_trusted(self, tmp_path):
+        """Single-writer/degraded stores carry no epoch metadata."""
+        from repro.scenarios.fabric import record_fence
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        state = CampaignStore(tmp_path).campaign(spec)
+        worker = CampaignState(worker_directory(state, "degraded"), spec)
+        worker.append_chunk(0, 0, 2, evaluate_range(spec, 0, 2))  # no epoch
+        record_fence(state, 0, 5)
+        report = merge_worker_stores(state)
+        assert report.added == [0]
+        assert report.fenced == []
+
+
+class TestWallClockLease:
+    def test_wall_clock_round_trip(self, tmp_path):
+        lease = Lease(chunk=2, start=4, stop=6, owner="host-1", epoch=3,
+                      granted_at=100.0, heartbeat_at=105.0, deadline=115.0, ttl=10.0)
+        lease.write(tmp_path)
+        assert Lease.read(lease.path(tmp_path)) == lease
+        assert lease.wall_clocked
+
+    def test_expiry_honours_skew_slack(self):
+        lease = Lease(chunk=0, start=0, stop=2, owner="w", epoch=0,
+                      granted_at=0.0, heartbeat_at=0.0, deadline=10.0, ttl=10.0)
+        assert not lease.expired(now=10.5, skew_slack=2.0)
+        assert not lease.expired(now=12.0, skew_slack=2.0)
+        assert lease.expired(now=12.1, skew_slack=2.0)
+
+    def test_logical_lease_counts_as_expired_on_the_wall_clock(self):
+        # Its tick clock died with the in-process coordinator.
+        lease = Lease(chunk=0, start=0, stop=2, owner="w", epoch=0,
+                      granted_tick=5, deadline_tick=500)
+        assert not lease.wall_clocked
+        assert lease.expired(now=0.0)
+
+    def test_renewed_extends_deadline(self):
+        lease = Lease(chunk=0, start=0, stop=2, owner="w", epoch=0,
+                      granted_at=0.0, heartbeat_at=0.0, deadline=10.0, ttl=10.0)
+        renewed = lease.renewed(now=8.0)
+        assert renewed.heartbeat_at == 8.0
+        assert renewed.deadline == 18.0
+        assert renewed.epoch == lease.epoch
+
+    def test_reissued_bumps_epoch_and_owner(self):
+        lease = Lease(chunk=0, start=0, stop=2, owner="w", epoch=1,
+                      granted_at=0.0, heartbeat_at=0.0, deadline=10.0, ttl=10.0)
+        taken = lease.reissued("taker", now=20.0, ttl=5.0)
+        assert taken.owner == "taker"
+        assert taken.epoch == 2
+        assert taken.deadline == 25.0
+
+
+class TestCoordinatorJournal:
+    def test_replay_reconstructs_counters(self, tmp_path):
+        from repro.scenarios.fabric import CoordinatorJournal
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        state = CampaignStore(tmp_path).campaign(spec)
+        journal = CoordinatorJournal(state)
+        journal.append("plan", total_chunks=3, chunk_size=2, pending=3)
+        journal.append("requeue", chunk=1, attempt=0, fence=1, reason="crash")
+        journal.append("expire", chunk=2, owner="w0", epoch=0)
+        journal.append("requeue", chunk=2, attempt=0, fence=1, reason="lease expired")
+        journal.append("degrade", chunk=1)
+        journal.append("complete", total_chunks=3)
+        replayed = journal.replay()
+        assert replayed.retries == 2
+        assert replayed.expired_leases == 1
+        assert replayed.degraded_chunks == [1]
+        assert replayed.fences == {1: 1, 2: 1}
+        assert replayed.completed
+        assert replayed.plan["total_chunks"] == 3
+
+    def test_replay_tolerates_torn_tail_line(self, tmp_path, caplog):
+        import logging
+
+        from repro.scenarios.fabric import CoordinatorJournal
+        from repro.scenarios.store import CampaignStore
+
+        state = CampaignStore(tmp_path).campaign(small_spec())
+        journal = CoordinatorJournal(state)
+        journal.append("plan", total_chunks=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "requeue", "chu')
+        with caplog.at_level(logging.WARNING, logger="repro.scenarios.fabric"):
+            replayed = journal.replay()
+        assert replayed.plan is not None
+        assert replayed.retries == 0
+
+    def test_fabric_run_journals_its_decisions(self, tmp_path):
+        from repro.scenarios.fabric import CoordinatorJournal
+
+        spec = small_spec()
+        progress = run_fabric_campaign(
+            spec, tmp_path, workers=2, chunk_size=2,
+            policy=fast_policy(), faults="poison@2",
+        )
+        assert progress.finished
+        journal = CoordinatorJournal(progress.state)
+        assert journal.exists()  # kept even after cleanup: the flight record
+        replayed = journal.replay()
+        assert replayed.retries == progress.retries
+        assert replayed.degraded_chunks == progress.degraded_chunks
+        assert replayed.completed
+
+
+class TestHealLiveLeases:
+    def test_heal_skips_live_wall_clock_leases(self, tmp_path):
+        import time as time_module
+
+        from repro.scenarios.store import CampaignStore
+
+        spec = small_spec()
+        run_campaign(spec, tmp_path, chunk_size=2, max_chunks=2)
+        state = CampaignStore(tmp_path).campaign(spec)
+        leases_dir = lease_directory(state)
+        leases_dir.mkdir(parents=True)
+        now = time_module.time()
+        live = Lease(chunk=2, start=4, stop=6, owner="far-machine", epoch=0,
+                     granted_at=now, heartbeat_at=now, deadline=now + 60.0, ttl=60.0)
+        live.write(leases_dir)
+        report = heal_campaign(spec, tmp_path, chunk_size=2)
+        assert report.live_leases == [2]
+        assert report.healed_chunks == []
+        assert live.path(leases_dir).exists()
+        assert "live lease" in report.describe()
+        # Once the lease has expired (well past deadline + slack), heal
+        # reclaims the chunk.
+        dead = Lease(chunk=2, start=4, stop=6, owner="far-machine", epoch=0,
+                     granted_at=now - 120, heartbeat_at=now - 120,
+                     deadline=now - 60.0, ttl=60.0)
+        dead.write(leases_dir)
+        report = heal_campaign(spec, tmp_path, chunk_size=2)
+        assert report.live_leases == []
+        assert report.healed_chunks == [2]
+        assert report.complete
