@@ -16,7 +16,8 @@ bench:
 ## scenario campaign (the one_port:false evaluation chain) at a reduced
 ## platform count.  The raw record goes to BENCH_campaign.json (overwritten,
 ## as before); a compact per-run summary (git sha, wall-clocks incl. the
-## two-port campaign, speedup vs the PR-1 reference) is APPENDED to
+## two-port campaign, speedup vs the PR-1 reference, and the telemetry
+## subsystem's measured overhead_pct) is APPENDED to
 ## BENCH_TRAJECTORY.jsonl so successive PRs accumulate a perf trajectory.
 ## REPRO_BENCH_PLATFORM_COUNT=50 reproduces the paper-scale acceptance
 ## measurement.
@@ -30,6 +31,7 @@ bench-smoke:
 
 ## Bench-regression gate: compare the newest BENCH_TRAJECTORY.jsonl row
 ## against the most recent comparable one (same platform_count/cpu_count)
-## and fail if any wall-clock regressed by more than 25%.
+## and fail if any wall-clock regressed by more than 25% — or if the
+## newest row's telemetry_overhead_pct exceeds 2%.
 bench-check:
 	$(PYTHON) benchmarks/check_trajectory.py BENCH_TRAJECTORY.jsonl

@@ -40,6 +40,10 @@ SCALAR_CLOCKS = (
 #: Keys two rows must agree on to be comparable at all.
 CONTEXT_KEYS = ("platform_count", "cpu_count")
 
+#: Absolute ceiling on the telemetry subsystem's measured overhead — the
+#: PR-8 acceptance bar, gated on the newest row alone (no baseline needed).
+TELEMETRY_OVERHEAD_LIMIT_PCT = 2.0
+
 
 def load_rows(path: Path) -> list[dict]:
     """Parse the trajectory, skipping blank lines."""
@@ -71,11 +75,35 @@ def collect_clocks(row: dict) -> dict[str, float]:
     return clocks
 
 
+def check_telemetry_overhead(row: dict) -> int:
+    """Absolute gate: the newest row's telemetry overhead must stay < 2%."""
+    value = row.get("telemetry_overhead_pct")
+    if not isinstance(value, (int, float)):
+        return 0
+    over = value > TELEMETRY_OVERHEAD_LIMIT_PCT
+    marker = "REGRESSION" if over else "ok"
+    print(
+        f"bench-check: telemetry_overhead_pct {value:+6.2f}% "
+        f"(limit {TELEMETRY_OVERHEAD_LIMIT_PCT:.1f}%)  {marker}"
+    )
+    if over:
+        print(
+            "bench-check: FAILED — telemetry instrumentation costs more than "
+            f"{TELEMETRY_OVERHEAD_LIMIT_PCT:.1f}% of an instrumented campaign"
+        )
+        return 1
+    return 0
+
+
 def check(rows: list[dict], threshold: float) -> int:
     """Compare the newest row against its baseline; return the exit code."""
+    if not rows:
+        print("bench-check: empty trajectory; nothing to compare")
+        return 0
+    telemetry_failed = check_telemetry_overhead(rows[-1])
     if len(rows) < 2:
         print("bench-check: fewer than two trajectory rows; nothing to compare")
-        return 0
+        return telemetry_failed
     current = rows[-1]
     baseline = next((row for row in reversed(rows[:-1]) if comparable(current, row)), None)
     if baseline is None:
@@ -84,14 +112,14 @@ def check(rows: list[dict], threshold: float) -> int:
             + ", ".join(f"{key}={current.get(key)}" for key in CONTEXT_KEYS)
             + "; this run establishes the baseline"
         )
-        return 0
+        return telemetry_failed
 
     current_clocks = collect_clocks(current)
     baseline_clocks = collect_clocks(baseline)
     shared = sorted(set(current_clocks) & set(baseline_clocks))
     if not shared:
         print("bench-check: the rows share no wall-clock keys; nothing to compare")
-        return 0
+        return telemetry_failed
 
     regressions = []
     for name in shared:
@@ -116,7 +144,7 @@ def check(rows: list[dict], threshold: float) -> int:
         f"bench-check: OK — no wall-clock regressed by more than {threshold:.0%} "
         f"vs {baseline.get('sha', 'unknown')}"
     )
-    return 0
+    return telemetry_failed
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -63,6 +63,7 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
     campaign = None
     sampler = None
     twoport = None
+    telemetry = None
     kernel_means: dict[str, dict[int, float]] = {"fast": {}, "scipy": {}}
     batch_speedups: dict[int, float] = {}
     for bench in data.get("benchmarks", []):
@@ -73,6 +74,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
             sampler = extra["sampler"]
         if "twoport_campaign" in extra:
             twoport = extra["twoport_campaign"]
+        if "telemetry" in extra:
+            telemetry = extra["telemetry"]
         name = bench.get("name", "")
         workers = extra.get("workers")
         if workers is not None and "test_fast_kernel" in name:
@@ -109,6 +112,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
         entry["twoport_platform_count"] = twoport.get("platform_count")
         entry["twoport_wall_clock_seconds"] = twoport.get("wall_clock_seconds")
         entry["twoport_scenarios_per_second"] = twoport.get("scenarios_per_second")
+    if telemetry is not None:
+        entry["telemetry_overhead_pct"] = telemetry.get("overhead_pct")
     kernel_speedup = {
         workers: round(kernel_means["scipy"][workers] / mean, 2)
         for workers, mean in kernel_means["fast"].items()

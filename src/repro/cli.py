@@ -152,12 +152,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the family's seed (derives a new space)",
         )
 
+    def add_observability_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--telemetry",
+            choices=("off", "on", "verbose"),
+            default="off",
+            help="write spans + metric snapshots to the campaign's telemetry/ "
+            "sidecar (additive: chunks.jsonl stays byte-identical; 'verbose' "
+            "fsyncs every span line and emits per-call kernel records)",
+        )
+        sub.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error", "critical"),
+            default=None,
+            help="stderr threshold for the repro.* structured loggers "
+            "(default: warning)",
+        )
+
     for verb, help_text in (
         ("run", "run (or continue) a scenario campaign, persisting chunk by chunk"),
         ("resume", "complete a previously interrupted campaign (requires prior results)"),
     ):
         sub = scenarios_sub.add_parser(verb, help=help_text)
         add_space_argument(sub)
+        add_observability_arguments(sub)
         sub.add_argument(
             "--chunk-size",
             type=int,
@@ -324,6 +342,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long to wait for the coordinator's campaign advert to "
         "appear before giving up (default: 30)",
     )
+    add_observability_arguments(work)
+
+    status = scenarios_sub.add_parser(
+        "status",
+        help="live status view of a campaign directory: chunk progress, "
+        "throughput/ETA, lease health, and phase/kernel profile from the "
+        "telemetry sidecar when present",
+    )
+    status.add_argument(
+        "store_dir",
+        metavar="DIR",
+        help="the campaign directory (…/<spec-hash>) — or, with --space, the "
+        "store root the other verbs use",
+    )
+    status.add_argument(
+        "--space",
+        default=None,
+        help="space name or spec JSON path; DIR is then the store root and "
+        "the campaign directory is derived from the spec hash",
+    )
+    status.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="override the family's platform count (derives a new space)",
+    )
+    status.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the family's seed (derives a new space)",
+    )
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render every --interval seconds until the campaign completes",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period for --follow (default: 2.0)",
+    )
 
     show = scenarios_sub.add_parser(
         "show", help="print a space's spec and any stored progress/aggregates"
@@ -410,6 +468,23 @@ def _show_fabric_state(state) -> None:
         print("recover with 'scenarios heal' (or fold results in with 'scenarios merge')")
 
 
+def _build_telemetry(args: argparse.Namespace, campaign_dir: Path, owner: str):
+    """Honour ``--log-level`` and construct the ``--telemetry`` emitter.
+
+    Returns ``None`` when telemetry is off — ``repro.obs.activate(None)``
+    then installs the shared no-op sink, so the call sites need no
+    branching.
+    """
+    from repro.obs import TELEMETRY_DIR_NAME, Telemetry, configure_logging
+
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        return None
+    return Telemetry(Path(campaign_dir) / TELEMETRY_DIR_NAME, owner=owner, mode=mode)
+
+
 def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.scenarios.runner import DEFAULT_CHUNK_SIZE, aggregate_figure, run_campaign
     from repro.scenarios.spec import NAMED_SPACES, available_spaces, spec_hash
@@ -424,9 +499,7 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             )
         return 0
 
-    if args.scenarios_command == "work":
-        from repro.scenarios.detached import DEFAULT_CLAIM_POLL, work_loop
-
+    if args.scenarios_command in ("work", "status"):
         campaign_dir = Path(args.store_dir)
         spec = None
         if args.space is not None:
@@ -436,16 +509,32 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             if args.seed is not None:
                 spec = spec.derive(seed=args.seed)
             campaign_dir = campaign_dir / spec_hash(spec)
-        report = work_loop(
-            campaign_dir,
-            owner=args.owner,
-            faults=args.faults,
-            poll=args.poll if args.poll is not None else DEFAULT_CLAIM_POLL,
-            max_chunks=args.max_chunks,
-            wait=args.wait,
-            install_signal_handlers=True,
-            spec=spec,
-        )
+
+        if args.scenarios_command == "status":
+            from repro.scenarios.status import collect_status, follow_status, render_status
+
+            if args.follow:
+                follow_status(campaign_dir, interval=args.interval)
+            else:
+                print(render_status(collect_status(campaign_dir)))
+            return 0
+
+        from repro.obs import activate as activate_telemetry
+        from repro.scenarios.detached import DEFAULT_CLAIM_POLL, default_owner, work_loop
+
+        owner = args.owner or default_owner()
+        telemetry = _build_telemetry(args, campaign_dir, owner)
+        with activate_telemetry(telemetry):
+            report = work_loop(
+                campaign_dir,
+                owner=owner,
+                faults=args.faults,
+                poll=args.poll if args.poll is not None else DEFAULT_CLAIM_POLL,
+                max_chunks=args.max_chunks,
+                wait=args.wait,
+                install_signal_handlers=True,
+                spec=spec,
+            )
         print(report.describe())
         return 0
 
@@ -466,6 +555,13 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         print(f"completed chunks: {len(state.completed_chunks)}")
         if state.recovered_tail is not None:
             print(f"recovered on open: {state.recovered_tail.describe()}")
+            from repro.obs import TELEMETRY_DIR_NAME, dropped_sidecar_lines
+
+            dropped = dropped_sidecar_lines(state.directory / TELEMETRY_DIR_NAME)
+            print(
+                f"telemetry sidecar: {dropped} torn line(s) dropped by the "
+                "tolerant reader (telemetry is additive; the campaign is unaffected)"
+            )
         _show_fabric_state(state)
         count = state.row_count()
         print(f"persisted scenarios: {count} of {spec.scenario_count}")
@@ -582,53 +678,57 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         value = getattr(args, flag)
         if value is not None:
             resume_hint += f" --{flag.replace('_', '-')} {value}"
+    from repro.obs import activate as activate_telemetry
+
+    telemetry = _build_telemetry(args, store.root / spec_hash(spec), "main")
     try:
-        if args.detached_workers:
-            from repro.scenarios.detached import run_detached_campaign
-            from repro.scenarios.fabric import FaultPolicy
+        with activate_telemetry(telemetry):
+            if args.detached_workers:
+                from repro.scenarios.detached import run_detached_campaign
+                from repro.scenarios.fabric import FaultPolicy
 
-            policy_kwargs: dict[str, float] = {}
-            if args.chunk_timeout is not None:
-                policy_kwargs["timeout"] = args.chunk_timeout
-            if args.skew_slack is not None:
-                policy_kwargs["skew_slack"] = args.skew_slack
-            progress = run_detached_campaign(
-                spec,
-                store,
-                policy=FaultPolicy(**policy_kwargs),
-                wait_timeout=args.wait_timeout,
-                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
-                **kwargs,
-            )
-            if progress.resumed_from_journal:
-                print("coordinator restarted: journal replayed")
-        elif args.workers is not None:
-            from repro.scenarios.fabric import FaultPolicy, run_fabric_campaign
+                policy_kwargs: dict[str, float] = {}
+                if args.chunk_timeout is not None:
+                    policy_kwargs["timeout"] = args.chunk_timeout
+                if args.skew_slack is not None:
+                    policy_kwargs["skew_slack"] = args.skew_slack
+                progress = run_detached_campaign(
+                    spec,
+                    store,
+                    policy=FaultPolicy(**policy_kwargs),
+                    wait_timeout=args.wait_timeout,
+                    progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                    **kwargs,
+                )
+                if progress.resumed_from_journal:
+                    print("coordinator restarted: journal replayed")
+            elif args.workers is not None:
+                from repro.scenarios.fabric import FaultPolicy, run_fabric_campaign
 
-            policy = (
-                FaultPolicy(timeout=args.chunk_timeout)
-                if args.chunk_timeout is not None
-                else FaultPolicy()
-            )
-            progress = run_fabric_campaign(
-                spec,
-                store,
-                workers=args.workers,
-                policy=policy,
-                faults=args.faults,
-                max_chunks=args.max_chunks,
-                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
-                **kwargs,
-            )
-        else:
-            progress = run_campaign(
-                spec,
-                store,
-                jobs=None if args.jobs == 0 else (args.jobs if args.jobs is not None else 1),
-                max_chunks=args.max_chunks,
-                progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
-                **kwargs,
-            )
+                policy = (
+                    FaultPolicy(timeout=args.chunk_timeout)
+                    if args.chunk_timeout is not None
+                    else FaultPolicy()
+                )
+                progress = run_fabric_campaign(
+                    spec,
+                    store,
+                    workers=args.workers,
+                    policy=policy,
+                    faults=args.faults,
+                    max_chunks=args.max_chunks,
+                    progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                    **kwargs,
+                )
+            else:
+                progress = run_campaign(
+                    spec,
+                    store,
+                    jobs=None if args.jobs == 0 else (args.jobs if args.jobs is not None else 1),
+                    max_chunks=args.max_chunks,
+                    progress=lambda done, total: print(f"  chunks {done}/{total}", flush=True),
+                    **kwargs,
+                )
     except KeyboardInterrupt:
         state = store.campaign(spec)
         print(

@@ -45,6 +45,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.fast_scenario import (
     _BLAND_AFTER_FACTOR,
     _TOLERANCE,
@@ -155,7 +156,9 @@ def scenario_arrays_batch(
     return a, b
 
 
-def solve_scenario_arrays_batch(a: np.ndarray, b: np.ndarray) -> BatchScenarioResult:
+def solve_scenario_arrays_batch(
+    a: np.ndarray, b: np.ndarray, kernel: str = "batch_scenario"
+) -> BatchScenarioResult:
     """Maximise ``sum(x)`` s.t. ``a[i] x <= b[i], x >= 0`` for every ``i``.
 
     One vectorised Dantzig simplex drives all problems simultaneously; a
@@ -164,6 +167,13 @@ def solve_scenario_arrays_batch(a: np.ndarray, b: np.ndarray) -> BatchScenarioRe
     non-positive pivot column) is delegated to
     :func:`~repro.core.fast_scenario.solve_scenario_arrays` so that its
     result — or its error — is exactly the scalar kernel's.
+
+    ``kernel`` labels the call for the telemetry profile (the two-port
+    wrappers pass ``"batch_twoport"``): when a telemetry is active the
+    kernel reports batch size, total pivot iterations, termination-mask
+    occupancy (active slots over priced slots) and scalar-fallback count
+    per call.  The bookkeeping is pure integer accumulation outside the
+    float pipeline, so solved values are bit-identical either way.
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
@@ -192,11 +202,19 @@ def solve_scenario_arrays_batch(a: np.ndarray, b: np.ndarray) -> BatchScenarioRe
     # smallest-basic-index tie-break below.
     basis_sentinel = n + m + 1
 
+    # Telemetry bookkeeping (plain ints, outside the float pipeline):
+    # how many batch slots were priced in total and how many of those
+    # were still active — the termination-mask occupancy of the run.
+    priced_iterations = 0
+    active_slots = 0
+
     pivot = 0
     while pivot <= bland_after:
         index = np.flatnonzero(active)
         if index.size == 0:
             break
+        priced_iterations += 1
+        active_slots += index.size
         k = index.size
         rows_k = np.arange(k)
 
@@ -280,6 +298,17 @@ def solve_scenario_arrays_batch(a: np.ndarray, b: np.ndarray) -> BatchScenarioRe
         objectives[i] = scalar.objective
         iterations[i] = scalar.iterations
 
+    telemetry = obs.active()
+    if telemetry.enabled:
+        telemetry.kernel_call(
+            kernel,
+            problems=batch,
+            pivots=int(iterations.sum()),
+            active_slots=active_slots,
+            mask_slots=priced_iterations * batch,
+            fallbacks=int(np.count_nonzero(fallback)),
+        )
+
     return BatchScenarioResult(
         loads=loads,
         objectives=objectives,
@@ -341,7 +370,9 @@ def solve_scenarios_fast(
             deadline=deadline,
             one_port=one_port,
         )
-        solved = solve_scenario_arrays_batch(a, b)
+        solved = solve_scenario_arrays_batch(
+            a, b, kernel="batch_scenario" if one_port else "batch_twoport"
+        )
         for row, position in enumerate(positions):
             results[position] = solved.result(row)
     return results  # type: ignore[return-value]

@@ -93,7 +93,7 @@ def solve_two_port_batch(
     on each scenario (shared solver, shared fallback).
     """
     a, b = two_port_arrays_batch(c, w, d, rank2=rank2, deadline=deadline)
-    return solve_scenario_arrays_batch(a, b)
+    return solve_scenario_arrays_batch(a, b, kernel="batch_twoport")
 
 
 def solve_two_port_scenarios(

@@ -335,7 +335,9 @@ def _solve_stacked_orders(
             a, b = two_port_arrays_batch(
                 c_matrix, w_matrix, d_matrix, rank2=None if fifo_only else rank2
             )
-        solved = solve_scenario_arrays_batch(a, b)
+        solved = solve_scenario_arrays_batch(
+            a, b, kernel="batch_scenario" if one_port else "batch_twoport"
+        )
         for row, flat in enumerate(flats):
             loads_rows[flat] = solved.loads[row]
     return loads_rows

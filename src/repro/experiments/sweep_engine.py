@@ -35,10 +35,12 @@ Workers must be picklable when ``jobs > 1`` (module-level callables, or
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
+import repro.obs as obs
 from repro.exceptions import ExperimentError
 
 __all__ = ["SweepTimeoutError", "resolve_jobs", "run_chunked", "run_sweep"]
@@ -112,8 +114,16 @@ def run_chunked(
         return []
     jobs = min(resolve_jobs(jobs), len(indexed))
 
+    telemetry = obs.active()
     if jobs <= 1:
-        pairs = list(worker(indexed))
+        if telemetry.enabled:
+            started = time.perf_counter()
+            pairs = list(worker(indexed))
+            telemetry.observe("sweep.chunk.wall_seconds", time.perf_counter() - started)
+            telemetry.counter("sweep.chunks")
+            telemetry.counter("sweep.items", len(indexed))
+        else:
+            pairs = list(worker(indexed))
     else:
         chunks = [indexed[i::jobs] for i in range(jobs)]
         pairs = []
@@ -142,19 +152,35 @@ def _collect_futures(
     With a timeout, each wait is for *any* completion within ``timeout``
     seconds — a healthy sweep keeps making progress and never trips it; a
     hung chunk stalls every remaining future and fires it.
+
+    With a telemetry active, every future's submit-to-completion wall
+    (dispatch queueing plus worker compute) lands in the
+    ``sweep.chunk.wall_seconds`` histogram — the parent-side view of the
+    per-chunk queue phase.
     """
-    futures = {pool.submit(worker, chunk) for chunk in chunks}
+    telemetry = obs.active()
+    submitted = {pool.submit(worker, chunk): len(chunk) for chunk in chunks}
+    started = time.perf_counter()
+    futures = set(submitted)
     pairs: list[tuple[int, Result]] = []
     while futures:
         done, futures = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
         if not done:
             for future in futures:
                 future.cancel()
+            if telemetry.enabled:
+                telemetry.counter("sweep.timeouts")
             raise SweepTimeoutError(
                 f"sweep chunk timed out after {timeout}s with "
                 f"{len(futures)} chunk future(s) unfinished",
                 pending=len(futures),
             )
+        if telemetry.enabled:
+            elapsed = time.perf_counter() - started
+            for future in done:
+                telemetry.observe("sweep.chunk.wall_seconds", elapsed)
+                telemetry.counter("sweep.chunks")
+                telemetry.counter("sweep.items", submitted[future])
         for future in done:
             pairs.extend(future.result())
     return pairs

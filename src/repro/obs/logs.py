@@ -1,0 +1,133 @@
+"""Structured key=value logging shared by every layer.
+
+The repository previously grew three ad-hoc ``logging.getLogger(__name__)``
+call sites (store, fabric, detached) with hand-rolled message formats.
+This module replaces them with one façade:
+
+* :func:`get_logger` returns a :class:`StructuredLogger` — a thin wrapper
+  over the stdlib logger tree whose methods accept keyword *context*
+  (``logger.warning("lease expired", owner=owner, epoch=3, chunk=7)``)
+  rendered as a deterministic ``key=value`` suffix, so log lines are
+  grep-able and machine-splittable without a new dependency;
+* :func:`configure_logging` wires the CLI's ``--log-level`` flag: it sets
+  the level on the shared ``repro`` logger and installs a single stderr
+  handler (idempotent — repeated calls adjust the level, never stack
+  handlers).  Library use never calls it; messages then propagate to the
+  root logger exactly as before (pytest's ``caplog`` keeps working).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["LOG_LEVELS", "StructuredLogger", "configure_logging", "get_logger"]
+
+#: CLI-facing level names accepted by ``--log-level``.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Root of the shared logger tree; every ``get_logger`` name hangs below it.
+ROOT_LOGGER_NAME = "repro"
+
+_handler: logging.Handler | None = None
+
+
+def _format_value(value: Any) -> str:
+    """One context value as it appears after ``key=``.
+
+    Floats are compacted (6 significant digits — log lines, not data);
+    strings with whitespace are quoted so the line stays splittable.
+    """
+    if isinstance(value, float):
+        return format(value, ".6g")
+    text = str(value)
+    if any(ch.isspace() for ch in text) or text == "":
+        return repr(text)
+    return text
+
+
+def format_context(context: dict[str, Any]) -> str:
+    """Render keyword context as a ``key=value`` suffix (insertion order)."""
+    return " ".join(f"{key}={_format_value(value)}" for key, value in context.items())
+
+
+class StructuredLogger:
+    """A stdlib logger with key=value structured context.
+
+    Positional arguments keep the stdlib ``%``-interpolation contract
+    (lazy: skipped entirely when the level is disabled); keyword
+    arguments become the structured suffix.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 - stdlib name
+        return self._logger.isEnabledFor(level)
+
+    def log(self, level: int, message: str, *args: Any, **context: Any) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        if args:
+            message = message % args
+        if context:
+            message = f"{message} {format_context(context)}"
+        self._logger.log(level, message)
+
+    def debug(self, message: str, *args: Any, **context: Any) -> None:
+        self.log(logging.DEBUG, message, *args, **context)
+
+    def info(self, message: str, *args: Any, **context: Any) -> None:
+        self.log(logging.INFO, message, *args, **context)
+
+    def warning(self, message: str, *args: Any, **context: Any) -> None:
+        self.log(logging.WARNING, message, *args, **context)
+
+    def error(self, message: str, *args: Any, **context: Any) -> None:
+        self.log(logging.ERROR, message, *args, **context)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The shared structured logger for ``name`` (rooted under ``repro``)."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure_logging(level: str | int = "warning", stream: TextIO | None = None) -> None:
+    """Set the shared ``repro`` logger level and attach one stderr handler.
+
+    Called by the CLI with the ``--log-level`` value; idempotent — a
+    second call re-levels the existing handler instead of stacking a new
+    one.  ``stream`` overrides stderr (tests).
+    """
+    if isinstance(level, str):
+        numeric = getattr(logging, level.upper(), None)
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}; choose from {LOG_LEVELS}")
+    else:
+        numeric = level
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(numeric)
+
+    global _handler
+    if _handler is not None and stream is not None:
+        root.removeHandler(_handler)
+        _handler = None
+    if _handler is None:
+        _handler = logging.StreamHandler(stream or sys.stderr)
+        _handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(_handler)
+        # Propagation stays on: the root logger normally has no handlers
+        # (so nothing double-prints), and pytest's caplog — which hooks
+        # the root logger — keeps seeing every record.

@@ -44,7 +44,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import logging
 import os
 import re
 import signal
@@ -56,7 +55,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+import repro.obs as obs
 from repro.exceptions import ExperimentError
+from repro.obs import get_logger
 from repro.scenarios.fabric import (
     DEFAULT_SKEW_SLACK,
     CoordinatorJournal,
@@ -94,7 +95,7 @@ __all__ = [
     "work_loop",
 ]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Default seconds between a worker's claim-scan rounds when nothing was
 #: claimable; actual sleeps are jittered per owner (see
@@ -170,7 +171,7 @@ class FabricAdvert:
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
-            logger.warning("unreadable fabric advert %s (%s)", path, error)
+            logger.warning("unreadable fabric advert", path=path, error=error)
             return None
 
 
@@ -282,7 +283,14 @@ def merge_worker_snapshots(state: CampaignState) -> MergeReport:
     stay untouched on disk.
     """
     fences = read_fences(state)
-    return state.merge(*_worker_snapshots(state), fences=fences, skip_fenced=True)
+    telemetry = obs.active()
+    snapshots = _worker_snapshots(state)
+    with telemetry.span("merge", workers=len(snapshots)) as span:
+        report = state.merge(*snapshots, fences=fences, skip_fenced=True)
+        span.set(added=len(report.added), fenced=len(report.fenced))
+    if telemetry.enabled and report.added:
+        telemetry.counter("coordinator.merged_chunks", len(report.added))
+    return report
 
 
 def _observed_chunks(state: CampaignState, fences: dict[int, int]) -> set[int]:
@@ -363,18 +371,19 @@ class _Heartbeat:
             if _lease_lost(self.leases_dir, self.lease):
                 self.fenced.set()
                 logger.warning(
-                    "worker %s lost lease on chunk %d (epoch %d) at renewal; "
-                    "abandoning before append",
-                    self.lease.owner, self.lease.chunk, self.lease.epoch,
+                    "lost lease at renewal; abandoning before append",
+                    owner=self.lease.owner, chunk=self.lease.chunk,
+                    epoch=self.lease.epoch,
                 )
                 return
             self.lease = self.lease.renewed(self.now())
             try:
                 self.lease.write(self.leases_dir)
+                obs.active().counter("worker.heartbeats")
             except OSError as error:
                 logger.warning(
-                    "worker %s failed to renew lease on chunk %d: %s",
-                    self.lease.owner, self.lease.chunk, error,
+                    "failed to renew lease",
+                    owner=self.lease.owner, chunk=self.lease.chunk, error=error,
                 )
 
 
@@ -430,7 +439,7 @@ def work_loop(
 
         def _drain(signum, frame) -> None:
             logger.warning(
-                "worker %s received signal %d; draining current lease", owner, signum
+                "received signal; draining current lease", owner=owner, signal=signum
             )
             stop.set()
 
@@ -472,6 +481,7 @@ def work_loop(
         )
     report.drained = stop.is_set()
     logger.info(report.describe())
+    obs.active().flush()
     return report
 
 
@@ -503,15 +513,15 @@ def _await_campaign(
             try:
                 spec = ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8"))
             except (OSError, ValueError, ExperimentError) as error:
-                logger.warning("unreadable %s (%s); retrying", spec_path, error)
+                logger.warning("unreadable spec; retrying", path=spec_path, error=error)
         advert = FabricAdvert.read(campaign_dir)
         if spec is not None and advert is not None:
             return spec, advert
         if stop.is_set() or time.monotonic() >= deadline:
             logger.warning(
-                "no campaign advert in %s after %.1fs; is the coordinator "
+                "no campaign advert; is the coordinator "
                 "(`scenarios run --detached-workers`) running?",
-                campaign_dir, wait,
+                directory=campaign_dir, waited=wait,
             )
             return None, None
         stop.wait(0.1)
@@ -550,6 +560,7 @@ def _claim_next(
                 deadline=moment + advert.ttl, ttl=advert.ttl,
             )
             if _claim_lease(leases_dir, lease):
+                obs.active().counter("worker.claims")
                 return lease
             continue
         # A leftover lease of this very owner (a prior life crashed) is as
@@ -568,10 +579,13 @@ def _claim_next(
             deadline=moment + advert.ttl, ttl=advert.ttl,
         )
         lease.write(leases_dir)
+        telemetry = obs.active()
+        telemetry.counter("worker.claims")
+        telemetry.counter("worker.takeovers")
         logger.warning(
-            "worker %s took over expired lease on chunk %d from %s "
-            "(epoch %d -> %d)",
-            owner, chunk, current.owner, current.epoch, next_epoch,
+            "took over expired lease",
+            owner=owner, chunk=chunk, holder=current.owner,
+            epoch=current.epoch, fence=next_epoch,
         )
         return lease
     return None
@@ -598,6 +612,7 @@ def _work_one_chunk(
 ) -> None:
     """Evaluate one claimed chunk, acting out any injected fault."""
     chunk = lease.chunk
+    telemetry = obs.active()
     fault = faults.worker_fault(chunk, lease.epoch) if faults is not None else None
     spec = worker_state.spec
 
@@ -608,6 +623,7 @@ def _work_one_chunk(
         worker_state.record_epoch(chunk, lease.epoch)
         _release_lease(leases_dir, lease)
         report.completed.append(chunk)
+        telemetry.counter("worker.completed")
         return
 
     if fault == "hang":
@@ -616,25 +632,31 @@ def _work_one_chunk(
         # will have) taken the chunk over.
         _sleep_past_expiry(lease, advert, now)
         report.abandoned.append(chunk)
+        telemetry.counter("worker.abandoned")
         return
 
     if fault == "poison":
         # A deterministic failure: surrender the lease *expired* (deadline
         # in the past) so the next scanner retries it under a bumped,
         # fenced epoch — until the attempt budget degrades it.
-        logger.warning("worker %s: poisoned chunk %d (injected)", lease.owner, chunk)
+        logger.warning("poisoned chunk (injected)", owner=lease.owner, chunk=chunk)
         surrendered = dataclasses.replace(
             lease, heartbeat_at=now(), deadline=now() - advert.skew_slack - advert.ttl
         )
         surrendered.write(leases_dir)
         report.failed.append(chunk)
+        telemetry.counter("worker.failed")
         return
 
     heartbeat: _Heartbeat | None = None
     if fault not in ("partition", "zombie"):
         heartbeat = _Heartbeat(leases_dir, lease, heartbeat_interval, now).start()
     try:
-        rows = evaluate_range(spec, lease.start, lease.stop)
+        with telemetry.span(
+            "work", chunk=chunk, owner=lease.owner, epoch=lease.epoch
+        ) as work_span:
+            rows = evaluate_range(spec, lease.start, lease.stop)
+            work_span.set(rows=len(rows))
         if fault in ("partition", "zombie"):
             # Partitioned/zombie workers never heartbeated: sleep until the
             # lease has definitely been expirable, so the takeover this
@@ -644,15 +666,17 @@ def _work_one_chunk(
             heartbeat.stop()
             if heartbeat.fenced.is_set():
                 report.abandoned.append(chunk)
+                telemetry.counter("worker.abandoned")
                 return
         if fault == "partition" and _lease_lost(leases_dir, lease):
             # The renewal-time check a partitioned worker never ran: the
             # append-time fence.  Taken over → abandon, never append.
             logger.warning(
-                "worker %s: chunk %d was taken over during the partition; abandoning",
-                lease.owner, chunk,
+                "chunk was taken over during the partition; abandoning",
+                owner=lease.owner, chunk=chunk,
             )
             report.abandoned.append(chunk)
+            telemetry.counter("worker.abandoned")
             return
         # A zombie skips every check — that is the point: its stale-epoch
         # append must be fenced out at merge time, not trusted here.
@@ -660,7 +684,10 @@ def _work_one_chunk(
             _torn_append(worker_state, chunk, lease.start, lease.stop, rows)
             os._exit(_EXIT_CRASH_PRE)
         try:
-            worker_state.append_chunk(chunk, lease.start, lease.stop, rows, epoch=lease.epoch)
+            with telemetry.span("append", chunk=chunk, rows=len(rows)):
+                worker_state.append_chunk(
+                    chunk, lease.start, lease.stop, rows, epoch=lease.epoch
+                )
         except OSError:
             if fault != "zombie":
                 raise
@@ -669,18 +696,21 @@ def _work_one_chunk(
             # append has nowhere to land, which is the same outcome the
             # merge fence would have forced.
             logger.warning(
-                "worker %s: chunk %d outlived the campaign; abandoning stale append",
-                lease.owner, chunk,
+                "chunk outlived the campaign; abandoning stale append",
+                owner=lease.owner, chunk=chunk,
             )
             report.abandoned.append(chunk)
+            telemetry.counter("worker.abandoned")
             return
         if fault == "crash-post":
             os._exit(_EXIT_CRASH_POST)
         _release_lease(leases_dir, lease)
         report.completed.append(chunk)
+        telemetry.counter("worker.completed")
     finally:
         if heartbeat is not None:
             heartbeat.stop()
+        telemetry.flush()
 
 
 def _sleep_past_expiry(lease: Lease, advert: FabricAdvert, now: Callable[[], float]) -> None:
@@ -772,10 +802,10 @@ def run_detached_campaign(
         result.expired_leases = prior.expired_leases
         result.degraded_chunks = list(prior.degraded_chunks)
         logger.warning(
-            "coordinator restarted over %s: replayed %d journal event(s) "
-            "(%d retries, %d expiries, %d degraded chunk(s))",
-            state.directory, len(prior.events), prior.retries,
-            prior.expired_leases, len(prior.degraded_chunks),
+            "coordinator restarted: replayed journal",
+            directory=state.directory, events=len(prior.events),
+            retries=prior.retries, expiries=prior.expired_leases,
+            degraded=len(prior.degraded_chunks),
         )
     if before == len(chunks):
         result.merge = MergeReport(total_chunks=before)
@@ -834,6 +864,7 @@ def run_detached_campaign(
                 next_epoch = max(lease.epoch, fences.get(lease.chunk, 0)) + 1
                 record_fence(state, lease.chunk, next_epoch)
                 result.expired_leases += 1
+                obs.active().counter("coordinator.expired_leases")
                 journal.append(
                     "expire", chunk=lease.chunk, owner=lease.owner, epoch=lease.epoch
                 )
@@ -870,6 +901,7 @@ def run_detached_campaign(
         if result.finished:
             journal.append("complete", total_chunks=len(chunks))
             _cleanup_if_complete(state, len(chunks))
+        obs.active().flush()
     return result
 
 
@@ -894,4 +926,5 @@ def _degrade_chunk(
     if chunk not in result.degraded_chunks:
         result.degraded_chunks.append(chunk)
     journal.append("degrade", chunk=chunk)
-    logger.warning("chunk %d degraded to coordinator evaluation", chunk)
+    obs.active().counter("coordinator.degraded_chunks")
+    logger.warning("chunk degraded to coordinator evaluation", chunk=chunk)

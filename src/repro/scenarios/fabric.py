@@ -50,7 +50,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import logging
 import math
 import multiprocessing
 import os
@@ -61,7 +60,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
+import repro.obs as obs
 from repro.exceptions import ExperimentError
+from repro.obs import get_logger
 from repro.scenarios.runner import (
     DEFAULT_CHUNK_SIZE,
     evaluate_range,
@@ -92,7 +93,7 @@ __all__ = [
     "worker_store_paths",
 ]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Injectable fault kinds.  ``crash-pre``/``crash-post``/``hang``/
 #: ``poison`` fire inside a worker; ``abandon`` is coordinator-side (the
@@ -580,8 +581,7 @@ def read_lease(path: Path) -> Lease | None:
         return Lease.read(path)
     except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
         logger.warning(
-            "skipping unreadable lease file %s (%s); treating it as expired",
-            path, error,
+            "skipping unreadable lease file; treating it as expired", path=path, error=error
         )
         return None
 
@@ -643,7 +643,7 @@ def read_fences(state: CampaignState) -> dict[int, int]:
                 record = json.loads(line)
                 chunk, epoch = int(record["chunk"]), int(record["epoch"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                logger.warning("%s: skipping unreadable fence line %d", path, number + 1)
+                logger.warning("skipping unreadable fence line", path=path, line=number + 1)
                 continue
             fences[chunk] = max(epoch, fences.get(chunk, epoch))
     return fences
@@ -713,7 +713,7 @@ class CoordinatorJournal:
                     event = record["event"]
                 except (json.JSONDecodeError, KeyError, TypeError):
                     logger.warning(
-                        "%s: skipping unreadable journal line %d", self.path, number + 1
+                        "skipping unreadable journal line", path=self.path, line=number + 1
                     )
                     continue
                 state.events.append(record)
@@ -810,7 +810,7 @@ def _worker_chunk_main(
             os._exit(_EXIT_CRASH_POST)
         os._exit(0)
     except ExperimentError as error:
-        logger.warning("worker %s failed on chunk %d: %s", directory, chunk, error)
+        logger.warning("worker failed on chunk", worker=directory, chunk=chunk, error=error)
         os._exit(_EXIT_FAILURE)
 
 
@@ -876,7 +876,14 @@ def merge_worker_stores(
     """
     if fences is None:
         fences = read_fences(state)
-    return state.merge(*worker_store_paths(state), fences=fences, skip_fenced=True)
+    telemetry = obs.active()
+    sources = list(worker_store_paths(state))
+    with telemetry.span("merge", workers=len(sources)) as span:
+        report = state.merge(*sources, fences=fences, skip_fenced=True)
+        span.set(added=len(report.added), fenced=len(report.fenced))
+        if telemetry.enabled and report.added:
+            telemetry.counter("fabric.merged_chunks", len(report.added))
+        return report
 
 
 def _cleanup_if_complete(state: CampaignState, total_chunks: int) -> None:
@@ -987,10 +994,16 @@ def run_fabric_campaign(
             "requeue", chunk=chunk, attempt=attempt, fence=next_attempt, reason=reason
         )
         logger.warning(
-            "chunk %d attempt %d failed (%s); retrying as attempt %d "
-            "after %.3fs backoff",
-            chunk, attempt, reason, next_attempt, policy.backoff(attempt),
+            "chunk attempt failed; retrying",
+            chunk=chunk,
+            attempt=attempt,
+            reason=reason,
+            next_attempt=next_attempt,
+            backoff=policy.backoff(attempt),
         )
+        telemetry = obs.active()
+        telemetry.counter("fabric.retries")
+        telemetry.counter("fabric.fences")
 
     def degrade(chunk: int) -> None:
         # Graceful degradation: the attempt budget is spent — evaluate in
@@ -1004,6 +1017,7 @@ def run_fabric_campaign(
             parent_store.append_chunk(chunk, start, stop, rows)
         result.degraded_chunks.append(chunk)
         journal.append("degrade", chunk=chunk)
+        obs.active().counter("fabric.degraded_chunks")
         (leases_dir / f"chunk-{chunk:06d}.json").unlink(missing_ok=True)
 
     try:
@@ -1021,7 +1035,7 @@ def run_fabric_campaign(
                     )
                     result.abandoned_chunks.append(chunk)
                     journal.append("abandon", chunk=chunk)
-                    logger.warning("chunk %d abandoned (injected lost worker)", chunk)
+                    logger.warning("chunk abandoned (injected lost worker)", chunk=chunk)
                     continue
                 if attempt >= policy.max_attempts:
                     degrade(chunk)
@@ -1082,6 +1096,7 @@ def run_fabric_campaign(
                     free_owners.append(owner)
                     free_owners.sort()
                     result.expired_leases += 1
+                    obs.active().counter("fabric.expired_leases")
                     journal.append(
                         "expire", chunk=lease.chunk, owner=owner, epoch=lease.epoch
                     )

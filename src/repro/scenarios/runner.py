@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.bus import (
     optimal_bus_fifo_schedule,
     optimal_bus_throughput,
@@ -195,10 +196,28 @@ def evaluate_chunk(
     the reference's absolute predicted time; bus cells additionally carry
     Theorem 2's closed-form series, probe cells their per-worker transfer
     times.  Pure function of (spec, descriptor) — the resume guarantee
-    rests on this.
+    rests on this.  With a telemetry active the chunk runs inside an
+    ``evaluate`` span with nested ``solve`` / ``replay`` phase spans (in
+    the evaluating process — per-pid sidecar files under ``jobs=``).
     """
-    if spec.workload.kind == "probe":
-        return _evaluate_probe_chunk(spec, descriptor)
+    telemetry = obs.active()
+    with telemetry.span(
+        "evaluate", start=descriptor[0], stop=descriptor[1], workload=spec.workload.kind
+    ) as span:
+        if spec.workload.kind == "probe":
+            rows = _evaluate_probe_chunk(spec, descriptor)
+        else:
+            rows = _evaluate_lp_chunk(spec, descriptor)
+        span.set(rows=len(rows))
+        return rows
+
+
+def _evaluate_lp_chunk(
+    spec: ScenarioSpec,
+    descriptor: tuple[int, int, np.ndarray, np.ndarray, np.ndarray | None],
+) -> list[dict]:
+    """The LP-backed (matrix/bus) chunk evaluation behind ``evaluate_chunk``."""
+    telemetry = obs.active()
     start, stop, comm, comp, ret = descriptor
     count = stop - start
     grid = spec.grid
@@ -218,23 +237,25 @@ def evaluate_chunk(
         )
         for offset in range(count)
     ]
-    keyed_tables = []
-    closed_forms: dict[tuple, dict] = {}
-    seen: set[tuple] = set()
-    for x in grid:
-        c, w, d = cost_table(workload_base_costs(spec.workload, x), comm, comp, ret)
-        for offset in range(count):
-            key = (factor_keys[offset], x)
-            if key not in seen:
-                seen.add(key)
-                keyed_tables.append((key, c[offset], w[offset], d[offset]))
-                if is_bus and spec.one_port:
-                    closed_forms[key] = _bus_closed_form(c[offset], w[offset], d[offset])
-    total_tasks = spec.effective_total_tasks
-    cells = prepare_cells(
-        spec.heuristics, spec.reference, total_tasks, keyed_tables,
-        one_port=spec.one_port,
-    )
+    with telemetry.span("solve") as solve_span:
+        keyed_tables = []
+        closed_forms: dict[tuple, dict] = {}
+        seen: set[tuple] = set()
+        for x in grid:
+            c, w, d = cost_table(workload_base_costs(spec.workload, x), comm, comp, ret)
+            for offset in range(count):
+                key = (factor_keys[offset], x)
+                if key not in seen:
+                    seen.add(key)
+                    keyed_tables.append((key, c[offset], w[offset], d[offset]))
+                    if is_bus and spec.one_port:
+                        closed_forms[key] = _bus_closed_form(c[offset], w[offset], d[offset])
+        total_tasks = spec.effective_total_tasks
+        cells = prepare_cells(
+            spec.heuristics, spec.reference, total_tasks, keyed_tables,
+            one_port=spec.one_port,
+        )
+        solve_span.set(cells=len(keyed_tables))
 
     noise_factory = NOISE_FACTORIES[spec.noise] if spec.noise is not None else None
     occurrences = []
@@ -263,10 +284,12 @@ def evaluate_chunk(
 
     if noise_factory is None:
         makespans = None
-    elif spec.one_port:
-        makespans = replay_grouped(occurrences, len(spec.heuristics))
     else:
-        makespans = replay_two_port(occurrences, len(spec.heuristics))
+        with telemetry.span("replay", occurrences=len(occurrences)):
+            if spec.one_port:
+                makespans = replay_grouped(occurrences, len(spec.heuristics))
+            else:
+                makespans = replay_two_port(occurrences, len(spec.heuristics))
 
     rows: list[dict] = []
     for occurrence, (platform_index, x, cell, _) in enumerate(occurrences):
@@ -360,7 +383,9 @@ def run_campaign(
             raise ExperimentError(f"max_chunks must be non-negative (got {max_chunks})")
         pending = pending[:max_chunks]
 
+    telemetry = obs.active()
     if pending:
+        telemetry.gauge("campaign.total_chunks", len(chunks))
         table = sample_factors(spec.family)
         group_size = max(resolve_jobs(jobs), 1)
         worker = partial(evaluate_chunk, spec)
@@ -375,9 +400,17 @@ def run_campaign(
                     start, stop = chunks[index]
                     view = table.rows(start, stop)
                     descriptors.append((start, stop, view.comm, view.comp, view.ret))
-                results = run_sweep(worker, descriptors, jobs=group_size, executor=pool)
+                # The parent-side queue phase: dispatch-and-wait of one
+                # chunk group (includes the workers' compute time; the
+                # solve/replay split lives in their own spans).
+                with telemetry.span("queue", chunks=len(group)):
+                    results = run_sweep(worker, descriptors, jobs=group_size, executor=pool)
                 for index, rows in zip(group, results):
-                    state.append_chunk(index, chunks[index][0], chunks[index][1], rows)
+                    with telemetry.span("append", chunk=index, rows=len(rows)):
+                        state.append_chunk(index, chunks[index][0], chunks[index][1], rows)
+                    telemetry.counter("campaign.chunks_completed")
+                    telemetry.counter("campaign.rows_appended", len(rows))
+                telemetry.flush()
                 if progress is not None:
                     progress(len(state.completed_chunks), len(chunks))
         finally:

@@ -1,0 +1,374 @@
+"""Live campaign status: the read side of the telemetry sidecar.
+
+``scenarios status STORE_DIR`` renders one consolidated view of a
+running (or finished) campaign from plain files only — it never opens
+the store writable and never needs the spec object:
+
+* **progress** — chunks done / total and persisted rows, read tolerantly
+  from the canonical ``chunks.jsonl`` plus every per-worker store (a
+  chunk durable in a worker store counts as done even before the
+  coordinator merges it);
+* **throughput** — rows/s and a chunk-based ETA derived from the span
+  sidecar's wall-clock extent;
+* **lease health** — every outstanding lease with its owner, epoch and
+  heartbeat age, flagged when expired past the advert's skew slack;
+* **phase breakdown** — per-phase totals (queue / evaluate / solve /
+  replay / append / merge / work) from the merged ``span.*.seconds``
+  histograms;
+* **kernel profile** — batched-simplex call counts, pivot totals,
+  termination-mask occupancy and scalar-fallback counts from the
+  ``kernel.*`` counters.
+
+Everything degrades gracefully: a campaign run with ``--telemetry off``
+still reports progress and leases (the sections telemetry is not needed
+for), and torn sidecar lines are counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.obs import (
+    TELEMETRY_DIR_NAME,
+    merge_snapshots,
+    read_jsonl_tolerant,
+    read_metric_snapshots,
+    read_spans,
+)
+
+__all__ = ["CampaignStatus", "LeaseHealth", "collect_status", "follow_status", "render_status"]
+
+#: Span phases rendered in pipeline order; anything else follows, sorted
+#: by total time.
+_PHASE_ORDER = ("queue", "evaluate", "solve", "replay", "append", "work", "merge")
+
+
+@dataclass(frozen=True)
+class LeaseHealth:
+    """One outstanding lease as seen from the shared directory."""
+
+    chunk: int
+    owner: str
+    epoch: int
+    heartbeat_age: float
+    expired: bool
+
+
+@dataclass
+class CampaignStatus:
+    """Everything ``scenarios status`` knows about one campaign directory."""
+
+    directory: Path
+    canonical_chunks: int = 0
+    worker_only_chunks: int = 0
+    total_chunks: int | None = None
+    rows: int = 0
+    worker_chunks: dict[str, int] = field(default_factory=dict)
+    leases: list[LeaseHealth] = field(default_factory=list)
+    rows_per_second: float | None = None
+    eta_seconds: float | None = None
+    phases: list[tuple[str, float, int]] = field(default_factory=list)
+    kernels: dict[str, dict[str, float]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    owners: list[str] = field(default_factory=list)
+    dropped_telemetry_lines: int = 0
+    has_telemetry: bool = False
+
+    @property
+    def chunks_done(self) -> int:
+        """Chunks durable *somewhere* (canonical or an unmerged worker store)."""
+        return self.canonical_chunks + self.worker_only_chunks
+
+    @property
+    def finished(self) -> bool:
+        return self.total_chunks is not None and self.canonical_chunks >= self.total_chunks
+
+
+def _chunk_records(path: Path) -> tuple[set[int], int]:
+    """(chunk indices, row count) of one ``chunks.jsonl``, tolerantly."""
+    records, _ = read_jsonl_tolerant(path)
+    chunks: set[int] = set()
+    rows = 0
+    for record in records:
+        if not isinstance(record, dict) or "chunk" not in record:
+            continue
+        try:
+            chunks.add(int(record["chunk"]))
+        except (TypeError, ValueError):
+            continue
+        payload = record.get("rows")
+        if isinstance(payload, list):
+            rows += len(payload)
+    return chunks, rows
+
+
+def _read_advert(campaign_dir: Path) -> dict | None:
+    try:
+        record = json.loads((campaign_dir / "fabric.json").read_text(encoding="utf-8"))
+        return record if isinstance(record, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def _infer_total_chunks(campaign_dir: Path, advert: dict | None) -> int | None:
+    """Total chunks: the advert's promise, else spec count / chunk size."""
+    if advert is not None:
+        try:
+            return int(advert["total_chunks"])
+        except (KeyError, TypeError, ValueError):
+            pass
+    try:
+        spec = json.loads((campaign_dir / "spec.json").read_text(encoding="utf-8"))
+        count = int(spec["family"]["count"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    chunk_size = None
+    records, _ = read_jsonl_tolerant(campaign_dir / "chunks.jsonl")
+    for record in records:
+        if isinstance(record, dict) and record.get("chunk") == 0 and "stop" in record:
+            try:
+                chunk_size = int(record["stop"]) - int(record.get("start", 0))
+            except (TypeError, ValueError):
+                chunk_size = None
+            break
+    if not chunk_size or chunk_size <= 0:
+        from repro.scenarios.runner import DEFAULT_CHUNK_SIZE
+
+        chunk_size = DEFAULT_CHUNK_SIZE
+    return max(1, -(-count // chunk_size))
+
+
+def _read_leases(campaign_dir: Path, skew_slack: float, now: float) -> list[LeaseHealth]:
+    leases: list[LeaseHealth] = []
+    leases_dir = campaign_dir / "leases"
+    if not leases_dir.is_dir():
+        return leases
+    for path in sorted(leases_dir.glob("chunk-*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            chunk = int(record["chunk"])
+            owner = str(record.get("owner", "?"))
+            epoch = int(record.get("epoch", 0))
+            heartbeat = float(record.get("heartbeat_at") or record.get("granted_at") or now)
+            deadline = record.get("deadline")
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        expired = False
+        if deadline is not None:
+            try:
+                expired = now > float(deadline) + skew_slack
+            except (TypeError, ValueError):
+                expired = False
+        leases.append(
+            LeaseHealth(
+                chunk=chunk,
+                owner=owner,
+                epoch=epoch,
+                heartbeat_age=max(0.0, now - heartbeat),
+                expired=expired,
+            )
+        )
+    return leases
+
+
+def _phase_breakdown(histograms: dict) -> list[tuple[str, float, int]]:
+    phases: list[tuple[str, float, int]] = []
+    for name, histogram in histograms.items():
+        if not name.startswith("span.") or not name.endswith(".seconds"):
+            continue
+        phase = name[len("span.") : -len(".seconds")]
+        phases.append((phase, float(histogram.get("sum", 0.0)), int(histogram.get("count", 0))))
+
+    def order(entry: tuple[str, float, int]) -> tuple[int, float]:
+        name, total, _ = entry
+        known = _PHASE_ORDER.index(name) if name in _PHASE_ORDER else len(_PHASE_ORDER)
+        return (known, -total)
+
+    return sorted(phases, key=order)
+
+
+def _kernel_profiles(counters: dict[str, float]) -> dict[str, dict[str, float]]:
+    kernels: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith("kernel."):
+            continue
+        parts = name.split(".", 2)
+        if len(parts) != 3:
+            continue
+        kernels.setdefault(parts[1], {})[parts[2]] = float(value)
+    return kernels
+
+
+def collect_status(campaign_dir: str | Path, now: float | None = None) -> CampaignStatus:
+    """Gather one :class:`CampaignStatus` from a campaign directory.
+
+    Works on any directory — one with no campaign yet yields zeros, one
+    without telemetry yields progress + leases only.  Never raises on
+    torn or missing files.
+    """
+    campaign_dir = Path(campaign_dir)
+    now = time.time() if now is None else now
+    status = CampaignStatus(directory=campaign_dir)
+
+    canonical, rows = _chunk_records(campaign_dir / "chunks.jsonl")
+    status.canonical_chunks = len(canonical)
+    status.rows = rows
+
+    observed = set(canonical)
+    workers_root = campaign_dir / "workers"
+    if workers_root.is_dir():
+        for worker_dir in sorted(workers_root.iterdir()):
+            chunks, _ = _chunk_records(worker_dir / "chunks.jsonl")
+            if chunks or (worker_dir / "spec.json").is_file():
+                status.worker_chunks[worker_dir.name] = len(chunks)
+            observed |= chunks
+    status.worker_only_chunks = len(observed) - len(canonical)
+
+    advert = _read_advert(campaign_dir)
+    status.total_chunks = _infer_total_chunks(campaign_dir, advert)
+    skew_slack = 2.0
+    if advert is not None:
+        try:
+            skew_slack = float(advert.get("skew_slack", skew_slack))
+        except (TypeError, ValueError):
+            pass
+    status.leases = _read_leases(campaign_dir, skew_slack, now)
+
+    telemetry_dir = campaign_dir / TELEMETRY_DIR_NAME
+    spans, dropped_spans = read_spans(telemetry_dir)
+    snapshots = read_metric_snapshots(telemetry_dir)
+    status.dropped_telemetry_lines = dropped_spans
+    status.has_telemetry = bool(spans or snapshots)
+    if not status.has_telemetry:
+        return status
+
+    merged = merge_snapshots(snapshots)
+    status.counters = dict(merged.get("counters", {}))
+    status.owners = list(merged.get("owners", []))
+    status.phases = _phase_breakdown(merged.get("histograms", {}))
+    status.kernels = _kernel_profiles(status.counters)
+
+    stamps = [
+        (float(record["t0"]), float(record.get("dt", 0.0)))
+        for record in spans
+        if isinstance(record.get("t0"), (int, float))
+    ]
+    if stamps:
+        t_start = min(t0 for t0, _ in stamps)
+        t_end = max(t0 + dt for t0, dt in stamps)
+        elapsed = t_end - t_start
+        if elapsed > 0:
+            if status.rows:
+                status.rows_per_second = status.rows / elapsed
+            done = status.chunks_done
+            if done and status.total_chunks is not None and done < status.total_chunks:
+                status.eta_seconds = (status.total_chunks - done) * (elapsed / done)
+    return status
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    if seconds >= 1.0:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_status(status: CampaignStatus) -> str:
+    """A terminal-friendly multi-line rendering of one status snapshot."""
+    lines: list[str] = [f"campaign: {status.directory}"]
+
+    total = "?" if status.total_chunks is None else str(status.total_chunks)
+    progress = f"chunks: {status.canonical_chunks}/{total} canonical"
+    if status.worker_only_chunks:
+        progress += f" (+{status.worker_only_chunks} durable in worker stores)"
+    if status.finished:
+        progress += "  [complete]"
+    lines.append(progress)
+    lines.append(f"rows persisted: {status.rows}")
+
+    if status.rows_per_second is not None:
+        throughput = f"throughput: {status.rows_per_second:.1f} rows/s"
+        if status.eta_seconds is not None:
+            throughput += f", ETA {_format_seconds(status.eta_seconds)}"
+        lines.append(throughput)
+
+    if status.worker_chunks:
+        summary = ", ".join(
+            f"{owner} ({count} chunk(s))" for owner, count in sorted(status.worker_chunks.items())
+        )
+        lines.append(f"worker stores: {summary}")
+
+    if status.leases:
+        lines.append("leases:")
+        for lease in status.leases:
+            health = (
+                "EXPIRED"
+                if lease.expired
+                else f"heartbeat {_format_seconds(lease.heartbeat_age)} ago"
+            )
+            lines.append(
+                f"  chunk {lease.chunk}: owner {lease.owner}, epoch {lease.epoch}, {health}"
+            )
+
+    if not status.has_telemetry:
+        lines.append("telemetry: none recorded (run with --telemetry on)")
+        return "\n".join(lines)
+
+    if status.phases:
+        lines.append("phases:")
+        for name, total_seconds, count in status.phases:
+            lines.append(f"  {name:10s} {_format_seconds(total_seconds):>8s}  {count} span(s)")
+
+    for kernel, stats in sorted(status.kernels.items()):
+        calls = int(stats.get("calls", 0))
+        detail = [f"{calls} call(s)"]
+        if "pivots" in stats:
+            detail.append(f"{int(stats['pivots'])} pivot(s)")
+        mask = stats.get("mask_slots", 0.0)
+        if mask:
+            detail.append(f"mask occupancy {100.0 * stats.get('active_slots', 0.0) / mask:.1f}%")
+        if stats.get("fallbacks"):
+            detail.append(f"{int(stats['fallbacks'])} scalar fallback(s)")
+        lines.append(f"kernel {kernel}: {', '.join(detail)}")
+
+    writers = f"{len(status.owners)} writer(s)" if status.owners else "metrics pending"
+    telemetry_line = f"telemetry: {writers}"
+    if status.dropped_telemetry_lines:
+        telemetry_line += f", {status.dropped_telemetry_lines} torn line(s) dropped"
+    lines.append(telemetry_line)
+    return "\n".join(lines)
+
+
+def follow_status(
+    campaign_dir: str | Path,
+    interval: float = 2.0,
+    stream: TextIO | None = None,
+    max_updates: int | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> CampaignStatus:
+    """Re-render the status every ``interval`` seconds until complete.
+
+    ``max_updates`` bounds the loop (tests and bounded watches); the
+    final status is returned either way.
+    """
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    updates = 0
+    while True:
+        status = collect_status(campaign_dir)
+        print(render_status(status), file=stream, flush=True)
+        updates += 1
+        if status.finished:
+            return status
+        if max_updates is not None and updates >= max_updates:
+            return status
+        print("---", file=stream, flush=True)
+        sleep(interval)

@@ -44,7 +44,6 @@ every bit.
 from __future__ import annotations
 
 import json
-import logging
 import os
 import re
 import shutil
@@ -56,7 +55,9 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.exceptions import ExperimentError
+from repro.obs import get_logger
 from repro.scenarios.spec import ScenarioSpec, spec_hash
 
 __all__ = [
@@ -67,7 +68,7 @@ __all__ = [
     "aggregate_rows",
 ]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -266,7 +267,12 @@ class CampaignState:
                 chunk_index=_torn_chunk_index(torn_line),
             )
             if not self.read_only:
-                logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
+                logger.warning(
+                    self.recovered_tail.describe(),
+                    path=self.chunks_path,
+                    chunk=self.recovered_tail.chunk_index,
+                )
+                obs.active().counter("store.torn_tail_recoveries")
         elif size and not ends_with_newline:
             # No torn tail; a final record missing only its newline (flush
             # raced the kill after the JSON but before "\n") still needs
@@ -280,7 +286,8 @@ class CampaignState:
                 kind="missing-newline", byte_offset=size, dropped_bytes=0
             )
             if not self.read_only:
-                logger.warning("%s: %s", self.chunks_path, self.recovered_tail.describe())
+                logger.warning(self.recovered_tail.describe(), path=self.chunks_path)
+                obs.active().counter("store.torn_tail_recoveries")
 
     @property
     def completed_chunks(self) -> set[int]:
@@ -396,6 +403,10 @@ class CampaignState:
         self._ranges[index] = (int(start), int(stop))
         self._row_counts[index] = len(rows)
         self._spans[index] = (span_stop - len(payload), span_stop)
+        telemetry = obs.active()
+        if telemetry.enabled:
+            telemetry.counter("store.chunks_appended")
+            telemetry.counter("store.rows_appended", len(rows))
 
     def merge(
         self,
@@ -470,8 +481,11 @@ class CampaignState:
                             f"worker's result cannot enter the canonical store"
                         )
                     logger.warning(
-                        "%s: skipping fenced chunk %d (epoch %d < fence %d)",
-                        source.directory, index, epoch, fence,
+                        "skipping fenced chunk",
+                        source=source.directory,
+                        chunk=index,
+                        epoch=epoch,
+                        fence=fence,
                     )
                     report.fenced.append(index)
                     continue
@@ -713,7 +727,7 @@ def _load_epochs(path: Path) -> dict[int, int]:
                 record = json.loads(line)
                 index, epoch = int(record["chunk"]), int(record["epoch"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                logger.warning("%s: skipping unreadable epoch line %d", path, number + 1)
+                logger.warning("skipping unreadable epoch line", path=path, line=number + 1)
                 continue
             epochs[index] = max(epoch, epochs.get(index, epoch))
     return epochs

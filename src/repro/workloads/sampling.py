@@ -40,6 +40,7 @@ from typing import Mapping
 
 import numpy as np
 
+import repro.obs as obs
 from repro.exceptions import ExperimentError
 from repro.workloads.matrices import MatrixProductWorkload
 
@@ -564,6 +565,10 @@ def sample_factors(family: PlatformFamily) -> FactorTable:
             ret = ret * family.comm_scale
     if family.comp_scale != 1.0:
         comp = comp * family.comp_scale
+
+    telemetry = obs.active()
+    if telemetry.enabled:
+        telemetry.sampler_batch(family.count, family.workers)
     return FactorTable(comm=comm, comp=comp, ret=ret)
 
 

@@ -20,6 +20,7 @@ def test_lower_layers_do_not_import_scenarios():
         "import sys\n"
         "import repro.core.order_rules\n"
         "import repro.core.batch_twoport\n"
+        "import repro.obs\n"
         "import repro.workloads.sampling\n"
         "import repro.experiments.campaign_engine\n"
         "from repro.workloads.platforms import campaign_factors\n"

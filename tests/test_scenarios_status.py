@@ -1,0 +1,252 @@
+"""Tests for the live campaign status view (``scenarios status``).
+
+The status view is read-only over plain files: it must report progress
+with or without telemetry, flag expired leases from the shared lease
+directory, and stay exit-0 on any directory — empty, torn, or mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.cli import main
+from repro.obs import Telemetry, activate
+from repro.scenarios.fabric import Lease
+from repro.scenarios.runner import run_campaign
+from repro.scenarios.spec import named_space, spec_hash
+from repro.scenarios.status import collect_status, follow_status, render_status
+from repro.scenarios.store import CampaignStore
+
+
+def small_spec(name="status-small", count=4):
+    return named_space("fig12").derive(name=name, count=count, matrix_sizes=(40, 120))
+
+
+def run_instrumented(tmp_path, spec, chunk_size=2, mode="on"):
+    store = tmp_path / "store"
+    campaign_dir = store / spec_hash(spec)
+    telemetry = Telemetry(campaign_dir / "telemetry", owner="main", mode=mode)
+    with activate(telemetry):
+        progress = run_campaign(spec, store, chunk_size=chunk_size)
+    return campaign_dir, progress
+
+
+class TestCollectStatus:
+    def test_empty_directory_yields_zeros(self, tmp_path):
+        status = collect_status(tmp_path / "nowhere")
+        assert status.canonical_chunks == 0
+        assert status.total_chunks is None
+        assert not status.has_telemetry
+        assert not status.finished
+
+    def test_complete_campaign_with_telemetry(self, tmp_path):
+        spec = small_spec()
+        campaign_dir, progress = run_instrumented(tmp_path, spec)
+        assert progress.finished
+        status = collect_status(campaign_dir)
+        assert status.canonical_chunks == 2
+        assert status.total_chunks == 2
+        assert status.finished
+        assert status.rows == spec.scenario_count
+        assert status.has_telemetry
+        assert status.rows_per_second is None or status.rows_per_second > 0
+        phase_names = [name for name, _, _ in status.phases]
+        for expected in ("queue", "evaluate", "solve", "append"):
+            assert expected in phase_names
+        assert "batch_scenario" in status.kernels
+        assert status.kernels["batch_scenario"]["calls"] >= 1
+
+    def test_total_chunks_inferred_without_advert(self, tmp_path):
+        """No fabric.json: the total comes from spec.json + chunk 0's range."""
+        spec = small_spec(count=5)
+        store = tmp_path / "store"
+        run_campaign(spec, store, chunk_size=2, max_chunks=1)
+        status = collect_status(store / spec_hash(spec))
+        assert status.canonical_chunks == 1
+        assert status.total_chunks == 3
+        assert not status.finished
+
+    def test_worker_store_chunks_count_as_durable(self, tmp_path):
+        spec = small_spec()
+        store = tmp_path / "store"
+        run_campaign(spec, store, chunk_size=2, max_chunks=1)
+        campaign_dir = store / spec_hash(spec)
+        # Fake a worker store holding the other chunk, as mid-merge.
+        worker_dir = campaign_dir / "workers" / "w0"
+        worker_dir.mkdir(parents=True)
+        (worker_dir / "spec.json").write_text(spec.to_json(), encoding="utf-8")
+        (worker_dir / "chunks.jsonl").write_text(
+            json.dumps({"chunk": 1, "start": 2, "stop": 4, "rows": []}) + "\n",
+            encoding="utf-8",
+        )
+        status = collect_status(campaign_dir)
+        assert status.canonical_chunks == 1
+        assert status.worker_only_chunks == 1
+        assert status.chunks_done == 2
+        assert status.worker_chunks == {"w0": 1}
+
+    def test_lease_health_flags_expiry(self, tmp_path):
+        campaign_dir = tmp_path / "campaign"
+        leases_dir = campaign_dir / "leases"
+        leases_dir.mkdir(parents=True)
+        now = time.time()
+        live = Lease(
+            chunk=0, start=0, stop=2, owner="w0", epoch=0,
+            granted_at=now, heartbeat_at=now, deadline=now + 60.0, ttl=60.0,
+        )
+        stale = Lease(
+            chunk=1, start=2, stop=4, owner="w1", epoch=2,
+            granted_at=now - 120.0, heartbeat_at=now - 90.0,
+            deadline=now - 60.0, ttl=5.0,
+        )
+        live.write(leases_dir)
+        stale.write(leases_dir)
+        status = collect_status(campaign_dir, now=now)
+        by_chunk = {lease.chunk: lease for lease in status.leases}
+        assert not by_chunk[0].expired
+        assert by_chunk[1].expired
+        assert by_chunk[1].owner == "w1"
+        assert by_chunk[1].epoch == 2
+        assert by_chunk[1].heartbeat_age >= 90.0
+
+    def test_torn_telemetry_lines_counted_not_fatal(self, tmp_path):
+        spec = small_spec()
+        campaign_dir, _ = run_instrumented(tmp_path, spec)
+        (span_file,) = (campaign_dir / "telemetry").glob("spans-*.jsonl")
+        with open(span_file, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "span", "name": "to')
+        status = collect_status(campaign_dir)
+        assert status.dropped_telemetry_lines == 1
+        assert "torn line(s) dropped" in render_status(status)
+
+
+class TestRenderStatus:
+    def test_renders_progress_and_phases(self, tmp_path):
+        spec = small_spec()
+        campaign_dir, _ = run_instrumented(tmp_path, spec)
+        text = render_status(collect_status(campaign_dir))
+        assert "chunks: 2/2 canonical" in text
+        assert "[complete]" in text
+        assert f"rows persisted: {spec.scenario_count}" in text
+        assert "phases:" in text
+        assert "kernel batch_scenario:" in text
+
+    def test_no_telemetry_hint(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "store", chunk_size=2)
+        text = render_status(collect_status(tmp_path / "store" / spec_hash(spec)))
+        assert "telemetry: none recorded" in text
+        assert "chunks: 2/2 canonical" in text
+
+
+class TestFollowStatus:
+    def test_bounded_follow_renders_each_update(self, tmp_path, capsys):
+        spec = small_spec()
+        store = tmp_path / "store"
+        run_campaign(spec, store, chunk_size=2, max_chunks=1)
+        naps = []
+        status = follow_status(
+            store / spec_hash(spec), interval=0.01, max_updates=2, sleep=naps.append
+        )
+        out = capsys.readouterr().out
+        assert out.count("chunks: 1/2 canonical") == 2
+        assert naps == [0.01]
+        assert not status.finished
+
+    def test_follow_stops_when_complete(self, tmp_path, capsys):
+        spec = small_spec()
+        campaign_dir, _ = run_instrumented(tmp_path, spec)
+        status = follow_status(campaign_dir, interval=0.01, max_updates=5)
+        assert status.finished
+        assert capsys.readouterr().out.count("[complete]") == 1
+
+
+class TestStatusCli:
+    def test_status_exits_zero_without_campaign(self, tmp_path, capsys):
+        assert main(["scenarios", "status", str(tmp_path / "absent")]) == 0
+        assert "chunks: 0/?" in capsys.readouterr().out
+
+    def test_status_with_space_resolves_hash(self, tmp_path, capsys):
+        spec = named_space("fig12").derive(count=4)  # matches the CLI's derivation
+        store = tmp_path / "store"
+        telemetry = Telemetry(store / spec_hash(spec) / "telemetry", owner="main", mode="on")
+        with activate(telemetry):
+            run_campaign(spec, store, chunk_size=2)
+        code = main(
+            ["scenarios", "status", str(store), "--space", "fig12", "--count", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chunks: 2/2 canonical" in out
+        assert "kernel batch_scenario:" in out
+
+    def test_run_telemetry_flag_writes_sidecar(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "scenarios", "run", "fig12", "--store", str(store),
+                "--count", "4", "--chunk-size", "2", "--telemetry", "on",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        spec = named_space("fig12").derive(count=4)
+        telemetry_dir = store / spec_hash(spec) / "telemetry"
+        assert list(telemetry_dir.glob("spans-main-*.jsonl"))
+        assert list(telemetry_dir.glob("metrics-main-*.json"))
+
+    def test_show_reports_dropped_telemetry_after_torn_tail(self, tmp_path, capsys):
+        """The torn-tail satellite: show pairs the store recovery report
+        with the telemetry sidecar's dropped-line count."""
+        store = tmp_path / "store"
+        code = main(
+            [
+                "scenarios", "run", "fig12", "--store", str(store),
+                "--count", "4", "--chunk-size", "2", "--telemetry", "on",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        spec = named_space("fig12").derive(count=4)
+        campaign_dir = store / spec_hash(spec)
+        # Tear both the store tail and a telemetry line, as one crash would.
+        chunks_path = campaign_dir / "chunks.jsonl"
+        intact = chunks_path.read_bytes()
+        chunks_path.write_bytes(intact + b'{"chunk": 2, "start": 4,')
+        (span_file,) = (campaign_dir / "telemetry").glob("spans-*.jsonl")
+        with open(span_file, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "span"')
+        code = main(
+            ["scenarios", "show", "fig12", "--store", str(store), "--count", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered on open" in out
+        assert "telemetry sidecar: 1 torn line(s) dropped" in out
+
+    def test_status_never_touches_the_store(self, tmp_path):
+        """status is an observer: bytes on disk are identical afterwards."""
+        spec = small_spec()
+        campaign_dir, _ = run_instrumented(tmp_path, spec)
+        chunks_path = campaign_dir / "chunks.jsonl"
+        before = chunks_path.read_bytes()
+        collect_status(campaign_dir)
+        assert chunks_path.read_bytes() == before
+
+
+class TestStoreUnaffected:
+    def test_resume_over_instrumented_store_is_byte_identical(self, tmp_path):
+        """Telemetry on for half the campaign, off for the rest — the
+        store converges to the uninstrumented bytes either way."""
+        spec = small_spec()
+        plain_store = CampaignStore(tmp_path / "plain")
+        run_campaign(spec, plain_store, chunk_size=2)
+        split_store = tmp_path / "split"
+        campaign_dir = split_store / spec_hash(spec)
+        telemetry = Telemetry(campaign_dir / "telemetry", owner="main", mode="on")
+        with activate(telemetry):
+            run_campaign(spec, split_store, chunk_size=2, max_chunks=1)
+        run_campaign(spec, split_store, chunk_size=2)
+        plain = (tmp_path / "plain" / spec_hash(spec) / "chunks.jsonl").read_bytes()
+        assert (campaign_dir / "chunks.jsonl").read_bytes() == plain
