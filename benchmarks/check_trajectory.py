@@ -44,6 +44,22 @@ CONTEXT_KEYS = ("platform_count", "cpu_count")
 #: PR-8 acceptance bar, gated on the newest row alone (no baseline needed).
 TELEMETRY_OVERHEAD_LIMIT_PCT = 2.0
 
+#: Absolute ceiling on the trace-correlation layer's measured overhead —
+#: the PR-9 acceptance bar, likewise gated on the newest row alone.
+TRACE_CONTEXT_OVERHEAD_LIMIT_PCT = 2.0
+
+#: Every absolute overhead gate: ``row key -> (limit, what regressed)``.
+OVERHEAD_LIMITS_PCT = {
+    "telemetry_overhead_pct": (
+        TELEMETRY_OVERHEAD_LIMIT_PCT,
+        "telemetry instrumentation costs more than",
+    ),
+    "trace_context_overhead_pct": (
+        TRACE_CONTEXT_OVERHEAD_LIMIT_PCT,
+        "trace correlation costs more than",
+    ),
+}
+
 
 def load_rows(path: Path) -> list[dict]:
     """Parse the trajectory, skipping blank lines."""
@@ -76,23 +92,22 @@ def collect_clocks(row: dict) -> dict[str, float]:
 
 
 def check_telemetry_overhead(row: dict) -> int:
-    """Absolute gate: the newest row's telemetry overhead must stay < 2%."""
-    value = row.get("telemetry_overhead_pct")
-    if not isinstance(value, (int, float)):
-        return 0
-    over = value > TELEMETRY_OVERHEAD_LIMIT_PCT
-    marker = "REGRESSION" if over else "ok"
-    print(
-        f"bench-check: telemetry_overhead_pct {value:+6.2f}% "
-        f"(limit {TELEMETRY_OVERHEAD_LIMIT_PCT:.1f}%)  {marker}"
-    )
-    if over:
-        print(
-            "bench-check: FAILED — telemetry instrumentation costs more than "
-            f"{TELEMETRY_OVERHEAD_LIMIT_PCT:.1f}% of an instrumented campaign"
-        )
-        return 1
-    return 0
+    """Absolute gates: the newest row's overhead metrics must stay < 2%."""
+    failed = 0
+    for key, (limit, complaint) in OVERHEAD_LIMITS_PCT.items():
+        value = row.get(key)
+        if not isinstance(value, (int, float)):
+            continue
+        over = value > limit
+        marker = "REGRESSION" if over else "ok"
+        print(f"bench-check: {key} {value:+6.2f}% (limit {limit:.1f}%)  {marker}")
+        if over:
+            print(
+                f"bench-check: FAILED — {complaint} "
+                f"{limit:.1f}% of an instrumented campaign"
+            )
+            failed = 1
+    return failed
 
 
 def check(rows: list[dict], threshold: float) -> int:

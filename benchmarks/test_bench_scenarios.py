@@ -249,3 +249,82 @@ def test_telemetry_overhead(benchmark, tmp_path):
         "instrumented_seconds": round(instrumented_seconds, 4),
         "overhead_pct": round(overhead_pct, 2),
     }
+
+
+#: Entry points of the trace-correlation layer (``repro.obs.trace``):
+#: per-record stamping plus the per-campaign context snapshot/adoption.
+#: They do not call each other, so summing their cumulative time does
+#: not double-count.
+_TRACE_ENTRY_POINTS = frozenset(
+    {"annotate_span", "trace_context", "install_in_worker", "new_trace_id"}
+)
+
+
+@pytest.mark.benchmark(group="scenario-telemetry")
+def test_trace_context_overhead(benchmark, tmp_path):
+    """Measured cost of trace correlation on an instrumented campaign.
+
+    PR 9 stamps a campaign trace id (and, on depth-0 spans, a
+    cross-process parent ref) onto every span record at close time
+    (:func:`repro.obs.trace.annotate_span`), plus a one-time context
+    snapshot per pool/worker spawn.  The acceptance bar is that this
+    adds < 2% on top of an *instrumented* campaign.  Same attributed
+    measurement as :func:`test_telemetry_overhead` — wall-clock A/B
+    deltas drown in scheduler noise at this magnitude — but filtered to
+    the ``obs/trace.py`` entry points, so the number is the trace
+    layer's own cost, not the sidecar's.  Lands in
+    ``extra_info["trace_context"]`` → ``trace_context_overhead_pct`` in
+    BENCH_TRAJECTORY.jsonl, where ``bench-check`` gates it.
+    """
+    import cProfile
+    import os
+    import pstats
+    import statistics
+
+    from repro.obs import Telemetry, activate
+    from repro.scenarios.runner import run_campaign
+    from repro.scenarios.spec import spec_hash
+
+    platform_count = max(100, int(os.environ.get("REPRO_BENCH_PLATFORM_COUNT", "5")))
+    spec = named_space("fig12").derive(name="bench-trace", count=platform_count)
+    counter = iter(range(1_000_000))
+
+    def run_traced():
+        root = tmp_path / f"traced-{next(counter)}"
+        telemetry = Telemetry(
+            root / spec_hash(spec) / "telemetry", owner="bench", mode="on"
+        )
+        with activate(telemetry):
+            # run_campaign adopts a fresh trace id on an instrumented run,
+            # so every span record goes through annotate_span with a trace.
+            progress = run_campaign(spec, root, chunk_size=25)
+        assert progress.finished
+        assert telemetry.trace_id
+        return root
+
+    def attributed_overhead_pct():
+        profile = cProfile.Profile(time.process_time)
+        profile.enable()
+        run_traced()
+        profile.disable()
+        rows = pstats.Stats(profile).stats
+        total = sum(row[2] for row in rows.values())
+        spent = sum(
+            row[3]
+            for key, row in rows.items()
+            if key[0].endswith(os.path.join("obs", "trace.py"))
+            and key[2] in _TRACE_ENTRY_POINTS
+        )
+        return 100.0 * spent / (total - spent)
+
+    overhead_pct = statistics.median(attributed_overhead_pct() for _ in range(3))
+
+    start = time.perf_counter()
+    benchmark.pedantic(run_traced, rounds=1, iterations=1)
+    traced_seconds = time.perf_counter() - start
+
+    benchmark.extra_info["trace_context"] = {
+        "platform_count": platform_count,
+        "traced_seconds": round(traced_seconds, 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }

@@ -17,6 +17,8 @@ this script, which distils the run into one JSON line appended to
 * the two-port scenario campaign's wall-clock (the ``one_port: false``
   evaluation chain at whatever ``REPRO_BENCH_PLATFORM_COUNT`` the run
   used: two-port kernel LPs plus merge-ordered noisy replays);
+* the attributed overhead of telemetry instrumentation and of the PR-9
+  trace-correlation layer on top of it, both gated by ``bench-check``;
 * the wall-clock speedup against the PR-1 engine (reference numbers
   measured at commit dc51bf3 on the benchmark VM, same scales).
 
@@ -64,6 +66,7 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
     sampler = None
     twoport = None
     telemetry = None
+    trace_context = None
     kernel_means: dict[str, dict[int, float]] = {"fast": {}, "scipy": {}}
     batch_speedups: dict[int, float] = {}
     for bench in data.get("benchmarks", []):
@@ -76,6 +79,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
             twoport = extra["twoport_campaign"]
         if "telemetry" in extra:
             telemetry = extra["telemetry"]
+        if "trace_context" in extra:
+            trace_context = extra["trace_context"]
         name = bench.get("name", "")
         workers = extra.get("workers")
         if workers is not None and "test_fast_kernel" in name:
@@ -114,6 +119,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
         entry["twoport_scenarios_per_second"] = twoport.get("scenarios_per_second")
     if telemetry is not None:
         entry["telemetry_overhead_pct"] = telemetry.get("overhead_pct")
+    if trace_context is not None:
+        entry["trace_context_overhead_pct"] = trace_context.get("overhead_pct")
     kernel_speedup = {
         workers: round(kernel_means["scipy"][workers] / mean, 2)
         for workers, mean in kernel_means["fast"].items()

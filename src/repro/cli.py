@@ -383,6 +383,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period for --follow (default: 2.0)",
     )
 
+    report = scenarios_sub.add_parser(
+        "report",
+        help="post-hoc campaign forensics from the telemetry sidecar + "
+        "coordinator journal: stitched causal trace, critical path, "
+        "per-worker utilization, straggler and fault attribution "
+        "(read-only; exits 0 even on torn or mid-crash campaign state)",
+    )
+    report.add_argument(
+        "store_dir",
+        metavar="DIR",
+        help="the campaign directory (…/<spec-hash>) — or, with --space, the "
+        "store root the other verbs use",
+    )
+    report.add_argument(
+        "--space",
+        default=None,
+        help="space name or spec JSON path; DIR is then the store root and "
+        "the campaign directory is derived from the spec hash",
+    )
+    report.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="override the family's platform count (derives a new space)",
+    )
+    report.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the family's seed (derives a new space)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON on stdout instead of the terminal report",
+    )
+    report.add_argument(
+        "--trace-export",
+        metavar="PATH",
+        default=None,
+        help="also write the stitched trace as Chrome trace-event JSON "
+        "(loads in Perfetto / chrome://tracing)",
+    )
+    report.add_argument(
+        "--compare",
+        metavar="DIR",
+        default=None,
+        help="baseline campaign directory (resolved like DIR when --space "
+        "is given): report per-phase regression deltas against it",
+    )
+
     show = scenarios_sub.add_parser(
         "show", help="print a space's spec and any stored progress/aggregates"
     )
@@ -499,7 +546,7 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             )
         return 0
 
-    if args.scenarios_command in ("work", "status"):
+    if args.scenarios_command in ("work", "status", "report"):
         campaign_dir = Path(args.store_dir)
         spec = None
         if args.space is not None:
@@ -509,6 +556,44 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             if args.seed is not None:
                 spec = spec.derive(seed=args.seed)
             campaign_dir = campaign_dir / spec_hash(spec)
+
+        if args.scenarios_command == "report":
+            import json as json_module
+
+            from repro.obs import (
+                analyze_campaign,
+                compare_reports,
+                render_comparison,
+                report_to_json,
+                write_chrome_trace,
+            )
+            from repro.obs import render_report as render_campaign_report
+
+            forensics = analyze_campaign(campaign_dir)
+            comparison = None
+            if args.compare is not None:
+                baseline_dir = Path(args.compare)
+                if spec is not None:
+                    baseline_dir = baseline_dir / spec_hash(spec)
+                comparison = compare_reports(forensics, analyze_campaign(baseline_dir))
+            if args.trace_export is not None:
+                events = write_chrome_trace(campaign_dir, args.trace_export)
+                # On stderr so --json keeps stdout as one parseable document.
+                print(
+                    f"wrote {args.trace_export}: {events} trace event(s)",
+                    file=sys.stderr,
+                )
+            if args.json:
+                payload = report_to_json(forensics)
+                if comparison is not None:
+                    payload["compare"] = comparison
+                print(json_module.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(render_campaign_report(forensics))
+                if comparison is not None:
+                    print()
+                    print(render_comparison(comparison))
+            return 0
 
         if args.scenarios_command == "status":
             from repro.scenarios.status import collect_status, follow_status, render_status

@@ -128,7 +128,14 @@ def run_chunked(
         chunks = [indexed[i::jobs] for i in range(jobs)]
         pairs = []
         if executor is None:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # A transient pool still joins the campaign trace: children
+            # adopt the ambient trace context so their spans stitch into
+            # the caller's causal tree.
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=obs.install_in_worker,
+                initargs=(obs.trace_context(telemetry),),
+            ) as pool:
                 pairs = _collect_futures(pool, worker, chunks, timeout)
         else:
             pairs = _collect_futures(executor, worker, chunks, timeout)

@@ -54,7 +54,18 @@ from repro.obs.spans import (
     read_metric_snapshots,
     read_spans,
 )
+from repro.obs.report import (
+    CampaignReport,
+    analyze_campaign,
+    chrome_trace_events,
+    compare_reports,
+    render_comparison,
+    render_report,
+    report_to_json,
+    write_chrome_trace,
+)
 from repro.obs.telemetry import (
+    DEFAULT_ROTATE_BYTES,
     TELEMETRY_DIR_NAME,
     TELEMETRY_MODES,
     NullTelemetry,
@@ -62,27 +73,51 @@ from repro.obs.telemetry import (
     activate,
     active,
     enabled,
+    install,
+)
+from repro.obs.trace import (
+    annotate_span,
+    install_in_worker,
+    new_trace_id,
+    parse_ref,
+    span_ref,
+    trace_context,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_ROTATE_BYTES",
     "LOG_LEVELS",
     "TELEMETRY_DIR_NAME",
     "TELEMETRY_MODES",
+    "CampaignReport",
     "MetricsRegistry",
     "NullTelemetry",
     "StructuredLogger",
     "Telemetry",
     "activate",
     "active",
+    "analyze_campaign",
+    "annotate_span",
+    "chrome_trace_events",
+    "compare_reports",
     "configure_logging",
     "dropped_sidecar_lines",
     "enabled",
     "get_logger",
+    "install",
+    "install_in_worker",
     "merge_snapshots",
+    "new_trace_id",
+    "parse_ref",
     "read_jsonl_tolerant",
     "read_metric_snapshots",
     "read_snapshot",
     "read_spans",
-    "write_snapshot",
+    "render_comparison",
+    "render_report",
+    "report_to_json",
+    "span_ref",
+    "trace_context",
+    "write_chrome_trace",
 ]

@@ -47,8 +47,10 @@ from typing import Any, Iterator
 
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, write_snapshot
+from repro.obs.trace import annotate_span, span_ref
 
 __all__ = [
+    "DEFAULT_ROTATE_BYTES",
     "TELEMETRY_DIR_NAME",
     "TELEMETRY_MODES",
     "NullTelemetry",
@@ -56,6 +58,7 @@ __all__ = [
     "activate",
     "active",
     "enabled",
+    "install",
 ]
 
 logger = get_logger(__name__)
@@ -65,6 +68,12 @@ TELEMETRY_DIR_NAME = "telemetry"
 
 #: CLI-facing telemetry modes.
 TELEMETRY_MODES = ("off", "on", "verbose")
+
+#: Span-file size threshold above which the live segment is shelved as
+#: ``spans-<owner>-<pid>.N.jsonl`` (the tolerant reader and the status
+#: view glob ``spans-*.jsonl``, so rotated segments stay visible) — a
+#: verbose mega-campaign can no longer grow one file unboundedly.
+DEFAULT_ROTATE_BYTES = 64 * 1024 * 1024
 
 _OWNER_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -96,9 +105,17 @@ class NullTelemetry:
 
     enabled = False
     verbose = False
+    trace_id = None
+    trace_parent = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def adopt_trace(self, trace_id: str | None, parent_ref: str | None = None) -> None:
+        return None
+
+    def current_ref(self) -> None:
+        return None
 
     def counter(self, name: str, value: float = 1.0) -> None:
         return None
@@ -161,7 +178,13 @@ class _Span:
 class Telemetry:
     """Span + metric emitter bound to one ``telemetry/`` directory."""
 
-    def __init__(self, directory: str | Path, owner: str | None = None, mode: str = "on") -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        owner: str | None = None,
+        mode: str = "on",
+        rotate_bytes: int | None = None,
+    ) -> None:
         if mode not in TELEMETRY_MODES:
             raise ValueError(f"unknown telemetry mode {mode!r}; choose from {TELEMETRY_MODES}")
         self.directory = Path(directory)
@@ -169,6 +192,9 @@ class Telemetry:
         self.mode = mode
         self.enabled = mode != "off"
         self.verbose = mode == "verbose"
+        self.rotate_bytes = DEFAULT_ROTATE_BYTES if rotate_bytes is None else int(rotate_bytes)
+        self.trace_id: str | None = None
+        self.trace_parent: str | None = None
         self.metrics = MetricsRegistry()
         self._write_lock = threading.Lock()
         self._local = threading.local()
@@ -178,6 +204,31 @@ class Telemetry:
         self._broken = False
         self._metrics_written_at = 0.0
         self._dirty = False
+        self._span_bytes = 0
+        self._rotations = 0
+
+    # ------------------------------------------------------------------
+    # trace plane
+    def adopt_trace(self, trace_id: str | None, parent_ref: str | None = None) -> None:
+        """Join a campaign trace: stamp every subsequent span with it.
+
+        ``parent_ref`` (an ``owner:pid:span_id`` from another process)
+        becomes the causal parent of this process's *top-level* spans.
+        Adopting with ``None`` keeps whatever was already adopted, so a
+        late advert read can fill in a missing parent without clearing
+        the trace.
+        """
+        if trace_id:
+            self.trace_id = str(trace_id)
+        if parent_ref:
+            self.trace_parent = str(parent_ref)
+
+    def current_ref(self) -> str | None:
+        """The open innermost span's cross-process ref, if any."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return span_ref(self.owner, os.getpid(), stack[-1].span_id)
 
     # ------------------------------------------------------------------
     # span plane
@@ -220,6 +271,7 @@ class Telemetry:
             record["parent"] = span.parent_id
         if span.attrs:
             record["attrs"] = span.attrs
+        annotate_span(record, self.trace_id, self.trace_parent)
         # Lines always reach the OS whole (write + flush); fsync is
         # reserved for verbose mode and explicit flush() checkpoints so
         # the hot path never stalls on the disk.  Top-level closes
@@ -307,6 +359,8 @@ class Telemetry:
             self._broken = False
             self._metrics_written_at = 0.0
             self._dirty = False
+            self._span_bytes = 0
+            self._rotations = 0
             self.metrics = MetricsRegistry()
             self._local = threading.local()
 
@@ -329,14 +383,46 @@ class Telemetry:
             with self._write_lock:
                 if self._handle is None:
                     self.directory.mkdir(parents=True, exist_ok=True)
-                    self._handle = open(self._span_path(), "a", encoding="utf-8")
+                    path = self._span_path()
+                    self._handle = open(path, "a", encoding="utf-8")
+                    try:
+                        self._span_bytes = path.stat().st_size
+                    except OSError:
+                        self._span_bytes = 0
                 self._handle.write(line)
                 self._handle.flush()
                 if durable:
                     os.fsync(self._handle.fileno())
                 self._dirty = True
+                self._span_bytes += len(line.encode("utf-8", "surrogateescape"))
+                if self.rotate_bytes > 0 and self._span_bytes >= self.rotate_bytes:
+                    self._rotate_spans()
         except OSError as error:
             self._give_up(error)
+
+    def _rotate_spans(self) -> None:
+        """Shelve the live span segment (write lock held by the caller).
+
+        The current file is renamed to the next free
+        ``spans-<owner>-<pid>.N.jsonl`` and a fresh live segment opens
+        lazily on the next emission; readers glob ``spans-*.jsonl`` so
+        nothing is lost, and ``telemetry.rotated_files`` counts how
+        often it happened.
+        """
+        handle, self._handle = self._handle, None
+        self._span_bytes = 0
+        if handle is not None:
+            handle.close()
+        path = self._span_path()
+        while True:
+            self._rotations += 1
+            target = path.with_name(
+                f"spans-{self.owner}-{self._pid}.{self._rotations}.jsonl"
+            )
+            if not target.exists():
+                break
+        os.replace(path, target)
+        self.metrics.counter_add("telemetry.rotated_files", 1)
 
     #: Minimum seconds between throttled metric-snapshot rewrites.
     METRICS_INTERVAL = 1.0
@@ -416,6 +502,17 @@ def active() -> Telemetry | NullTelemetry:
 def enabled() -> bool:
     """Whether an enabled telemetry is currently active."""
     return _active.enabled
+
+
+def install(telemetry: Telemetry | NullTelemetry | None) -> None:
+    """Install ``telemetry`` ambiently with no restore semantics.
+
+    The pool-initializer counterpart of :func:`activate`: a spawned
+    worker process belongs to its pool for its whole lifetime, so there
+    is no enclosing scope to restore a previous emitter into.
+    """
+    global _active
+    _active = telemetry if telemetry is not None else NULL
 
 
 @contextmanager

@@ -1,0 +1,145 @@
+"""Campaign-level trace correlation across processes and machines.
+
+PR 8 gave every writer its own span sidecar, but the files are
+disconnected per-``(owner, pid)`` streams: a pool child's spans, a
+detached worker's spans and the coordinator's spans share nothing that
+ties them to *one campaign run*.  This module supplies that glue:
+
+* a **trace id** — one opaque token minted per campaign run and adopted
+  by every participating telemetry (coordinator, fabric workers, pool
+  children, detached ``scenarios work`` claimants), stamped onto every
+  span record as ``"trace"``;
+* a **cross-process parent ref** — ``"owner:pid:span_id"``, naming the
+  span *in another process* under which this process's work was
+  enqueued, stamped onto depth-0 span records as ``"cparent"`` so the
+  forensics reader (:mod:`repro.obs.report`) can stitch all sidecars
+  into one causal tree (in-process nesting keeps using the plain
+  ``"parent"`` span id);
+* the **plumbing helpers** — :func:`trace_context` turns the active
+  telemetry's trace context into a picklable dict, and
+  :func:`install_in_worker` is a ``ProcessPoolExecutor`` initializer
+  (also callable directly from fabric worker mains) that adopts the
+  context in the child, whether the telemetry was fork-inherited or has
+  to be rebuilt from scratch.
+
+Trace context is **additive and out-of-band**: it lands only in the
+telemetry sidecar (and the coordinator's advert/journal, which are
+scaffolding), never in spec hashes or chunk bytes, so instrumented
+runs stay byte-identical.  Like the rest of ``repro.obs`` this module
+is stdlib-only (AST-enforced).
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any
+
+__all__ = [
+    "annotate_span",
+    "install_in_worker",
+    "new_trace_id",
+    "parse_ref",
+    "span_ref",
+    "trace_context",
+]
+
+
+def new_trace_id() -> str:
+    """Mint one opaque campaign-run trace id."""
+    return uuid.uuid4().hex
+
+
+def span_ref(owner: str, pid: int, span_id: int) -> str:
+    """The fully-qualified cross-process name of one span."""
+    return f"{owner}:{pid}:{span_id}"
+
+
+def parse_ref(ref: str) -> tuple[str, int, int] | None:
+    """Split a :func:`span_ref` back into ``(owner, pid, span_id)``.
+
+    Owners may themselves contain ``:``-free separators only by
+    construction (``_sanitize_owner``), so the last two fields are the
+    numeric ones.  Returns ``None`` on anything malformed.
+    """
+    if not isinstance(ref, str):
+        return None
+    head, sep, span_part = ref.rpartition(":")
+    owner, sep2, pid_part = head.rpartition(":")
+    if not (sep and sep2 and owner):
+        return None
+    try:
+        return owner, int(pid_part), int(span_part)
+    except ValueError:
+        return None
+
+
+def annotate_span(record: dict, trace_id: str | None, parent_ref: str | None) -> None:
+    """Stamp trace correlation onto one span record (the hot path).
+
+    Every span of a traced process carries the trace id; only depth-0
+    spans carry the cross-process parent ref — deeper spans already
+    chain to it through their in-process ``parent`` ids.
+    """
+    if trace_id:
+        record["trace"] = trace_id
+        if parent_ref and not record.get("depth"):
+            record["cparent"] = parent_ref
+
+
+def trace_context(telemetry: Any = None) -> dict | None:
+    """The active (or given) telemetry's trace context, picklable.
+
+    ``None`` when telemetry is off or carries no trace — callers pass
+    the result straight to pool ``initargs`` / worker argv either way.
+    The ``parent`` field names the span open *right now* in the calling
+    thread (the campaign root, at pool-creation time), falling back to
+    the context this process itself adopted, so chains survive another
+    hop (coordinator -> worker -> its own pool).
+    """
+    from repro.obs import telemetry as _telemetry
+
+    if telemetry is None:
+        telemetry = _telemetry.active()
+    if not getattr(telemetry, "enabled", False):
+        return None
+    trace_id = getattr(telemetry, "trace_id", None)
+    if not trace_id:
+        return None
+    return {
+        "trace": trace_id,
+        "parent": telemetry.current_ref() or telemetry.trace_parent,
+        "directory": str(telemetry.directory),
+        "owner": telemetry.owner,
+        "mode": telemetry.mode,
+    }
+
+
+def install_in_worker(context: dict | None) -> None:
+    """Adopt a :func:`trace_context` in a (pool or fabric) child.
+
+    Fork-started children inherit the parent's active telemetry — then
+    only the trace needs adopting (the per-pid file re-homing is the
+    telemetry's own fork safety).  Spawn-started children (or plain
+    worker processes with nothing active) rebuild a telemetry from the
+    context and install it ambiently, with no restore: the process is
+    the pool's for its lifetime.  Never raises — a malformed context
+    simply leaves the child untraced.
+    """
+    if not context or not isinstance(context, dict):
+        return
+    from repro.obs import telemetry as _telemetry
+
+    current = _telemetry.active()
+    if getattr(current, "enabled", False):
+        current.adopt_trace(context.get("trace"), context.get("parent"))
+        return
+    directory = context.get("directory")
+    mode = context.get("mode")
+    if not directory or mode not in _telemetry.TELEMETRY_MODES or mode == "off":
+        return
+    try:
+        rebuilt = _telemetry.Telemetry(directory, owner=context.get("owner"), mode=mode)
+    except (OSError, ValueError):
+        return
+    rebuilt.adopt_trace(context.get("trace"), context.get("parent"))
+    _telemetry.install(rebuilt)

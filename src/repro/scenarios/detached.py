@@ -139,6 +139,12 @@ class FabricAdvert:
     ttl: float
     skew_slack: float = DEFAULT_SKEW_SLACK
     max_attempts: int = 3
+    #: Campaign trace id + the coordinator root span's cross-process ref
+    #: (``owner:pid:span_id``) — how detached ``scenarios work`` claimants
+    #: join the campaign's causal tree.  Optional and ignored by the
+    #: protocol itself; old adverts without them stay readable.
+    trace: str | None = None
+    parent: str | None = None
 
     def write(self, directory: Path) -> None:
         payload = json.dumps(dataclasses.asdict(self), sort_keys=True) + "\n"
@@ -167,6 +173,8 @@ class FabricAdvert:
                 ttl=float(record["ttl"]),
                 skew_slack=float(record["skew_slack"]),
                 max_attempts=int(record["max_attempts"]),
+                trace=record.get("trace") or None,
+                parent=record.get("parent") or None,
             )
         except FileNotFoundError:
             return None
@@ -450,6 +458,11 @@ def work_loop(
     if spec is None or advert is None:
         report.drained = stop.is_set()
         return report
+    if advert.trace:
+        # Join the campaign trace the coordinator advertised: every span
+        # this worker emits carries the trace id, and its top-level spans
+        # name the coordinator's root span as their causal parent.
+        obs.active().adopt_trace(advert.trace, advert.parent)
     plan = plan_chunks_from_advert(spec, advert)
     leases_dir = lease_directory_of(campaign_dir)
     leases_dir.mkdir(parents=True, exist_ok=True)
@@ -783,6 +796,19 @@ def run_detached_campaign(
     prior = journal.replay()
     chunks = plan_chunks(spec.family.count, chunk_size)
 
+    telemetry = obs.active()
+    if telemetry.enabled and not telemetry.trace_id:
+        # Adopt the campaign trace before the first merge span so every
+        # coordinator span carries it.  A restarted coordinator re-joins
+        # the *same* trace: the prior incarnation published it in the
+        # advert (and journaled it in the plan event), so all sidecars
+        # still stitch into one causal tree across the restart.
+        existing = FabricAdvert.read(state.directory)
+        prior_trace = existing.trace if existing is not None else None
+        if not prior_trace and prior.plan is not None:
+            prior_trace = prior.plan.get("trace") or None
+        telemetry.adopt_trace(prior_trace or obs.new_trace_id())
+
     merge_worker_snapshots(state)
     completed = validate_plan(state, chunks)
     before = len(completed)
@@ -813,16 +839,27 @@ def run_detached_campaign(
         return result
 
     lease_directory(state).mkdir(parents=True, exist_ok=True)
+    # The coordinator root span opens before the advert is written so the
+    # advert can carry its ref — detached workers adopt it as the causal
+    # parent of their claim spans.
+    root_span = telemetry.span(
+        "coordinate",
+        tier="detached",
+        total_chunks=len(chunks),
+        pending=len(chunks) - before,
+    )
+    root_span.__enter__()
     advert = FabricAdvert(
         chunk_size=chunk_size,
         total_chunks=len(chunks),
         ttl=policy.timeout,
         skew_slack=policy.skew_slack,
         max_attempts=policy.max_attempts,
+        trace=telemetry.trace_id,
+        parent=telemetry.current_ref(),
     )
     advert.write(state.directory)
-    journal.append(
-        "plan",
+    plan_fields = dict(
         total_chunks=len(chunks),
         chunk_size=chunk_size,
         pending=len(chunks) - before,
@@ -830,6 +867,9 @@ def run_detached_campaign(
         ttl=policy.timeout,
         skew_slack=policy.skew_slack,
     )
+    if telemetry.trace_id:
+        plan_fields["trace"] = telemetry.trace_id
+    journal.append("plan", **plan_fields)
 
     leases_dir = lease_directory(state)
     deadline = None if wait_timeout is None else time.monotonic() + wait_timeout
@@ -901,6 +941,7 @@ def run_detached_campaign(
         if result.finished:
             journal.append("complete", total_chunks=len(chunks))
             _cleanup_if_complete(state, len(chunks))
+        root_span.__exit__(None, None, None)
         obs.active().flush()
     return result
 

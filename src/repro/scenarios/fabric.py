@@ -774,6 +774,7 @@ def _worker_chunk_main(
     stop: int,
     attempt: int,
     injector: FaultInjector | None,
+    trace_ctx: dict | None = None,
 ) -> None:
     """Evaluate one leased chunk inside a worker process.
 
@@ -783,6 +784,7 @@ def _worker_chunk_main(
     crash-after-append (persisted, then died) count as success.
     """
     try:
+        obs.install_in_worker(trace_ctx)
         state = CampaignState(Path(directory), spec)
         if chunk in state.completed_chunks:
             # A previous attempt crashed after its append: the work is
@@ -934,6 +936,11 @@ def run_fabric_campaign(
     state = store.campaign(spec)
 
     chunks = plan_chunks(spec.family.count, chunk_size)
+    telemetry = obs.active()
+    if telemetry.enabled and not telemetry.trace_id:
+        # Adopted before the first merge span so every coordinator span —
+        # including the leftovers merge below — carries the campaign trace.
+        telemetry.adopt_trace(obs.new_trace_id())
     # Absorb leftovers of an earlier (possibly crashed) fabric run first:
     # whatever the workers persisted is durable progress.
     merge_worker_stores(state)
@@ -958,14 +965,23 @@ def run_fabric_campaign(
         _cleanup_if_complete(state, len(chunks))
         return result
 
-    journal.append(
-        "plan",
+    plan_fields = dict(
         total_chunks=len(chunks),
         chunk_size=chunk_size,
         pending=len(pending),
         workers=workers,
         tier="process",
     )
+    if telemetry.trace_id:
+        plan_fields["trace"] = telemetry.trace_id
+    journal.append("plan", **plan_fields)
+    # The coordinator root span is every worker process's causal parent;
+    # its trace context rides into each worker through the spawn args.
+    root_span = telemetry.span(
+        "coordinate", tier="process", total_chunks=len(chunks), pending=len(pending)
+    )
+    root_span.__enter__()
+    worker_context = obs.trace_context(telemetry)
     leases_dir = lease_directory(state)
     leases_dir.mkdir(parents=True, exist_ok=True)
     context = multiprocessing.get_context(
@@ -1056,6 +1072,7 @@ def run_fabric_campaign(
                         stop,
                         attempt,
                         faults,
+                        worker_context,
                     ),
                     daemon=True,
                 )
@@ -1122,6 +1139,7 @@ def run_fabric_campaign(
     if result.finished:
         journal.append("complete", total_chunks=len(chunks))
     _cleanup_if_complete(state, len(chunks))
+    root_span.__exit__(None, None, None)
     return result
 
 

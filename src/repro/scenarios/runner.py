@@ -385,40 +385,57 @@ def run_campaign(
 
     telemetry = obs.active()
     if pending:
+        if telemetry.enabled and not telemetry.trace_id:
+            telemetry.adopt_trace(obs.new_trace_id())
         telemetry.gauge("campaign.total_chunks", len(chunks))
         table = sample_factors(spec.family)
         group_size = max(resolve_jobs(jobs), 1)
         worker = partial(evaluate_chunk, spec)
-        # One pool for the whole campaign: chunk groups reuse the workers
-        # instead of paying process spawn + numpy import per group.
-        pool = ProcessPoolExecutor(max_workers=group_size) if group_size > 1 else None
-        try:
-            for group_start in range(0, len(pending), group_size):
-                group = pending[group_start : group_start + group_size]
-                descriptors = []
-                for index in group:
-                    start, stop = chunks[index]
-                    view = table.rows(start, stop)
-                    descriptors.append((start, stop, view.comm, view.comp, view.ret))
-                # The parent-side queue phase: dispatch-and-wait of one
-                # chunk group (includes the workers' compute time; the
-                # solve/replay split lives in their own spans).
-                with telemetry.span("queue", chunks=len(group)):
-                    results = run_sweep(worker, descriptors, jobs=group_size, executor=pool)
-                for index, rows in zip(group, results):
-                    with telemetry.span("append", chunk=index, rows=len(rows)):
-                        state.append_chunk(index, chunks[index][0], chunks[index][1], rows)
-                    telemetry.counter("campaign.chunks_completed")
-                    telemetry.counter("campaign.rows_appended", len(rows))
-                telemetry.flush()
-                if progress is not None:
-                    progress(len(state.completed_chunks), len(chunks))
-        finally:
-            if pool is not None:
-                # cancel_futures: an interrupt (Ctrl-C) must not sit
-                # through the whole queued backlog before reporting what
-                # was persisted.
-                pool.shutdown(cancel_futures=True)
+        with telemetry.span("campaign", total_chunks=len(chunks), pending=len(pending)):
+            # The open campaign span is every pool child's causal parent:
+            # the initializer adopts the trace context in each worker so
+            # all sidecar spans stitch into one tree (fork children only
+            # need the adoption; spawn children rebuild the telemetry).
+            context = obs.trace_context(telemetry)
+            # One pool for the whole campaign: chunk groups reuse the
+            # workers instead of paying process spawn + numpy import per
+            # group.
+            pool = (
+                ProcessPoolExecutor(
+                    max_workers=group_size,
+                    initializer=obs.install_in_worker,
+                    initargs=(context,),
+                )
+                if group_size > 1
+                else None
+            )
+            try:
+                for group_start in range(0, len(pending), group_size):
+                    group = pending[group_start : group_start + group_size]
+                    descriptors = []
+                    for index in group:
+                        start, stop = chunks[index]
+                        view = table.rows(start, stop)
+                        descriptors.append((start, stop, view.comm, view.comp, view.ret))
+                    # The parent-side queue phase: dispatch-and-wait of one
+                    # chunk group (includes the workers' compute time; the
+                    # solve/replay split lives in their own spans).
+                    with telemetry.span("queue", chunks=len(group)):
+                        results = run_sweep(worker, descriptors, jobs=group_size, executor=pool)
+                    for index, rows in zip(group, results):
+                        with telemetry.span("append", chunk=index, rows=len(rows)):
+                            state.append_chunk(index, chunks[index][0], chunks[index][1], rows)
+                        telemetry.counter("campaign.chunks_completed")
+                        telemetry.counter("campaign.rows_appended", len(rows))
+                    telemetry.flush()
+                    if progress is not None:
+                        progress(len(state.completed_chunks), len(chunks))
+            finally:
+                if pool is not None:
+                    # cancel_futures: an interrupt (Ctrl-C) must not sit
+                    # through the whole queued backlog before reporting
+                    # what was persisted.
+                    pool.shutdown(cancel_futures=True)
 
     return CampaignProgress(
         state=state,

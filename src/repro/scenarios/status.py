@@ -46,6 +46,12 @@ __all__ = ["CampaignStatus", "LeaseHealth", "collect_status", "follow_status", "
 #: by total time.
 _PHASE_ORDER = ("queue", "evaluate", "solve", "replay", "append", "work", "merge")
 
+#: Sliding window (seconds) behind the *recent* throughput estimate:
+#: only ``evaluate`` spans that finished inside the window count, so a
+#: stalled campaign shows a dip instead of having it averaged away by
+#: the all-time extent.
+RECENT_WINDOW_SECONDS = 30.0
+
 
 @dataclass(frozen=True)
 class LeaseHealth:
@@ -70,6 +76,7 @@ class CampaignStatus:
     worker_chunks: dict[str, int] = field(default_factory=dict)
     leases: list[LeaseHealth] = field(default_factory=list)
     rows_per_second: float | None = None
+    recent_rows_per_second: float | None = None
     eta_seconds: float | None = None
     phases: list[tuple[str, float, int]] = field(default_factory=list)
     kernels: dict[str, dict[str, float]] = field(default_factory=dict)
@@ -90,20 +97,51 @@ class CampaignStatus:
 
 def _chunk_records(path: Path) -> tuple[set[int], int]:
     """(chunk indices, row count) of one ``chunks.jsonl``, tolerantly."""
-    records, _ = read_jsonl_tolerant(path)
-    chunks: set[int] = set()
-    rows = 0
-    for record in records:
-        if not isinstance(record, dict) or "chunk" not in record:
+    from repro.scenarios.store import chunk_progress
+
+    return chunk_progress(path)
+
+
+def _recent_rows_per_second(
+    spans: list[dict], now: float, window: float = RECENT_WINDOW_SECONDS
+) -> float | None:
+    """Rows/s from ``evaluate`` spans finishing in the trailing window.
+
+    ``evaluate`` spans only: the detached tier's ``work`` spans *nest*
+    the evaluation, so counting both would double-count every row.
+    Returns ``None`` when no evaluation has ever finished (nothing to
+    rate) and ``0.0`` when evaluations exist but none finished inside
+    the window — the dip a stalled campaign must show, which the
+    all-time average structurally cannot.
+    """
+    cutoff = now - window
+    rows = 0.0
+    starts: list[float] = []
+    for record in spans:
+        if record.get("name") != "evaluate":
             continue
+        t0 = record.get("t0")
+        if not isinstance(t0, (int, float)):
+            continue
+        starts.append(float(t0))
         try:
-            chunks.add(int(record["chunk"]))
+            end = float(t0) + float(record.get("dt") or 0.0)
         except (TypeError, ValueError):
             continue
-        payload = record.get("rows")
-        if isinstance(payload, list):
-            rows += len(payload)
-    return chunks, rows
+        if end < cutoff:
+            continue
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict):
+            try:
+                rows += float(attrs.get("rows", 0.0))
+            except (TypeError, ValueError):
+                pass
+    if not starts:
+        return None
+    # A campaign younger than the window is rated over its own age, so
+    # the estimate is not diluted by time that never existed.
+    elapsed = min(window, max(1e-9, now - min(starts)))
+    return rows / elapsed
 
 
 def _read_advert(campaign_dir: Path) -> dict | None:
@@ -267,6 +305,7 @@ def collect_status(campaign_dir: str | Path, now: float | None = None) -> Campai
             done = status.chunks_done
             if done and status.total_chunks is not None and done < status.total_chunks:
                 status.eta_seconds = (status.total_chunks - done) * (elapsed / done)
+    status.recent_rows_per_second = _recent_rows_per_second(spans, now)
     return status
 
 
@@ -294,7 +333,12 @@ def render_status(status: CampaignStatus) -> str:
     lines.append(f"rows persisted: {status.rows}")
 
     if status.rows_per_second is not None:
-        throughput = f"throughput: {status.rows_per_second:.1f} rows/s"
+        throughput = f"throughput: {status.rows_per_second:.1f} rows/s all-time"
+        if status.recent_rows_per_second is not None and not status.finished:
+            throughput += (
+                f", {status.recent_rows_per_second:.1f} rows/s"
+                f" last {RECENT_WINDOW_SECONDS:.0f}s"
+            )
         if status.eta_seconds is not None:
             throughput += f", ETA {_format_seconds(status.eta_seconds)}"
         lines.append(throughput)

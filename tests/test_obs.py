@@ -293,6 +293,100 @@ class TestForkSafety:
         assert len(files) == 2
 
 
+class TestTraceCorrelation:
+    def test_adopted_trace_stamps_every_span(self, tmp_path):
+        from repro.obs import new_trace_id
+
+        telemetry = Telemetry(tmp_path / "telemetry", owner="t0", mode="on")
+        trace = new_trace_id()
+        telemetry.adopt_trace(trace, "coordinator:1:1")
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        telemetry.flush()
+        spans, _ = read_spans(tmp_path / "telemetry")
+        by_name = {record["name"]: record for record in spans}
+        assert all(record["trace"] == trace for record in spans)
+        # Only depth-0 spans carry the cross-process parent ref; deeper
+        # spans chain to it through their in-process parent ids.
+        assert by_name["outer"]["cparent"] == "coordinator:1:1"
+        assert "cparent" not in by_name["inner"]
+        assert by_name["inner"]["parent"] == by_name["outer"]["span"]
+
+    def test_span_ref_round_trip(self):
+        from repro.obs import parse_ref, span_ref
+
+        assert parse_ref(span_ref("host-3", 123, 7)) == ("host-3", 123, 7)
+        assert parse_ref("garbage") is None
+        assert parse_ref(None) is None
+
+    def test_trace_context_snapshot_and_rebuild(self, tmp_path):
+        from repro.obs import install, install_in_worker, new_trace_id, trace_context
+
+        telemetry = Telemetry(tmp_path / "telemetry", owner="parent", mode="on")
+        telemetry.adopt_trace(new_trace_id())
+        with telemetry.span("root"):
+            context = trace_context(telemetry)
+        assert context["trace"] == telemetry.trace_id
+        assert context["parent"] is not None
+        # Nothing active: install_in_worker rebuilds a telemetry from the
+        # context (the spawn-start path) and installs it ambiently.
+        try:
+            install_in_worker(context)
+            rebuilt = active()
+            assert rebuilt.enabled
+            assert rebuilt.trace_id == context["trace"]
+            assert rebuilt.trace_parent == context["parent"]
+            with rebuilt.span("work"):
+                pass
+            rebuilt.flush()
+        finally:
+            install(None)
+        spans, _ = read_spans(tmp_path / "telemetry")
+        work = next(record for record in spans if record["name"] == "work")
+        assert work["trace"] == context["trace"]
+        assert work["cparent"] == context["parent"]
+
+    def test_disabled_telemetry_yields_no_context(self, tmp_path):
+        from repro.obs import trace_context
+
+        assert trace_context(active()) is None
+        untraced = Telemetry(tmp_path / "telemetry", owner="t0", mode="on")
+        assert trace_context(untraced) is None
+
+
+class TestSidecarRotation:
+    def test_span_file_rotates_at_threshold(self, tmp_path):
+        telemetry = Telemetry(
+            tmp_path / "telemetry", owner="r0", mode="on", rotate_bytes=512
+        )
+        for index in range(50):
+            with telemetry.span("tick", index=index):
+                pass
+        telemetry.flush()
+        files = sorted((tmp_path / "telemetry").glob("spans-*.jsonl"))
+        assert len(files) > 1
+        rotated = [path for path in files if path.stem.split(".")[-1].isdigit()]
+        assert rotated
+        assert all(path.stat().st_size <= 1024 for path in files)
+        # The tolerant reader sees every segment through the same glob.
+        spans, dropped = read_spans(tmp_path / "telemetry")
+        assert dropped == 0
+        assert len(spans) == 50
+        assert sorted(record["attrs"]["index"] for record in spans) == list(range(50))
+        snapshots = read_metric_snapshots(tmp_path / "telemetry")
+        counters = merge_snapshots(snapshots)["counters"]
+        assert counters["telemetry.rotated_files"] == len(rotated)
+
+    def test_no_rotation_below_threshold(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "telemetry", owner="r1", mode="on")
+        for _ in range(10):
+            with telemetry.span("tick"):
+                pass
+        telemetry.flush()
+        assert len(list((tmp_path / "telemetry").glob("spans-*.jsonl"))) == 1
+
+
 def test_obs_is_stdlib_only():
     """The observability plane must not import numpy or repro.scenarios.
 

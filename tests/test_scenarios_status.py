@@ -121,6 +121,96 @@ class TestCollectStatus:
         assert "torn line(s) dropped" in render_status(status)
 
 
+class TestRecentThroughput:
+    """The sliding-window rate: a stall must show a dip, which the
+    all-time average structurally cannot."""
+
+    @staticmethod
+    def write_spans(campaign_dir, records):
+        telemetry_dir = campaign_dir / "telemetry"
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        with open(telemetry_dir / "spans-w0-1.jsonl", "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    @staticmethod
+    def evaluate_span(t0, dt=0.5, rows=10):
+        return {
+            "kind": "span", "name": "evaluate", "t0": t0, "dt": dt,
+            "depth": 0, "span": 1, "owner": "w0", "pid": 1,
+            "attrs": {"rows": rows},
+        }
+
+    def test_stall_dips_to_zero_while_all_time_stays_flat(self, tmp_path):
+        campaign_dir = tmp_path / "campaign"
+        now = 1_000_000.0
+        # Rows finished long ago; the worker has been stalled for 5 minutes.
+        self.write_spans(
+            campaign_dir,
+            [self.evaluate_span(now - 400.0), self.evaluate_span(now - 350.0)],
+        )
+        status = collect_status(campaign_dir, now=now)
+        assert status.recent_rows_per_second == 0.0
+
+    def test_recent_rate_counts_only_window_rows(self, tmp_path):
+        campaign_dir = tmp_path / "campaign"
+        now = 1_000_000.0
+        self.write_spans(
+            campaign_dir,
+            [
+                self.evaluate_span(now - 400.0, rows=1000),  # outside the window
+                self.evaluate_span(now - 20.0, rows=30),
+                self.evaluate_span(now - 10.0, rows=30),
+            ],
+        )
+        status = collect_status(campaign_dir, now=now)
+        # 60 rows over the 30s window, not 1060 over the whole run.
+        assert status.recent_rows_per_second == 60.0 / 30.0
+
+    def test_young_campaign_rated_over_its_own_age(self, tmp_path):
+        campaign_dir = tmp_path / "campaign"
+        now = 1_000_000.0
+        self.write_spans(campaign_dir, [self.evaluate_span(now - 5.0, dt=1.0, rows=50)])
+        status = collect_status(campaign_dir, now=now)
+        assert status.recent_rows_per_second == 50.0 / 5.0
+
+    def test_work_spans_do_not_double_count(self, tmp_path):
+        """Detached `work` spans nest the evaluation; only `evaluate`
+        spans carry countable rows."""
+        campaign_dir = tmp_path / "campaign"
+        now = 1_000_000.0
+        work = {
+            "kind": "span", "name": "work", "t0": now - 10.0, "dt": 1.0,
+            "depth": 0, "span": 2, "owner": "w0", "pid": 1, "attrs": {"rows": 40},
+        }
+        records = [self.evaluate_span(now - 10.0, rows=40), work]
+        self.write_spans(campaign_dir, records)
+        status = collect_status(campaign_dir, now=now)
+        assert status.recent_rows_per_second == 40.0 / 10.0
+
+    def test_no_evaluations_yields_none(self, tmp_path):
+        status = collect_status(tmp_path / "nowhere")
+        assert status.recent_rows_per_second is None
+
+    def test_render_shows_recent_rate_mid_campaign(self, tmp_path):
+        spec = small_spec()
+        store = tmp_path / "store"
+        campaign_dir = store / spec_hash(spec)
+        telemetry = Telemetry(campaign_dir / "telemetry", owner="main", mode="on")
+        with activate(telemetry):
+            run_campaign(spec, store, chunk_size=2, max_chunks=1)
+        text = render_status(collect_status(campaign_dir))
+        assert "rows/s all-time" in text
+        assert "rows/s last 30s" in text
+
+    def test_render_omits_recent_rate_when_finished(self, tmp_path):
+        spec = small_spec()
+        campaign_dir, _ = run_instrumented(tmp_path, spec)
+        text = render_status(collect_status(campaign_dir))
+        assert "rows/s all-time" in text
+        assert "last 30s" not in text
+
+
 class TestRenderStatus:
     def test_renders_progress_and_phases(self, tmp_path):
         spec = small_spec()
