@@ -16,8 +16,9 @@ bench:
 ## scenario campaign (the one_port:false evaluation chain) at a reduced
 ## platform count.  The raw record goes to BENCH_campaign.json (overwritten,
 ## as before); a compact per-run summary (git sha, wall-clocks incl. the
-## two-port campaign, speedup vs the PR-1 reference, and the telemetry
-## subsystem's measured overhead_pct) is APPENDED to
+## two-port campaign, the query service's cold/cached p50 latency,
+## speedup vs the PR-1 reference, and the telemetry subsystem's measured
+## overhead_pct) is APPENDED to
 ## BENCH_TRAJECTORY.jsonl so successive PRs accumulate a perf trajectory.
 ## REPRO_BENCH_PLATFORM_COUNT=50 reproduces the paper-scale acceptance
 ## measurement.
@@ -25,7 +26,7 @@ bench-smoke:
 	$(PYTHONPATH_SRC) REPRO_BENCH_PLATFORM_COUNT=$(or $(REPRO_BENCH_PLATFORM_COUNT),5) \
 	    $(PYTHON) -m pytest \
 	    benchmarks/test_bench_scenario_kernel.py benchmarks/test_bench_batch_kernel.py \
-	    benchmarks/test_bench_scenarios.py -q \
+	    benchmarks/test_bench_scenarios.py benchmarks/test_bench_query_service.py -q \
 	    --benchmark-json=BENCH_campaign.json
 	@$(PYTHONPATH_SRC) $(PYTHON) benchmarks/trajectory.py BENCH_campaign.json BENCH_TRAJECTORY.jsonl
 

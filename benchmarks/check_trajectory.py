@@ -12,6 +12,8 @@ Compared wall-clocks, when present in both rows:
 * ``total_wall_clock_seconds`` — the figure 10-13 + crossover campaign;
 * ``twoport_wall_clock_seconds`` — the two-port scenario campaign;
 * ``multicore_total_wall_clock_seconds`` — the ``jobs=0`` run;
+* ``query_cold_p50_ms`` / ``query_cached_p50_ms`` — the query service's
+  per-query latency, cold and cache-hit (gated in seconds);
 * every per-figure entry of the ``wall_clock_seconds`` mapping.
 
 With fewer than two comparable rows there is nothing to gate on and the
@@ -35,6 +37,14 @@ SCALAR_CLOCKS = (
     "total_wall_clock_seconds",
     "twoport_wall_clock_seconds",
     "multicore_total_wall_clock_seconds",
+)
+
+#: Millisecond-valued latency keys, likewise compared between rows (the
+#: query service's per-query p50s; converted to seconds for the shared
+#: reporting format).
+MS_CLOCKS = (
+    "query_cold_p50_ms",
+    "query_cached_p50_ms",
 )
 
 #: Keys two rows must agree on to be comparable at all.
@@ -83,6 +93,10 @@ def collect_clocks(row: dict) -> dict[str, float]:
         value = row.get(key)
         if isinstance(value, (int, float)) and value > 0:
             clocks[key] = float(value)
+    for key in MS_CLOCKS:
+        value = row.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            clocks[key] = float(value) / 1000.0
     per_figure = row.get("wall_clock_seconds")
     if isinstance(per_figure, dict):
         for name, value in per_figure.items():

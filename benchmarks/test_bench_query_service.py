@@ -1,0 +1,80 @@
+"""Query-service latency benchmarks: cold solve vs cached answer.
+
+Measures ``QueryService.query`` end to end over a pool of heterogeneous
+platforms, twice:
+
+* **cold** — a fresh service per round, every query a cache miss routed
+  through the batching funnel into the stacked kernel;
+* **cached** — the same queries against a warmed service, every answer a
+  content-hash cache hit.
+
+The per-query p50 of both modes lands in ``benchmark.extra_info`` under
+``query_service`` and flows through :mod:`benchmarks.trajectory` into
+``BENCH_TRAJECTORY.jsonl`` as ``query_cold_p50_ms`` /
+``query_cached_p50_ms``, where ``make bench-check`` gates them like any
+other wall-clock.  The ISSUE-10 acceptance bar — a cached answer at
+least 10x cheaper than a cold solve — is asserted right here, so a
+cache regression fails the bench run itself, not just the trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.api import QueryService
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors
+
+#: Distinct platforms per measured round (enough for a stable p50 without
+#: dominating bench-smoke's wall-clock).
+PLATFORM_COUNT = 40
+
+#: Workers per platform (the paper's cluster size).
+WORKERS = 11
+
+
+def _platforms():
+    workload = MatrixProductWorkload(120)
+    factors = campaign_factors("hetero-star", PLATFORM_COUNT, size=WORKERS, seed=17)
+    return [entry.platform(workload, name=f"bench-api-{i}") for i, entry in enumerate(factors)]
+
+
+def _per_query_p50_ms(service: QueryService, platforms) -> float:
+    latencies = []
+    for platform in platforms:
+        start = time.perf_counter()
+        service.query(platform)
+        latencies.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(latencies)
+
+
+@pytest.mark.benchmark(group="query-service")
+def test_query_latency_cold_vs_cached(benchmark):
+    platforms = _platforms()
+
+    def cold_round() -> float:
+        return _per_query_p50_ms(QueryService(), platforms)
+
+    cold_p50_ms = benchmark(cold_round)
+
+    warmed = QueryService()
+    for platform in platforms:
+        warmed.query(platform)
+    assert warmed.stats()["solved"] == PLATFORM_COUNT
+    cached_p50_ms = _per_query_p50_ms(warmed, platforms)
+    assert warmed.stats()["cache_hits"] == PLATFORM_COUNT
+
+    benchmark.extra_info["query_service"] = {
+        "platform_count": PLATFORM_COUNT,
+        "workers": WORKERS,
+        "cold_p50_ms": round(cold_p50_ms, 4),
+        "cached_p50_ms": round(cached_p50_ms, 4),
+        "speedup": round(cold_p50_ms / cached_p50_ms, 1),
+    }
+    # ISSUE-10 acceptance: a cache hit is at least 10x cheaper than a solve.
+    assert cached_p50_ms * 10 <= cold_p50_ms, (
+        f"cached p50 {cached_p50_ms:.3f} ms not 10x below cold p50 {cold_p50_ms:.3f} ms"
+    )

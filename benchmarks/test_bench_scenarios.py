@@ -6,7 +6,7 @@ Pits the two ways of materialising a 1000-platform family as stacked
 * the **object path** — one ``StarPlatform`` with ``q`` ``Worker`` objects
   per platform, cost vectors gathered per platform and stacked;
 * the **array-native sampler** — one vectorised RNG draw plus three
-  broadcast divisions (:mod:`repro.scenarios.sampler`).
+  broadcast divisions (:mod:`repro.workloads.sampling`).
 
 The tables must agree bit for bit, and the ISSUE acceptance requires the
 array-native build to be at least 2x faster at batch >= 1000 — both are
@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.scenarios.sampler import family_cost_tables, sample_factors
+from repro.workloads.sampling import family_cost_tables, sample_factors
 from repro.scenarios.spec import named_space
 from repro.workloads.matrices import MatrixProductWorkload
 from repro.workloads.platforms import campaign_factors

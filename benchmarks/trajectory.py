@@ -19,6 +19,8 @@ this script, which distils the run into one JSON line appended to
   used: two-port kernel LPs plus merge-ordered noisy replays);
 * the attributed overhead of telemetry instrumentation and of the PR-9
   trace-correlation layer on top of it, both gated by ``bench-check``;
+* the query service's per-query p50 latency, cold (cache miss, funnel +
+  stacked kernel) and cached (content-hash hit), in milliseconds;
 * the wall-clock speedup against the PR-1 engine (reference numbers
   measured at commit dc51bf3 on the benchmark VM, same scales).
 
@@ -67,6 +69,7 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
     twoport = None
     telemetry = None
     trace_context = None
+    query_service = None
     kernel_means: dict[str, dict[int, float]] = {"fast": {}, "scipy": {}}
     batch_speedups: dict[int, float] = {}
     for bench in data.get("benchmarks", []):
@@ -81,6 +84,8 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
             telemetry = extra["telemetry"]
         if "trace_context" in extra:
             trace_context = extra["trace_context"]
+        if "query_service" in extra:
+            query_service = extra["query_service"]
         name = bench.get("name", "")
         workers = extra.get("workers")
         if workers is not None and "test_fast_kernel" in name:
@@ -121,6 +126,10 @@ def summarise(record_path: str, trajectory_path: str) -> dict:
         entry["telemetry_overhead_pct"] = telemetry.get("overhead_pct")
     if trace_context is not None:
         entry["trace_context_overhead_pct"] = trace_context.get("overhead_pct")
+    if query_service is not None:
+        entry["query_cold_p50_ms"] = query_service.get("cold_p50_ms")
+        entry["query_cached_p50_ms"] = query_service.get("cached_p50_ms")
+        entry["query_cache_speedup"] = query_service.get("speedup")
     kernel_speedup = {
         workers: round(kernel_means["scipy"][workers] / mean, 2)
         for workers, mean in kernel_means["fast"].items()

@@ -7,6 +7,11 @@ varies, the optimal one-port FIFO schedule sometimes leaves the slow worker
 out entirely — the phenomenon that distinguishes the return-message problem
 from the classical divisible-load theory, where every worker is always used.
 
+The final section asks the same questions through the query service
+(:mod:`repro.api`) — the production front door that answers them from a
+content-addressed cache at high QPS, bit-identical to the direct solver
+calls used above.
+
 Run with::
 
     python examples/resource_selection.py
@@ -15,6 +20,7 @@ Run with::
 from __future__ import annotations
 
 from repro import optimal_fifo_schedule, predicted_makespan
+from repro.api import QueryService
 from repro.workloads.matrices import MatrixProductWorkload
 from repro.workloads.platforms import participation_platform
 
@@ -55,6 +61,25 @@ def main() -> None:
             makespan = predicted_makespan(solution.schedule, total_tasks)
             row.append(f"{available} avail -> {len(solution.participants)} used ({makespan:7.2f} s)")
         print(f"  x = {x:g}: " + " | ".join(row))
+
+    print()
+    print("Same question through the query service (repro.api) — answers are")
+    print("bit-identical to the direct solver calls above and cache on repeat:")
+    service = QueryService()
+    for x in (1.0, 3.0):
+        platform = participation_platform(x, workload)
+        reference = optimal_fifo_schedule(platform)
+        answer = service.query(platform, total_tasks=total_tasks)
+        opt = answer.result("OPT_FIFO")
+        assert opt.throughput == reference.throughput
+        assert opt.predicted_makespan == predicted_makespan(reference.schedule, total_tasks)
+        again = service.query(platform, total_tasks=total_tasks)
+        assert again.cached and again == answer
+        print(
+            f"  x = {x:g}: best={answer.best} enrolled={len(opt.participants)} "
+            f"makespan={answer.result('OPT_FIFO').predicted_makespan:7.2f} s "
+            f"(second ask: cache hit)"
+        )
 
 
 if __name__ == "__main__":

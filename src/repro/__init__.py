@@ -18,16 +18,22 @@ INRIA RR-5738, 2005 / IPDPS 2006):
 * :mod:`repro.experiments` — one module per figure of the evaluation
   (Figures 8–14), plus reporting helpers.
 
-The most common entry points are re-exported at the top level::
+The most common entry points are re-exported at the top level, including
+the dispatching front door (:func:`repro.solve` / :func:`repro.compare`)
+that routes scalar inputs to the scalar kernels and sequences to the
+batched kernels, under either port model::
 
-    from repro import StarPlatform, Worker, optimal_fifo_schedule
+    from repro import StarPlatform, Worker, solve
 
     platform = StarPlatform([
         Worker("P1", c=1.0, w=5.0, d=0.5),
         Worker("P2", c=2.0, w=3.0, d=1.0),
     ])
-    solution = optimal_fifo_schedule(platform)
-    print(solution.throughput, solution.participants)
+    solution = solve(platform, order_rule="OPT_FIFO")
+    print(solution.throughput, solution.schedule.participants)
+
+For the cached, batched resource-selection service on top of these
+kernels see :mod:`repro.api` (``QueryService``, ``scenarios serve``).
 """
 
 from __future__ import annotations
@@ -49,7 +55,11 @@ from repro.core import (
     best_lifo_by_enumeration,
     best_schedule_by_enumeration,
     bus_platform,
+    compare,
     compare_heuristics,
+    compare_heuristics_batch,
+    compare_heuristics_two_port,
+    compare_heuristics_two_port_batch,
     fifo_schedule,
     fifo_schedule_for_order,
     homogeneous_platform,
@@ -68,9 +78,11 @@ from repro.core import (
     predicted_makespan,
     round_loads,
     schedule_for_total_load,
+    solve,
     solve_fifo_scenario,
     solve_lifo_scenario,
     solve_scenario,
+    solve_scenarios,
     two_port_bus_loads,
     two_port_bus_throughput,
     u_sequence,
@@ -108,9 +120,13 @@ __all__ = [
     "WorkerTimeline",
     "fifo_schedule",
     "lifo_schedule",
+    # dispatching front door (scalar/batch + one-/two-port routing)
+    "solve",
+    "compare",
     # scenario solving
     "ScenarioSolution",
     "solve_scenario",
+    "solve_scenarios",
     "solve_fifo_scenario",
     "solve_lifo_scenario",
     # optimal algorithms and baselines
@@ -135,6 +151,9 @@ __all__ = [
     "HeuristicResult",
     "HEURISTICS",
     "compare_heuristics",
+    "compare_heuristics_batch",
+    "compare_heuristics_two_port",
+    "compare_heuristics_two_port_batch",
     "best_fifo_by_enumeration",
     "best_lifo_by_enumeration",
     "best_schedule_by_enumeration",

@@ -1,0 +1,51 @@
+"""Resource-selection query service — the ``repro.api`` front door.
+
+The paper's actual decision problem is a *query*: given a star platform
+(possibly probe-measured), which workers should participate, in what
+order, and what makespan should we expect?  This package promotes that
+question into a low-latency service on top of the batched kernels:
+
+* :mod:`repro.api.schemas` — :class:`Query` / :class:`Answer`, the frozen,
+  JSON-round-trippable request/response pair (floats survive the round
+  trip bit for bit);
+* :mod:`repro.api.cache` — canonical content-hash keying (shared with the
+  spec layer's :func:`repro.scenarios.spec.canonical_hash`) plus a
+  thread-safe LRU with an optional disk tier that survives restarts;
+* :mod:`repro.api.funnel` — a leader/follower micro-batch funnel that
+  coalesces concurrent single queries into one stacked kernel call;
+* :mod:`repro.api.service` — :class:`QueryService`, the cached, batched
+  answer engine, bit-identical to the scalar reference path
+  (``optimal_fifo_schedule`` + ``compare_heuristics``) under both port
+  models;
+* :mod:`repro.api.server` — the stdlib-only HTTP tier behind
+  ``repro-experiments scenarios serve`` (``/v1/query``,
+  ``/v1/query/batch``, ``/v1/healthz``).
+
+Quick start::
+
+    from repro import StarPlatform, Worker
+    from repro.api import QueryService
+
+    service = QueryService()
+    answer = service.query(platform)           # cold: one kernel call
+    answer = service.query(platform)           # hot: pure cache hit
+    print(answer.best, answer.predicted_makespan, answer.best_result.order)
+"""
+
+from __future__ import annotations
+
+from repro.api.cache import AnswerCache, query_key
+from repro.api.funnel import BatchingFunnel
+from repro.api.schemas import DEFAULT_HEURISTICS, Answer, HeuristicAnswer, Query
+from repro.api.service import QueryService
+
+__all__ = [
+    "Answer",
+    "AnswerCache",
+    "BatchingFunnel",
+    "DEFAULT_HEURISTICS",
+    "HeuristicAnswer",
+    "Query",
+    "QueryService",
+    "query_key",
+]

@@ -1,0 +1,139 @@
+"""Answer cache of the query service: canonical keys, LRU, disk tier.
+
+Keying reuses the spec layer's hashing primitive
+(:func:`repro.scenarios.spec.canonical_hash`): the key is the sha256 of
+the canonical sorted-JSON form of everything that determines an answer —
+the cost table (numeric-canonical: every cost coerced to ``float``, so a
+platform built from ``c=1`` and one built from ``c=1.0`` share a key),
+the port model, the heuristic set, the workload size and the deadline.
+``name`` order matters (the ``PLATFORM_ORDER`` heuristic depends on it);
+cosmetic attributes like the platform's display name do not exist in the
+key at all.
+
+The in-memory tier is a thread-safe LRU of :class:`~repro.api.schemas.
+Answer` objects (immutable, so shared across threads without copying).
+The optional disk tier writes one JSON file per key with an atomic
+``os.replace``; floats round-trip exactly through JSON, so an answer
+reloaded after a process restart is bit-identical to the one cached —
+pinned by tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.api.schemas import Answer, Query
+from repro.obs import active
+from repro.scenarios.spec import canonical_hash
+
+__all__ = ["KEY_LENGTH", "query_key", "AnswerCache"]
+
+#: Key width in hex chars.  The spec layer's 12 suffice for a handful of
+#: named campaign stores; a cache fed by millions of distinct queries
+#: needs collision odds negligible at that scale, hence the full 32.
+KEY_LENGTH = 32
+
+
+def query_key(query: Query) -> str:
+    """Canonical content hash identifying a query's *answer*.
+
+    Two queries that differ only cosmetically (int vs float cost literals,
+    dict construction order of the heuristic list... ) map to the same
+    key; anything that changes a single answered float — a cost, the port
+    model, the heuristic set, the workload size, the deadline — maps to a
+    different one.
+    """
+    payload = {
+        "cost_table": [[name, c, w, d] for name, c, w, d in query.platform_rows],
+        "one_port": bool(query.one_port),
+        "heuristics": list(query.heuristics),
+        "total_tasks": float(query.total_tasks),
+        "deadline": float(query.deadline),
+    }
+    return canonical_hash(payload, length=KEY_LENGTH)
+
+
+class AnswerCache:
+    """Thread-safe LRU over answers, with an optional persistent tier.
+
+    ``directory=None`` keeps the cache purely in memory.  With a
+    directory, every ``put`` also lands on disk (atomic tmp + replace) and
+    a memory miss falls through to disk before being declared a miss —
+    so a restarted service warms itself from its predecessor's answers.
+    """
+
+    def __init__(self, max_entries: int = 1024, directory: str | Path | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Answer] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Answer | None:
+        """The cached answer for ``key``, or ``None`` (never raises)."""
+        with self._lock:
+            answer = self._entries.get(key)
+            if answer is not None:
+                self._entries.move_to_end(key)
+                return answer
+        if self.directory is None:
+            return None
+        answer = self._read_disk(key)
+        if answer is None:
+            return None
+        active().counter("api.cache.disk_hits")
+        with self._lock:
+            self._insert(key, answer)
+        return answer
+
+    def put(self, key: str, answer: Answer) -> None:
+        with self._lock:
+            self._insert(key, answer)
+        if self.directory is not None:
+            self._write_disk(key, answer)
+
+    def _insert(self, key: str, answer: Answer) -> None:
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Answer | None:
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            answer = Answer.from_dict(json.loads(text))
+        except Exception:
+            return None  # torn/corrupt entry: treat as a miss, never fail a query
+        if answer.key != key:
+            return None
+        return answer
+
+    def _write_disk(self, key: str, answer: Answer) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            tmp.write_text(json.dumps(answer.as_dict()), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # The disk tier is best-effort; the memory tier holds the answer.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -1,0 +1,126 @@
+"""Leader/follower micro-batch funnel.
+
+The batched simplex kernels amortise their setup over a whole stack of
+scenarios, but a query service receives scenarios one at a time, on many
+threads.  The funnel bridges the two shapes: the first thread into an
+empty buffer becomes the *leader*, waits up to ``window`` seconds (the
+latency budget) for followers to pile in — or until ``max_batch`` of them
+have — then flushes the whole buffer through one batched solve and hands
+each follower its own answer.  Threads arriving while a leader is solving
+start the next generation immediately, so a slow solve never blocks
+admission.
+
+``window=0`` degrades gracefully to pass-through (every submit solves
+immediately, coalescing only what raced in between the append and the
+swap), which is the right setting for single-threaded callers and
+benchmarks that measure raw solve latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence, TypeVar
+
+from repro.obs import active
+
+__all__ = ["BatchingFunnel"]
+
+Q = TypeVar("Q")
+A = TypeVar("A")
+
+
+class _Pending:
+    __slots__ = ("query", "event", "answer", "error")
+
+    def __init__(self, query) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.answer = None
+        self.error: BaseException | None = None
+
+
+class BatchingFunnel:
+    """Coalesce concurrent ``submit`` calls into batched ``solve`` calls.
+
+    ``solve_batch`` receives a tuple of queries and must return one answer
+    per query, in order.  A solve error propagates to *every* caller of
+    the failed batch (the same exception instance — answers are never
+    partially delivered).
+    """
+
+    def __init__(
+        self,
+        solve_batch: Callable[[Sequence[Q]], Sequence[A]],
+        window: float = 0.0,
+        max_batch: int = 64,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0 seconds")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._solve = solve_batch
+        self.window = window
+        self.max_batch = max_batch
+        self._cond = threading.Condition()
+        self._pending: list[_Pending] = []
+        #: Lifetime flush count (exposed for tests and the health endpoint).
+        self.batches = 0
+        #: Lifetime queries that went through a flush.
+        self.coalesced = 0
+
+    def submit(self, query: Q) -> A:
+        """Answer ``query``, possibly sharing a kernel call with others."""
+        entry = _Pending(query)
+        with self._cond:
+            self._pending.append(entry)
+            leader = len(self._pending) == 1
+            active().gauge("api.funnel.depth", len(self._pending))
+            if not leader:
+                # Wake a leader sleeping out its window so it can re-check
+                # the max_batch cutoff.
+                self._cond.notify_all()
+        if not leader:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            return entry.answer
+        return self._lead(entry)
+
+    def _lead(self, entry: _Pending) -> A:
+        if self.window > 0 and self.max_batch > 1:
+            deadline = time.monotonic() + self.window
+            with self._cond:
+                while len(self._pending) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+        with self._cond:
+            batch, self._pending = self._pending, []
+            active().gauge("api.funnel.depth", 0)
+        telemetry = active()
+        try:
+            answers = list(self._solve(tuple(item.query for item in batch)))
+        except BaseException as error:
+            for item in batch:
+                item.error = error
+                item.event.set()
+            raise
+        if len(answers) != len(batch):
+            error = RuntimeError(
+                f"solve_batch returned {len(answers)} answers for {len(batch)} queries"
+            )
+            for item in batch:
+                item.error = error
+                item.event.set()
+            raise error
+        with self._cond:
+            self.batches += 1
+            self.coalesced += len(batch)
+        telemetry.counter("api.funnel.batches")
+        telemetry.observe("api.funnel.batch_size", float(len(batch)))
+        for item, answer in zip(batch, answers):
+            item.answer = answer
+            item.event.set()
+        return entry.answer

@@ -435,6 +435,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_space_argument(show)
 
+    serve = scenarios_sub.add_parser(
+        "serve",
+        help="stdlib HTTP query service over the batched kernels: "
+        "POST /v1/query, POST /v1/query/batch, GET /v1/healthz "
+        "(no store directory; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks a free one and prints it (default: 8765)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-memory LRU capacity in answers (default: 1024)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent answer-cache directory (survives restarts); also "
+        "hosts the telemetry/ sidecar when --telemetry is on",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="micro-batch latency budget: concurrent queries arriving within "
+        "this window share one stacked kernel call (default: 0.002; 0 "
+        "solves each miss immediately)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush the batching funnel early at N queued queries (default: 64)",
+    )
+    add_observability_arguments(serve)
+
     export = scenarios_sub.add_parser(
         "export", help="columnar .npz export of a finished campaign store"
     )
@@ -532,6 +577,31 @@ def _build_telemetry(args: argparse.Namespace, campaign_dir: Path, owner: str):
     return Telemetry(Path(campaign_dir) / TELEMETRY_DIR_NAME, owner=owner, mode=mode)
 
 
+def _serve_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``scenarios serve``: the stdlib HTTP query service (no store dir)."""
+    from repro.api import QueryService
+    from repro.api.server import run_server
+    from repro.obs import activate
+
+    if args.window < 0:
+        parser.error(f"--window must be >= 0 seconds, got {args.window}")
+    if args.max_batch < 1:
+        parser.error(f"--max-batch must be at least 1, got {args.max_batch}")
+    if args.cache_size < 1:
+        parser.error(f"--cache-size must be at least 1, got {args.cache_size}")
+    if args.telemetry != "off" and args.cache_dir is None:
+        parser.error("--telemetry needs --cache-dir (the sidecar lives under it)")
+    service = QueryService(
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        window=args.window,
+        max_batch=args.max_batch,
+    )
+    telemetry = _build_telemetry(args, Path(args.cache_dir or "."), owner="serve")
+    with activate(telemetry):
+        return run_server(args.host, args.port, service=service)
+
+
 def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.scenarios.runner import DEFAULT_CHUNK_SIZE, aggregate_figure, run_campaign
     from repro.scenarios.spec import NAMED_SPACES, available_spaces, spec_hash
@@ -545,6 +615,9 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
                 f"[{spec_hash(spec)}]  {spec.description}"
             )
         return 0
+
+    if args.scenarios_command == "serve":
+        return _serve_main(args, parser)
 
     if args.scenarios_command in ("work", "status", "report"):
         campaign_dir = Path(args.store_dir)
@@ -848,18 +921,35 @@ def _scenarios_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     return 0
 
 
+def exit_quietly_on_broken_pipe() -> int:
+    """Shared ``BrokenPipeError`` epilogue for every CLI verb.
+
+    Output piped to a consumer that exited early (``... | head``): the
+    POSIX convention is a quiet exit.  Point stdout at devnull so
+    interpreter shutdown does not raise a second time on flush.  Streams
+    without a real file descriptor (test captures, embedded use) have
+    nothing to silence and are left alone.
+    """
+    import os
+
+    try:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except (OSError, ValueError, AttributeError):
+        pass
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-experiments`` console script."""
+    """Entry point of the ``repro-experiments`` console script.
+
+    Every verb — including long-running ones like ``work``, ``status
+    --follow`` and ``serve`` — dispatches through here, so the
+    broken-pipe guard below is uniform across the whole surface.
+    """
     try:
         return _main(argv)
     except BrokenPipeError:
-        # Output piped to a consumer that exited early (`... | head`):
-        # the POSIX convention is a quiet exit.  Point stdout at devnull
-        # so interpreter shutdown does not raise a second time on flush.
-        import os
-
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+        return exit_quietly_on_broken_pipe()
 
 
 def _main(argv: Sequence[str] | None = None) -> int:

@@ -30,6 +30,13 @@ from repro.core.bus import (
     two_port_bus_throughput,
     u_sequence,
 )
+from repro.core.dispatch import (
+    compare,
+    compare_heuristics_two_port,
+    compare_heuristics_two_port_batch,
+    heuristic_orders,
+    solve,
+)
 from repro.core.fifo import (
     FifoSolution,
     fifo_schedule_for_order,
@@ -40,6 +47,7 @@ from repro.core.heuristics import (
     HEURISTICS,
     HeuristicResult,
     compare_heuristics,
+    compare_heuristics_batch,
     dec_c,
     fifo_with_order,
     inc_c,
@@ -67,6 +75,7 @@ from repro.core.linear_program import (
     solve_fifo_scenario,
     solve_lifo_scenario,
     solve_scenario,
+    solve_scenarios,
 )
 from repro.core.makespan import makespan_for_load, predicted_makespan, schedule_for_total_load
 from repro.core.platform import StarPlatform, Worker, bus_platform, homogeneous_platform
@@ -87,6 +96,12 @@ from repro.core.batch_twoport import (
 )
 
 __all__ = [
+    # dispatching front door (PR 10) — scalar/batch + one-/two-port routing
+    "solve",
+    "compare",
+    "heuristic_orders",
+    "compare_heuristics_two_port",
+    "compare_heuristics_two_port_batch",
     # platform & schedule models
     "Worker",
     "StarPlatform",
@@ -100,6 +115,7 @@ __all__ = [
     "ScenarioSolution",
     "build_scenario_program",
     "solve_scenario",
+    "solve_scenarios",
     "FastScenarioResult",
     "scenario_arrays",
     "solve_scenario_arrays",
@@ -139,6 +155,7 @@ __all__ = [
     "HeuristicResult",
     "HEURISTICS",
     "compare_heuristics",
+    "compare_heuristics_batch",
     "inc_c",
     "inc_w",
     "dec_c",

@@ -1,0 +1,218 @@
+"""One front door over the scalar and batched solvers.
+
+Historically callers had to pick between ~8 near-duplicate entry points:
+``solve_scenario`` vs ``solve_scenarios``, ``compare_heuristics`` vs
+``compare_heuristics_batch``, and the one-port vs two-port variants of each.
+This module collapses them into two dispatching wrappers:
+
+* :func:`solve` — one scenario LP (or a whole batch of them) under either
+  port model, with the send order picked by a named heuristic rule or given
+  explicitly;
+* :func:`compare` — the paper's heuristic comparison, scalar or batched,
+  one-port or two-port.
+
+Scalar inputs route to the scalar kernels, sequences to the batched
+kernels; the two paths are bit-identical (pinned by the PR-2/PR-4 kernel
+tests and re-pinned here), so dispatch never changes a result — only how
+many LPs share one stacked simplex call.
+
+Every historical name remains exported from :mod:`repro.core`; the README
+API table documents the old → new mapping.
+
+The two-port comparison helpers (:func:`compare_heuristics_two_port` and
+its batch twin) fill the one gap the historical surface had: evaluating
+the *named* heuristic set under the two-port model.  They mirror
+``compare_heuristics`` exactly — same names, same orders, the LP just
+drops the coupling constraint (2b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.heuristics import _FIFO_ORDERS, HEURISTICS, HeuristicResult
+from repro.core.heuristics import compare_heuristics, compare_heuristics_batch
+from repro.core.linear_program import ScenarioSolution, solve_scenario, solve_scenarios
+from repro.core.platform import StarPlatform
+from repro.exceptions import ScheduleError
+
+__all__ = [
+    "solve",
+    "compare",
+    "EVALUABLE",
+    "heuristic_orders",
+    "compare_heuristics_two_port",
+    "compare_heuristics_two_port_batch",
+]
+
+#: Heuristic names :func:`compare` (and the query service) can evaluate —
+#: identical under both port models.
+EVALUABLE = tuple(HEURISTICS)
+
+
+def heuristic_orders(
+    platform: StarPlatform, name: str, one_port: bool = True
+) -> tuple[list[str], list[str]]:
+    """The ``(sigma1, sigma2)`` a named heuristic uses on ``platform``.
+
+    For the FIFO rules the return order equals the send order; ``LIFO``
+    reverses it.  The orders are identical under both port models (Theorem 1
+    and its two-port companion pick the same permutation — only the LP
+    differs), so ``one_port`` is accepted for symmetry but never changes
+    the answer.
+    """
+    if name == "LIFO":
+        sigma1 = list(platform.ordered_by_c())
+        return sigma1, list(reversed(sigma1))
+    try:
+        rule = _FIFO_ORDERS[name]
+    except KeyError:
+        raise ScheduleError(
+            f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+        ) from None
+    sigma1 = list(rule(platform))
+    return sigma1, list(sigma1)
+
+
+def solve(
+    platform: StarPlatform | Sequence[StarPlatform],
+    *,
+    one_port: bool = True,
+    order_rule: str = "OPT_FIFO",
+    order: Sequence[str] | None = None,
+    return_order: Sequence[str] | None = None,
+    deadline: float = 1.0,
+) -> ScenarioSolution | list[ScenarioSolution]:
+    """Solve the scenario LP for one platform — or a whole batch of them.
+
+    A single :class:`StarPlatform` routes to the scalar fast kernel
+    (:func:`repro.core.linear_program.solve_scenario`); any other sequence
+    of platforms routes to the stacked batched kernel
+    (:func:`~repro.core.linear_program.solve_scenarios`), one simplex call
+    per scenario size class.  Both paths return the same
+    :class:`ScenarioSolution` objects bit for bit.
+
+    The send order comes from ``order_rule`` (a name from
+    :data:`repro.core.heuristics.HEURISTICS`; ``LIFO`` implies a reversed
+    return order) unless an explicit ``order`` (and optionally
+    ``return_order``) is given.
+    """
+    if isinstance(platform, StarPlatform):
+        sigma1, sigma2 = _solve_orders(platform, order_rule, order, return_order)
+        return solve_scenario(
+            platform, sigma1=sigma1, sigma2=sigma2, deadline=deadline, one_port=one_port
+        )
+    platforms = list(platform)
+    scenarios = []
+    for entry in platforms:
+        sigma1, sigma2 = _solve_orders(entry, order_rule, order, return_order)
+        scenarios.append((entry, sigma1, sigma2))
+    return solve_scenarios(scenarios, deadline=deadline, one_port=one_port)
+
+
+def _solve_orders(
+    platform: StarPlatform,
+    order_rule: str,
+    order: Sequence[str] | None,
+    return_order: Sequence[str] | None,
+) -> tuple[list[str], list[str]]:
+    if order is not None:
+        sigma1 = list(order)
+        sigma2 = list(return_order) if return_order is not None else list(sigma1)
+        return sigma1, sigma2
+    if return_order is not None:
+        raise ScheduleError("return_order requires an explicit order")
+    return heuristic_orders(platform, order_rule)
+
+
+def compare(
+    platform: StarPlatform | Sequence[StarPlatform],
+    names: Iterable[str] = ("INC_C", "INC_W", "LIFO"),
+    *,
+    one_port: bool = True,
+    deadline: float = 1.0,
+) -> dict[str, HeuristicResult] | list[dict[str, HeuristicResult]]:
+    """Evaluate named heuristics — scalar or batched, either port model.
+
+    Dispatch table (all four cells return identical numbers for the same
+    platform; only the batching changes):
+
+    ==========  =========================  ====================================
+    input       ``one_port=True``          ``one_port=False``
+    ==========  =========================  ====================================
+    platform    ``compare_heuristics``     ``compare_heuristics_two_port``
+    sequence    ``compare_heuristics_      ``compare_heuristics_two_port_
+                batch``                    batch``
+    ==========  =========================  ====================================
+    """
+    if isinstance(platform, StarPlatform):
+        if one_port:
+            return compare_heuristics(platform, names, deadline=deadline)
+        return compare_heuristics_two_port(platform, names, deadline=deadline)
+    platforms = list(platform)
+    if one_port:
+        return compare_heuristics_batch(platforms, names, deadline=deadline)
+    return compare_heuristics_two_port_batch(platforms, names, deadline=deadline)
+
+
+def compare_heuristics_two_port(
+    platform: StarPlatform,
+    names: Iterable[str] = ("INC_C", "INC_W", "LIFO"),
+    deadline: float = 1.0,
+) -> dict[str, HeuristicResult]:
+    """Two-port twin of :func:`repro.core.heuristics.compare_heuristics`.
+
+    Same heuristic names, same send orders (``OPT_FIFO`` keeps the
+    ``z``-mirrored Theorem 1 rule, which is also the optimal two-port FIFO
+    order per the companion report); the loads come from the two-port
+    scenario LP (no coupling constraint).  ``LIFO`` is LP-backed here —
+    the one-port closed form does not apply without constraint (2b).
+    """
+    results: dict[str, HeuristicResult] = {}
+    for name in _validated(names):
+        sigma1, sigma2 = heuristic_orders(platform, name, one_port=False)
+        solution = solve_scenario(
+            platform, sigma1=sigma1, sigma2=sigma2, deadline=deadline, one_port=False
+        )
+        results[name] = HeuristicResult(
+            name=name, schedule=solution.schedule, throughput=solution.throughput
+        )
+    return results
+
+
+def compare_heuristics_two_port_batch(
+    platforms: Sequence[StarPlatform],
+    names: Iterable[str] = ("INC_C", "INC_W", "LIFO"),
+    deadline: float = 1.0,
+) -> list[dict[str, HeuristicResult]]:
+    """Batched two-port comparison: one stacked kernel call for the chunk.
+
+    Matches ``[compare_heuristics_two_port(p, names) for p in platforms]``
+    exactly — the batched two-port kernel is bit-identical to the scalar
+    fast path and the wrapping is shared.
+    """
+    names = _validated(names)
+    scenarios: list[tuple[StarPlatform, Sequence[str], Sequence[str]]] = []
+    slots: list[tuple[int, str]] = []
+    for index, platform in enumerate(platforms):
+        for name in names:
+            sigma1, sigma2 = heuristic_orders(platform, name, one_port=False)
+            scenarios.append((platform, sigma1, sigma2))
+            slots.append((index, name))
+    solutions = solve_scenarios(scenarios, deadline=deadline, one_port=False)
+    results: list[dict[str, HeuristicResult]] = [{} for _ in platforms]
+    for (index, name), solution in zip(slots, solutions):
+        results[index][name] = HeuristicResult(
+            name=name, schedule=solution.schedule, throughput=solution.throughput
+        )
+    return results
+
+
+def _validated(names: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(names)
+    for name in names:
+        if name not in HEURISTICS:
+            raise ScheduleError(
+                f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+            )
+    return names

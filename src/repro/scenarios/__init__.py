@@ -10,12 +10,12 @@ batched scenario kernel and the parallel sweep engine:
   heuristics, noise, seeds, port model) with grid/product combinators and
   a library of named spaces, including the paper's campaigns re-expressed
   as specs and their two-port (``one_port: false``) variants;
-* :mod:`repro.scenarios.sampler` — the stable facade over the vectorised
-  sampler (:mod:`repro.workloads.sampling`) and the order-rule mirrors
-  (:mod:`repro.core.order_rules`), which materialise whole platform
-  families directly as stacked ``(batch, q)`` cost tables feeding the
-  batched kernels — bit-identical to the object path on the paper's
-  factor sets;
+* :mod:`repro.workloads.sampling` (one layer below) — the vectorised
+  sampler that materialises whole platform families directly as stacked
+  ``(batch, q)`` cost tables feeding the batched kernels — bit-identical
+  to the object path on the paper's factor sets (the historical
+  :mod:`repro.scenarios.sampler` facade still re-exports it but is
+  deprecated and warns on import);
 * :mod:`repro.scenarios.store` — an append-only, resumable result store
   keyed by spec hash and chunk index, with streaming aggregation and a
   columnar ``.npz`` export;
@@ -40,7 +40,7 @@ sampler), so its symbols are exposed lazily here to keep the import graph
 acyclic — ``from repro.scenarios import run_campaign`` works either way.
 """
 
-from repro.scenarios.sampler import FactorTable, base_costs, cost_table, sample_factors
+from repro.workloads.sampling import FactorTable, base_costs, cost_table, sample_factors
 from repro.scenarios.spec import (
     MATRIX_WORKLOAD,
     NAMED_SPACES,

@@ -4,8 +4,8 @@ The runner turns a :class:`~repro.scenarios.spec.ScenarioSpec` into
 results by sharding its platform draws into fixed-size **chunks** and
 pushing each chunk through the array-level campaign machinery:
 
-1. the :mod:`~repro.scenarios.sampler` materialises the family's factor
-   tables once (vectorised RNG, no platform objects);
+1. the vectorised sampler (:mod:`repro.workloads.sampling`) materialises
+   the family's factor tables once (vectorised RNG, no platform objects);
 2. each chunk's (platform, size) cells become stacked cost tables and one
    batched scenario-kernel call via
    :func:`repro.experiments.campaign_engine.prepare_cells`;
@@ -52,7 +52,7 @@ from repro.experiments.common import default_noise
 from repro.experiments.fig08_linearity import measure_transfer
 from repro.experiments.fig13_ratio import overhead_noise
 from repro.experiments.sweep_engine import resolve_jobs, run_sweep
-from repro.scenarios.sampler import cost_table, sample_factors, workload_base_costs
+from repro.workloads.sampling import cost_table, sample_factors, workload_base_costs
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import CampaignState, CampaignStore
 from repro.simulation.noise import NoiseModel, perturb_sequence

@@ -12,14 +12,26 @@ import hierarchy is strictly acyclic:
   mirrors, both one-port (:data:`ORDER_RULES`) and two-port
   (:data:`TWO_PORT_ORDER_RULES` / :data:`TWO_PORT_REVERSED_RETURN`).
 
-Every historical name keeps working from here — this module is the stable
-``repro.scenarios`` entry point for sampling — but nothing outside
-``repro.scenarios`` imports from it any more.
+Every historical name keeps working from here, but the facade is
+**deprecated** (PR 10): import from :mod:`repro.workloads.sampling` and
+:mod:`repro.core.order_rules` directly.  Importing this module emits a
+:class:`DeprecationWarning`; nothing inside the campaign paths (runner,
+fabric, detached, benchmarks) triggers it any more — a test pins that.
 """
 
 from __future__ import annotations
 
-from repro.core.order_rules import (
+import warnings
+
+warnings.warn(
+    "repro.scenarios.sampler is a deprecated compatibility facade; import "
+    "sampling primitives from repro.workloads.sampling and order-rule "
+    "mirrors from repro.core.order_rules instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.core.order_rules import (  # noqa: E402 - after the deprecation warning
     ORDER_RULES,
     TWO_PORT_ORDER_RULES,
     TWO_PORT_REVERSED_RETURN,
@@ -28,7 +40,7 @@ from repro.core.order_rules import (
     sorted_indices,
     worker_names,
 )
-from repro.workloads.sampling import (
+from repro.workloads.sampling import (  # noqa: E402 - after the deprecation warning
     MATRIX_WORKLOAD,
     PAPER_UNIFORM,
     UNIT,

@@ -59,6 +59,7 @@ __all__ = [
     "named_space",
     "available_spaces",
     "product_specs",
+    "canonical_hash",
     "spec_hash",
 ]
 
@@ -269,6 +270,22 @@ class ScenarioSpec:
         return cls.from_dict(json.loads(text))
 
 
+def canonical_hash(payload, length: int = 12) -> str:
+    """Content hash of a JSON-able payload (first ``length`` hex chars).
+
+    The canonical form is sorted-key, separator-free JSON, so semantically
+    identical payloads hash equal whatever dict order or whitespace they
+    were built with.  Numeric canonicalisation is the *caller's* contract:
+    coerce every number that may arrive as ``int`` or ``float`` to ``float``
+    before hashing (``json.dumps`` writes ``1`` and ``1.0`` differently).
+    This is the one hashing primitive shared by the spec layer
+    (:func:`spec_hash`) and the query-service cache keys
+    (:mod:`repro.api.cache`).
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
+
+
 def spec_hash(spec: ScenarioSpec) -> str:
     """Content hash identifying a spec's *results* (12 hex chars).
 
@@ -280,8 +297,7 @@ def spec_hash(spec: ScenarioSpec) -> str:
     payload = spec.as_dict()
     payload.pop("name", None)
     payload.pop("description", None)
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return canonical_hash(payload)
 
 
 def product_specs(base: ScenarioSpec, **axes: Sequence) -> list[ScenarioSpec]:

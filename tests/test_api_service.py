@@ -1,0 +1,269 @@
+"""Query-service tests: bit-identity to the scalar reference, batching,
+the funnel, and telemetry visibility.
+
+The load-bearing assertions are the bit-identity pins (the ISSUE-10
+acceptance bar): every heuristic answer of ``QueryService.query`` /
+``query_batch`` must equal the scalar reference path — ``compare_
+heuristics`` + ``optimal_fifo_schedule`` under one-port, the ``twoport``
+module under two-port — float for float, including after a JSON round
+trip.  The service must be a pure latency/throughput layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import Answer, DEFAULT_HEURISTICS, BatchingFunnel, Query, QueryService
+from repro.core.fifo import optimal_fifo_schedule
+from repro.core.heuristics import compare_heuristics
+from repro.core.makespan import predicted_makespan
+from repro.core.platform import StarPlatform, Worker
+from repro.core.twoport import (
+    optimal_two_port_fifo_schedule,
+    optimal_two_port_lifo_schedule,
+    two_port_fifo_for_order,
+)
+from repro.exceptions import ScheduleError
+from repro.obs import Telemetry, activate
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors, participation_platform
+
+ALL_NAMES = ("OPT_FIFO", "INC_C", "INC_W", "DEC_C", "PLATFORM_ORDER", "LIFO")
+
+
+def _platforms(count=6, size=7, seed=3):
+    workload = MatrixProductWorkload(120)
+    return [factors.platform(workload) for factors in
+            campaign_factors("hetero-star", count, size=size, seed=seed)]
+
+
+@pytest.fixture()
+def platform():
+    return participation_platform(3.0, MatrixProductWorkload(400))
+
+
+class TestOnePortBitIdentity:
+    def test_matches_compare_heuristics_and_optimal_fifo(self, platform):
+        service = QueryService()
+        answer = service.query(platform, heuristics=ALL_NAMES, total_tasks=1000)
+        reference = compare_heuristics(platform, ALL_NAMES)
+        for name, result in reference.items():
+            mine = answer.result(name)
+            assert mine.throughput == result.throughput
+            assert mine.loads_dict == result.loads
+            assert mine.order == tuple(result.schedule.sigma1)
+            assert mine.return_order == tuple(result.schedule.sigma2)
+            assert tuple(mine.participants) == tuple(result.participants)
+            assert mine.predicted_makespan == predicted_makespan(result.schedule, 1000.0)
+        opt = optimal_fifo_schedule(platform)
+        assert answer.result("OPT_FIFO").throughput == opt.throughput
+        assert answer.result("OPT_FIFO").loads_dict == opt.loads
+        assert answer.best == max(reference, key=lambda name: reference[name].throughput)
+        assert answer.predicted_makespan == answer.result(answer.best).predicted_makespan
+
+    def test_many_platforms(self):
+        service = QueryService()
+        for platform in _platforms():
+            answer = service.query(platform)
+            reference = compare_heuristics(platform, DEFAULT_HEURISTICS)
+            for name, result in reference.items():
+                assert answer.result(name).throughput == result.throughput
+                assert answer.result(name).loads_dict == result.loads
+
+    def test_json_round_trip_is_exact(self, platform):
+        answer = QueryService().query(platform)
+        wire = json.loads(json.dumps(answer.as_dict()))
+        assert Answer.from_dict(wire) == answer
+
+
+class TestTwoPortBitIdentity:
+    def test_matches_twoport_module(self, platform):
+        service = QueryService()
+        answer = service.query(platform, one_port=False, heuristics=ALL_NAMES)
+        references = {
+            "OPT_FIFO": optimal_two_port_fifo_schedule(platform),
+            "INC_C": two_port_fifo_for_order(platform, platform.ordered_by_c()),
+            "INC_W": two_port_fifo_for_order(platform, platform.ordered_by_w()),
+            "DEC_C": two_port_fifo_for_order(platform, platform.ordered_by_c(descending=True)),
+            "PLATFORM_ORDER": two_port_fifo_for_order(platform, platform.worker_names),
+            "LIFO": optimal_two_port_lifo_schedule(platform),
+        }
+        for name, reference in references.items():
+            mine = answer.result(name)
+            assert mine.throughput == reference.throughput
+            assert mine.loads_dict == reference.loads
+        lifo = answer.result("LIFO")
+        assert lifo.return_order == tuple(reversed(lifo.order))
+
+    def test_port_models_answer_differently(self, platform):
+        service = QueryService()
+        one = service.query(platform)
+        two = service.query(platform, one_port=False)
+        assert one.key != two.key
+        # Two-port relaxes constraint (2b): throughput can only improve.
+        assert two.result("OPT_FIFO").throughput >= one.result("OPT_FIFO").throughput
+
+
+class TestQueryBatch:
+    def test_equals_sequential_queries_mixed_ports(self):
+        platforms = _platforms(4)
+        queries = [Query.build(p) for p in platforms[:2]]
+        queries += [Query.build(p, one_port=False) for p in platforms[2:]]
+        batch = QueryService().query_batch(queries)
+        sequential = [QueryService().query(query) for query in queries]
+        assert batch == sequential
+
+    def test_duplicate_queries_solved_once(self, platform):
+        service = QueryService()
+        answers = service.query_batch([platform, platform, platform])
+        assert answers[0] == answers[1] == answers[2]
+        assert service.stats()["solved"] == 1
+
+    def test_batch_hits_cache(self, platform):
+        service = QueryService()
+        service.query(platform)
+        answers = service.query_batch([platform])
+        assert answers[0].cached
+        assert service.stats()["cache_hits"] == 1
+
+
+class TestCachedAnswers:
+    def test_hit_is_the_original_answer(self, platform):
+        service = QueryService()
+        cold = service.query(platform)
+        hot = service.query(platform)
+        assert not cold.cached
+        assert hot.cached
+        assert hot == cold  # `cached` is excluded from equality
+        assert service.stats()["cache_hits"] == 1
+        assert service.stats()["funnel_batches"] == 1
+
+    def test_heuristic_subset_is_a_different_answer(self, platform):
+        service = QueryService()
+        full = service.query(platform)
+        subset = service.query(platform, heuristics=("OPT_FIFO",))
+        assert subset.key != full.key
+        assert not subset.cached
+        assert subset.heuristics == ("OPT_FIFO",)
+
+
+class TestValidation:
+    def test_unknown_heuristic(self, platform):
+        with pytest.raises(ScheduleError, match="unknown heuristic"):
+            QueryService().query(platform, heuristics=("OPT_FIFO", "MAGIC"))
+
+    def test_empty_platform(self):
+        with pytest.raises(ScheduleError, match="at least one worker"):
+            Query.build({})
+
+    def test_bad_payload_types(self):
+        with pytest.raises(ScheduleError):
+            Query.build({"P1": {"c": "fast", "w": 1, "d": 1}})
+        with pytest.raises(ScheduleError, match="unknown request fields"):
+            Query.from_dict({"platform": {"P1": {"c": 1, "w": 1, "d": 1}}, "bogus": 1})
+
+
+class TestFunnelCoalescing:
+    def test_concurrent_queries_share_one_kernel_call(self):
+        platforms = _platforms(8, size=5, seed=11)
+        service = QueryService(window=0.5, max_batch=len(platforms))
+        barrier = threading.Barrier(len(platforms))
+        answers: dict[int, object] = {}
+
+        def ask(index):
+            barrier.wait()
+            answers[index] = service.query(platforms[index])
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(len(platforms))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # max_batch reached => exactly one flush, no window wait needed
+        assert service.stats()["funnel_batches"] == 1
+        assert service.stats()["funnel_coalesced"] == len(platforms)
+        for index, platform in enumerate(platforms):
+            reference = compare_heuristics(platform, DEFAULT_HEURISTICS)
+            for name, result in reference.items():
+                assert answers[index].result(name).throughput == result.throughput
+                assert answers[index].result(name).loads_dict == result.loads
+
+    def test_solve_error_propagates_to_every_caller(self):
+        boom = RuntimeError("kernel exploded")
+
+        def solve(queries):
+            raise boom
+
+        funnel = BatchingFunnel(solve, window=0.2, max_batch=2)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def ask():
+            barrier.wait()
+            try:
+                funnel.submit(object())
+            except RuntimeError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=ask) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == [boom, boom]
+
+    def test_window_zero_is_pass_through(self, platform):
+        service = QueryService(window=0.0)
+        answer = service.query(platform)
+        assert answer.result("OPT_FIFO").throughput == optimal_fifo_schedule(platform).throughput
+        assert service.funnel.batches == 1
+
+
+class TestTelemetryVisibility:
+    def test_counters_and_histograms(self, tmp_path, platform):
+        telemetry = Telemetry(tmp_path / "telemetry", owner="test", mode="on")
+        with activate(telemetry):
+            service = QueryService()
+            service.query(platform)
+            service.query(platform)
+        snapshot = telemetry.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["api.queries"] == 2
+        assert counters["api.cache.misses"] == 1
+        assert counters["api.cache.hits"] == 1
+        assert counters["api.solved"] == 1
+        assert counters["api.funnel.batches"] == 1
+        histogram = snapshot["histograms"]["api.query.seconds"]
+        assert histogram["count"] == 2
+
+
+class TestAnswerSurface:
+    def test_schedule_rebuild(self, platform):
+        answer = QueryService().query(platform)
+        schedule = answer.schedule(platform)
+        best = answer.best_result
+        assert schedule.loads == best.loads_dict
+        assert tuple(schedule.sigma1) == best.order
+        assert tuple(schedule.sigma2) == best.return_order
+
+    def test_result_lookup_unknown_name(self, platform):
+        answer = QueryService().query(platform, heuristics=("OPT_FIFO",))
+        with pytest.raises(ScheduleError, match="holds no heuristic"):
+            answer.result("LIFO")
+
+    def test_best_tie_break_is_first_in_heuristics_order(self):
+        # A bus-like platform where INC_C and PLATFORM_ORDER coincide:
+        # equal throughputs must resolve to the earlier requested name.
+        platform = StarPlatform(
+            [Worker(f"P{i}", c=2.0, w=5.0, d=2.0) for i in range(1, 4)]
+        )
+        answer = QueryService().query(
+            platform, heuristics=("PLATFORM_ORDER", "INC_C")
+        )
+        inc_c = answer.result("INC_C")
+        plat = answer.result("PLATFORM_ORDER")
+        assert inc_c.throughput == plat.throughput
+        assert answer.best == "PLATFORM_ORDER"

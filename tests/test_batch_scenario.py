@@ -212,7 +212,7 @@ class TestCampaignOrderRules:
 
     @pytest.mark.parametrize("name", sorted(_FIFO_ORDERS))
     def test_order_rules_match(self, name):
-        from repro.scenarios.sampler import ORDER_RULES as _ORDER_RULES
+        from repro.core.order_rules import ORDER_RULES as _ORDER_RULES
 
         for seed in range(3):
             platform = _campaign_platform(7, seed)
@@ -223,7 +223,7 @@ class TestCampaignOrderRules:
 
     def test_order_rules_match_on_degenerate_platform(self):
         """All-ties sorting must fall back to the same name ordering."""
-        from repro.scenarios.sampler import ORDER_RULES as _ORDER_RULES
+        from repro.core.order_rules import ORDER_RULES as _ORDER_RULES
 
         platform = MatrixProductWorkload(100).platform((1.0,) * 11, (1.0,) * 11)
         names = tuple(platform.worker_names)
@@ -234,7 +234,7 @@ class TestCampaignOrderRules:
 
     def test_lifo_chain_matches_closed_form(self):
         from repro.core.lifo import lifo_closed_form_loads, optimal_lifo_order
-        from repro.scenarios.sampler import (
+        from repro.core.order_rules import (
             lifo_chain_values as _lifo_chain_values,
             sorted_indices as _sorted_indices,
         )

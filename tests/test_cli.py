@@ -551,3 +551,121 @@ class TestDetachedCommands:
                 ["scenarios", "run", str(path), "--store", str(store),
                  "--wait-timeout", "5"]
             )
+
+
+class TestServeCommand:
+    """``scenarios serve`` wiring: parser surface, validation, dispatch."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["scenarios", "serve"])
+        assert args.scenarios_command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.cache_size == 1024
+        assert args.cache_dir is None
+        assert args.window == 0.002
+        assert args.max_batch == 64
+        assert args.telemetry == "off"
+
+    def test_parser_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["scenarios", "serve", "--host", "0.0.0.0", "--port", "0",
+             "--cache-size", "9", "--cache-dir", str(tmp_path),
+             "--window", "0", "--max-batch", "1", "--telemetry", "on"]
+        )
+        assert args.port == 0
+        assert args.cache_size == 9
+        assert args.window == 0.0
+        assert args.max_batch == 1
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--window", "-0.1"],
+            ["--max-batch", "0"],
+            ["--cache-size", "0"],
+            ["--telemetry", "on"],  # needs --cache-dir for the sidecar
+        ],
+    )
+    def test_validation_rejects(self, flags):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "serve", *flags])
+
+    def test_dispatches_to_run_server(self, monkeypatch, tmp_path):
+        calls = {}
+
+        def fake_run_server(host, port, *, service=None, stop=None):
+            calls["host"], calls["port"] = host, port
+            calls["service"] = service
+            return 0
+
+        import repro.api.server
+
+        monkeypatch.setattr(repro.api.server, "run_server", fake_run_server)
+        code = main(
+            ["scenarios", "serve", "--port", "0", "--cache-dir", str(tmp_path),
+             "--cache-size", "7", "--window", "0.01", "--max-batch", "3"]
+        )
+        assert code == 0
+        assert calls["host"] == "127.0.0.1" and calls["port"] == 0
+        service = calls["service"]
+        assert service.cache.max_entries == 7
+        assert service.cache.directory == tmp_path
+        assert service.funnel.window == 0.01
+        assert service.funnel.max_batch == 3
+
+
+class TestBrokenPipeGuard:
+    """Satellite 3: every verb exits quietly when the consumer hangs up."""
+
+    def test_main_routes_broken_pipe_to_the_shared_helper(self, monkeypatch):
+        from repro import cli
+
+        def boom(argv=None):
+            raise BrokenPipeError
+
+        # Stub the helper: its dup2 onto fd 1 would clobber pytest's own
+        # capture; the real fd surgery is covered by the subprocess tests.
+        monkeypatch.setattr(cli, "_main", boom)
+        monkeypatch.setattr(cli, "exit_quietly_on_broken_pipe", lambda: 0)
+        assert cli.main(["list"]) == 0
+
+    def test_helper_tolerates_fd_less_stdout(self):
+        """A stream with no real file descriptor (embedded use) must not
+        trip the helper — exercised in a subprocess so the fd surgery
+        cannot disturb pytest's own capture."""
+        import os
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "import io, sys\n"
+             "from repro.cli import exit_quietly_on_broken_pipe\n"
+             "sys.stdout = io.StringIO()\n"
+             "assert exit_quietly_on_broken_pipe() == 0\n"
+             "assert exit_quietly_on_broken_pipe() == 0\n"],
+            capture_output=True,
+            env=dict(os.environ, PYTHONPATH=src),
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_list_piped_to_early_exit_consumer(self):
+        """End-to-end: `repro-experiments scenarios list | head -0` exits 0."""
+        import os
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        script = (
+            "import sys; from repro.cli import main; "
+            "sys.exit(main(['scenarios', 'list']))"
+        )
+        consumer = subprocess.run(
+            f"{sys.executable} -c \"{script}\" | head -c 8",
+            shell=True,
+            capture_output=True,
+            env=dict(os.environ, PYTHONPATH=src),
+        )
+        assert consumer.returncode == 0

@@ -1,0 +1,202 @@
+"""Dispatch front-door tests (:mod:`repro.core.dispatch`).
+
+Satellite 1 of ISSUE 10: ``repro.solve`` / ``repro.compare`` must route
+scalar inputs to the scalar kernels and sequences to the batched kernels
+without changing a single float — all four cells of the dispatch table
+are pinned against the historical entry points here, and every
+historical name must remain importable from its old home.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import dispatch
+from repro.core.dispatch import (
+    EVALUABLE,
+    compare,
+    compare_heuristics_two_port,
+    compare_heuristics_two_port_batch,
+    heuristic_orders,
+    solve,
+)
+from repro.core.fifo import optimal_fifo_order, optimal_fifo_schedule
+from repro.core.heuristics import HEURISTICS, compare_heuristics, compare_heuristics_batch
+from repro.core.linear_program import solve_scenario
+from repro.core.twoport import (
+    optimal_two_port_fifo_schedule,
+    optimal_two_port_lifo_schedule,
+    two_port_fifo_for_order,
+)
+from repro.exceptions import ScheduleError
+from repro.workloads.matrices import MatrixProductWorkload
+from repro.workloads.platforms import campaign_factors, participation_platform
+
+ALL_NAMES = tuple(HEURISTICS)
+
+
+def _platforms(count=5, size=6, seed=9):
+    workload = MatrixProductWorkload(120)
+    return [factors.platform(workload) for factors in
+            campaign_factors("hetero-star", count, size=size, seed=seed)]
+
+
+@pytest.fixture()
+def platform():
+    return participation_platform(3.0, MatrixProductWorkload(400))
+
+
+class TestHeuristicOrders:
+    def test_matches_optimal_order_and_sorts(self, platform):
+        sigma1, sigma2 = heuristic_orders(platform, "OPT_FIFO")
+        assert sigma1 == list(optimal_fifo_order(platform))
+        assert sigma2 == sigma1
+        inc_c, _ = heuristic_orders(platform, "INC_C")
+        assert inc_c == list(platform.ordered_by_c())
+        inc_w, _ = heuristic_orders(platform, "INC_W")
+        assert inc_w == list(platform.ordered_by_w())
+
+    def test_lifo_reverses_return_order(self, platform):
+        sigma1, sigma2 = heuristic_orders(platform, "LIFO")
+        assert sigma1 == list(platform.ordered_by_c())
+        assert sigma2 == list(reversed(sigma1))
+
+    def test_port_model_never_changes_the_orders(self, platform):
+        for name in EVALUABLE:
+            assert heuristic_orders(platform, name, one_port=True) == heuristic_orders(
+                platform, name, one_port=False
+            )
+
+    def test_unknown_name(self, platform):
+        with pytest.raises(ScheduleError, match="unknown heuristic"):
+            heuristic_orders(platform, "MAGIC")
+
+
+class TestSolveDispatch:
+    def test_scalar_routes_to_solve_scenario(self, platform):
+        mine = solve(platform)
+        sigma1, sigma2 = heuristic_orders(platform, "OPT_FIFO")
+        reference = solve_scenario(platform, sigma1=sigma1, sigma2=sigma2)
+        assert mine.throughput == reference.throughput
+        assert mine.schedule.loads == reference.schedule.loads
+        assert mine.throughput == optimal_fifo_schedule(platform).throughput
+
+    def test_sequence_routes_to_batched_kernel_bit_identically(self):
+        platforms = _platforms()
+        batched = solve(platforms)
+        assert isinstance(batched, list) and len(batched) == len(platforms)
+        for entry, solution in zip(platforms, batched):
+            scalar = solve(entry)
+            assert solution.throughput == scalar.throughput
+            assert solution.schedule.loads == scalar.schedule.loads
+
+    def test_two_port_scalar_and_batch(self):
+        platforms = _platforms(3)
+        batched = solve(platforms, one_port=False)
+        for entry, solution in zip(platforms, batched):
+            reference = optimal_two_port_fifo_schedule(entry)
+            assert solution.throughput == reference.throughput
+            assert solution.schedule.loads == reference.loads
+
+    def test_explicit_order(self, platform):
+        order = list(platform.worker_names)
+        mine = solve(platform, order=order)
+        reference = solve_scenario(platform, sigma1=order, sigma2=order)
+        assert mine.throughput == reference.throughput
+
+    def test_explicit_return_order(self, platform):
+        order = list(platform.worker_names)
+        mine = solve(platform, one_port=False, order=order, return_order=order[::-1])
+        reference = solve_scenario(
+            platform, sigma1=order, sigma2=order[::-1], one_port=False
+        )
+        assert mine.throughput == reference.throughput
+
+    def test_lifo_rule_implies_reversed_return(self, platform):
+        mine = solve(platform, order_rule="LIFO")
+        lifo = HEURISTICS["LIFO"](platform)
+        assert mine.throughput == lifo.throughput
+        assert list(mine.schedule.sigma2) == list(lifo.schedule.sigma2)
+
+    def test_return_order_without_order_is_an_error(self, platform):
+        with pytest.raises(ScheduleError, match="explicit order"):
+            solve(platform, return_order=list(platform.worker_names))
+
+
+def _assert_same_results(mine, reference):
+    """Field-level bit-identity between two {name: HeuristicResult} dicts."""
+    assert set(mine) == set(reference)
+    for name in mine:
+        assert mine[name].throughput == reference[name].throughput
+        assert mine[name].schedule.loads == reference[name].schedule.loads
+        assert list(mine[name].schedule.sigma1) == list(reference[name].schedule.sigma1)
+        assert list(mine[name].schedule.sigma2) == list(reference[name].schedule.sigma2)
+
+
+class TestCompareDispatch:
+    def test_scalar_one_port_cell(self, platform):
+        _assert_same_results(
+            compare(platform, ALL_NAMES), compare_heuristics(platform, ALL_NAMES)
+        )
+
+    def test_batch_one_port_cell(self):
+        platforms = _platforms(4)
+        for mine, reference in zip(
+            compare(platforms, ALL_NAMES), compare_heuristics_batch(platforms, ALL_NAMES)
+        ):
+            _assert_same_results(mine, reference)
+
+    def test_scalar_two_port_cell(self, platform):
+        mine = compare(platform, ALL_NAMES, one_port=False)
+        _assert_same_results(mine, compare_heuristics_two_port(platform, ALL_NAMES))
+        references = {
+            "OPT_FIFO": optimal_two_port_fifo_schedule(platform),
+            "INC_C": two_port_fifo_for_order(platform, platform.ordered_by_c()),
+            "LIFO": optimal_two_port_lifo_schedule(platform),
+        }
+        for name, reference in references.items():
+            assert mine[name].throughput == reference.throughput
+            assert mine[name].schedule.loads == reference.loads
+
+    def test_batch_two_port_cell_matches_scalar(self):
+        platforms = _platforms(4)
+        batched = compare(platforms, ALL_NAMES, one_port=False)
+        for mine, reference in zip(
+            batched, compare_heuristics_two_port_batch(platforms, ALL_NAMES)
+        ):
+            _assert_same_results(mine, reference)
+        for entry, results in zip(platforms, batched):
+            _assert_same_results(results, compare_heuristics_two_port(entry, ALL_NAMES))
+
+    def test_unknown_name_rejected_everywhere(self, platform):
+        for kwargs in ({"one_port": True}, {"one_port": False}):
+            with pytest.raises(ScheduleError, match="unknown heuristic"):
+                compare(platform, ("MAGIC",), **kwargs)
+            with pytest.raises(ScheduleError, match="unknown heuristic"):
+                compare([platform], ("MAGIC",), **kwargs)
+
+
+class TestFrontDoorExports:
+    def test_package_level_names(self):
+        assert repro.solve is solve
+        assert repro.compare is compare
+        assert repro.compare_heuristics_two_port is compare_heuristics_two_port
+        assert (
+            repro.compare_heuristics_two_port_batch is compare_heuristics_two_port_batch
+        )
+        assert callable(repro.solve_scenarios)
+        assert callable(repro.compare_heuristics_batch)
+
+    def test_historical_names_still_importable(self):
+        from repro.core import (  # noqa: F401
+            compare_heuristics,
+            compare_heuristics_batch,
+            optimal_fifo_schedule,
+            solve_scenario,
+            solve_scenarios,
+        )
+
+    def test_evaluable_covers_the_registry(self):
+        assert set(EVALUABLE) == set(HEURISTICS)
+        assert set(dispatch.EVALUABLE) >= {"OPT_FIFO", "INC_C", "INC_W", "LIFO"}

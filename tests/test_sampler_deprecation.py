@@ -1,0 +1,120 @@
+"""Deprecation of the :mod:`repro.scenarios.sampler` facade (ISSUE 10).
+
+The facade was the sampler's home before PR 6 moved the primitives to
+:mod:`repro.workloads.sampling` (and the order-rule mirrors to
+:mod:`repro.core.order_rules`).  It now warns on import — and, crucially,
+no production path imports it anymore: a campaign run under
+``-W error::DeprecationWarning`` must not die.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _python(*code: str, error_on_deprecation: bool = False) -> subprocess.CompletedProcess:
+    command = [sys.executable]
+    if error_on_deprecation:
+        command += ["-W", "error::DeprecationWarning"]
+    command += ["-c", "\n".join(code)]
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.run(command, capture_output=True, text=True, env=env)
+
+
+class TestFacadeWarns:
+    def test_import_raises_under_error_filter(self):
+        result = _python("import repro.scenarios.sampler", error_on_deprecation=True)
+        assert result.returncode != 0
+        assert "DeprecationWarning" in result.stderr
+        assert "repro.workloads.sampling" in result.stderr
+
+    def test_in_process_warning_and_reexports_still_work(self):
+        sys.modules.pop("repro.scenarios.sampler", None)
+        with pytest.warns(DeprecationWarning, match="deprecated compatibility facade"):
+            sampler = importlib.import_module("repro.scenarios.sampler")
+        # The facade still re-exports the moved names for old callers.
+        from repro.core.order_rules import ORDER_RULES
+        from repro.workloads.sampling import cost_table, sample_factors
+
+        assert sampler.sample_factors is sample_factors
+        assert sampler.cost_table is cost_table
+        assert sampler.ORDER_RULES is ORDER_RULES
+
+
+class TestProductionPathsAreClean:
+    """Campaign code must never route through the deprecated facade."""
+
+    def test_campaign_import_chain(self):
+        result = _python(
+            "import repro",
+            "import repro.scenarios",
+            "import repro.scenarios.runner",
+            "import repro.scenarios.fabric",
+            "import repro.scenarios.detached",
+            "import repro.scenarios.status",
+            "import repro.api",
+            "import repro.workloads.sampling",
+            "import repro.core.order_rules",
+            error_on_deprecation=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_campaign_run_never_imports_the_facade(self):
+        result = _python(
+            "import sys",
+            "from repro.scenarios.spec import named_space",
+            "from repro.scenarios.runner import run_campaign",
+            "import tempfile",
+            "spec = named_space('fig12').derive(count=3)",
+            "with tempfile.TemporaryDirectory() as store:",
+            "    run_campaign(spec, store)",
+            "assert 'repro.scenarios.sampler' not in sys.modules, 'facade imported'",
+            error_on_deprecation=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_suite_modules_avoid_the_facade(self):
+        """No repo source module *imports* the facade anymore (grep-level
+        pin; prose mentions in docstrings are fine)."""
+        src = os.path.join(REPO_SRC, "repro")
+        offenders = []
+        for root, _dirs, files in os.walk(src):
+            for name in files:
+                if not name.endswith(".py") or name == "sampler.py":
+                    continue
+                path = os.path.join(root, name)
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                if "import repro.scenarios.sampler" in text or (
+                    "from repro.scenarios.sampler" in text
+                ) or "from repro.scenarios import sampler" in text:
+                    offenders.append(path)
+        assert offenders == []
+
+
+class TestWarningHygiene:
+    def test_import_warns_exactly_once_per_process(self):
+        result = _python(
+            "import warnings",
+            "with warnings.catch_warnings(record=True) as caught:",
+            "    warnings.simplefilter('always')",
+            "    import repro.scenarios.sampler",
+            "    import repro.scenarios.sampler as again",
+            "deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]",
+            "assert len(deprecations) == 1, deprecations",
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_no_warning_from_the_new_homes(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.import_module("repro.workloads.sampling")
+            importlib.import_module("repro.core.order_rules")

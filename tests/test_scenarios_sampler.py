@@ -1,4 +1,4 @@
-"""Tests for the array-native sampler (:mod:`repro.scenarios.sampler`).
+"""Tests for the array-native sampler (:mod:`repro.workloads.sampling`).
 
 The load-bearing assertions are the bit-identity pins: the vectorised
 factor draws must reproduce the historical sequential generator stream of
@@ -13,15 +13,17 @@ import numpy as np
 import pytest
 
 from repro.core.heuristics import compare_heuristics
-from repro.scenarios.sampler import (
+from repro.core.order_rules import (
     ORDER_RULES,
+    lifo_chain_values,
+    sorted_indices,
+    worker_names,
+)
+from repro.workloads.sampling import (
     base_costs,
     cost_table,
     family_cost_tables,
-    lifo_chain_values,
     sample_factors,
-    sorted_indices,
-    worker_names,
 )
 from repro.scenarios.spec import Distribution, PlatformFamily, named_space
 from repro.workloads.matrices import MatrixProductWorkload
